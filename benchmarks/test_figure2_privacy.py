@@ -1,0 +1,87 @@
+"""E3 — Figure 2: the variant comparison table and its privacy row, verified.
+
+The paper's Figure 2 states each variant's privacy property.  This bench
+regenerates the table from the registry and then *verifies the privacy row
+numerically*: exact (integrated) privacy loss per variant on a shared family
+of neighboring inputs, showing eps-bounded losses for Alg. 1/2 and
+above-budget / unbounded losses for Alg. 4/5/6 (Alg. 3's violation is
+continuous-output; covered in E7).
+"""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.verifier import empirical_epsilon, spec_for_variant
+from repro.variants.lee_clifton import lee_clifton_actual_epsilon
+from repro.variants.registry import figure2_table
+
+EPSILON = 1.0
+C = 2
+
+# Neighboring answer vectors exercising both directions (|diff| <= 1).
+ANSWERS_D = [2.0, 2.0, -10.0, -10.0]
+ANSWERS_D_PRIME = [3.0, 3.0, -11.0, -11.0]
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_figure2_table_rendering(benchmark):
+    table = benchmark(figure2_table)
+    emit("Figure 2 (variant comparison table)", table)
+    assert "Alg. 1" in table and "infinity-DP" in table
+
+
+def _loss_for(key: str) -> float:
+    spec = spec_for_variant(key, EPSILON, C)
+    cutoff = None if key in ("alg5", "alg6") else C
+    return empirical_epsilon(spec, ANSWERS_D, ANSWERS_D_PRIME, thresholds=0.0, c=cutoff)
+
+
+@pytest.mark.benchmark(group="figure2")
+@pytest.mark.parametrize("key", ["alg1", "alg2"])
+def test_private_variants_within_budget(benchmark, key):
+    loss = benchmark(_loss_for, key)
+    emit(f"Figure 2 privacy row — {key}", f"exact privacy loss = {loss:.4f} <= eps = {EPSILON}")
+    assert loss <= EPSILON + 1e-6
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_alg4_exceeds_advertised_budget(benchmark):
+    loss = benchmark(_loss_for, "alg4")
+    actual = lee_clifton_actual_epsilon(EPSILON, C)
+    emit(
+        "Figure 2 privacy row — alg4",
+        f"exact loss = {loss:.4f} > advertised eps = {EPSILON}; "
+        f"true guarantee ((1+6c)/4)eps = {actual:.2f}",
+    )
+    assert loss > EPSILON
+    assert loss <= actual + 1e-6
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_alg5_unbounded(benchmark):
+    def loss():
+        spec = spec_for_variant("alg5", EPSILON, C)
+        return empirical_epsilon(spec, [0.0, 1.0], [1.0, 0.0], thresholds=0.0)
+
+    value = benchmark(loss)
+    emit("Figure 2 privacy row — alg5", f"exact privacy loss = {value} (Theorem 3)")
+    assert value == math.inf
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_alg6_loss_grows_without_bound(benchmark):
+    from repro.attacks.counterexamples import theorem7_chen
+
+    def losses():
+        return [theorem7_chen(m, EPSILON).epsilon_refuted() for m in (1, 3, 5)]
+
+    values = benchmark(losses)
+    emit(
+        "Figure 2 privacy row — alg6",
+        "refuted eps' by counterexample size m=1,3,5: "
+        + ", ".join(f"{v:.2f}" for v in values),
+    )
+    assert values[0] < values[1] < values[2]
+    assert values[2] > 2.0 * EPSILON

@@ -1,0 +1,64 @@
+"""E2 — Figure 3: distribution of the 300 highest scores per dataset.
+
+Prints the rank/support series (decade samples) and asserts the qualitative
+shapes the paper's log-log plot shows: Kosarak steepest with the highest
+head, BMS-POS flattest, Zipf exactly 1/rank.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.distributions import figure3_series
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig.paper().with_overrides(
+        datasets=("BMS-POS", "Kosarak", "Zipf"), dataset_scale=1.0
+    )
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_figure3_series(benchmark, config):
+    series = benchmark(figure3_series, config, 300)
+
+    ranks = [1, 3, 10, 30, 100, 300]
+    lines = ["rank    " + "".join(f"{name:>12}" for name in series)]
+    for r in ranks:
+        row = f"{r:<8}" + "".join(f"{series[name][r-1]:>12,}" for name in series)
+        lines.append(row)
+    emit("Figure 3 series (top-300 supports, decade samples)", "\n".join(lines))
+
+    for name, values in series.items():
+        assert values.size == 300
+        assert np.all(np.diff(values) <= 0)
+
+    # Shape assertions from the paper's plot.
+    drop = {name: values[0] / values[-1] for name, values in series.items()}
+    assert drop["Kosarak"] > drop["BMS-POS"]          # Kosarak much steeper
+    assert series["Kosarak"][0] > series["Zipf"][0]   # highest head support
+    assert series["Zipf"][0] / series["Zipf"][299] == pytest.approx(300, rel=0.05)
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_figure3_loglog_slopes(benchmark, config):
+    """Log-log slope over the top-300: Zipf ~ -1, BMS-POS much flatter."""
+
+    def slopes():
+        out = {}
+        for name, values in figure3_series(config, 300).items():
+            ranks = np.arange(1, 301)
+            coef = np.polyfit(np.log(ranks), np.log(values.astype(float)), 1)
+            out[name] = coef[0]
+        return out
+
+    result = benchmark(slopes)
+    emit(
+        "Figure 3 log-log slopes",
+        "\n".join(f"{k:>10}: {v:+.3f}" for k, v in result.items()),
+    )
+    assert result["Zipf"] == pytest.approx(-1.0, abs=0.05)
+    assert result["BMS-POS"] > -0.8
+    assert result["Kosarak"] < result["BMS-POS"]

@@ -1,0 +1,112 @@
+"""E4 — Figure 4: interactive setting, SVT-DPBook vs SVT-S allocations.
+
+Prints the SER and FNR tables per dataset (the paper's Figure 4 panels as
+rows) and asserts the headline ordering: SVT-DPBook worst, the optimized
+allocations (1:c, 1:c^(2/3)) best.
+
+Absolute values differ from the paper (synthetic substrates, reduced scale);
+orderings and magnitudes of the gaps are the reproduction target.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.interactive import run_figure4
+from repro.experiments.reporting import format_result_table
+
+
+@pytest.fixture(scope="module")
+def figure4_results(bench_config):
+    return run_figure4(bench_config)
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4_full_run(benchmark, bench_config):
+    small = bench_config.with_overrides(datasets=("Kosarak",), c_values=(25,))
+    results = benchmark.pedantic(run_figure4, args=(small,), rounds=1, iterations=1)
+    assert "Kosarak" in results
+
+
+@pytest.mark.parametrize("metric", ["ser", "fnr"])
+@pytest.mark.benchmark(group="figure4")
+def test_figure4_tables(benchmark, figure4_results, bench_config, metric):
+    tables = benchmark(
+        lambda: {
+            dataset: format_result_table(results, metric, with_std=True)
+            for dataset, results in figure4_results.items()
+        }
+    )
+    for dataset, table in tables.items():
+        emit(
+            f"Figure 4 — {dataset}, {metric.upper()} "
+            f"(eps={bench_config.epsilon}, trials={bench_config.trials}, "
+            f"scale={bench_config.dataset_scale})",
+            table,
+        )
+
+
+def _mean_over_cells(results, method, metric):
+    values = [getattr(s, f"{metric}_mean") for s in results[method].by_c.values()]
+    return float(np.mean(values)) if values else float("nan")
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4_headline_ordering(benchmark, figure4_results):
+    """DPBook ≫ 1:1 >= optimized, averaged over datasets and c."""
+    datasets = list(figure4_results)
+    def avg(method):
+        return np.mean([_mean_over_cells(figure4_results[d], method, "ser") for d in datasets])
+
+    dpbook, one_one, optimized = benchmark(
+        lambda: (
+            avg("SVT-DPBook"),
+            avg("SVT-S-1:1"),
+            min(avg("SVT-S-1:c"), avg("SVT-S-1:c^(2/3)")),
+        )
+    )
+    emit(
+        "Figure 4 ordering check (mean SER)",
+        f"SVT-DPBook={dpbook:.3f}  SVT-S-1:1={one_one:.3f}  best-optimized={optimized:.3f}",
+    )
+    assert dpbook > one_one > optimized
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4_one_to_three_between(benchmark, figure4_results):
+    """1:3 sits between 1:1 and the optimized allocations (paper's ordering)."""
+    datasets = list(figure4_results)
+
+    def avg(method):
+        return np.mean([_mean_over_cells(figure4_results[d], method, "ser") for d in datasets])
+
+    values = benchmark(
+        lambda: (avg("SVT-S-1:1"), avg("SVT-S-1:3"), avg("SVT-S-1:c"), avg("SVT-S-1:c^(2/3)"))
+    )
+    assert values[0] >= values[1] - 0.02
+    assert values[1] >= min(values[2], values[3]) - 0.02
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4_ser_fnr_correlated(benchmark, figure4_results):
+    """'The correlation between them is quite stable' (Section 6): SER and
+    FNR means are strongly positively correlated across methods."""
+
+    def correlations():
+        out = {}
+        for dataset, results in figure4_results.items():
+            methods = list(results)
+            sers = np.array([_mean_over_cells(results, m, "ser") for m in methods])
+            fnrs = np.array([_mean_over_cells(results, m, "fnr") for m in methods])
+            if sers.std() < 1e-9 or fnrs.std() < 1e-9:  # degenerate: all tied
+                out[dataset] = 1.0
+            else:
+                out[dataset] = float(np.corrcoef(sers, fnrs)[0, 1])
+        return out
+
+    corr = benchmark(correlations)
+    emit(
+        "Figure 4 SER-FNR correlation per dataset",
+        "\n".join(f"{d}: r={r:+.3f}" for d, r in corr.items()),
+    )
+    assert all(r > 0.5 for r in corr.values())

@@ -1,0 +1,106 @@
+"""E5 — Figure 5: non-interactive setting, EM vs SVT-ReTr vs SVT-S.
+
+Prints the SER/FNR tables and asserts the paper's conclusions: EM at or
+below every SVT curve, and retraversal no worse than plain SVT.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.noninteractive import run_figure5
+from repro.experiments.reporting import format_result_table
+
+
+@pytest.fixture(scope="module")
+def figure5_results(bench_config):
+    return run_figure5(bench_config)
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_figure5_full_run(benchmark, bench_config):
+    small = bench_config.with_overrides(datasets=("Zipf",), c_values=(25,))
+    results = benchmark.pedantic(run_figure5, args=(small,), rounds=1, iterations=1)
+    assert "Zipf" in results
+
+
+@pytest.mark.parametrize("metric", ["ser", "fnr"])
+@pytest.mark.benchmark(group="figure5")
+def test_figure5_tables(benchmark, figure5_results, bench_config, metric):
+    tables = benchmark(
+        lambda: {
+            dataset: format_result_table(results, metric, with_std=True)
+            for dataset, results in figure5_results.items()
+        }
+    )
+    for dataset, table in tables.items():
+        emit(
+            f"Figure 5 — {dataset}, {metric.upper()} "
+            f"(eps={bench_config.epsilon}, trials={bench_config.trials}, "
+            f"scale={bench_config.dataset_scale})",
+            table,
+        )
+
+
+def _mean(results, method):
+    return float(
+        np.mean([s.ser_mean for s in results[method].by_c.values()])
+    )
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_figure5_em_wins(benchmark, figure5_results):
+    """The paper's bottom line: use EM in the non-interactive setting."""
+    def compute():
+        out = []
+        for dataset, results in figure5_results.items():
+            em = _mean(results, "EM")
+            best_svt = min(_mean(results, m) for m in results if m != "EM")
+            out.append((dataset, em, best_svt))
+        return out
+
+    rows = benchmark(compute)
+    margins = []
+    for dataset, em, best_svt in rows:
+        margins.append(best_svt - em)
+        emit(
+            f"Figure 5 EM check — {dataset}",
+            f"EM SER={em:.3f}  best-SVT SER={best_svt:.3f}",
+        )
+    # EM within noise of the best SVT on every dataset and strictly better on
+    # average.
+    assert all(margin > -0.05 for margin in margins)
+    assert float(np.mean(margins)) > -0.01
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_figure5_retraversal_helps(benchmark, figure5_results):
+    """Some retraversal bump beats plain SVT-S on every dataset."""
+    def compute():
+        return {
+            dataset: (
+                _mean(results, "SVT-S-1:c^(2/3)"),
+                min(_mean(results, m) for m in results if "ReTr" in m),
+            )
+            for dataset, results in figure5_results.items()
+        }
+
+    for dataset, (plain, best_retr) in benchmark(compute).items():
+        assert best_retr <= plain + 0.02, dataset
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_figure5_best_bump_varies(benchmark, figure5_results):
+    """The paper: 'the best threshold increment value depends on the dataset'.
+    Record which bump wins where (informational; no universal winner is
+    asserted because that is the paper's own finding)."""
+    def compute():
+        out = {}
+        for dataset, results in figure5_results.items():
+            retr = {m: _mean(results, m) for m in results if "ReTr" in m}
+            out[dataset] = min(retr, key=retr.get)
+        return out
+
+    winners = benchmark(compute)
+    emit("Figure 5 best bump per dataset", "\n".join(f"{d}: {w}" for d, w in winners.items()))
+    assert len(winners) == len(figure5_results)

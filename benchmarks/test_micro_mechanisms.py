@@ -1,0 +1,87 @@
+"""Micro-benchmarks of the mechanism kernels.
+
+Not a paper artifact — these time the building blocks so regressions in the
+vectorized paths (which the Figure 4/5 harness leans on) are visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import BudgetAllocation
+from repro.core.retraversal import svt_retraversal
+from repro.core.svt import run_svt_batch
+from repro.mechanisms.exponential import select_top_c_em
+from repro.mechanisms.laplace import LaplaceMechanism
+from repro.variants.dpbook import run_dpbook_batch
+
+N = 100_000
+C = 50
+
+
+@pytest.fixture(scope="module")
+def scores():
+    rng = np.random.default_rng(0)
+    return np.sort(rng.pareto(1.2, N))[::-1] * 1_000
+
+
+@pytest.mark.benchmark(group="micro")
+def test_laplace_release_throughput(benchmark, scores):
+    mech = LaplaceMechanism(epsilon=1.0)
+    rng = np.random.default_rng(1)
+    benchmark(mech.release, scores, rng)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_em_top_c_throughput(benchmark, scores):
+    rng = np.random.default_rng(2)
+    out = benchmark(select_top_c_em, scores, 0.1, C, 1.0, True, rng)
+    assert out.size == C
+
+
+@pytest.mark.benchmark(group="micro")
+def test_svt_batch_throughput(benchmark, scores):
+    allocation = BudgetAllocation.from_ratio(0.1, C, "1:c^(2/3)", monotonic=True)
+    rng = np.random.default_rng(3)
+    threshold = float(scores[C])
+
+    def run():
+        return run_svt_batch(
+            scores, allocation, C, thresholds=threshold, monotonic=True, rng=rng
+        )
+
+    result = benchmark(run)
+    assert result.num_positives <= C
+
+
+@pytest.mark.benchmark(group="micro")
+def test_svt_retraversal_throughput(benchmark, scores):
+    allocation = BudgetAllocation.from_ratio(0.1, C, "1:c^(2/3)", monotonic=True)
+    rng = np.random.default_rng(4)
+    threshold = float(scores[C])
+
+    def run():
+        return svt_retraversal(
+            scores,
+            allocation,
+            C,
+            thresholds=threshold,
+            monotonic=True,
+            threshold_bump_d=2.0,
+            max_passes=20,
+            rng=rng,
+        )
+
+    result = benchmark(run)
+    assert result.num_selected <= C
+
+
+@pytest.mark.benchmark(group="micro")
+def test_dpbook_batch_throughput(benchmark, scores):
+    rng = np.random.default_rng(5)
+    threshold = float(scores[C])
+
+    def run():
+        return run_dpbook_batch(scores, 0.1, C, thresholds=threshold, rng=rng)
+
+    result = benchmark(run)
+    assert result.num_positives <= C

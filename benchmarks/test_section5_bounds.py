@@ -1,0 +1,64 @@
+"""E6 — Section 5: the alpha_SVT vs alpha_EM analytical comparison.
+
+Prints the bound table over a (k, beta) grid and asserts the paper's claim
+that alpha_EM is less than 1/8 of alpha_SVT everywhere.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.theory import em_correct_selection_probability
+from repro.experiments.bounds import section5_bound_table
+from repro.experiments.reporting import format_bounds_table
+
+
+@pytest.mark.benchmark(group="section5")
+def test_bound_table(benchmark):
+    rows = benchmark(section5_bound_table)
+    emit("Section 5 — alpha_SVT vs alpha_EM (eps = 0.1)", format_bounds_table(rows))
+    for row in rows:
+        assert row.ratio < 1 / 8
+
+
+@pytest.mark.benchmark(group="section5")
+def test_em_bound_is_achievable(benchmark):
+    """Verify the bound's self-consistency: plugging alpha_EM back into the
+    selection-probability formula achieves the 1 - beta success target."""
+    from repro.analysis.theory import alpha_em
+
+    def worst_gap():
+        gap = 0.0
+        for k in (10, 1_000, 100_000):
+            for beta in (0.1, 0.01):
+                alpha = alpha_em(k, beta, 0.1)
+                success = em_correct_selection_probability(k, alpha, 0.1)
+                gap = max(gap, (1 - beta) - success)
+        return gap
+
+    gap = benchmark(worst_gap)
+    assert gap <= 1e-9
+
+
+@pytest.mark.benchmark(group="section5")
+def test_bounds_verified_empirically(benchmark):
+    """Run the actual mechanisms on the Section-5 workload: both guarantees
+    hold, and EM succeeds at an alpha 8x smaller than SVT requires."""
+    from benchmarks.conftest import emit
+    from repro.analysis.accuracy import em_accuracy_check, svt_accuracy_check
+
+    def run_checks():
+        k, beta, eps = 100, 0.1, 0.5
+        return (
+            svt_accuracy_check(k, beta, eps, trials=400, rng=0),
+            em_accuracy_check(k, beta, eps, trials=400, rng=1),
+        )
+
+    svt, em = benchmark.pedantic(run_checks, rounds=1, iterations=1)
+    emit(
+        "Section 5 — empirical (alpha, beta) checks (k=100, beta=0.1, eps=0.5)",
+        f"SVT: alpha={svt.alpha:.1f}  observed beta={svt.beta_observed:.4f}\n"
+        f"EM : alpha={em.alpha:.1f}  observed beta={em.beta_observed:.4f}",
+    )
+    assert svt.within_guarantee
+    assert em.within_guarantee
+    assert em.alpha < svt.alpha / 8

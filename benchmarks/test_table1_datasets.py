@@ -1,0 +1,37 @@
+"""E1 — Table 1: dataset characteristics.
+
+Regenerates the (records, items) table.  At scale 1.0 the counts equal the
+paper's exactly (they are calibration targets); the timed body generates the
+three laptop-friendly datasets end to end.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.distributions import PAPER_TABLE1, table1
+from repro.experiments.reporting import format_table1
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_generation(benchmark):
+    cfg = ExperimentConfig.paper().with_overrides(
+        datasets=("BMS-POS", "Kosarak", "Zipf")
+    )
+    rows = benchmark(table1, cfg)
+    emit("Table 1 (regenerated, full scale)", format_table1(rows))
+    for name, records, items in rows:
+        assert (records, items) == PAPER_TABLE1[name]
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_includes_aol_scaled(benchmark):
+    """AOL's 2.3M-item universe, generated at 10% scale for tractability."""
+    cfg = ExperimentConfig.paper().with_overrides(
+        datasets=("AOL",), dataset_scale=0.1
+    )
+    rows = benchmark(table1, cfg)
+    emit("Table 1 (AOL at 10% scale)", format_table1(rows))
+    (_, records, items) = rows[0]
+    assert items == round(2_290_685 * 0.1)
+    assert records == round(647_377 * 0.1)

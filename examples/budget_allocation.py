@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""The Section-4.2 budget-allocation optimization, analytically and measured.
+
+Shows (a) the comparison-noise variance as a function of the eps1:eps2 split,
+with the closed-form optimum 1:(2c)^(2/3) marked; and (b) the measured SER of
+SVT under each named allocation on a synthetic workload, confirming the
+analysis translates into utility.
+
+Run:  python examples/budget_allocation.py
+"""
+
+import numpy as np
+
+from repro.core.allocation import allocate, comparison_std, comparison_variance
+from repro.core.svt import run_svt_batch
+from repro.core.allocation import BudgetAllocation
+from repro.metrics.utility import score_error_rate
+
+EPSILON = 0.5
+C = 50
+
+
+def variance_curve() -> None:
+    print("=" * 66)
+    print(f"comparison-noise std vs eps1 fraction (eps={EPSILON}, c={C}, monotonic)")
+    print("=" * 66)
+    fractions = np.linspace(0.02, 0.6, 24)
+    stds = [
+        comparison_std(EPSILON * f, EPSILON * (1 - f), C, monotonic=True)
+        for f in fractions
+    ]
+    best = min(stds)
+    eps1_opt, _ = allocate(EPSILON, C, "optimal", monotonic=True)
+    for f, s in zip(fractions, stds):
+        bar = "#" * int(60 * best / s)
+        marker = "  <-- optimum region" if abs(f - eps1_opt / EPSILON) < 0.015 else ""
+        print(f"  eps1={f:4.2f}*eps  std={s:9.1f} {bar}{marker}")
+    print(f"\nclosed form: eps1:eps2 = 1:c^(2/3) -> eps1 = {eps1_opt / EPSILON:.3f}*eps\n")
+
+
+def measured_utility() -> None:
+    print("=" * 66)
+    print("measured SER per named allocation (200-trial average)")
+    print("=" * 66)
+    rng = np.random.default_rng(0)
+    scores = np.sort(rng.pareto(1.2, 3_000))[::-1] * 2_000
+    threshold = float((scores[C - 1] + scores[C]) / 2)
+    trials = 200
+
+    for ratio in ("1:1", "1:3", "1:c", "1:c^(2/3)"):
+        sers = []
+        for t in range(trials):
+            perm = np.random.default_rng(1_000 + t).permutation(scores.size)
+            shuffled = scores[perm]
+            allocation = BudgetAllocation.from_ratio(EPSILON, C, ratio, monotonic=True)
+            result = run_svt_batch(
+                shuffled, allocation, C, thresholds=threshold, monotonic=True,
+                rng=2_000 + t,
+            )
+            picked = perm[np.asarray(result.positives, dtype=np.int64)]
+            sers.append(score_error_rate(scores, picked, C))
+        print(f"  SVT-S-{ratio:<10} SER = {np.mean(sers):.3f} ± {np.std(sers):.3f}")
+    print(
+        "\nexpected: 1:c and 1:c^(2/3) clearly below 1:1 — the Figure 4 effect."
+    )
+
+
+if __name__ == "__main__":
+    variance_curve()
+    measured_utility()

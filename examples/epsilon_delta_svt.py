@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""(eps, delta)-DP SVT: when does relaxing to approximate DP pay off?
+
+Section 3.4 notes that some SVT usages target (eps, delta)-DP via the
+advanced composition theorem.  This script shows the trade quantitatively:
+
+* the per-query noise scale of the pure-DP route grows like c,
+* the advanced-composition route grows like sqrt(c * ln(1/delta)),
+* so there is a crossover c* — below it, stay pure; above it, the delta
+  buys real accuracy.
+
+Run:  python examples/epsilon_delta_svt.py
+"""
+
+import numpy as np
+
+from repro.core.epsilon_delta import EpsilonDeltaAllocation, run_svt_epsilon_delta
+from repro.core.allocation import BudgetAllocation
+from repro.core.svt import run_svt_batch
+
+EPS1 = EPS2 = 0.25
+DELTA = 1e-6
+
+
+def scale_table() -> None:
+    print("=" * 70)
+    print(f"query-noise scale: pure eps-DP vs (eps, delta)-DP (delta={DELTA:g})")
+    print("=" * 70)
+    print(f"{'c':>6}  {'pure 2c/eps2':>14}  {'advanced 2/eps0':>16}  winner")
+    crossover = None
+    for c in (1, 5, 10, 25, 50, 100, 250, 500, 1_000, 2_000):
+        alloc = EpsilonDeltaAllocation(eps1=EPS1, eps2=EPS2, delta=DELTA, c=c)
+        pure = alloc.pure_dp_scale()
+        approx = alloc.query_noise_scale()
+        winner = "(eps,delta)" if approx < pure else "pure"
+        if crossover is None and approx < pure:
+            crossover = c
+        print(f"{c:>6}  {pure:>14,.1f}  {approx:>16,.1f}  {winner}")
+    print(f"\ncrossover near c = {crossover}\n")
+
+
+def accuracy_demo() -> None:
+    print("=" * 70)
+    print("end-to-end FNR at c = 500 (clear above/below gap)")
+    print("=" * 70)
+    c = 500
+    scores = np.concatenate([np.full(c, 3_000.0), np.zeros(500)])
+    threshold = 1_500.0
+
+    def fnr_of(positives):
+        return 1.0 - sum(1 for i in positives if i < c) / c
+
+    pure_fnrs, ed_fnrs = [], []
+    for seed in range(10):
+        pure_alloc = BudgetAllocation(eps1=EPS1, eps2=EPS2)
+        pure = run_svt_batch(scores, pure_alloc, c, thresholds=threshold, rng=seed)
+        pure_fnrs.append(fnr_of(pure.positives))
+
+        ed_alloc = EpsilonDeltaAllocation(eps1=EPS1, eps2=EPS2, delta=DELTA, c=c)
+        ed = run_svt_epsilon_delta(scores, ed_alloc, thresholds=threshold, rng=seed)
+        ed_fnrs.append(fnr_of(ed.positives))
+
+    print(f"pure eps-DP SVT    : FNR = {np.mean(pure_fnrs):.3f}")
+    print(f"(eps, delta)-DP SVT: FNR = {np.mean(ed_fnrs):.3f}")
+    print(
+        "\nSame eps budget; the delta=1e-6 relaxation turns an unusable\n"
+        "large-c selection into a reliable one — the asymptotic win that\n"
+        "motivated the (eps, delta) variants the paper mentions in Sec. 3.4."
+    )
+
+
+if __name__ == "__main__":
+    scale_table()
+    accuracy_demo()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Private top-c frequent itemset mining (the Lee & Clifton [13] scenario).
+
+Builds a synthetic retail-style transaction database, mines the true top
+itemsets, then compares private selections (EM vs corrected SVT) against the
+truth — including the noisy-support release through Alg. 7's eps3 phase.
+
+Run:  python examples/frequent_itemsets.py
+"""
+
+import numpy as np
+
+from repro.applications import private_top_c_itemsets
+from repro.data import TransactionDatabase
+
+EPSILON = 1.0
+C = 8
+
+
+def build_database() -> TransactionDatabase:
+    """A 3,000-record market-basket dataset with planted popular combos."""
+    rng = np.random.default_rng(42)
+    base_probs = np.array([0.55, 0.45, 0.35, 0.25, 0.15, 0.10, 0.08, 0.05])
+    db = TransactionDatabase.synthesize(3_000, base_probs, rng=rng)
+    return db
+
+
+def main() -> None:
+    db = build_database()
+    print(f"database: {db.num_records} transactions over {db.num_items} items")
+
+    true_top = db.frequent_itemsets(min_support=1, max_size=2)
+    true_top.sort(key=lambda pair: -pair[1])
+    print("\ntrue top itemsets (non-private reference):")
+    for itemset, support in true_top[:C]:
+        print(f"  {itemset}: support {support}")
+
+    print(f"\nprivate mining with eps={EPSILON}, c={C}")
+    for method, kwargs in [
+        ("em", {}),
+        ("svt", {"threshold": float(true_top[C][1])}),
+    ]:
+        mined = private_top_c_itemsets(
+            db,
+            epsilon=EPSILON,
+            c=C,
+            method=method,
+            max_size=2,
+            release_counts=True,
+            rng=7,
+            **kwargs,
+        )
+        truth = {itemset for itemset, _ in true_top[:C]}
+        hits = sum(1 for m in mined if m.itemset in truth)
+        print(f"\n  method={method}: {hits}/{C} of the true top itemsets found")
+        for m in mined:
+            actual = db.support(m.itemset)
+            print(
+                f"    {m.itemset}: noisy support {m.noisy_support:8.1f}"
+                f"   (true {actual})"
+            )
+
+    print(
+        "\nNote: the original paper [13] used Alg. 4 here, whose real privacy"
+        f"\ncost for c={C} monotonic queries is ((1+3c)/4)*eps ="
+        f" {(1 + 3 * C) / 4 * EPSILON:g}, not eps={EPSILON:g}."
+    )
+
+
+if __name__ == "__main__":
+    main()

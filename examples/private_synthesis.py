@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Private data synthesis end to end (the PrivBayes [19] workflow).
+
+The broken SVT of Chen et al. [1] lived inside a structure-learning pipeline;
+here the same pipeline runs on correct mechanisms: private Chow-Liu structure
+(EM edge selection), Laplace conditionals, ancestral sampling — and a quality
+report comparing real vs synthetic marginals and pairwise agreements.
+
+Run:  python examples/private_synthesis.py
+"""
+
+import numpy as np
+
+from repro.applications import synthesize_binary_data, total_variation_by_attribute
+
+EPSILON = 2.0
+
+
+def build_real_data(n: int = 5_000) -> np.ndarray:
+    """Census-flavoured binary attributes with planted dependencies."""
+    rng = np.random.default_rng(42)
+    employed = (rng.random(n) < 0.65).astype(int)
+    # income tracks employment; insurance tracks income; the rest independent.
+    income_hi = np.where(rng.random(n) < 0.85, employed, 1 - employed)
+    insured = np.where(rng.random(n) < 0.8, income_hi, 1 - income_hi)
+    urban = (rng.random(n) < 0.55).astype(int)
+    married = (rng.random(n) < 0.45).astype(int)
+    return np.column_stack([employed, income_hi, insured, urban, married])
+
+
+NAMES = ["employed", "income_hi", "insured", "urban", "married"]
+
+
+def main() -> None:
+    real = build_real_data()
+    print(f"real data: {real.shape[0]} records x {real.shape[1]} binary attributes")
+
+    model = synthesize_binary_data(real, epsilon=EPSILON, rng=0)
+    print(f"\nlearned structure (eps = {EPSILON}, 30% on structure):")
+    for edge in model.edges:
+        i, j = edge.pair
+        print(f"  {NAMES[i]} -- {NAMES[j]}   (MI = {edge.score:.3f})")
+
+    synthetic = model.sample(real.shape[0], rng=1)
+    tv = total_variation_by_attribute(real, synthetic)
+    print("\nper-attribute marginal fidelity (total variation; lower is better):")
+    for name, real_mean, synth_mean, distance in zip(
+        NAMES, real.mean(axis=0), synthetic.mean(axis=0), tv
+    ):
+        print(
+            f"  {name:<10} real={real_mean:.3f}  synthetic={synth_mean:.3f}  "
+            f"TV={distance:.3f}"
+        )
+
+    def agreement(data, i, j):
+        return float(np.mean(data[:, i] == data[:, j]))
+
+    print("\npairwise agreement (the planted dependencies):")
+    for i, j in [(0, 1), (1, 2), (3, 4)]:
+        print(
+            f"  {NAMES[i]} vs {NAMES[j]}: real={agreement(real, i, j):.3f}  "
+            f"synthetic={agreement(synthetic, i, j):.3f}"
+        )
+    print(
+        "\nThe dependent pairs keep their coupling in the synthetic data; the"
+        "\nindependent pair stays near 0.5 — structure selection did its job,"
+        "\nwith correct mechanisms instead of the Alg. 6 that [1] used."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` / ``python setup.py develop`` work on environments whose
+setuptools predates PEP 660 editable wheels (or that lack the ``wheel``
+package, e.g. offline machines).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,27 @@
+"""Privacy budget accounting.
+
+SVT's selling point is precisely a budget-accounting subtlety — negative
+answers are "free" — so the library carries an explicit accounting layer.
+:class:`PrivacyBudget` is a simple allowance that mechanisms draw from;
+:class:`BudgetLedger` additionally records who spent what, which the
+interactive substrate uses to demonstrate the iterative-construction pattern
+(spend only on hard queries).
+"""
+
+from repro.accounting.budget import BudgetLedger, LedgerEntry, PrivacyBudget
+from repro.accounting.composition import (
+    advanced_composition_epsilon,
+    basic_composition,
+    max_rounds_advanced,
+    split_budget,
+)
+
+__all__ = [
+    "PrivacyBudget",
+    "BudgetLedger",
+    "LedgerEntry",
+    "basic_composition",
+    "advanced_composition_epsilon",
+    "max_rounds_advanced",
+    "split_budget",
+]

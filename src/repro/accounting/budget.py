@@ -1,0 +1,127 @@
+"""Privacy budgets and spend ledgers."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.exceptions import BudgetExhaustedError, InvalidParameterError
+
+__all__ = ["PrivacyBudget", "LedgerEntry", "BudgetLedger"]
+
+# Spends are validated against the remaining budget with a small absolute
+# slack so that splitting eps into parts that sum back to eps (e.g.
+# eps1 = eps/2, eps2 = eps - eps1) never trips on floating-point dust.
+_EPS_SLACK = 1e-9
+
+
+class PrivacyBudget:
+    """A finite epsilon allowance under sequential composition.
+
+    >>> budget = PrivacyBudget(1.0)
+    >>> budget.spend(0.25)
+    >>> budget.remaining
+    0.75
+    >>> budget.can_spend(0.8)
+    False
+    """
+
+    def __init__(self, epsilon: float) -> None:
+        epsilon = float(epsilon)
+        if epsilon <= 0.0 or not math.isfinite(epsilon):
+            raise InvalidParameterError(f"total epsilon must be finite and > 0, got {epsilon!r}")
+        self._total = epsilon
+        self._spent = 0.0
+
+    @property
+    def total(self) -> float:
+        return self._total
+
+    @property
+    def spent(self) -> float:
+        return self._spent
+
+    @property
+    def remaining(self) -> float:
+        return max(0.0, self._total - self._spent)
+
+    def can_spend(self, epsilon: float) -> bool:
+        return float(epsilon) <= self.remaining + _EPS_SLACK
+
+    def spend(self, epsilon: float) -> None:
+        """Consume *epsilon* of the budget; raise if not enough remains."""
+        epsilon = float(epsilon)
+        if epsilon < 0.0 or not math.isfinite(epsilon):
+            raise InvalidParameterError(f"spend amount must be finite and >= 0, got {epsilon!r}")
+        if not self.can_spend(epsilon):
+            raise BudgetExhaustedError(requested=epsilon, remaining=self.remaining)
+        self._spent = min(self._total, self._spent + epsilon)
+
+    def reserve(self, fraction: float) -> "PrivacyBudget":
+        """Carve out a sub-budget of ``fraction * remaining`` and spend it here.
+
+        Handy for the two-phase structure of Alg. 7 where ``eps1 + eps2`` goes
+        to the indicator vector and ``eps3`` to the numeric answers.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise InvalidParameterError("fraction must be in (0, 1]")
+        amount = self.remaining * fraction
+        if amount <= 0.0:
+            raise BudgetExhaustedError(requested=amount, remaining=self.remaining)
+        self.spend(amount)
+        return PrivacyBudget(amount)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PrivacyBudget(total={self._total:g}, spent={self._spent:g})"
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One recorded spend: which mechanism, how much, and why."""
+
+    mechanism: str
+    epsilon: float
+    note: str = ""
+
+
+@dataclass
+class BudgetLedger:
+    """A :class:`PrivacyBudget` that remembers every spend.
+
+    The interactive example uses the ledger to show that a long run of
+    below-threshold queries costs a single SVT charge rather than one Laplace
+    charge per query.
+    """
+
+    budget: PrivacyBudget
+    entries: List[LedgerEntry] = field(default_factory=list)
+
+    @classmethod
+    def with_total(cls, epsilon: float) -> "BudgetLedger":
+        return cls(budget=PrivacyBudget(epsilon))
+
+    def charge(self, mechanism: str, epsilon: float, note: str = "") -> None:
+        self.budget.spend(epsilon)
+        self.entries.append(LedgerEntry(mechanism=mechanism, epsilon=float(epsilon), note=note))
+
+    @property
+    def remaining(self) -> float:
+        return self.budget.remaining
+
+    @property
+    def spent(self) -> float:
+        return self.budget.spent
+
+    def spend_by_mechanism(self) -> dict:
+        """Total epsilon per mechanism name."""
+        totals: dict = {}
+        for entry in self.entries:
+            totals[entry.mechanism] = totals.get(entry.mechanism, 0.0) + entry.epsilon
+        return totals
+
+    def __iter__(self) -> Iterator[LedgerEntry]:
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)

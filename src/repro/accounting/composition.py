@@ -1,0 +1,96 @@
+"""Composition theorems.
+
+The paper restricts attention to pure eps-DP (Section 3.4) but mentions the
+advanced composition theorem of Dwork, Rothblum & Vadhan [9]:
+
+    running k eps-DP mechanisms satisfies (eps', delta')-DP with
+    eps' = sqrt(2 k ln(1/delta')) * eps + k * eps * (e^eps - 1).
+
+We implement both basic and advanced composition so the accounting layer can
+report either bound, plus the inverse question (how many rounds fit a target).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = [
+    "basic_composition",
+    "advanced_composition_epsilon",
+    "max_rounds_advanced",
+    "split_budget",
+]
+
+
+def basic_composition(epsilons: Sequence[float]) -> float:
+    """Sequential composition: total epsilon is the sum."""
+    total = 0.0
+    for eps in epsilons:
+        eps = float(eps)
+        if eps < 0.0 or not math.isfinite(eps):
+            raise InvalidParameterError(f"epsilon values must be finite and >= 0, got {eps!r}")
+        total += eps
+    return total
+
+
+def advanced_composition_epsilon(epsilon: float, k: int, delta: float) -> float:
+    """Total eps' for k rounds of eps-DP under (eps', delta)-advanced composition."""
+    epsilon = float(epsilon)
+    if epsilon <= 0.0 or not math.isfinite(epsilon):
+        raise InvalidParameterError(f"epsilon must be finite and > 0, got {epsilon!r}")
+    if not isinstance(k, (int,)) or k <= 0:
+        raise InvalidParameterError(f"k must be a positive integer, got {k!r}")
+    if not 0.0 < delta < 1.0:
+        raise InvalidParameterError(f"delta must be in (0, 1), got {delta!r}")
+    return math.sqrt(2.0 * k * math.log(1.0 / delta)) * epsilon + k * epsilon * (
+        math.exp(epsilon) - 1.0
+    )
+
+
+def max_rounds_advanced(per_round_epsilon: float, total_epsilon: float, delta: float) -> int:
+    """Largest k with ``advanced_composition_epsilon(eps, k, delta) <= total_epsilon``.
+
+    Monotone in k, so a doubling search followed by bisection is exact.
+    """
+    per_round_epsilon = float(per_round_epsilon)
+    total_epsilon = float(total_epsilon)
+    if per_round_epsilon <= 0.0 or total_epsilon <= 0.0:
+        raise InvalidParameterError("epsilons must be > 0")
+    if advanced_composition_epsilon(per_round_epsilon, 1, delta) > total_epsilon:
+        return 0
+    lo, hi = 1, 2
+    while advanced_composition_epsilon(per_round_epsilon, hi, delta) <= total_epsilon:
+        lo, hi = hi, hi * 2
+        if hi > 10**9:  # pragma: no cover - absurd budgets
+            return lo
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if advanced_composition_epsilon(per_round_epsilon, mid, delta) <= total_epsilon:
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def split_budget(epsilon: float, weights: Sequence[float]) -> List[float]:
+    """Split *epsilon* proportionally to *weights* (sum preserved to ~1 ulp).
+
+    ``split_budget(eps, [1, (2*c)**(2/3)])`` is how Alg. 7 consumers turn the
+    Section-4.2 allocation ratio into concrete ``eps1, eps2`` values.
+    """
+    epsilon = float(epsilon)
+    if epsilon <= 0.0 or not math.isfinite(epsilon):
+        raise InvalidParameterError(f"epsilon must be finite and > 0, got {epsilon!r}")
+    ws = [float(w) for w in weights]
+    if not ws or any((w <= 0.0 or not math.isfinite(w)) for w in ws):
+        raise InvalidParameterError("weights must be a non-empty sequence of finite positives")
+    total_weight = sum(ws)
+    parts = [epsilon * w / total_weight for w in ws]
+    # Fold the floating-point residual into the largest part, where it is
+    # relatively smallest; the final sum matches epsilon to ~1 ulp.
+    residual = epsilon - sum(parts)
+    parts[parts.index(max(parts))] += residual
+    return parts

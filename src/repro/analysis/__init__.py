@@ -1,0 +1,63 @@
+"""Analytical machinery: exact outcome probabilities, utility bounds, GPTT.
+
+* :mod:`repro.analysis.verifier` — numerically integrates the paper's Eq. (5)
+  to get *exact* outcome probabilities for each variant, from which privacy
+  ratios (and hence eps-DP violations) are computed without Monte Carlo.
+* :mod:`repro.analysis.theory` — the Section-5 utility bounds
+  (alpha_SVT vs alpha_EM) and related closed forms.
+* :mod:`repro.analysis.gptt` — the GPTT model of [2] and a numerical
+  demonstration of the subtle error in its non-privacy proof (Section 3.3 /
+  Appendix 10.3).
+"""
+
+from repro.analysis.theory import (
+    alpha_em,
+    alpha_svt,
+    alpha_ratio,
+    em_correct_selection_probability,
+)
+from repro.analysis.verifier import (
+    MechanismSpec,
+    empirical_epsilon,
+    outcome_probability,
+    privacy_ratio,
+    spec_for_variant,
+)
+from repro.analysis.accuracy import (
+    AccuracyCheck,
+    em_accuracy_check,
+    svt_accuracy_check,
+)
+from repro.analysis.lemma1 import (
+    f_side_margin,
+    g_side_margin,
+    one_side_conflict,
+    rho_shift_margin,
+)
+from repro.analysis.gptt import (
+    gptt_counterexample_ratio,
+    gptt_kappa,
+    broken_proof_would_condemn_alg1,
+)
+
+__all__ = [
+    "alpha_svt",
+    "alpha_em",
+    "alpha_ratio",
+    "em_correct_selection_probability",
+    "MechanismSpec",
+    "outcome_probability",
+    "privacy_ratio",
+    "empirical_epsilon",
+    "spec_for_variant",
+    "gptt_counterexample_ratio",
+    "f_side_margin",
+    "g_side_margin",
+    "rho_shift_margin",
+    "one_side_conflict",
+    "AccuracyCheck",
+    "svt_accuracy_check",
+    "em_accuracy_check",
+    "gptt_kappa",
+    "broken_proof_would_condemn_alg1",
+]

@@ -1,0 +1,167 @@
+"""Numerical verification of the individual proof inequalities (Section 3.1).
+
+The paper's pedagogical contribution is a *decomposed* privacy proof whose
+individual steps, checked separately, reveal exactly which shortcut each
+broken variant took.  This module makes every step a checkable function:
+
+* Eq. (3):  ``Pr[q(D)+nu < T+z] <= Pr[q(D')+nu < T+(z+Delta)]`` — the
+  f-side bound, which holds **even with no query noise** (the observation
+  that misled Alg. 5).
+* The rho-shift bound:  ``Pr[rho=z] <= e^{eps1} Pr[rho=z+Delta]``.
+* Eqs. (8)-(10): the g-side bound ``g_D(z) <= e^{eps2} g_D'(z+Delta)``
+  requires query noise of scale ``2c*Delta/eps2``.
+* The "one side only" lemma: f needs the shift ``z + Delta`` while the
+  symmetric g-side trick would need ``z - Delta`` — a *single* change of
+  variable cannot serve both, which is the error shared by Alg. 5/6
+  (Section 3.1's closing remark).
+
+All functions return the worst violation margin over a grid (<= 0 means the
+inequality holds), so tests can assert them and, just as importantly, assert
+that the *insufficient* configurations fail.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.mechanisms.laplace import laplace_cdf, laplace_pdf, laplace_sf
+
+__all__ = [
+    "f_side_margin",
+    "rho_shift_margin",
+    "g_side_margin",
+    "one_side_conflict",
+]
+
+
+def _grid(width: float, points: int = 2001) -> np.ndarray:
+    return np.linspace(-width, width, points)
+
+
+def f_side_margin(
+    q_d: float,
+    q_d_prime: float,
+    sensitivity: float = 1.0,
+    query_scale: float = 0.0,
+    threshold: float = 0.0,
+    width: float = 30.0,
+) -> float:
+    """Worst violation of Eq. (3) over a z-grid (<= 0 means it holds).
+
+    ``Pr[q(D)+nu < T+z] - Pr[q(D')+nu < T+(z+Delta)]`` maximized over z.
+    Holds whenever ``|q(D) - q(D')| <= Delta`` — including ``query_scale=0``
+    (no noise), which is precisely why Lemma 1 alone cannot indict Alg. 5.
+    """
+    if abs(q_d - q_d_prime) > sensitivity + 1e-12:
+        raise InvalidParameterError("answers must differ by at most the sensitivity")
+    zs = _grid(width)
+    if query_scale == 0.0:
+        lhs = (q_d < threshold + zs).astype(float)
+        rhs = (q_d_prime < threshold + zs + sensitivity).astype(float)
+    else:
+        lhs = laplace_cdf(threshold + zs - q_d, query_scale)
+        rhs = laplace_cdf(threshold + zs + sensitivity - q_d_prime, query_scale)
+    return float(np.max(lhs - rhs))
+
+
+def rho_shift_margin(eps1: float, sensitivity: float = 1.0, width: float = 30.0) -> float:
+    """Worst violation of ``p(z) <= e^{eps1} p(z+Delta)`` for rho ~ Lap(Delta/eps1)."""
+    if eps1 <= 0.0:
+        raise InvalidParameterError("eps1 must be > 0")
+    scale = sensitivity / eps1
+    zs = _grid(width * scale)
+    lhs = laplace_pdf(zs, scale)
+    rhs = math.exp(eps1) * laplace_pdf(zs + sensitivity, scale)
+    return float(np.max(lhs - rhs))
+
+
+def g_side_margin(
+    eps2: float,
+    c: int,
+    query_scale: float,
+    sensitivity: float = 1.0,
+    monotonic_shift: bool = False,
+    width: float = 60.0,
+) -> float:
+    """Worst violation of the per-positive g-side bound (Eqs. (8)-(10)).
+
+    Checks ``Pr[q(D)+nu >= T+z] <= e^{eps2/c} Pr[q(D')+nu >= T+(z+Delta)]``
+    for the extremal neighboring pair ``q(D') = q(D) - Delta`` (the 2*Delta
+    total shift of the general case), maximized over z.  The bound holds iff
+    ``query_scale >= 2c*Delta/eps2``; with ``monotonic_shift=True`` the pair
+    is one-directional (``q(D') = q(D) + Delta`` against the unshifted
+    threshold) and ``c*Delta/eps2`` suffices — Theorem 5's content.
+    """
+    if eps2 <= 0.0 or c <= 0 or query_scale <= 0.0:
+        raise InvalidParameterError("eps2, c, query_scale must all be > 0")
+    zs = _grid(width * query_scale / max(c, 1))
+    if monotonic_shift:
+        # One-directional case (first branch of Theorem 5's proof):
+        # Pr[q+nu >= T+z] <= e^{eps2/c} Pr[(q-Delta)+nu >= T+z].
+        lhs = laplace_sf(zs, query_scale)
+        rhs = math.exp(eps2 / c) * laplace_sf(zs + sensitivity, query_scale)
+    else:
+        # General case: answer drops by Delta AND the threshold rises by Delta.
+        lhs = laplace_sf(zs, query_scale)
+        rhs = math.exp(eps2 / c) * laplace_sf(zs + 2.0 * sensitivity, query_scale)
+    return float(np.max(lhs - rhs))
+
+
+@dataclass(frozen=True)
+class OneSideConflict:
+    """Quantifies the Section-3.1 closing remark.
+
+    For the mixed outcome with answers moving in opposite directions, the
+    f-side wants the substitution ``z -> z + Delta`` and the g-side wants
+    ``z -> z - Delta``.  ``f_margin_with_plus`` / ``g_margin_with_plus``
+    report each side's worst violation under the *same* ``+Delta`` shift
+    (with no query noise, Alg.-5 style): f holds, g breaks — and symmetric
+    for ``-Delta``.  Both positive conflicts simultaneously is what makes
+    noiseless mixed outputs unfixable.
+    """
+
+    f_margin_with_plus: float
+    g_margin_with_plus: float
+    f_margin_with_minus: float
+    g_margin_with_minus: float
+
+    @property
+    def conflict(self) -> bool:
+        """True when no single shift direction serves both sides."""
+        plus_works = self.f_margin_with_plus <= 0.0 and self.g_margin_with_plus <= 0.0
+        minus_works = self.f_margin_with_minus <= 0.0 and self.g_margin_with_minus <= 0.0
+        return not (plus_works or minus_works)
+
+
+def one_side_conflict(sensitivity: float = 1.0, width: float = 30.0) -> OneSideConflict:
+    """Demonstrate that ⊥- and ⊤-sides need opposite shifts (no query noise).
+
+    Uses the extremal pair: a ⊥-query with ``q(D) = q(D') - Delta`` and a
+    ⊤-query with ``q(D) = q(D') + Delta`` (both against threshold 0), i.e.
+    the Theorem-3 geometry.
+    """
+    zs = _grid(width)
+
+    def f_term(shift: float) -> float:
+        # Pr[q_bot(D) < z] <= Pr[q_bot(D') < z + shift] with q_bot(D)=0, q_bot(D')=1.
+        lhs = (0.0 < zs).astype(float)
+        rhs = (1.0 < zs + shift).astype(float)
+        return float(np.max(lhs - rhs))
+
+    def g_term(shift: float) -> float:
+        # Pr[q_top(D) >= z] <= Pr[q_top(D') >= z + shift] with q_top(D)=1, q_top(D')=0.
+        lhs = (1.0 >= zs).astype(float)
+        rhs = (0.0 >= zs + shift).astype(float)
+        return float(np.max(lhs - rhs))
+
+    return OneSideConflict(
+        f_margin_with_plus=f_term(+sensitivity),
+        g_margin_with_plus=g_term(+sensitivity),
+        f_margin_with_minus=f_term(-sensitivity),
+        g_margin_with_minus=g_term(-sensitivity),
+    )

@@ -1,0 +1,89 @@
+"""Closed-form utility analysis of SVT vs EM (Section 5).
+
+The paper quotes Theorem 3.24 of Dwork & Roth for SVT with ``c = Delta = 1``:
+for k queries where only the last can be near/above the threshold, SVT is
+(alpha, beta)-accurate for
+
+    alpha_SVT = 8 (log k + log(2/beta)) / eps.
+
+For EM in the same single-winner setting (k-1 queries with answers at most
+``T - alpha`` and one at least ``T + alpha``), the correct selection
+probability is at least
+
+    e^{eps (T+alpha) / 2} / ((k-1) e^{eps (T-alpha)/2} + e^{eps (T+alpha)/2}),
+
+and requiring this to be >= 1 - beta yields
+
+    alpha_EM = (log(k-1) + log((1-beta)/beta)) / eps,
+
+"less than 1/8 of alpha_SVT" — the analytical seed of the paper's
+recommendation to use EM in the non-interactive setting.  All logs natural,
+as in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = [
+    "alpha_svt",
+    "alpha_em",
+    "alpha_ratio",
+    "em_correct_selection_probability",
+    "em_beta_for_alpha",
+]
+
+
+def _validate(k: int, beta: float, epsilon: float) -> None:
+    if not isinstance(k, (int,)) or k < 2:
+        raise InvalidParameterError(f"k must be an integer >= 2, got {k!r}")
+    if not 0.0 < beta < 1.0:
+        raise InvalidParameterError(f"beta must be in (0, 1), got {beta!r}")
+    if epsilon <= 0.0 or not math.isfinite(epsilon):
+        raise InvalidParameterError(f"epsilon must be finite and > 0, got {epsilon!r}")
+
+
+def alpha_svt(k: int, beta: float, epsilon: float) -> float:
+    """SVT's (alpha, beta)-accuracy bound: ``8 (ln k + ln(2/beta)) / eps``."""
+    _validate(k, beta, epsilon)
+    return 8.0 * (math.log(k) + math.log(2.0 / beta)) / epsilon
+
+
+def alpha_em(k: int, beta: float, epsilon: float) -> float:
+    """EM's (alpha, beta)-correctness bound: ``(ln(k-1) + ln((1-beta)/beta)) / eps``."""
+    _validate(k, beta, epsilon)
+    return (math.log(k - 1.0) + math.log((1.0 - beta) / beta)) / epsilon
+
+
+def alpha_ratio(k: int, beta: float, epsilon: float = 1.0) -> float:
+    """``alpha_EM / alpha_SVT`` — the paper says this is below 1/8.
+
+    Independent of epsilon (both alphas scale as 1/eps); the parameter is
+    accepted for interface symmetry.
+    """
+    return alpha_em(k, beta, epsilon) / alpha_svt(k, beta, epsilon)
+
+
+def em_correct_selection_probability(
+    k: int, alpha: float, epsilon: float, threshold: float = 0.0
+) -> float:
+    """The paper's lower bound on EM picking the unique good query.
+
+    Setting: k-1 queries with answers <= T - alpha and one with answer
+    >= T + alpha; monotonic quality exponent ``eps/2`` as in the Section 5
+    display.  Computed in a numerically careful way (the naive formula
+    overflows for large ``eps * T``).
+    """
+    _validate(k, 0.5, epsilon)  # beta unused here; reuse validation for k, eps
+    if alpha < 0.0:
+        raise InvalidParameterError(f"alpha must be >= 0, got {alpha!r}")
+    # p = A / ((k-1) B + A) with A = e^{eps(T+alpha)/2}, B = e^{eps(T-alpha)/2}
+    #   = 1 / (1 + (k-1) e^{-eps alpha}).
+    return 1.0 / (1.0 + (k - 1.0) * math.exp(-epsilon * alpha))
+
+
+def em_beta_for_alpha(k: int, alpha: float, epsilon: float) -> float:
+    """Failure probability beta implied by the EM bound at a given alpha."""
+    return 1.0 - em_correct_selection_probability(k, alpha, epsilon)

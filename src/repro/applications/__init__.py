@@ -1,0 +1,53 @@
+"""The paper's motivating applications, rebuilt on this library.
+
+Each module corresponds to one of the (mis)users of SVT analyzed in the
+paper, re-implemented *correctly* on the repro substrates:
+
+* :mod:`repro.applications.itemset_mining` — top-c frequent itemset mining
+  (Lee & Clifton [13]'s task) via correct SVT or EM.
+* :mod:`repro.applications.feature_selection` — private feature selection for
+  classification (Stoddard et al. [18]'s task).
+* :mod:`repro.applications.bayes_net` — selecting highly-correlated attribute
+  pairs for a Bayesian-network / Chow-Liu structure (Chen et al. [1]'s task).
+* :mod:`repro.applications.gradient_selection` — selective gradient sharing
+  for private learning (Shokri & Shmatikov [17]'s task).
+"""
+
+from repro.applications.itemset_mining import MinedItemset, private_top_c_itemsets
+from repro.applications.feature_selection import (
+    FeatureSelectionResult,
+    make_classification_data,
+    private_feature_selection,
+)
+from repro.applications.bayes_net import (
+    EdgeScore,
+    mutual_information,
+    mutual_information_sensitivity,
+    private_structure_edges,
+)
+from repro.applications.data_synthesis import (
+    SynthesisModel,
+    synthesize_binary_data,
+    total_variation_by_attribute,
+)
+from repro.applications.gradient_selection import (
+    SelectiveSharingRound,
+    selective_gradient_sharing,
+)
+
+__all__ = [
+    "private_top_c_itemsets",
+    "MinedItemset",
+    "private_feature_selection",
+    "make_classification_data",
+    "FeatureSelectionResult",
+    "mutual_information",
+    "mutual_information_sensitivity",
+    "private_structure_edges",
+    "EdgeScore",
+    "selective_gradient_sharing",
+    "SelectiveSharingRound",
+    "SynthesisModel",
+    "synthesize_binary_data",
+    "total_variation_by_attribute",
+]

@@ -1,0 +1,24 @@
+"""Non-privacy demonstrations.
+
+:mod:`repro.attacks.counterexamples` packages the paper's Theorems 3, 6, 7
+as runnable constructions with exact (integrated) and closed-form ratios;
+:mod:`repro.attacks.estimator` provides a black-box Monte-Carlo epsilon
+estimator for cross-checking any mechanism empirically.
+"""
+
+from repro.attacks.counterexamples import (
+    Counterexample,
+    theorem3_stoddard,
+    theorem6_roth,
+    theorem7_chen,
+)
+from repro.attacks.estimator import estimate_event_epsilon, event_frequency
+
+__all__ = [
+    "Counterexample",
+    "theorem3_stoddard",
+    "theorem6_roth",
+    "theorem7_chen",
+    "estimate_event_epsilon",
+    "event_frequency",
+]

@@ -1,0 +1,151 @@
+"""The paper's non-privacy counterexamples, as runnable constructions.
+
+Each theorem exhibits a pair of neighboring answer vectors and a target
+outcome whose probability ratio between the two grows without bound (or is
+literally ∞).  We return both the closed-form bound proved in the paper and
+an exact numeric value from the Eq.-(5) integrator, so tests can check them
+against each other — and so the same machinery can show that Alg. 1 on the
+very same inputs stays within its eps budget.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.verifier import (
+    MechanismSpec,
+    outcome_probability,
+    spec_for_variant,
+)
+from repro.exceptions import InvalidParameterError
+
+__all__ = [
+    "Counterexample",
+    "theorem3_stoddard",
+    "theorem6_roth",
+    "theorem7_chen",
+]
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A concrete eps-DP violation witness.
+
+    ``ratio`` is ``Pr[A(D) = outcome] / Pr[A(D') = outcome]`` computed by
+    exact integration (``inf`` when the denominator is 0);
+    ``closed_form_bound`` is the paper's analytical value/lower bound for the
+    same ratio.  ``epsilon_refuted`` says which eps-DP claims this witness
+    disproves: any eps with ``e^eps < ratio``.
+    """
+
+    theorem: str
+    variant: str
+    epsilon: float
+    answers_d: List[float]
+    answers_d_prime: List[float]
+    pattern: List[bool]
+    thresholds: float
+    ratio: float
+    closed_form_bound: float
+    numeric_values: Optional[List[float]] = None
+
+    def epsilon_refuted(self) -> float:
+        """The largest eps'-DP claim this witness refutes (ln of the ratio)."""
+        if self.ratio == math.inf:
+            return math.inf
+        return math.log(self.ratio)
+
+
+def theorem3_stoddard(epsilon: float = 1.0) -> Counterexample:
+    """Theorem 3: Alg. 5 (no query noise) is not eps'-DP for any finite eps'.
+
+    ``T = 0``, ``Delta = 1``, ``q(D) = (0, 1)``, ``q(D') = (1, 0)``,
+    ``a = (⊥, ⊤)``.  On D the outcome needs ``0 < z <= 1`` (positive
+    probability); on D' it needs ``1 < z`` and ``z <= 0`` simultaneously
+    (impossible).  The ratio is exactly ∞.
+    """
+    spec = spec_for_variant("alg5", epsilon, c=1)
+    answers_d = [0.0, 1.0]
+    answers_d_prime = [1.0, 0.0]
+    pattern = [False, True]
+    p_d = outcome_probability(spec, answers_d, pattern, thresholds=0.0)
+    p_dp = outcome_probability(spec, answers_d_prime, pattern, thresholds=0.0)
+    ratio = math.inf if p_dp <= 0.0 < p_d else (p_d / p_dp if p_dp else 1.0)
+    return Counterexample(
+        theorem="Theorem 3",
+        variant="alg5",
+        epsilon=epsilon,
+        answers_d=answers_d,
+        answers_d_prime=answers_d_prime,
+        pattern=pattern,
+        thresholds=0.0,
+        ratio=ratio,
+        closed_form_bound=math.inf,
+    )
+
+
+def theorem6_roth(m: int, epsilon: float = 1.0) -> Counterexample:
+    """Theorem 6: Alg. 3 (outputs noisy answers) has ratio exactly e^{(m-1)eps/2}.
+
+    ``c = 1``, ``T = 0``, ``Delta = 1``, ``m+1`` queries with
+    ``q(D) = 0^m, Delta`` and ``q(D') = Delta^m, 0``; the outcome is
+    ``⊥^m`` followed by the numeric value 0.  Releasing 0 pins the noisy
+    threshold below 0, which breaks the change-of-variable in the privacy
+    proof; Appendix 10.1 computes the density ratio to be exactly
+    ``e^{(m-1) eps/2}``.
+    """
+    if not isinstance(m, int) or m < 1:
+        raise InvalidParameterError(f"m must be a positive integer, got {m!r}")
+    spec = spec_for_variant("alg3", epsilon, c=1)
+    answers_d = [0.0] * m + [1.0]
+    answers_d_prime = [1.0] * m + [0.0]
+    pattern = [False] * m + [True]
+    numeric_values = [0.0]
+    p_d = outcome_probability(spec, answers_d, pattern, 0.0, numeric_values)
+    p_dp = outcome_probability(spec, answers_d_prime, pattern, 0.0, numeric_values)
+    ratio = p_d / p_dp if p_dp > 0.0 else math.inf
+    return Counterexample(
+        theorem="Theorem 6",
+        variant="alg3",
+        epsilon=epsilon,
+        answers_d=answers_d,
+        answers_d_prime=answers_d_prime,
+        pattern=pattern,
+        thresholds=0.0,
+        ratio=ratio,
+        closed_form_bound=math.exp((m - 1) * epsilon / 2.0),
+        numeric_values=numeric_values,
+    )
+
+
+def theorem7_chen(m: int, epsilon: float = 1.0) -> Counterexample:
+    """Theorem 7: Alg. 6 (no cutoff) has ratio at least e^{m*eps/2}.
+
+    ``Delta = 1``, ``T = 0``, 2m queries with ``q(D) = 0^{2m}``,
+    ``q(D') = 1^m (-1)^m``, outcome ``⊥^m ⊤^m``.  The paper lower-bounds the
+    ratio of the integrands pointwise by ``e^{eps/2}`` per query pair.
+    """
+    if not isinstance(m, int) or m < 1:
+        raise InvalidParameterError(f"m must be a positive integer, got {m!r}")
+    spec = spec_for_variant("alg6", epsilon, c=1)
+    answers_d = [0.0] * (2 * m)
+    answers_d_prime = [1.0] * m + [-1.0] * m
+    pattern = [False] * m + [True] * m
+    p_d = outcome_probability(spec, answers_d, pattern, thresholds=0.0)
+    p_dp = outcome_probability(spec, answers_d_prime, pattern, thresholds=0.0)
+    ratio = p_d / p_dp if p_dp > 0.0 else math.inf
+    return Counterexample(
+        theorem="Theorem 7",
+        variant="alg6",
+        epsilon=epsilon,
+        answers_d=answers_d,
+        answers_d_prime=answers_d_prime,
+        pattern=pattern,
+        thresholds=0.0,
+        ratio=ratio,
+        closed_form_bound=math.exp(m * epsilon / 2.0),
+    )

@@ -1,0 +1,55 @@
+"""The paper's primary contribution: a correct, better-utility SVT.
+
+* :mod:`repro.core.base` — response symbols, run results, threshold handling.
+* :mod:`repro.core.svt` — Alg. 1 and the generalized Alg. 7 (streaming and
+  vectorized batch forms, monotonic mode, optional numeric-output phase).
+* :mod:`repro.core.allocation` — Section 4.2 privacy-budget allocation.
+* :mod:`repro.core.retraversal` — Section 5 "SVT with Retraversal".
+* :mod:`repro.core.selection` — one facade for private top-c selection.
+"""
+
+from repro.core.base import (
+    ABOVE,
+    BELOW,
+    Response,
+    SVTResult,
+    normalize_thresholds,
+)
+from repro.core.allocation import (
+    BudgetAllocation,
+    allocate,
+    comparison_std,
+    comparison_variance,
+    optimal_ratio_exponent_weight,
+)
+from repro.core.svt import StandardSVT, svt_alg1, run_svt, run_svt_batch
+from repro.core.epsilon_delta import (
+    EpsilonDeltaAllocation,
+    per_positive_epsilon,
+    run_svt_epsilon_delta,
+)
+from repro.core.retraversal import RetraversalResult, svt_retraversal
+from repro.core.selection import select_top_c
+
+__all__ = [
+    "ABOVE",
+    "BELOW",
+    "Response",
+    "SVTResult",
+    "normalize_thresholds",
+    "BudgetAllocation",
+    "allocate",
+    "comparison_variance",
+    "comparison_std",
+    "optimal_ratio_exponent_weight",
+    "StandardSVT",
+    "svt_alg1",
+    "run_svt",
+    "run_svt_batch",
+    "svt_retraversal",
+    "RetraversalResult",
+    "select_top_c",
+    "EpsilonDeltaAllocation",
+    "per_positive_epsilon",
+    "run_svt_epsilon_delta",
+]

@@ -1,0 +1,207 @@
+"""Privacy-budget allocation between threshold noise and query noise (Sec. 4.2).
+
+Alg. 7 splits its indicator-phase budget into ``eps1`` (threshold noise
+``rho = Lap(Delta/eps1)``) and ``eps2`` (query noise ``nu = Lap(2c*Delta/eps2)``,
+or ``Lap(c*Delta/eps2)`` in the monotonic case).  The accuracy of each
+comparison ``q_i + nu_i >= T_i + rho`` is governed by the variance of
+``rho - nu_i``:
+
+    Var = 2*(Delta/eps1)^2 + 2*(2c*Delta/eps2)^2        (general)
+    Var = 2*(Delta/eps1)^2 + 2*(c*Delta/eps2)^2          (monotonic)
+
+Minimizing subject to ``eps1 + eps2 = eps`` gives (paper Eq. (12))
+
+    eps1 : eps2 = 1 : (2c)^(2/3)        (general)
+    eps1 : eps2 = 1 : c^(2/3)            (monotonic)
+
+This module provides the named ratios evaluated in Section 6 ("1:1", "1:3",
+"1:c", "1:c^(2/3)") plus the general-case optimum, the variance model, and a
+grid-search helper used by tests to confirm the closed-form optimum.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = [
+    "BudgetAllocation",
+    "allocate",
+    "comparison_variance",
+    "comparison_std",
+    "optimal_ratio_exponent_weight",
+    "grid_search_allocation",
+    "RATIO_NAMES",
+]
+
+#: Named eps1:eps2 ratios from the paper's evaluation (Figure 4 legends).
+RATIO_NAMES = ("1:1", "1:3", "1:c", "1:c^(2/3)", "1:(2c)^(2/3)")
+
+
+def _query_noise_factor(c: int, monotonic: bool) -> float:
+    """The multiplier on ``Delta/eps2`` in the query-noise scale."""
+    return float(c) if monotonic else 2.0 * float(c)
+
+
+def _validate(epsilon: float, c: int) -> Tuple[float, int]:
+    epsilon = float(epsilon)
+    if epsilon <= 0.0 or not math.isfinite(epsilon):
+        raise InvalidParameterError(f"epsilon must be finite and > 0, got {epsilon!r}")
+    if not isinstance(c, (int,)) or c <= 0:
+        raise InvalidParameterError(f"c must be a positive integer, got {c!r}")
+    return epsilon, c
+
+
+def optimal_ratio_exponent_weight(c: int, monotonic: bool = False) -> float:
+    """The eps2-side weight of the optimal ratio: ``(2c)^(2/3)`` or ``c^(2/3)``."""
+    if c <= 0:
+        raise InvalidParameterError(f"c must be a positive integer, got {c!r}")
+    base = float(c) if monotonic else 2.0 * float(c)
+    return base ** (2.0 / 3.0)
+
+
+def _ratio_weight(ratio: Union[str, float], c: int, monotonic: bool) -> float:
+    """Resolve a ratio spec to the weight w in ``eps1:eps2 = 1:w``."""
+    if isinstance(ratio, str):
+        name = ratio.strip().lower().replace(" ", "")
+        if name == "1:1":
+            return 1.0
+        if name == "1:3":
+            return 3.0
+        if name == "1:c":
+            return float(c)
+        if name in ("1:c^(2/3)", "1:c^(2⁄3)", "1:c23", "1:c^2/3"):
+            return float(c) ** (2.0 / 3.0)
+        if name in ("1:(2c)^(2/3)", "1:(2c)23", "1:(2c)^2/3"):
+            return (2.0 * float(c)) ** (2.0 / 3.0)
+        if name in ("optimal", "opt"):
+            return optimal_ratio_exponent_weight(c, monotonic)
+        raise InvalidParameterError(
+            f"unknown ratio {ratio!r}; known: {RATIO_NAMES + ('optimal',)}"
+        )
+    weight = float(ratio)
+    if weight <= 0.0 or not math.isfinite(weight):
+        raise InvalidParameterError(f"ratio weight must be finite and > 0, got {ratio!r}")
+    return weight
+
+
+def allocate(
+    epsilon: float,
+    c: int,
+    ratio: Union[str, float] = "optimal",
+    monotonic: bool = False,
+) -> Tuple[float, float]:
+    """Split *epsilon* into ``(eps1, eps2)`` according to *ratio*.
+
+    *ratio* may be one of the paper's named ratios, the string ``"optimal"``
+    (Section 4.2's closed form, respecting *monotonic*), or a positive float
+    ``w`` meaning ``eps1:eps2 = 1:w``.
+    """
+    epsilon, c = _validate(epsilon, c)
+    weight = _ratio_weight(ratio, c, monotonic)
+    eps1 = epsilon / (1.0 + weight)
+    return eps1, epsilon - eps1
+
+
+def comparison_variance(
+    eps1: float,
+    eps2: float,
+    c: int,
+    sensitivity: float = 1.0,
+    monotonic: bool = False,
+) -> float:
+    """Variance of ``Lap(Delta/eps1) - Lap(k*c*Delta/eps2)`` for the given split."""
+    if eps1 <= 0.0 or eps2 <= 0.0:
+        raise InvalidParameterError("eps1 and eps2 must both be > 0")
+    if c <= 0:
+        raise InvalidParameterError(f"c must be a positive integer, got {c!r}")
+    delta = float(sensitivity)
+    if delta <= 0.0 or not math.isfinite(delta):
+        raise InvalidParameterError(f"sensitivity must be finite and > 0, got {delta!r}")
+    factor = _query_noise_factor(c, monotonic)
+    return 2.0 * (delta / eps1) ** 2 + 2.0 * (factor * delta / eps2) ** 2
+
+
+def comparison_std(
+    eps1: float,
+    eps2: float,
+    c: int,
+    sensitivity: float = 1.0,
+    monotonic: bool = False,
+) -> float:
+    """Standard deviation of the comparison noise (square root of the above)."""
+    return math.sqrt(comparison_variance(eps1, eps2, c, sensitivity, monotonic))
+
+
+def grid_search_allocation(
+    epsilon: float,
+    c: int,
+    sensitivity: float = 1.0,
+    monotonic: bool = False,
+    num_points: int = 10_000,
+) -> Tuple[float, float]:
+    """Numerically minimize the comparison variance over eps1 in (0, eps).
+
+    Exists to validate the closed-form optimum; tests assert it agrees with
+    :func:`allocate(..., ratio="optimal")` to fine tolerance.
+    """
+    epsilon, c = _validate(epsilon, c)
+    if num_points < 3:
+        raise InvalidParameterError("num_points must be at least 3")
+    best: Tuple[float, float] = (math.inf, epsilon / 2.0)
+    for i in range(1, num_points):
+        eps1 = epsilon * i / num_points
+        var = comparison_variance(eps1, epsilon - eps1, c, sensitivity, monotonic)
+        if var < best[0]:
+            best = (var, eps1)
+    eps1 = best[1]
+    return eps1, epsilon - eps1
+
+
+@dataclass(frozen=True)
+class BudgetAllocation:
+    """A resolved three-way split ``(eps1, eps2, eps3)`` for Alg. 7.
+
+    ``eps1 + eps2`` funds the indicator vector and ``eps3`` the optional
+    numeric answers; :meth:`total` is the overall privacy cost (Theorem 4).
+    """
+
+    eps1: float
+    eps2: float
+    eps3: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name, value in (("eps1", self.eps1), ("eps2", self.eps2), ("eps3", self.eps3)):
+            value = float(value)
+            if not math.isfinite(value) or value < 0.0:
+                raise InvalidParameterError(f"{name} must be finite and >= 0, got {value!r}")
+        if self.eps1 <= 0.0 or self.eps2 <= 0.0:
+            raise InvalidParameterError("eps1 and eps2 must both be > 0")
+
+    @property
+    def total(self) -> float:
+        return self.eps1 + self.eps2 + self.eps3
+
+    @classmethod
+    def from_ratio(
+        cls,
+        epsilon: float,
+        c: int,
+        ratio: Union[str, float] = "optimal",
+        monotonic: bool = False,
+        numeric_fraction: float = 0.0,
+    ) -> "BudgetAllocation":
+        """Build a split from a total budget.
+
+        *numeric_fraction* of *epsilon* is reserved for the numeric phase
+        (eps3); the rest is divided between eps1 and eps2 by *ratio*.
+        """
+        epsilon = float(epsilon)
+        if not 0.0 <= numeric_fraction < 1.0:
+            raise InvalidParameterError("numeric_fraction must be in [0, 1)")
+        eps3 = epsilon * numeric_fraction
+        eps1, eps2 = allocate(epsilon - eps3, c, ratio=ratio, monotonic=monotonic)
+        return cls(eps1=eps1, eps2=eps2, eps3=eps3)

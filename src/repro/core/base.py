@@ -1,0 +1,115 @@
+"""Shared SVT vocabulary: response symbols, results, threshold handling.
+
+The paper's algorithms output a stream over ``{⊤, ⊥} ∪ R`` — "above",
+"below", or (for Alg. 3 and Alg. 7 with eps3 > 0) a numeric answer.  We model
+⊤/⊥ with the :class:`Response` enum and keep numeric answers as floats, so a
+transcript is a list of ``Response | float``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["Response", "ABOVE", "BELOW", "Answer", "SVTResult", "normalize_thresholds"]
+
+
+class Response(enum.Enum):
+    """The two indicator outputs of an SVT: ⊤ (above) and ⊥ (below)."""
+
+    ABOVE = "⊤"
+    BELOW = "⊥"
+
+    def __repr__(self) -> str:
+        return self.value
+
+    def __str__(self) -> str:
+        return self.value
+
+    @property
+    def is_positive(self) -> bool:
+        return self is Response.ABOVE
+
+
+ABOVE = Response.ABOVE
+BELOW = Response.BELOW
+
+#: One SVT output: an indicator or (Alg. 3 / Alg. 7 with eps3>0) a noisy answer.
+Answer = Union[Response, float]
+
+
+@dataclass
+class SVTResult:
+    """The transcript of one SVT run.
+
+    Attributes
+    ----------
+    answers:
+        The output stream, one entry per *processed* query, in query order.
+        Entries are :data:`ABOVE`, :data:`BELOW`, or a float (numeric phase).
+    positives:
+        Indices (into the processed prefix) that produced a positive outcome.
+    processed:
+        Number of queries consumed before the algorithm halted (or the stream
+        ended).  ``processed == len(answers)``.
+    halted:
+        True when the run stopped because the cutoff c was reached, False when
+        the input stream was exhausted first.
+    noisy_threshold_trace:
+        The noisy-threshold value(s) used.  A single entry for algorithms that
+        never refresh rho; one entry per refresh for Alg. 2.  Exposed for the
+        analysis tooling, never released by the mechanism itself.
+    """
+
+    answers: List[Answer] = field(default_factory=list)
+    positives: List[int] = field(default_factory=list)
+    processed: int = 0
+    halted: bool = False
+    noisy_threshold_trace: List[float] = field(default_factory=list)
+
+    @property
+    def num_positives(self) -> int:
+        return len(self.positives)
+
+    def indicator_vector(self) -> np.ndarray:
+        """Boolean vector over processed queries: True where the outcome was positive.
+
+        Numeric answers count as positive (they are only produced above the
+        threshold).
+        """
+        out = np.zeros(self.processed, dtype=bool)
+        out[self.positives] = True
+        return out
+
+    def __len__(self) -> int:
+        return self.processed
+
+
+def normalize_thresholds(
+    thresholds: Union[float, Sequence[float], np.ndarray],
+    n: int,
+) -> np.ndarray:
+    """Expand a scalar or per-query threshold spec to a length-*n* float array.
+
+    The paper (Figure 1 footnote) notes that per-query thresholds are
+    syntactic sugar: subtracting ``T_i`` from ``q_i`` and thresholding at 0 is
+    equivalent.  We keep explicit thresholds for fidelity to the listed
+    algorithms, normalizing both forms here.
+    """
+    if n < 0:
+        raise InvalidParameterError("n must be non-negative")
+    arr = np.asarray(thresholds, dtype=float)
+    if arr.ndim == 0:
+        return np.full(n, float(arr))
+    if arr.ndim != 1:
+        raise InvalidParameterError("thresholds must be a scalar or a 1-D sequence")
+    if arr.size < n:
+        raise InvalidParameterError(
+            f"got {arr.size} thresholds for {n} queries; need at least one per query"
+        )
+    return arr[:n].astype(float, copy=False)

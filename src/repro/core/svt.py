@@ -1,0 +1,304 @@
+"""The paper's proposed SVT: Alg. 1 and the generalized Alg. 7.
+
+Two implementations are provided on purpose:
+
+* :class:`StandardSVT` — an exact, query-at-a-time transliteration of Alg. 7
+  (Figure 1).  This is the form usable in the *interactive* setting, where
+  queries arrive one by one and the mechanism must answer before seeing the
+  next.  Alg. 1 is the instantiation ``eps1 = eps/2, eps3 = 0`` (see
+  :func:`svt_alg1`).
+* :func:`run_svt_batch` — a vectorized run over a whole query-answer array,
+  used by the experiment harness where a single trial may traverse millions
+  of queries.  It samples the very same random variables (one rho, one nu per
+  examined query) and therefore has exactly the same output distribution as
+  the streaming form; a distributional test enforces this.
+
+Privacy (Theorems 2, 4, 5):  the full mechanism is
+``(eps1 + eps2 + eps3)``-DP; with ``monotonic=True`` the query-noise scale
+drops from ``2c*Delta/eps2`` to ``c*Delta/eps2``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.allocation import BudgetAllocation
+from repro.core.base import ABOVE, BELOW, Answer, Response, SVTResult, normalize_thresholds
+from repro.exceptions import InvalidParameterError, PrivacyError
+from repro.rng import RngLike, ensure_rng
+
+__all__ = ["StandardSVT", "svt_alg1", "run_svt", "run_svt_batch"]
+
+
+def _validate_common(sensitivity: float, c: int) -> None:
+    if float(sensitivity) <= 0.0 or not math.isfinite(float(sensitivity)):
+        raise InvalidParameterError(
+            f"sensitivity must be finite and > 0, got {sensitivity!r}"
+        )
+    if not isinstance(c, (int, np.integer)) or int(c) <= 0:
+        raise InvalidParameterError(f"c must be a positive integer, got {c!r}")
+
+
+class StandardSVT:
+    """Alg. 7 — "Our Proposed Standard SVT" — as an interactive object.
+
+    Parameters
+    ----------
+    allocation:
+        The ``(eps1, eps2, eps3)`` split.  Use
+        :meth:`repro.core.allocation.BudgetAllocation.from_ratio` to build one
+        from a total budget and a named ratio.
+    sensitivity:
+        Global sensitivity ``Delta`` shared by all queries.
+    c:
+        Cutoff: the run halts after c positive outcomes.
+    monotonic:
+        When True, all queries are promised to be monotonic (Section 4.3) and
+        the query noise scale is ``c*Delta/eps2`` instead of ``2c*Delta/eps2``
+        (Theorem 5).  The numeric phase keeps scale ``c*Delta/eps3``.
+    rng:
+        Seed or generator for all noise in this run.
+
+    Examples
+    --------
+    >>> alloc = BudgetAllocation.from_ratio(epsilon=1.0, c=2, ratio="1:1")
+    >>> svt = StandardSVT(alloc, sensitivity=1.0, c=2, rng=7)
+    >>> out = [svt.process(v, threshold=10.0) for v in [0.0, 3.0, 250.0]]
+    >>> out[2]
+    ⊤
+    """
+
+    def __init__(
+        self,
+        allocation: BudgetAllocation,
+        sensitivity: float = 1.0,
+        c: int = 1,
+        monotonic: bool = False,
+        rng: RngLike = None,
+    ) -> None:
+        if not isinstance(allocation, BudgetAllocation):
+            raise InvalidParameterError(
+                "allocation must be a BudgetAllocation; build one with "
+                "BudgetAllocation.from_ratio(...)"
+            )
+        _validate_common(sensitivity, c)
+        self.allocation = allocation
+        self.sensitivity = float(sensitivity)
+        self.c = int(c)
+        self.monotonic = bool(monotonic)
+        self._rng = ensure_rng(rng)
+        # Line 1 of Alg. 7: perturb the threshold once for the whole run.
+        self._rho = float(self._rng.laplace(scale=self.threshold_noise_scale))
+        self._count = 0
+        self._halted = False
+        self._processed = 0
+
+    # ------------------------------------------------------------------
+    # Noise scales (the heart of the Figure 2 comparison).
+    # ------------------------------------------------------------------
+    @property
+    def threshold_noise_scale(self) -> float:
+        """``Delta/eps1`` — crucially *without* the factor c of Alg. 2."""
+        return self.sensitivity / self.allocation.eps1
+
+    @property
+    def query_noise_scale(self) -> float:
+        """``2c*Delta/eps2`` in general, ``c*Delta/eps2`` for monotonic queries."""
+        factor = self.c if self.monotonic else 2 * self.c
+        return factor * self.sensitivity / self.allocation.eps2
+
+    @property
+    def numeric_noise_scale(self) -> Optional[float]:
+        """``c*Delta/eps3`` when the numeric phase is enabled, else None."""
+        if self.allocation.eps3 <= 0.0:
+            return None
+        return self.c * self.sensitivity / self.allocation.eps3
+
+    # ------------------------------------------------------------------
+    # State.
+    # ------------------------------------------------------------------
+    @property
+    def halted(self) -> bool:
+        """True once c positive outcomes have been produced (Line 9 abort)."""
+        return self._halted
+
+    @property
+    def count(self) -> int:
+        """Positive outcomes so far."""
+        return self._count
+
+    @property
+    def processed(self) -> int:
+        """Queries answered so far."""
+        return self._processed
+
+    @property
+    def remaining_positives(self) -> int:
+        return self.c - self._count
+
+    def _noisy_threshold(self, threshold: float) -> float:
+        return float(threshold) + self._rho
+
+    # ------------------------------------------------------------------
+    # The algorithm.
+    # ------------------------------------------------------------------
+    def process(self, true_answer: float, threshold: float = 0.0) -> Answer:
+        """Answer one query (Lines 2-11 of Alg. 7).
+
+        *true_answer* is ``q_i(D)`` — the caller evaluates the query on the
+        private data; this object only ever sees the numeric answer, which
+        keeps it usable with any data substrate.
+
+        Raises :class:`PrivacyError` when called after the cutoff: answering
+        more queries after c positives would exceed the stated budget.
+        """
+        if self._halted:
+            raise PrivacyError(
+                "SVT has halted: the cutoff of c positive outcomes was reached; "
+                "answering further queries would exceed the privacy budget"
+            )
+        value = float(true_answer)
+        nu = float(self._rng.laplace(scale=self.query_noise_scale))
+        self._processed += 1
+        if value + nu >= self._noisy_threshold(threshold):
+            self._count += 1
+            if self._count >= self.c:
+                self._halted = True
+            numeric_scale = self.numeric_noise_scale
+            if numeric_scale is not None:
+                return value + float(self._rng.laplace(scale=numeric_scale))
+            return ABOVE
+        return BELOW
+
+    def run(
+        self,
+        answers: Iterable[float],
+        thresholds: Union[float, Sequence[float]] = 0.0,
+    ) -> SVTResult:
+        """Consume a stream of true answers until cutoff or stream end."""
+        result = SVTResult(noisy_threshold_trace=[self._rho])
+        thresholds_arr: Optional[np.ndarray] = None
+        if not np.isscalar(thresholds):
+            thresholds_arr = np.asarray(thresholds, dtype=float)
+        for i, value in enumerate(answers):
+            if self._halted:
+                break
+            threshold = (
+                float(thresholds)
+                if thresholds_arr is None
+                else float(thresholds_arr[min(i, thresholds_arr.size - 1)])
+            )
+            answer = self.process(value, threshold)
+            result.answers.append(answer)
+            if answer is not BELOW:
+                result.positives.append(i)
+        result.processed = len(result.answers)
+        result.halted = self._halted
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        a = self.allocation
+        return (
+            f"StandardSVT(eps1={a.eps1:g}, eps2={a.eps2:g}, eps3={a.eps3:g}, "
+            f"Delta={self.sensitivity:g}, c={self.c}, monotonic={self.monotonic})"
+        )
+
+
+def svt_alg1(
+    epsilon: float,
+    sensitivity: float = 1.0,
+    c: int = 1,
+    rng: RngLike = None,
+) -> StandardSVT:
+    """Alg. 1 — the paper's headline instantiation: eps1 = eps/2, eps3 = 0."""
+    epsilon = float(epsilon)
+    if epsilon <= 0.0 or not math.isfinite(epsilon):
+        raise InvalidParameterError(f"epsilon must be finite and > 0, got {epsilon!r}")
+    allocation = BudgetAllocation(eps1=epsilon / 2.0, eps2=epsilon / 2.0, eps3=0.0)
+    return StandardSVT(allocation, sensitivity=sensitivity, c=c, monotonic=False, rng=rng)
+
+
+def run_svt(
+    answers: Iterable[float],
+    epsilon: float,
+    c: int,
+    thresholds: Union[float, Sequence[float]] = 0.0,
+    sensitivity: float = 1.0,
+    ratio: Union[str, float] = "1:1",
+    monotonic: bool = False,
+    numeric_fraction: float = 0.0,
+    rng: RngLike = None,
+) -> SVTResult:
+    """One-shot convenience wrapper: build a :class:`StandardSVT` and run it."""
+    allocation = BudgetAllocation.from_ratio(
+        epsilon, c, ratio=ratio, monotonic=monotonic, numeric_fraction=numeric_fraction
+    )
+    svt = StandardSVT(allocation, sensitivity=sensitivity, c=c, monotonic=monotonic, rng=rng)
+    return svt.run(answers, thresholds)
+
+
+def run_svt_batch(
+    answers: Sequence[float],
+    allocation: BudgetAllocation,
+    c: int,
+    thresholds: Union[float, Sequence[float]] = 0.0,
+    sensitivity: float = 1.0,
+    monotonic: bool = False,
+    rng: RngLike = None,
+) -> SVTResult:
+    """Vectorized Alg. 7 over a fixed array of true answers.
+
+    Semantically identical to ``StandardSVT(...).run(answers, thresholds)``:
+    one threshold noise draw, independent query noise per examined query, halt
+    at the c-th positive.  Noise for queries after the halt point is sampled
+    but discarded, which does not change the output distribution (the
+    discarded variates are independent of everything released).
+
+    Returns an :class:`SVTResult`; numeric answers are produced when
+    ``allocation.eps3 > 0``.
+    """
+    _validate_common(sensitivity, c)
+    values = np.asarray(answers, dtype=float)
+    if values.ndim != 1:
+        raise InvalidParameterError("answers must be a 1-D sequence")
+    n = values.size
+    thr = normalize_thresholds(thresholds, n)
+    gen = ensure_rng(rng)
+
+    delta = float(sensitivity)
+    rho = float(gen.laplace(scale=delta / allocation.eps1))
+    factor = c if monotonic else 2 * c
+    nu = gen.laplace(scale=factor * delta / allocation.eps2, size=n)
+
+    above = values + nu >= thr + rho
+    cum = np.cumsum(above)
+    # Index of the c-th positive, if any: the run halts right after it.
+    hit = np.nonzero(cum == c)[0]
+    if hit.size and above[hit[0]]:
+        processed = int(hit[0]) + 1
+        halted = True
+    else:
+        processed = n
+        halted = False
+
+    positives = np.nonzero(above[:processed])[0]
+    result = SVTResult(
+        processed=processed,
+        halted=halted,
+        positives=[int(i) for i in positives],
+        noisy_threshold_trace=[rho],
+    )
+    if allocation.eps3 > 0.0:
+        numeric_scale = c * delta / allocation.eps3
+        noisy_vals = values[positives] + gen.laplace(scale=numeric_scale, size=positives.size)
+        numeric = dict(zip(positives.tolist(), noisy_vals.tolist()))
+        result.answers = [
+            (numeric[i] if i in numeric else BELOW) for i in range(processed)
+        ]
+    else:
+        above_set = set(positives.tolist())
+        result.answers = [ABOVE if i in above_set else BELOW for i in range(processed)]
+    return result

@@ -1,0 +1,49 @@
+"""Data substrates for the evaluation.
+
+The paper's Section 6 evaluates on item frequencies from three real datasets
+(BMS-POS, Kosarak, AOL) plus a Zipf synthetic.  The real datasets are not
+redistributable here, so :mod:`repro.data.generators` builds synthetic
+equivalents calibrated to the paper's Table 1 (record/item counts) and
+Figure 3 (rank-vs-support shape); see DESIGN.md §4 for the substitution
+rationale.  Real data in FIMI ``.dat`` format drops in via
+:mod:`repro.data.loaders` and flows through the same APIs.
+"""
+
+from repro.data.generators import (
+    DATASET_GENERATORS,
+    ScoreDataset,
+    aol_like,
+    bms_pos_like,
+    generate_dataset,
+    kosarak_like,
+    zipf_like,
+)
+from repro.data.histograms import (
+    block_queries,
+    interval_queries,
+    point_queries,
+    power_law_histogram,
+    prefix_queries,
+    random_linear_queries,
+)
+from repro.data.transaction_db import TransactionDatabase
+from repro.data.loaders import load_transactions, save_transactions
+
+__all__ = [
+    "ScoreDataset",
+    "bms_pos_like",
+    "kosarak_like",
+    "aol_like",
+    "zipf_like",
+    "generate_dataset",
+    "DATASET_GENERATORS",
+    "TransactionDatabase",
+    "power_law_histogram",
+    "point_queries",
+    "prefix_queries",
+    "interval_queries",
+    "random_linear_queries",
+    "block_queries",
+    "load_transactions",
+    "save_transactions",
+]

@@ -1,0 +1,236 @@
+"""Synthetic dataset generators calibrated to the paper's Table 1 and Figure 3.
+
+Every Section-6 experiment consumes only the vector of item supports (the
+query scores), so a dataset here is a :class:`ScoreDataset`: a name, the
+Table-1 record/item counts, and a non-increasing integer support vector.
+
+Calibration targets (read off Figure 3, which plots the 300 highest supports
+on log-log axes):
+
+* **BMS-POS** — head support ≈ 6×10^4 with a *flat* head (the curve loses
+  less than one decade over 300 ranks).
+* **Kosarak** — head support ≈ 6×10^5, steep power-law decay.
+* **AOL** — head support ≈ 2×10^5, steep decay, and a vast (2.3M item) tail.
+* **Zipf** — the paper's own construction: score of the i-th item ∝ 1/i,
+  1,000,000 records over 10,000 items.
+
+The generators use a deterministic power-law backbone with optional
+multiplicative log-normal jitter (re-sorted, so supports stay monotone).
+Support values are clipped to ``[1, num_records]`` — an item's support can
+never exceed the number of transactions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.exceptions import DatasetError, InvalidParameterError
+from repro.rng import RngLike, ensure_rng
+
+__all__ = [
+    "ScoreDataset",
+    "power_law_supports",
+    "bms_pos_like",
+    "kosarak_like",
+    "aol_like",
+    "zipf_like",
+    "generate_dataset",
+    "DATASET_GENERATORS",
+]
+
+
+@dataclass(frozen=True)
+class ScoreDataset:
+    """A named vector of item supports (query scores), sorted non-increasing.
+
+    ``supports[i]`` is the support of the (i+1)-th most frequent item; rank
+    order is the canonical identity of an item here, and the experiment
+    harness shuffles presentation order per trial exactly as the paper does
+    ("each time randomizing the order of items to be examined").
+    """
+
+    name: str
+    num_records: int
+    supports: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        supports = np.asarray(self.supports)
+        if supports.ndim != 1 or supports.size == 0:
+            raise DatasetError("supports must be a non-empty 1-D array")
+        if np.any(np.diff(supports) > 0):
+            raise DatasetError("supports must be sorted in non-increasing order")
+        if supports[0] > self.num_records:
+            raise DatasetError("an item's support cannot exceed the number of records")
+        if supports[-1] < 0:
+            raise DatasetError("supports must be non-negative")
+
+    @property
+    def num_items(self) -> int:
+        return int(self.supports.size)
+
+    def top_c_scores(self, c: int) -> np.ndarray:
+        """The true c highest supports (the paper's ``Topc``)."""
+        if c <= 0:
+            raise InvalidParameterError(f"c must be positive, got {c!r}")
+        return self.supports[: min(c, self.num_items)]
+
+    def threshold_for_c(self, c: int) -> float:
+        """The paper's threshold choice: average of the c-th and (c+1)-th scores."""
+        if c <= 0:
+            raise InvalidParameterError(f"c must be positive, got {c!r}")
+        if c >= self.num_items:
+            return float(self.supports[-1])
+        return float(self.supports[c - 1] + self.supports[c]) / 2.0
+
+    def head(self, n: int = 300) -> np.ndarray:
+        """The n highest supports (Figure 3 plots n=300)."""
+        return self.supports[: min(n, self.num_items)]
+
+    def __len__(self) -> int:
+        return self.num_items
+
+
+def power_law_supports(
+    num_items: int,
+    num_records: int,
+    head_support: float,
+    alpha: float,
+    jitter: float = 0.0,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Build a non-increasing integer support vector ``s_i ≈ head * i^(-alpha)``.
+
+    Parameters
+    ----------
+    head_support:
+        Target support of the most frequent item.
+    alpha:
+        Power-law exponent (0 = flat, 1 = Zipf).
+    jitter:
+        Log-normal sigma for multiplicative noise; the noisy vector is
+        re-sorted so monotonicity is preserved.
+    """
+    if num_items <= 0 or num_records <= 0:
+        raise InvalidParameterError("num_items and num_records must be positive")
+    if head_support <= 0 or alpha < 0 or jitter < 0:
+        raise InvalidParameterError("head_support must be > 0; alpha, jitter >= 0")
+    ranks = np.arange(1, num_items + 1, dtype=float)
+    supports = head_support * ranks ** (-alpha)
+    if jitter > 0.0:
+        gen = ensure_rng(rng)
+        supports = supports * np.exp(gen.normal(0.0, jitter, size=num_items))
+    supports = np.clip(np.rint(supports), 1, num_records).astype(np.int64)
+    supports[::-1].sort()  # descending in-place
+    return supports
+
+
+def bms_pos_like(rng: RngLike = None, scale: float = 1.0) -> ScoreDataset:
+    """Synthetic stand-in for BMS-POS: 515,597 records, 1,657 items, flat head.
+
+    *scale* < 1 shrinks the item universe proportionally (records and supports
+    are scaled too) for fast test runs; shapes are preserved.
+    """
+    return _scaled_power_law(
+        name="BMS-POS",
+        num_records=515_597,
+        num_items=1_657,
+        head_support=60_000.0,
+        alpha=0.55,
+        jitter=0.05,
+        rng=rng,
+        scale=scale,
+    )
+
+
+def kosarak_like(rng: RngLike = None, scale: float = 1.0) -> ScoreDataset:
+    """Synthetic stand-in for Kosarak: 990,002 records, 41,270 items, steep decay."""
+    return _scaled_power_law(
+        name="Kosarak",
+        num_records=990_002,
+        num_items=41_270,
+        head_support=600_000.0,
+        alpha=1.15,
+        jitter=0.10,
+        rng=rng,
+        scale=scale,
+    )
+
+
+def aol_like(rng: RngLike = None, scale: float = 1.0) -> ScoreDataset:
+    """Synthetic stand-in for AOL: 647,377 records, 2,290,685 items, huge tail."""
+    return _scaled_power_law(
+        name="AOL",
+        num_records=647_377,
+        num_items=2_290_685,
+        head_support=180_000.0,
+        alpha=1.05,
+        jitter=0.10,
+        rng=rng,
+        scale=scale,
+    )
+
+
+def zipf_like(rng: RngLike = None, scale: float = 1.0) -> ScoreDataset:
+    """The paper's Zipf synthetic: 1,000,000 records, 10,000 items, s_i ∝ 1/i.
+
+    Scores are normalized so they sum to the number of records (each record
+    "mentions" one item), exactly one natural reading of the construction; the
+    head support then comes out near 1×10^5, matching Figure 3.
+    """
+    num_records = max(1, int(round(1_000_000 * scale)))
+    num_items = max(2, int(round(10_000 * scale)))
+    ranks = np.arange(1, num_items + 1, dtype=float)
+    raw = 1.0 / ranks
+    supports = raw * (num_records / raw.sum())
+    supports = np.clip(np.rint(supports), 1, num_records).astype(np.int64)
+    supports[::-1].sort()
+    return ScoreDataset(name="Zipf", num_records=num_records, supports=supports)
+
+
+def _scaled_power_law(
+    name: str,
+    num_records: int,
+    num_items: int,
+    head_support: float,
+    alpha: float,
+    jitter: float,
+    rng: RngLike,
+    scale: float,
+) -> ScoreDataset:
+    if scale <= 0 or scale > 1.0:
+        raise InvalidParameterError("scale must be in (0, 1]")
+    records = max(1, int(round(num_records * scale)))
+    items = max(2, int(round(num_items * scale)))
+    head = max(1.0, head_support * scale)
+    supports = power_law_supports(
+        num_items=items,
+        num_records=records,
+        head_support=head,
+        alpha=alpha,
+        jitter=jitter,
+        rng=rng,
+    )
+    return ScoreDataset(name=name, num_records=records, supports=supports)
+
+
+#: Name → generator, in the paper's presentation order (Table 1).
+DATASET_GENERATORS: Dict[str, Callable[..., ScoreDataset]] = {
+    "BMS-POS": bms_pos_like,
+    "Kosarak": kosarak_like,
+    "AOL": aol_like,
+    "Zipf": zipf_like,
+}
+
+
+def generate_dataset(name: str, rng: RngLike = None, scale: float = 1.0) -> ScoreDataset:
+    """Generate one of the four evaluation datasets by name (case-insensitive)."""
+    for key, gen in DATASET_GENERATORS.items():
+        if key.lower() == str(name).strip().lower():
+            return gen(rng=rng, scale=scale)
+    raise InvalidParameterError(
+        f"unknown dataset {name!r}; known: {sorted(DATASET_GENERATORS)}"
+    )

@@ -1,0 +1,121 @@
+"""Histogram substrates and linear-query workloads.
+
+The interactive substrate (private multiplicative weights) operates on
+histograms and linear queries; this module provides the standard workload
+generators used to exercise it:
+
+* **point queries** — one bin each;
+* **range (prefix/interval) queries** — the classic workload for
+  hierarchical/MW methods;
+* **random linear queries** — weights i.i.d. in [0, 1];
+* **marginal-style block queries** — contiguous equal blocks.
+
+Plus a power-law histogram generator matched to the library's score
+distributions, so MW experiments see realistic skew.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.rng import RngLike, ensure_rng
+
+__all__ = [
+    "power_law_histogram",
+    "point_queries",
+    "prefix_queries",
+    "interval_queries",
+    "random_linear_queries",
+    "block_queries",
+]
+
+
+def power_law_histogram(
+    num_bins: int,
+    total: float,
+    alpha: float = 1.0,
+    shuffle: bool = True,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """A histogram with power-law bin masses summing to *total*.
+
+    ``shuffle=True`` permutes bins so the mass is not sorted by index — range
+    queries then see realistic variety.
+    """
+    if num_bins < 2:
+        raise InvalidParameterError("num_bins must be at least 2")
+    if total <= 0:
+        raise InvalidParameterError("total must be > 0")
+    if alpha < 0:
+        raise InvalidParameterError("alpha must be >= 0")
+    ranks = np.arange(1, num_bins + 1, dtype=float)
+    masses = ranks**-alpha
+    masses = masses * (total / masses.sum())
+    if shuffle:
+        gen = ensure_rng(rng)
+        masses = masses[gen.permutation(num_bins)]
+    return masses
+
+
+def point_queries(num_bins: int) -> List[np.ndarray]:
+    """One indicator query per bin."""
+    if num_bins < 1:
+        raise InvalidParameterError("num_bins must be >= 1")
+    return [np.eye(num_bins)[i] for i in range(num_bins)]
+
+
+def prefix_queries(num_bins: int) -> List[np.ndarray]:
+    """Cumulative prefixes: bins [0, k) for k = 1..num_bins."""
+    if num_bins < 1:
+        raise InvalidParameterError("num_bins must be >= 1")
+    out = []
+    for k in range(1, num_bins + 1):
+        weights = np.zeros(num_bins)
+        weights[:k] = 1.0
+        out.append(weights)
+    return out
+
+
+def interval_queries(
+    num_bins: int, count: int, rng: RngLike = None, min_width: int = 1
+) -> List[np.ndarray]:
+    """*count* random intervals [lo, hi) with width >= *min_width*."""
+    if num_bins < 1 or count < 1:
+        raise InvalidParameterError("num_bins and count must be >= 1")
+    if not 1 <= min_width <= num_bins:
+        raise InvalidParameterError("min_width must be in [1, num_bins]")
+    gen = ensure_rng(rng)
+    out = []
+    for _ in range(count):
+        lo = int(gen.integers(0, num_bins - min_width + 1))
+        hi = int(gen.integers(lo + min_width, num_bins + 1))
+        weights = np.zeros(num_bins)
+        weights[lo:hi] = 1.0
+        out.append(weights)
+    return out
+
+
+def random_linear_queries(num_bins: int, count: int, rng: RngLike = None) -> List[np.ndarray]:
+    """*count* queries with i.i.d. uniform [0, 1] weights."""
+    if num_bins < 1 or count < 1:
+        raise InvalidParameterError("num_bins and count must be >= 1")
+    gen = ensure_rng(rng)
+    return [gen.random(num_bins) for _ in range(count)]
+
+
+def block_queries(num_bins: int, num_blocks: int) -> List[np.ndarray]:
+    """Contiguous equal-ish blocks covering the domain (marginal-style)."""
+    if num_bins < 1:
+        raise InvalidParameterError("num_bins must be >= 1")
+    if not 1 <= num_blocks <= num_bins:
+        raise InvalidParameterError("num_blocks must be in [1, num_bins]")
+    edges = np.linspace(0, num_bins, num_blocks + 1).astype(int)
+    out = []
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        weights = np.zeros(num_bins)
+        weights[lo:hi] = 1.0
+        out.append(weights)
+    return out

@@ -1,0 +1,51 @@
+"""Reading and writing transaction data in FIMI ``.dat`` format.
+
+The real BMS-POS and Kosarak datasets circulate in this format (one
+transaction per line, space-separated integer item ids), so anyone with the
+originals can run the harness on them instead of the synthetic stand-ins.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Union
+
+from repro.data.transaction_db import TransactionDatabase
+from repro.exceptions import DatasetError
+
+__all__ = ["load_transactions", "save_transactions"]
+
+
+def load_transactions(path: Union[str, os.PathLike]) -> TransactionDatabase:
+    """Load a FIMI ``.dat`` file into a :class:`TransactionDatabase`.
+
+    Blank lines are skipped; any non-integer token is a hard error (silently
+    dropping data from a privacy-sensitive input is worse than failing).
+    """
+    path = Path(path)
+    transactions = []
+    with path.open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                items = [int(token) for token in stripped.split()]
+            except ValueError as exc:
+                raise DatasetError(
+                    f"{path}:{lineno}: malformed transaction line {stripped!r}"
+                ) from exc
+            transactions.append(items)
+    if not transactions:
+        raise DatasetError(f"{path}: no transactions found")
+    return TransactionDatabase(transactions)
+
+
+def save_transactions(db: TransactionDatabase, path: Union[str, os.PathLike]) -> None:
+    """Write a :class:`TransactionDatabase` as a FIMI ``.dat`` file."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        for transaction in db:
+            handle.write(" ".join(str(i) for i in sorted(transaction)))
+            handle.write("\n")

@@ -1,0 +1,188 @@
+"""An in-memory transaction database.
+
+This is the substrate under the paper's motivating applications: frequent
+itemset mining [13] works over exactly this kind of data (each record is a
+set of item ids), and "support" — the number of transactions containing an
+itemset — is the canonical monotonic counting query (Section 4.3: under
+add/remove-one-tuple neighbors all supports move the same direction, by at
+most 1).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import DatasetError, InvalidParameterError
+from repro.rng import RngLike, ensure_rng
+
+__all__ = ["TransactionDatabase"]
+
+
+class TransactionDatabase:
+    """A list of transactions, each a set of non-negative integer item ids.
+
+    Examples
+    --------
+    >>> db = TransactionDatabase([[0, 1], [1], [0, 1, 2]])
+    >>> db.support((1,))
+    3
+    >>> db.support((0, 1))
+    2
+    """
+
+    def __init__(self, transactions: Iterable[Iterable[int]]) -> None:
+        normalized: List[FrozenSet[int]] = []
+        max_item = -1
+        for t in transactions:
+            items = frozenset(int(i) for i in t)
+            if any(i < 0 for i in items):
+                raise DatasetError("item ids must be non-negative integers")
+            if items:
+                max_item = max(max_item, max(items))
+            normalized.append(items)
+        self._transactions = normalized
+        self._num_items = max_item + 1
+        self._support_cache: Dict[FrozenSet[int], int] = {}
+
+    # ------------------------------------------------------------------
+    # Basic shape.
+    # ------------------------------------------------------------------
+    @property
+    def num_records(self) -> int:
+        return len(self._transactions)
+
+    @property
+    def num_items(self) -> int:
+        """One plus the largest item id seen (items are 0-indexed)."""
+        return self._num_items
+
+    def __len__(self) -> int:
+        return self.num_records
+
+    def __iter__(self) -> Iterator[FrozenSet[int]]:
+        return iter(self._transactions)
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+    def support(self, itemset: Iterable[int]) -> int:
+        """Number of transactions containing every item of *itemset*.
+
+        Sensitivity 1 under add/remove-one-record neighbors, and monotonic:
+        adding a record can only raise supports (by at most 1 each), never
+        lower some and raise others.
+        """
+        key = frozenset(int(i) for i in itemset)
+        if not key:
+            return self.num_records
+        cached = self._support_cache.get(key)
+        if cached is not None:
+            return cached
+        count = sum(1 for t in self._transactions if key <= t)
+        self._support_cache[key] = count
+        return count
+
+    def item_supports(self) -> np.ndarray:
+        """Support of every single item, indexed by item id (vectorized count)."""
+        counts = np.zeros(self.num_items, dtype=np.int64)
+        for t in self._transactions:
+            for item in t:
+                counts[item] += 1
+        return counts
+
+    def frequent_itemsets(
+        self, min_support: int, max_size: int = 3
+    ) -> List[Tuple[Tuple[int, ...], int]]:
+        """All itemsets up to *max_size* with support >= *min_support* (Apriori).
+
+        The non-private miner; the private applications build on its candidate
+        lattice.  Returns (itemset, support) pairs, itemsets as sorted tuples.
+        """
+        if min_support < 1:
+            raise InvalidParameterError("min_support must be >= 1")
+        if max_size < 1:
+            raise InvalidParameterError("max_size must be >= 1")
+        supports = self.item_supports()
+        frequent: List[Tuple[Tuple[int, ...], int]] = [
+            ((int(i),), int(supports[i]))
+            for i in np.nonzero(supports >= min_support)[0]
+        ]
+        current = [set(fs) for fs, _ in frequent]
+        for size in range(2, max_size + 1):
+            candidates = self._apriori_candidates(current, size)
+            next_level: List[set] = []
+            for cand in candidates:
+                sup = self.support(cand)
+                if sup >= min_support:
+                    frequent.append((tuple(sorted(cand)), sup))
+                    next_level.append(cand)
+            if not next_level:
+                break
+            current = next_level
+        return frequent
+
+    @staticmethod
+    def _apriori_candidates(prev_level: List[set], size: int) -> List[set]:
+        """Join step of Apriori: unions of prev-level sets that have size *size*."""
+        seen: set = set()
+        out: List[set] = []
+        for a, b in combinations(prev_level, 2):
+            cand = a | b
+            if len(cand) == size:
+                key = frozenset(cand)
+                if key not in seen:
+                    seen.add(key)
+                    out.append(set(cand))
+        return out
+
+    # ------------------------------------------------------------------
+    # Neighbors (for privacy tests).
+    # ------------------------------------------------------------------
+    def with_record(self, record: Iterable[int]) -> "TransactionDatabase":
+        """A neighboring database: this one plus one extra record."""
+        return TransactionDatabase([*self._transactions, record])
+
+    def without_record(self, index: int) -> "TransactionDatabase":
+        """A neighboring database: this one minus the record at *index*."""
+        if not 0 <= index < self.num_records:
+            raise InvalidParameterError(f"record index {index} out of range")
+        rest = self._transactions[:index] + self._transactions[index + 1 :]
+        return TransactionDatabase(rest)
+
+    # ------------------------------------------------------------------
+    # Synthesis.
+    # ------------------------------------------------------------------
+    @classmethod
+    def synthesize(
+        cls,
+        num_records: int,
+        item_probabilities: Sequence[float],
+        max_items_per_record: Optional[int] = None,
+        rng: RngLike = None,
+    ) -> "TransactionDatabase":
+        """Sample a database with independent item occurrences.
+
+        Each record independently contains item i with probability
+        ``item_probabilities[i]``; expected supports are then
+        ``num_records * p_i``, so a power-law probability vector yields
+        the same rank-support shapes as :mod:`repro.data.generators`.
+        """
+        if num_records <= 0:
+            raise InvalidParameterError("num_records must be positive")
+        probs = np.asarray(item_probabilities, dtype=float)
+        if probs.ndim != 1 or probs.size == 0:
+            raise InvalidParameterError("item_probabilities must be a non-empty 1-D sequence")
+        if np.any((probs < 0.0) | (probs > 1.0)):
+            raise InvalidParameterError("probabilities must lie in [0, 1]")
+        gen = ensure_rng(rng)
+        occurrence = gen.random((num_records, probs.size)) < probs
+        transactions: List[List[int]] = []
+        for row in occurrence:
+            items = np.nonzero(row)[0]
+            if max_items_per_record is not None and items.size > max_items_per_record:
+                items = gen.choice(items, size=max_items_per_record, replace=False)
+            transactions.append([int(i) for i in items])
+        return cls(transactions)

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so that callers can
+catch everything raised by this package with a single ``except`` clause while
+still being able to distinguish privacy-accounting problems from plain
+configuration mistakes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "PrivacyError",
+    "BudgetExhaustedError",
+    "NonPrivateMechanismError",
+    "InvalidParameterError",
+    "DatasetError",
+    "QueryError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class PrivacyError(ReproError):
+    """Raised when an operation would violate a privacy guarantee."""
+
+
+class BudgetExhaustedError(PrivacyError):
+    """Raised when a privacy budget has been fully consumed.
+
+    Carries the amount that was requested and the amount remaining so callers
+    can decide whether to re-plan, stop, or report.
+    """
+
+    def __init__(self, requested: float, remaining: float) -> None:
+        self.requested = float(requested)
+        self.remaining = float(remaining)
+        super().__init__(
+            f"privacy budget exhausted: requested epsilon={requested:g}, "
+            f"remaining epsilon={remaining:g}"
+        )
+
+
+class NonPrivateMechanismError(PrivacyError):
+    """Raised when a known-non-private mechanism is used without explicit opt-in.
+
+    The broken SVT variants from the paper (Alg. 3, 5, 6 — and Alg. 4 whose
+    real guarantee is far weaker than advertised) are implemented for study
+    and attack demonstrations.  They refuse to run unless the caller passes
+    ``allow_non_private=True``, so nobody adopts them by accident.
+    """
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """Raised for invalid mechanism or experiment parameters."""
+
+
+class DatasetError(ReproError):
+    """Raised for malformed datasets or impossible generator configurations."""
+
+
+class QueryError(ReproError):
+    """Raised for malformed queries or query/dataset mismatches."""

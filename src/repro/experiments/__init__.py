@@ -1,0 +1,56 @@
+"""The Section-6 evaluation harness.
+
+One driver per paper artifact:
+
+* :func:`table1` / :func:`figure3_series` — dataset characteristics and the
+  top-300 score distributions.
+* :func:`run_figure4` — interactive setting: SVT-DPBook vs SVT-S under four
+  budget allocations (SER and FNR over c).
+* :func:`run_figure5` — non-interactive setting: EM vs SVT-ReTr-1D..5D vs
+  SVT-S.
+* :func:`section5_bound_table` — the alpha_SVT vs alpha_EM closed forms.
+
+All drivers accept an :class:`ExperimentConfig`; the default mirrors the
+paper (eps = 0.1, c = 25..300, 100 trials, full-size datasets) and
+:meth:`ExperimentConfig.quick` shrinks everything for CI-scale runs.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    MetricSummary,
+    MethodResult,
+    run_selection_experiment,
+)
+from repro.experiments.distributions import figure3_series, table1
+from repro.experiments.interactive import figure4_methods, run_figure4
+from repro.experiments.noninteractive import figure5_methods, run_figure5
+from repro.experiments.bounds import section5_bound_table
+from repro.experiments.crossover import CrossoverPoint, eps_c_equivalence
+from repro.experiments.sweep import epsilon_sweep, format_epsilon_sweep
+from repro.experiments.invalid_results import InvalidResultsRow, invalid_results_demo
+from repro.experiments.reporting import format_result_table, format_table1
+from repro.experiments.ascii_plot import ascii_chart, figure_chart
+
+__all__ = [
+    "ExperimentConfig",
+    "MetricSummary",
+    "MethodResult",
+    "run_selection_experiment",
+    "table1",
+    "figure3_series",
+    "run_figure4",
+    "figure4_methods",
+    "run_figure5",
+    "figure5_methods",
+    "section5_bound_table",
+    "eps_c_equivalence",
+    "epsilon_sweep",
+    "format_epsilon_sweep",
+    "CrossoverPoint",
+    "invalid_results_demo",
+    "InvalidResultsRow",
+    "format_result_table",
+    "format_table1",
+    "ascii_chart",
+    "figure_chart",
+]

@@ -1,0 +1,120 @@
+"""Run the whole Section-6 reproduction from the command line.
+
+Usage::
+
+    python -m repro.experiments                 # quick mode (minutes)
+    python -m repro.experiments --tiny          # smoke mode (seconds)
+    REPRO_SCALE=0.2 REPRO_TRIALS=50 python -m repro.experiments
+
+Prints Table 1, the Figure-3 series, the Figure-2 table, the Figure-4 and
+Figure-5 SER/FNR tables with ASCII charts, and the Section-5 bound table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.ascii_plot import figure_chart
+from repro.experiments.bounds import section5_bound_table
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.distributions import figure3_series, table1
+from repro.experiments.interactive import run_figure4
+from repro.experiments.noninteractive import run_figure5
+from repro.experiments.reporting import (
+    format_bounds_table,
+    format_result_table,
+    format_table1,
+)
+from repro.variants.registry import figure2_table
+
+
+def _banner(text: str) -> None:
+    print("\n" + "#" * 72)
+    print(f"# {text}")
+    print("#" * 72)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's evaluation artifacts.",
+    )
+    parser.add_argument(
+        "--tiny", action="store_true", help="seconds-scale smoke configuration"
+    )
+    parser.add_argument(
+        "--no-charts", action="store_true", help="skip the ASCII charts"
+    )
+    parser.add_argument(
+        "--export",
+        metavar="DIR",
+        default=None,
+        help="also write tables/CSV/JSON artifacts under DIR/figure4 and DIR/figure5",
+    )
+    args = parser.parse_args(argv)
+
+    config = ExperimentConfig.tiny() if args.tiny else ExperimentConfig.quick()
+    start = time.time()
+    print(
+        f"configuration: datasets={config.datasets}, c={config.c_values}, "
+        f"eps={config.epsilon}, trials={config.trials}, scale={config.dataset_scale}"
+    )
+
+    _banner("Table 1 — dataset characteristics")
+    print(format_table1(table1(config)))
+
+    _banner("Figure 3 — top-score distributions (decade samples)")
+    series = figure3_series(config)
+    ranks = [1, 3, 10, 30, 100, 300]
+    header = "rank    " + "".join(f"{name:>12}" for name in series)
+    print(header)
+    for r in ranks:
+        cells = []
+        for name in series:
+            values = series[name]
+            cells.append(f"{values[r - 1]:>12,}" if r <= values.size else f"{'-':>12}")
+        print(f"{r:<8}" + "".join(cells))
+
+    _banner("Figure 2 — variant comparison")
+    print(figure2_table())
+
+    _banner("Figure 4 — interactive setting")
+    figure4 = run_figure4(config)
+    for dataset, results in figure4.items():
+        print(f"\n--- {dataset}: SER ---")
+        print(format_result_table(results, "ser", with_std=False))
+        print(f"\n--- {dataset}: FNR ---")
+        print(format_result_table(results, "fnr", with_std=False))
+        if not args.no_charts:
+            print()
+            print(figure_chart(results, "ser", title=f"{dataset} SER vs c"))
+
+    _banner("Figure 5 — non-interactive setting")
+    figure5 = run_figure5(config)
+    for dataset, results in figure5.items():
+        print(f"\n--- {dataset}: SER ---")
+        print(format_result_table(results, "ser", with_std=False))
+        print(f"\n--- {dataset}: FNR ---")
+        print(format_result_table(results, "fnr", with_std=False))
+        if not args.no_charts:
+            print()
+            print(figure_chart(results, "ser", title=f"{dataset} SER vs c"))
+
+    _banner("Section 5 — analytical bounds")
+    print(format_bounds_table(section5_bound_table()))
+
+    if args.export:
+        from repro.experiments.serialization import export_artifacts
+
+        fig4_dir = export_artifacts(figure4, config, args.export, "figure4")
+        fig5_dir = export_artifacts(figure5, config, args.export, "figure5")
+        print(f"\nartifacts written to {fig4_dir} and {fig5_dir}")
+
+    print(f"\ntotal time: {time.time() - start:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,112 @@
+"""ASCII line charts for figure-like rendering of experiment series.
+
+The paper's Figures 3-5 are line plots; with no plotting stack guaranteed in
+an offline environment, this module renders series as terminal charts so the
+harness output visually mirrors the figures.  It is pure formatting — no
+numerics live here.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["ascii_chart", "figure_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _scale_positions(
+    values: np.ndarray, lo: float, hi: float, size: int, log: bool
+) -> np.ndarray:
+    """Map values to integer cell positions in [0, size-1]."""
+    if log:
+        values, lo, hi = np.log10(values), math.log10(lo), math.log10(hi)
+    if hi <= lo:
+        return np.zeros(values.size, dtype=int)
+    frac = (values - lo) / (hi - lo)
+    return np.clip(np.rint(frac * (size - 1)).astype(int), 0, size - 1)
+
+
+def ascii_chart(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    width: int = 64,
+    height: int = 18,
+    logx: bool = False,
+    logy: bool = False,
+    title: str = "",
+) -> str:
+    """Render named (x, y) series as an ASCII chart.
+
+    Each series gets a marker from ``oxx+*…``; a legend line maps markers to
+    names.  Log axes are supported for Figure-3-style plots.
+    """
+    if not series:
+        raise InvalidParameterError("series must be non-empty")
+    if width < 8 or height < 4:
+        raise InvalidParameterError("chart must be at least 8x4")
+
+    all_x = np.concatenate([np.asarray(x, dtype=float) for x, _ in series.values()])
+    all_y = np.concatenate([np.asarray(y, dtype=float) for _, y in series.values()])
+    if all_x.size == 0:
+        raise InvalidParameterError("series contain no points")
+    if (logx and all_x.min() <= 0) or (logy and all_y.min() <= 0):
+        raise InvalidParameterError("log axes need strictly positive data")
+    x_lo, x_hi = float(all_x.min()), float(all_x.max())
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    if y_lo == y_hi:
+        y_lo, y_hi = y_lo - 1.0, y_hi + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for idx, (name, (xs, ys)) in enumerate(series.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        legend.append(f"{marker} = {name}")
+        xs_arr = np.asarray(xs, dtype=float)
+        ys_arr = np.asarray(ys, dtype=float)
+        if xs_arr.shape != ys_arr.shape:
+            raise InvalidParameterError(f"series {name!r} has mismatched x/y lengths")
+        cols = _scale_positions(xs_arr, x_lo, x_hi, width, logx)
+        rows = _scale_positions(ys_arr, y_lo, y_hi, height, logy)
+        for col, row in zip(cols, rows):
+            grid[height - 1 - row][col] = marker
+
+    y_labels = [f"{y_hi:.3g}", f"{(y_lo + y_hi) / 2:.3g}", f"{y_lo:.3g}"]
+    label_width = max(len(label) for label in y_labels)
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = y_labels[0]
+        elif i == height // 2:
+            label = y_labels[1]
+        elif i == height - 1:
+            label = y_labels[2]
+        else:
+            label = ""
+        lines.append(f"{label:>{label_width}} |" + "".join(row))
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_axis = f"{x_lo:.3g}".ljust(width - 8) + f"{x_hi:.3g}".rjust(8)
+    lines.append(" " * label_width + "  " + x_axis)
+    lines.append("  ".join(legend))
+    return "\n".join(lines)
+
+
+def figure_chart(
+    results: Dict[str, "object"],
+    metric: str = "ser",
+    title: str = "",
+    width: int = 64,
+    height: int = 16,
+) -> str:
+    """Chart a ``{method: MethodResult}`` mapping (Figure 4/5 panels)."""
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]] = {}
+    for name, method_result in results.items():
+        cs, means = method_result.series(metric)
+        series[name] = (cs, means)
+    return ascii_chart(series, width=width, height=height, title=title)

@@ -1,0 +1,47 @@
+"""Section 5's analytical SVT-vs-EM comparison as a table."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.analysis.theory import alpha_em, alpha_svt
+
+__all__ = ["BoundRow", "section5_bound_table"]
+
+
+@dataclass(frozen=True)
+class BoundRow:
+    """One (k, beta) point of the alpha_SVT vs alpha_EM comparison."""
+
+    k: int
+    beta: float
+    epsilon: float
+    alpha_svt: float
+    alpha_em: float
+
+    @property
+    def ratio(self) -> float:
+        """alpha_EM / alpha_SVT — the paper asserts this is below 1/8."""
+        return self.alpha_em / self.alpha_svt
+
+
+def section5_bound_table(
+    k_values: Sequence[int] = (10, 100, 1_000, 10_000, 100_000),
+    betas: Sequence[float] = (0.1, 0.05, 0.01),
+    epsilon: float = 0.1,
+) -> List[BoundRow]:
+    """Tabulate both accuracy bounds over a (k, beta) grid."""
+    rows: List[BoundRow] = []
+    for k in k_values:
+        for beta in betas:
+            rows.append(
+                BoundRow(
+                    k=int(k),
+                    beta=float(beta),
+                    epsilon=float(epsilon),
+                    alpha_svt=alpha_svt(int(k), float(beta), float(epsilon)),
+                    alpha_em=alpha_em(int(k), float(beta), float(epsilon)),
+                )
+            )
+    return rows

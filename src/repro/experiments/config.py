@@ -1,0 +1,102 @@
+"""Experiment configuration.
+
+The paper's settings (Section 6): privacy budget eps = 0.1; c from 25 to 300
+in steps of 25; threshold = average of the c-th and (c+1)-th highest scores;
+100 trials with the item order randomized each trial; datasets BMS-POS,
+Kosarak, AOL, Zipf.
+
+Full-fidelity runs are expensive (AOL has 2.3M items), so the config carries
+a ``dataset_scale`` knob that shrinks the synthetic datasets proportionally
+(shape-preserving; see generators) and the usual trials/c-grid knobs.
+Environment variables ``REPRO_SCALE``, ``REPRO_TRIALS`` override for bench
+runs without code edits.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+from repro.data.generators import generate_dataset, ScoreDataset
+from repro.exceptions import InvalidParameterError
+from repro.rng import derive_rng
+
+__all__ = ["ExperimentConfig"]
+
+_PAPER_C_GRID = tuple(range(25, 301, 25))
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Settings shared by the Figure 4/5 drivers."""
+
+    datasets: Tuple[str, ...] = ("BMS-POS", "Kosarak", "AOL", "Zipf")
+    c_values: Tuple[int, ...] = _PAPER_C_GRID
+    epsilon: float = 0.1
+    trials: int = 100
+    dataset_scale: float = 1.0
+    seed: int = 20170401  # arbitrary fixed seed: VLDB 2017 submission spring
+    retraversal_bumps: Tuple[float, ...] = (1.0, 2.0, 3.0, 4.0, 5.0)
+    svt_ratios: Tuple[str, ...] = ("1:1", "1:3", "1:c", "1:c^(2/3)")
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0:
+            raise InvalidParameterError("epsilon must be > 0")
+        if self.trials <= 0:
+            raise InvalidParameterError("trials must be > 0")
+        if not 0.0 < self.dataset_scale <= 1.0:
+            raise InvalidParameterError("dataset_scale must be in (0, 1]")
+        if not self.c_values or any(c <= 0 for c in self.c_values):
+            raise InvalidParameterError("c_values must be positive")
+
+    @classmethod
+    def paper(cls) -> "ExperimentConfig":
+        """The full Section-6 configuration (slow: hours on a laptop)."""
+        return cls()
+
+    @classmethod
+    def quick(cls) -> "ExperimentConfig":
+        """A minutes-scale configuration preserving the qualitative shapes.
+
+        Datasets shrink to 10%, the c grid thins to four points, and 20
+        trials replace 100.  ``REPRO_SCALE`` / ``REPRO_TRIALS`` env vars
+        override further.
+        """
+        scale = float(os.environ.get("REPRO_SCALE", "0.1"))
+        trials = int(os.environ.get("REPRO_TRIALS", "20"))
+        return cls(
+            c_values=(25, 100, 200, 300),
+            trials=trials,
+            dataset_scale=scale,
+        )
+
+    @classmethod
+    def tiny(cls) -> "ExperimentConfig":
+        """A seconds-scale configuration for unit tests."""
+        return cls(
+            datasets=("Kosarak", "Zipf"),
+            c_values=(10, 25),
+            trials=5,
+            dataset_scale=0.02,
+        )
+
+    def with_overrides(self, **kwargs) -> "ExperimentConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    def load_datasets(self) -> Dict[str, ScoreDataset]:
+        """Generate every configured dataset deterministically from the seed."""
+        out: Dict[str, ScoreDataset] = {}
+        for name in self.datasets:
+            rng = derive_rng(self.seed, "dataset", name)
+            out[name] = generate_dataset(name, rng=rng, scale=self.dataset_scale)
+        return out
+
+    def usable_c_values(self, dataset: ScoreDataset) -> Tuple[int, ...]:
+        """The configured c grid, dropping values too large for the dataset.
+
+        A c is usable when the dataset has strictly more than c items (the
+        threshold needs a (c+1)-th score).
+        """
+        return tuple(c for c in self.c_values if c < dataset.num_items)

@@ -1,0 +1,116 @@
+"""The paper's eps-c equivalence remark, as an experiment.
+
+Section 6: *"We note that varying c have a similar impact of varying eps,
+since the accuracy of each method is mostly affect by eps/c; therefore the
+impact of different eps can be seen from different c values."*
+
+This driver makes the remark checkable: it runs the same method twice —
+once sweeping c at fixed eps, once sweeping eps at fixed c — along a path of
+equal ``eps/c`` values, and reports the SER pairs.  If the remark holds, the
+paired SERs track each other closely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.allocation import BudgetAllocation
+from repro.core.svt import run_svt_batch
+from repro.data.generators import ScoreDataset
+from repro.exceptions import InvalidParameterError
+from repro.metrics.utility import score_error_rate
+from repro.rng import derive_rng
+
+__all__ = ["CrossoverPoint", "eps_c_equivalence"]
+
+
+@dataclass(frozen=True)
+class CrossoverPoint:
+    """One matched pair of runs with equal eps/c."""
+
+    eps_over_c: float
+    c_sweep_c: int
+    c_sweep_eps: float
+    c_sweep_ser: float
+    eps_sweep_c: int
+    eps_sweep_eps: float
+    eps_sweep_ser: float
+
+    @property
+    def gap(self) -> float:
+        """Absolute SER difference between the matched runs."""
+        return abs(self.c_sweep_ser - self.eps_sweep_ser)
+
+
+def _mean_ser(
+    dataset: ScoreDataset,
+    epsilon: float,
+    c: int,
+    trials: int,
+    seed,
+) -> float:
+    scores = dataset.supports.astype(float)
+    threshold = dataset.threshold_for_c(c)
+    sers = []
+    for trial in range(trials):
+        shuffle_rng = derive_rng(seed, "xover-shuffle", c, trial)
+        perm = shuffle_rng.permutation(scores.size)
+        allocation = BudgetAllocation.from_ratio(epsilon, c, "1:c^(2/3)", monotonic=True)
+        result = run_svt_batch(
+            scores[perm],
+            allocation,
+            c,
+            thresholds=threshold,
+            monotonic=True,
+            rng=derive_rng(seed, "xover-mech", c, trial, int(epsilon * 1e9)),
+        )
+        picked = perm[np.asarray(result.positives, dtype=np.int64)]
+        sers.append(score_error_rate(scores, picked, c))
+    return float(np.mean(sers))
+
+
+def eps_c_equivalence(
+    dataset: ScoreDataset,
+    c_values: Sequence[int] = (10, 20, 40, 80),
+    base_epsilon: float = 0.1,
+    base_c: int = 20,
+    trials: int = 20,
+    seed: int = 0,
+) -> List[CrossoverPoint]:
+    """Match a c-sweep at fixed eps against an eps-sweep at fixed c.
+
+    For each c in *c_values*, the partner epsilon is
+    ``base_epsilon * base_c / c`` so both runs share ``eps/c``.  SER is
+    evaluated at the run's own c (the task changes with c, so the c-sweep's
+    threshold/truth move accordingly; the remark is about the *noise* regime,
+    which eps/c pins).
+    """
+    if base_c not in c_values:
+        raise InvalidParameterError("base_c should be one of c_values for a shared anchor")
+    points: List[CrossoverPoint] = []
+    for c in c_values:
+        if c >= dataset.num_items:
+            raise InvalidParameterError(
+                f"c={c} too large for dataset with {dataset.num_items} items"
+            )
+        ratio = base_epsilon / c  # the shared eps/c value of this pair
+        # c-sweep member: (eps = base_epsilon, c = c).
+        ser_c_sweep = _mean_ser(dataset, base_epsilon, c, trials, seed)
+        # eps-sweep member: (eps = ratio * base_c, c = base_c).
+        partner_eps = ratio * base_c
+        ser_eps_sweep = _mean_ser(dataset, partner_eps, base_c, trials, seed)
+        points.append(
+            CrossoverPoint(
+                eps_over_c=ratio,
+                c_sweep_c=c,
+                c_sweep_eps=base_epsilon,
+                c_sweep_ser=ser_c_sweep,
+                eps_sweep_c=base_c,
+                eps_sweep_eps=partner_eps,
+                eps_sweep_ser=ser_eps_sweep,
+            )
+        )
+    return points

@@ -1,0 +1,40 @@
+"""Table 1 and Figure 3 — dataset characteristics and score distributions."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig
+
+__all__ = ["table1", "figure3_series"]
+
+#: The paper's Table 1, for side-by-side comparison in reports.
+PAPER_TABLE1 = {
+    "BMS-POS": (515_597, 1_657),
+    "Kosarak": (990_002, 41_270),
+    "AOL": (647_377, 2_290_685),
+    "Zipf": (1_000_000, 10_000),
+}
+
+
+def table1(config: ExperimentConfig) -> List[Tuple[str, int, int]]:
+    """Regenerate Table 1: (dataset, number of records, number of items).
+
+    With ``dataset_scale = 1.0`` the counts equal the paper's exactly (they
+    are generator calibration targets, not measurements).
+    """
+    rows = []
+    for name, dataset in config.load_datasets().items():
+        rows.append((name, dataset.num_records, dataset.num_items))
+    return rows
+
+
+def figure3_series(config: ExperimentConfig, top_n: int = 300) -> Dict[str, np.ndarray]:
+    """Regenerate Figure 3: the *top_n* highest supports per dataset.
+
+    The paper plots these on log-log axes (rank vs support); callers get the
+    raw series and render however they like.
+    """
+    return {name: ds.head(top_n) for name, ds in config.load_datasets().items()}

@@ -1,0 +1,69 @@
+"""Figure 4 — the interactive-setting comparison.
+
+Methods (Table 2, "Interactive"):
+
+* **SVT-DPBook** — Alg. 2, the Dwork–Roth book version.
+* **SVT-S-r** — our standard SVT (Alg. 7 with eps3 = 0) under budget
+  allocations r in {1:1, 1:3, 1:c, 1:c^(2/3)}.  Item-support queries are
+  monotonic counting queries, so the monotonic noise scales apply
+  (Section 4.3), and 1:c^(2/3) is the Section-4.2 optimum.
+
+Expected shape (paper Figure 4): SVT-DPBook ≫ SVT-S-1:1 > SVT-S-1:3 >
+{SVT-S-1:c, SVT-S-1:c^(2/3)} in SER/FNR, with the last two close and
+1:c showing larger variance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.core.allocation import BudgetAllocation
+from repro.core.svt import run_svt_batch
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import MethodResult, SelectionMethod, run_selection_experiment
+from repro.variants.dpbook import run_dpbook_batch
+
+__all__ = ["figure4_methods", "run_figure4"]
+
+
+def _svt_s_method(ratio: str) -> SelectionMethod:
+    def method(scores, threshold, c, epsilon, rng) -> np.ndarray:
+        allocation = BudgetAllocation.from_ratio(epsilon, c, ratio=ratio, monotonic=True)
+        result = run_svt_batch(
+            scores, allocation, c, thresholds=threshold, monotonic=True, rng=rng
+        )
+        return np.asarray(result.positives, dtype=np.int64)
+
+    return method
+
+
+def _dpbook_method(scores, threshold, c, epsilon, rng) -> np.ndarray:
+    result = run_dpbook_batch(scores, epsilon, c, thresholds=threshold, rng=rng)
+    return np.asarray(result.positives, dtype=np.int64)
+
+
+def figure4_methods(config: ExperimentConfig) -> Dict[str, SelectionMethod]:
+    """The method roster of Figure 4, keyed by the paper's legend labels."""
+    methods: Dict[str, SelectionMethod] = {"SVT-DPBook": _dpbook_method}
+    for ratio in config.svt_ratios:
+        methods[f"SVT-S-{ratio}"] = _svt_s_method(ratio)
+    return methods
+
+
+def run_figure4(config: ExperimentConfig) -> Dict[str, Dict[str, MethodResult]]:
+    """Reproduce Figure 4: {dataset: {method: MethodResult}}."""
+    methods = figure4_methods(config)
+    output: Dict[str, Dict[str, MethodResult]] = {}
+    for name, dataset in config.load_datasets().items():
+        c_values = config.usable_c_values(dataset)
+        output[name] = run_selection_experiment(
+            dataset,
+            methods,
+            c_values=c_values,
+            epsilon=config.epsilon,
+            trials=config.trials,
+            seed=config.seed,
+        )
+    return output

@@ -1,0 +1,77 @@
+"""Figure 5 — the non-interactive comparison (EM vs SVT variants).
+
+Methods (Table 2, "Non-interactive"):
+
+* **SVT-S-1:c^(2/3)** — the best interactive algorithm, as the reference.
+* **SVT-ReTr-1:c^(2/3)-kD** — SVT with retraversal, threshold raised by
+  k ∈ {1..5} standard deviations of the query noise.
+* **EM** — the Exponential Mechanism run c times at eps/c (monotonic
+  exponent, since item supports are counting queries).
+
+Expected shape (paper Figure 5): EM at or below every SVT curve; larger
+threshold bumps helping more at large c; SVT-ReTr-0D ≈ SVT-S.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.core.allocation import BudgetAllocation
+from repro.core.retraversal import svt_retraversal
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.interactive import _svt_s_method
+from repro.experiments.runner import MethodResult, SelectionMethod, run_selection_experiment
+from repro.mechanisms.exponential import select_top_c_em
+
+__all__ = ["figure5_methods", "run_figure5"]
+
+_RATIO = "1:c^(2/3)"
+
+
+def _em_method(scores, threshold, c, epsilon, rng) -> np.ndarray:
+    return select_top_c_em(scores, epsilon, c, monotonic=True, rng=rng)
+
+
+def _retraversal_method(bump_d: float) -> SelectionMethod:
+    def method(scores, threshold, c, epsilon, rng) -> np.ndarray:
+        allocation = BudgetAllocation.from_ratio(epsilon, c, ratio=_RATIO, monotonic=True)
+        result = svt_retraversal(
+            scores,
+            allocation,
+            c,
+            thresholds=threshold,
+            monotonic=True,
+            threshold_bump_d=bump_d,
+            rng=rng,
+        )
+        return np.asarray(result.selected, dtype=np.int64)
+
+    return method
+
+
+def figure5_methods(config: ExperimentConfig) -> Dict[str, SelectionMethod]:
+    """The method roster of Figure 5, keyed by the paper's legend labels."""
+    methods: Dict[str, SelectionMethod] = {f"SVT-S-{_RATIO}": _svt_s_method(_RATIO)}
+    for bump in config.retraversal_bumps:
+        methods[f"SVT-ReTr-{_RATIO}-{bump:g}D"] = _retraversal_method(bump)
+    methods["EM"] = _em_method
+    return methods
+
+
+def run_figure5(config: ExperimentConfig) -> Dict[str, Dict[str, MethodResult]]:
+    """Reproduce Figure 5: {dataset: {method: MethodResult}}."""
+    methods = figure5_methods(config)
+    output: Dict[str, Dict[str, MethodResult]] = {}
+    for name, dataset in config.load_datasets().items():
+        c_values = config.usable_c_values(dataset)
+        output[name] = run_selection_experiment(
+            dataset,
+            methods,
+            c_values=c_values,
+            epsilon=config.epsilon,
+            trials=config.trials,
+            seed=config.seed,
+        )
+    return output

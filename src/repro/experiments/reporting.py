@@ -1,0 +1,68 @@
+"""ASCII rendering of experiment results (the harness's "figures")."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.bounds import BoundRow
+from repro.experiments.runner import MethodResult
+
+__all__ = ["format_result_table", "format_table1", "format_bounds_table"]
+
+
+def _render(header: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    table = [list(header)] + [list(r) for r in rows]
+    widths = [max(len(row[i]) for row in table) for i in range(len(header))]
+    lines = []
+    for idx, row in enumerate(table):
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)).rstrip())
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_result_table(
+    results: Dict[str, MethodResult],
+    metric: str = "ser",
+    with_std: bool = True,
+) -> str:
+    """One dataset's results: rows = c, columns = methods, cells = mean(±std)."""
+    methods = list(results)
+    c_values = sorted({c for r in results.values() for c in r.by_c})
+    header = ["c"] + methods
+    rows: List[List[str]] = []
+    for c in c_values:
+        row = [str(c)]
+        for name in methods:
+            summary = results[name].by_c.get(c)
+            if summary is None:
+                row.append("-")
+                continue
+            mean = getattr(summary, f"{metric}_mean")
+            std = getattr(summary, f"{metric}_std")
+            row.append(f"{mean:.3f}±{std:.3f}" if with_std else f"{mean:.3f}")
+        rows.append(row)
+    return _render(header, rows)
+
+
+def format_table1(rows: Sequence[Tuple[str, int, int]]) -> str:
+    """Render Table 1 (dataset characteristics)."""
+    header = ("Dataset", "Number of Records", "Number of Items")
+    body = [(name, f"{records:,}", f"{items:,}") for name, records, items in rows]
+    return _render(header, body)
+
+
+def format_bounds_table(rows: Sequence[BoundRow]) -> str:
+    """Render the Section-5 alpha_SVT vs alpha_EM comparison."""
+    header = ("k", "beta", "alpha_SVT", "alpha_EM", "EM/SVT ratio")
+    body = [
+        (
+            f"{r.k:,}",
+            f"{r.beta:g}",
+            f"{r.alpha_svt:.1f}",
+            f"{r.alpha_em:.1f}",
+            f"{r.ratio:.4f}",
+        )
+        for r in rows
+    ]
+    return _render(header, body)

@@ -1,0 +1,113 @@
+"""The generic selection-experiment loop.
+
+One *trial* is exactly the paper's protocol: shuffle the items, hand the
+shuffled score vector (and the threshold computed from the *true* c-th and
+(c+1)-th scores) to a selection method, map the selected shuffled indices
+back to original identities, and score the selection with SER and FNR.
+Trials are averaged; each trial gets an independent child RNG so results are
+invariant to trial order.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.generators import ScoreDataset
+from repro.exceptions import InvalidParameterError
+from repro.metrics.utility import false_negative_rate, score_error_rate
+from repro.rng import RngLike, derive_rng
+
+__all__ = ["SelectionMethod", "MetricSummary", "MethodResult", "run_selection_experiment"]
+
+#: A selection method: (shuffled_scores, threshold, c, epsilon, rng) -> indices
+#: into the shuffled array.
+SelectionMethod = Callable[[np.ndarray, float, int, float, np.random.Generator], np.ndarray]
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Mean and standard deviation of SER and FNR over the trials."""
+
+    ser_mean: float
+    ser_std: float
+    fnr_mean: float
+    fnr_std: float
+    trials: int
+
+
+@dataclass
+class MethodResult:
+    """Per-c summaries for one method on one dataset."""
+
+    method: str
+    dataset: str
+    by_c: Dict[int, MetricSummary]
+
+    def series(self, metric: str = "ser") -> Tuple[List[int], List[float]]:
+        """(c values, metric means) ready for plotting/tabulation."""
+        if metric not in ("ser", "fnr"):
+            raise InvalidParameterError("metric must be 'ser' or 'fnr'")
+        cs = sorted(self.by_c)
+        attr = f"{metric}_mean"
+        return cs, [getattr(self.by_c[c], attr) for c in cs]
+
+
+def run_selection_experiment(
+    dataset: ScoreDataset,
+    methods: Dict[str, SelectionMethod],
+    c_values: Sequence[int],
+    epsilon: float,
+    trials: int,
+    seed: RngLike = 0,
+) -> Dict[str, MethodResult]:
+    """Run every method over every c, *trials* times each, on one dataset.
+
+    All methods within a (c, trial) cell see the **same** shuffled order, so
+    method comparisons are paired (lower variance in the differences), while
+    their mechanism randomness stays independent.
+    """
+    if epsilon <= 0:
+        raise InvalidParameterError("epsilon must be > 0")
+    if trials <= 0:
+        raise InvalidParameterError("trials must be > 0")
+    scores = dataset.supports.astype(float)
+    n = scores.size
+    results: Dict[str, MethodResult] = {
+        name: MethodResult(method=name, dataset=dataset.name, by_c={}) for name in methods
+    }
+    for c in c_values:
+        c = int(c)
+        if c >= n:
+            raise InvalidParameterError(
+                f"c={c} needs a (c+1)-th score but {dataset.name} has {n} items"
+            )
+        threshold = dataset.threshold_for_c(c)
+        per_method_ser: Dict[str, List[float]] = {name: [] for name in methods}
+        per_method_fnr: Dict[str, List[float]] = {name: [] for name in methods}
+        for trial in range(trials):
+            shuffle_rng = derive_rng(seed, "shuffle", dataset.name, c, trial)
+            perm = shuffle_rng.permutation(n)
+            shuffled = scores[perm]
+            for name, method in methods.items():
+                mech_rng = derive_rng(seed, "mech", name, dataset.name, c, trial)
+                picked = np.asarray(
+                    method(shuffled, threshold, c, epsilon, mech_rng), dtype=np.int64
+                )
+                original = perm[picked] if picked.size else picked
+                per_method_ser[name].append(score_error_rate(scores, original, c))
+                per_method_fnr[name].append(false_negative_rate(scores, original, c))
+        for name in methods:
+            ser = np.asarray(per_method_ser[name])
+            fnr = np.asarray(per_method_fnr[name])
+            results[name].by_c[c] = MetricSummary(
+                ser_mean=float(ser.mean()),
+                ser_std=float(ser.std(ddof=1)) if trials > 1 else 0.0,
+                fnr_mean=float(fnr.mean()),
+                fnr_std=float(fnr.std(ddof=1)) if trials > 1 else 0.0,
+                trials=trials,
+            )
+    return results

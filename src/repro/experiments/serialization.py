@@ -1,0 +1,113 @@
+"""Saving and loading experiment results.
+
+Reproduction runs are expensive (hours at paper scale), so results are
+first-class artifacts: :func:`save_results` writes a run — config plus every
+method/c cell — to a JSON document with a format version, and
+:func:`load_results` restores the exact ``{dataset: {method: MethodResult}}``
+structure.  :func:`export_artifacts` writes the full set of human-readable
+artifacts (tables, series CSVs, JSON) to a directory, which is what the
+EXPERIMENTS.md record is generated from.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.exceptions import InvalidParameterError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import format_result_table
+from repro.experiments.runner import MethodResult, MetricSummary
+
+__all__ = ["save_results", "load_results", "export_artifacts", "FORMAT_VERSION"]
+
+FORMAT_VERSION = 1
+
+Results = Dict[str, Dict[str, MethodResult]]
+
+
+def _config_to_dict(config: ExperimentConfig) -> dict:
+    return dataclasses.asdict(config)
+
+
+def save_results(
+    results: Results,
+    config: ExperimentConfig,
+    path: Union[str, Path],
+    label: str = "",
+) -> None:
+    """Serialize a figure run to JSON (format-versioned)."""
+    document = {
+        "format_version": FORMAT_VERSION,
+        "label": label,
+        "config": _config_to_dict(config),
+        "datasets": {},
+    }
+    for dataset, methods in results.items():
+        document["datasets"][dataset] = {}
+        for method, method_result in methods.items():
+            document["datasets"][dataset][method] = {
+                str(c): dataclasses.asdict(summary)
+                for c, summary in method_result.by_c.items()
+            }
+    Path(path).write_text(json.dumps(document, indent=2, sort_keys=True))
+
+
+def load_results(path: Union[str, Path]) -> Results:
+    """Restore ``{dataset: {method: MethodResult}}`` from :func:`save_results` output."""
+    document = json.loads(Path(path).read_text())
+    version = document.get("format_version")
+    if version != FORMAT_VERSION:
+        raise InvalidParameterError(
+            f"unsupported results format version {version!r}; expected {FORMAT_VERSION}"
+        )
+    results: Results = {}
+    for dataset, methods in document["datasets"].items():
+        results[dataset] = {}
+        for method, cells in methods.items():
+            by_c = {
+                int(c): MetricSummary(**summary) for c, summary in cells.items()
+            }
+            results[dataset][method] = MethodResult(
+                method=method, dataset=dataset, by_c=by_c
+            )
+    return results
+
+
+def export_artifacts(
+    results: Results,
+    config: ExperimentConfig,
+    directory: Union[str, Path],
+    label: str,
+) -> Path:
+    """Write JSON + per-dataset tables + CSV series under *directory*/*label*.
+
+    Layout::
+
+        <directory>/<label>/
+          results.json
+          <dataset>.ser.txt        ASCII table (mean±std)
+          <dataset>.fnr.txt
+          <dataset>.csv            long-format rows: method,c,ser_mean,...
+
+    Returns the created run directory.
+    """
+    run_dir = Path(directory) / label
+    run_dir.mkdir(parents=True, exist_ok=True)
+    save_results(results, config, run_dir / "results.json", label=label)
+    for dataset, methods in results.items():
+        for metric in ("ser", "fnr"):
+            table = format_result_table(methods, metric, with_std=True)
+            (run_dir / f"{dataset}.{metric}.txt").write_text(table + "\n")
+        rows = ["method,c,ser_mean,ser_std,fnr_mean,fnr_std,trials"]
+        for method, method_result in methods.items():
+            for c in sorted(method_result.by_c):
+                s = method_result.by_c[c]
+                rows.append(
+                    f"{method},{c},{s.ser_mean:.6f},{s.ser_std:.6f},"
+                    f"{s.fnr_mean:.6f},{s.fnr_std:.6f},{s.trials}"
+                )
+        (run_dir / f"{dataset}.csv").write_text("\n".join(rows) + "\n")
+    return run_dir

@@ -1,0 +1,80 @@
+"""Epsilon sweeps — the results the paper omitted for space.
+
+Section 6: "We show results for privacy budget eps = 0.1 in the paper.  We
+omit results for other eps values because of space limitation."  This driver
+fills the gap: SER of each Figure-4/5 method as a function of eps at fixed c,
+on any dataset.  Combined with :mod:`repro.experiments.crossover` it also
+illustrates *why* the omission was harmless (eps/c governs everything).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.data.generators import ScoreDataset
+from repro.exceptions import InvalidParameterError
+from repro.experiments.runner import (
+    MethodResult,
+    MetricSummary,
+    SelectionMethod,
+    run_selection_experiment,
+)
+
+__all__ = ["epsilon_sweep"]
+
+
+def epsilon_sweep(
+    dataset: ScoreDataset,
+    methods: Dict[str, SelectionMethod],
+    epsilons: Sequence[float] = (0.025, 0.05, 0.1, 0.2, 0.4),
+    c: int = 25,
+    trials: int = 20,
+    seed: int = 0,
+) -> Dict[str, Dict[float, MetricSummary]]:
+    """SER/FNR of every method at each epsilon, fixed c.
+
+    Returns ``{method: {epsilon: MetricSummary}}``.  Reuses the paired-trial
+    runner per epsilon, so cross-method comparisons stay paired within each
+    epsilon level.
+    """
+    if not epsilons or any(e <= 0 for e in epsilons):
+        raise InvalidParameterError("epsilons must be positive")
+    out: Dict[str, Dict[float, MetricSummary]] = {name: {} for name in methods}
+    for epsilon in epsilons:
+        results = run_selection_experiment(
+            dataset,
+            methods,
+            c_values=[c],
+            epsilon=float(epsilon),
+            trials=trials,
+            seed=seed,
+        )
+        for name, method_result in results.items():
+            out[name][float(epsilon)] = method_result.by_c[c]
+    return out
+
+
+def format_epsilon_sweep(
+    sweep: Dict[str, Dict[float, MetricSummary]], metric: str = "ser"
+) -> str:
+    """Rows = epsilon, columns = methods (mirrors format_result_table)."""
+    if metric not in ("ser", "fnr"):
+        raise InvalidParameterError("metric must be 'ser' or 'fnr'")
+    methods = list(sweep)
+    epsilons = sorted({e for per_method in sweep.values() for e in per_method})
+    header = ["eps"] + methods
+    rows: List[List[str]] = []
+    for epsilon in epsilons:
+        row = [f"{epsilon:g}"]
+        for name in methods:
+            summary = sweep[name].get(epsilon)
+            row.append("-" if summary is None else f"{getattr(summary, metric + '_mean'):.3f}")
+        rows.append(row)
+    widths = [max(len(r[i]) for r in [header] + rows) for i in range(len(header))]
+    lines = ["  ".join(cell.rjust(w) for cell, w in zip(header, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

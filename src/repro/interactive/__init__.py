@@ -1,0 +1,36 @@
+"""The interactive setting: where SVT genuinely earns its keep.
+
+Section 1 of the paper recalls why SVT matters interactively: lower bounds
+forbid answering linearly-many queries with small noise, but the iterative
+construction approach of [11, 12, 16] bypasses them by answering most queries
+from *history* and using SVT to detect — nearly for free — the few queries
+whose derived answers are too wrong.
+
+* :mod:`repro.interactive.online` — an online query-answering server with the
+  history-first pattern, using the **corrected** error check from Section 3.4
+  (``|q~ - q(D)| + nu >= T + rho``, noise *outside* the absolute value).
+* :mod:`repro.interactive.multiplicative_weights` — private multiplicative
+  weights over a histogram domain (the Hardt–Rothblum [12] substrate), with
+  the SVT gate deciding when to spend budget on a real answer.
+"""
+
+from repro.interactive.estimators import (
+    ExactRepeatEstimator,
+    MeanEstimator,
+    NearestSupportEstimator,
+)
+from repro.interactive.online import OnlineAnswer, OnlineQueryAnswerer
+from repro.interactive.multiplicative_weights import (
+    MWState,
+    PrivateMultiplicativeWeights,
+)
+
+__all__ = [
+    "OnlineQueryAnswerer",
+    "OnlineAnswer",
+    "PrivateMultiplicativeWeights",
+    "MWState",
+    "ExactRepeatEstimator",
+    "MeanEstimator",
+    "NearestSupportEstimator",
+]

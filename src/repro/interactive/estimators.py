@@ -1,0 +1,95 @@
+"""Pluggable history estimators for the online query answerer.
+
+The iterative-construction pattern lives or dies by how well answers can be
+*derived* from history: the better the estimator, the more queries clear the
+SVT gate for free.  :class:`~repro.interactive.online.OnlineQueryAnswerer`
+accepts any callable ``(query, history) -> float``; this module provides the
+standard strategies:
+
+* :class:`ExactRepeatEstimator` — replay the last release for an identical
+  query, else a fixed prior (the default behaviour of the answerer).
+* :class:`MeanEstimator` — the running mean of all releases (a one-number
+  model; surprisingly strong for concentrated workloads).
+* :class:`NearestSupportEstimator` — for itemset-support queries: the
+  smallest released support among supersets is an upper bound, the largest
+  among subsets a lower bound (anti-monotonicity of support); estimates by
+  the midpoint of the implied interval.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.queries.base import Query
+from repro.queries.counting import ItemsetSupportQuery
+
+__all__ = ["ExactRepeatEstimator", "MeanEstimator", "NearestSupportEstimator"]
+
+History = List[Tuple[Query, float]]
+
+
+class ExactRepeatEstimator:
+    """Replay the most recent release of an identical query, else the prior."""
+
+    def __init__(self, prior: float = 0.0) -> None:
+        self.prior = float(prior)
+
+    def __call__(self, query: Query, history: History) -> float:
+        for past_query, past_answer in reversed(history):
+            if repr(past_query) == repr(query):
+                return past_answer
+        return self.prior
+
+
+class MeanEstimator:
+    """The running mean of all released answers (prior when history is empty)."""
+
+    def __init__(self, prior: float = 0.0) -> None:
+        self.prior = float(prior)
+
+    def __call__(self, query: Query, history: History) -> float:
+        if not history:
+            return self.prior
+        return sum(answer for _, answer in history) / len(history)
+
+
+class NearestSupportEstimator:
+    """Interval estimator for itemset supports using anti-monotonicity.
+
+    support(S) <= support(T) whenever T ⊆ S, so released supports of
+    supersets/subsets of the queried itemset bracket its true value.  The
+    estimate is the interval midpoint; with no related history it falls back
+    to *prior* (e.g. a public guess like ``num_records / 2``).
+
+    Only :class:`ItemsetSupportQuery` instances get the interval treatment;
+    other query types fall back to exact-repeat behaviour.
+    """
+
+    def __init__(self, prior: float = 0.0, ceiling: Optional[float] = None) -> None:
+        self.prior = float(prior)
+        self.ceiling = None if ceiling is None else float(ceiling)
+
+    def __call__(self, query: Query, history: History) -> float:
+        if not isinstance(query, ItemsetSupportQuery):
+            return ExactRepeatEstimator(self.prior)(query, history)
+        target = set(query.itemset)
+        upper = self.ceiling
+        lower = 0.0
+        exact: Optional[float] = None
+        for past_query, past_answer in history:
+            if not isinstance(past_query, ItemsetSupportQuery):
+                continue
+            past_set = set(past_query.itemset)
+            if past_set == target:
+                exact = past_answer
+            elif past_set < target:
+                # Subset: its support upper-bounds ours.
+                upper = past_answer if upper is None else min(upper, past_answer)
+            elif past_set > target:
+                # Superset: its support lower-bounds ours.
+                lower = max(lower, past_answer)
+        if exact is not None:
+            return exact
+        if upper is None:
+            return max(self.prior, lower)
+        return (max(lower, 0.0) + max(upper, lower, 0.0)) / 2.0

@@ -1,0 +1,185 @@
+"""Private multiplicative weights with an SVT gate (Hardt–Rothblum [12] style).
+
+The substrate behind the paper's interactive motivation: maintain a synthetic
+histogram ``x_hat`` over a data domain; answer each linear query from
+``x_hat``; use SVT to detect (cheaply) when ``x_hat``'s answer is too wrong;
+on detection, pay for a noisy true answer and fold it back into ``x_hat``
+with a multiplicative-weights update.  Only "update rounds" — at most c of
+them — consume query-answer budget.
+
+Linear queries are vectors ``w in [0, 1]^N`` over the N domain bins; the
+answer on a histogram ``h`` (counts, summing to the number of records n) is
+``<w, h>``, with sensitivity 1 under add/remove-one-record neighbors.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.accounting.budget import BudgetLedger
+from repro.core.allocation import BudgetAllocation
+from repro.core.base import BELOW
+from repro.core.svt import StandardSVT
+from repro.exceptions import InvalidParameterError, PrivacyError
+from repro.rng import RngLike, ensure_rng
+
+__all__ = ["MWState", "PrivateMultiplicativeWeights"]
+
+
+@dataclass
+class MWState:
+    """Bookkeeping of one PMW run (exposed for inspection and tests)."""
+
+    queries_answered: int = 0
+    update_rounds: int = 0
+    answers: List[float] = field(default_factory=list)
+    from_synthetic: List[bool] = field(default_factory=list)
+
+
+class PrivateMultiplicativeWeights:
+    """Answer linear queries over a histogram with PMW + SVT gating.
+
+    Parameters
+    ----------
+    histogram:
+        True counts per domain bin (non-negative; n = sum).
+    epsilon:
+        Total budget for the session.
+    error_threshold:
+        SVT threshold T on the absolute error of the synthetic answer.
+        A natural scale is a small multiple of sqrt(n).
+    c:
+        Maximum update rounds.
+    learning_rate:
+        MW step size eta; the classical analysis uses values around
+        ``error_threshold / (2n)``.  Defaults to that when None.
+    """
+
+    def __init__(
+        self,
+        histogram: Sequence[float],
+        epsilon: float,
+        error_threshold: float,
+        c: int,
+        learning_rate: Optional[float] = None,
+        svt_fraction: float = 0.5,
+        rng: RngLike = None,
+    ) -> None:
+        hist = np.asarray(histogram, dtype=float)
+        if hist.ndim != 1 or hist.size < 2:
+            raise InvalidParameterError("histogram must be 1-D with at least 2 bins")
+        if np.any(hist < 0) or hist.sum() <= 0:
+            raise InvalidParameterError("histogram must be non-negative with positive total")
+        if error_threshold <= 0:
+            raise InvalidParameterError("error_threshold must be > 0")
+        if not 0.0 < svt_fraction < 1.0:
+            raise InvalidParameterError("svt_fraction must be in (0, 1)")
+        self._hist = hist
+        self._n = float(hist.sum())
+        self._threshold = float(error_threshold)
+        self._c = int(c)
+        self._rng = ensure_rng(rng)
+        self._eta = (
+            float(learning_rate)
+            if learning_rate is not None
+            else self._threshold / (2.0 * self._n)
+        )
+        if self._eta <= 0:
+            raise InvalidParameterError("learning_rate must be > 0")
+
+        # Synthetic histogram starts uniform with the right total mass.
+        self._synthetic = np.full(hist.size, self._n / hist.size)
+
+        self.ledger = BudgetLedger.with_total(epsilon)
+        eps_svt = epsilon * svt_fraction
+        eps_answers = epsilon - eps_svt
+        allocation = BudgetAllocation.from_ratio(eps_svt, self._c, ratio="optimal")
+        self._svt = StandardSVT(allocation, sensitivity=1.0, c=self._c, rng=self._rng)
+        self.ledger.charge("svt-gate", eps_svt, note="PMW error tests")
+        self._eps_per_update = eps_answers / self._c
+        self.state = MWState()
+
+    # ------------------------------------------------------------------
+    @property
+    def synthetic_histogram(self) -> np.ndarray:
+        """The current public synthetic histogram (safe to release)."""
+        return self._synthetic.copy()
+
+    @property
+    def exhausted(self) -> bool:
+        return self._svt.halted
+
+    @property
+    def update_rounds(self) -> int:
+        return self.state.update_rounds
+
+    # ------------------------------------------------------------------
+    def _check_query(self, weights: Sequence[float]) -> np.ndarray:
+        w = np.asarray(weights, dtype=float)
+        if w.shape != self._hist.shape:
+            raise InvalidParameterError(
+                f"query has {w.size} weights for {self._hist.size} bins"
+            )
+        if np.any((w < 0.0) | (w > 1.0)):
+            raise InvalidParameterError("linear query weights must lie in [0, 1]")
+        return w
+
+    def answer(self, weights: Sequence[float]) -> float:
+        """Answer one linear query ``<w, histogram>``.
+
+        Returns the synthetic answer when it passes the SVT error test, else
+        a fresh Laplace answer (which also updates the synthetic histogram).
+        """
+        if self.exhausted:
+            raise PrivacyError(
+                "PMW session exhausted: all c update rounds consumed"
+            )
+        w = self._check_query(weights)
+        synthetic_answer = float(w @ self._synthetic)
+        true_answer = float(w @ self._hist)
+        error = abs(synthetic_answer - true_answer)
+        outcome = self._svt.process(error, threshold=self._threshold)
+        self.state.queries_answered += 1
+        if outcome is BELOW:
+            self.state.answers.append(synthetic_answer)
+            self.state.from_synthetic.append(True)
+            return synthetic_answer
+        noisy_true = true_answer + float(
+            self._rng.laplace(scale=1.0 / self._eps_per_update)
+        )
+        self.ledger.charge(
+            "laplace-update",
+            self._eps_per_update,
+            note=f"update round {self.state.update_rounds}",
+        )
+        self._update(w, noisy_true, synthetic_answer)
+        self.state.update_rounds += 1
+        self.state.answers.append(noisy_true)
+        self.state.from_synthetic.append(False)
+        return noisy_true
+
+    def _update(self, w: np.ndarray, noisy_true: float, synthetic_answer: float) -> None:
+        """One multiplicative-weights step toward the noisy true answer.
+
+        If the synthetic answer was too low, up-weight the bins the query
+        touches; if too high, down-weight them.  Mass is renormalized to n.
+        """
+        direction = 1.0 if noisy_true > synthetic_answer else -1.0
+        self._synthetic = self._synthetic * np.exp(direction * self._eta * w)
+        self._synthetic *= self._n / self._synthetic.sum()
+
+    def max_error_on(self, queries: Sequence[Sequence[float]]) -> float:
+        """Max |synthetic - true| over a set of queries (evaluation helper).
+
+        Uses the private histogram, so this is for offline evaluation of the
+        reproduction, not something to release.
+        """
+        worst = 0.0
+        for weights in queries:
+            w = self._check_query(weights)
+            worst = max(worst, abs(float(w @ self._synthetic) - float(w @ self._hist)))
+        return worst

@@ -1,0 +1,165 @@
+"""Online query answering with an SVT gate (the iterative-construction pattern).
+
+The server keeps a history of (query, released answer) pairs.  For each new
+query it derives an estimate from history; SVT then tests — without spending
+per-query budget — whether the estimate's error exceeds a threshold.  Only
+when the test fires does the server touch the database with the Laplace
+mechanism, at real budget cost.  With at most c firings allowed, the whole
+run costs ``eps_svt + c * eps_answer`` regardless of how many queries were
+asked: the "answer many queries for a constant budget" trick.
+
+Crucially, the error check is the **corrected** one from Section 3.4.  The
+versions in [12, 16] tested ``|q~ - q(D) + nu| >= T + rho`` (noise inside the
+absolute value), whose left side is always >= 0 — so any ⊤ reveals
+``rho >= -T``, leaking the threshold noise just like Alg. 3's numeric
+outputs.  The fix is to treat ``r_i = |q~ - q(D)|`` as the query and add the
+noise outside: ``r_i + nu >= T + rho``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.accounting.budget import BudgetLedger
+from repro.core.allocation import BudgetAllocation
+from repro.core.base import BELOW
+from repro.core.svt import StandardSVT
+from repro.exceptions import InvalidParameterError, PrivacyError
+from repro.mechanisms.laplace import LaplaceMechanism
+from repro.queries.base import Query
+from repro.rng import RngLike, ensure_rng
+
+__all__ = ["OnlineAnswer", "OnlineQueryAnswerer"]
+
+#: Derives an estimate for a query from the answer history.  Receives the
+#: query and the history list of (query, answer) pairs; returns the estimate.
+EstimatorFn = Callable[[Query, List[tuple]], float]
+
+
+def _default_estimator(query: Query, history: List[tuple]) -> float:
+    """Answer from history: exact past answer if the query repeats, else the mean.
+
+    Deliberately simple — the contract is "any function of *released* data is
+    free", and repeated/correlated query streams are where it shines.  The MW
+    substrate provides a much stronger estimator for linear queries.
+    """
+    for past_query, past_answer in reversed(history):
+        if repr(past_query) == repr(query):
+            return past_answer
+    if history:
+        return sum(ans for _, ans in history) / len(history)
+    return 0.0
+
+
+@dataclass(frozen=True)
+class OnlineAnswer:
+    """One served answer and how it was produced.
+
+    ``from_history`` is True when the SVT gate said the derived answer was
+    good enough (no budget spent on this query beyond the shared SVT charge).
+    """
+
+    value: float
+    from_history: bool
+    query_index: int
+
+
+class OnlineQueryAnswerer:
+    """Answer an adaptive stream of queries under a fixed total budget.
+
+    Parameters
+    ----------
+    dataset:
+        The private dataset, passed to ``query.evaluate``.
+    epsilon:
+        Total privacy budget for the whole interactive session.
+    error_threshold:
+        The T of the SVT test on the derived answer's error: estimates with
+        (noisy) error below T are served from history.
+    c:
+        Maximum number of database accesses (SVT positives).
+    svt_fraction:
+        Fraction of *epsilon* funding the SVT gate; the rest is split evenly
+        across the c Laplace answers.
+    """
+
+    def __init__(
+        self,
+        dataset,
+        epsilon: float,
+        error_threshold: float,
+        c: int,
+        svt_fraction: float = 0.5,
+        sensitivity: float = 1.0,
+        estimator: Optional[EstimatorFn] = None,
+        rng: RngLike = None,
+    ) -> None:
+        if not 0.0 < svt_fraction < 1.0:
+            raise InvalidParameterError("svt_fraction must be in (0, 1)")
+        if error_threshold < 0.0:
+            raise InvalidParameterError("error_threshold must be >= 0")
+        self._dataset = dataset
+        self._rng = ensure_rng(rng)
+        self._estimator = estimator or _default_estimator
+        self._sensitivity = float(sensitivity)
+        self._c = int(c)
+        self._threshold = float(error_threshold)
+
+        self.ledger = BudgetLedger.with_total(epsilon)
+        eps_svt = epsilon * svt_fraction
+        eps_answers = epsilon - eps_svt
+        # The error query r = |q~ - q(D)| has the same sensitivity as q
+        # (|r(D) - r(D')| <= |q(D) - q(D')| by the reverse triangle
+        # inequality), and is generally NOT monotonic even for monotonic q.
+        allocation = BudgetAllocation.from_ratio(eps_svt, self._c, ratio="optimal")
+        self._svt = StandardSVT(
+            allocation, sensitivity=self._sensitivity, c=self._c, rng=self._rng
+        )
+        self.ledger.charge("svt-gate", eps_svt, note="threshold test for all queries")
+        self._eps_per_answer = eps_answers / self._c
+        self._laplace = LaplaceMechanism(self._eps_per_answer, self._sensitivity)
+        self.history: List[tuple] = []
+        self._served = 0
+
+    @property
+    def exhausted(self) -> bool:
+        """True when the c database accesses are used up — the session is over."""
+        return self._svt.halted
+
+    @property
+    def database_accesses(self) -> int:
+        return self._svt.count
+
+    def answer(self, query: Query) -> OnlineAnswer:
+        """Serve one query: history if the SVT gate allows, else the database."""
+        if not isinstance(query, Query):
+            raise InvalidParameterError("answer() expects a Query instance")
+        if self.exhausted:
+            raise PrivacyError(
+                "interactive session exhausted: c database accesses used; "
+                "further queries would exceed the privacy budget"
+            )
+        if query.sensitivity > self._sensitivity:
+            raise PrivacyError(
+                f"query sensitivity {query.sensitivity} exceeds the session bound "
+                f"{self._sensitivity}"
+            )
+        estimate = float(self._estimator(query, self.history))
+        true_answer = float(query.evaluate(self._dataset))
+        # Corrected Section-3.4 check: the error |q~ - q(D)| is the SVT query.
+        error = abs(estimate - true_answer)
+        outcome = self._svt.process(error, threshold=self._threshold)
+        index = self._served
+        self._served += 1
+        if outcome is BELOW:
+            served = OnlineAnswer(value=estimate, from_history=True, query_index=index)
+        else:
+            noisy = float(self._laplace.release(true_answer, rng=self._rng))
+            self.ledger.charge(
+                "laplace-answer", self._eps_per_answer, note=f"query #{index}"
+            )
+            self.history.append((query, noisy))
+            served = OnlineAnswer(value=noisy, from_history=False, query_index=index)
+        return served

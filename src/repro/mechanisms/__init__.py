@@ -1,0 +1,48 @@
+"""Differentially private primitives used throughout the library.
+
+This package contains the two classical mechanisms the paper builds on — the
+Laplace mechanism [Dwork et al., TCC 2006] and the Exponential Mechanism
+[McSherry & Talwar, FOCS 2007] — plus report-noisy-max, which is used as a
+cross-check for top-1 selection.
+"""
+
+from repro.mechanisms.laplace import (
+    LaplaceDistribution,
+    LaplaceMechanism,
+    laplace_cdf,
+    laplace_pdf,
+    laplace_ppf,
+    sample_laplace,
+)
+from repro.mechanisms.geometric import (
+    GeometricMechanism,
+    geometric_cdf,
+    geometric_pmf,
+    sample_two_sided_geometric,
+)
+from repro.mechanisms.exponential import (
+    ExponentialMechanism,
+    exponential_mechanism_probabilities,
+    select_one,
+    select_top_c_em,
+)
+from repro.mechanisms.noisy_max import report_noisy_max, report_noisy_max_top_c
+
+__all__ = [
+    "LaplaceDistribution",
+    "LaplaceMechanism",
+    "laplace_pdf",
+    "laplace_cdf",
+    "laplace_ppf",
+    "sample_laplace",
+    "ExponentialMechanism",
+    "GeometricMechanism",
+    "geometric_pmf",
+    "geometric_cdf",
+    "sample_two_sided_geometric",
+    "exponential_mechanism_probabilities",
+    "select_one",
+    "select_top_c_em",
+    "report_noisy_max",
+    "report_noisy_max_top_c",
+]

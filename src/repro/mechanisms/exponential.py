@@ -1,0 +1,190 @@
+"""The Exponential Mechanism (EM) and top-c selection.
+
+Section 5 of the paper argues that in the *non-interactive* setting — all
+queries known up front, goal = select the c queries with the highest answers —
+SVT should be replaced by EM: run EM c times, each round with budget
+``eps/c``, quality of a query = its answer, removing each selected query from
+the candidate pool.
+
+Two exponents are supported, exactly as in Section 2 of the paper:
+
+* general case: ``Pr[r] ∝ exp(eps * q(D, r) / (2 * Delta_q))``
+* monotonic case (all quality values move the same direction between
+  neighbors, e.g. counting queries under add/remove-one-tuple neighbors):
+  ``Pr[r] ∝ exp(eps * q(D, r) / Delta_q)``
+
+For large candidate universes (the AOL-like dataset has ~2.3 million items)
+sequential categorical sampling is slow, so :func:`select_top_c_em` uses the
+Gumbel-top-c trick, which draws exactly from the same sequential
+without-replacement (Plackett–Luce) process in one vectorized pass.  The
+equivalence is covered by a distributional test in
+``tests/mechanisms/test_exponential.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.rng import RngLike, ensure_rng
+
+__all__ = [
+    "ExponentialMechanism",
+    "exponential_mechanism_probabilities",
+    "select_one",
+    "select_top_c_em",
+]
+
+
+def _validate_eps(epsilon: float) -> float:
+    epsilon = float(epsilon)
+    if epsilon <= 0.0 or not math.isfinite(epsilon):
+        raise InvalidParameterError(f"epsilon must be finite and > 0, got {epsilon!r}")
+    return epsilon
+
+
+def _validate_sensitivity(sensitivity: float) -> float:
+    sensitivity = float(sensitivity)
+    if sensitivity <= 0.0 or not math.isfinite(sensitivity):
+        raise InvalidParameterError(
+            f"sensitivity must be finite and > 0, got {sensitivity!r}"
+        )
+    return sensitivity
+
+
+def exponential_mechanism_probabilities(
+    qualities: Sequence[float],
+    epsilon: float,
+    sensitivity: float = 1.0,
+    monotonic: bool = False,
+) -> np.ndarray:
+    """Exact selection probabilities of one EM draw.
+
+    Uses a numerically stable log-sum-exp; used both by :func:`select_one` on
+    small universes and by the tests that verify the Gumbel sampler.
+    """
+    epsilon = _validate_eps(epsilon)
+    sensitivity = _validate_sensitivity(sensitivity)
+    q = np.asarray(qualities, dtype=float)
+    if q.ndim != 1 or q.size == 0:
+        raise InvalidParameterError("qualities must be a non-empty 1-D sequence")
+    denom = sensitivity if monotonic else 2.0 * sensitivity
+    logits = (epsilon / denom) * q
+    logits -= logits.max()
+    weights = np.exp(logits)
+    return weights / weights.sum()
+
+
+def select_one(
+    qualities: Sequence[float],
+    epsilon: float,
+    sensitivity: float = 1.0,
+    monotonic: bool = False,
+    rng: RngLike = None,
+) -> int:
+    """One eps-DP EM draw; returns the index of the selected candidate."""
+    probs = exponential_mechanism_probabilities(qualities, epsilon, sensitivity, monotonic)
+    gen = ensure_rng(rng)
+    return int(gen.choice(probs.size, p=probs))
+
+
+def _gumbel_top_c(logits: np.ndarray, c: int, gen: np.random.Generator) -> np.ndarray:
+    """Indices of the top-c entries of ``logits + Gumbel`` (Plackett–Luce draw).
+
+    Adding i.i.d. standard Gumbel noise to the logits and taking the argmax
+    samples proportionally to ``exp(logits)``; taking the top-c in order is
+    distributed exactly like c sequential without-replacement draws.
+    """
+    gumbel = gen.gumbel(size=logits.shape)
+    keys = logits + gumbel
+    if c >= keys.size:
+        return np.argsort(-keys, kind="stable")
+    # argpartition then sort only the head: O(n + c log c).
+    head = np.argpartition(-keys, c)[:c]
+    return head[np.argsort(-keys[head], kind="stable")]
+
+
+def select_top_c_em(
+    qualities: Sequence[float],
+    epsilon: float,
+    c: int,
+    sensitivity: float = 1.0,
+    monotonic: bool = False,
+    rng: RngLike = None,
+    per_round_epsilon: Optional[float] = None,
+) -> np.ndarray:
+    """Select c candidates with c rounds of EM (total budget *epsilon*).
+
+    Each round uses ``epsilon / c`` (or *per_round_epsilon* when given, in
+    which case *epsilon* is ignored) and the winner is removed from the pool,
+    exactly as in Section 5 ("EM or SVT").  Returns the selected indices in
+    selection order.
+    """
+    q = np.asarray(qualities, dtype=float)
+    if q.ndim != 1 or q.size == 0:
+        raise InvalidParameterError("qualities must be a non-empty 1-D sequence")
+    if not isinstance(c, (int, np.integer)) or c <= 0:
+        raise InvalidParameterError(f"c must be a positive integer, got {c!r}")
+    c = int(min(c, q.size))
+    sensitivity = _validate_sensitivity(sensitivity)
+    if per_round_epsilon is None:
+        per_round_epsilon = _validate_eps(epsilon) / c
+    else:
+        per_round_epsilon = _validate_eps(per_round_epsilon)
+    denom = sensitivity if monotonic else 2.0 * sensitivity
+    logits = (per_round_epsilon / denom) * q
+    gen = ensure_rng(rng)
+    return _gumbel_top_c(logits, c, gen)
+
+
+class ExponentialMechanism:
+    """Object-style facade over the EM functions.
+
+    Examples
+    --------
+    >>> em = ExponentialMechanism(epsilon=1.0, sensitivity=1.0, monotonic=True)
+    >>> idx = em.select([10.0, 0.0, 3.0], rng=0)
+    >>> 0 <= idx < 3
+    True
+    """
+
+    def __init__(
+        self,
+        epsilon: float,
+        sensitivity: float = 1.0,
+        monotonic: bool = False,
+    ) -> None:
+        self.epsilon = _validate_eps(epsilon)
+        self.sensitivity = _validate_sensitivity(sensitivity)
+        self.monotonic = bool(monotonic)
+
+    def probabilities(self, qualities: Sequence[float]) -> np.ndarray:
+        return exponential_mechanism_probabilities(
+            qualities, self.epsilon, self.sensitivity, self.monotonic
+        )
+
+    def select(self, qualities: Sequence[float], rng: RngLike = None) -> int:
+        return select_one(qualities, self.epsilon, self.sensitivity, self.monotonic, rng)
+
+    def select_top_c(
+        self, qualities: Sequence[float], c: int, rng: RngLike = None
+    ) -> np.ndarray:
+        """Split this mechanism's budget over c rounds and select c winners."""
+        return select_top_c_em(
+            qualities,
+            self.epsilon,
+            c,
+            sensitivity=self.sensitivity,
+            monotonic=self.monotonic,
+            rng=rng,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        mode = "monotonic" if self.monotonic else "general"
+        return (
+            f"ExponentialMechanism(epsilon={self.epsilon:g}, "
+            f"sensitivity={self.sensitivity:g}, {mode})"
+        )

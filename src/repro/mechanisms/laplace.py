@@ -1,0 +1,225 @@
+"""The Laplace distribution and the Laplace mechanism.
+
+The whole SVT story is a story about Laplace noise: the threshold noise
+``rho = Lap(Delta/eps1)``, the query noise ``nu_i = Lap(2c*Delta/eps2)``, and
+the optional numeric-answer noise ``Lap(c*Delta/eps3)`` are all Laplace
+variates.  This module provides:
+
+* a small, fully-specified :class:`LaplaceDistribution` value object with
+  exact ``pdf``/``cdf``/``ppf``/``variance`` (used by the analytical privacy
+  verifier in :mod:`repro.analysis.verifier`), and
+* :class:`LaplaceMechanism`, the standard eps-DP primitive for releasing
+  numeric answers.
+
+Conventions follow the paper: ``Lap(b)`` has density
+``Pr[Lap(b) = x] = (1/2b) * exp(-|x|/b)``, i.e. *b* is the scale, not the
+privacy parameter.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.rng import RngLike, ensure_rng
+
+__all__ = [
+    "LaplaceDistribution",
+    "LaplaceMechanism",
+    "laplace_pdf",
+    "laplace_cdf",
+    "laplace_ppf",
+    "sample_laplace",
+]
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def _check_scale(scale: float) -> float:
+    scale = float(scale)
+    if not math.isfinite(scale) or scale <= 0.0:
+        raise InvalidParameterError(f"Laplace scale must be finite and > 0, got {scale!r}")
+    return scale
+
+
+def laplace_pdf(x: ArrayLike, scale: float, loc: float = 0.0) -> ArrayLike:
+    """Density of ``loc + Lap(scale)`` at *x*."""
+    scale = _check_scale(scale)
+    x = np.asarray(x, dtype=float)
+    out = np.exp(-np.abs(x - loc) / scale) / (2.0 * scale)
+    return out if out.ndim else float(out)
+
+
+def laplace_cdf(x: ArrayLike, scale: float, loc: float = 0.0) -> ArrayLike:
+    """CDF of ``loc + Lap(scale)`` at *x*.
+
+    ``F(x) = 1/2 * exp((x-loc)/scale)`` for ``x <= loc`` and
+    ``1 - 1/2 * exp(-(x-loc)/scale)`` otherwise.  This is the function called
+    ``F`` in the paper's Theorems 6 and 7.
+    """
+    scale = _check_scale(scale)
+    x = np.asarray(x, dtype=float)
+    # Tiny scales can overflow the division to +/-inf; the subsequent exp
+    # maps that to the correct 0/1 limit, so silence the intermediate noise.
+    with np.errstate(over="ignore"):
+        z = (x - loc) / scale
+        out = np.where(z <= 0.0, 0.5 * np.exp(z), 1.0 - 0.5 * np.exp(-z))
+    return out if out.ndim else float(out)
+
+
+def laplace_sf(x: ArrayLike, scale: float, loc: float = 0.0) -> ArrayLike:
+    """Survival function ``Pr[loc + Lap(scale) >= x]`` (complement of the CDF)."""
+    scale = _check_scale(scale)
+    x = np.asarray(x, dtype=float)
+    with np.errstate(over="ignore"):
+        z = (x - loc) / scale
+        out = np.where(z <= 0.0, 1.0 - 0.5 * np.exp(z), 0.5 * np.exp(-z))
+    return out if out.ndim else float(out)
+
+
+def laplace_ppf(q: ArrayLike, scale: float, loc: float = 0.0) -> ArrayLike:
+    """Quantile function (inverse CDF) of ``loc + Lap(scale)``."""
+    scale = _check_scale(scale)
+    q = np.asarray(q, dtype=float)
+    if np.any((q < 0.0) | (q > 1.0)):
+        raise InvalidParameterError("quantiles must lie in [0, 1]")
+    with np.errstate(divide="ignore"):
+        out = np.where(
+            q <= 0.5,
+            loc + scale * np.log(2.0 * q),
+            loc - scale * np.log(2.0 * (1.0 - q)),
+        )
+    return out if out.ndim else float(out)
+
+
+def sample_laplace(
+    scale: float,
+    size: Optional[Union[int, tuple]] = None,
+    rng: RngLike = None,
+    loc: float = 0.0,
+) -> ArrayLike:
+    """Draw samples from ``loc + Lap(scale)``.
+
+    A thin wrapper over :meth:`numpy.random.Generator.laplace` that validates
+    the scale and routes through :func:`repro.rng.ensure_rng` so every sample
+    in the library is attributable to a seed.
+    """
+    scale = _check_scale(scale)
+    gen = ensure_rng(rng)
+    out = gen.laplace(loc=loc, scale=scale, size=size)
+    return float(out) if size is None else out
+
+
+@dataclass(frozen=True)
+class LaplaceDistribution:
+    """An immutable ``loc + Lap(scale)`` distribution.
+
+    The analytical verifier composes these objects to integrate the exact
+    outcome probability of an SVT run (Eq. (5) of the paper), so the methods
+    here must be exact, not approximations.
+    """
+
+    scale: float
+    loc: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_scale(self.scale)
+
+    def pdf(self, x: ArrayLike) -> ArrayLike:
+        return laplace_pdf(x, self.scale, self.loc)
+
+    def cdf(self, x: ArrayLike) -> ArrayLike:
+        return laplace_cdf(x, self.scale, self.loc)
+
+    def sf(self, x: ArrayLike) -> ArrayLike:
+        return laplace_sf(x, self.scale, self.loc)
+
+    def ppf(self, q: ArrayLike) -> ArrayLike:
+        return laplace_ppf(q, self.scale, self.loc)
+
+    @property
+    def variance(self) -> float:
+        """``Var[Lap(b)] = 2 b^2`` — the quantity minimized in Section 4.2."""
+        return 2.0 * self.scale * self.scale
+
+    @property
+    def std(self) -> float:
+        """Standard deviation ``sqrt(2) * b`` — the "D" unit of SVT-ReTr."""
+        return math.sqrt(2.0) * self.scale
+
+    def sample(self, size: Optional[Union[int, tuple]] = None, rng: RngLike = None) -> ArrayLike:
+        return sample_laplace(self.scale, size=size, rng=rng, loc=self.loc)
+
+    def shift(self, delta: float) -> "LaplaceDistribution":
+        """The distribution of this variate plus a constant *delta*."""
+        return LaplaceDistribution(self.scale, self.loc + float(delta))
+
+
+class LaplaceMechanism:
+    """The eps-DP Laplace mechanism ``A_f(D) = f(D) + Lap(Delta_f / eps)``.
+
+    Parameters
+    ----------
+    epsilon:
+        Privacy parameter; must be > 0.
+    sensitivity:
+        Global L1 sensitivity ``Delta_f`` of the released statistic.
+
+    Examples
+    --------
+    >>> mech = LaplaceMechanism(epsilon=1.0, sensitivity=1.0)
+    >>> noisy = mech.release(42.0, rng=0)
+    >>> isinstance(noisy, float)
+    True
+    """
+
+    def __init__(self, epsilon: float, sensitivity: float = 1.0) -> None:
+        epsilon = float(epsilon)
+        sensitivity = float(sensitivity)
+        if epsilon <= 0.0 or not math.isfinite(epsilon):
+            raise InvalidParameterError(f"epsilon must be finite and > 0, got {epsilon!r}")
+        if sensitivity <= 0.0 or not math.isfinite(sensitivity):
+            raise InvalidParameterError(
+                f"sensitivity must be finite and > 0, got {sensitivity!r}"
+            )
+        self.epsilon = epsilon
+        self.sensitivity = sensitivity
+
+    @property
+    def scale(self) -> float:
+        """Noise scale ``Delta_f / eps``."""
+        return self.sensitivity / self.epsilon
+
+    @property
+    def distribution(self) -> LaplaceDistribution:
+        return LaplaceDistribution(self.scale)
+
+    def release(self, true_value: ArrayLike, rng: RngLike = None) -> ArrayLike:
+        """Release a noisy version of *true_value*.
+
+        When *true_value* is an array, each entry receives independent noise;
+        by sequential composition the total cost is ``len(value) * eps``
+        unless the entries are answers to queries with disjoint sensitivity —
+        callers are responsible for accounting (see :mod:`repro.accounting`).
+        """
+        value = np.asarray(true_value, dtype=float)
+        gen = ensure_rng(rng)
+        noisy = value + gen.laplace(scale=self.scale, size=value.shape)
+        return float(noisy) if noisy.ndim == 0 else noisy
+
+    def confidence_interval(self, noisy_value: float, confidence: float = 0.95) -> tuple:
+        """Two-sided noise interval: the true value lies inside with prob. *confidence*."""
+        if not 0.0 < confidence < 1.0:
+            raise InvalidParameterError("confidence must be in (0, 1)")
+        half_width = -self.scale * math.log(1.0 - confidence)
+        return (noisy_value - half_width, noisy_value + half_width)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LaplaceMechanism(epsilon={self.epsilon:g}, "
+            f"sensitivity={self.sensitivity:g})"
+        )

@@ -1,0 +1,18 @@
+"""Utility metrics from Section 6."""
+
+from repro.metrics.privacy import PrivacyReport, privacy_report
+from repro.metrics.utility import (
+    false_negative_rate,
+    precision_recall,
+    score_error_rate,
+    selection_report,
+)
+
+__all__ = [
+    "false_negative_rate",
+    "score_error_rate",
+    "precision_recall",
+    "selection_report",
+    "PrivacyReport",
+    "privacy_report",
+]

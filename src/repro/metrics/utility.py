@@ -1,0 +1,133 @@
+"""The paper's two utility measures: FNR and SER (Section 6).
+
+Both compare a selected set S of query indices against the true top-c set:
+
+* **False Negative Rate** — the fraction of the true top-c that was missed.
+  When exactly c results are output this equals the false positive rate.
+* **Score Error Rate** — ``1 - avgScore(S) / avgScore(Topc)`` — the fraction
+  of "missed score", which unlike FNR distinguishes missing the top item from
+  missing the c-th, and selecting garbage from selecting the (c+1)-th.
+
+Convention: indices refer to positions in the *scores* array; scores need not
+be sorted.  Ties at the top-c boundary are handled by value, not by index —
+selecting any item whose score equals the c-th highest counts as a hit, which
+matches how the metrics behave on real data where adjacent supports tie.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = [
+    "false_negative_rate",
+    "score_error_rate",
+    "precision_recall",
+    "selection_report",
+]
+
+
+def _validate(scores: Sequence[float], selected: Sequence[int], c: int) -> Tuple[np.ndarray, np.ndarray]:
+    scores_arr = np.asarray(scores, dtype=float)
+    if scores_arr.ndim != 1 or scores_arr.size == 0:
+        raise InvalidParameterError("scores must be a non-empty 1-D sequence")
+    if not isinstance(c, (int, np.integer)) or int(c) <= 0:
+        raise InvalidParameterError(f"c must be a positive integer, got {c!r}")
+    if int(c) > scores_arr.size:
+        raise InvalidParameterError(f"c={c} exceeds the number of candidates {scores_arr.size}")
+    sel = np.asarray(selected, dtype=np.int64).ravel()
+    if sel.size and (sel.min() < 0 or sel.max() >= scores_arr.size):
+        raise InvalidParameterError("selected indices out of range")
+    if np.unique(sel).size != sel.size:
+        raise InvalidParameterError("selected indices must be distinct")
+    return scores_arr, sel
+
+
+def false_negative_rate(scores: Sequence[float], selected: Sequence[int], c: int) -> float:
+    """Fraction of the true top-c scores that the selection missed.
+
+    Tie-aware: a selected item "covers" one true top-c slot if its score
+    equals that slot's score, so swapping equal-score items costs nothing.
+    """
+    scores_arr, sel = _validate(scores, selected, c)
+    c = int(c)
+    top_scores = np.sort(scores_arr)[-c:]  # ascending, the c highest values
+    selected_scores = np.sort(scores_arr[sel])
+    # Greedy two-pointer matching of selected scores to top-c slots by value.
+    hits = 0
+    i = top_scores.size - 1
+    j = selected_scores.size - 1
+    while i >= 0 and j >= 0:
+        if selected_scores[j] >= top_scores[i]:
+            hits += 1
+            i -= 1
+            j -= 1
+        else:
+            i -= 1
+    return 1.0 - hits / c
+
+
+def score_error_rate(scores: Sequence[float], selected: Sequence[int], c: int) -> float:
+    """``1 - avgScore(S) / avgScore(Topc)`` (the paper's SER).
+
+    When the selection returns fewer than c items (plain SVT can), the
+    average over S still divides by ``len(S)`` only if S is non-empty —
+    matching the metric's definition on the selected set — but the common
+    harness convention (and the conservative one) is to treat missing slots
+    as zero score.  We follow the conservative convention: the selected-score
+    sum is divided by c, so under-selection is penalized.
+    """
+    scores_arr, sel = _validate(scores, selected, c)
+    c = int(c)
+    top_sum = float(np.sort(scores_arr)[-c:].sum())
+    if top_sum <= 0.0:
+        raise InvalidParameterError("top-c scores must have positive sum for SER")
+    sel_sum = float(scores_arr[sel[:c]].sum()) if sel.size else 0.0
+    # Clamp away floating-point dust: a valid selection's score sum can never
+    # exceed the top-c sum, so SER lies in [0, 1] by definition (assuming
+    # non-negative scores, which the top_sum check effectively enforces for
+    # the quantities that matter).
+    return float(min(1.0, max(0.0, 1.0 - (sel_sum / c) / (top_sum / c))))
+
+
+def precision_recall(
+    scores: Sequence[float], selected: Sequence[int], c: int
+) -> Tuple[float, float]:
+    """(precision, recall) of the selection against the true top-c, tie-aware."""
+    scores_arr, sel = _validate(scores, selected, c)
+    c = int(c)
+    if sel.size == 0:
+        return 0.0, 0.0
+    fnr = false_negative_rate(scores_arr, sel, c)
+    hits = round((1.0 - fnr) * c)
+    return hits / sel.size, hits / c
+
+
+@dataclass(frozen=True)
+class SelectionReport:
+    """Bundle of all metrics for one selection."""
+
+    c: int
+    num_selected: int
+    fnr: float
+    ser: float
+    precision: float
+    recall: float
+
+
+def selection_report(scores: Sequence[float], selected: Sequence[int], c: int) -> SelectionReport:
+    """Compute every Section-6 metric (plus precision/recall) in one call."""
+    scores_arr, sel = _validate(scores, selected, c)
+    precision, recall = precision_recall(scores_arr, sel, int(c))
+    return SelectionReport(
+        c=int(c),
+        num_selected=int(sel.size),
+        fnr=false_negative_rate(scores_arr, sel, int(c)),
+        ser=score_error_rate(scores_arr, sel, int(c)),
+        precision=precision,
+        recall=recall,
+    )

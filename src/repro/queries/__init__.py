@@ -1,0 +1,27 @@
+"""Query abstractions.
+
+SVT consumes a stream of numeric query answers with bounded sensitivity.
+This package provides the query objects the applications use (support /
+predicate counting queries over a :class:`~repro.data.transaction_db.TransactionDatabase`),
+the monotonicity contract from Section 4.3, and stream helpers for the
+interactive setting — including the threshold-to-zero reduction from the
+Figure 1 footnote.
+"""
+
+from repro.queries.base import Query, queries_are_monotonic, reduce_to_zero_threshold
+from repro.queries.counting import (
+    ItemSupportQuery,
+    ItemsetSupportQuery,
+    PredicateCountQuery,
+)
+from repro.queries.stream import QueryStream
+
+__all__ = [
+    "Query",
+    "queries_are_monotonic",
+    "reduce_to_zero_threshold",
+    "ItemSupportQuery",
+    "ItemsetSupportQuery",
+    "PredicateCountQuery",
+    "QueryStream",
+]

@@ -1,0 +1,76 @@
+"""The query protocol and Section 4.3's monotonicity contract."""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import QueryError
+
+__all__ = ["Query", "queries_are_monotonic", "reduce_to_zero_threshold"]
+
+
+class Query(abc.ABC):
+    """A numeric query with bounded global sensitivity.
+
+    Subclasses declare their sensitivity and whether they are *monotonic*:
+    between any pair of neighboring datasets, all answers of a monotonic
+    query family move in the same direction (Section 4.3).  Counting queries
+    under add/remove-one-record neighbors are the canonical example, and for
+    them SVT needs only ``Lap(c*Delta/eps2)`` query noise (Theorem 5).
+    """
+
+    #: Global sensitivity Delta of this query.
+    sensitivity: float = 1.0
+    #: Whether this query participates in a monotonic family.
+    monotonic: bool = False
+
+    @abc.abstractmethod
+    def evaluate(self, dataset) -> float:
+        """The true (non-private) answer on *dataset*."""
+
+    def __call__(self, dataset) -> float:
+        return self.evaluate(dataset)
+
+
+def queries_are_monotonic(
+    queries: Sequence[Query],
+    dataset,
+    neighbor,
+) -> bool:
+    """Empirically check the Section-4.3 monotonicity condition on one pair.
+
+    Returns True when no two queries move in opposite directions between
+    *dataset* and *neighbor*.  (A True result on one pair is evidence, not
+    proof — the contract is a promise about *all* neighbor pairs.)
+    """
+    diffs = [q.evaluate(dataset) - q.evaluate(neighbor) for q in queries]
+    has_up = any(d > 0 for d in diffs)
+    has_down = any(d < 0 for d in diffs)
+    return not (has_up and has_down)
+
+
+def reduce_to_zero_threshold(
+    answers: Union[Sequence[float], np.ndarray],
+    thresholds: Union[float, Sequence[float]],
+) -> Tuple[np.ndarray, float]:
+    """The Figure 1 footnote reduction: per-query thresholds are syntax sugar.
+
+    Given answers ``q_i`` and thresholds ``T_i``, define ``r_i = q_i - T_i``
+    and threshold at 0; the SVT outcome distribution is identical.  Returns
+    ``(r, 0.0)``.  Useful for implementations and proofs that only consider a
+    single fixed threshold.
+    """
+    values = np.asarray(answers, dtype=float)
+    if values.ndim != 1:
+        raise QueryError("answers must be a 1-D sequence")
+    thr = np.asarray(thresholds, dtype=float)
+    if thr.ndim == 0:
+        reduced = values - float(thr)
+    elif thr.ndim == 1 and thr.size >= values.size:
+        reduced = values - thr[: values.size]
+    else:
+        raise QueryError("thresholds must be a scalar or have one entry per answer")
+    return reduced, 0.0

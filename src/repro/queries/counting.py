@@ -1,0 +1,79 @@
+"""Counting queries over transaction databases.
+
+All three query types have global sensitivity 1 under add/remove-one-record
+neighbors and are monotonic in the Section-4.3 sense (adding a record can
+only increase counts).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Iterable, Tuple
+
+from repro.data.transaction_db import TransactionDatabase
+from repro.exceptions import QueryError
+from repro.queries.base import Query
+
+__all__ = ["ItemSupportQuery", "ItemsetSupportQuery", "PredicateCountQuery"]
+
+
+class ItemSupportQuery(Query):
+    """Support of a single item: how many transactions contain it."""
+
+    sensitivity = 1.0
+    monotonic = True
+
+    def __init__(self, item: int) -> None:
+        item = int(item)
+        if item < 0:
+            raise QueryError("item ids are non-negative integers")
+        self.item = item
+
+    def evaluate(self, dataset: TransactionDatabase) -> float:
+        return float(dataset.support((self.item,)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ItemSupportQuery(item={self.item})"
+
+
+class ItemsetSupportQuery(Query):
+    """Support of an itemset — the query family of Lee & Clifton [13]."""
+
+    sensitivity = 1.0
+    monotonic = True
+
+    def __init__(self, itemset: Iterable[int]) -> None:
+        items: FrozenSet[int] = frozenset(int(i) for i in itemset)
+        if not items:
+            raise QueryError("itemset must be non-empty")
+        if any(i < 0 for i in items):
+            raise QueryError("item ids are non-negative integers")
+        self.itemset: Tuple[int, ...] = tuple(sorted(items))
+
+    def evaluate(self, dataset: TransactionDatabase) -> float:
+        return float(dataset.support(self.itemset))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ItemsetSupportQuery(itemset={self.itemset})"
+
+
+class PredicateCountQuery(Query):
+    """Count of transactions satisfying an arbitrary predicate.
+
+    The predicate must be a pure function of a single transaction; then the
+    count has sensitivity 1 and the family is monotonic.
+    """
+
+    sensitivity = 1.0
+    monotonic = True
+
+    def __init__(self, predicate: Callable[[FrozenSet[int]], bool], name: str = "") -> None:
+        if not callable(predicate):
+            raise QueryError("predicate must be callable")
+        self.predicate = predicate
+        self.name = name or getattr(predicate, "__name__", "predicate")
+
+    def evaluate(self, dataset: TransactionDatabase) -> float:
+        return float(sum(1 for t in dataset if self.predicate(t)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PredicateCountQuery(name={self.name!r})"

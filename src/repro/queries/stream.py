@@ -1,0 +1,55 @@
+"""Interactive query streams.
+
+In the interactive setting the analyst submits queries one at a time and may
+adapt later queries to earlier answers.  :class:`QueryStream` is a small
+bookkeeping object pairing queries with per-query thresholds and recording
+what was asked — the interactive substrate (:mod:`repro.interactive`) builds
+on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from repro.exceptions import QueryError
+from repro.queries.base import Query
+
+__all__ = ["QueryStream"]
+
+
+@dataclass
+class QueryStream:
+    """An append-only log of (query, threshold) pairs.
+
+    The stream does not evaluate anything itself; mechanisms pull from it and
+    the analyst appends to it, which models the adaptivity of the interactive
+    setting without entangling data access with bookkeeping.
+    """
+
+    entries: List[Tuple[Query, float]] = field(default_factory=list)
+
+    def submit(self, query: Query, threshold: float = 0.0) -> int:
+        """Append a query; returns its position in the stream."""
+        if not isinstance(query, Query):
+            raise QueryError("submit() expects a Query instance")
+        self.entries.append((query, float(threshold)))
+        return len(self.entries) - 1
+
+    def __iter__(self) -> Iterator[Tuple[Query, float]]:
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def max_sensitivity(self) -> float:
+        """The largest sensitivity among submitted queries (SVT's Delta)."""
+        if not self.entries:
+            return 0.0
+        return max(q.sensitivity for q, _ in self.entries)
+
+    @property
+    def all_monotonic(self) -> bool:
+        """True when every submitted query declares monotonicity."""
+        return bool(self.entries) and all(q.monotonic for q, _ in self.entries)

@@ -1,0 +1,46 @@
+"""The six SVT variants analyzed in Figure 1/Figure 2 of the paper.
+
+============ ============================ ==================== =================
+Module       Source                       Paper listing        Privacy
+============ ============================ ==================== =================
+(core)       this paper                   Alg. 1 / Alg. 7      eps-DP
+dpbook       Dwork & Roth 2014 book [8]   Alg. 2               eps-DP (noisy)
+roth         Roth 2011 lecture notes [15] Alg. 3               ∞-DP (broken)
+lee_clifton  Lee & Clifton 2014 [13]      Alg. 4               (1+6c)/4·eps-DP
+stoddard     Stoddard et al. 2014 [18]    Alg. 5               ∞-DP (broken)
+chen         Chen et al. 2015 [1]         Alg. 6               ∞-DP (broken)
+============ ============================ ==================== =================
+
+The broken variants exist for study, attack demonstrations, and the Figure-2
+reproduction.  Every non-private runner refuses to execute unless called with
+``allow_non_private=True`` (and Alg. 4, whose true guarantee is much weaker
+than its advertised eps, requires the same opt-in).
+"""
+
+from repro.variants.dpbook import run_dpbook, run_dpbook_batch
+from repro.variants.roth import run_roth
+from repro.variants.lee_clifton import lee_clifton_actual_epsilon, run_lee_clifton
+from repro.variants.stoddard import run_stoddard
+from repro.variants.chen import run_chen
+from repro.variants.gptt import run_gptt
+from repro.variants.registry import (
+    ALGORITHMS,
+    VariantInfo,
+    get_variant,
+    figure2_table,
+)
+
+__all__ = [
+    "run_dpbook",
+    "run_dpbook_batch",
+    "run_roth",
+    "run_lee_clifton",
+    "lee_clifton_actual_epsilon",
+    "run_stoddard",
+    "run_chen",
+    "run_gptt",
+    "ALGORITHMS",
+    "VariantInfo",
+    "get_variant",
+    "figure2_table",
+]

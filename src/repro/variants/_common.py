@@ -1,0 +1,32 @@
+"""Shared validation and guard rails for the variant implementations."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError, NonPrivateMechanismError
+
+__all__ = ["validate_inputs", "require_opt_in"]
+
+
+def validate_inputs(epsilon: float, sensitivity: float, c: int | None) -> None:
+    if float(epsilon) <= 0.0 or not math.isfinite(float(epsilon)):
+        raise InvalidParameterError(f"epsilon must be finite and > 0, got {epsilon!r}")
+    if float(sensitivity) <= 0.0 or not math.isfinite(float(sensitivity)):
+        raise InvalidParameterError(
+            f"sensitivity must be finite and > 0, got {sensitivity!r}"
+        )
+    if c is not None and (not isinstance(c, (int, np.integer)) or int(c) <= 0):
+        raise InvalidParameterError(f"c must be a positive integer, got {c!r}")
+
+
+def require_opt_in(allow_non_private: bool, algorithm: str, defect: str) -> None:
+    """Refuse to run a known-non-private mechanism without explicit opt-in."""
+    if not allow_non_private:
+        raise NonPrivateMechanismError(
+            f"{algorithm} is NOT differentially private as advertised ({defect}). "
+            "It is provided for study and attack demonstrations only; pass "
+            "allow_non_private=True to run it anyway."
+        )

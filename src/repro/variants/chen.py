@@ -1,0 +1,61 @@
+"""Alg. 6 — SVT as in Chen et al. 2015 [1] (Bayesian-network edge selection).
+
+Faithful to the Figure 1 listing:
+
+* ``eps1 = eps/2``; ``rho = Lap(Delta/eps1)``;
+* query noise ``nu_i = Lap(Delta/eps2)`` — does not scale with c;
+* per-query thresholds ``T_i`` (like Alg. 1);
+* **no cutoff** — unboundedly many positives.
+
+Motivated by the observation that Lee & Clifton's proof "goes through"
+without the cutoff; the proof's flaw (Section 3.2) is treating
+``∫ p(z) f(z) g(z) dz`` as if it factored into
+``∫ p f · ∫ p g``.  Theorem 7 shows the mechanism is ∞-DP with a ratio
+growing like ``e^{m eps/2}`` on a 2m-query counterexample.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.core.base import ABOVE, BELOW, SVTResult, normalize_thresholds
+from repro.rng import RngLike, ensure_rng
+from repro.variants._common import require_opt_in, validate_inputs
+
+__all__ = ["run_chen"]
+
+_DEFECT = (
+    "query noise does not scale with the (absent) cutoff and positives are "
+    "unbounded; not eps'-DP for any finite eps' (Theorem 7)"
+)
+
+
+def run_chen(
+    answers: Sequence[float],
+    epsilon: float,
+    thresholds: Union[float, Sequence[float]] = 0.0,
+    sensitivity: float = 1.0,
+    rng: RngLike = None,
+    allow_non_private: bool = False,
+) -> SVTResult:
+    """Run Alg. 6 (no ``c`` parameter — the listing has no cutoff)."""
+    require_opt_in(allow_non_private, "Alg. 6 (Chen et al. 2015)", _DEFECT)
+    validate_inputs(epsilon, sensitivity, None)
+    values = np.asarray(answers, dtype=float)
+    thr = normalize_thresholds(thresholds, values.size)
+    gen = ensure_rng(rng)
+
+    delta = float(sensitivity)
+    eps1 = epsilon / 2.0
+    eps2 = epsilon - eps1
+    rho = float(gen.laplace(scale=delta / eps1))
+    nu = gen.laplace(scale=delta / eps2, size=values.size)
+
+    above = values + nu >= thr + rho
+    result = SVTResult(noisy_threshold_trace=[rho])
+    result.processed = values.size
+    result.positives = [int(i) for i in np.nonzero(above)[0]]
+    result.answers = [ABOVE if flag else BELOW for flag in above]
+    return result

@@ -1,0 +1,124 @@
+"""Alg. 2 — SVT as in Dwork & Roth's 2014 book [8] ("SVT-DPBook").
+
+Faithful to the Figure 1 listing:
+
+* ``eps1 = eps/2``; threshold noise ``rho = Lap(c*Delta/eps1)`` — note the
+  factor c that Alg. 1 avoids;
+* query noise ``nu_i = Lap(2c*Delta/eps1)`` (the listing scales it with eps1);
+* after each positive outcome the threshold noise is *refreshed*:
+  ``rho = Lap(c*Delta/eps2)``;
+* halt after c positives.
+
+This variant IS eps-DP; the paper's point (Sections 3.2 and 6) is that the
+refresh forces the threshold noise to scale with c, which destroys utility:
+on Kosarak with eps=0.1, c=50 its SER is 0.705 where Alg. 7 variants sit
+below 0.05.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.core.base import ABOVE, BELOW, SVTResult, normalize_thresholds
+from repro.rng import RngLike, ensure_rng
+from repro.variants._common import validate_inputs
+
+__all__ = ["run_dpbook", "run_dpbook_batch"]
+
+
+def run_dpbook(
+    answers: Sequence[float],
+    epsilon: float,
+    c: int,
+    thresholds: Union[float, Sequence[float]] = 0.0,
+    sensitivity: float = 1.0,
+    rng: RngLike = None,
+) -> SVTResult:
+    """Streaming (query-at-a-time) transliteration of Alg. 2."""
+    validate_inputs(epsilon, sensitivity, c)
+    values = np.asarray(answers, dtype=float)
+    thr = normalize_thresholds(thresholds, values.size)
+    gen = ensure_rng(rng)
+
+    delta = float(sensitivity)
+    eps1 = epsilon / 2.0
+    eps2 = epsilon - eps1
+    rho = float(gen.laplace(scale=c * delta / eps1))
+
+    result = SVTResult(noisy_threshold_trace=[rho])
+    count = 0
+    for i in range(values.size):
+        nu = float(gen.laplace(scale=2 * c * delta / eps1))
+        result.processed += 1
+        if values[i] + nu >= thr[i] + rho:
+            result.answers.append(ABOVE)
+            result.positives.append(i)
+            # Line 6: refresh the noisy threshold after every positive.
+            rho = float(gen.laplace(scale=c * delta / eps2))
+            result.noisy_threshold_trace.append(rho)
+            count += 1
+            if count >= c:
+                result.halted = True
+                break
+        else:
+            result.answers.append(BELOW)
+    return result
+
+
+def run_dpbook_batch(
+    answers: Sequence[float],
+    epsilon: float,
+    c: int,
+    thresholds: Union[float, Sequence[float]] = 0.0,
+    sensitivity: float = 1.0,
+    rng: RngLike = None,
+) -> SVTResult:
+    """Vectorized Alg. 2 for large query arrays.
+
+    The refresh after each positive splits the run into at most c segments,
+    each with a constant noisy threshold; within a segment everything is
+    vectorizable.  Same output distribution as :func:`run_dpbook` (the
+    per-query noise is i.i.d., so drawing a segment's noise in one batch is
+    equivalent), which a distributional test verifies.
+    """
+    validate_inputs(epsilon, sensitivity, c)
+    values = np.asarray(answers, dtype=float)
+    n = values.size
+    thr = normalize_thresholds(thresholds, n)
+    gen = ensure_rng(rng)
+
+    delta = float(sensitivity)
+    eps1 = epsilon / 2.0
+    eps2 = epsilon - eps1
+    query_scale = 2 * c * delta / eps1
+    rho = float(gen.laplace(scale=c * delta / eps1))
+
+    result = SVTResult(noisy_threshold_trace=[rho])
+    start = 0
+    count = 0
+    while start < n and count < c:
+        nu = gen.laplace(scale=query_scale, size=n - start)
+        above = values[start:] + nu >= thr[start:] + rho
+        hits = np.nonzero(above)[0]
+        if not hits.size:
+            result.processed = n
+            break
+        pos = start + int(hits[0])
+        result.positives.append(pos)
+        result.processed = pos + 1
+        count += 1
+        start = pos + 1
+        if count >= c:
+            result.halted = True
+            break
+        rho = float(gen.laplace(scale=c * delta / eps2))
+        result.noisy_threshold_trace.append(rho)
+    else:
+        result.processed = max(result.processed, start)
+    if not result.halted:
+        result.processed = n
+    above_set = set(result.positives)
+    result.answers = [ABOVE if i in above_set else BELOW for i in range(result.processed)]
+    return result

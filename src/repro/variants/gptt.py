@@ -1,0 +1,64 @@
+"""GPTT — the generalized private threshold testing algorithm of [2].
+
+Chen & Machanavajjhala [2] modeled the broken variants of [13, 18, 1] as one
+parametric mechanism: threshold noise ``Lap(Delta/eps1)``, per-query noise
+``Lap(Delta/eps2)``, no cutoff.  With ``eps1 = eps2 = eps/2`` it *is* Alg. 6.
+It is ∞-DP (correctly shown by the Theorem-7 technique; [2]'s own proof was
+flawed — see :mod:`repro.analysis.gptt`), so running it requires the same
+opt-in as the other broken variants.
+
+Provided as a runnable mechanism so the analysis module's claims can be
+checked against an implementation, and so the eps1/eps2 generalization can be
+explored empirically.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.core.base import ABOVE, BELOW, SVTResult, normalize_thresholds
+from repro.exceptions import InvalidParameterError
+from repro.rng import RngLike, ensure_rng
+from repro.variants._common import require_opt_in, validate_inputs
+
+__all__ = ["run_gptt"]
+
+_DEFECT = (
+    "per-query noise does not scale with the (absent) cutoff; "
+    "not eps'-DP for any finite eps' (modeled in [2]; cf. Theorem 7)"
+)
+
+
+def run_gptt(
+    answers: Sequence[float],
+    eps1: float,
+    eps2: float,
+    thresholds: Union[float, Sequence[float]] = 0.0,
+    sensitivity: float = 1.0,
+    rng: RngLike = None,
+    allow_non_private: bool = False,
+) -> SVTResult:
+    """Run GPTT with an explicit (eps1, eps2) split.
+
+    ``run_gptt(a, eps/2, eps/2, ...)`` reproduces Alg. 6 exactly.
+    """
+    require_opt_in(allow_non_private, "GPTT (Chen & Machanavajjhala 2015 model)", _DEFECT)
+    if float(eps1) <= 0.0 or float(eps2) <= 0.0:
+        raise InvalidParameterError("eps1 and eps2 must both be > 0")
+    validate_inputs(eps1 + eps2, sensitivity, None)
+    values = np.asarray(answers, dtype=float)
+    thr = normalize_thresholds(thresholds, values.size)
+    gen = ensure_rng(rng)
+
+    delta = float(sensitivity)
+    rho = float(gen.laplace(scale=delta / eps1))
+    nu = gen.laplace(scale=delta / eps2, size=values.size)
+
+    above = values + nu >= thr + rho
+    result = SVTResult(noisy_threshold_trace=[rho])
+    result.processed = values.size
+    result.positives = [int(i) for i in np.nonzero(above)[0]]
+    result.answers = [ABOVE if flag else BELOW for flag in above]
+    return result

@@ -1,0 +1,295 @@
+"""Machine-readable version of Figure 2 ("Differences among Algorithms 1-6").
+
+Each :class:`VariantInfo` records the rows of the Figure 2 table — the eps1
+fraction, the threshold- and query-noise scales (as formula strings and as
+callables of ``(c, Delta, eps)``), the design quirks, and the true privacy
+property — plus a uniform runner so the experiment harness and the
+attack/verification tooling can iterate over all six algorithms generically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.allocation import BudgetAllocation
+from repro.core.base import SVTResult
+from repro.core.svt import run_svt_batch
+from repro.exceptions import InvalidParameterError
+from repro.rng import RngLike
+from repro.variants.chen import run_chen
+from repro.variants.dpbook import run_dpbook_batch
+from repro.variants.lee_clifton import lee_clifton_actual_epsilon, run_lee_clifton
+from repro.variants.roth import run_roth
+from repro.variants.stoddard import run_stoddard
+
+__all__ = ["VariantInfo", "ALGORITHMS", "get_variant", "figure2_table"]
+
+ScaleFn = Callable[[int, float, float], float]
+# Uniform runner signature: (answers, epsilon, c, thresholds, sensitivity,
+# rng, allow_non_private) -> SVTResult.
+Runner = Callable[..., SVTResult]
+
+
+@dataclass(frozen=True)
+class VariantInfo:
+    """One row-set of the Figure 2 comparison table."""
+
+    key: str
+    listing: str
+    source: str
+    eps1_fraction: float
+    threshold_noise_formula: str
+    threshold_noise_scale: ScaleFn
+    query_noise_formula: str
+    query_noise_scale: ScaleFn
+    resets_threshold_noise: bool
+    outputs_numeric_answer: bool
+    unbounded_positives: bool
+    privacy_property: str
+    is_private: bool
+    runner: Runner
+    actual_epsilon: Optional[Callable[[float, int], float]] = None
+
+    def run(
+        self,
+        answers: Sequence[float],
+        epsilon: float,
+        c: int,
+        thresholds: Union[float, Sequence[float]] = 0.0,
+        sensitivity: float = 1.0,
+        rng: RngLike = None,
+        allow_non_private: bool = False,
+    ) -> SVTResult:
+        """Run this variant with a uniform signature.
+
+        Variants without a cutoff (Alg. 5, 6) ignore *c*; the private ones
+        ignore *allow_non_private*.
+        """
+        return self.runner(
+            answers,
+            epsilon=epsilon,
+            c=c,
+            thresholds=thresholds,
+            sensitivity=sensitivity,
+            rng=rng,
+            allow_non_private=allow_non_private,
+        )
+
+
+def _run_alg1(
+    answers, epsilon, c, thresholds, sensitivity, rng, allow_non_private
+) -> SVTResult:
+    allocation = BudgetAllocation(eps1=epsilon / 2.0, eps2=epsilon / 2.0)
+    return run_svt_batch(
+        answers, allocation, c, thresholds=thresholds, sensitivity=sensitivity, rng=rng
+    )
+
+
+def _run_alg2(
+    answers, epsilon, c, thresholds, sensitivity, rng, allow_non_private
+) -> SVTResult:
+    return run_dpbook_batch(
+        answers, epsilon, c, thresholds=thresholds, sensitivity=sensitivity, rng=rng
+    )
+
+
+def _run_alg3(
+    answers, epsilon, c, thresholds, sensitivity, rng, allow_non_private
+) -> SVTResult:
+    return run_roth(
+        answers,
+        epsilon,
+        c,
+        thresholds=thresholds,
+        sensitivity=sensitivity,
+        rng=rng,
+        allow_non_private=allow_non_private,
+    )
+
+
+def _run_alg4(
+    answers, epsilon, c, thresholds, sensitivity, rng, allow_non_private
+) -> SVTResult:
+    return run_lee_clifton(
+        answers,
+        epsilon,
+        c,
+        thresholds=thresholds,
+        sensitivity=sensitivity,
+        rng=rng,
+        allow_non_private=allow_non_private,
+    )
+
+
+def _run_alg5(
+    answers, epsilon, c, thresholds, sensitivity, rng, allow_non_private
+) -> SVTResult:
+    return run_stoddard(
+        answers,
+        epsilon,
+        thresholds=thresholds,
+        sensitivity=sensitivity,
+        rng=rng,
+        allow_non_private=allow_non_private,
+    )
+
+
+def _run_alg6(
+    answers, epsilon, c, thresholds, sensitivity, rng, allow_non_private
+) -> SVTResult:
+    return run_chen(
+        answers,
+        epsilon,
+        thresholds=thresholds,
+        sensitivity=sensitivity,
+        rng=rng,
+        allow_non_private=allow_non_private,
+    )
+
+
+ALGORITHMS: Dict[str, VariantInfo] = {
+    "alg1": VariantInfo(
+        key="alg1",
+        listing="Alg. 1",
+        source="this paper (Lyu, Su, Li 2017)",
+        eps1_fraction=0.5,
+        threshold_noise_formula="Delta/eps1",
+        threshold_noise_scale=lambda c, delta, eps1: delta / eps1,
+        query_noise_formula="2c*Delta/eps2",
+        query_noise_scale=lambda c, delta, eps2: 2 * c * delta / eps2,
+        resets_threshold_noise=False,
+        outputs_numeric_answer=False,
+        unbounded_positives=False,
+        privacy_property="eps-DP",
+        is_private=True,
+        runner=_run_alg1,
+    ),
+    "alg2": VariantInfo(
+        key="alg2",
+        listing="Alg. 2",
+        source="Dwork & Roth 2014 book [8]",
+        eps1_fraction=0.5,
+        threshold_noise_formula="c*Delta/eps1",
+        threshold_noise_scale=lambda c, delta, eps1: c * delta / eps1,
+        query_noise_formula="2c*Delta/eps1",
+        query_noise_scale=lambda c, delta, eps1: 2 * c * delta / eps1,
+        resets_threshold_noise=True,
+        outputs_numeric_answer=False,
+        unbounded_positives=False,
+        privacy_property="eps-DP",
+        is_private=True,
+        runner=_run_alg2,
+    ),
+    "alg3": VariantInfo(
+        key="alg3",
+        listing="Alg. 3",
+        source="Roth 2011 lecture notes [15]",
+        eps1_fraction=0.5,
+        threshold_noise_formula="Delta/eps1",
+        threshold_noise_scale=lambda c, delta, eps1: delta / eps1,
+        query_noise_formula="c*Delta/eps2",
+        query_noise_scale=lambda c, delta, eps2: c * delta / eps2,
+        resets_threshold_noise=False,
+        outputs_numeric_answer=True,
+        unbounded_positives=False,
+        privacy_property="infinity-DP",
+        is_private=False,
+        runner=_run_alg3,
+    ),
+    "alg4": VariantInfo(
+        key="alg4",
+        listing="Alg. 4",
+        source="Lee & Clifton 2014 [13]",
+        eps1_fraction=0.25,
+        threshold_noise_formula="Delta/eps1",
+        threshold_noise_scale=lambda c, delta, eps1: delta / eps1,
+        query_noise_formula="Delta/eps2",
+        query_noise_scale=lambda c, delta, eps2: delta / eps2,
+        resets_threshold_noise=False,
+        outputs_numeric_answer=False,
+        unbounded_positives=False,
+        privacy_property="((1+6c)/4)eps-DP",
+        is_private=False,
+        runner=_run_alg4,
+        actual_epsilon=lee_clifton_actual_epsilon,
+    ),
+    "alg5": VariantInfo(
+        key="alg5",
+        listing="Alg. 5",
+        source="Stoddard et al. 2014 [18]",
+        eps1_fraction=0.5,
+        threshold_noise_formula="Delta/eps1",
+        threshold_noise_scale=lambda c, delta, eps1: delta / eps1,
+        query_noise_formula="0",
+        query_noise_scale=lambda c, delta, eps2: 0.0,
+        resets_threshold_noise=False,
+        outputs_numeric_answer=False,
+        unbounded_positives=True,
+        privacy_property="infinity-DP",
+        is_private=False,
+        runner=_run_alg5,
+    ),
+    "alg6": VariantInfo(
+        key="alg6",
+        listing="Alg. 6",
+        source="Chen et al. 2015 [1]",
+        eps1_fraction=0.5,
+        threshold_noise_formula="Delta/eps1",
+        threshold_noise_scale=lambda c, delta, eps1: delta / eps1,
+        query_noise_formula="Delta/eps2",
+        query_noise_scale=lambda c, delta, eps2: delta / eps2,
+        resets_threshold_noise=False,
+        outputs_numeric_answer=False,
+        unbounded_positives=True,
+        privacy_property="infinity-DP",
+        is_private=False,
+        runner=_run_alg6,
+    ),
+}
+
+
+def get_variant(key: str) -> VariantInfo:
+    """Look up a variant by key ('alg1'..'alg6'), listing ('Alg. 3'), or number."""
+    normalized = str(key).strip().lower().replace(" ", "").replace(".", "")
+    if normalized.startswith("alg"):
+        normalized = "alg" + normalized[3:]
+    elif normalized.isdigit():
+        normalized = f"alg{normalized}"
+    if normalized not in ALGORITHMS:
+        raise InvalidParameterError(
+            f"unknown variant {key!r}; known: {sorted(ALGORITHMS)}"
+        )
+    return ALGORITHMS[normalized]
+
+
+def figure2_table() -> str:
+    """Render the Figure 2 comparison table as ASCII (used by the E3 bench)."""
+    infos = [ALGORITHMS[f"alg{i}"] for i in range(1, 7)]
+    rows = [
+        ("", *(v.listing for v in infos)),
+        ("eps1", *(f"eps/{round(1/v.eps1_fraction)}" for v in infos)),
+        ("threshold noise rho", *(v.threshold_noise_formula for v in infos)),
+        (
+            "reset rho after top (unnecessary)",
+            *("Yes" if v.resets_threshold_noise else "" for v in infos),
+        ),
+        ("query noise nu_i", *(v.query_noise_formula for v in infos)),
+        (
+            "outputs q_i+nu_i (not private)",
+            *("Yes" if v.outputs_numeric_answer else "" for v in infos),
+        ),
+        (
+            "unbounded tops (not private)",
+            *("Yes" if v.unbounded_positives else "" for v in infos),
+        ),
+        ("privacy property", *(v.privacy_property for v in infos)),
+    ]
+    widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
+    lines = []
+    for row in rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""Alg. 3 — SVT as in Roth's 2011 lecture notes [15] (abstracted from [11, 12]).
+
+Faithful to the Figure 1 listing:
+
+* ``eps1 = eps/2``; ``rho = Lap(Delta/eps1)``;
+* query noise ``nu_i = Lap(c*Delta/eps2)`` — missing the factor 2 needed for
+  eps-DP (on its own this only degrades the guarantee to (3/2)eps-DP);
+* **on a positive outcome it outputs the noisy query answer**
+  ``q_i(D) + nu_i`` instead of ⊤ — this is the fatal flaw: the numeric output
+  reveals that the noisy threshold lies below it, and Theorem 6 shows the
+  mechanism is not eps'-DP for any finite eps' (∞-DP).
+
+The released value reuses the *same* noise ``nu_i`` that won the comparison
+(that correlation is exactly what breaks the proof — see Section 3.2's
+discussion of step (11)).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.core.base import BELOW, SVTResult, normalize_thresholds
+from repro.rng import RngLike, ensure_rng
+from repro.variants._common import require_opt_in, validate_inputs
+
+__all__ = ["run_roth"]
+
+_DEFECT = (
+    "outputs the noisy query answer for positive outcomes, leaking the noisy "
+    "threshold; not eps'-DP for any finite eps' (Theorem 6)"
+)
+
+
+def run_roth(
+    answers: Sequence[float],
+    epsilon: float,
+    c: int,
+    thresholds: Union[float, Sequence[float]] = 0.0,
+    sensitivity: float = 1.0,
+    rng: RngLike = None,
+    allow_non_private: bool = False,
+) -> SVTResult:
+    """Run Alg. 3.  Requires ``allow_non_private=True`` (it is ∞-DP)."""
+    require_opt_in(allow_non_private, "Alg. 3 (Roth 2011 lecture notes)", _DEFECT)
+    validate_inputs(epsilon, sensitivity, c)
+    values = np.asarray(answers, dtype=float)
+    thr = normalize_thresholds(thresholds, values.size)
+    gen = ensure_rng(rng)
+
+    delta = float(sensitivity)
+    eps1 = epsilon / 2.0
+    eps2 = epsilon - eps1
+    rho = float(gen.laplace(scale=delta / eps1))
+
+    result = SVTResult(noisy_threshold_trace=[rho])
+    count = 0
+    for i in range(values.size):
+        nu = float(gen.laplace(scale=c * delta / eps2))
+        result.processed += 1
+        noisy = float(values[i]) + nu
+        if noisy >= thr[i] + rho:
+            # Line 6: the noisy answer itself is released.
+            result.answers.append(noisy)
+            result.positives.append(i)
+            count += 1
+            if count >= c:
+                result.halted = True
+                break
+        else:
+            result.answers.append(BELOW)
+    return result

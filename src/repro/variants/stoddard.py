@@ -1,0 +1,61 @@
+"""Alg. 5 — SVT as in Stoddard et al. 2014 [18] (private feature selection).
+
+Faithful to the Figure 1 listing:
+
+* ``eps1 = eps/2``; ``rho = Lap(Delta/eps1)``;
+* **no noise on query answers** (``nu_i = 0``);
+* **no cutoff** — every query is answered, with no bound on positives.
+
+The "insight" behind it is real but misapplied: the Lemma 1 bounding argument
+works without query noise *when the entire output is one-sided* (all ⊥ or all
+⊤).  With mixed outputs one must pick a side to bound, and unnoised answers on
+the other side give the adversary a deterministic comparison against the one
+noisy threshold.  Theorem 3 exhibits two neighboring datasets and an output
+``(⊥, ⊤)`` with nonzero probability on one and zero on the other: ∞-DP.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.core.base import ABOVE, BELOW, SVTResult, normalize_thresholds
+from repro.rng import RngLike, ensure_rng
+from repro.variants._common import require_opt_in, validate_inputs
+
+__all__ = ["run_stoddard"]
+
+_DEFECT = (
+    "adds no noise to query answers and never stops after positives; "
+    "not eps'-DP for any finite eps' (Theorem 3)"
+)
+
+
+def run_stoddard(
+    answers: Sequence[float],
+    epsilon: float,
+    thresholds: Union[float, Sequence[float]] = 0.0,
+    sensitivity: float = 1.0,
+    rng: RngLike = None,
+    allow_non_private: bool = False,
+) -> SVTResult:
+    """Run Alg. 5 (note: no ``c`` parameter — the listing has no cutoff)."""
+    require_opt_in(allow_non_private, "Alg. 5 (Stoddard et al. 2014)", _DEFECT)
+    validate_inputs(epsilon, sensitivity, None)
+    values = np.asarray(answers, dtype=float)
+    thr = normalize_thresholds(thresholds, values.size)
+    gen = ensure_rng(rng)
+
+    delta = float(sensitivity)
+    eps1 = epsilon / 2.0
+    rho = float(gen.laplace(scale=delta / eps1))
+
+    result = SVTResult(noisy_threshold_trace=[rho])
+    # Vectorized: with nu_i = 0 and a single rho, the whole run is one
+    # deterministic comparison against the noisy threshold.
+    above = values + 0.0 >= thr + rho
+    result.processed = values.size
+    result.positives = [int(i) for i in np.nonzero(above)[0]]
+    result.answers = [ABOVE if flag else BELOW for flag in above]
+    return result

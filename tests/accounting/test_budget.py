@@ -1,0 +1,101 @@
+"""Tests for privacy budgets and ledgers."""
+
+import pytest
+
+from repro.accounting.budget import BudgetLedger, LedgerEntry, PrivacyBudget
+from repro.exceptions import BudgetExhaustedError, InvalidParameterError
+
+
+class TestPrivacyBudget:
+    def test_initial_state(self):
+        budget = PrivacyBudget(1.0)
+        assert budget.total == 1.0
+        assert budget.spent == 0.0
+        assert budget.remaining == 1.0
+
+    def test_spend_accumulates(self):
+        budget = PrivacyBudget(1.0)
+        budget.spend(0.3)
+        budget.spend(0.2)
+        assert budget.spent == pytest.approx(0.5)
+        assert budget.remaining == pytest.approx(0.5)
+
+    def test_overspend_raises_with_details(self):
+        budget = PrivacyBudget(1.0)
+        budget.spend(0.9)
+        with pytest.raises(BudgetExhaustedError) as excinfo:
+            budget.spend(0.2)
+        assert excinfo.value.requested == pytest.approx(0.2)
+        assert excinfo.value.remaining == pytest.approx(0.1)
+
+    def test_exact_exhaustion_allowed(self):
+        budget = PrivacyBudget(1.0)
+        budget.spend(1.0)
+        assert budget.remaining == 0.0
+
+    def test_float_dust_tolerated(self):
+        """Splitting eps into thirds and spending them all must not trip."""
+        budget = PrivacyBudget(0.3)
+        for _ in range(3):
+            budget.spend(0.3 / 3)
+        assert budget.remaining == pytest.approx(0.0, abs=1e-9)
+
+    def test_can_spend(self):
+        budget = PrivacyBudget(1.0)
+        assert budget.can_spend(1.0)
+        assert not budget.can_spend(1.5)
+
+    def test_negative_spend_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            PrivacyBudget(1.0).spend(-0.1)
+
+    def test_invalid_total(self):
+        with pytest.raises(InvalidParameterError):
+            PrivacyBudget(0.0)
+        with pytest.raises(InvalidParameterError):
+            PrivacyBudget(float("inf"))
+
+    def test_reserve_carves_sub_budget(self):
+        budget = PrivacyBudget(1.0)
+        sub = budget.reserve(0.25)
+        assert sub.total == pytest.approx(0.25)
+        assert budget.remaining == pytest.approx(0.75)
+
+    def test_reserve_invalid_fraction(self):
+        with pytest.raises(InvalidParameterError):
+            PrivacyBudget(1.0).reserve(0.0)
+        with pytest.raises(InvalidParameterError):
+            PrivacyBudget(1.0).reserve(1.5)
+
+
+class TestBudgetLedger:
+    def test_charges_recorded(self):
+        ledger = BudgetLedger.with_total(1.0)
+        ledger.charge("svt", 0.5, note="gate")
+        ledger.charge("laplace", 0.25)
+        assert len(ledger) == 2
+        assert ledger.spent == pytest.approx(0.75)
+        assert ledger.remaining == pytest.approx(0.25)
+
+    def test_spend_by_mechanism(self):
+        ledger = BudgetLedger.with_total(1.0)
+        ledger.charge("laplace", 0.1)
+        ledger.charge("laplace", 0.2)
+        ledger.charge("svt", 0.3)
+        totals = ledger.spend_by_mechanism()
+        assert totals["laplace"] == pytest.approx(0.3)
+        assert totals["svt"] == pytest.approx(0.3)
+
+    def test_overcharge_raises_and_not_recorded(self):
+        ledger = BudgetLedger.with_total(0.5)
+        with pytest.raises(BudgetExhaustedError):
+            ledger.charge("laplace", 1.0)
+        assert len(ledger) == 0
+
+    def test_iteration_yields_entries(self):
+        ledger = BudgetLedger.with_total(1.0)
+        ledger.charge("a", 0.1, note="n")
+        (entry,) = list(ledger)
+        assert isinstance(entry, LedgerEntry)
+        assert entry.mechanism == "a"
+        assert entry.note == "n"

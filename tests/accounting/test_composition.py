@@ -1,0 +1,108 @@
+"""Tests for composition theorems and budget splitting."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accounting.composition import (
+    advanced_composition_epsilon,
+    basic_composition,
+    max_rounds_advanced,
+    split_budget,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestBasicComposition:
+    def test_sum(self):
+        assert basic_composition([0.1, 0.2, 0.3]) == pytest.approx(0.6)
+
+    def test_empty(self):
+        assert basic_composition([]) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidParameterError):
+            basic_composition([0.1, -0.1])
+
+
+class TestAdvancedComposition:
+    def test_formula(self):
+        eps, k, delta = 0.1, 100, 1e-6
+        expected = math.sqrt(2 * k * math.log(1 / delta)) * eps + k * eps * (
+            math.exp(eps) - 1
+        )
+        assert advanced_composition_epsilon(eps, k, delta) == pytest.approx(expected)
+
+    def test_beats_basic_for_many_rounds(self):
+        eps, k, delta = 0.01, 10_000, 1e-9
+        assert advanced_composition_epsilon(eps, k, delta) < basic_composition([eps] * k)
+
+    def test_single_round_close_to_eps(self):
+        # One round of advanced composition is worse than plain eps (the
+        # sqrt term dominates); sanity-check it is finite and > eps.
+        val = advanced_composition_epsilon(0.5, 1, 1e-6)
+        assert val > 0.5
+
+    def test_monotone_in_k(self):
+        vals = [advanced_composition_epsilon(0.1, k, 1e-6) for k in (1, 10, 100)]
+        assert vals[0] < vals[1] < vals[2]
+
+    def test_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            advanced_composition_epsilon(0.0, 1, 0.1)
+        with pytest.raises(InvalidParameterError):
+            advanced_composition_epsilon(0.1, 0, 0.1)
+        with pytest.raises(InvalidParameterError):
+            advanced_composition_epsilon(0.1, 1, 1.0)
+
+
+class TestMaxRounds:
+    def test_inverse_of_forward(self):
+        k = max_rounds_advanced(0.01, 1.0, 1e-6)
+        assert advanced_composition_epsilon(0.01, k, 1e-6) <= 1.0
+        assert advanced_composition_epsilon(0.01, k + 1, 1e-6) > 1.0
+
+    def test_zero_when_one_round_too_big(self):
+        assert max_rounds_advanced(1.0, 0.5, 1e-6) == 0
+
+    def test_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            max_rounds_advanced(0.0, 1.0, 0.1)
+
+
+class TestSplitBudget:
+    def test_even_split(self):
+        parts = split_budget(1.0, [1, 1])
+        assert parts == pytest.approx([0.5, 0.5])
+
+    def test_proportional(self):
+        parts = split_budget(1.0, [1, 3])
+        assert parts == pytest.approx([0.25, 0.75])
+
+    def test_sum_preserved_to_ulp(self):
+        parts = split_budget(0.1, [1.0, (2 * 50) ** (2 / 3)])
+        assert sum(parts) == pytest.approx(0.1, abs=1e-15)
+
+    def test_alg7_style_three_way(self):
+        eps1, eps2, eps3 = split_budget(1.0, [1, 2, 1])
+        assert (eps1, eps2, eps3) == pytest.approx((0.25, 0.5, 0.25))
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(InvalidParameterError):
+            split_budget(1.0, [])
+        with pytest.raises(InvalidParameterError):
+            split_budget(1.0, [1.0, 0.0])
+        with pytest.raises(InvalidParameterError):
+            split_budget(0.0, [1.0])
+
+    @given(
+        st.floats(0.01, 10.0),
+        st.lists(st.floats(0.1, 100.0), min_size=1, max_size=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_sums_and_positive(self, epsilon, weights):
+        parts = split_budget(epsilon, weights)
+        assert sum(parts) == pytest.approx(epsilon, rel=1e-12)
+        assert all(p > 0 for p in parts)

@@ -1,0 +1,54 @@
+"""Tests for the empirical Section-5 accuracy checks."""
+
+import pytest
+
+from repro.analysis.accuracy import em_accuracy_check, svt_accuracy_check
+from repro.exceptions import InvalidParameterError
+
+
+class TestSVTAccuracy:
+    def test_guarantee_holds(self):
+        check = svt_accuracy_check(k=100, beta=0.1, epsilon=0.5, trials=500, rng=0)
+        assert check.within_guarantee
+        assert check.mechanism == "svt"
+
+    def test_bound_is_loose(self):
+        """At alpha_SVT the observed failure rate is far below beta — the
+        bound was proved for the noisier book version."""
+        check = svt_accuracy_check(k=50, beta=0.2, epsilon=0.5, trials=500, rng=1)
+        assert check.beta_observed < check.beta_guaranteed / 2
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            svt_accuracy_check(k=10, beta=0.1, epsilon=0.5, trials=0)
+
+
+class TestEMAccuracy:
+    def test_guarantee_holds(self):
+        check = em_accuracy_check(k=100, beta=0.1, epsilon=0.5, trials=800, rng=2)
+        assert check.within_guarantee
+
+    def test_bound_bites(self):
+        """Shrink alpha to a small fraction of alpha_EM and the failure rate
+        exceeds beta — the EM bound is near-tight, unlike SVT's."""
+        from repro.analysis.theory import alpha_em
+
+        k, beta, eps = 100, 0.1, 0.5
+        small_alpha = alpha_em(k, beta, eps) / 20.0
+        check = em_accuracy_check(
+            k, beta, eps, trials=800, alpha_override=small_alpha, rng=3
+        )
+        assert check.beta_observed > beta
+
+    def test_em_needs_smaller_alpha_than_svt(self):
+        """The headline: at the same (k, beta, eps), EM succeeds at an alpha
+        eight times smaller than SVT needs — verified by running both."""
+        k, beta, eps = 100, 0.1, 0.5
+        em = em_accuracy_check(k, beta, eps, trials=600, rng=4)
+        svt = svt_accuracy_check(k, beta, eps, trials=600, rng=5)
+        assert em.alpha < svt.alpha / 8
+        assert em.within_guarantee and svt.within_guarantee
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            em_accuracy_check(k=10, beta=0.1, epsilon=0.5, trials=-1)

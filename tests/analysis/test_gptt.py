@@ -1,0 +1,104 @@
+"""Tests for the GPTT analysis (Section 3.3 / Appendix 10.3)."""
+
+import math
+
+import pytest
+
+from repro.analysis.gptt import (
+    broken_proof_would_condemn_alg1,
+    gptt_counterexample_ratio,
+    gptt_kappa,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestKappa:
+    def test_always_greater_than_one(self):
+        for z in (-5.0, -1.0, 0.0, 1.0, 5.0):
+            assert gptt_kappa(z, eps2=0.5) > 1.0
+
+    def test_kappa_at_zero_closed_form(self):
+        """kappa(0) = (1 - F(-1)) / F(-1) (the paper's worked value)."""
+        from repro.mechanisms.laplace import laplace_cdf
+
+        eps2 = 0.5
+        f = laplace_cdf(-1.0, 1.0 / eps2)
+        assert gptt_kappa(0.0, eps2) == pytest.approx((1 - f) / f)
+
+    def test_tail_limits(self):
+        """kappa decays from its peak near 0 toward e^{eps2} in both tails."""
+        eps2 = 0.5
+        assert gptt_kappa(50.0, eps2) < gptt_kappa(0.0, eps2)
+        assert gptt_kappa(50.0, eps2) == pytest.approx(math.exp(eps2), abs=1e-4)
+        assert gptt_kappa(-50.0, eps2) == pytest.approx(math.exp(eps2), abs=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            gptt_kappa(0.0, eps2=0.0)
+
+
+class TestCounterexampleRatio:
+    def test_grows_with_t(self):
+        """GPTT really is non-private: the true ratio grows without bound."""
+        r5 = gptt_counterexample_ratio(5, epsilon=1.0)
+        r20 = gptt_counterexample_ratio(20, epsilon=1.0)
+        r80 = gptt_counterexample_ratio(80, epsilon=1.0)
+        assert 1.0 < r5 < r20 < r80
+
+    def test_exceeds_any_claimed_epsilon_eventually(self):
+        target = math.exp(3.0)  # refute 3-DP
+        assert gptt_counterexample_ratio(200, epsilon=1.0) > target
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            gptt_counterexample_ratio(0, 1.0)
+        with pytest.raises(InvalidParameterError):
+            gptt_counterexample_ratio(5, 0.0)
+
+
+class TestBrokenProofDemo:
+    def test_true_ratio_respects_lemma1(self):
+        """Alg. 1's actual all-⊥ ratio stays within e^{eps/2} for every t."""
+        for t in (5, 20, 60):
+            report = broken_proof_would_condemn_alg1(t, epsilon=1.0)
+            assert report.true_ratio <= report.lemma1_bound + 1e-6
+
+    def test_per_t_bound_sound_but_stays_bounded(self):
+        """Each fixed-t inequality the template derives is TRUE — yet the
+        derived bound never grows (kappa_min(t) -> 1 exactly compensates)."""
+        bounds = []
+        for t in (10, 60, 200):
+            report = broken_proof_would_condemn_alg1(t, epsilon=1.0)
+            assert report.per_t_bound_is_sound
+            bounds.append(report.per_t_lower_bound)
+        assert max(bounds) < report.lemma1_bound
+
+    def test_template_fabricates_contradiction_when_kappa_held_constant(self):
+        """The original proof's fallacy: treating kappa as t-independent.
+        Freezing kappa at t0=10 and growing t 'proves' a ratio exceeding the
+        proven Lemma-1 cap — the contradiction the paper uses to expose the
+        circularity."""
+        report = broken_proof_would_condemn_alg1(200, epsilon=1.0)
+        assert report.fabricated_exceeds_lemma1
+        assert report.fabricated_if_kappa_constant > report.true_ratio
+
+    def test_kappa_min_decays_with_t(self):
+        """The circular dependency: larger t -> smaller alpha -> wider interval
+        -> kappa_min closer to 1."""
+        k10 = broken_proof_would_condemn_alg1(10, 1.0).kappa_min
+        k60 = broken_proof_would_condemn_alg1(60, 1.0).kappa_min
+        assert 1.0 < k60 < k10
+
+    def test_interval_grows_with_t(self):
+        d10 = broken_proof_would_condemn_alg1(10, 1.0).delta_interval
+        d60 = broken_proof_would_condemn_alg1(60, 1.0).delta_interval
+        assert d60 > d10
+
+    def test_alpha_shrinks_with_t(self):
+        a10 = broken_proof_would_condemn_alg1(10, 1.0).alpha
+        a60 = broken_proof_would_condemn_alg1(60, 1.0).alpha
+        assert 0.0 < a60 < a10
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            broken_proof_would_condemn_alg1(0, 1.0)

@@ -1,0 +1,89 @@
+"""Tests for the decomposed proof-inequality checks (Section 3.1)."""
+
+import pytest
+
+from repro.analysis.lemma1 import (
+    f_side_margin,
+    g_side_margin,
+    one_side_conflict,
+    rho_shift_margin,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestFSide:
+    def test_holds_with_noise(self):
+        assert f_side_margin(0.0, 1.0, query_scale=2.0) <= 1e-12
+
+    def test_holds_without_noise(self):
+        """Eq. (3) holds even for nu = 0 — the observation that misled Alg. 5."""
+        assert f_side_margin(0.0, 1.0, query_scale=0.0) <= 1e-12
+
+    def test_holds_for_any_valid_pair(self):
+        for q_d, q_dp in [(0.0, 0.0), (1.0, 0.5), (-2.0, -1.5)]:
+            assert f_side_margin(q_d, q_dp, query_scale=1.0) <= 1e-12
+
+    def test_rejects_oversized_difference(self):
+        with pytest.raises(InvalidParameterError):
+            f_side_margin(0.0, 5.0, sensitivity=1.0)
+
+    def test_boundary_pair_exactly_tight(self):
+        """At |q(D) - q(D')| = Delta the inequality is tight but not violated
+        (both with and without query noise)."""
+        assert f_side_margin(0.0, 1.0, sensitivity=1.0, query_scale=0.0) <= 0.0
+        noisy = f_side_margin(0.0, 1.0, sensitivity=1.0, query_scale=0.5)
+        assert -1e-6 <= noisy <= 1e-12
+
+
+class TestRhoShift:
+    @pytest.mark.parametrize("eps1", [0.1, 0.5, 2.0])
+    def test_holds(self, eps1):
+        assert rho_shift_margin(eps1) <= 1e-12
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            rho_shift_margin(0.0)
+
+
+class TestGSide:
+    def test_correct_scale_holds_general(self):
+        """Lap(2c/eps2) satisfies the per-positive bound (Eqs. 8-10)."""
+        eps2, c = 0.5, 5
+        assert g_side_margin(eps2, c, query_scale=2 * c / eps2) <= 1e-9
+
+    def test_correct_scale_holds_monotonic(self):
+        """Lap(c/eps2) suffices for the one-directional case (Theorem 5)."""
+        eps2, c = 0.5, 5
+        assert (
+            g_side_margin(eps2, c, query_scale=c / eps2, monotonic_shift=True) <= 1e-9
+        )
+
+    def test_half_scale_fails_general(self):
+        """Alg. 3's Lap(c/eps2) does NOT satisfy the general bound — the
+        missing factor 2 the paper calls out."""
+        eps2, c = 0.5, 5
+        assert g_side_margin(eps2, c, query_scale=c / eps2) > 0.0
+
+    def test_unscaled_noise_fails(self):
+        """Alg. 4/6's Lap(1/eps2) breaks the bound badly for c > 1."""
+        eps2, c = 0.5, 5
+        assert g_side_margin(eps2, c, query_scale=1 / eps2) > 0.0
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            g_side_margin(0.5, 0, query_scale=1.0)
+        with pytest.raises(InvalidParameterError):
+            g_side_margin(0.5, 1, query_scale=0.0)
+
+
+class TestOneSideConflict:
+    def test_conflict_exists_without_noise(self):
+        """No single change of variable serves both ⊥ and ⊤ sides — the
+        shared error of Alg. 5/6 (Section 3.1's closing remark)."""
+        report = one_side_conflict()
+        assert report.conflict
+        # The +Delta shift fixes f but breaks g; -Delta symmetric.
+        assert report.f_margin_with_plus <= 0.0
+        assert report.g_margin_with_plus > 0.0
+        assert report.g_margin_with_minus <= 0.0
+        assert report.f_margin_with_minus > 0.0

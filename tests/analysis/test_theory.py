@@ -1,0 +1,91 @@
+"""Tests for the Section-5 utility bounds."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.theory import (
+    alpha_em,
+    alpha_ratio,
+    alpha_svt,
+    em_beta_for_alpha,
+    em_correct_selection_probability,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestAlphaSVT:
+    def test_formula(self):
+        k, beta, eps = 100, 0.05, 0.1
+        assert alpha_svt(k, beta, eps) == pytest.approx(
+            8 * (math.log(k) + math.log(2 / beta)) / eps
+        )
+
+    def test_scales_inverse_epsilon(self):
+        assert alpha_svt(10, 0.1, 0.1) == pytest.approx(10 * alpha_svt(10, 0.1, 1.0))
+
+    def test_grows_with_k(self):
+        assert alpha_svt(1_000, 0.1, 1.0) > alpha_svt(10, 0.1, 1.0)
+
+
+class TestAlphaEM:
+    def test_formula(self):
+        k, beta, eps = 100, 0.05, 0.1
+        assert alpha_em(k, beta, eps) == pytest.approx(
+            (math.log(k - 1) + math.log((1 - beta) / beta)) / eps
+        )
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            alpha_em(1, 0.1, 1.0)
+        with pytest.raises(InvalidParameterError):
+            alpha_em(10, 0.0, 1.0)
+        with pytest.raises(InvalidParameterError):
+            alpha_em(10, 0.1, 0.0)
+
+
+class TestComparison:
+    @given(st.integers(2, 10**6), st.floats(0.001, 0.4))
+    @settings(max_examples=80, deadline=None)
+    def test_property_em_below_one_eighth_of_svt(self, k, beta):
+        """The paper's Section-5 claim: alpha_EM < alpha_SVT / 8."""
+        assert alpha_ratio(k, beta) < 1.0 / 8.0
+
+    def test_ratio_independent_of_epsilon(self):
+        assert alpha_ratio(100, 0.05, 0.1) == pytest.approx(alpha_ratio(100, 0.05, 5.0))
+
+
+class TestEMSelectionProbability:
+    def test_matches_display_formula(self):
+        """Same value as the paper's e^{eps(T+a)/2}/((k-1)e^{eps(T-a)/2}+e^{eps(T+a)/2})."""
+        k, alpha, eps, T = 20, 5.0, 0.5, 3.0
+        a = math.exp(eps * (T + alpha) / 2)
+        b = math.exp(eps * (T - alpha) / 2)
+        expected = a / ((k - 1) * b + a)
+        assert em_correct_selection_probability(k, alpha, eps, T) == pytest.approx(expected)
+
+    def test_threshold_cancels(self):
+        assert em_correct_selection_probability(10, 2.0, 1.0, 0.0) == pytest.approx(
+            em_correct_selection_probability(10, 2.0, 1.0, 100.0)
+        )
+
+    def test_alpha_em_achieves_beta(self):
+        """Plugging alpha_EM back in yields success probability >= 1 - beta."""
+        k, beta, eps = 50, 0.05, 0.2
+        alpha = alpha_em(k, beta, eps)
+        assert em_correct_selection_probability(k, alpha, eps) >= 1 - beta - 1e-9
+
+    def test_no_overflow_at_extreme_values(self):
+        p = em_correct_selection_probability(10, 1e6, 10.0, threshold=1e6)
+        assert p == pytest.approx(1.0)
+
+    def test_beta_complement(self):
+        assert em_beta_for_alpha(10, 2.0, 1.0) == pytest.approx(
+            1.0 - em_correct_selection_probability(10, 2.0, 1.0)
+        )
+
+    def test_monotone_in_alpha(self):
+        probs = [em_correct_selection_probability(10, a, 1.0) for a in (0.0, 1.0, 5.0)]
+        assert probs[0] < probs[1] < probs[2]

@@ -1,0 +1,341 @@
+"""Tests for the exact outcome-probability verifier (Eq. 5 machinery).
+
+These are the reproduction's strongest correctness checks: Theorems 2, 4, 5
+(privacy of Alg. 1/7) and the non-privacy theorems are verified by numerical
+integration rather than sampling.
+"""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.verifier import (
+    MechanismSpec,
+    empirical_epsilon,
+    enumerate_valid_patterns,
+    outcome_probability,
+    privacy_ratio,
+    spec_for_variant,
+)
+from repro.exceptions import InvalidParameterError
+
+EPS = 1.0
+
+
+def random_neighbors(rng, n, delta=1.0, spread=3.0):
+    """A random pair of answer vectors with |q_i(D) - q_i(D')| <= delta."""
+    q = rng.uniform(-spread, spread, n)
+    return q, q + rng.uniform(-delta, delta, n)
+
+
+class TestSpecConstruction:
+    def test_alg1_scales(self):
+        spec = spec_for_variant("alg1", epsilon=1.0, c=3)
+        assert spec.threshold_scale == pytest.approx(1 / 0.5)
+        assert spec.query_scale == pytest.approx(2 * 3 / 0.5)
+        assert not spec.resets_threshold
+
+    def test_alg2_scales(self):
+        spec = spec_for_variant("alg2", epsilon=1.0, c=3)
+        assert spec.threshold_scale == pytest.approx(3 / 0.5)
+        assert spec.query_scale == pytest.approx(2 * 3 / 0.5)
+        assert spec.resets_threshold
+        assert spec.refresh_scale == pytest.approx(3 / 0.5)
+
+    def test_alg4_scales(self):
+        spec = spec_for_variant("alg4", epsilon=1.0, c=3)
+        assert spec.threshold_scale == pytest.approx(1 / 0.25)
+        assert spec.query_scale == pytest.approx(1 / 0.75)
+
+    def test_alg5_no_noise(self):
+        assert spec_for_variant("alg5", 1.0, 1).query_scale == 0.0
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            MechanismSpec(threshold_scale=0.0, query_scale=1.0)
+        with pytest.raises(InvalidParameterError):
+            MechanismSpec(threshold_scale=1.0, query_scale=-1.0)
+        with pytest.raises(InvalidParameterError):
+            MechanismSpec(threshold_scale=1.0, query_scale=1.0, resets_threshold=True)
+        with pytest.raises(InvalidParameterError):
+            MechanismSpec(threshold_scale=1.0, query_scale=0.0, outputs_numeric=True)
+
+
+class TestProbabilityBasics:
+    def test_probabilities_sum_to_one_with_cutoff(self):
+        """Valid transcripts of Alg. 1 partition the outcome space."""
+        spec = spec_for_variant("alg1", EPS, c=2)
+        rng = np.random.default_rng(0)
+        q, _ = random_neighbors(rng, 4)
+        total = sum(
+            outcome_probability(spec, q[: len(p)], p, 0.0)
+            for p in enumerate_valid_patterns(4, 2)
+        )
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_probabilities_sum_to_one_no_cutoff(self):
+        spec = spec_for_variant("alg6", EPS, c=1)
+        q = np.array([0.3, -0.7, 1.2])
+        total = sum(
+            outcome_probability(spec, q, p, 0.0)
+            for p in itertools.product([False, True], repeat=3)
+        )
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_alg2_segments_sum_to_one(self):
+        spec = spec_for_variant("alg2", EPS, c=2)
+        q = np.array([0.5, -0.5, 0.8])
+        total = sum(
+            outcome_probability(spec, q[: len(p)], p, 0.0)
+            for p in enumerate_valid_patterns(3, 2)
+        )
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_alg5_step_functions(self):
+        """With no query noise the outcome depends only on rho vs the answers."""
+        spec = spec_for_variant("alg5", EPS, c=1)
+        # q = 5, T = 0: ⊤ iff rho <= 5, i.e. probability F_rho(5).
+        from repro.mechanisms.laplace import laplace_cdf
+
+        p_top = outcome_probability(spec, [5.0], [True], 0.0)
+        assert p_top == pytest.approx(laplace_cdf(5.0, spec.threshold_scale), abs=1e-6)
+
+    def test_matches_monte_carlo(self):
+        """Integration agrees with straightforward simulation of Alg. 1."""
+        from repro.core.allocation import BudgetAllocation
+        from repro.core.svt import run_svt_batch
+
+        spec = spec_for_variant("alg1", 2.0, c=1)
+        q = np.array([0.5, -0.5])
+        pattern = (False, True)
+        exact = outcome_probability(spec, q, pattern, 0.0)
+
+        allocation = BudgetAllocation(eps1=1.0, eps2=1.0)
+        trials = 30_000
+        hits = 0
+        rng = np.random.default_rng(1)
+        for _ in range(trials):
+            res = run_svt_batch(q, allocation, 1, thresholds=0.0, rng=rng)
+            if res.processed == 2 and res.positives == [1]:
+                hits += 1
+        assert hits / trials == pytest.approx(exact, abs=0.01)
+
+
+class TestTheorem2:
+    """Alg. 1 is eps-DP: every valid outcome's ratio is within e^eps."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_instances(self, seed):
+        rng = np.random.default_rng(seed)
+        q_d, q_dp = random_neighbors(rng, 4)
+        spec = spec_for_variant("alg1", EPS, c=2)
+        loss = empirical_epsilon(spec, q_d, q_dp, thresholds=0.0, c=2)
+        assert loss <= EPS + 1e-6
+
+    def test_worst_case_style_instance(self):
+        """All answers shifted by the full Delta — the proof's extremal case."""
+        spec = spec_for_variant("alg1", EPS, c=1)
+        q_d = np.array([0.0, 0.0, 0.0])
+        q_dp = q_d + 1.0
+        loss = empirical_epsilon(spec, q_d, q_dp, thresholds=0.0, c=1)
+        assert loss <= EPS + 1e-6
+
+    def test_lemma1_all_bottom(self):
+        """The all-⊥ outcome alone costs at most eps1 (Lemma 1)."""
+        spec = spec_for_variant("alg1", EPS, c=1)
+        eps1 = EPS / 2
+        q_d = np.array([0.0, 0.5, -0.3])
+        q_dp = q_d + 1.0
+        ratio = privacy_ratio(spec, q_d, q_dp, [False] * 3, 0.0)
+        assert abs(math.log(ratio)) <= eps1 + 1e-6
+
+    def test_alg2_private_too(self):
+        rng = np.random.default_rng(3)
+        q_d, q_dp = random_neighbors(rng, 3)
+        spec = spec_for_variant("alg2", EPS, c=2)
+        loss = empirical_epsilon(spec, q_d, q_dp, thresholds=0.0, c=2)
+        assert loss <= EPS + 1e-6
+
+
+class TestTheorem4And5:
+    def test_alg7_with_custom_allocation(self):
+        """Privacy holds for any eps1 + eps2 split, not only 1:1."""
+        c = 2
+        eps1, eps2 = 0.2, 0.8
+        spec = MechanismSpec(threshold_scale=1 / eps1, query_scale=2 * c / eps2)
+        rng = np.random.default_rng(4)
+        q_d, q_dp = random_neighbors(rng, 4)
+        loss = empirical_epsilon(spec, q_d, q_dp, thresholds=0.0, c=c)
+        assert loss <= (eps1 + eps2) + 1e-6
+
+    def test_monotonic_noise_suffices_for_monotonic_instances(self):
+        """Theorem 5: Lap(c Delta/eps2) is enough when all answers move together."""
+        c = 2
+        eps1, eps2 = 0.5, 0.5
+        spec = MechanismSpec(threshold_scale=1 / eps1, query_scale=c / eps2)
+        rng = np.random.default_rng(5)
+        q_d = rng.uniform(-2, 2, 4)
+        shift = rng.uniform(0, 1, 4)  # one-directional: monotonic pair
+        loss = empirical_epsilon(spec, q_d, q_d + shift, thresholds=0.0, c=c)
+        assert loss <= (eps1 + eps2) + 1e-6
+
+    def test_monotonic_noise_insufficient_in_general(self):
+        """The same reduced noise CAN exceed eps on a non-monotonic pair,
+        which is exactly why Theorem 5 needs its hypothesis.  Instance found
+        by numeric search: below-threshold answers move up by Delta while the
+        (deep-tail) above-candidates move down by Delta."""
+        c = 2
+        eps1, eps2 = 0.5, 0.5
+        spec = MechanismSpec(threshold_scale=1 / eps1, query_scale=c / eps2)
+        q_d = np.array([2.0, 2.0, 2.0, -10.0, -10.0])
+        q_dp = np.array([3.0, 3.0, 3.0, -11.0, -11.0])
+        loss = empirical_epsilon(spec, q_d, q_dp, thresholds=0.0, c=c)
+        assert loss > (eps1 + eps2)
+
+
+class TestNonPrivateVariants:
+    def test_alg5_infinite(self):
+        spec = spec_for_variant("alg5", EPS, c=1)
+        loss = empirical_epsilon(spec, [0.0, 1.0], [1.0, 0.0], thresholds=0.0)
+        assert loss == math.inf
+
+    def test_alg6_blows_past_eps(self):
+        spec = spec_for_variant("alg6", EPS, c=1)
+        m = 4
+        q_d = [0.0] * (2 * m)
+        q_dp = [1.0] * m + [-1.0] * m
+        pattern = [False] * m + [True] * m
+        ratio = privacy_ratio(spec, q_d, q_dp, pattern, 0.0)
+        assert ratio >= math.exp(m * EPS / 2.0) * 0.999
+
+    def test_alg4_exceeds_advertised_but_respects_actual(self):
+        """Alg. 4 breaks eps-DP yet satisfies ((1+6c)/4)eps-DP (Section 3.2)."""
+        c = 2
+        spec = spec_for_variant("alg4", EPS, c=c)
+        q_d = np.array([0.0, 0.0, 10.0, 10.0])
+        q_dp = np.array([1.0, 1.0, 9.0, 9.0])
+        loss = empirical_epsilon(spec, q_d, q_dp, thresholds=5.0, c=c)
+        assert loss > EPS  # advertised budget broken
+        actual = (1 + 6 * c) / 4 * EPS
+        assert loss <= actual + 1e-6  # true guarantee respected
+
+
+class TestNumericOutputDensities:
+    def test_released_value_pins_noise(self):
+        """Density factorizes into Laplace(a - q) times the truncated integral."""
+        spec = spec_for_variant("alg3", EPS, c=1)
+        d1 = outcome_probability(spec, [0.0], [True], 0.0, numeric_values=[0.0])
+        d2 = outcome_probability(spec, [0.0], [True], 0.0, numeric_values=[5.0])
+        assert d1 > d2  # a release far from q is less likely
+
+    def test_numeric_values_required(self):
+        spec = spec_for_variant("alg3", EPS, c=1)
+        with pytest.raises(InvalidParameterError):
+            outcome_probability(spec, [0.0], [True], 0.0)
+
+    def test_numeric_values_forbidden_for_indicator_specs(self):
+        spec = spec_for_variant("alg1", EPS, c=1)
+        with pytest.raises(InvalidParameterError):
+            outcome_probability(spec, [0.0], [True], 0.0, numeric_values=[1.0])
+
+
+class TestEnumerateValidPatterns:
+    def test_no_cutoff_full_space(self):
+        assert len(list(enumerate_valid_patterns(3, None))) == 8
+
+    def test_cutoff_counts(self):
+        patterns = list(enumerate_valid_patterns(3, 1))
+        # <1 positive full-length: ⊥⊥⊥.  Halted: ⊤, ⊥⊤, ⊥⊥⊤.
+        assert len(patterns) == 4
+        assert (False, False, False) in patterns
+        assert (True,) in patterns
+
+    def test_halted_patterns_end_positive(self):
+        for pattern in enumerate_valid_patterns(5, 2):
+            if sum(pattern) == 2 and len(pattern) < 5:
+                assert pattern[-1] is True or pattern[-1] == True  # noqa: E712
+
+    def test_guard_on_pattern_count(self):
+        spec = spec_for_variant("alg1", EPS, c=1)
+        with pytest.raises(InvalidParameterError):
+            empirical_epsilon(spec, [0.0] * 10, [1.0] * 10, max_queries=6)
+
+
+class TestAlg7NumericPhase:
+    """Theorem 4 with eps3 > 0: independent releases keep privacy bounded —
+    the precise structural difference from Alg. 3's correlated releases."""
+
+    def _spec(self, eps1, eps2, eps3, c):
+        return MechanismSpec(
+            threshold_scale=1.0 / eps1,
+            query_scale=2 * c / eps2,
+            independent_numeric_scale=c / eps3,
+        )
+
+    def test_density_factorizes(self):
+        """density(outcome with values) = indicator probability x Laplace pdfs."""
+        from repro.mechanisms.laplace import laplace_pdf
+
+        eps1 = eps2 = eps3 = 0.5
+        c = 1
+        spec = self._spec(eps1, eps2, eps3, c)
+        indicator = MechanismSpec(threshold_scale=1 / eps1, query_scale=2 * c / eps2)
+        q = [0.3, -0.4]
+        pattern = [False, True]
+        released = [0.1]
+        combined = outcome_probability(spec, q, pattern, 0.0, released)
+        expected = outcome_probability(indicator, q, pattern, 0.0) * float(
+            laplace_pdf(released[0] - q[1], c / eps3)
+        )
+        assert combined == pytest.approx(expected, rel=1e-9)
+
+    def test_theorem4_bound_with_numeric_outputs(self):
+        """For any released values, the density ratio stays within
+        e^{eps1+eps2+eps3} (spot-checked over a value grid)."""
+        eps1, eps2, eps3 = 0.4, 0.4, 0.2
+        c = 1
+        spec = self._spec(eps1, eps2, eps3, c)
+        q_d = [0.2, -0.1]
+        q_dp = [1.2, -1.1]  # both-directions extremal shift, Delta = 1
+        pattern = [False, True]
+        bound = math.exp(eps1 + eps2 + eps3)
+        for released in (-3.0, -1.1, 0.0, 0.7, 2.5):
+            ratio = privacy_ratio(spec, q_d, q_dp, pattern, 0.0, [released])
+            assert ratio <= bound * (1 + 1e-9)
+
+    def test_contrast_with_alg3_on_theorem6_geometry(self):
+        """Same inputs and outputs as Theorem 6: Alg. 3's correlated release
+        ratio grows like e^{(m-1)eps/2}; Alg. 7's independent release stays
+        within its total budget."""
+        m, eps = 6, 1.0
+        q_d = [0.0] * m + [1.0]
+        q_dp = [1.0] * m + [0.0]
+        pattern = [False] * m + [True]
+        released = [0.0]
+
+        alg3 = spec_for_variant("alg3", eps, c=1)
+        alg3_ratio = privacy_ratio(alg3, q_d, q_dp, pattern, 0.0, released)
+        assert alg3_ratio >= math.exp((m - 1) * eps / 2.0) * 0.999
+
+        # Alg. 7 with the same total budget split three ways.
+        eps1 = eps2 = eps3 = eps / 3.0
+        alg7 = MechanismSpec(
+            threshold_scale=1.0 / eps1,
+            query_scale=2.0 / eps2,
+            independent_numeric_scale=1.0 / eps3,
+        )
+        alg7_ratio = privacy_ratio(alg7, q_d, q_dp, pattern, 0.0, released)
+        assert alg7_ratio <= math.exp(eps) * (1 + 1e-9)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            MechanismSpec(threshold_scale=1.0, query_scale=1.0,
+                          independent_numeric_scale=0.0)
+        with pytest.raises(InvalidParameterError):
+            MechanismSpec(threshold_scale=1.0, query_scale=1.0,
+                          outputs_numeric=True, independent_numeric_scale=1.0)
+        spec = self._spec(0.5, 0.5, 0.5, 1)
+        with pytest.raises(InvalidParameterError):
+            outcome_probability(spec, [0.0], [True], 0.0, numeric_values=[1.0, 2.0])

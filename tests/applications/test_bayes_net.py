@@ -1,0 +1,132 @@
+"""Tests for private Bayesian-network edge selection."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.applications.bayes_net import (
+    maximum_spanning_tree,
+    mutual_information,
+    mutual_information_sensitivity,
+    private_structure_edges,
+    score_all_pairs,
+)
+from repro.applications.bayes_net import EdgeScore
+from repro.exceptions import InvalidParameterError
+
+
+class TestMutualInformation:
+    def test_identical_columns_give_entropy(self):
+        x = np.array([0, 0, 1, 1])
+        assert mutual_information(x, x) == pytest.approx(1.0)  # H(X)=1 bit
+
+    def test_independent_columns_near_zero(self):
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, 2, 20_000)
+        y = rng.integers(0, 2, 20_000)
+        assert mutual_information(x, y) < 0.001
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(1)
+        x = rng.integers(0, 3, 500)
+        y = (x + rng.integers(0, 2, 500)) % 3
+        assert mutual_information(x, y) == pytest.approx(mutual_information(y, x))
+
+    def test_non_negative(self):
+        rng = np.random.default_rng(2)
+        for _ in range(5):
+            x = rng.integers(0, 4, 100)
+            y = rng.integers(0, 4, 100)
+            assert mutual_information(x, y) >= 0.0
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            mutual_information([1, 2], [1])
+
+
+class TestSensitivityBound:
+    def test_formula(self):
+        n = 100
+        expected = (1 / n) * math.log2(n) + ((n - 1) / n) * math.log2(n / (n - 1))
+        assert mutual_information_sensitivity(n) == pytest.approx(expected)
+
+    def test_decreases_with_n(self):
+        assert mutual_information_sensitivity(1_000) < mutual_information_sensitivity(10)
+
+    def test_empirical_bound_holds(self):
+        """Changing one record never moves pairwise MI more than the bound."""
+        rng = np.random.default_rng(3)
+        n = 60
+        data = rng.integers(0, 2, size=(n, 2))
+        base = mutual_information(data[:, 0], data[:, 1])
+        bound = mutual_information_sensitivity(n)
+        # add-one neighbors
+        for record in ([0, 0], [0, 1], [1, 0], [1, 1]):
+            grown = np.vstack([data, record])
+            grown_mi = mutual_information(grown[:, 0], grown[:, 1])
+            # neighbor bound is stated for n vs n-1 records; use the larger n
+            assert abs(grown_mi - base) <= mutual_information_sensitivity(n + 1) + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            mutual_information_sensitivity(1)
+
+
+class TestPrivateEdges:
+    @pytest.fixture(scope="class")
+    def data(self):
+        rng = np.random.default_rng(4)
+        n = 2_000
+        a = rng.integers(0, 2, n)
+        b = a.copy()  # perfectly correlated with a
+        c = rng.integers(0, 2, n)
+        d = (c + (rng.random(n) < 0.1)) % 2  # strongly correlated with c
+        e = rng.integers(0, 2, n)
+        return np.column_stack([a, b, c, d, e])
+
+    def test_generous_budget_finds_correlated_pairs(self, data):
+        edges = private_structure_edges(data, epsilon=50.0, c=2, method="em", rng=5)
+        pairs = {e.pair for e in edges}
+        assert (0, 1) in pairs
+        assert (2, 3) in pairs
+
+    def test_returns_requested_count(self, data):
+        edges = private_structure_edges(data, epsilon=1.0, c=3, rng=6)
+        assert len(edges) == 3
+
+    def test_c_exceeds_pairs(self):
+        data = np.zeros((10, 2), dtype=int)
+        with pytest.raises(InvalidParameterError):
+            private_structure_edges(data, epsilon=1.0, c=5)
+
+    def test_score_all_pairs_count(self, data):
+        edges = score_all_pairs(data)
+        assert len(edges) == 5 * 4 // 2
+
+
+class TestSpanningTree:
+    def test_builds_tree_from_edges(self):
+        edges = [
+            EdgeScore((0, 1), 0.9),
+            EdgeScore((1, 2), 0.8),
+            EdgeScore((0, 2), 0.7),  # closes a cycle: must be dropped
+            EdgeScore((2, 3), 0.5),
+        ]
+        tree = maximum_spanning_tree(edges, num_nodes=4)
+        assert len(tree) == 3
+        assert EdgeScore((0, 2), 0.7) not in tree
+
+    def test_prefers_higher_scores(self):
+        edges = [EdgeScore((0, 1), 0.1), EdgeScore((0, 1), 0.9)]
+        tree = maximum_spanning_tree(edges, num_nodes=2)
+        assert tree[0].score == 0.9
+
+    def test_forest_when_disconnected(self):
+        edges = [EdgeScore((0, 1), 0.5), EdgeScore((2, 3), 0.5)]
+        tree = maximum_spanning_tree(edges, num_nodes=4)
+        assert len(tree) == 2
+
+    def test_out_of_range_edge(self):
+        with pytest.raises(InvalidParameterError):
+            maximum_spanning_tree([EdgeScore((0, 9), 0.5)], num_nodes=2)

@@ -1,0 +1,121 @@
+"""Tests for the PrivBayes-style synthesizer."""
+
+import numpy as np
+import pytest
+
+from repro.applications.data_synthesis import (
+    SynthesisModel,
+    synthesize_binary_data,
+    total_variation_by_attribute,
+)
+from repro.exceptions import InvalidParameterError
+
+
+@pytest.fixture(scope="module")
+def correlated_data():
+    """Six binary attributes: (0,1) tightly coupled, (2,3) coupled, 4-5 noise."""
+    rng = np.random.default_rng(0)
+    n = 4_000
+    a = (rng.random(n) < 0.7).astype(int)
+    b = np.where(rng.random(n) < 0.9, a, 1 - a)
+    c = (rng.random(n) < 0.3).astype(int)
+    d = np.where(rng.random(n) < 0.85, c, 1 - c)
+    e = (rng.random(n) < 0.5).astype(int)
+    f = (rng.random(n) < 0.2).astype(int)
+    return np.column_stack([a, b, c, d, e, f])
+
+
+class TestModelFitting:
+    def test_structure_is_forest(self, correlated_data):
+        model = synthesize_binary_data(correlated_data, epsilon=20.0, rng=1)
+        d = correlated_data.shape[1]
+        assert len(model.edges) <= d - 1
+        # Topological order covers every attribute exactly once.
+        assert sorted(model.order) == list(range(d))
+
+    def test_generous_budget_finds_true_couplings(self, correlated_data):
+        model = synthesize_binary_data(correlated_data, epsilon=200.0, rng=2)
+        selected_pairs = {e.pair for e in model.edges}
+        assert (0, 1) in selected_pairs
+        assert (2, 3) in selected_pairs
+
+    def test_parents_consistent_with_order(self, correlated_data):
+        model = synthesize_binary_data(correlated_data, epsilon=20.0, rng=3)
+        seen = set()
+        for node in model.order:
+            parent = model.parent[node]
+            if parent is not None:
+                assert parent in seen
+            seen.add(node)
+
+    def test_probabilities_in_open_interval(self, correlated_data):
+        model = synthesize_binary_data(correlated_data, epsilon=5.0, rng=4)
+        for p in model.marginals.values():
+            assert 0.0 < p < 1.0
+        for table in model.conditionals.values():
+            for p in table.values():
+                assert 0.0 < p < 1.0
+
+    def test_validation(self, correlated_data):
+        with pytest.raises(InvalidParameterError):
+            synthesize_binary_data(correlated_data[:, :1], epsilon=1.0)
+        with pytest.raises(InvalidParameterError):
+            synthesize_binary_data(correlated_data * 3, epsilon=1.0)
+        with pytest.raises(InvalidParameterError):
+            synthesize_binary_data(correlated_data, epsilon=1.0, structure_fraction=1.0)
+
+
+class TestSampling:
+    def test_shape_and_domain(self, correlated_data):
+        model = synthesize_binary_data(correlated_data, epsilon=20.0, rng=5)
+        sample = model.sample(500, rng=6)
+        assert sample.shape == (500, correlated_data.shape[1])
+        assert np.isin(sample, (0, 1)).all()
+
+    def test_deterministic_given_seed(self, correlated_data):
+        model = synthesize_binary_data(correlated_data, epsilon=20.0, rng=7)
+        a = model.sample(100, rng=8)
+        b = model.sample(100, rng=8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_count(self, correlated_data):
+        model = synthesize_binary_data(correlated_data, epsilon=20.0, rng=9)
+        with pytest.raises(InvalidParameterError):
+            model.sample(0)
+
+
+class TestFidelity:
+    def test_marginals_preserved_at_generous_budget(self, correlated_data):
+        model = synthesize_binary_data(correlated_data, epsilon=200.0, rng=10)
+        synthetic = model.sample(correlated_data.shape[0], rng=11)
+        tv = total_variation_by_attribute(correlated_data, synthetic)
+        assert tv.max() < 0.05
+
+    def test_pairwise_correlation_preserved(self, correlated_data):
+        """The tree structure carries the planted couplings into the sample."""
+        model = synthesize_binary_data(correlated_data, epsilon=200.0, rng=12)
+        synthetic = model.sample(correlated_data.shape[0], rng=13)
+
+        def agreement(data, i, j):
+            return float(np.mean(data[:, i] == data[:, j]))
+
+        assert agreement(synthetic, 0, 1) > 0.8
+        assert agreement(synthetic, 2, 3) > 0.75
+
+    def test_quality_degrades_gracefully_with_budget(self, correlated_data):
+        """Tiny budget -> worse marginals, but still a valid dataset."""
+        model = synthesize_binary_data(correlated_data, epsilon=0.05, rng=14)
+        synthetic = model.sample(1_000, rng=15)
+        tv = total_variation_by_attribute(correlated_data, synthetic)
+        assert np.isin(synthetic, (0, 1)).all()
+        assert tv.max() <= 1.0
+
+
+class TestTotalVariation:
+    def test_identical_data_zero(self, correlated_data):
+        tv = total_variation_by_attribute(correlated_data, correlated_data)
+        np.testing.assert_allclose(tv, 0.0)
+
+    def test_shape_mismatch(self, correlated_data):
+        with pytest.raises(InvalidParameterError):
+            total_variation_by_attribute(correlated_data, correlated_data[:, :2])

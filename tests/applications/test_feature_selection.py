@@ -1,0 +1,95 @@
+"""Tests for private feature selection."""
+
+import numpy as np
+import pytest
+
+from repro.applications.feature_selection import (
+    agreement_scores,
+    make_classification_data,
+    private_feature_selection,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestDataGenerator:
+    def test_shapes(self):
+        X, y = make_classification_data(num_records=100, num_features=20, rng=0)
+        assert X.shape == (100, 20)
+        assert y.shape == (100,)
+        assert set(np.unique(X)) <= {0, 1}
+        assert set(np.unique(y)) <= {0, 1}
+
+    def test_informative_features_score_higher(self):
+        X, y = make_classification_data(
+            num_records=3_000, num_features=40, num_informative=8, rng=1
+        )
+        scores = agreement_scores(X, y)
+        informative_mean = scores[:8].mean()
+        noise_mean = scores[8:].mean()
+        assert informative_mean > noise_mean + 100  # clear separation
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            make_classification_data(num_features=5, num_informative=10)
+        with pytest.raises(InvalidParameterError):
+            make_classification_data(flip_probability=0.6)
+
+
+class TestAgreementScores:
+    def test_known_counts(self):
+        X = np.array([[1, 0], [1, 1], [0, 0]])
+        y = np.array([1, 1, 0])
+        np.testing.assert_array_equal(agreement_scores(X, y), [3, 2])
+
+    def test_sensitivity_one(self):
+        """Adding a record changes each feature's score by at most one, and
+        all changes are non-negative (monotonic family)."""
+        X = np.array([[1, 0], [0, 1]])
+        y = np.array([1, 0])
+        base = agreement_scores(X, y)
+        X2 = np.vstack([X, [1, 1]])
+        y2 = np.append(y, 1)
+        grown = agreement_scores(X2, y2)
+        diffs = grown - base
+        assert np.all((diffs == 0) | (diffs == 1))
+
+    def test_shape_validation(self):
+        with pytest.raises(InvalidParameterError):
+            agreement_scores(np.zeros((3, 2)), np.zeros(4))
+
+
+class TestPrivateSelection:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return make_classification_data(
+            num_records=2_000, num_features=30, num_informative=6, flip_probability=0.2, rng=2
+        )
+
+    def test_generous_budget_finds_informative(self, data):
+        X, y = data
+        result = private_feature_selection(X, y, epsilon=100.0, c=6, method="em", rng=3)
+        assert set(result.selected.tolist()) == set(range(6))
+
+    def test_downstream_accuracy_beats_chance(self, data):
+        X, y = data
+        result = private_feature_selection(X, y, epsilon=10.0, c=6, method="em", rng=4)
+        assert result.test_accuracy > 0.6
+
+    def test_svt_method(self, data):
+        X, y = data
+        n_train = int(2_000 * 0.7)
+        result = private_feature_selection(
+            X, y, epsilon=100.0, c=6, method="svt", threshold=0.6 * n_train, rng=5
+        )
+        assert result.selected.size <= 6
+
+    def test_deterministic_given_seed(self, data):
+        X, y = data
+        a = private_feature_selection(X, y, epsilon=1.0, c=4, rng=6)
+        b = private_feature_selection(X, y, epsilon=1.0, c=4, rng=6)
+        np.testing.assert_array_equal(a.selected, b.selected)
+
+    def test_validation(self, data):
+        X, y = data
+        with pytest.raises(InvalidParameterError):
+            private_feature_selection(X, y, epsilon=1.0, c=2, test_fraction=1.0)

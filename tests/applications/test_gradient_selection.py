@@ -1,0 +1,99 @@
+"""Tests for selective gradient sharing."""
+
+import numpy as np
+import pytest
+
+from repro.applications.gradient_selection import (
+    make_regression_data,
+    selective_gradient_sharing,
+)
+from repro.exceptions import InvalidParameterError
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_regression_data(num_records=400, num_features=16, rng=0)
+
+
+class TestDataGenerator:
+    def test_shapes(self, data):
+        X, y, w = data
+        assert X.shape == (400, 16)
+        assert y.shape == (400,)
+        assert w.shape == (16,)
+
+    def test_sparse_truth(self, data):
+        _, _, w = data
+        assert np.all(w[8:] == 0.0)
+
+
+class TestTraining:
+    @pytest.mark.parametrize("selector", ["svt-s", "svt-dpbook", "em"])
+    def test_runs_and_logs(self, data, selector):
+        X, y, _ = data
+        w, log = selective_gradient_sharing(
+            X, y, epsilon_per_round=5.0, c=4, rounds=3, selector=selector, rng=1
+        )
+        assert w.shape == (16,)
+        assert len(log) == 3
+        for entry in log:
+            assert entry.selected.size <= 4
+            assert entry.noisy_values.shape == entry.selected.shape
+
+    def test_em_selects_exactly_c(self, data):
+        X, y, _ = data
+        _, log = selective_gradient_sharing(
+            X, y, epsilon_per_round=5.0, c=4, rounds=2, selector="em", rng=2
+        )
+        assert all(entry.selected.size == 4 for entry in log)
+
+    def test_only_selected_coordinates_move(self, data):
+        X, y, _ = data
+        w, log = selective_gradient_sharing(
+            X, y, epsilon_per_round=5.0, c=3, rounds=1, selector="em", rng=3
+        )
+        touched = set(log[0].selected.tolist())
+        for k in range(16):
+            if k not in touched:
+                assert w[k] == 0.0
+
+    def test_generous_budget_reduces_loss(self, data):
+        """Training with huge budget should beat the zero-weights baseline."""
+        X, y, _ = data
+
+        def logloss(w):
+            p = 1 / (1 + np.exp(-(X @ w)))
+            p = np.clip(p, 1e-9, 1 - 1e-9)
+            return -np.mean(y * np.log(p) + (1 - y) * np.log(1 - p))
+
+        w, _ = selective_gradient_sharing(
+            X, y, epsilon_per_round=1_000.0, c=8, rounds=10, selector="em", rng=4
+        )
+        assert logloss(w) < logloss(np.zeros(16))
+
+    def test_deterministic(self, data):
+        X, y, _ = data
+        w1, _ = selective_gradient_sharing(X, y, 2.0, 3, rounds=2, rng=5)
+        w2, _ = selective_gradient_sharing(X, y, 2.0, 3, rounds=2, rng=5)
+        np.testing.assert_array_equal(w1, w2)
+
+
+class TestValidation:
+    def test_bad_selector(self, data):
+        X, y, _ = data
+        with pytest.raises(InvalidParameterError):
+            selective_gradient_sharing(X, y, 1.0, 2, selector="magic")
+
+    def test_c_exceeds_dimensions(self, data):
+        X, y, _ = data
+        with pytest.raises(InvalidParameterError):
+            selective_gradient_sharing(X, y, 1.0, c=100)
+
+    def test_bad_shapes(self):
+        with pytest.raises(InvalidParameterError):
+            selective_gradient_sharing(np.zeros((4, 2)), np.zeros(5), 1.0, 1)
+
+    def test_bad_clip(self, data):
+        X, y, _ = data
+        with pytest.raises(InvalidParameterError):
+            selective_gradient_sharing(X, y, 1.0, 2, clip=0.0)

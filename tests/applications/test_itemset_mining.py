@@ -1,0 +1,70 @@
+"""Tests for private frequent itemset mining."""
+
+import numpy as np
+import pytest
+
+from repro.applications.itemset_mining import private_top_c_itemsets
+from repro.data.transaction_db import TransactionDatabase
+from repro.exceptions import InvalidParameterError
+
+
+@pytest.fixture(scope="module")
+def db():
+    probs = np.array([0.8, 0.6, 0.4, 0.2, 0.1, 0.05])
+    return TransactionDatabase.synthesize(600, probs, rng=0)
+
+
+class TestSelection:
+    def test_returns_c_itemsets(self, db):
+        mined = private_top_c_itemsets(db, epsilon=2.0, c=4, method="em", rng=1)
+        assert len(mined) == 4
+        assert len({m.itemset for m in mined}) == 4
+
+    def test_high_epsilon_finds_frequent_items(self, db):
+        """With generous budget, the top singles dominate the selection."""
+        mined = private_top_c_itemsets(db, epsilon=200.0, c=2, method="em", rng=2)
+        selected = {m.itemset for m in mined}
+        assert (0,) in selected
+        assert (1,) in selected or (0, 1) in selected
+
+    def test_svt_method_with_threshold(self, db):
+        mined = private_top_c_itemsets(
+            db, epsilon=200.0, c=3, method="svt", threshold=200.0, rng=3
+        )
+        assert 0 < len(mined) <= 3
+
+    def test_retraversal_method(self, db):
+        mined = private_top_c_itemsets(
+            db, epsilon=200.0, c=3, method="svt-retraversal", threshold=250.0, rng=4
+        )
+        assert len(mined) == 3
+
+    def test_no_counts_by_default(self, db):
+        mined = private_top_c_itemsets(db, epsilon=2.0, c=2, rng=5)
+        assert all(m.noisy_support is None for m in mined)
+
+    def test_released_counts_near_truth(self, db):
+        mined = private_top_c_itemsets(
+            db, epsilon=400.0, c=3, release_counts=True, rng=6
+        )
+        for m in mined:
+            truth = db.support(m.itemset)
+            assert m.noisy_support == pytest.approx(truth, abs=15.0)
+
+    def test_max_size_two_candidates_included(self, db):
+        mined = private_top_c_itemsets(db, epsilon=200.0, c=8, max_size=2, rng=7)
+        assert any(len(m.itemset) == 2 for m in mined)
+
+
+class TestValidation:
+    def test_c_exceeds_candidates(self, db):
+        with pytest.raises(InvalidParameterError):
+            private_top_c_itemsets(db, epsilon=1.0, c=1_000, max_size=1, rng=0)
+
+    def test_invalid_c(self, db):
+        with pytest.raises(InvalidParameterError):
+            private_top_c_itemsets(db, epsilon=1.0, c=0)
+
+    def test_svt_without_threshold(self, db):
+        with pytest.raises(InvalidParameterError):
+            private_top_c_itemsets(db, epsilon=1.0, c=2, method="svt")

@@ -1,0 +1,84 @@
+"""Tests for the Theorem 3/6/7 counterexamples."""
+
+import math
+
+import pytest
+
+from repro.attacks.counterexamples import (
+    theorem3_stoddard,
+    theorem6_roth,
+    theorem7_chen,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestTheorem3:
+    def test_infinite_ratio(self):
+        ce = theorem3_stoddard(epsilon=1.0)
+        assert ce.ratio == math.inf
+        assert ce.epsilon_refuted() == math.inf
+
+    def test_witness_structure(self):
+        ce = theorem3_stoddard()
+        assert ce.answers_d == [0.0, 1.0]
+        assert ce.answers_d_prime == [1.0, 0.0]
+        assert ce.pattern == [False, True]
+        assert ce.variant == "alg5"
+
+
+class TestTheorem6:
+    @pytest.mark.parametrize("m", [1, 3, 8])
+    def test_matches_closed_form_exactly(self, m):
+        """Integration reproduces e^{(m-1)eps/2} to high precision."""
+        ce = theorem6_roth(m, epsilon=1.0)
+        assert ce.ratio == pytest.approx(ce.closed_form_bound, rel=1e-4)
+
+    def test_epsilon_refuted_grows_linearly(self):
+        e2 = theorem6_roth(3, 1.0).epsilon_refuted()
+        e4 = theorem6_roth(5, 1.0).epsilon_refuted()
+        assert e4 - e2 == pytest.approx(1.0, rel=1e-3)  # (m-1)/2 slope in m
+
+    def test_scaling_with_epsilon(self):
+        ce = theorem6_roth(5, epsilon=0.5)
+        assert ce.closed_form_bound == pytest.approx(math.exp(4 * 0.5 / 2))
+
+    def test_m_validation(self):
+        with pytest.raises(InvalidParameterError):
+            theorem6_roth(0)
+
+
+class TestTheorem7:
+    @pytest.mark.parametrize("m", [1, 2, 5])
+    def test_ratio_at_least_bound(self, m):
+        ce = theorem7_chen(m, epsilon=1.0)
+        assert ce.ratio >= ce.closed_form_bound * 0.999
+
+    def test_refutes_any_fixed_epsilon_for_large_m(self):
+        # refute 2-DP: need ratio > e^2, i.e. m >= 4 at eps=1 by the bound.
+        ce = theorem7_chen(6, epsilon=1.0)
+        assert ce.epsilon_refuted() > 2.0
+
+    def test_witness_structure(self):
+        ce = theorem7_chen(2)
+        assert ce.answers_d == [0.0] * 4
+        assert ce.answers_d_prime == [1.0, 1.0, -1.0, -1.0]
+        assert ce.pattern == [False, False, True, True]
+
+    def test_m_validation(self):
+        with pytest.raises(InvalidParameterError):
+            theorem7_chen(-1)
+
+
+class TestContrastWithAlg1:
+    def test_alg1_bounded_on_theorem7_inputs(self):
+        """The same neighboring inputs leave Alg. 1 comfortably within eps —
+        the counterexamples exploit variant defects, not SVT per se."""
+        from repro.analysis.verifier import privacy_ratio, spec_for_variant
+
+        m, eps = 4, 1.0
+        spec = spec_for_variant("alg1", eps, c=2 * m)
+        q_d = [0.0] * (2 * m)
+        q_dp = [1.0] * m + [-1.0] * m
+        pattern = [False] * m + [True] * m
+        ratio = privacy_ratio(spec, q_d, q_dp, pattern, 0.0)
+        assert abs(math.log(ratio)) <= eps + 1e-6

@@ -1,0 +1,142 @@
+"""Tests for the black-box Monte-Carlo epsilon estimator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.attacks.estimator import estimate_event_epsilon, event_frequency
+from repro.core.base import ABOVE, BELOW
+from repro.exceptions import InvalidParameterError
+
+
+class TestEventFrequency:
+    def test_deterministic_event(self):
+        freq = event_frequency(lambda g: 1, lambda out: out == 1, trials=100, rng=0)
+        assert freq == 1.0
+
+    def test_coin_flip(self):
+        freq = event_frequency(
+            lambda g: g.random() < 0.3, lambda out: out, trials=20_000, rng=1
+        )
+        assert freq == pytest.approx(0.3, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            event_frequency(lambda g: 1, lambda o: True, trials=0)
+
+
+class TestEstimator:
+    def test_identical_mechanisms_near_zero(self):
+        def mech(gen):
+            return gen.laplace() > 0.5
+
+        est = estimate_event_epsilon(mech, mech, lambda out: out, trials=20_000, rng=2)
+        assert est.conservative < 0.1
+
+    def test_laplace_mechanism_within_epsilon(self):
+        """A genuine eps-DP mechanism stays under eps on a threshold event."""
+        eps = 1.0
+
+        def mech_d(gen):
+            return 0.0 + gen.laplace(scale=1.0 / eps)
+
+        def mech_dp(gen):
+            return 1.0 + gen.laplace(scale=1.0 / eps)
+
+        est = estimate_event_epsilon(
+            mech_d, mech_dp, lambda out: out >= 0.5, trials=40_000, rng=3
+        )
+        assert est.conservative <= eps + 0.05
+
+    def test_detects_stoddard_violation(self):
+        """Alg. 5 on the Theorem-3 witness: the event has positive frequency on
+        D and zero on D', so the estimate blows far past eps."""
+        from repro.variants.stoddard import run_stoddard
+
+        eps = 1.0
+
+        def mech(answers):
+            def run(gen):
+                res = run_stoddard(
+                    answers, epsilon=eps, thresholds=0.0, rng=gen, allow_non_private=True
+                )
+                return tuple(res.answers)
+
+            return run
+
+        event = lambda out: out == (BELOW, ABOVE)
+        est = estimate_event_epsilon(
+            mech([0.0, 1.0]), mech([1.0, 0.0]), event, trials=20_000, rng=4
+        )
+        assert est.p_d > 0.1
+        assert est.p_d_prime == 0.0
+        assert est.conservative > eps
+
+    def test_agrees_with_analytical_verifier_on_alg1(self):
+        """Monte Carlo and Eq.-(5) integration agree on a concrete event."""
+        from repro.analysis.verifier import outcome_probability, spec_for_variant
+        from repro.core.allocation import BudgetAllocation
+        from repro.core.svt import run_svt_batch
+
+        eps, c = 2.0, 1
+        answers_d = np.array([0.3, -0.2])
+        pattern = (False, True)
+        spec = spec_for_variant("alg1", eps, c)
+        exact = outcome_probability(spec, answers_d, pattern, 0.0)
+
+        def mech(gen):
+            allocation = BudgetAllocation(eps1=eps / 2, eps2=eps / 2)
+            res = run_svt_batch(answers_d, allocation, c, thresholds=0.0, rng=gen)
+            return res.processed == 2 and res.positives == [1]
+
+        freq = event_frequency(mech, lambda out: out, trials=30_000, rng=5)
+        assert freq == pytest.approx(exact, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            estimate_event_epsilon(lambda g: 1, lambda g: 1, lambda o: True, trials=1)
+
+
+class TestAgreementOnBrokenVariants:
+    """Implementation vs analytical spec: the MC estimator and the Eq.-(5)
+    verifier must agree for the broken variants too (if an implementation
+    drifted from its Figure-1 listing, these would diverge)."""
+
+    def test_alg6_event_frequency_matches_integral(self):
+        from repro.analysis.verifier import outcome_probability, spec_for_variant
+        from repro.variants.chen import run_chen
+
+        eps = 1.5
+        answers = [0.4, -0.6, 1.1]
+        pattern = (False, True, True)
+        spec = spec_for_variant("alg6", eps, c=1)
+        exact = outcome_probability(spec, answers, pattern, 0.0)
+
+        def mech(gen):
+            res = run_chen(answers, eps, thresholds=0.0, rng=gen, allow_non_private=True)
+            return tuple(bool(i in res.positives) for i in range(3))
+
+        freq = event_frequency(mech, lambda out: out == pattern, trials=30_000, rng=11)
+        assert freq == pytest.approx(exact, abs=0.01)
+
+    def test_alg4_event_frequency_matches_integral(self):
+        from repro.analysis.verifier import outcome_probability, spec_for_variant
+        from repro.variants.lee_clifton import run_lee_clifton
+
+        eps, c = 1.5, 2
+        answers = [0.5, -0.5, 0.8]
+        pattern = (True, False, True)  # halts at the 2nd positive = last query
+        spec = spec_for_variant("alg4", eps, c=c)
+        exact = outcome_probability(spec, answers, pattern, 0.0)
+
+        def mech(gen):
+            res = run_lee_clifton(
+                answers, eps, c, thresholds=0.0, rng=gen, allow_non_private=True
+            )
+            return (res.processed, tuple(res.positives))
+
+        freq = event_frequency(
+            mech, lambda out: out == (3, (0, 2)), trials=30_000, rng=12
+        )
+        assert freq == pytest.approx(exact, abs=0.01)

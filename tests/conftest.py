@@ -1,0 +1,37 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.transaction_db import TransactionDatabase
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator; tests needing other seeds build their own."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_db() -> TransactionDatabase:
+    """A tiny transaction database with known supports.
+
+    Items:    0 appears 4×, 1 appears 3×, 2 appears 2×, 3 appears 1×.
+    Itemsets: {0,1} 3×, {0,2} 2×, {1,2} 1×, {0,1,2} 1×.
+    """
+    return TransactionDatabase(
+        [
+            [0, 1],
+            [0, 1, 2],
+            [0, 2],
+            [0, 1, 3],
+        ]
+    )
+
+
+@pytest.fixture
+def synthetic_scores() -> np.ndarray:
+    """A strictly decreasing score vector with known top-c structure."""
+    return np.array([100.0, 90.0, 80.0, 70.0, 60.0, 50.0, 40.0, 30.0, 20.0, 10.0])

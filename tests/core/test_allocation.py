@@ -1,0 +1,144 @@
+"""Tests for Section-4.2 budget allocation."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocation import (
+    BudgetAllocation,
+    allocate,
+    comparison_std,
+    comparison_variance,
+    grid_search_allocation,
+    optimal_ratio_exponent_weight,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestNamedRatios:
+    def test_one_to_one(self):
+        eps1, eps2 = allocate(1.0, c=10, ratio="1:1")
+        assert eps1 == pytest.approx(0.5)
+        assert eps2 == pytest.approx(0.5)
+
+    def test_one_to_three(self):
+        eps1, eps2 = allocate(1.0, c=10, ratio="1:3")
+        assert eps1 == pytest.approx(0.25)
+
+    def test_one_to_c(self):
+        eps1, eps2 = allocate(1.0, c=4, ratio="1:c")
+        assert eps1 == pytest.approx(0.2)
+        assert eps2 == pytest.approx(0.8)
+
+    def test_one_to_c_twothirds(self):
+        c = 8
+        eps1, eps2 = allocate(1.0, c=c, ratio="1:c^(2/3)")
+        assert eps2 / eps1 == pytest.approx(c ** (2 / 3))
+
+    def test_general_optimum_is_2c_twothirds(self):
+        c = 5
+        eps1, eps2 = allocate(1.0, c=c, ratio="optimal", monotonic=False)
+        assert eps2 / eps1 == pytest.approx((2 * c) ** (2 / 3))
+
+    def test_monotonic_optimum_is_c_twothirds(self):
+        c = 5
+        eps1, eps2 = allocate(1.0, c=c, ratio="optimal", monotonic=True)
+        assert eps2 / eps1 == pytest.approx(c ** (2 / 3))
+
+    def test_numeric_ratio(self):
+        eps1, eps2 = allocate(1.0, c=3, ratio=4.0)
+        assert eps2 / eps1 == pytest.approx(4.0)
+
+    def test_sum_preserved(self):
+        for ratio in ("1:1", "1:3", "1:c", "1:c^(2/3)", "optimal"):
+            eps1, eps2 = allocate(0.1, c=50, ratio=ratio)
+            assert eps1 + eps2 == pytest.approx(0.1)
+
+    def test_unknown_ratio(self):
+        with pytest.raises(InvalidParameterError):
+            allocate(1.0, c=2, ratio="2:1")
+
+    def test_invalid_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            allocate(0.0, c=2)
+        with pytest.raises(InvalidParameterError):
+            allocate(1.0, c=0)
+        with pytest.raises(InvalidParameterError):
+            allocate(1.0, c=2, ratio=-1.0)
+
+
+class TestVarianceModel:
+    def test_paper_formula_general(self):
+        # Var = 2 (Delta/eps1)^2 + 2 (2c Delta/eps2)^2
+        var = comparison_variance(0.5, 0.5, c=3, sensitivity=1.0)
+        assert var == pytest.approx(2 * (1 / 0.5) ** 2 + 2 * (6 / 0.5) ** 2)
+
+    def test_paper_formula_monotonic(self):
+        var = comparison_variance(0.5, 0.5, c=3, sensitivity=1.0, monotonic=True)
+        assert var == pytest.approx(2 * (1 / 0.5) ** 2 + 2 * (3 / 0.5) ** 2)
+
+    def test_std_is_sqrt(self):
+        assert comparison_std(0.5, 0.5, 3) == pytest.approx(
+            math.sqrt(comparison_variance(0.5, 0.5, 3))
+        )
+
+    @pytest.mark.parametrize("c", [1, 2, 10, 50, 300])
+    @pytest.mark.parametrize("monotonic", [False, True])
+    def test_closed_form_optimum_matches_grid_search(self, c, monotonic):
+        """Eq. (12): the analytical ratio minimizes the comparison variance."""
+        epsilon = 0.1
+        eps1_opt, eps2_opt = allocate(epsilon, c, ratio="optimal", monotonic=monotonic)
+        eps1_grid, _ = grid_search_allocation(
+            epsilon, c, monotonic=monotonic, num_points=5_000
+        )
+        assert eps1_opt == pytest.approx(eps1_grid, rel=0.01)
+
+    @given(st.integers(1, 200))
+    @settings(max_examples=30, deadline=None)
+    def test_property_optimal_beats_named_ratios(self, c):
+        epsilon = 0.1
+        optimal_var = comparison_variance(
+            *allocate(epsilon, c, ratio="optimal"), c=c
+        )
+        for ratio in ("1:1", "1:3", "1:c"):
+            var = comparison_variance(*allocate(epsilon, c, ratio=ratio), c=c)
+            assert optimal_var <= var * (1 + 1e-12)
+
+
+class TestOptimalWeight:
+    def test_values(self):
+        assert optimal_ratio_exponent_weight(4, monotonic=False) == pytest.approx(8 ** (2 / 3))
+        assert optimal_ratio_exponent_weight(4, monotonic=True) == pytest.approx(4 ** (2 / 3))
+
+    def test_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            optimal_ratio_exponent_weight(0)
+
+
+class TestBudgetAllocation:
+    def test_total(self):
+        alloc = BudgetAllocation(eps1=0.2, eps2=0.5, eps3=0.3)
+        assert alloc.total == pytest.approx(1.0)
+
+    def test_from_ratio_without_numeric(self):
+        alloc = BudgetAllocation.from_ratio(1.0, c=2, ratio="1:1")
+        assert alloc.eps3 == 0.0
+        assert alloc.total == pytest.approx(1.0)
+
+    def test_from_ratio_with_numeric_fraction(self):
+        alloc = BudgetAllocation.from_ratio(1.0, c=2, ratio="1:1", numeric_fraction=0.4)
+        assert alloc.eps3 == pytest.approx(0.4)
+        assert alloc.eps1 == pytest.approx(0.3)
+        assert alloc.total == pytest.approx(1.0)
+
+    def test_frozen_and_validated(self):
+        with pytest.raises(InvalidParameterError):
+            BudgetAllocation(eps1=0.0, eps2=1.0)
+        with pytest.raises(InvalidParameterError):
+            BudgetAllocation(eps1=0.5, eps2=0.5, eps3=-0.1)
+
+    def test_invalid_numeric_fraction(self):
+        with pytest.raises(InvalidParameterError):
+            BudgetAllocation.from_ratio(1.0, c=2, numeric_fraction=1.0)

@@ -1,0 +1,61 @@
+"""Tests for core base types."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import ABOVE, BELOW, Response, SVTResult, normalize_thresholds
+from repro.exceptions import InvalidParameterError
+
+
+class TestResponse:
+    def test_symbols(self):
+        assert str(ABOVE) == "⊤"
+        assert str(BELOW) == "⊥"
+
+    def test_positivity(self):
+        assert ABOVE.is_positive
+        assert not BELOW.is_positive
+
+    def test_identity_semantics(self):
+        assert Response.ABOVE is ABOVE
+
+
+class TestSVTResult:
+    def test_indicator_vector(self):
+        result = SVTResult(answers=[BELOW, ABOVE, BELOW], positives=[1], processed=3)
+        np.testing.assert_array_equal(result.indicator_vector(), [False, True, False])
+
+    def test_num_positives_and_len(self):
+        result = SVTResult(answers=[ABOVE, ABOVE], positives=[0, 1], processed=2)
+        assert result.num_positives == 2
+        assert len(result) == 2
+
+    def test_empty(self):
+        result = SVTResult()
+        assert result.indicator_vector().size == 0
+        assert not result.halted
+
+
+class TestNormalizeThresholds:
+    def test_scalar_broadcast(self):
+        out = normalize_thresholds(5.0, 3)
+        np.testing.assert_array_equal(out, [5.0, 5.0, 5.0])
+
+    def test_sequence_passthrough(self):
+        out = normalize_thresholds([1.0, 2.0, 3.0], 3)
+        np.testing.assert_array_equal(out, [1.0, 2.0, 3.0])
+
+    def test_longer_sequence_truncated(self):
+        out = normalize_thresholds([1.0, 2.0, 3.0, 4.0], 2)
+        np.testing.assert_array_equal(out, [1.0, 2.0])
+
+    def test_too_short_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            normalize_thresholds([1.0], 3)
+
+    def test_2d_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            normalize_thresholds(np.zeros((2, 2)), 4)
+
+    def test_zero_queries(self):
+        assert normalize_thresholds(1.0, 0).size == 0

@@ -1,0 +1,122 @@
+"""Tests for the (eps, delta)-DP SVT route (Section 3.4 direction)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.accounting.composition import advanced_composition_epsilon
+from repro.core.epsilon_delta import (
+    EpsilonDeltaAllocation,
+    per_positive_epsilon,
+    run_svt_epsilon_delta,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestPerPositiveEpsilon:
+    def test_composition_target_met_tightly(self):
+        eps2, delta, c = 0.5, 1e-6, 50
+        eps0 = per_positive_epsilon(eps2, delta, c)
+        assert advanced_composition_epsilon(eps0, c, delta) <= eps2
+        # Tight: 1% more breaks the target.
+        assert advanced_composition_epsilon(eps0 * 1.01, c, delta) > eps2
+
+    def test_below_naive_division_never_above_eps2(self):
+        eps0 = per_positive_epsilon(1.0, 1e-6, 1)
+        assert 0 < eps0 < 1.0
+
+    def test_decreases_with_c(self):
+        values = [per_positive_epsilon(0.5, 1e-6, c) for c in (1, 10, 100)]
+        assert values[0] > values[1] > values[2]
+
+    def test_decreases_with_smaller_delta(self):
+        loose = per_positive_epsilon(0.5, 1e-3, 50)
+        tight = per_positive_epsilon(0.5, 1e-9, 50)
+        assert tight < loose
+
+    def test_scaling_beats_pure_for_large_c(self):
+        """eps0 ~ eps2 / sqrt(c ln(1/delta)) asymptotically: for large c the
+        per-query noise 2/eps0 is below the pure-DP 2c/eps2."""
+        eps2, delta, c = 0.5, 1e-6, 2_000
+        eps0 = per_positive_epsilon(eps2, delta, c)
+        assert 2.0 / eps0 < 2.0 * c / eps2
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            per_positive_epsilon(0.0, 1e-6, 1)
+        with pytest.raises(InvalidParameterError):
+            per_positive_epsilon(0.5, 1.0, 1)
+        with pytest.raises(InvalidParameterError):
+            per_positive_epsilon(0.5, 1e-6, 0)
+
+
+class TestAllocation:
+    def test_crossover_direction(self):
+        small = EpsilonDeltaAllocation(eps1=0.25, eps2=0.25, delta=1e-6, c=1)
+        large = EpsilonDeltaAllocation(eps1=0.25, eps2=0.25, delta=1e-6, c=2_000)
+        assert not small.beats_pure_dp()
+        assert large.beats_pure_dp()
+
+    def test_monotonic_halves_scale(self):
+        alloc = EpsilonDeltaAllocation(eps1=0.25, eps2=0.25, delta=1e-6, c=10)
+        assert alloc.query_noise_scale(monotonic=True) == pytest.approx(
+            alloc.query_noise_scale(monotonic=False) / 2.0
+        )
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            EpsilonDeltaAllocation(eps1=0.0, eps2=0.5, delta=1e-6, c=1)
+        with pytest.raises(InvalidParameterError):
+            EpsilonDeltaAllocation(eps1=0.5, eps2=0.5, delta=2.0, c=1)
+        with pytest.raises(InvalidParameterError):
+            EpsilonDeltaAllocation(eps1=0.5, eps2=0.5, delta=1e-6, c=0)
+
+
+class TestRunner:
+    def test_transcript_semantics_match_pure_svt(self):
+        allocation = EpsilonDeltaAllocation(eps1=50.0, eps2=50.0, delta=1e-6, c=2)
+        result = run_svt_epsilon_delta(
+            [1e6, -1e6, 1e6, 1e6], allocation, thresholds=0.0, rng=0
+        )
+        assert result.positives == [0, 2]
+        assert result.halted
+        assert result.processed == 3
+
+    def test_no_halt_when_under_c(self):
+        allocation = EpsilonDeltaAllocation(eps1=50.0, eps2=50.0, delta=1e-6, c=5)
+        result = run_svt_epsilon_delta([-1e6] * 4, allocation, rng=0)
+        assert not result.halted
+        assert result.processed == 4
+
+    def test_less_noise_than_pure_at_large_c(self):
+        """At c = 500 the (eps,delta) route classifies a clear gap far more
+        reliably than the pure route with the same eps2."""
+        from repro.core.allocation import BudgetAllocation
+        from repro.core.svt import run_svt_batch
+
+        c = 500
+        scores = np.concatenate([np.full(c, 3_000.0), np.zeros(300)])
+        threshold = 1_500.0
+        eps1 = eps2 = 0.25
+
+        def fnr_ed(seed):
+            allocation = EpsilonDeltaAllocation(eps1=eps1, eps2=eps2, delta=1e-6, c=c)
+            res = run_svt_epsilon_delta(scores, allocation, thresholds=threshold, rng=seed)
+            return 1.0 - sum(1 for i in res.positives if i < c) / c
+
+        def fnr_pure(seed):
+            allocation = BudgetAllocation(eps1=eps1, eps2=eps2)
+            res = run_svt_batch(scores, allocation, c, thresholds=threshold, rng=seed)
+            return 1.0 - sum(1 for i in res.positives if i < c) / c
+
+        ed = np.mean([fnr_ed(i) for i in range(10)])
+        pure = np.mean([fnr_pure(i) for i in range(10)])
+        assert ed < pure
+
+    def test_validation(self):
+        allocation = EpsilonDeltaAllocation(eps1=0.5, eps2=0.5, delta=1e-6, c=1)
+        with pytest.raises(InvalidParameterError):
+            run_svt_epsilon_delta(np.zeros((2, 2)), allocation)
+        with pytest.raises(InvalidParameterError):
+            run_svt_epsilon_delta([1.0], allocation, sensitivity=0.0)

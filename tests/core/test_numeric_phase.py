@@ -1,0 +1,72 @@
+"""Deeper tests of Alg. 7's numeric-output phase (eps3 > 0)."""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import BudgetAllocation
+from repro.core.base import BELOW
+from repro.core.svt import StandardSVT, run_svt_batch
+
+
+def alloc(epsilon=3.0, c=3, fraction=0.5):
+    return BudgetAllocation.from_ratio(
+        epsilon, c, ratio="1:1", numeric_fraction=fraction
+    )
+
+
+class TestNumericReleases:
+    def test_only_positives_get_numbers(self):
+        allocation = alloc(epsilon=300.0)
+        result = run_svt_batch(
+            [1e6, -1e6, 1e6], allocation, c=3, thresholds=0.0, rng=0
+        )
+        assert isinstance(result.answers[0], float)
+        assert result.answers[1] is BELOW
+        assert isinstance(result.answers[2], float)
+
+    def test_released_values_unbiased(self):
+        """The Laplace release is centered on the true answer."""
+        allocation = alloc(epsilon=5.0, c=1)
+        releases = []
+        for seed in range(800):
+            result = run_svt_batch([500.0], allocation, c=1, thresholds=0.0, rng=seed)
+            if result.positives and isinstance(result.answers[0], float):
+                releases.append(result.answers[0])
+        assert len(releases) > 700  # the query is far above threshold
+        assert np.mean(releases) == pytest.approx(500.0, abs=5.0)
+
+    def test_release_noise_scale_is_c_delta_over_eps3(self):
+        """Empirical spread of the releases matches Lap(c*Delta/eps3)."""
+        c, eps3 = 4, 1.0
+        allocation = BudgetAllocation(eps1=10.0, eps2=10.0, eps3=eps3)
+        releases = []
+        for seed in range(2_000):
+            svt = StandardSVT(allocation, sensitivity=1.0, c=c, rng=seed)
+            out = svt.process(1e4, threshold=0.0)
+            releases.append(out - 1e4)
+        expected_std = np.sqrt(2.0) * c / eps3
+        assert np.std(releases) == pytest.approx(expected_std, rel=0.1)
+
+    def test_fresh_noise_per_release(self):
+        """Unlike Alg. 3, the released value does NOT reuse the comparison
+        noise: releases of identical queries differ from the q+nu that fired."""
+        allocation = BudgetAllocation(eps1=5.0, eps2=5.0, eps3=0.2)
+        values = set()
+        for seed in range(10):
+            svt = StandardSVT(allocation, c=1, rng=seed)
+            out = svt.process(100.0, threshold=0.0)
+            values.add(round(out, 6))
+        assert len(values) == 10  # independent noise draws
+
+    def test_streaming_and_batch_agree_on_structure(self):
+        allocation = alloc(epsilon=300.0, c=2)
+        batch = run_svt_batch([1e6, -1e6, 1e6], allocation, c=2, thresholds=0.0, rng=5)
+        svt = StandardSVT(alloc(epsilon=300.0, c=2), c=2, rng=5)
+        stream = svt.run([1e6, -1e6, 1e6], thresholds=0.0)
+        assert batch.positives == stream.positives
+        assert batch.halted == stream.halted
+
+    def test_zero_fraction_means_indicators(self):
+        allocation = alloc(fraction=0.0)
+        result = run_svt_batch([1e6], allocation, c=3, thresholds=0.0, rng=0)
+        assert not isinstance(result.answers[0], float)

@@ -1,0 +1,133 @@
+"""Tests for SVT with retraversal."""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import BudgetAllocation
+from repro.core.retraversal import svt_retraversal
+from repro.exceptions import InvalidParameterError
+
+
+def alloc(epsilon=1.0, c=3):
+    return BudgetAllocation.from_ratio(epsilon, c, ratio="1:c^(2/3)", monotonic=True)
+
+
+class TestRetraversal:
+    def test_selects_exactly_c_eventually(self):
+        scores = np.array([100.0, 90.0, 80.0, 1.0, 2.0, 3.0])
+        result = svt_retraversal(
+            scores, alloc(100.0, 3), c=3, thresholds=50.0, monotonic=True, rng=0
+        )
+        assert result.num_selected == 3
+        assert not result.exhausted
+
+    def test_high_epsilon_finds_true_top(self):
+        scores = np.array([100.0, 90.0, 80.0, 1.0, 2.0, 3.0])
+        result = svt_retraversal(
+            scores, alloc(1000.0, 3), c=3, thresholds=50.0, monotonic=True, rng=1
+        )
+        assert sorted(result.selected) == [0, 1, 2]
+
+    def test_multiple_passes_when_threshold_high(self):
+        """A raised threshold forces extra passes; selection still completes."""
+        scores = np.full(20, 10.0)
+        result = svt_retraversal(
+            scores,
+            alloc(5.0, 5),
+            c=5,
+            thresholds=10.0,
+            monotonic=True,
+            threshold_bump_d=2.0,
+            max_passes=100,
+            rng=2,
+        )
+        assert result.num_selected == 5
+        assert result.passes >= 1
+
+    def test_no_duplicate_selections_across_passes(self):
+        scores = np.linspace(0, 50, 30)
+        result = svt_retraversal(
+            scores, alloc(5.0, 10), c=10, thresholds=25.0, monotonic=True, rng=3
+        )
+        assert len(set(result.selected)) == len(result.selected)
+
+    def test_pass_limit_reports_exhaustion(self):
+        # Impossibly high threshold: cannot select, must stop at max_passes.
+        scores = np.zeros(5)
+        result = svt_retraversal(
+            scores, alloc(1000.0, 3), c=3, thresholds=1e9, max_passes=3, rng=4
+        )
+        assert result.exhausted
+        assert result.passes == 3
+        assert result.num_selected < 3
+
+    def test_c_larger_than_universe_clamped(self):
+        scores = np.array([5.0, 6.0])
+        result = svt_retraversal(scores, alloc(100.0, 2), c=10, thresholds=0.0, rng=5)
+        assert result.num_selected <= 2
+
+    def test_examined_counts_work(self):
+        scores = np.array([100.0, 1.0, 1.0])
+        result = svt_retraversal(scores, alloc(100.0, 1), c=1, thresholds=50.0, rng=6)
+        assert result.examined >= 1
+
+    def test_zero_bump_equals_base_threshold(self):
+        """bump=0 uses the raw threshold (difference from SVT is retraversal only)."""
+        scores = np.array([1e6, -1e6])
+        result = svt_retraversal(
+            scores, alloc(100.0, 1), c=1, thresholds=0.0, threshold_bump_d=0.0, rng=7
+        )
+        assert result.selected == [0]
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            svt_retraversal([1.0], alloc(), c=0, rng=0)
+        with pytest.raises(InvalidParameterError):
+            svt_retraversal([1.0], alloc(), c=1, threshold_bump_d=-1.0, rng=0)
+        with pytest.raises(InvalidParameterError):
+            svt_retraversal([1.0], alloc(), c=1, max_passes=0, rng=0)
+        with pytest.raises(InvalidParameterError):
+            svt_retraversal(np.zeros((2, 2)), alloc(), c=1, rng=0)
+
+    def test_retraversal_fills_quota_plain_svt_misses(self):
+        """The motivation for SVT-ReTr (Section 5): plain SVT can run out of
+        queries with budget left on the table; retraversal keeps going until
+        c are selected, which can only raise the (conservative) selected-score
+        sum."""
+        from repro.core.svt import run_svt_batch
+        from repro.metrics.utility import score_error_rate
+
+        scores = np.concatenate([np.full(10, 100.0), np.full(80, 60.0)])
+        c = 10
+        threshold = 95.0  # high: plain SVT frequently under-selects
+        epsilon = 0.3
+
+        def plain(seed):
+            allocation = BudgetAllocation.from_ratio(
+                epsilon, c, ratio="1:c^(2/3)", monotonic=True
+            )
+            res = run_svt_batch(
+                scores, allocation, c, thresholds=threshold, monotonic=True, rng=seed
+            )
+            return np.asarray(res.positives, dtype=np.int64)
+
+        def retr(seed):
+            allocation = BudgetAllocation.from_ratio(
+                epsilon, c, ratio="1:c^(2/3)", monotonic=True
+            )
+            res = svt_retraversal(
+                scores, allocation, c, thresholds=threshold, monotonic=True, rng=seed
+            )
+            return np.asarray(res.selected, dtype=np.int64)
+
+        plain_sizes = [plain(100 + i).size for i in range(40)]
+        retr_sizes = [retr(100 + i).size for i in range(40)]
+        assert np.mean(retr_sizes) > np.mean(plain_sizes)
+
+        plain_ser = np.mean(
+            [score_error_rate(scores, plain(100 + i), c) for i in range(40)]
+        )
+        retr_ser = np.mean(
+            [score_error_rate(scores, retr(100 + i), c) for i in range(40)]
+        )
+        assert retr_ser <= plain_ser

@@ -1,0 +1,71 @@
+"""Tests for the select_top_c facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.selection import SELECTION_METHODS, select_top_c
+from repro.exceptions import InvalidParameterError
+
+
+class TestFacade:
+    @pytest.mark.parametrize("method", ["em", "noisy-max"])
+    def test_threshold_free_methods(self, method, synthetic_scores):
+        out = select_top_c(synthetic_scores, 100.0, 3, method=method, rng=0)
+        assert out.size == 3
+        assert sorted(out.tolist()) == [0, 1, 2]  # high epsilon: exact
+
+    @pytest.mark.parametrize("method", ["svt", "svt-retraversal"])
+    def test_svt_methods_need_threshold(self, method, synthetic_scores):
+        with pytest.raises(InvalidParameterError):
+            select_top_c(synthetic_scores, 1.0, 3, method=method, rng=0)
+
+    def test_svt_with_threshold(self, synthetic_scores):
+        out = select_top_c(
+            synthetic_scores, 100.0, 3, method="svt", threshold=75.0, rng=0
+        )
+        assert sorted(out.tolist()) == [0, 1, 2]
+
+    def test_retraversal_with_bump(self, synthetic_scores):
+        out = select_top_c(
+            synthetic_scores,
+            100.0,
+            3,
+            method="svt-retraversal",
+            threshold=75.0,
+            threshold_bump_d=1.0,
+            rng=0,
+        )
+        assert out.size == 3
+
+    def test_svt_may_select_fewer(self):
+        """Plain SVT can exhaust the list before c positives — by design."""
+        scores = np.array([0.0, 0.0, 0.0])
+        out = select_top_c(
+            scores, 100.0, 2, method="svt", threshold=1e6, rng=0
+        )
+        assert out.size < 2
+
+    def test_unknown_method(self, synthetic_scores):
+        with pytest.raises(InvalidParameterError):
+            select_top_c(synthetic_scores, 1.0, 2, method="magic")
+
+    def test_method_list_stable(self):
+        assert set(SELECTION_METHODS) == {"em", "svt", "svt-retraversal", "noisy-max"}
+
+    def test_ratio_passed_through(self, synthetic_scores):
+        out = select_top_c(
+            synthetic_scores,
+            100.0,
+            2,
+            method="svt",
+            threshold=85.0,
+            ratio="1:c",
+            monotonic=True,
+            rng=0,
+        )
+        assert out.size <= 2
+
+    def test_deterministic_given_seed(self, synthetic_scores):
+        a = select_top_c(synthetic_scores, 0.5, 3, method="em", rng=9)
+        b = select_top_c(synthetic_scores, 0.5, 3, method="em", rng=9)
+        np.testing.assert_array_equal(a, b)

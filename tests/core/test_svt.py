@@ -1,0 +1,195 @@
+"""Tests for the streaming StandardSVT (Alg. 7) and the Alg. 1 instantiation."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocation import BudgetAllocation
+from repro.core.base import ABOVE, BELOW
+from repro.core.svt import StandardSVT, run_svt, svt_alg1
+from repro.exceptions import InvalidParameterError, PrivacyError
+
+
+def make_svt(epsilon=1.0, c=2, ratio="1:1", monotonic=False, eps3_fraction=0.0, rng=0):
+    alloc = BudgetAllocation.from_ratio(
+        epsilon, c, ratio=ratio, monotonic=monotonic, numeric_fraction=eps3_fraction
+    )
+    return StandardSVT(alloc, sensitivity=1.0, c=c, monotonic=monotonic, rng=rng)
+
+
+class TestNoiseScales:
+    def test_alg1_scales(self):
+        """Alg. 1: rho ~ Lap(Delta/eps1), nu ~ Lap(2c Delta/eps2), eps1=eps/2."""
+        svt = svt_alg1(epsilon=1.0, c=3, rng=0)
+        assert svt.threshold_noise_scale == pytest.approx(1.0 / 0.5)
+        assert svt.query_noise_scale == pytest.approx(2 * 3 * 1.0 / 0.5)
+        assert svt.numeric_noise_scale is None
+
+    def test_no_factor_c_on_threshold(self):
+        """The key improvement over Alg. 2: threshold noise independent of c."""
+        small = svt_alg1(1.0, c=1, rng=0).threshold_noise_scale
+        large = svt_alg1(1.0, c=300, rng=0).threshold_noise_scale
+        assert small == large
+
+    def test_monotonic_halves_query_noise(self):
+        general = make_svt(monotonic=False, c=5).query_noise_scale
+        mono = make_svt(monotonic=True, c=5).query_noise_scale
+        assert mono == pytest.approx(general / 2.0)
+
+    def test_numeric_scale(self):
+        svt = make_svt(epsilon=1.0, c=4, eps3_fraction=0.5)
+        assert svt.numeric_noise_scale == pytest.approx(4 * 1.0 / 0.5)
+
+    def test_sensitivity_scales_everything(self):
+        alloc = BudgetAllocation(eps1=0.5, eps2=0.5)
+        svt = StandardSVT(alloc, sensitivity=3.0, c=2, rng=0)
+        assert svt.threshold_noise_scale == pytest.approx(3.0 / 0.5)
+        assert svt.query_noise_scale == pytest.approx(2 * 2 * 3.0 / 0.5)
+
+
+class TestProcessing:
+    def test_clear_above_is_top(self):
+        svt = make_svt(epsilon=100.0, c=1)
+        assert svt.process(1_000.0, threshold=0.0) is ABOVE
+
+    def test_clear_below_is_bottom(self):
+        svt = make_svt(epsilon=100.0, c=1)
+        assert svt.process(-1_000.0, threshold=0.0) is BELOW
+
+    def test_halts_after_c_positives(self):
+        svt = make_svt(epsilon=100.0, c=2)
+        svt.process(1_000.0)
+        assert not svt.halted
+        svt.process(1_000.0)
+        assert svt.halted
+
+    def test_processing_after_halt_raises(self):
+        svt = make_svt(epsilon=100.0, c=1)
+        svt.process(1_000.0)
+        with pytest.raises(PrivacyError):
+            svt.process(0.0)
+
+    def test_negatives_do_not_consume_cutoff(self):
+        svt = make_svt(epsilon=100.0, c=1)
+        for _ in range(50):
+            assert svt.process(-1_000.0) is BELOW
+        assert svt.count == 0
+        assert not svt.halted
+
+    def test_numeric_phase_returns_float(self):
+        svt = make_svt(epsilon=100.0, c=1, eps3_fraction=0.5)
+        out = svt.process(1_000.0, threshold=0.0)
+        assert isinstance(out, float)
+        assert out == pytest.approx(1_000.0, rel=0.1)
+
+    def test_count_and_processed_track(self):
+        svt = make_svt(epsilon=100.0, c=3)
+        svt.process(1_000.0)
+        svt.process(-1_000.0)
+        assert svt.count == 1
+        assert svt.processed == 2
+        assert svt.remaining_positives == 2
+
+
+class TestRun:
+    def test_scalar_threshold(self):
+        result = run_svt([1_000.0, -1_000.0, 1_000.0], epsilon=100.0, c=5, thresholds=0.0, rng=0)
+        assert result.answers == [ABOVE, BELOW, ABOVE]
+        assert result.positives == [0, 2]
+        assert not result.halted
+
+    def test_per_query_thresholds(self):
+        # Same value, thresholds flip which side it lands on.
+        result = run_svt(
+            [50.0, 50.0], epsilon=100.0, c=5, thresholds=[0.0, 100.0], rng=0
+        )
+        assert result.answers == [ABOVE, BELOW]
+
+    def test_halting_truncates_stream(self):
+        result = run_svt([1e4] * 10, epsilon=100.0, c=3, rng=0)
+        assert result.processed == 3
+        assert result.halted
+
+    def test_threshold_trace_single_rho(self):
+        result = run_svt([0.0, 1.0], epsilon=1.0, c=1, rng=0)
+        assert len(result.noisy_threshold_trace) == 1
+
+    def test_generator_input(self):
+        result = run_svt((float(v) for v in [1e4, -1e4]), epsilon=100.0, c=2, rng=0)
+        assert result.processed == 2
+
+    def test_monotonic_flag_wires_through(self):
+        result = run_svt(
+            [1e4, -1e4], epsilon=100.0, c=1, ratio="1:c^(2/3)", monotonic=True, rng=0
+        )
+        assert result.positives == [0]
+
+
+class TestValidation:
+    def test_bad_allocation_type(self):
+        with pytest.raises(InvalidParameterError):
+            StandardSVT("not-an-allocation", c=1)
+
+    def test_bad_sensitivity(self):
+        alloc = BudgetAllocation(eps1=0.5, eps2=0.5)
+        with pytest.raises(InvalidParameterError):
+            StandardSVT(alloc, sensitivity=0.0, c=1)
+
+    def test_bad_c(self):
+        alloc = BudgetAllocation(eps1=0.5, eps2=0.5)
+        with pytest.raises(InvalidParameterError):
+            StandardSVT(alloc, c=0)
+
+    def test_bad_epsilon_for_alg1(self):
+        with pytest.raises(InvalidParameterError):
+            svt_alg1(epsilon=0.0)
+
+
+class TestStatisticalBehaviour:
+    def test_borderline_query_splits_roughly_evenly(self):
+        """A query exactly at the threshold crosses ~half the time."""
+        hits = 0
+        trials = 2_000
+        rng = np.random.default_rng(0)
+        for _ in range(trials):
+            svt = StandardSVT(
+                BudgetAllocation(eps1=0.5, eps2=0.5), c=1, rng=rng
+            )
+            if svt.process(10.0, threshold=10.0) is ABOVE:
+                hits += 1
+        assert hits / trials == pytest.approx(0.5, abs=0.05)
+
+    def test_far_below_rarely_fires(self):
+        """Ten noise scales below the threshold: false-positive rate tiny."""
+        svt_scale = svt_alg1(1.0, c=1, rng=0)
+        gap = 10 * max(svt_scale.threshold_noise_scale, svt_scale.query_noise_scale)
+        rng = np.random.default_rng(1)
+        fires = 0
+        trials = 500
+        for _ in range(trials):
+            svt = svt_alg1(1.0, c=1, rng=rng)
+            if svt.process(0.0, threshold=gap) is ABOVE:
+                fires += 1
+        assert fires / trials < 0.05
+
+    @given(
+        st.lists(st.floats(-100, 100), min_size=1, max_size=30),
+        st.integers(1, 5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_transcript_wellformed(self, answers, c):
+        result = run_svt(answers, epsilon=1.0, c=c, rng=0)
+        # Never more than c positives; halt implies exactly c and positive last.
+        assert result.num_positives <= c
+        assert result.processed <= len(answers)
+        if result.halted:
+            assert result.num_positives == c
+            assert result.answers[-1] is not BELOW
+        else:
+            assert result.processed == len(answers)
+        # positives index the ABOVE entries exactly.
+        for i, answer in enumerate(result.answers):
+            assert (i in result.positives) == (answer is not BELOW)

@@ -1,0 +1,120 @@
+"""Tests for the vectorized batch SVT, incl. equivalence with streaming."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core.allocation import BudgetAllocation
+from repro.core.base import ABOVE, BELOW
+from repro.core.svt import StandardSVT, run_svt_batch
+from repro.exceptions import InvalidParameterError
+
+
+def alloc(epsilon=1.0, c=2, **kwargs):
+    return BudgetAllocation.from_ratio(epsilon, c, ratio="1:1", **kwargs)
+
+
+class TestBatchSemantics:
+    def test_obvious_selection(self):
+        result = run_svt_batch(
+            [1e4, -1e4, 1e4, -1e4], alloc(100.0, 5), c=5, thresholds=0.0, rng=0
+        )
+        assert result.positives == [0, 2]
+        assert result.processed == 4
+        assert not result.halted
+
+    def test_halts_at_cth_positive(self):
+        result = run_svt_batch([1e4] * 10, alloc(100.0, 3), c=3, rng=0)
+        assert result.processed == 3
+        assert result.halted
+        assert result.positives == [0, 1, 2]
+
+    def test_answers_align_with_positives(self):
+        result = run_svt_batch(
+            [1e4, -1e4, 1e4], alloc(100.0, 5), c=5, rng=0
+        )
+        assert result.answers == [ABOVE, BELOW, ABOVE]
+
+    def test_numeric_phase(self):
+        allocation = BudgetAllocation.from_ratio(100.0, 2, ratio="1:1", numeric_fraction=0.5)
+        result = run_svt_batch([1e4, -1e4], allocation, c=2, rng=0)
+        assert isinstance(result.answers[0], float)
+        assert result.answers[1] is BELOW
+        assert result.answers[0] == pytest.approx(1e4, rel=0.01)
+
+    def test_per_query_thresholds(self):
+        result = run_svt_batch(
+            [50.0, 50.0], alloc(100.0, 5), c=5, thresholds=[0.0, 100.0], rng=0
+        )
+        assert result.positives == [0]
+
+    def test_empty_input(self):
+        result = run_svt_batch([], alloc(), c=2, rng=0)
+        assert result.processed == 0
+        assert not result.halted
+
+    def test_2d_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            run_svt_batch(np.zeros((2, 2)), alloc(), c=2, rng=0)
+
+    def test_invalid_c(self):
+        with pytest.raises(InvalidParameterError):
+            run_svt_batch([1.0], alloc(), c=0, rng=0)
+
+
+class TestStreamingEquivalence:
+    """Batch and streaming must have the same output distribution."""
+
+    @pytest.mark.parametrize("monotonic", [False, True])
+    def test_positive_count_distribution_matches(self, monotonic):
+        answers = np.array([3.0, -1.0, 2.0, 0.5, -2.0, 4.0])
+        threshold = 1.0
+        epsilon, c = 2.0, 2
+        trials = 4_000
+
+        def stream_positives(seed):
+            allocation = BudgetAllocation.from_ratio(epsilon, c, ratio="1:1", monotonic=monotonic)
+            svt = StandardSVT(allocation, c=c, monotonic=monotonic, rng=seed)
+            return svt.run(answers, thresholds=threshold).num_positives
+
+        def batch_positives(seed):
+            allocation = BudgetAllocation.from_ratio(epsilon, c, ratio="1:1", monotonic=monotonic)
+            return run_svt_batch(
+                answers, allocation, c, thresholds=threshold, monotonic=monotonic, rng=seed
+            ).num_positives
+
+        stream_counts = np.bincount(
+            [stream_positives(10_000 + i) for i in range(trials)], minlength=c + 1
+        )
+        batch_counts = np.bincount(
+            [batch_positives(20_000 + i) for i in range(trials)], minlength=c + 1
+        )
+        # Chi-square two-sample on the count histograms.
+        observed = np.vstack([stream_counts, batch_counts])
+        _, p, _, _ = stats.chi2_contingency(observed + 1)
+        assert p > 0.001
+
+    def test_first_positive_position_distribution_matches(self):
+        answers = np.array([0.5, 0.5, 0.5, 0.5])
+        epsilon, c = 2.0, 1
+        trials = 4_000
+
+        def first_pos(runner, seed):
+            allocation = BudgetAllocation.from_ratio(epsilon, c, ratio="1:1")
+            result = runner(answers, allocation, seed)
+            return result.positives[0] if result.positives else len(answers)
+
+        def stream_runner(a, allocation, seed):
+            return StandardSVT(allocation, c=c, rng=seed).run(a, thresholds=0.0)
+
+        def batch_runner(a, allocation, seed):
+            return run_svt_batch(a, allocation, c, thresholds=0.0, rng=seed)
+
+        stream_hist = np.bincount(
+            [first_pos(stream_runner, 1_000 + i) for i in range(trials)], minlength=5
+        )
+        batch_hist = np.bincount(
+            [first_pos(batch_runner, 5_000 + i) for i in range(trials)], minlength=5
+        )
+        _, p, _, _ = stats.chi2_contingency(np.vstack([stream_hist, batch_hist]) + 1)
+        assert p > 0.001

@@ -1,0 +1,163 @@
+"""Tests for the synthetic dataset generators (Table 1 / Figure 3 calibration)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.generators import (
+    DATASET_GENERATORS,
+    ScoreDataset,
+    aol_like,
+    bms_pos_like,
+    generate_dataset,
+    kosarak_like,
+    power_law_supports,
+    zipf_like,
+)
+from repro.exceptions import DatasetError, InvalidParameterError
+
+
+class TestTable1Calibration:
+    """At scale=1 the record/item counts equal the paper's Table 1 exactly."""
+
+    def test_bms_pos(self):
+        ds = bms_pos_like(rng=0)
+        assert (ds.num_records, ds.num_items) == (515_597, 1_657)
+
+    def test_kosarak(self):
+        ds = kosarak_like(rng=0)
+        assert (ds.num_records, ds.num_items) == (990_002, 41_270)
+
+    def test_zipf(self):
+        ds = zipf_like()
+        assert (ds.num_records, ds.num_items) == (1_000_000, 10_000)
+
+    def test_aol_scaled_counts(self):
+        # Full AOL is 2.3M items; verify the proportional scaling instead.
+        ds = aol_like(rng=0, scale=0.01)
+        assert ds.num_records == round(647_377 * 0.01)
+        assert ds.num_items == round(2_290_685 * 0.01)
+
+
+class TestFigure3Shapes:
+    def test_supports_non_increasing(self):
+        for name in DATASET_GENERATORS:
+            ds = generate_dataset(name, rng=1, scale=0.02)
+            assert np.all(np.diff(ds.supports) <= 0)
+
+    def test_kosarak_steeper_than_bms(self):
+        """Figure 3: Kosarak loses far more support over 300 ranks than BMS-POS."""
+        bms = bms_pos_like(rng=2)
+        kos = kosarak_like(rng=2)
+        bms_drop = bms.supports[0] / bms.supports[min(299, bms.num_items - 1)]
+        kos_drop = kos.supports[0] / kos.supports[299]
+        assert kos_drop > bms_drop
+
+    def test_head_support_calibration(self):
+        """Head supports in the right decade (Figure 3 ranges)."""
+        assert 3e4 <= bms_pos_like(rng=3).supports[0] <= 1.2e5
+        assert 3e5 <= kosarak_like(rng=3).supports[0] <= 1.2e6
+
+    def test_zipf_is_one_over_rank(self):
+        ds = zipf_like()
+        # s_i ~ s_1 / i up to integer rounding.
+        s = ds.supports.astype(float)
+        for i in (1, 9, 99):
+            assert s[i] == pytest.approx(s[0] / (i + 1), rel=0.02)
+
+    def test_supports_bounded_by_records(self):
+        for name in DATASET_GENERATORS:
+            ds = generate_dataset(name, rng=4, scale=0.02)
+            assert ds.supports[0] <= ds.num_records
+            assert ds.supports[-1] >= 1
+
+
+class TestScoreDataset:
+    def test_threshold_is_boundary_average(self):
+        ds = ScoreDataset("t", 100, np.array([50, 40, 30, 20], dtype=np.int64))
+        assert ds.threshold_for_c(2) == pytest.approx(35.0)
+
+    def test_threshold_c_at_end(self):
+        ds = ScoreDataset("t", 100, np.array([50, 40], dtype=np.int64))
+        assert ds.threshold_for_c(2) == 40.0
+
+    def test_top_c_scores(self):
+        ds = ScoreDataset("t", 100, np.array([50, 40, 30], dtype=np.int64))
+        np.testing.assert_array_equal(ds.top_c_scores(2), [50, 40])
+
+    def test_head(self):
+        ds = ScoreDataset("t", 100, np.array([50, 40, 30], dtype=np.int64))
+        assert ds.head(2).size == 2
+        assert ds.head(10).size == 3
+
+    def test_validation_rejects_increasing(self):
+        with pytest.raises(DatasetError):
+            ScoreDataset("t", 100, np.array([1, 2], dtype=np.int64))
+
+    def test_validation_rejects_over_records(self):
+        with pytest.raises(DatasetError):
+            ScoreDataset("t", 10, np.array([11], dtype=np.int64))
+
+    def test_validation_rejects_empty(self):
+        with pytest.raises(DatasetError):
+            ScoreDataset("t", 10, np.array([], dtype=np.int64))
+
+    def test_invalid_c(self):
+        ds = ScoreDataset("t", 100, np.array([5], dtype=np.int64))
+        with pytest.raises(InvalidParameterError):
+            ds.threshold_for_c(0)
+
+
+class TestGenerateDataset:
+    def test_case_insensitive(self):
+        assert generate_dataset("kosarak", rng=0, scale=0.01).name == "Kosarak"
+
+    def test_unknown_name(self):
+        with pytest.raises(InvalidParameterError):
+            generate_dataset("Netflix")
+
+    def test_deterministic_from_seed(self):
+        a = generate_dataset("BMS-POS", rng=5, scale=0.05)
+        b = generate_dataset("BMS-POS", rng=5, scale=0.05)
+        np.testing.assert_array_equal(a.supports, b.supports)
+
+    def test_invalid_scale(self):
+        with pytest.raises(InvalidParameterError):
+            bms_pos_like(rng=0, scale=0.0)
+        with pytest.raises(InvalidParameterError):
+            bms_pos_like(rng=0, scale=2.0)
+
+
+class TestPowerLawSupports:
+    def test_alpha_zero_is_flat(self):
+        out = power_law_supports(10, 1000, head_support=100, alpha=0.0)
+        assert out[0] == out[-1] == 100
+
+    def test_monotone_even_with_jitter(self):
+        out = power_law_supports(500, 10_000, 5_000, alpha=1.0, jitter=0.3, rng=0)
+        assert np.all(np.diff(out) <= 0)
+
+    def test_clipped_to_one(self):
+        out = power_law_supports(100, 1000, head_support=10, alpha=3.0)
+        assert out[-1] == 1
+
+    @given(
+        st.integers(2, 200),
+        st.floats(0.0, 2.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_valid_support_vector(self, num_items, alpha):
+        out = power_law_supports(num_items, 10_000, 1_000.0, alpha=alpha)
+        assert out.size == num_items
+        assert np.all(np.diff(out) <= 0)
+        assert out[0] <= 10_000
+        assert out[-1] >= 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            power_law_supports(0, 100, 10, 1.0)
+        with pytest.raises(InvalidParameterError):
+            power_law_supports(10, 100, -5.0, 1.0)
+        with pytest.raises(InvalidParameterError):
+            power_law_supports(10, 100, 10.0, -1.0)

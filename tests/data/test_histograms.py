@@ -1,0 +1,116 @@
+"""Tests for histogram substrates and linear-query workloads."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.histograms import (
+    block_queries,
+    interval_queries,
+    point_queries,
+    power_law_histogram,
+    prefix_queries,
+    random_linear_queries,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestHistogramGenerator:
+    def test_total_preserved(self):
+        hist = power_law_histogram(20, total=1_000.0, rng=0)
+        assert hist.sum() == pytest.approx(1_000.0)
+
+    def test_unshuffled_is_sorted(self):
+        hist = power_law_histogram(20, 1_000.0, shuffle=False)
+        assert np.all(np.diff(hist) <= 0)
+
+    def test_shuffle_deterministic(self):
+        a = power_law_histogram(20, 1_000.0, rng=1)
+        b = power_law_histogram(20, 1_000.0, rng=1)
+        np.testing.assert_array_equal(a, b)
+
+    def test_alpha_zero_uniform(self):
+        hist = power_law_histogram(10, 100.0, alpha=0.0, shuffle=False)
+        assert np.allclose(hist, 10.0)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            power_law_histogram(1, 100.0)
+        with pytest.raises(InvalidParameterError):
+            power_law_histogram(5, 0.0)
+        with pytest.raises(InvalidParameterError):
+            power_law_histogram(5, 10.0, alpha=-1.0)
+
+
+class TestWorkloads:
+    def test_point_queries(self):
+        queries = point_queries(4)
+        assert len(queries) == 4
+        assert all(q.sum() == 1.0 for q in queries)
+
+    def test_prefix_queries(self):
+        queries = prefix_queries(4)
+        assert [int(q.sum()) for q in queries] == [1, 2, 3, 4]
+
+    def test_interval_queries_shape(self):
+        queries = interval_queries(10, count=20, rng=0, min_width=2)
+        assert len(queries) == 20
+        for q in queries:
+            support = np.nonzero(q)[0]
+            assert support.size >= 2
+            # contiguity
+            assert np.all(np.diff(support) == 1)
+
+    def test_random_linear_queries_in_unit_box(self):
+        queries = random_linear_queries(8, count=5, rng=0)
+        for q in queries:
+            assert np.all((q >= 0.0) & (q <= 1.0))
+
+    def test_block_queries_partition(self):
+        queries = block_queries(10, num_blocks=3)
+        combined = np.sum(queries, axis=0)
+        np.testing.assert_array_equal(combined, np.ones(10))
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            point_queries(0)
+        with pytest.raises(InvalidParameterError):
+            interval_queries(5, 0)
+        with pytest.raises(InvalidParameterError):
+            interval_queries(5, 2, min_width=9)
+        with pytest.raises(InvalidParameterError):
+            block_queries(5, 9)
+
+    @given(st.integers(2, 50), st.integers(1, 20))
+    @settings(max_examples=40, deadline=None)
+    def test_property_all_workloads_valid_pmw_inputs(self, num_bins, count):
+        """Every generated query is a valid PMW linear query: weights in [0,1]."""
+        for queries in (
+            point_queries(num_bins),
+            prefix_queries(num_bins),
+            interval_queries(num_bins, count, rng=0),
+            random_linear_queries(num_bins, count, rng=0),
+            block_queries(num_bins, min(count, num_bins)),
+        ):
+            for q in queries:
+                assert q.shape == (num_bins,)
+                assert np.all((q >= 0.0) & (q <= 1.0))
+
+
+class TestPmwIntegration:
+    def test_pmw_on_generated_workload(self):
+        """End to end: generated histogram + interval workload through PMW."""
+        from repro.interactive import PrivateMultiplicativeWeights
+
+        hist = np.round(power_law_histogram(16, 5_000.0, rng=2))
+        pmw = PrivateMultiplicativeWeights(
+            hist, epsilon=20.0, error_threshold=250.0, c=6, rng=3
+        )
+        queries = interval_queries(16, count=30, rng=4)
+        for q in queries:
+            if pmw.exhausted:
+                break
+            pmw.answer(q)
+        assert pmw.update_rounds <= 6
+        assert pmw.max_error_on(queries) < 5_000.0

@@ -1,0 +1,46 @@
+"""Tests for FIMI .dat I/O."""
+
+import pytest
+
+from repro.data.loaders import load_transactions, save_transactions
+from repro.data.transaction_db import TransactionDatabase
+from repro.exceptions import DatasetError
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_supports(self, small_db, tmp_path):
+        path = tmp_path / "db.dat"
+        save_transactions(small_db, path)
+        loaded = load_transactions(path)
+        assert loaded.num_records == small_db.num_records
+        assert loaded.item_supports().tolist() == small_db.item_supports().tolist()
+
+    def test_file_format(self, small_db, tmp_path):
+        path = tmp_path / "db.dat"
+        save_transactions(small_db, path)
+        first_line = path.read_text().splitlines()[0]
+        assert first_line == "0 1"
+
+
+class TestLoading:
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "db.dat"
+        path.write_text("1 2\n\n3\n")
+        db = load_transactions(path)
+        assert db.num_records == 2
+
+    def test_malformed_token_is_hard_error(self, tmp_path):
+        path = tmp_path / "db.dat"
+        path.write_text("1 two 3\n")
+        with pytest.raises(DatasetError, match="malformed"):
+            load_transactions(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "db.dat"
+        path.write_text("\n\n")
+        with pytest.raises(DatasetError, match="no transactions"):
+            load_transactions(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_transactions(tmp_path / "nope.dat")

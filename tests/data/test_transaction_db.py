@@ -1,0 +1,127 @@
+"""Tests for the transaction database substrate."""
+
+import numpy as np
+import pytest
+
+from repro.data.transaction_db import TransactionDatabase
+from repro.exceptions import DatasetError, InvalidParameterError
+
+
+class TestBasics:
+    def test_shape(self, small_db):
+        assert small_db.num_records == 4
+        assert small_db.num_items == 4
+        assert len(small_db) == 4
+
+    def test_item_supports(self, small_db):
+        np.testing.assert_array_equal(small_db.item_supports(), [4, 3, 2, 1])
+
+    def test_single_item_support(self, small_db):
+        assert small_db.support((0,)) == 4
+        assert small_db.support((3,)) == 1
+
+    def test_itemset_support(self, small_db):
+        assert small_db.support((0, 1)) == 3
+        assert small_db.support((0, 1, 2)) == 1
+        assert small_db.support((1, 2)) == 1
+
+    def test_empty_itemset_is_record_count(self, small_db):
+        assert small_db.support(()) == 4
+
+    def test_absent_item(self, small_db):
+        assert small_db.support((99,)) == 0
+
+    def test_support_cached(self, small_db):
+        assert small_db.support((0, 1)) == small_db.support((1, 0))  # order-free
+
+    def test_negative_item_rejected(self):
+        with pytest.raises(DatasetError):
+            TransactionDatabase([[-1]])
+
+    def test_duplicate_items_in_record_collapse(self):
+        db = TransactionDatabase([[1, 1, 1]])
+        assert db.support((1,)) == 1
+
+
+class TestNeighbors:
+    def test_with_record_support_moves_by_at_most_one(self, small_db):
+        neighbor = small_db.with_record([0, 1, 2, 3])
+        assert neighbor.num_records == 5
+        for itemset in [(0,), (1,), (0, 1), (2, 3)]:
+            diff = neighbor.support(itemset) - small_db.support(itemset)
+            assert diff in (0, 1)
+
+    def test_monotonicity_of_counting_queries(self, small_db):
+        """Section 4.3: adding a record moves all supports the same direction."""
+        neighbor = small_db.with_record([0, 2])
+        diffs = [
+            neighbor.support(s) - small_db.support(s)
+            for s in [(0,), (1,), (2,), (3,), (0, 1), (0, 2)]
+        ]
+        assert all(d >= 0 for d in diffs)
+
+    def test_without_record(self, small_db):
+        neighbor = small_db.without_record(0)
+        assert neighbor.num_records == 3
+        assert neighbor.support((0, 1)) == 2
+
+    def test_without_record_bounds(self, small_db):
+        with pytest.raises(InvalidParameterError):
+            small_db.without_record(99)
+
+
+class TestFrequentItemsets:
+    def test_finds_known_frequent_sets(self, small_db):
+        frequent = dict(small_db.frequent_itemsets(min_support=2, max_size=2))
+        assert frequent[(0,)] == 4
+        assert frequent[(0, 1)] == 3
+        assert frequent[(0, 2)] == 2
+        assert (3,) not in frequent
+        assert (1, 2) not in frequent
+
+    def test_max_size_one(self, small_db):
+        frequent = small_db.frequent_itemsets(min_support=1, max_size=1)
+        assert all(len(fs) == 1 for fs, _ in frequent)
+
+    def test_apriori_antimonotone(self, small_db):
+        """Every frequent itemset's subsets must also be frequent."""
+        frequent = dict(small_db.frequent_itemsets(min_support=2, max_size=3))
+        for itemset in frequent:
+            for drop in range(len(itemset)):
+                subset = tuple(v for k, v in enumerate(itemset) if k != drop)
+                if subset:
+                    assert subset in frequent
+
+    def test_invalid_parameters(self, small_db):
+        with pytest.raises(InvalidParameterError):
+            small_db.frequent_itemsets(min_support=0)
+        with pytest.raises(InvalidParameterError):
+            small_db.frequent_itemsets(min_support=1, max_size=0)
+
+
+class TestSynthesize:
+    def test_shape_and_expected_supports(self):
+        probs = np.array([0.9, 0.5, 0.1])
+        db = TransactionDatabase.synthesize(2_000, probs, rng=0)
+        assert db.num_records == 2_000
+        supports = db.item_supports()
+        np.testing.assert_allclose(supports / 2_000, probs, atol=0.05)
+
+    def test_max_items_cap(self):
+        db = TransactionDatabase.synthesize(
+            100, np.full(20, 0.9), max_items_per_record=3, rng=1
+        )
+        assert all(len(t) <= 3 for t in db)
+
+    def test_deterministic(self):
+        a = TransactionDatabase.synthesize(50, [0.5, 0.5], rng=2).item_supports()
+        b = TransactionDatabase.synthesize(50, [0.5, 0.5], rng=2).item_supports()
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            TransactionDatabase.synthesize(0, [0.5])
+        with pytest.raises(InvalidParameterError):
+            TransactionDatabase.synthesize(10, [1.5])
+        with pytest.raises(InvalidParameterError):
+            TransactionDatabase.synthesize(10, [])

@@ -1,0 +1,80 @@
+"""Tests for the ASCII chart renderer."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.experiments.ascii_plot import ascii_chart, figure_chart
+from repro.experiments.runner import MethodResult, MetricSummary
+
+
+class TestAsciiChart:
+    def test_renders_markers_and_legend(self):
+        chart = ascii_chart({"up": ([1, 2, 3], [1, 2, 3])}, width=20, height=6)
+        assert "o = up" in chart
+        assert chart.count("o") >= 3  # at least the three points
+
+    def test_multiple_series_distinct_markers(self):
+        chart = ascii_chart(
+            {"a": ([1, 2], [1, 2]), "b": ([1, 2], [2, 1])}, width=20, height=6
+        )
+        assert "o = a" in chart
+        assert "x = b" in chart
+
+    def test_title_included(self):
+        chart = ascii_chart({"s": ([0, 1], [0, 1])}, title="My Chart")
+        assert chart.splitlines()[0] == "My Chart"
+
+    def test_axis_labels_present(self):
+        chart = ascii_chart({"s": ([10, 90], [5, 50])}, width=20, height=6)
+        assert "90" in chart
+        assert "50" in chart
+
+    def test_log_axes(self):
+        chart = ascii_chart(
+            {"zipf": ([1, 10, 100], [1000, 100, 10])},
+            logx=True,
+            logy=True,
+            width=30,
+            height=8,
+        )
+        assert "o = zipf" in chart
+
+    def test_log_axis_rejects_nonpositive(self):
+        with pytest.raises(InvalidParameterError):
+            ascii_chart({"s": ([0, 1], [1, 2])}, logx=True)
+
+    def test_constant_series_handled(self):
+        chart = ascii_chart({"flat": ([1, 2, 3], [5, 5, 5])}, width=20, height=6)
+        assert "o = flat" in chart
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ascii_chart({})
+        with pytest.raises(InvalidParameterError):
+            ascii_chart({"s": ([1], [1])}, width=2)
+        with pytest.raises(InvalidParameterError):
+            ascii_chart({"s": ([1, 2], [1])})
+
+    def test_monotone_series_rises_left_to_right(self):
+        """Geometric sanity: an increasing series' first point is on a lower
+        row (later line) than its last point."""
+        chart = ascii_chart({"up": ([0, 1, 2, 3], [0, 1, 2, 3])}, width=24, height=8)
+        lines = [l for l in chart.splitlines() if "|" in l]
+        first_marker_rows = [i for i, l in enumerate(lines) if "o" in l]
+        columns = [lines[i].index("o", lines[i].index("|")) for i in first_marker_rows]
+        # Rows with markers: the top row's marker is to the right of the bottom row's.
+        assert columns[0] > columns[-1]
+
+
+class TestFigureChart:
+    def test_from_method_results(self):
+        summary_low = MetricSummary(0.1, 0.0, 0.1, 0.0, 5)
+        summary_high = MetricSummary(0.9, 0.0, 0.9, 0.0, 5)
+        results = {
+            "EM": MethodResult("EM", "Zipf", {25: summary_low, 50: summary_low}),
+            "SVT": MethodResult("SVT", "Zipf", {25: summary_high, 50: summary_high}),
+        }
+        chart = figure_chart(results, "ser", title="Zipf")
+        assert "o = EM" in chart
+        assert "x = SVT" in chart

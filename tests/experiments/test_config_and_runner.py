@@ -1,0 +1,121 @@
+"""Tests for experiment configuration and the generic selection runner."""
+
+import numpy as np
+import pytest
+
+from repro.data.generators import ScoreDataset
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_selection_experiment
+from repro.exceptions import InvalidParameterError
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        cfg = ExperimentConfig.paper()
+        assert cfg.epsilon == 0.1
+        assert cfg.trials == 100
+        assert cfg.c_values == tuple(range(25, 301, 25))
+        assert cfg.datasets == ("BMS-POS", "Kosarak", "AOL", "Zipf")
+
+    def test_tiny_loads_fast(self):
+        cfg = ExperimentConfig.tiny()
+        datasets = cfg.load_datasets()
+        assert set(datasets) == {"Kosarak", "Zipf"}
+
+    def test_datasets_deterministic(self):
+        cfg = ExperimentConfig.tiny()
+        a = cfg.load_datasets()["Zipf"].supports
+        b = cfg.load_datasets()["Zipf"].supports
+        np.testing.assert_array_equal(a, b)
+
+    def test_with_overrides(self):
+        cfg = ExperimentConfig.tiny().with_overrides(trials=3)
+        assert cfg.trials == 3
+
+    def test_usable_c_filters_large(self):
+        cfg = ExperimentConfig.tiny().with_overrides(c_values=(10, 10_000))
+        ds = cfg.load_datasets()["Zipf"]
+        assert cfg.usable_c_values(ds) == (10,)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ExperimentConfig(epsilon=0.0)
+        with pytest.raises(InvalidParameterError):
+            ExperimentConfig(trials=0)
+        with pytest.raises(InvalidParameterError):
+            ExperimentConfig(dataset_scale=0.0)
+        with pytest.raises(InvalidParameterError):
+            ExperimentConfig(c_values=())
+
+    def test_quick_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.02")
+        monkeypatch.setenv("REPRO_TRIALS", "3")
+        cfg = ExperimentConfig.quick()
+        assert cfg.dataset_scale == 0.02
+        assert cfg.trials == 3
+
+
+def perfect_method(scores, threshold, c, epsilon, rng):
+    """Oracle: always returns the true top-c of the shuffled array."""
+    return np.argsort(-scores, kind="stable")[:c]
+
+
+def worst_method(scores, threshold, c, epsilon, rng):
+    return np.argsort(scores, kind="stable")[:c]
+
+
+class TestRunner:
+    @pytest.fixture
+    def dataset(self):
+        supports = np.arange(100, 0, -1, dtype=np.int64)
+        return ScoreDataset("toy", num_records=1_000, supports=supports)
+
+    def test_oracle_scores_zero_error(self, dataset):
+        results = run_selection_experiment(
+            dataset, {"oracle": perfect_method}, c_values=[5], epsilon=0.1, trials=3, seed=0
+        )
+        summary = results["oracle"].by_c[5]
+        assert summary.ser_mean == 0.0
+        assert summary.fnr_mean == 0.0
+
+    def test_worst_method_scores_high_error(self, dataset):
+        results = run_selection_experiment(
+            dataset, {"worst": worst_method}, c_values=[5], epsilon=0.1, trials=3, seed=0
+        )
+        summary = results["worst"].by_c[5]
+        assert summary.fnr_mean == 1.0
+        assert summary.ser_mean > 0.9
+
+    def test_results_deterministic_in_seed(self, dataset):
+        def noisy(scores, threshold, c, epsilon, rng):
+            return rng.choice(scores.size, size=c, replace=False)
+
+        a = run_selection_experiment(dataset, {"m": noisy}, [5], 0.1, trials=4, seed=7)
+        b = run_selection_experiment(dataset, {"m": noisy}, [5], 0.1, trials=4, seed=7)
+        assert a["m"].by_c[5] == b["m"].by_c[5]
+
+    def test_series_extraction(self, dataset):
+        results = run_selection_experiment(
+            dataset, {"oracle": perfect_method}, c_values=[5, 10], epsilon=0.1, trials=2, seed=0
+        )
+        cs, means = results["oracle"].series("ser")
+        assert cs == [5, 10]
+        assert means == [0.0, 0.0]
+        with pytest.raises(InvalidParameterError):
+            results["oracle"].series("nope")
+
+    def test_std_zero_for_deterministic_method(self, dataset):
+        results = run_selection_experiment(
+            dataset, {"oracle": perfect_method}, [5], 0.1, trials=5, seed=0
+        )
+        assert results["oracle"].by_c[5].ser_std == 0.0
+
+    def test_c_too_large_rejected(self, dataset):
+        with pytest.raises(InvalidParameterError):
+            run_selection_experiment(dataset, {"o": perfect_method}, [100], 0.1, 1, 0)
+
+    def test_invalid_parameters(self, dataset):
+        with pytest.raises(InvalidParameterError):
+            run_selection_experiment(dataset, {"o": perfect_method}, [5], 0.0, 1, 0)
+        with pytest.raises(InvalidParameterError):
+            run_selection_experiment(dataset, {"o": perfect_method}, [5], 0.1, 0, 0)

@@ -1,0 +1,77 @@
+"""Tests for the eps-c equivalence and invalid-results experiments."""
+
+import numpy as np
+import pytest
+
+from repro.data.generators import ScoreDataset
+from repro.exceptions import InvalidParameterError
+from repro.experiments.crossover import eps_c_equivalence
+from repro.experiments.invalid_results import invalid_results_demo
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    ranks = np.arange(1, 401, dtype=float)
+    supports = np.rint(3_000.0 * ranks**-0.5).astype(np.int64)
+    return ScoreDataset("toy-powerlaw", num_records=100_000, supports=supports)
+
+
+class TestEpsCEquivalence:
+    def test_pairs_share_eps_over_c(self, dataset):
+        points = eps_c_equivalence(
+            dataset, c_values=(10, 20, 40), base_c=20, trials=5, seed=0
+        )
+        for p in points:
+            assert p.c_sweep_eps / p.c_sweep_c == pytest.approx(p.eps_over_c)
+            assert p.eps_sweep_eps / p.eps_sweep_c == pytest.approx(p.eps_over_c)
+
+    def test_remark_holds_qualitatively(self, dataset):
+        """Matched eps/c runs produce similar SER; mismatched ones do not.
+
+        The check is relative: the mean gap across matched pairs must be far
+        smaller than the SER range the sweep itself spans.
+        """
+        points = eps_c_equivalence(
+            dataset, c_values=(10, 20, 40, 80), base_c=20, trials=15, seed=1
+        )
+        gaps = [p.gap for p in points]
+        sweep_range = max(p.c_sweep_ser for p in points) - min(
+            p.c_sweep_ser for p in points
+        )
+        assert sweep_range > 0.05  # the sweep actually moves
+        assert float(np.mean(gaps)) < sweep_range
+
+    def test_anchor_point_identical(self, dataset):
+        """At c == base_c both runs are the same configuration."""
+        points = eps_c_equivalence(
+            dataset, c_values=(10, 20), base_c=20, trials=5, seed=2
+        )
+        anchor = next(p for p in points if p.c_sweep_c == 20)
+        assert anchor.c_sweep_ser == pytest.approx(anchor.eps_sweep_ser)
+
+    def test_validation(self, dataset):
+        with pytest.raises(InvalidParameterError):
+            eps_c_equivalence(dataset, c_values=(10,), base_c=20)
+        with pytest.raises(InvalidParameterError):
+            eps_c_equivalence(dataset, c_values=(10, 1_000_000), base_c=10)
+
+
+class TestInvalidResults:
+    def test_three_rows_in_order(self, dataset):
+        rows = invalid_results_demo(dataset, advertised_epsilon=0.1, c=10, trials=5)
+        assert len(rows) == 3
+        assert "Alg. 4" in rows[0].label
+
+    def test_alg4_accounting_mismatch_recorded(self, dataset):
+        rows = invalid_results_demo(dataset, advertised_epsilon=0.1, c=10, trials=5)
+        alg4 = rows[0]
+        assert alg4.epsilon_spent > alg4.epsilon_claimed
+        assert alg4.epsilon_spent == pytest.approx((1 + 3 * 10) / 4 * 0.1)
+
+    def test_headline_claim(self, dataset):
+        """Correct SVT at the claimed budget is significantly worse than
+        Alg. 4's reported accuracy; at the true cost it roughly catches up."""
+        rows = invalid_results_demo(dataset, advertised_epsilon=0.1, c=10, trials=15)
+        published, honest_claimed, honest_true = rows
+        assert honest_claimed.ser > published.ser + 0.05  # "significantly worse"
+        assert honest_true.ser < honest_claimed.ser  # extra budget explains it

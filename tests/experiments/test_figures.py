@@ -1,0 +1,107 @@
+"""Tests for the per-figure drivers (Table 1, Figures 3-5, Section 5 bounds).
+
+Shape assertions only — the reproduction criterion is the qualitative
+ordering of methods, not absolute SER/FNR values (the substrates are
+synthetic; see DESIGN.md §3).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.bounds import section5_bound_table
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.distributions import PAPER_TABLE1, figure3_series, table1
+from repro.experiments.interactive import figure4_methods, run_figure4
+from repro.experiments.noninteractive import figure5_methods, run_figure5
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return ExperimentConfig.tiny().with_overrides(
+        datasets=("Kosarak",), c_values=(10,), trials=8
+    )
+
+
+class TestTable1:
+    def test_full_scale_matches_paper(self):
+        cfg = ExperimentConfig.paper().with_overrides(datasets=("BMS-POS", "Kosarak", "Zipf"))
+        for name, records, items in table1(cfg):
+            assert (records, items) == PAPER_TABLE1[name]
+
+
+class TestFigure3:
+    def test_series_shapes(self):
+        cfg = ExperimentConfig.tiny()
+        series = figure3_series(cfg, top_n=50)
+        assert set(series) == {"Kosarak", "Zipf"}
+        for values in series.values():
+            assert values.size == 50
+            assert np.all(np.diff(values) <= 0)
+
+
+class TestFigure4:
+    def test_method_roster(self):
+        methods = figure4_methods(ExperimentConfig.tiny())
+        assert set(methods) == {
+            "SVT-DPBook",
+            "SVT-S-1:1",
+            "SVT-S-1:3",
+            "SVT-S-1:c",
+            "SVT-S-1:c^(2/3)",
+        }
+
+    def test_dpbook_worst_optimized_best(self, tiny_config):
+        """The Figure 4 headline ordering on SER."""
+        results = run_figure4(tiny_config)["Kosarak"]
+        dpbook = results["SVT-DPBook"].by_c[10].ser_mean
+        one_one = results["SVT-S-1:1"].by_c[10].ser_mean
+        best = min(
+            results["SVT-S-1:c"].by_c[10].ser_mean,
+            results["SVT-S-1:c^(2/3)"].by_c[10].ser_mean,
+        )
+        assert dpbook > one_one
+        assert one_one > best
+
+    def test_all_metrics_in_unit_interval(self, tiny_config):
+        results = run_figure4(tiny_config)["Kosarak"]
+        for method_result in results.values():
+            for summary in method_result.by_c.values():
+                assert 0.0 <= summary.ser_mean <= 1.0
+                assert 0.0 <= summary.fnr_mean <= 1.0
+
+
+class TestFigure5:
+    def test_method_roster(self):
+        methods = figure5_methods(ExperimentConfig.tiny())
+        assert "EM" in methods
+        assert "SVT-S-1:c^(2/3)" in methods
+        assert sum(1 for m in methods if "ReTr" in m) == 5
+
+    def test_em_beats_plain_svt(self, tiny_config):
+        """The Figure 5 / Section 5 headline: EM wins non-interactively."""
+        results = run_figure5(tiny_config)["Kosarak"]
+        em = results["EM"].by_c[10].ser_mean
+        svt = results["SVT-S-1:c^(2/3)"].by_c[10].ser_mean
+        assert em <= svt + 0.02
+
+    def test_retraversal_at_least_as_good_as_plain(self, tiny_config):
+        results = run_figure5(tiny_config)["Kosarak"]
+        plain = results["SVT-S-1:c^(2/3)"].by_c[10].ser_mean
+        best_retr = min(
+            r.by_c[10].ser_mean for name, r in results.items() if "ReTr" in name
+        )
+        assert best_retr <= plain + 0.02
+
+
+class TestSection5Bounds:
+    def test_table_dimensions(self):
+        rows = section5_bound_table(k_values=(10, 100), betas=(0.1, 0.05))
+        assert len(rows) == 4
+
+    def test_em_always_below_eighth(self):
+        for row in section5_bound_table():
+            assert row.ratio < 1 / 8
+
+    def test_alpha_values_positive_finite(self):
+        for row in section5_bound_table():
+            assert 0 < row.alpha_em < row.alpha_svt < float("inf")

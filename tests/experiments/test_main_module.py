@@ -1,0 +1,41 @@
+"""Tests for the `python -m repro.experiments` driver."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestMain:
+    def test_tiny_run_completes(self, capsys):
+        assert main(["--tiny", "--no-charts"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Figure 4" in out
+        assert "Figure 5" in out
+        assert "alpha_SVT" in out
+
+    def test_charts_included_by_default(self, capsys):
+        assert main(["--tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "SER vs c" in out
+        assert "o = " in out  # chart legend marker
+
+    def test_unknown_flag_exits(self):
+        with pytest.raises(SystemExit):
+            main(["--bogus"])
+
+
+class TestExport:
+    def test_export_writes_artifacts(self, tmp_path, capsys):
+        assert main(["--tiny", "--no-charts", "--export", str(tmp_path)]) == 0
+        assert (tmp_path / "figure4" / "results.json").exists()
+        assert (tmp_path / "figure5" / "results.json").exists()
+        out = capsys.readouterr().out
+        assert "artifacts written" in out
+
+    def test_exported_results_reload(self, tmp_path, capsys):
+        from repro.experiments.serialization import load_results
+
+        main(["--tiny", "--no-charts", "--export", str(tmp_path)])
+        restored = load_results(tmp_path / "figure5" / "results.json")
+        assert "EM" in next(iter(restored.values()))

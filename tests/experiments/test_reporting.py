@@ -1,0 +1,51 @@
+"""Tests for ASCII reporting."""
+
+import pytest
+
+from repro.experiments.bounds import section5_bound_table
+from repro.experiments.reporting import (
+    format_bounds_table,
+    format_result_table,
+    format_table1,
+)
+from repro.experiments.runner import MethodResult, MetricSummary
+
+
+@pytest.fixture
+def fake_results():
+    summary = MetricSummary(ser_mean=0.25, ser_std=0.05, fnr_mean=0.3, fnr_std=0.1, trials=10)
+    return {
+        "EM": MethodResult(method="EM", dataset="Zipf", by_c={25: summary}),
+        "SVT": MethodResult(method="SVT", dataset="Zipf", by_c={25: summary, 50: summary}),
+    }
+
+
+class TestResultTable:
+    def test_contains_methods_and_values(self, fake_results):
+        table = format_result_table(fake_results, "ser")
+        assert "EM" in table and "SVT" in table
+        assert "0.250±0.050" in table
+
+    def test_missing_cell_dash(self, fake_results):
+        table = format_result_table(fake_results, "ser")
+        # Row layout: header, separator, c=25, c=50.  EM has no c=50 entry.
+        assert "-" in table.splitlines()[3]
+
+    def test_without_std(self, fake_results):
+        table = format_result_table(fake_results, "fnr", with_std=False)
+        assert "0.300" in table
+        assert "±" not in table
+
+
+class TestTable1Formatting:
+    def test_thousand_separators(self):
+        out = format_table1([("Zipf", 1_000_000, 10_000)])
+        assert "1,000,000" in out
+        assert "10,000" in out
+
+
+class TestBoundsFormatting:
+    def test_renders_rows(self):
+        out = format_bounds_table(section5_bound_table(k_values=(100,), betas=(0.05,)))
+        assert "alpha_SVT" in out
+        assert "100" in out

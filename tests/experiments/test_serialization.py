@@ -1,0 +1,84 @@
+"""Tests for experiment-result serialization and artifact export."""
+
+import json
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import MethodResult, MetricSummary
+from repro.experiments.serialization import (
+    FORMAT_VERSION,
+    export_artifacts,
+    load_results,
+    save_results,
+)
+
+
+@pytest.fixture
+def results():
+    cell = MetricSummary(ser_mean=0.2, ser_std=0.01, fnr_mean=0.3, fnr_std=0.02, trials=10)
+    other = MetricSummary(ser_mean=0.5, ser_std=0.05, fnr_mean=0.6, fnr_std=0.06, trials=10)
+    return {
+        "Zipf": {
+            "EM": MethodResult("EM", "Zipf", {25: cell, 50: other}),
+            "SVT": MethodResult("SVT", "Zipf", {25: other}),
+        }
+    }
+
+
+@pytest.fixture
+def config():
+    return ExperimentConfig.tiny()
+
+
+class TestRoundTrip:
+    def test_save_load_identity(self, results, config, tmp_path):
+        path = tmp_path / "run.json"
+        save_results(results, config, path, label="fig5-test")
+        restored = load_results(path)
+        assert set(restored) == {"Zipf"}
+        assert set(restored["Zipf"]) == {"EM", "SVT"}
+        assert restored["Zipf"]["EM"].by_c[25] == results["Zipf"]["EM"].by_c[25]
+        assert restored["Zipf"]["EM"].by_c[50] == results["Zipf"]["EM"].by_c[50]
+
+    def test_document_contains_config_and_version(self, results, config, tmp_path):
+        path = tmp_path / "run.json"
+        save_results(results, config, path)
+        document = json.loads(path.read_text())
+        assert document["format_version"] == FORMAT_VERSION
+        assert document["config"]["epsilon"] == config.epsilon
+
+    def test_version_mismatch_rejected(self, results, config, tmp_path):
+        path = tmp_path / "run.json"
+        save_results(results, config, path)
+        document = json.loads(path.read_text())
+        document["format_version"] = 999
+        path.write_text(json.dumps(document))
+        with pytest.raises(InvalidParameterError):
+            load_results(path)
+
+
+class TestExport:
+    def test_layout(self, results, config, tmp_path):
+        run_dir = export_artifacts(results, config, tmp_path, label="figure5")
+        assert (run_dir / "results.json").exists()
+        assert (run_dir / "Zipf.ser.txt").exists()
+        assert (run_dir / "Zipf.fnr.txt").exists()
+        assert (run_dir / "Zipf.csv").exists()
+
+    def test_csv_contents(self, results, config, tmp_path):
+        run_dir = export_artifacts(results, config, tmp_path, label="r")
+        lines = (run_dir / "Zipf.csv").read_text().splitlines()
+        assert lines[0].startswith("method,c,")
+        assert any(line.startswith("EM,25,0.200000") for line in lines)
+
+    def test_tables_readable(self, results, config, tmp_path):
+        run_dir = export_artifacts(results, config, tmp_path, label="r")
+        table = (run_dir / "Zipf.ser.txt").read_text()
+        assert "EM" in table and "SVT" in table
+
+    def test_export_then_reload(self, results, config, tmp_path):
+        run_dir = export_artifacts(results, config, tmp_path, label="r")
+        restored = load_results(run_dir / "results.json")
+        assert restored["Zipf"]["SVT"].by_c[25].ser_mean == 0.5

@@ -1,0 +1,71 @@
+"""Tests for the epsilon-sweep driver."""
+
+import numpy as np
+import pytest
+
+from repro.data.generators import ScoreDataset
+from repro.exceptions import InvalidParameterError
+from repro.experiments.sweep import epsilon_sweep, format_epsilon_sweep
+
+
+def em_method(scores, threshold, c, epsilon, rng):
+    from repro.mechanisms.exponential import select_top_c_em
+
+    return select_top_c_em(scores, epsilon, c, monotonic=True, rng=rng)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    ranks = np.arange(1, 301, dtype=float)
+    supports = np.rint(2_000.0 * ranks**-0.5).astype(np.int64)
+    return ScoreDataset("sweep-toy", num_records=50_000, supports=supports)
+
+
+class TestEpsilonSweep:
+    def test_structure(self, dataset):
+        sweep = epsilon_sweep(
+            dataset, {"EM": em_method}, epsilons=(0.05, 0.2), c=10, trials=5
+        )
+        assert set(sweep) == {"EM"}
+        assert set(sweep["EM"]) == {0.05, 0.2}
+
+    def test_error_decreases_with_epsilon(self, dataset):
+        """More budget, better accuracy — monotone up to noise."""
+        sweep = epsilon_sweep(
+            dataset,
+            {"EM": em_method},
+            epsilons=(0.02, 0.1, 1.0),
+            c=10,
+            trials=15,
+            seed=1,
+        )
+        sers = [sweep["EM"][e].ser_mean for e in (0.02, 0.1, 1.0)]
+        assert sers[0] > sers[2]
+        assert sers[1] >= sers[2] - 0.02
+
+    def test_deterministic(self, dataset):
+        a = epsilon_sweep(dataset, {"EM": em_method}, epsilons=(0.1,), c=5, trials=4, seed=3)
+        b = epsilon_sweep(dataset, {"EM": em_method}, epsilons=(0.1,), c=5, trials=4, seed=3)
+        assert a["EM"][0.1] == b["EM"][0.1]
+
+    def test_validation(self, dataset):
+        with pytest.raises(InvalidParameterError):
+            epsilon_sweep(dataset, {"EM": em_method}, epsilons=())
+        with pytest.raises(InvalidParameterError):
+            epsilon_sweep(dataset, {"EM": em_method}, epsilons=(0.0,))
+
+
+class TestFormatting:
+    def test_table_rendering(self, dataset):
+        sweep = epsilon_sweep(
+            dataset, {"EM": em_method}, epsilons=(0.05, 0.2), c=5, trials=3
+        )
+        table = format_epsilon_sweep(sweep, "ser")
+        assert "eps" in table
+        assert "EM" in table
+        assert "0.05" in table
+
+    def test_bad_metric(self, dataset):
+        sweep = epsilon_sweep(dataset, {"EM": em_method}, epsilons=(0.1,), c=5, trials=2)
+        with pytest.raises(InvalidParameterError):
+            format_epsilon_sweep(sweep, "nope")

@@ -1,0 +1,131 @@
+"""Integration tests exercising whole pipelines through the public API."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    BudgetAllocation,
+    StandardSVT,
+    select_top_c,
+    selection_report,
+)
+from repro.data import TransactionDatabase, kosarak_like
+from repro.experiments import (
+    ExperimentConfig,
+    format_result_table,
+    run_figure4,
+    run_figure5,
+)
+from repro.queries import ItemSupportQuery, QueryStream
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+
+class TestDatasetToSelectionPipeline:
+    def test_generate_select_score(self):
+        """Dataset -> private selection -> metrics, via the facade only."""
+        dataset = kosarak_like(rng=0, scale=0.01)
+        scores = dataset.supports.astype(float)
+        c = 10
+        picked = select_top_c(
+            scores,
+            epsilon=1.0,
+            c=c,
+            method="em",
+            monotonic=True,
+            rng=1,
+        )
+        report = selection_report(scores, picked, c)
+        assert report.num_selected == c
+        assert report.ser < 0.8  # eps=1.0 on a steep distribution: decent
+
+    def test_svt_pipeline_with_dataset_threshold(self):
+        dataset = kosarak_like(rng=0, scale=0.01)
+        scores = dataset.supports.astype(float)
+        c = 10
+        picked = select_top_c(
+            scores,
+            epsilon=1.0,
+            c=c,
+            method="svt-retraversal",
+            threshold=dataset.threshold_for_c(c),
+            threshold_bump_d=2.0,
+            monotonic=True,
+            rng=2,
+        )
+        report = selection_report(scores, picked, c)
+        assert report.num_selected == c
+
+
+class TestTransactionDbToInteractivePipeline:
+    def test_queries_through_svt_session(self):
+        db = TransactionDatabase.synthesize(300, np.linspace(0.7, 0.1, 6), rng=3)
+        stream = QueryStream()
+        for i in range(6):
+            stream.submit(ItemSupportQuery(i), threshold=100.0)
+        assert stream.all_monotonic
+
+        allocation = BudgetAllocation.from_ratio(
+            2.0, c=3, ratio="optimal", monotonic=True
+        )
+        svt = StandardSVT(allocation, c=3, monotonic=True, rng=4)
+        answers = []
+        for query, threshold in stream:
+            if svt.halted:
+                break
+            answers.append(svt.process(query.evaluate(db), threshold))
+        assert len(answers) >= 1
+        assert svt.count <= 3
+
+
+class TestHarnessEndToEnd:
+    def test_figure4_and_5_on_shared_config(self):
+        cfg = ExperimentConfig.tiny().with_overrides(
+            datasets=("Zipf",), c_values=(10,), trials=4
+        )
+        fig4 = run_figure4(cfg)
+        fig5 = run_figure5(cfg)
+        assert set(fig4) == {"Zipf"}
+        table4 = format_result_table(fig4["Zipf"], "ser")
+        table5 = format_result_table(fig5["Zipf"], "fnr")
+        assert "SVT-DPBook" in table4
+        assert "EM" in table5
+
+    def test_reproducibility_across_runs(self):
+        cfg = ExperimentConfig.tiny().with_overrides(
+            datasets=("Zipf",), c_values=(10,), trials=3
+        )
+        a = run_figure4(cfg)["Zipf"]["SVT-S-1:1"].by_c[10]
+        b = run_figure4(cfg)["Zipf"]["SVT-S-1:1"].by_c[10]
+        assert a == b
+
+
+class TestCrossImplementationConsistency:
+    def test_facade_vs_direct_em(self):
+        """select_top_c('em') must equal select_top_c_em for the same seed."""
+        from repro.mechanisms.exponential import select_top_c_em
+
+        scores = np.linspace(0, 50, 40)
+        via_facade = select_top_c(scores, 1.0, 5, method="em", monotonic=True, rng=7)
+        direct = select_top_c_em(scores, 1.0, 5, monotonic=True, rng=7)
+        np.testing.assert_array_equal(via_facade, direct)
+
+    def test_registry_alg1_matches_core_batch(self):
+        from repro.core.svt import run_svt_batch
+        from repro.variants.registry import get_variant
+
+        scores = np.array([5.0, -5.0, 8.0, 1.0])
+        via_registry = get_variant("alg1").run(
+            scores, epsilon=2.0, c=2, thresholds=2.0, rng=9
+        )
+        allocation = BudgetAllocation(eps1=1.0, eps2=1.0)
+        direct = run_svt_batch(scores, allocation, 2, thresholds=2.0, rng=9)
+        assert via_registry.positives == direct.positives

@@ -1,0 +1,35 @@
+"""Every example script must run clean end to end (reduced scale via env)."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script):
+    env = dict(os.environ)
+    # Shrink the workloads the scripts honor via env knobs.
+    env["REPRO_SCALE"] = "0.02"
+    env["REPRO_TRIALS"] = "3"
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=env,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples must produce output"
+
+
+def test_examples_exist():
+    """The deliverable: at least a quickstart plus domain scenarios."""
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 3

@@ -1,0 +1,108 @@
+"""Tests for the pluggable history estimators."""
+
+import numpy as np
+import pytest
+
+from repro.data.transaction_db import TransactionDatabase
+from repro.interactive.estimators import (
+    ExactRepeatEstimator,
+    MeanEstimator,
+    NearestSupportEstimator,
+)
+from repro.interactive.online import OnlineQueryAnswerer
+from repro.queries.counting import ItemsetSupportQuery, ItemSupportQuery
+
+
+class TestExactRepeat:
+    def test_prior_when_empty(self):
+        assert ExactRepeatEstimator(prior=10.0)(ItemSupportQuery(0), []) == 10.0
+
+    def test_replays_latest(self):
+        q = ItemSupportQuery(0)
+        history = [(q, 5.0), (ItemSupportQuery(1), 9.0), (q, 7.0)]
+        assert ExactRepeatEstimator()(ItemSupportQuery(0), history) == 7.0
+
+    def test_prior_for_novel_query(self):
+        history = [(ItemSupportQuery(1), 9.0)]
+        assert ExactRepeatEstimator(prior=-1.0)(ItemSupportQuery(0), history) == -1.0
+
+
+class TestMean:
+    def test_mean_of_history(self):
+        history = [(ItemSupportQuery(0), 4.0), (ItemSupportQuery(1), 8.0)]
+        assert MeanEstimator()(ItemSupportQuery(2), history) == 6.0
+
+    def test_prior_when_empty(self):
+        assert MeanEstimator(prior=3.0)(ItemSupportQuery(0), []) == 3.0
+
+
+class TestNearestSupport:
+    def test_exact_match_wins(self):
+        q = ItemsetSupportQuery([1, 2])
+        history = [(ItemsetSupportQuery([1]), 50.0), (q, 20.0)]
+        assert NearestSupportEstimator()(ItemsetSupportQuery([1, 2]), history) == 20.0
+
+    def test_subset_upper_bound(self):
+        """support({1,2}) <= support({1}); midpoint of [0, 30] = 15."""
+        history = [(ItemsetSupportQuery([1]), 30.0)]
+        estimate = NearestSupportEstimator()(ItemsetSupportQuery([1, 2]), history)
+        assert estimate == 15.0
+
+    def test_superset_lower_bound(self):
+        """support({1}) >= support({1,2,3}) = 12; no upper -> max(prior, 12)."""
+        history = [(ItemsetSupportQuery([1, 2, 3]), 12.0)]
+        estimate = NearestSupportEstimator(prior=5.0)(ItemsetSupportQuery([1]), history)
+        assert estimate == 12.0
+
+    def test_interval_midpoint(self):
+        history = [
+            (ItemsetSupportQuery([1]), 40.0),       # subset: upper bound
+            (ItemsetSupportQuery([1, 2, 3]), 10.0),  # superset: lower bound
+        ]
+        estimate = NearestSupportEstimator()(ItemsetSupportQuery([1, 2]), history)
+        assert estimate == 25.0
+
+    def test_ceiling_used_without_history(self):
+        estimate = NearestSupportEstimator(prior=0.0, ceiling=100.0)(
+            ItemsetSupportQuery([1]), []
+        )
+        assert estimate == 50.0
+
+    def test_non_itemset_query_falls_back(self):
+        history = [(ItemSupportQuery(0), 9.0)]
+        assert NearestSupportEstimator()(ItemSupportQuery(0), history) == 9.0
+
+
+class TestEndToEndWithAnswerer:
+    def test_better_estimator_means_fewer_db_hits(self):
+        """The NearestSupport estimator answers subset/superset chains from
+        history where ExactRepeat must hit the database."""
+        probs = np.linspace(0.9, 0.3, 4)
+        db = TransactionDatabase.synthesize(1_000, probs, rng=0)
+
+        def run(estimator):
+            answerer = OnlineQueryAnswerer(
+                db,
+                epsilon=4.0,
+                error_threshold=250.0,
+                c=6,
+                estimator=estimator,
+                rng=1,
+            )
+            plan = [
+                ItemsetSupportQuery([0]),
+                ItemsetSupportQuery([0, 1]),
+                ItemsetSupportQuery([0, 1, 2]),
+                ItemsetSupportQuery([0, 2]),
+                ItemsetSupportQuery([1, 2]),
+            ]
+            hits = 0
+            for query in plan:
+                if answerer.exhausted:
+                    break
+                hits += not answerer.answer(query).from_history
+            return hits
+
+        smart = run(NearestSupportEstimator(prior=500.0, ceiling=1_000.0))
+        naive = run(ExactRepeatEstimator(prior=0.0))
+        assert smart <= naive

@@ -1,0 +1,107 @@
+"""Tests for private multiplicative weights with the SVT gate."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError, PrivacyError
+from repro.interactive.multiplicative_weights import PrivateMultiplicativeWeights
+
+
+@pytest.fixture
+def histogram():
+    return np.array([400.0, 250.0, 150.0, 100.0, 60.0, 40.0])
+
+
+def point_queries(n):
+    return [np.eye(n)[i] for i in range(n)]
+
+
+class TestMechanics:
+    def test_synthetic_starts_uniform(self, histogram):
+        pmw = PrivateMultiplicativeWeights(histogram, 5.0, error_threshold=50.0, c=3, rng=0)
+        synth = pmw.synthetic_histogram
+        assert np.allclose(synth, synth[0])
+        assert synth.sum() == pytest.approx(histogram.sum())
+
+    def test_mass_conserved_through_updates(self, histogram):
+        pmw = PrivateMultiplicativeWeights(histogram, 5.0, error_threshold=30.0, c=4, rng=1)
+        for q in point_queries(6):
+            if pmw.exhausted:
+                break
+            pmw.answer(q)
+        assert pmw.synthetic_histogram.sum() == pytest.approx(histogram.sum())
+
+    def test_update_rounds_capped_at_c(self, histogram):
+        pmw = PrivateMultiplicativeWeights(histogram, 5.0, error_threshold=1.0, c=2, rng=2)
+        try:
+            for q in point_queries(6) * 3:
+                pmw.answer(q)
+        except PrivacyError:
+            pass
+        assert pmw.update_rounds == 2
+
+    def test_small_error_answers_from_synthetic(self, histogram):
+        """A query the uniform synthetic already answers well costs nothing."""
+        pmw = PrivateMultiplicativeWeights(histogram, 5.0, error_threshold=1e6, c=2, rng=3)
+        spent_before = pmw.ledger.spent
+        out = pmw.answer(point_queries(6)[0])
+        assert pmw.ledger.spent == spent_before
+        assert out == pytest.approx(histogram.sum() / 6)
+
+    def test_exhausted_session_raises(self, histogram):
+        pmw = PrivateMultiplicativeWeights(histogram, 5.0, error_threshold=0.5, c=1, rng=4)
+        try:
+            for q in point_queries(6):
+                pmw.answer(q)
+        except PrivacyError:
+            pass
+        assert pmw.exhausted
+        with pytest.raises(PrivacyError):
+            pmw.answer(point_queries(6)[0])
+
+
+class TestLearning:
+    def test_updates_reduce_error_on_trained_queries(self, histogram):
+        """After updating on the point queries, the synthetic histogram should
+        answer them better than the uniform start did."""
+        queries = point_queries(6)
+        uniform = np.full(6, histogram.sum() / 6)
+        initial_err = max(abs(float(q @ uniform) - float(q @ histogram)) for q in queries)
+
+        pmw = PrivateMultiplicativeWeights(
+            histogram, epsilon=100.0, error_threshold=30.0, c=6, rng=5
+        )
+        for q in queries * 4:
+            if pmw.exhausted:
+                break
+            pmw.answer(q)
+        assert pmw.max_error_on(queries) < initial_err
+
+    def test_budget_spent_only_on_update_rounds(self, histogram):
+        pmw = PrivateMultiplicativeWeights(histogram, 4.0, error_threshold=30.0, c=4, rng=6)
+        for q in point_queries(6):
+            if pmw.exhausted:
+                break
+            pmw.answer(q)
+        eps_answers = 4.0 * 0.5
+        expected = 4.0 * 0.5 + pmw.update_rounds * (eps_answers / 4)
+        assert pmw.ledger.spent == pytest.approx(expected)
+
+
+class TestValidation:
+    def test_rejects_bad_histogram(self):
+        with pytest.raises(InvalidParameterError):
+            PrivateMultiplicativeWeights([5.0], 1.0, 1.0, 1)
+        with pytest.raises(InvalidParameterError):
+            PrivateMultiplicativeWeights([-1.0, 2.0], 1.0, 1.0, 1)
+
+    def test_rejects_bad_query(self, histogram):
+        pmw = PrivateMultiplicativeWeights(histogram, 1.0, 10.0, 1, rng=0)
+        with pytest.raises(InvalidParameterError):
+            pmw.answer(np.ones(3))  # wrong length
+        with pytest.raises(InvalidParameterError):
+            pmw.answer(np.full(6, 2.0))  # weights out of [0, 1]
+
+    def test_rejects_bad_threshold(self, histogram):
+        with pytest.raises(InvalidParameterError):
+            PrivateMultiplicativeWeights(histogram, 1.0, 0.0, 1)

@@ -1,0 +1,110 @@
+"""Tests for the online query answerer (iterative-construction pattern)."""
+
+import numpy as np
+import pytest
+
+from repro.data.transaction_db import TransactionDatabase
+from repro.exceptions import InvalidParameterError, PrivacyError
+from repro.interactive.online import OnlineQueryAnswerer
+from repro.queries.counting import ItemSupportQuery
+
+
+@pytest.fixture
+def db():
+    probs = np.linspace(0.8, 0.1, 8)
+    return TransactionDatabase.synthesize(500, probs, rng=0)
+
+
+def make_answerer(db, **kwargs):
+    defaults = dict(epsilon=2.0, error_threshold=25.0, c=3, rng=1)
+    defaults.update(kwargs)
+    return OnlineQueryAnswerer(db, **defaults)
+
+
+class TestBudgetSemantics:
+    def test_svt_charge_up_front(self, db):
+        answerer = make_answerer(db)
+        assert answerer.ledger.spent == pytest.approx(1.0)  # svt_fraction 0.5 of 2.0
+
+    def test_repeated_query_answered_from_history(self, db):
+        """The SVT selling point: repeats cost nothing extra."""
+        answerer = make_answerer(db)
+        query = ItemSupportQuery(0)
+        first = answerer.answer(query)
+        assert not first.from_history  # first sight: must hit the database
+        spent_after_first = answerer.ledger.spent
+        followups = [answerer.answer(query) for _ in range(20)]
+        assert all(a.from_history for a in followups)
+        assert answerer.ledger.spent == spent_after_first
+
+    def test_database_access_charges_budget(self, db):
+        answerer = make_answerer(db)
+        answerer.answer(ItemSupportQuery(0))
+        per_answer = (2.0 * 0.5) / 3
+        assert answerer.ledger.spent == pytest.approx(1.0 + per_answer)
+
+    def test_session_exhausts_after_c_accesses(self, db):
+        answerer = make_answerer(db, error_threshold=1.0)
+        accesses = 0
+        with pytest.raises(PrivacyError):
+            for i in range(100):
+                out = answerer.answer(ItemSupportQuery(i % 8))
+                accesses += not out.from_history
+        assert answerer.exhausted
+        assert answerer.database_accesses == 3
+
+    def test_total_budget_never_exceeded(self, db):
+        answerer = make_answerer(db, error_threshold=1.0)
+        try:
+            for i in range(100):
+                answerer.answer(ItemSupportQuery(i % 8))
+        except PrivacyError:
+            pass
+        assert answerer.ledger.spent <= 2.0 + 1e-9
+
+
+class TestAnswerQuality:
+    def test_database_answers_near_truth(self, db):
+        answerer = make_answerer(db, epsilon=50.0)
+        out = answerer.answer(ItemSupportQuery(0))
+        truth = ItemSupportQuery(0).evaluate(db)
+        assert out.value == pytest.approx(truth, abs=10.0)
+
+    def test_history_answer_is_previous_release(self, db):
+        answerer = make_answerer(db, epsilon=50.0, error_threshold=30.0)
+        query = ItemSupportQuery(2)
+        first = answerer.answer(query)
+        second = answerer.answer(query)
+        if second.from_history:
+            assert second.value == first.value
+
+
+class TestValidation:
+    def test_rejects_non_query(self, db):
+        with pytest.raises(InvalidParameterError):
+            make_answerer(db).answer("not a query")
+
+    def test_rejects_oversensitive_query(self, db):
+        class BigQuery(ItemSupportQuery):
+            sensitivity = 5.0
+
+        answerer = make_answerer(db, sensitivity=1.0)
+        with pytest.raises(PrivacyError):
+            answerer.answer(BigQuery(0))
+
+    def test_parameter_validation(self, db):
+        with pytest.raises(InvalidParameterError):
+            OnlineQueryAnswerer(db, epsilon=1.0, error_threshold=-1.0, c=1)
+        with pytest.raises(InvalidParameterError):
+            OnlineQueryAnswerer(db, epsilon=1.0, error_threshold=1.0, c=1, svt_fraction=0.0)
+
+    def test_custom_estimator_used(self, db):
+        calls = []
+
+        def estimator(query, history):
+            calls.append(query)
+            return 0.0
+
+        answerer = make_answerer(db, estimator=estimator)
+        answerer.answer(ItemSupportQuery(0))
+        assert len(calls) == 1

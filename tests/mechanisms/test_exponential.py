@@ -1,0 +1,173 @@
+"""Tests for the Exponential Mechanism and Gumbel-top-c selection."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidParameterError
+from repro.mechanisms.exponential import (
+    ExponentialMechanism,
+    exponential_mechanism_probabilities,
+    select_one,
+    select_top_c_em,
+)
+
+
+class TestProbabilities:
+    def test_sum_to_one(self):
+        probs = exponential_mechanism_probabilities([1.0, 2.0, 3.0], 1.0)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_higher_quality_higher_probability(self):
+        probs = exponential_mechanism_probabilities([0.0, 5.0, 10.0], 1.0)
+        assert probs[0] < probs[1] < probs[2]
+
+    def test_general_exponent(self):
+        # Pr ratio between qualities q1, q2 is exp(eps (q1-q2) / (2 Delta)).
+        probs = exponential_mechanism_probabilities([2.0, 0.0], epsilon=1.0)
+        assert probs[0] / probs[1] == pytest.approx(math.exp(1.0))
+
+    def test_monotonic_exponent_doubles_discrimination(self):
+        probs = exponential_mechanism_probabilities([2.0, 0.0], epsilon=1.0, monotonic=True)
+        assert probs[0] / probs[1] == pytest.approx(math.exp(2.0))
+
+    def test_overflow_safe(self):
+        probs = exponential_mechanism_probabilities([1e6, 0.0], epsilon=10.0)
+        assert probs[0] == pytest.approx(1.0)
+        assert np.all(np.isfinite(probs))
+
+    def test_sensitivity_scaling(self):
+        tight = exponential_mechanism_probabilities([1.0, 0.0], 1.0, sensitivity=1.0)
+        loose = exponential_mechanism_probabilities([1.0, 0.0], 1.0, sensitivity=10.0)
+        assert tight[0] > loose[0]
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            exponential_mechanism_probabilities([], 1.0)
+        with pytest.raises(InvalidParameterError):
+            exponential_mechanism_probabilities([1.0], 0.0)
+        with pytest.raises(InvalidParameterError):
+            exponential_mechanism_probabilities([1.0], 1.0, sensitivity=-1.0)
+
+    def test_dp_guarantee_on_probabilities(self):
+        """Selection probability ratio between neighbors bounded by e^eps.
+
+        Neighbor model: every quality may move by at most Delta; general
+        exponent eps/(2 Delta) then gives an e^eps bound overall.
+        """
+        rng = np.random.default_rng(0)
+        eps = 0.8
+        q = rng.uniform(0, 10, 6)
+        shift = rng.uniform(-1, 1, 6)
+        p = exponential_mechanism_probabilities(q, eps)
+        p_neighbor = exponential_mechanism_probabilities(q + shift, eps)
+        ratio = np.max(p / p_neighbor)
+        assert ratio <= math.exp(eps) + 1e-9
+
+
+class TestSelectOne:
+    def test_index_in_range(self):
+        idx = select_one([1.0, 2.0, 3.0], 1.0, rng=0)
+        assert 0 <= idx < 3
+
+    def test_empirical_distribution_matches(self):
+        qualities = [0.0, 1.0, 2.0]
+        expected = exponential_mechanism_probabilities(qualities, 2.0)
+        rng = np.random.default_rng(1)
+        counts = np.zeros(3)
+        trials = 30_000
+        for _ in range(trials):
+            counts[select_one(qualities, 2.0, rng=rng)] += 1
+        np.testing.assert_allclose(counts / trials, expected, atol=0.01)
+
+
+class TestTopC:
+    def test_returns_c_distinct(self):
+        out = select_top_c_em(np.arange(20.0), 1.0, 5, rng=0)
+        assert out.size == 5
+        assert np.unique(out).size == 5
+
+    def test_c_clamped_to_universe(self):
+        out = select_top_c_em([1.0, 2.0], 1.0, 10, rng=0)
+        assert sorted(out.tolist()) == [0, 1]
+
+    def test_high_epsilon_finds_true_top(self):
+        scores = np.array([100.0, 90.0, 80.0, 1.0, 2.0, 3.0])
+        out = select_top_c_em(scores, epsilon=1000.0, c=3, rng=1)
+        assert sorted(out.tolist()) == [0, 1, 2]
+
+    def test_deterministic_with_seed(self):
+        a = select_top_c_em(np.arange(50.0), 0.5, 4, rng=7)
+        b = select_top_c_em(np.arange(50.0), 0.5, 4, rng=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_per_round_epsilon_override(self):
+        scores = np.array([10.0, 0.0, 0.0, 0.0])
+        strong = select_top_c_em(scores, 0.0001, 1, per_round_epsilon=100.0, rng=2)
+        assert strong[0] == 0
+
+    def test_invalid_c(self):
+        with pytest.raises(InvalidParameterError):
+            select_top_c_em([1.0], 1.0, 0)
+        with pytest.raises(InvalidParameterError):
+            select_top_c_em([1.0], 1.0, -2)
+
+    def test_gumbel_matches_sequential_em(self):
+        """The Gumbel-top-c draw equals c sequential without-replacement EM draws.
+
+        Checked distributionally on a 3-element universe, c=2: compute exact
+        Plackett-Luce probabilities for each ordered pair and compare with
+        empirical frequencies (chi-square-style tolerance).
+        """
+        qualities = np.array([0.0, 1.0, 2.0])
+        epsilon_per_round = 1.0
+        weights = np.exp(epsilon_per_round / 2.0 * qualities)
+
+        def plackett_luce(i, j):
+            p_i = weights[i] / weights.sum()
+            rest = weights.sum() - weights[i]
+            return p_i * weights[j] / rest
+
+        rng = np.random.default_rng(3)
+        trials = 40_000
+        counts = {}
+        for _ in range(trials):
+            pair = tuple(
+                select_top_c_em(
+                    qualities, epsilon=2.0, c=2, rng=rng
+                ).tolist()
+            )  # total epsilon 2.0 -> 1.0 per round
+            counts[pair] = counts.get(pair, 0) + 1
+        for i in range(3):
+            for j in range(3):
+                if i == j:
+                    continue
+                expected = plackett_luce(i, j)
+                observed = counts.get((i, j), 0) / trials
+                assert observed == pytest.approx(expected, abs=0.012)
+
+
+class TestMechanismObject:
+    def test_select_top_c_size(self):
+        em = ExponentialMechanism(epsilon=1.0, monotonic=True)
+        assert em.select_top_c(np.arange(10.0), 3, rng=0).size == 3
+
+    def test_probabilities_shape(self):
+        em = ExponentialMechanism(epsilon=1.0)
+        assert em.probabilities([1.0, 2.0]).shape == (2,)
+
+    def test_select_in_range(self):
+        em = ExponentialMechanism(epsilon=1.0)
+        assert 0 <= em.select([3.0, 1.0], rng=0) < 2
+
+    @given(st.integers(2, 30), st.integers(1, 10))
+    @settings(max_examples=25, deadline=None)
+    def test_property_selection_valid(self, n, c):
+        scores = np.linspace(0, 100, n)
+        out = select_top_c_em(scores, 1.0, c, rng=0)
+        assert out.size == min(c, n)
+        assert np.unique(out).size == out.size
+        assert out.min() >= 0 and out.max() < n

@@ -1,0 +1,111 @@
+"""Tests for the geometric (discrete Laplace) mechanism."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.mechanisms.geometric import (
+    GeometricMechanism,
+    geometric_cdf,
+    geometric_pmf,
+    sample_two_sided_geometric,
+)
+
+
+class TestPmf:
+    def test_sums_to_one(self):
+        ks = np.arange(-200, 201)
+        assert geometric_pmf(ks, epsilon=0.5).sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_symmetry(self):
+        assert geometric_pmf(5, 1.0) == pytest.approx(geometric_pmf(-5, 1.0))
+
+    def test_dp_ratio_exactly_e_eps(self):
+        """Adjacent-output ratio equals e^{eps/Delta} — the DP property."""
+        eps = 0.7
+        for k in (0, 1, 5, -3):
+            ratio = geometric_pmf(k, eps) / geometric_pmf(k + 1, eps)
+            if k >= 0:
+                assert ratio == pytest.approx(math.exp(eps))
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(InvalidParameterError):
+            geometric_pmf(1.5, 1.0)
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(InvalidParameterError):
+            geometric_pmf(0, 0.0)
+
+
+class TestCdf:
+    def test_limits(self):
+        assert geometric_cdf(-1000, 1.0) == pytest.approx(0.0, abs=1e-12)
+        assert geometric_cdf(1000, 1.0) == pytest.approx(1.0, abs=1e-12)
+
+    def test_matches_pmf_cumsum(self):
+        eps = 0.8
+        ks = np.arange(-50, 51)
+        pmf = geometric_pmf(ks, eps)
+        cdf = geometric_cdf(ks, eps)
+        np.testing.assert_allclose(cdf, np.cumsum(pmf) + geometric_cdf(-51, eps), atol=1e-9)
+
+    def test_median_at_zero(self):
+        # Pr[Z <= -1] + Pr[Z = 0]/... by symmetry Pr[Z <= 0] > 0.5 > Pr[Z <= -1].
+        assert geometric_cdf(-1, 1.0) < 0.5 < geometric_cdf(0, 1.0)
+
+
+class TestSampling:
+    def test_integer_output(self):
+        assert isinstance(sample_two_sided_geometric(1.0, rng=0), int)
+        arr = sample_two_sided_geometric(1.0, size=10, rng=0)
+        assert arr.dtype == np.int64
+
+    def test_deterministic(self):
+        a = sample_two_sided_geometric(0.5, size=20, rng=3)
+        b = sample_two_sided_geometric(0.5, size=20, rng=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_empirical_pmf_matches(self):
+        eps = 1.0
+        samples = sample_two_sided_geometric(eps, size=100_000, rng=1)
+        for k in (-2, -1, 0, 1, 2):
+            observed = np.mean(samples == k)
+            assert observed == pytest.approx(geometric_pmf(k, eps), abs=0.01)
+
+    def test_empirical_variance(self):
+        mech = GeometricMechanism(epsilon=0.5)
+        samples = sample_two_sided_geometric(0.5, size=200_000, rng=2)
+        assert np.var(samples) == pytest.approx(mech.variance, rel=0.05)
+
+
+class TestMechanism:
+    def test_release_integer(self):
+        mech = GeometricMechanism(epsilon=1.0)
+        out = mech.release(41, rng=0)
+        assert isinstance(out, int)
+
+    def test_release_array(self):
+        mech = GeometricMechanism(epsilon=1.0)
+        out = mech.release(np.array([1, 2, 3]), rng=0)
+        assert out.dtype == np.int64
+
+    def test_release_unbiased(self):
+        mech = GeometricMechanism(epsilon=1.0)
+        noisy = mech.release(np.full(100_000, 7), rng=4)
+        assert np.mean(noisy) == pytest.approx(7.0, abs=0.05)
+
+    def test_rejects_fractional_input(self):
+        with pytest.raises(InvalidParameterError):
+            GeometricMechanism(1.0).release(1.5)
+
+    def test_variance_below_laplace(self):
+        """The discrete mechanism is (slightly) tighter than Laplace at the
+        same eps — part of its universal-optimality story."""
+        from repro.mechanisms.laplace import LaplaceMechanism
+
+        eps = 0.5
+        geo = GeometricMechanism(epsilon=eps).variance
+        lap = 2.0 * LaplaceMechanism(epsilon=eps).scale ** 2
+        assert geo < lap

@@ -1,0 +1,175 @@
+"""Tests for the Laplace distribution and mechanism."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidParameterError
+from repro.mechanisms.laplace import (
+    LaplaceDistribution,
+    LaplaceMechanism,
+    laplace_cdf,
+    laplace_pdf,
+    laplace_ppf,
+    sample_laplace,
+)
+from repro.mechanisms.laplace import laplace_sf
+
+
+class TestPdf:
+    def test_peak_value(self):
+        assert laplace_pdf(0.0, scale=1.0) == pytest.approx(0.5)
+
+    def test_symmetry(self):
+        assert laplace_pdf(2.3, 1.5) == pytest.approx(laplace_pdf(-2.3, 1.5))
+
+    def test_location_shift(self):
+        assert laplace_pdf(5.0, 2.0, loc=5.0) == pytest.approx(laplace_pdf(0.0, 2.0))
+
+    def test_integrates_to_one(self):
+        xs = np.linspace(-60, 60, 200_001)
+        mass = np.trapezoid(laplace_pdf(xs, 2.0), xs)
+        assert mass == pytest.approx(1.0, abs=1e-6)
+
+    def test_vectorized(self):
+        out = laplace_pdf(np.array([0.0, 1.0]), 1.0)
+        assert out.shape == (2,)
+
+    def test_invalid_scale(self):
+        with pytest.raises(InvalidParameterError):
+            laplace_pdf(0.0, scale=0.0)
+        with pytest.raises(InvalidParameterError):
+            laplace_pdf(0.0, scale=-1.0)
+
+
+class TestCdf:
+    def test_median(self):
+        assert laplace_cdf(0.0, 3.0) == pytest.approx(0.5)
+
+    def test_tails(self):
+        assert laplace_cdf(-100.0, 1.0) == pytest.approx(0.0, abs=1e-12)
+        assert laplace_cdf(100.0, 1.0) == pytest.approx(1.0, abs=1e-12)
+
+    def test_matches_closed_form_below(self):
+        # F(x) = 0.5 * exp(x / b) for x <= 0
+        assert laplace_cdf(-2.0, 2.0) == pytest.approx(0.5 * math.exp(-1.0))
+
+    def test_sf_complement(self):
+        for x in (-3.0, -0.5, 0.0, 0.5, 3.0):
+            assert laplace_sf(x, 1.7) == pytest.approx(1.0 - laplace_cdf(x, 1.7))
+
+    @given(st.floats(-50, 50), st.floats(0.1, 10))
+    def test_monotone(self, x, scale):
+        assert laplace_cdf(x, scale) <= laplace_cdf(x + 0.5, scale)
+
+    def test_lemma1_shift_property(self):
+        """Pr[rho = z] <= e^{eps1} Pr[rho = z + Delta] for rho ~ Lap(Delta/eps1).
+
+        The one-line Laplace fact the whole SVT proof rests on.
+        """
+        eps1, delta = 0.7, 1.0
+        scale = delta / eps1
+        for z in np.linspace(-8, 8, 41):
+            assert laplace_pdf(z, scale) <= math.exp(eps1) * laplace_pdf(z + delta, scale) + 1e-15
+
+
+class TestPpf:
+    def test_round_trip(self):
+        for q in (0.01, 0.25, 0.5, 0.75, 0.99):
+            x = laplace_ppf(q, 2.0, loc=1.0)
+            assert laplace_cdf(x, 2.0, loc=1.0) == pytest.approx(q)
+
+    def test_out_of_range(self):
+        with pytest.raises(InvalidParameterError):
+            laplace_ppf(1.5, 1.0)
+
+    def test_extremes(self):
+        assert laplace_ppf(0.0, 1.0) == -math.inf
+
+
+class TestSampling:
+    def test_deterministic_with_seed(self):
+        a = sample_laplace(2.0, size=5, rng=0)
+        b = sample_laplace(2.0, size=5, rng=0)
+        np.testing.assert_array_equal(a, b)
+
+    def test_scalar_when_size_none(self):
+        assert isinstance(sample_laplace(1.0, rng=0), float)
+
+    def test_empirical_moments(self):
+        samples = sample_laplace(3.0, size=200_000, rng=1)
+        assert np.mean(samples) == pytest.approx(0.0, abs=0.05)
+        assert np.var(samples) == pytest.approx(2 * 9.0, rel=0.05)
+
+    def test_empirical_cdf_matches(self):
+        samples = sample_laplace(1.0, size=100_000, rng=2)
+        for x in (-2.0, 0.0, 1.5):
+            empirical = np.mean(samples <= x)
+            assert empirical == pytest.approx(laplace_cdf(x, 1.0), abs=0.01)
+
+
+class TestDistributionObject:
+    def test_variance_and_std(self):
+        dist = LaplaceDistribution(scale=3.0)
+        assert dist.variance == pytest.approx(18.0)
+        assert dist.std == pytest.approx(math.sqrt(18.0))
+
+    def test_shift(self):
+        dist = LaplaceDistribution(2.0).shift(4.0)
+        assert dist.loc == 4.0
+        assert dist.cdf(4.0) == pytest.approx(0.5)
+
+    def test_frozen(self):
+        dist = LaplaceDistribution(1.0)
+        with pytest.raises(AttributeError):
+            dist.scale = 2.0
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            LaplaceDistribution(scale=-1.0)
+
+
+class TestMechanism:
+    def test_scale(self):
+        mech = LaplaceMechanism(epsilon=0.5, sensitivity=2.0)
+        assert mech.scale == pytest.approx(4.0)
+
+    def test_release_scalar(self):
+        assert isinstance(LaplaceMechanism(1.0).release(10.0, rng=0), float)
+
+    def test_release_array_shape(self):
+        out = LaplaceMechanism(1.0).release(np.zeros(7), rng=0)
+        assert out.shape == (7,)
+
+    def test_release_unbiased(self):
+        mech = LaplaceMechanism(epsilon=1.0)
+        noisy = mech.release(np.full(100_000, 5.0), rng=3)
+        assert np.mean(noisy) == pytest.approx(5.0, abs=0.05)
+
+    def test_dp_inequality_on_release_distribution(self):
+        """Empirical check: density ratio of releases on neighbors <= e^eps."""
+        eps = 1.0
+        mech = LaplaceMechanism(epsilon=eps, sensitivity=1.0)
+        xs = np.linspace(-5, 5, 101)
+        f_d = laplace_pdf(xs - 0.0, mech.scale)
+        f_dp = laplace_pdf(xs - 1.0, mech.scale)  # neighbor answer differs by Delta
+        ratios = f_d / f_dp
+        assert np.all(ratios <= math.exp(eps) + 1e-12)
+
+    def test_confidence_interval_coverage(self):
+        mech = LaplaceMechanism(epsilon=1.0)
+        lo, hi = mech.confidence_interval(0.0, confidence=0.95)
+        samples = sample_laplace(mech.scale, size=100_000, rng=4)
+        coverage = np.mean((samples >= lo) & (samples <= hi))
+        assert coverage == pytest.approx(0.95, abs=0.01)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            LaplaceMechanism(epsilon=0.0)
+        with pytest.raises(InvalidParameterError):
+            LaplaceMechanism(epsilon=1.0, sensitivity=0.0)
+        with pytest.raises(InvalidParameterError):
+            LaplaceMechanism(1.0).confidence_interval(0.0, confidence=1.0)

@@ -1,0 +1,62 @@
+"""Tests for report-noisy-max."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.mechanisms.noisy_max import report_noisy_max, report_noisy_max_top_c
+
+
+class TestReportNoisyMax:
+    def test_in_range(self):
+        assert 0 <= report_noisy_max([1.0, 2.0, 3.0], 1.0, rng=0) < 3
+
+    def test_high_epsilon_picks_argmax(self):
+        scores = [1.0, 100.0, 2.0]
+        picks = [report_noisy_max(scores, 1000.0, rng=i) for i in range(20)]
+        assert all(p == 1 for p in picks)
+
+    def test_monotonic_less_noise(self):
+        """Monotonic mode halves the scale, so accuracy improves measurably."""
+        scores = np.array([5.0, 0.0, 0.0, 0.0])
+        rng_a, rng_b = np.random.default_rng(1), np.random.default_rng(1)
+        hits_general = sum(
+            report_noisy_max(scores, 1.0, monotonic=False, rng=rng_a) == 0
+            for _ in range(3000)
+        )
+        hits_mono = sum(
+            report_noisy_max(scores, 1.0, monotonic=True, rng=rng_b) == 0
+            for _ in range(3000)
+        )
+        assert hits_mono > hits_general
+
+    def test_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            report_noisy_max([], 1.0)
+        with pytest.raises(InvalidParameterError):
+            report_noisy_max([1.0], 0.0)
+
+
+class TestTopC:
+    def test_distinct_and_sized(self):
+        out = report_noisy_max_top_c(np.arange(10.0), 1.0, 4, rng=0)
+        assert out.size == 4
+        assert np.unique(out).size == 4
+
+    def test_c_clamped(self):
+        out = report_noisy_max_top_c([1.0, 2.0], 1.0, 5, rng=0)
+        assert sorted(out.tolist()) == [0, 1]
+
+    def test_high_epsilon_exact(self):
+        scores = np.array([9.0, 8.0, 7.0, 0.1, 0.2])
+        out = report_noisy_max_top_c(scores, 1000.0, 3, rng=1)
+        assert sorted(out.tolist()) == [0, 1, 2]
+
+    def test_selection_order_is_by_quality_at_high_eps(self):
+        scores = np.array([5.0, 50.0, 500.0])
+        out = report_noisy_max_top_c(scores, 1000.0, 3, rng=2)
+        assert out.tolist() == [2, 1, 0]
+
+    def test_invalid_c(self):
+        with pytest.raises(InvalidParameterError):
+            report_noisy_max_top_c([1.0], 1.0, 0)

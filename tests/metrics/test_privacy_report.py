@@ -1,0 +1,51 @@
+"""Tests for the combined privacy-report metric."""
+
+import math
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.metrics.privacy import privacy_report
+
+ANSWERS_D = [2.0, 2.0, -10.0, -10.0]
+ANSWERS_DP = [3.0, 3.0, -11.0, -11.0]
+
+
+class TestPrivacyReport:
+    def test_alg1_passes(self):
+        report = privacy_report("alg1", ANSWERS_D, ANSWERS_DP, epsilon=1.0, c=2)
+        assert not report.violated
+        assert report.exact_loss <= 1.0 + 1e-6
+
+    def test_alg2_passes(self):
+        report = privacy_report("alg2", ANSWERS_D, ANSWERS_DP, epsilon=1.0, c=2)
+        assert not report.violated
+
+    def test_alg4_violates(self):
+        report = privacy_report("alg4", ANSWERS_D, ANSWERS_DP, epsilon=1.0, c=2)
+        assert report.violated
+        assert report.exact_loss > 1.0
+
+    def test_alg5_infinite(self):
+        report = privacy_report("alg5", [0.0, 1.0], [1.0, 0.0], epsilon=1.0, c=1)
+        assert report.violated
+        assert report.exact_loss == math.inf
+
+    def test_mc_consistency(self):
+        """The MC loss on a single event can never exceed the exact max loss
+        by more than sampling noise."""
+        report = privacy_report(
+            "alg1", ANSWERS_D, ANSWERS_DP, epsilon=1.0, c=2, mc_trials=5_000, rng=0
+        )
+        assert report.mc_loss is not None
+        assert report.mc_loss <= report.exact_loss + 0.15
+
+    def test_numeric_variant_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            privacy_report("alg3", ANSWERS_D, ANSWERS_DP, epsilon=1.0, c=1)
+
+    def test_str_rendering(self):
+        report = privacy_report("alg1", ANSWERS_D, ANSWERS_DP, epsilon=1.0, c=2)
+        text = str(report)
+        assert "Alg. 1" in text
+        assert "ok" in text

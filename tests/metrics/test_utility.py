@@ -1,0 +1,137 @@
+"""Tests for SER and FNR (Section 6 metrics)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidParameterError
+from repro.metrics.utility import (
+    false_negative_rate,
+    precision_recall,
+    score_error_rate,
+    selection_report,
+)
+
+
+class TestFNR:
+    def test_perfect_selection(self, synthetic_scores):
+        assert false_negative_rate(synthetic_scores, [0, 1, 2], 3) == 0.0
+
+    def test_total_miss(self, synthetic_scores):
+        assert false_negative_rate(synthetic_scores, [7, 8, 9], 3) == 1.0
+
+    def test_partial(self, synthetic_scores):
+        assert false_negative_rate(synthetic_scores, [0, 8, 9], 3) == pytest.approx(2 / 3)
+
+    def test_empty_selection(self, synthetic_scores):
+        assert false_negative_rate(synthetic_scores, [], 3) == 1.0
+
+    def test_tie_awareness(self):
+        """Selecting an equal-score item outside the nominal top-c is not a miss."""
+        scores = [10.0, 10.0, 10.0, 1.0]
+        # True top-2 is any two of the three tens.
+        assert false_negative_rate(scores, [1, 2], 2) == 0.0
+
+    def test_unsorted_scores_supported(self):
+        scores = [1.0, 100.0, 50.0]
+        assert false_negative_rate(scores, [1, 2], 2) == 0.0
+        assert false_negative_rate(scores, [0, 1], 2) == pytest.approx(0.5)
+
+
+class TestSER:
+    def test_perfect_selection(self, synthetic_scores):
+        assert score_error_rate(synthetic_scores, [0, 1, 2], 3) == 0.0
+
+    def test_definition(self, synthetic_scores):
+        # top-3 avg = 90; selecting [0, 1, 9] -> avg = (100+90+10)/3 = 200/3.
+        expected = 1.0 - (200 / 3) / 90.0
+        assert score_error_rate(synthetic_scores, [0, 1, 9], 3) == pytest.approx(expected)
+
+    def test_under_selection_penalized(self, synthetic_scores):
+        """Missing slots count as zero score (conservative convention)."""
+        ser_full = score_error_rate(synthetic_scores, [0, 1, 2], 3)
+        ser_short = score_error_rate(synthetic_scores, [0, 1], 3)
+        assert ser_short > ser_full
+        assert ser_short == pytest.approx(1.0 - (190.0 / 3) / 90.0)
+
+    def test_adjacent_swap_cheap(self, synthetic_scores):
+        """Selecting the (c+1)-th instead of the c-th is a small error, unlike FNR."""
+        ser = score_error_rate(synthetic_scores, [0, 1, 3], 3)
+        fnr = false_negative_rate(synthetic_scores, [0, 1, 3], 3)
+        assert ser < fnr
+
+    def test_empty_selection_is_one(self, synthetic_scores):
+        assert score_error_rate(synthetic_scores, [], 3) == 1.0
+
+    def test_zero_top_sum_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            score_error_rate([0.0, 0.0], [0], 1)
+
+
+class TestValidation:
+    def test_duplicate_selection_rejected(self, synthetic_scores):
+        with pytest.raises(InvalidParameterError):
+            false_negative_rate(synthetic_scores, [0, 0], 2)
+
+    def test_out_of_range_rejected(self, synthetic_scores):
+        with pytest.raises(InvalidParameterError):
+            score_error_rate(synthetic_scores, [99], 2)
+
+    def test_c_too_large(self, synthetic_scores):
+        with pytest.raises(InvalidParameterError):
+            false_negative_rate(synthetic_scores, [0], 11)
+
+    def test_c_nonpositive(self, synthetic_scores):
+        with pytest.raises(InvalidParameterError):
+            score_error_rate(synthetic_scores, [0], 0)
+
+
+class TestPrecisionRecall:
+    def test_perfect(self, synthetic_scores):
+        assert precision_recall(synthetic_scores, [0, 1, 2], 3) == (1.0, 1.0)
+
+    def test_over_selection_hurts_precision_not_recall(self, synthetic_scores):
+        p, r = precision_recall(synthetic_scores, [0, 1, 2, 9], 3)
+        assert p == pytest.approx(3 / 4)
+        assert r == 1.0
+
+    def test_empty(self, synthetic_scores):
+        assert precision_recall(synthetic_scores, [], 3) == (0.0, 0.0)
+
+
+class TestSelectionReport:
+    def test_bundles_all_metrics(self, synthetic_scores):
+        report = selection_report(synthetic_scores, [0, 1, 5], 3)
+        assert report.c == 3
+        assert report.num_selected == 3
+        assert report.fnr == pytest.approx(1 / 3)
+        assert 0.0 < report.ser < report.fnr
+
+
+class TestProperties:
+    @given(
+        st.lists(st.floats(1.0, 1000.0), min_size=3, max_size=40),
+        st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_metrics_in_unit_interval(self, scores, data):
+        n = len(scores)
+        c = data.draw(st.integers(1, n))
+        k = data.draw(st.integers(0, min(c, n)))
+        selected = data.draw(
+            st.lists(st.integers(0, n - 1), min_size=k, max_size=k, unique=True)
+        )
+        fnr = false_negative_rate(scores, selected, c)
+        ser = score_error_rate(scores, selected, c)
+        assert 0.0 <= fnr <= 1.0
+        assert 0.0 <= ser <= 1.0
+
+    @given(st.lists(st.floats(1.0, 1000.0), min_size=4, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_property_true_topc_scores_zero(self, scores):
+        arr = np.asarray(scores)
+        c = len(scores) // 2
+        top_indices = np.argsort(-arr, kind="stable")[:c]
+        assert false_negative_rate(arr, top_indices, c) == 0.0
+        assert score_error_rate(arr, top_indices, c) == pytest.approx(0.0, abs=1e-12)

@@ -1,0 +1,157 @@
+"""Cross-cutting property-based tests (hypothesis) on core invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocation import BudgetAllocation, allocate
+from repro.core.base import BELOW
+from repro.core.retraversal import svt_retraversal
+from repro.core.svt import run_svt_batch
+from repro.data.generators import power_law_supports
+from repro.mechanisms.exponential import exponential_mechanism_probabilities
+from repro.mechanisms.laplace import laplace_cdf, laplace_pdf
+from repro.metrics.utility import false_negative_rate, score_error_rate
+
+finite_floats = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+
+
+class TestLaplaceInvariants:
+    @given(st.floats(-30, 30), st.floats(0.1, 20))
+    @settings(max_examples=100, deadline=None)
+    def test_pdf_cdf_consistency(self, x, scale):
+        """Numerical derivative of the CDF equals the pdf."""
+        h = 1e-6 * max(1.0, abs(x))
+        derivative = (laplace_cdf(x + h, scale) - laplace_cdf(x - h, scale)) / (2 * h)
+        assert derivative == pytest.approx(laplace_pdf(x, scale), rel=1e-3, abs=1e-9)
+
+    @given(st.floats(-10, 10), st.floats(0.1, 5), st.floats(0.1, 2))
+    @settings(max_examples=100, deadline=None)
+    def test_dp_shift_inequality(self, z, scale, shift):
+        """pdf(z) <= e^{shift/scale} * pdf(z + shift) — the Lemma 1 engine."""
+        lhs = laplace_pdf(z, scale)
+        rhs = math.exp(shift / scale) * laplace_pdf(z + shift, scale)
+        assert lhs <= rhs * (1 + 1e-9)
+
+
+class TestSVTInvariants:
+    @given(
+        st.lists(st.floats(-50, 50), min_size=1, max_size=25),
+        st.integers(1, 4),
+        st.floats(0.1, 5.0),
+        st.floats(-20, 20),
+        st.booleans(),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_batch_transcript_invariants(self, answers, c, epsilon, threshold, monotonic, seed):
+        allocation = BudgetAllocation.from_ratio(epsilon, c, "1:1", monotonic=monotonic)
+        result = run_svt_batch(
+            answers, allocation, c, thresholds=threshold, monotonic=monotonic, rng=seed
+        )
+        assert result.num_positives <= c
+        assert result.processed <= len(answers)
+        assert result.halted == (result.num_positives == c and (
+            result.processed < len(answers) or result.answers[-1] is not BELOW
+        )) or not result.halted
+        if result.halted:
+            assert result.num_positives == c
+            assert result.answers[-1] is not BELOW
+        else:
+            assert result.processed == len(answers)
+        # indicator vector consistency
+        indicator = result.indicator_vector()
+        assert int(indicator.sum()) == result.num_positives
+
+    @given(
+        st.lists(st.floats(-50, 50), min_size=2, max_size=20),
+        st.integers(1, 4),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_retraversal_invariants(self, answers, c, seed):
+        allocation = BudgetAllocation.from_ratio(1.0, c, "1:1")
+        result = svt_retraversal(
+            answers, allocation, c, thresholds=0.0, max_passes=20, rng=seed
+        )
+        assert len(set(result.selected)) == len(result.selected)
+        assert result.num_selected <= min(c, len(answers))
+        assert result.exhausted == (result.num_selected < min(c, len(answers)))
+        assert all(0 <= i < len(answers) for i in result.selected)
+
+
+class TestAllocationInvariants:
+    @given(st.floats(0.001, 10), st.integers(1, 500), st.booleans())
+    @settings(max_examples=100, deadline=None)
+    def test_allocation_partitions_budget(self, epsilon, c, monotonic):
+        for ratio in ("1:1", "1:3", "1:c", "1:c^(2/3)", "optimal"):
+            eps1, eps2 = allocate(epsilon, c, ratio, monotonic)
+            assert eps1 > 0 and eps2 > 0
+            assert eps1 + eps2 == pytest.approx(epsilon)
+
+
+class TestEMInvariants:
+    @given(
+        st.lists(st.floats(-100, 100), min_size=1, max_size=30),
+        st.floats(0.01, 10),
+        st.booleans(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_probabilities_form_distribution(self, qualities, epsilon, monotonic):
+        probs = exponential_mechanism_probabilities(qualities, epsilon, monotonic=monotonic)
+        assert probs.sum() == pytest.approx(1.0)
+        assert np.all(probs >= 0)
+
+    @given(st.lists(st.floats(-100, 100), min_size=2, max_size=20), st.floats(0.01, 5))
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_quality(self, qualities, epsilon):
+        probs = exponential_mechanism_probabilities(qualities, epsilon)
+        order = np.argsort(qualities)
+        sorted_probs = probs[order]
+        assert np.all(np.diff(sorted_probs) >= -1e-12)
+
+
+class TestMetricInvariants:
+    @given(
+        st.integers(5, 40),
+        st.integers(1, 10),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_fnr_ser_consistency(self, n, c, seed):
+        assume(c < n)
+        rng = np.random.default_rng(seed)
+        scores = rng.uniform(1, 100, n)
+        k = int(rng.integers(0, c + 1))
+        selected = rng.choice(n, size=k, replace=False)
+        fnr = false_negative_rate(scores, selected, c)
+        ser = score_error_rate(scores, selected, c)
+        assert 0 <= fnr <= 1
+        assert 0 <= ser <= 1
+        if fnr == 0.0 and k == c:
+            assert ser == pytest.approx(0.0, abs=1e-9)
+
+
+class TestGeneratorInvariants:
+    @given(
+        st.integers(2, 300),
+        st.integers(100, 100_000),
+        st.floats(1.0, 1e5),
+        st.floats(0.0, 2.0),
+        st.floats(0.0, 0.5),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_support_vectors_always_valid(
+        self, num_items, num_records, head, alpha, jitter, seed
+    ):
+        supports = power_law_supports(
+            num_items, num_records, head, alpha, jitter=jitter, rng=seed
+        )
+        assert supports.size == num_items
+        assert np.all(np.diff(supports) <= 0)
+        assert supports[0] <= num_records
+        assert supports[-1] >= 1

@@ -1,0 +1,101 @@
+"""Property-based fuzzing of the analytical verifier.
+
+The verifier is the trust anchor for every privacy claim in this repository,
+so it gets its own adversarial tests: random specs, random short instances,
+and structural invariants that must hold for *any* valid configuration.
+"""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.verifier import (
+    MechanismSpec,
+    enumerate_valid_patterns,
+    outcome_probability,
+    privacy_ratio,
+)
+
+specs = st.builds(
+    MechanismSpec,
+    threshold_scale=st.floats(0.5, 10.0),
+    query_scale=st.floats(0.0, 10.0),
+)
+
+short_answers = st.lists(st.floats(-5.0, 5.0), min_size=1, max_size=3)
+
+
+class TestStructuralInvariants:
+    @given(specs, short_answers, st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_probabilities_are_probabilities(self, spec, answers, data):
+        pattern = data.draw(
+            st.lists(st.booleans(), min_size=len(answers), max_size=len(answers))
+        )
+        p = outcome_probability(spec, answers, pattern, thresholds=0.0)
+        assert -1e-9 <= p <= 1.0 + 1e-6
+
+    @given(specs, short_answers)
+    @settings(max_examples=25, deadline=None)
+    def test_full_pattern_space_sums_to_one(self, spec, answers):
+        total = sum(
+            outcome_probability(spec, answers, pattern, 0.0)
+            for pattern in itertools.product([False, True], repeat=len(answers))
+        )
+        assert total == pytest.approx(1.0, abs=1e-5)
+
+    @given(specs, short_answers, st.floats(-3.0, 3.0))
+    @settings(max_examples=25, deadline=None)
+    def test_threshold_shift_equals_answer_shift(self, spec, answers, shift):
+        """Shifting all answers and the threshold together is a no-op —
+        the Figure-1 footnote reduction, verified on the exact integral."""
+        pattern = [True] + [False] * (len(answers) - 1)
+        base = outcome_probability(spec, answers, pattern, thresholds=0.0)
+        shifted = outcome_probability(
+            spec, [a + shift for a in answers], pattern, thresholds=shift
+        )
+        assert base == pytest.approx(shifted, rel=1e-5, abs=1e-9)
+
+    @given(specs, short_answers)
+    @settings(max_examples=25, deadline=None)
+    def test_identical_inputs_ratio_one(self, spec, answers):
+        pattern = [False] * len(answers)
+        ratio = privacy_ratio(spec, answers, answers, pattern, 0.0)
+        assert ratio == pytest.approx(1.0, rel=1e-6)
+
+
+class TestPatternEnumeration:
+    @given(st.integers(0, 6), st.integers(1, 4))
+    @settings(max_examples=50, deadline=None)
+    def test_counts_and_validity(self, n, c):
+        patterns = list(enumerate_valid_patterns(n, c))
+        # Distinct.
+        assert len({tuple(p) for p in patterns}) == len(patterns)
+        for pattern in patterns:
+            positives = sum(pattern)
+            assert positives <= c
+            if len(pattern) < n:
+                # Truncated transcripts end exactly at the c-th positive.
+                assert positives == c and pattern[-1]
+
+    @given(st.integers(1, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_no_cutoff_full_space(self, n):
+        assert len(list(enumerate_valid_patterns(n, None))) == 2**n
+
+    @given(st.integers(1, 5), st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_probability_partition_under_cutoff(self, n, c):
+        """Valid transcripts partition the outcome space for any spec."""
+        spec = MechanismSpec(threshold_scale=2.0, query_scale=3.0)
+        rng = np.random.default_rng(n * 31 + c)
+        answers = rng.uniform(-2, 2, n)
+        total = sum(
+            outcome_probability(spec, answers[: len(p)], p, 0.0)
+            for p in enumerate_valid_patterns(n, c)
+        )
+        assert total == pytest.approx(1.0, abs=1e-5)

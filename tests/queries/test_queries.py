@@ -1,0 +1,118 @@
+"""Tests for the query layer (base protocol, counting queries, streams)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import QueryError
+from repro.queries.base import queries_are_monotonic, reduce_to_zero_threshold
+from repro.queries.counting import (
+    ItemSupportQuery,
+    ItemsetSupportQuery,
+    PredicateCountQuery,
+)
+from repro.queries.stream import QueryStream
+
+
+class TestCountingQueries:
+    def test_item_support(self, small_db):
+        assert ItemSupportQuery(0).evaluate(small_db) == 4.0
+        assert ItemSupportQuery(3)(small_db) == 1.0
+
+    def test_itemset_support(self, small_db):
+        assert ItemsetSupportQuery([0, 1]).evaluate(small_db) == 3.0
+
+    def test_itemset_normalized_sorted(self):
+        q = ItemsetSupportQuery([2, 0, 1])
+        assert q.itemset == (0, 1, 2)
+
+    def test_predicate_count(self, small_db):
+        q = PredicateCountQuery(lambda t: len(t) >= 3, name="big")
+        assert q.evaluate(small_db) == 2.0
+
+    def test_declared_contracts(self):
+        for q in (ItemSupportQuery(0), ItemsetSupportQuery([1]), PredicateCountQuery(len)):
+            assert q.sensitivity == 1.0
+            assert q.monotonic
+
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            ItemSupportQuery(-1)
+        with pytest.raises(QueryError):
+            ItemsetSupportQuery([])
+        with pytest.raises(QueryError):
+            PredicateCountQuery("not-callable")
+
+
+class TestMonotonicityCheck:
+    def test_counting_queries_are_monotonic(self, small_db):
+        queries = [ItemSupportQuery(i) for i in range(4)]
+        neighbor = small_db.with_record([0, 1, 2, 3])
+        assert queries_are_monotonic(queries, neighbor, small_db)
+
+    def test_detects_non_monotonic(self, small_db):
+        class UpQuery(ItemSupportQuery):
+            pass
+
+        class DownQuery(ItemSupportQuery):
+            def evaluate(self, dataset):
+                return -super().evaluate(dataset)
+
+        neighbor = small_db.with_record([0, 1])
+        queries = [UpQuery(0), DownQuery(1)]
+        assert not queries_are_monotonic(queries, neighbor, small_db)
+
+
+class TestZeroThresholdReduction:
+    def test_scalar(self):
+        reduced, t = reduce_to_zero_threshold([5.0, 7.0], 4.0)
+        np.testing.assert_array_equal(reduced, [1.0, 3.0])
+        assert t == 0.0
+
+    def test_per_query(self):
+        reduced, _ = reduce_to_zero_threshold([5.0, 7.0], [1.0, 10.0])
+        np.testing.assert_array_equal(reduced, [4.0, -3.0])
+
+    def test_svt_equivalence(self):
+        """The Figure-1 footnote: reduction preserves the SVT outcome, seedwise."""
+        from repro.core.allocation import BudgetAllocation
+        from repro.core.svt import run_svt_batch
+
+        answers = np.array([3.0, 8.0, -1.0, 12.0])
+        thresholds = np.array([5.0, 5.0, -2.0, 10.0])
+        allocation = BudgetAllocation(eps1=0.5, eps2=0.5)
+        direct = run_svt_batch(answers, allocation, 2, thresholds=thresholds, rng=11)
+        reduced, zero = reduce_to_zero_threshold(answers, thresholds)
+        via_zero = run_svt_batch(reduced, allocation, 2, thresholds=zero, rng=11)
+        assert direct.positives == via_zero.positives
+        assert direct.processed == via_zero.processed
+
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            reduce_to_zero_threshold(np.zeros((2, 2)), 0.0)
+        with pytest.raises(QueryError):
+            reduce_to_zero_threshold([1.0, 2.0], [1.0])
+
+
+class TestQueryStream:
+    def test_submit_and_iterate(self):
+        stream = QueryStream()
+        idx = stream.submit(ItemSupportQuery(1), threshold=10.0)
+        assert idx == 0
+        assert len(stream) == 1
+        (entry,) = list(stream)
+        assert entry[1] == 10.0
+
+    def test_max_sensitivity(self):
+        stream = QueryStream()
+        stream.submit(ItemSupportQuery(0))
+        assert stream.max_sensitivity == 1.0
+
+    def test_all_monotonic(self):
+        stream = QueryStream()
+        assert not stream.all_monotonic  # empty: no promise
+        stream.submit(ItemSupportQuery(0))
+        assert stream.all_monotonic
+
+    def test_rejects_non_query(self):
+        with pytest.raises(QueryError):
+            QueryStream().submit("not a query")

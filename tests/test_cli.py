@@ -1,0 +1,124 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.data.loaders import load_transactions
+
+
+class TestGenerate:
+    def test_supports_format(self, tmp_path, capsys):
+        out = tmp_path / "zipf.txt"
+        code = main(["generate", "Zipf", "--scale", "0.01", "--out", str(out)])
+        assert code == 0
+        values = [int(v) for v in out.read_text().split()]
+        assert len(values) == 100
+        assert values == sorted(values, reverse=True)
+        assert "wrote 100 item supports" in capsys.readouterr().out
+
+    def test_dat_format(self, tmp_path, capsys):
+        out = tmp_path / "db.dat"
+        code = main(
+            [
+                "generate", "BMS-POS", "--scale", "0.01", "--out", str(out),
+                "--format", "dat", "--records", "200", "--seed", "1",
+            ]
+        )
+        assert code == 0
+        db = load_transactions(out)
+        assert db.num_records <= 200  # empty transactions are kept, so <= is exact count
+        assert "transactions" in capsys.readouterr().out
+
+
+class TestSelect:
+    @pytest.fixture
+    def scores_file(self, tmp_path):
+        path = tmp_path / "scores.txt"
+        path.write_text("\n".join(str(100 - i) for i in range(50)))
+        return path
+
+    def test_em_selection(self, scores_file, capsys):
+        code = main(
+            [
+                "select", str(scores_file), "--epsilon", "100", "-c", "5",
+                "--method", "em", "--monotonic", "--seed", "0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SER=0.0000" in out
+        assert "selected 5/5" in out
+
+    def test_svt_needs_threshold(self, scores_file, capsys):
+        code = main(
+            ["select", str(scores_file), "--epsilon", "1", "-c", "5", "--method", "svt"]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_svt_with_threshold(self, scores_file, capsys):
+        code = main(
+            [
+                "select", str(scores_file), "--epsilon", "100", "-c", "5",
+                "--method", "svt", "--threshold", "95", "--seed", "0",
+            ]
+        )
+        assert code == 0
+        assert "selected" in capsys.readouterr().out
+
+
+class TestMine:
+    def test_mining_runs(self, tmp_path, capsys):
+        db_path = tmp_path / "db.dat"
+        rng = np.random.default_rng(0)
+        lines = []
+        for _ in range(300):
+            items = [i for i in range(6) if rng.random() < 0.7 - 0.1 * i]
+            lines.append(" ".join(str(i) for i in items) or "0")
+        db_path.write_text("\n".join(lines) + "\n")
+        code = main(
+            [
+                "mine", str(db_path), "--epsilon", "50", "-c", "4",
+                "--counts", "--seed", "0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "4 itemsets selected" in out
+        assert "noisy support" in out
+
+
+class TestAudit:
+    def test_private_variant_passes(self, capsys):
+        code = main(["audit", "alg1", "--epsilon", "1.0", "-c", "2"])
+        assert code == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_broken_variant_flagged(self, capsys):
+        code = main(["audit", "alg5", "--epsilon", "1.0"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "VIOLATED" in out
+
+    def test_alg4_flagged(self, capsys):
+        code = main(["audit", "alg4", "--epsilon", "1.0", "-c", "2"])
+        assert code == 1
+        assert "VIOLATED" in capsys.readouterr().out
+
+
+class TestExperiment:
+    def test_tiny_experiment(self, capsys):
+        code = main(["experiment", "--tiny", "--no-charts"])
+        assert code == 0
+        assert "Figure 5" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

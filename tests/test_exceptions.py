@@ -1,0 +1,52 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.exceptions import (
+    BudgetExhaustedError,
+    DatasetError,
+    InvalidParameterError,
+    NonPrivateMechanismError,
+    PrivacyError,
+    QueryError,
+    ReproError,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc_type in (
+            PrivacyError,
+            BudgetExhaustedError,
+            NonPrivateMechanismError,
+            InvalidParameterError,
+            DatasetError,
+            QueryError,
+        ):
+            assert issubclass(exc_type, ReproError)
+
+    def test_privacy_subtree(self):
+        assert issubclass(BudgetExhaustedError, PrivacyError)
+        assert issubclass(NonPrivateMechanismError, PrivacyError)
+
+    def test_invalid_parameter_is_value_error(self):
+        """Callers using plain `except ValueError` still catch bad params."""
+        assert issubclass(InvalidParameterError, ValueError)
+
+    def test_single_except_catches_everything(self):
+        with pytest.raises(ReproError):
+            raise QueryError("query boom")
+        with pytest.raises(ReproError):
+            raise BudgetExhaustedError(requested=1.0, remaining=0.5)
+
+
+class TestBudgetExhausted:
+    def test_carries_amounts(self):
+        exc = BudgetExhaustedError(requested=0.7, remaining=0.25)
+        assert exc.requested == 0.7
+        assert exc.remaining == 0.25
+
+    def test_message_mentions_both(self):
+        exc = BudgetExhaustedError(requested=0.7, remaining=0.25)
+        assert "0.7" in str(exc)
+        assert "0.25" in str(exc)

@@ -1,0 +1,78 @@
+"""Tests for repro.rng."""
+
+import numpy as np
+import pytest
+
+from repro.rng import derive_rng, ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1_000_000)
+        b = ensure_rng(42).integers(0, 1_000_000)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).integers(0, 2**63)
+        b = ensure_rng(2).integers(0, 2**63)
+        assert a != b
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(7)
+        assert ensure_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(5)
+        assert isinstance(ensure_rng(seq), np.random.Generator)
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not a seed")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_children_independent_and_deterministic(self):
+        first = [g.integers(0, 2**63) for g in spawn_rngs(9, 3)]
+        second = [g.integers(0, 2**63) for g in spawn_rngs(9, 3)]
+        assert first == second
+        assert len(set(first)) == 3
+
+    def test_zero_children(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_from_generator(self):
+        gen = np.random.default_rng(3)
+        children = spawn_rngs(gen, 2)
+        assert len(children) == 2
+
+
+class TestDeriveRng:
+    def test_same_keys_same_stream(self):
+        a = derive_rng(100, "figure4", "kosarak", 25).integers(0, 2**63)
+        b = derive_rng(100, "figure4", "kosarak", 25).integers(0, 2**63)
+        assert a == b
+
+    def test_different_keys_different_stream(self):
+        a = derive_rng(100, "figure4", "kosarak").integers(0, 2**63)
+        b = derive_rng(100, "figure4", "aol").integers(0, 2**63)
+        assert a != b
+
+    def test_different_base_seed_different_stream(self):
+        a = derive_rng(1, "x").integers(0, 2**63)
+        b = derive_rng(2, "x").integers(0, 2**63)
+        assert a != b
+
+    def test_int_keys_supported(self):
+        a = derive_rng(0, 1, 2, 3).integers(0, 2**63)
+        b = derive_rng(0, 1, 2, 3).integers(0, 2**63)
+        assert a == b

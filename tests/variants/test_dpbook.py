@@ -1,0 +1,108 @@
+"""Tests for Alg. 2 (SVT-DPBook)."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core.base import ABOVE, BELOW
+from repro.variants.dpbook import run_dpbook, run_dpbook_batch
+
+
+class TestStreaming:
+    def test_obvious_outcomes(self):
+        result = run_dpbook([1e6, -1e6, 1e6], epsilon=100.0, c=5, thresholds=0.0, rng=0)
+        assert result.answers == [ABOVE, BELOW, ABOVE]
+
+    def test_halts_at_c(self):
+        result = run_dpbook([1e6] * 10, epsilon=100.0, c=2, rng=0)
+        assert result.processed == 2
+        assert result.halted
+
+    def test_threshold_refreshed_after_each_positive(self):
+        """Alg. 2's defining quirk: one fresh rho per positive outcome."""
+        result = run_dpbook([1e6, -1e6, 1e6, 1e6], epsilon=100.0, c=5, rng=0)
+        # initial rho + one refresh per positive (3 positives).
+        assert len(result.noisy_threshold_trace) == 1 + result.num_positives
+
+    def test_threshold_noise_scales_with_c(self):
+        """rho ~ Lap(c Delta / eps1): spread grows linearly in c."""
+        def rho_spread(c):
+            draws = [
+                run_dpbook([0.0], epsilon=1.0, c=c, rng=seed).noisy_threshold_trace[0]
+                for seed in range(300)
+            ]
+            return np.std(draws)
+
+        assert rho_spread(50) > 5 * rho_spread(1)
+
+    def test_no_positives_no_refresh(self):
+        result = run_dpbook([-1e6] * 4, epsilon=100.0, c=2, rng=0)
+        assert len(result.noisy_threshold_trace) == 1
+
+
+class TestBatchEquivalence:
+    def test_same_semantics_obvious_case(self):
+        stream = run_dpbook([1e6, -1e6, 1e6], epsilon=100.0, c=5, rng=0)
+        batch = run_dpbook_batch([1e6, -1e6, 1e6], epsilon=100.0, c=5, rng=0)
+        assert stream.positives == batch.positives
+        assert stream.processed == batch.processed
+
+    def test_positive_count_distribution_matches(self):
+        answers = np.array([1.0, 0.0, 2.0, -1.0, 1.5])
+        trials = 3_000
+        stream_counts = np.bincount(
+            [
+                run_dpbook(answers, 2.0, 2, thresholds=1.0, rng=1_000 + i).num_positives
+                for i in range(trials)
+            ],
+            minlength=3,
+        )
+        batch_counts = np.bincount(
+            [
+                run_dpbook_batch(answers, 2.0, 2, thresholds=1.0, rng=9_000 + i).num_positives
+                for i in range(trials)
+            ],
+            minlength=3,
+        )
+        _, p, _, _ = stats.chi2_contingency(np.vstack([stream_counts, batch_counts]) + 1)
+        assert p > 0.001
+
+    def test_batch_halting(self):
+        result = run_dpbook_batch([1e6] * 8, epsilon=100.0, c=3, rng=0)
+        assert result.halted
+        assert result.processed == 3
+
+    def test_batch_no_positives(self):
+        result = run_dpbook_batch([-1e6] * 4, epsilon=100.0, c=3, rng=0)
+        assert result.processed == 4
+        assert result.num_positives == 0
+
+
+class TestUtilityGapVsAlg1:
+    def test_dpbook_less_accurate_than_alg1_at_large_c(self):
+        """The Section-6 headline: Alg. 2's c-scaled threshold noise hurts.
+
+        With c = 25 and a clear gap between "big" and "small" answers, Alg. 1
+        classifies almost perfectly while Alg. 2's noisy threshold misplaces
+        many more answers.
+        """
+        from repro.core.allocation import BudgetAllocation
+        from repro.core.svt import run_svt_batch
+
+        rng = np.random.default_rng(0)
+        c = 25
+        scores = np.concatenate([np.full(c, 200.0), np.zeros(100)])
+        epsilon, threshold = 2.0, 100.0
+
+        def fnr_alg1(seed):
+            allocation = BudgetAllocation.from_ratio(epsilon, c, ratio="1:1")
+            res = run_svt_batch(scores, allocation, c, thresholds=threshold, rng=seed)
+            return 1.0 - sum(1 for i in res.positives if i < c) / c
+
+        def fnr_dpbook(seed):
+            res = run_dpbook_batch(scores, epsilon, c, thresholds=threshold, rng=seed)
+            return 1.0 - sum(1 for i in res.positives if i < c) / c
+
+        alg1_mean = np.mean([fnr_alg1(i) for i in range(40)])
+        dpbook_mean = np.mean([fnr_dpbook(i) for i in range(40)])
+        assert alg1_mean < dpbook_mean

@@ -1,0 +1,70 @@
+"""Tests for the runnable GPTT mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import ABOVE, BELOW
+from repro.exceptions import InvalidParameterError, NonPrivateMechanismError
+from repro.variants.chen import run_chen
+from repro.variants.gptt import run_gptt
+
+
+class TestGuard:
+    def test_refuses_without_opt_in(self):
+        with pytest.raises(NonPrivateMechanismError):
+            run_gptt([1.0], eps1=0.5, eps2=0.5)
+
+    def test_invalid_epsilons(self):
+        with pytest.raises(InvalidParameterError):
+            run_gptt([1.0], eps1=0.0, eps2=0.5, allow_non_private=True)
+
+
+class TestBehaviour:
+    def test_obvious_outcomes(self):
+        result = run_gptt(
+            [1e6, -1e6], eps1=50.0, eps2=50.0, rng=0, allow_non_private=True
+        )
+        assert result.answers == [ABOVE, BELOW]
+
+    def test_no_cutoff(self):
+        result = run_gptt(
+            [1e6] * 40, eps1=50.0, eps2=50.0, rng=0, allow_non_private=True
+        )
+        assert result.num_positives == 40
+        assert not result.halted
+
+    def test_even_split_is_alg6_seedwise(self):
+        """GPTT(eps/2, eps/2) reproduces Alg. 6 exactly, same seed."""
+        answers = np.array([0.5, -0.3, 1.2, 0.1])
+        eps = 1.0
+        gptt = run_gptt(
+            answers, eps1=eps / 2, eps2=eps / 2, thresholds=0.2, rng=9,
+            allow_non_private=True,
+        )
+        chen = run_chen(answers, eps, thresholds=0.2, rng=9, allow_non_private=True)
+        assert gptt.positives == chen.positives
+        assert gptt.noisy_threshold_trace == chen.noisy_threshold_trace
+
+    def test_uneven_split_changes_noise_profile(self):
+        """Larger eps1 -> tighter threshold noise (visible in rho spread)."""
+        def rho_spread(eps1):
+            draws = [
+                run_gptt(
+                    [0.0], eps1=eps1, eps2=0.5, rng=seed, allow_non_private=True
+                ).noisy_threshold_trace[0]
+                for seed in range(300)
+            ]
+            return np.std(draws)
+
+        assert rho_spread(2.0) < rho_spread(0.1)
+
+    def test_per_query_thresholds(self):
+        result = run_gptt(
+            [50.0, 50.0],
+            eps1=50.0,
+            eps2=50.0,
+            thresholds=[0.0, 100.0],
+            rng=0,
+            allow_non_private=True,
+        )
+        assert result.answers == [ABOVE, BELOW]

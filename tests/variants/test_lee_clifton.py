@@ -1,0 +1,74 @@
+"""Tests for Alg. 4 (Lee & Clifton — budget understated ~1.5c×)."""
+
+import pytest
+
+from repro.core.base import ABOVE, BELOW
+from repro.exceptions import NonPrivateMechanismError
+from repro.variants.lee_clifton import lee_clifton_actual_epsilon, run_lee_clifton
+
+
+class TestActualEpsilon:
+    def test_general_formula(self):
+        # ((1+6c)/4) eps
+        assert lee_clifton_actual_epsilon(0.4, c=2) == pytest.approx((13 / 4) * 0.4)
+
+    def test_monotonic_formula(self):
+        # ((1+3c)/4) eps
+        assert lee_clifton_actual_epsilon(0.4, c=2, monotonic=True) == pytest.approx(
+            (7 / 4) * 0.4
+        )
+
+    def test_c_one_still_not_advertised(self):
+        assert lee_clifton_actual_epsilon(1.0, c=1) == pytest.approx(7 / 4)
+
+    def test_grows_linearly_in_c(self):
+        small = lee_clifton_actual_epsilon(1.0, c=10)
+        large = lee_clifton_actual_epsilon(1.0, c=100)
+        assert large / small == pytest.approx(601 / 61)
+
+
+class TestRunner:
+    def test_refuses_without_opt_in(self):
+        with pytest.raises(NonPrivateMechanismError):
+            run_lee_clifton([1.0], epsilon=1.0, c=1)
+
+    def test_obvious_outcomes(self):
+        result = run_lee_clifton(
+            [1e6, -1e6], epsilon=100.0, c=5, rng=0, allow_non_private=True
+        )
+        assert result.answers == [ABOVE, BELOW]
+
+    def test_halts_at_c(self):
+        result = run_lee_clifton(
+            [1e6] * 4, epsilon=100.0, c=2, rng=0, allow_non_private=True
+        )
+        assert result.processed == 2
+        assert result.halted
+
+    def test_query_noise_does_not_scale_with_c(self):
+        """Alg. 4's defect: selection accuracy does NOT degrade as c grows.
+
+        For a correct SVT, query noise grows with c; Alg. 4 keeps the same
+        noise and silently pays more privacy instead.  We verify the noise
+        level via the false-crossing rate of a borderline-ish query, which
+        should be identical for c=1 and c=50.
+        """
+        import numpy as np
+
+        def crossing_rate(c, base):
+            fires = 0
+            for i in range(600):
+                result = run_lee_clifton(
+                    [5.0],
+                    epsilon=1.0,
+                    c=c,
+                    thresholds=10.0,
+                    rng=base + i,
+                    allow_non_private=True,
+                )
+                fires += bool(result.positives)
+            return fires / 600
+
+        r1 = crossing_rate(1, 10_000)
+        r50 = crossing_rate(50, 50_000)
+        assert abs(r1 - r50) < 0.06

@@ -1,0 +1,114 @@
+"""Tests for the Figure-2 registry."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError, NonPrivateMechanismError
+from repro.variants.registry import ALGORITHMS, figure2_table, get_variant
+
+
+class TestLookup:
+    def test_all_six_present(self):
+        assert sorted(ALGORITHMS) == [f"alg{i}" for i in range(1, 7)]
+
+    @pytest.mark.parametrize("key", ["alg3", "Alg. 3", "ALG3", "3"])
+    def test_flexible_keys(self, key):
+        assert get_variant(key).key == "alg3"
+
+    def test_unknown_key(self):
+        with pytest.raises(InvalidParameterError):
+            get_variant("alg7")
+
+
+class TestFigure2Metadata:
+    def test_privacy_flags_match_paper(self):
+        expected = {
+            "alg1": True,
+            "alg2": True,
+            "alg3": False,
+            "alg4": False,
+            "alg5": False,
+            "alg6": False,
+        }
+        for key, private in expected.items():
+            assert ALGORITHMS[key].is_private == private
+
+    def test_eps1_fractions(self):
+        assert ALGORITHMS["alg4"].eps1_fraction == 0.25
+        assert all(
+            ALGORITHMS[k].eps1_fraction == 0.5 for k in ("alg1", "alg2", "alg3", "alg5", "alg6")
+        )
+
+    def test_threshold_noise_scales(self):
+        c, delta, eps1 = 10, 1.0, 0.05
+        # Only Alg. 2 carries the factor c.
+        assert ALGORITHMS["alg2"].threshold_noise_scale(c, delta, eps1) == pytest.approx(
+            c * delta / eps1
+        )
+        for key in ("alg1", "alg3", "alg4", "alg5", "alg6"):
+            assert ALGORITHMS[key].threshold_noise_scale(c, delta, eps1) == pytest.approx(
+                delta / eps1
+            )
+
+    def test_query_noise_scales(self):
+        c, delta, eps = 10, 1.0, 0.05
+        assert ALGORITHMS["alg1"].query_noise_scale(c, delta, eps) == pytest.approx(
+            2 * c * delta / eps
+        )
+        assert ALGORITHMS["alg3"].query_noise_scale(c, delta, eps) == pytest.approx(
+            c * delta / eps
+        )
+        assert ALGORITHMS["alg5"].query_noise_scale(c, delta, eps) == 0.0
+        assert ALGORITHMS["alg6"].query_noise_scale(c, delta, eps) == pytest.approx(
+            delta / eps
+        )
+
+    def test_structural_flags(self):
+        assert ALGORITHMS["alg2"].resets_threshold_noise
+        assert ALGORITHMS["alg3"].outputs_numeric_answer
+        assert ALGORITHMS["alg5"].unbounded_positives
+        assert ALGORITHMS["alg6"].unbounded_positives
+        assert not ALGORITHMS["alg1"].unbounded_positives
+
+    def test_alg4_actual_epsilon_attached(self):
+        info = ALGORITHMS["alg4"]
+        assert info.actual_epsilon is not None
+        assert info.actual_epsilon(1.0, 2) == pytest.approx(13 / 4)
+
+
+class TestUniformRunner:
+    def test_private_variants_run_without_opt_in(self):
+        for key in ("alg1", "alg2"):
+            result = get_variant(key).run(
+                [1e6, -1e6], epsilon=100.0, c=2, thresholds=0.0, rng=0
+            )
+            assert result.num_positives == 1
+
+    @pytest.mark.parametrize("key", ["alg3", "alg4", "alg5", "alg6"])
+    def test_non_private_variants_guarded(self, key):
+        with pytest.raises(NonPrivateMechanismError):
+            get_variant(key).run([1.0], epsilon=1.0, c=1, thresholds=0.0, rng=0)
+
+    @pytest.mark.parametrize("key", ["alg3", "alg4", "alg5", "alg6"])
+    def test_non_private_variants_run_with_opt_in(self, key):
+        result = get_variant(key).run(
+            [1e6, -1e6],
+            epsilon=100.0,
+            c=2,
+            thresholds=0.0,
+            rng=0,
+            allow_non_private=True,
+        )
+        assert result.num_positives >= 1
+
+
+class TestTableRendering:
+    def test_mentions_every_listing(self):
+        table = figure2_table()
+        for i in range(1, 7):
+            assert f"Alg. {i}" in table
+
+    def test_privacy_row_contents(self):
+        table = figure2_table()
+        assert "infinity-DP" in table
+        assert "((1+6c)/4)eps-DP" in table

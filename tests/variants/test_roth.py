@@ -1,0 +1,54 @@
+"""Tests for Alg. 3 (Roth lecture notes — ∞-DP)."""
+
+import pytest
+
+from repro.core.base import BELOW
+from repro.exceptions import NonPrivateMechanismError
+from repro.variants.roth import run_roth
+
+
+class TestOptIn:
+    def test_refuses_without_opt_in(self):
+        with pytest.raises(NonPrivateMechanismError):
+            run_roth([1.0], epsilon=1.0, c=1)
+
+    def test_error_names_the_defect(self):
+        with pytest.raises(NonPrivateMechanismError, match="noisy query answer"):
+            run_roth([1.0], epsilon=1.0, c=1)
+
+
+class TestBehaviour:
+    def test_positive_outputs_numeric(self):
+        result = run_roth(
+            [1e6], epsilon=100.0, c=1, thresholds=0.0, rng=0, allow_non_private=True
+        )
+        assert isinstance(result.answers[0], float)
+        assert result.answers[0] == pytest.approx(1e6, rel=0.01)
+
+    def test_negative_outputs_bottom(self):
+        result = run_roth(
+            [-1e6], epsilon=100.0, c=1, rng=0, allow_non_private=True
+        )
+        assert result.answers[0] is BELOW
+
+    def test_released_value_reuses_comparison_noise(self):
+        """The released value must be exactly the q+nu that won the comparison.
+
+        With huge epsilon the noise is tiny but nonzero; the released value
+        equals q + nu, and crucially is >= the noisy threshold (that
+        correlation is the leak).
+        """
+        result = run_roth(
+            [10.0], epsilon=1.0, c=1, thresholds=0.0, rng=42, allow_non_private=True
+        )
+        if result.positives:
+            released = result.answers[0]
+            rho = result.noisy_threshold_trace[0]
+            assert released >= 0.0 + rho
+
+    def test_halts_after_c(self):
+        result = run_roth(
+            [1e6] * 5, epsilon=100.0, c=2, rng=0, allow_non_private=True
+        )
+        assert result.processed == 2
+        assert result.halted
