@@ -10,6 +10,7 @@ import pytest
 from repro.core.allocation import BudgetAllocation
 from repro.core.retraversal import svt_retraversal
 from repro.core.svt import run_svt_batch
+from repro.engine import run_trials
 from repro.mechanisms.exponential import select_top_c_em
 from repro.mechanisms.laplace import LaplaceMechanism
 from repro.variants.dpbook import run_dpbook_batch
@@ -73,6 +74,22 @@ def test_svt_retraversal_throughput(benchmark, scores):
 
     result = benchmark(run)
     assert result.num_selected <= C
+
+
+@pytest.mark.benchmark(group="micro")
+def test_engine_trials_throughput(benchmark, scores):
+    """A whole Monte-Carlo cell (32 trials) through the multi-trial engine."""
+    threshold = float(scores[C])
+
+    def run():
+        return run_trials(
+            "alg1", scores, 0.1, C, trials=32,
+            thresholds=threshold, ratio="1:c^(2/3)", monotonic=True, rng=6,
+        )
+
+    result = benchmark(run)
+    assert result.trials == 32
+    assert np.all(result.num_positives <= C)
 
 
 @pytest.mark.benchmark(group="micro")

@@ -35,7 +35,7 @@ import numpy as np
 from scipy import integrate, optimize
 
 from repro.exceptions import InvalidParameterError
-from repro.mechanisms.laplace import laplace_cdf, laplace_pdf, laplace_ppf
+from repro.mechanisms.laplace import laplace_cdf, laplace_pdf, laplace_ppf, laplace_sf
 
 __all__ = [
     "gptt_kappa",
@@ -89,24 +89,24 @@ def gptt_counterexample_ratio(
     rho_scale = sensitivity / eps_half
     nu_scale = sensitivity / eps_half
 
-    def log_num_integrand(z: float) -> float:
-        f_z = float(laplace_cdf(z, nu_scale))
-        sf_z1 = 1.0 - float(laplace_cdf(z - sensitivity, nu_scale))
-        if f_z <= 0.0 or sf_z1 <= 0.0:
-            return -math.inf
-        return math.log(laplace_pdf(z, rho_scale)) + t * (math.log(f_z) + math.log(sf_z1))
+    # Everything is evaluated on the whole grid at once; log(0) -> -inf is the
+    # wanted limit, so just silence the warning.
+    def log_num_integrand(z: np.ndarray) -> np.ndarray:
+        f_z = laplace_cdf(z, nu_scale)
+        sf_z1 = laplace_sf(z - sensitivity, nu_scale)
+        with np.errstate(divide="ignore"):
+            return np.log(laplace_pdf(z, rho_scale)) + t * (np.log(f_z) + np.log(sf_z1))
 
-    def log_den_integrand(z: float) -> float:
-        f_z1 = float(laplace_cdf(z - sensitivity, nu_scale))
-        sf_z = 1.0 - float(laplace_cdf(z, nu_scale))
-        if f_z1 <= 0.0 or sf_z <= 0.0:
-            return -math.inf
-        return math.log(laplace_pdf(z, rho_scale)) + t * (math.log(f_z1) + math.log(sf_z))
+    def log_den_integrand(z: np.ndarray) -> np.ndarray:
+        f_z1 = laplace_cdf(z - sensitivity, nu_scale)
+        sf_z = laplace_sf(z, nu_scale)
+        with np.errstate(divide="ignore"):
+            return np.log(laplace_pdf(z, rho_scale)) + t * (np.log(f_z1) + np.log(sf_z))
 
     def integrate_log(fn) -> float:
         # Shift by the max of the log-integrand so huge t stays in range.
         grid = np.linspace(-40.0 * rho_scale, 40.0 * rho_scale, 20001)
-        values = np.array([fn(z) for z in grid])
+        values = fn(grid)
         peak = float(values.max())
         if peak == -math.inf:
             return -math.inf
@@ -202,27 +202,23 @@ def broken_proof_would_condemn_alg1(
     # delta such that Pr[|rho| <= delta] >= 1 - alpha/2, i.e. each tail alpha/4.
     delta_interval = abs(float(laplace_ppf(alpha / 4.0, rho_scale)))
 
-    def kappa_of(z: float) -> float:
-        f_z = float(laplace_cdf(z, nu_scale))
-        f_z1 = float(laplace_cdf(z - sensitivity, nu_scale))
-        return f_z / f_z1 if f_z1 > 0 else math.inf
+    def kappa_min_on(grid: np.ndarray) -> float:
+        f_z = laplace_cdf(grid, nu_scale)
+        f_z1 = laplace_cdf(grid - sensitivity, nu_scale)
+        ratio = np.where(f_z1 > 0, f_z / np.where(f_z1 > 0, f_z1, 1.0), np.inf)
+        return float(ratio.min())
 
     # kappa is minimized at the right end of the interval (F(z)/F(z-1) is
     # non-increasing in z for the Laplace CDF), but we scan to stay honest.
-    grid = np.linspace(-delta_interval, delta_interval, 4001)
-    kappa_min = float(min(kappa_of(z) for z in grid))
+    kappa_min = kappa_min_on(np.linspace(-delta_interval, delta_interval, 4001))
 
     # The template's *claim* freezes kappa at a reference t0 and lets t grow.
     t0 = 10
     if t <= t0:
         kappa_frozen = kappa_min
     else:
-        grid0 = np.linspace(
-            -broken_proof_interval(t0, epsilon, sensitivity),
-            broken_proof_interval(t0, epsilon, sensitivity),
-            4001,
-        )
-        kappa_frozen = float(min(kappa_of(z) for z in grid0))
+        half0 = broken_proof_interval(t0, epsilon, sensitivity)
+        kappa_frozen = kappa_min_on(np.linspace(-half0, half0, 4001))
 
     return BrokenProofReport(
         t=t,

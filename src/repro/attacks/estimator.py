@@ -27,12 +27,29 @@ def event_frequency(
     event: Callable[[object], bool],
     trials: int,
     rng: RngLike = None,
+    vectorized: bool = False,
 ) -> float:
-    """Fraction of *trials* runs of *mechanism* whose output satisfies *event*."""
+    """Fraction of *trials* runs of *mechanism* whose output satisfies *event*.
+
+    With ``vectorized=True`` the mechanism is called **once** with the whole
+    list of per-trial generators and must return one output per generator —
+    the protocol of :func:`repro.engine.trials.transcript_sampler`, which
+    runs every trial through the batch engine in a single pass.  Trial i
+    still owns generator i, so a vectorized mechanism that honors the
+    per-stream discipline is output-identical to the per-trial loop.
+    """
     if trials <= 0:
         raise InvalidParameterError("trials must be positive")
     rngs = spawn_rngs(rng, trials)
-    hits = sum(1 for gen in rngs if event(mechanism(gen)))
+    if vectorized:
+        outputs = mechanism(rngs)
+        if len(outputs) != trials:
+            raise InvalidParameterError(
+                f"vectorized mechanism returned {len(outputs)} outputs for {trials} trials"
+            )
+        hits = sum(1 for out in outputs if event(out))
+    else:
+        hits = sum(1 for gen in rngs if event(mechanism(gen)))
     return hits / trials
 
 
@@ -60,6 +77,7 @@ def estimate_event_epsilon(
     event: Callable[[object], bool],
     trials: int = 20_000,
     rng: RngLike = None,
+    vectorized: bool = False,
 ) -> EpsilonEstimate:
     """Estimate ``|ln Pr_D[event] - ln Pr_D'[event]|`` by simulation.
 
@@ -71,8 +89,8 @@ def estimate_event_epsilon(
     if trials <= 1:
         raise InvalidParameterError("trials must be > 1")
     rng_d, rng_dp = spawn_rngs(rng, 2)
-    p_d = event_frequency(mechanism_d, event, trials, rng_d)
-    p_dp = event_frequency(mechanism_d_prime, event, trials, rng_dp)
+    p_d = event_frequency(mechanism_d, event, trials, rng_d, vectorized=vectorized)
+    p_dp = event_frequency(mechanism_d_prime, event, trials, rng_dp, vectorized=vectorized)
     # Additive (Laplace-rule) smoothing keeps zero counts finite.
     smooth_d = (p_d * trials + 1.0) / (trials + 2.0)
     smooth_dp = (p_dp * trials + 1.0) / (trials + 2.0)

@@ -1,0 +1,58 @@
+"""The vectorized batch execution engine.
+
+One subsystem for running SVT variants over whole query arrays — and whole
+Monte-Carlo trial batches — without a Python-level inner loop:
+
+* :mod:`repro.engine.noise` — block samplers for threshold/query noise,
+  with an optional per-trial-stream mode that stays bit-compatible with
+  query-at-a-time loops;
+* :mod:`repro.engine.kernels` — pure noise-in/transcript-out kernels, each
+  with a streaming reference twin used by the equivalence test suite;
+* :mod:`repro.engine.batch` — single-run ``run_*_batch`` counterparts of
+  every :mod:`repro.variants` implementation;
+* :mod:`repro.engine.trials` — the multi-trial layer: all trials of a
+  (variant, epsilon, c) cell in one pass, with vectorized SER/FNR.
+
+The experiment harness (:mod:`repro.experiments`), the attack estimator
+(:mod:`repro.attacks.estimator`), and the registry's
+:meth:`~repro.variants.registry.VariantInfo.run_batch` dispatch all route
+through here.
+"""
+
+from repro.engine.batch import (
+    run_chen_batch,
+    run_dpbook_batch,
+    run_gptt_batch,
+    run_lee_clifton_batch,
+    run_roth_batch,
+    run_stoddard_batch,
+    run_svt_batch,
+)
+from repro.engine.noise import TrialRngs, laplace_matrix, laplace_vector
+from repro.engine.trials import (
+    TrialBatch,
+    cut_matrix,
+    run_trials,
+    selection_matrix,
+    svt_selection_matrix,
+    transcript_sampler,
+)
+
+__all__ = [
+    "TrialRngs",
+    "laplace_matrix",
+    "laplace_vector",
+    "run_svt_batch",
+    "run_dpbook_batch",
+    "run_roth_batch",
+    "run_lee_clifton_batch",
+    "run_stoddard_batch",
+    "run_chen_batch",
+    "run_gptt_batch",
+    "TrialBatch",
+    "cut_matrix",
+    "selection_matrix",
+    "svt_selection_matrix",
+    "run_trials",
+    "transcript_sampler",
+]

@@ -1,0 +1,161 @@
+"""Single-run vectorized batch execution for every SVT variant.
+
+These are the drop-in batch counterparts of the streaming implementations in
+:mod:`repro.variants`: same signatures, same validation, same opt-in guard
+for the non-private variants, but the whole query array is processed with
+block noise draws and a cumsum halt-point instead of a Python loop.
+
+Draw-order compatibility: each ``run_*_batch`` samples its noise in exactly
+the order the streaming form does — one rho, then the query noise (a block
+draw consumes a NumPy bit stream identically to the equivalent scalar
+sequence).  For Alg. 3, 4, 5, 6 and GPTT this makes the batch form
+*seed-identical* to the streaming one: same ``rng`` in, same
+:class:`~repro.core.base.SVTResult` out, which the equivalence suite asserts
+exactly.  (Alg. 2 interleaves refresh draws with query draws mid-stream, so
+its batch form — :func:`repro.variants.dpbook.run_dpbook_batch`, re-exported
+here — is distributionally rather than seed-wise equivalent; the kernel-level
+tests pin its semantics instead.)
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.core.base import SVTResult, normalize_thresholds
+from repro.core.svt import run_svt_batch
+from repro.engine.kernels import nocut_kernel, threshold_kernel
+from repro.engine.plans import noise_plan
+from repro.exceptions import InvalidParameterError
+from repro.rng import RngLike, ensure_rng
+from repro.variants import chen as _chen
+from repro.variants import lee_clifton as _lee_clifton
+from repro.variants import roth as _roth
+from repro.variants import stoddard as _stoddard
+from repro.variants import gptt as _gptt
+from repro.variants._common import require_opt_in, validate_inputs
+from repro.variants.dpbook import run_dpbook_batch
+
+__all__ = [
+    "run_svt_batch",
+    "run_dpbook_batch",
+    "run_roth_batch",
+    "run_lee_clifton_batch",
+    "run_stoddard_batch",
+    "run_chen_batch",
+    "run_gptt_batch",
+]
+
+
+def run_roth_batch(
+    answers: Sequence[float],
+    epsilon: float,
+    c: int,
+    thresholds: Union[float, Sequence[float]] = 0.0,
+    sensitivity: float = 1.0,
+    rng: RngLike = None,
+    allow_non_private: bool = False,
+) -> SVTResult:
+    """Vectorized Alg. 3; seed-identical to :func:`repro.variants.roth.run_roth`."""
+    require_opt_in(allow_non_private, "Alg. 3 (Roth 2011 lecture notes)", _roth._DEFECT)
+    validate_inputs(epsilon, sensitivity, c)
+    values = np.asarray(answers, dtype=float)
+    thr = normalize_thresholds(thresholds, values.size)
+    gen = ensure_rng(rng)
+
+    plan = noise_plan("alg3", epsilon, c, float(sensitivity))
+    rho = float(gen.laplace(scale=plan.rho_scale))
+    nu = gen.laplace(scale=plan.nu_scale, size=values.size)
+    return threshold_kernel(values, thr, rho, nu, c, release_noisy=True)
+
+
+def run_lee_clifton_batch(
+    answers: Sequence[float],
+    epsilon: float,
+    c: int,
+    thresholds: Union[float, Sequence[float]] = 0.0,
+    sensitivity: float = 1.0,
+    rng: RngLike = None,
+    allow_non_private: bool = False,
+) -> SVTResult:
+    """Vectorized Alg. 4; seed-identical to :func:`repro.variants.lee_clifton.run_lee_clifton`."""
+    require_opt_in(
+        allow_non_private, "Alg. 4 (Lee & Clifton 2014)", _lee_clifton._DEFECT
+    )
+    validate_inputs(epsilon, sensitivity, c)
+    values = np.asarray(answers, dtype=float)
+    thr = normalize_thresholds(thresholds, values.size)
+    gen = ensure_rng(rng)
+
+    plan = noise_plan("alg4", epsilon, c, float(sensitivity))
+    rho = float(gen.laplace(scale=plan.rho_scale))
+    nu = gen.laplace(scale=plan.nu_scale, size=values.size)
+    return threshold_kernel(values, thr, rho, nu, c)
+
+
+def run_stoddard_batch(
+    answers: Sequence[float],
+    epsilon: float,
+    thresholds: Union[float, Sequence[float]] = 0.0,
+    sensitivity: float = 1.0,
+    rng: RngLike = None,
+    allow_non_private: bool = False,
+) -> SVTResult:
+    """Vectorized Alg. 5; seed-identical to :func:`repro.variants.stoddard.run_stoddard`."""
+    require_opt_in(allow_non_private, "Alg. 5 (Stoddard et al. 2014)", _stoddard._DEFECT)
+    validate_inputs(epsilon, sensitivity, None)
+    values = np.asarray(answers, dtype=float)
+    thr = normalize_thresholds(thresholds, values.size)
+    gen = ensure_rng(rng)
+
+    plan = noise_plan("alg5", epsilon, 1, float(sensitivity))
+    rho = float(gen.laplace(scale=plan.rho_scale))
+    return nocut_kernel(values, thr, rho, nu=None)
+
+
+def run_chen_batch(
+    answers: Sequence[float],
+    epsilon: float,
+    thresholds: Union[float, Sequence[float]] = 0.0,
+    sensitivity: float = 1.0,
+    rng: RngLike = None,
+    allow_non_private: bool = False,
+) -> SVTResult:
+    """Vectorized Alg. 6; seed-identical to :func:`repro.variants.chen.run_chen`."""
+    require_opt_in(allow_non_private, "Alg. 6 (Chen et al. 2015)", _chen._DEFECT)
+    validate_inputs(epsilon, sensitivity, None)
+    values = np.asarray(answers, dtype=float)
+    thr = normalize_thresholds(thresholds, values.size)
+    gen = ensure_rng(rng)
+
+    plan = noise_plan("alg6", epsilon, 1, float(sensitivity))
+    rho = float(gen.laplace(scale=plan.rho_scale))
+    nu = gen.laplace(scale=plan.nu_scale, size=values.size)
+    return nocut_kernel(values, thr, rho, nu)
+
+
+def run_gptt_batch(
+    answers: Sequence[float],
+    eps1: float,
+    eps2: float,
+    thresholds: Union[float, Sequence[float]] = 0.0,
+    sensitivity: float = 1.0,
+    rng: RngLike = None,
+    allow_non_private: bool = False,
+) -> SVTResult:
+    """Vectorized GPTT; seed-identical to :func:`repro.variants.gptt.run_gptt`."""
+    require_opt_in(
+        allow_non_private, "GPTT (Chen & Machanavajjhala 2015 model)", _gptt._DEFECT
+    )
+    if float(eps1) <= 0.0 or float(eps2) <= 0.0:
+        raise InvalidParameterError("eps1 and eps2 must both be > 0")
+    validate_inputs(eps1 + eps2, sensitivity, None)
+    values = np.asarray(answers, dtype=float)
+    thr = normalize_thresholds(thresholds, values.size)
+    gen = ensure_rng(rng)
+
+    delta = float(sensitivity)
+    rho = float(gen.laplace(scale=delta / eps1))
+    nu = gen.laplace(scale=delta / eps2, size=values.size)
+    return nocut_kernel(values, thr, rho, nu)

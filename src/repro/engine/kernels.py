@@ -1,0 +1,262 @@
+"""Pure SVT kernels: noise in, transcript out.
+
+Each kernel is a *deterministic* function of the true answers, thresholds,
+and pre-sampled noise — no generator in sight.  Sampling lives in
+:mod:`repro.engine.noise` / :mod:`repro.engine.batch`; keeping it out of the
+kernels means the batch ≡ streaming question becomes a statement about pure
+functions: feed both forms the exact same noise arrays and they must return
+the exact same :class:`~repro.core.base.SVTResult`, field for field.  The
+``*_stream`` twins are query-at-a-time Python transliterations of the
+Figure 1 listings and exist purely as the equivalence oracle (and as living
+documentation of what the vectorized forms compute).
+
+Kernel families, mapping onto the Figure 1 variants:
+
+* :func:`threshold_kernel` — one rho, i.i.d. query noise, halt at the c-th
+  positive.  Covers Alg. 1/7 (optionally with the independent eps3 numeric
+  phase), Alg. 3 (``release_noisy=True``: the positive *releases* the very
+  ``q_i + nu_i`` that won the comparison), and Alg. 4.
+* :func:`dpbook_kernel` — Alg. 2: the threshold noise is refreshed after
+  every positive, splitting the run into constant-rho segments; each segment
+  is one vectorized scan-then-cut.
+* :func:`nocut_kernel` — Alg. 5/6 and GPTT: no cutoff, every query is
+  processed, so the whole run is a single vectorized comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.base import ABOVE, BELOW, SVTResult
+from repro.exceptions import InvalidParameterError
+
+__all__ = [
+    "cut_at_cth_positive",
+    "threshold_kernel",
+    "threshold_kernel_stream",
+    "dpbook_kernel",
+    "dpbook_kernel_stream",
+    "nocut_kernel",
+    "nocut_kernel_stream",
+]
+
+
+def cut_at_cth_positive(above: np.ndarray, c: int) -> Tuple[int, bool]:
+    """Halt-point of a cutoff-c run given the full comparison vector.
+
+    Returns ``(processed, halted)``: the run consumes queries up to and
+    including the c-th positive, or the whole stream when fewer than c
+    comparisons succeed.
+    """
+    cum = np.cumsum(above)
+    hit = np.nonzero(cum == c)[0]
+    if hit.size and above[hit[0]]:
+        return int(hit[0]) + 1, True
+    return int(above.size), False
+
+
+def _as_values(values: Sequence[float]) -> np.ndarray:
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1:
+        raise InvalidParameterError("answers must be a 1-D sequence")
+    return arr
+
+
+def threshold_kernel(
+    values: Sequence[float],
+    thresholds: np.ndarray,
+    rho: float,
+    nu: np.ndarray,
+    c: int,
+    numeric_noise: Optional[np.ndarray] = None,
+    release_noisy: bool = False,
+) -> SVTResult:
+    """Vectorized single-rho cutoff kernel (Alg. 1/3/4/7).
+
+    ``numeric_noise`` (Alg. 7 eps3 phase) holds one fresh-noise draw per
+    positive ordinal; ``release_noisy`` (Alg. 3) instead releases the
+    comparison's own ``q_i + nu_i``.  The two are mutually exclusive.
+    """
+    if release_noisy and numeric_noise is not None:
+        raise InvalidParameterError("release_noisy excludes an independent numeric phase")
+    arr = _as_values(values)
+    noisy = arr + nu
+    above = noisy >= thresholds + rho
+    processed, halted = cut_at_cth_positive(above, c)
+    positives = np.nonzero(above[:processed])[0]
+
+    answers: list = [BELOW] * processed
+    if release_noisy:
+        for i in positives:
+            answers[int(i)] = float(noisy[i])
+    elif numeric_noise is not None:
+        for k, i in enumerate(positives):
+            answers[int(i)] = float(arr[i] + numeric_noise[k])
+    else:
+        for i in positives:
+            answers[int(i)] = ABOVE
+    return SVTResult(
+        answers=answers,
+        positives=[int(i) for i in positives],
+        processed=processed,
+        halted=halted,
+        noisy_threshold_trace=[float(rho)],
+    )
+
+
+def threshold_kernel_stream(
+    values: Sequence[float],
+    thresholds: np.ndarray,
+    rho: float,
+    nu: np.ndarray,
+    c: int,
+    numeric_noise: Optional[np.ndarray] = None,
+    release_noisy: bool = False,
+) -> SVTResult:
+    """Query-at-a-time reference for :func:`threshold_kernel`."""
+    if release_noisy and numeric_noise is not None:
+        raise InvalidParameterError("release_noisy excludes an independent numeric phase")
+    arr = _as_values(values)
+    result = SVTResult(noisy_threshold_trace=[float(rho)])
+    count = 0
+    for i in range(arr.size):
+        noisy = arr[i] + nu[i]
+        result.processed += 1
+        if noisy >= thresholds[i] + rho:
+            result.positives.append(i)
+            if release_noisy:
+                result.answers.append(float(noisy))
+            elif numeric_noise is not None:
+                result.answers.append(float(arr[i] + numeric_noise[count]))
+            else:
+                result.answers.append(ABOVE)
+            count += 1
+            if count >= c:
+                result.halted = True
+                break
+        else:
+            result.answers.append(BELOW)
+    return result
+
+
+def dpbook_kernel(
+    values: Sequence[float],
+    thresholds: np.ndarray,
+    rhos: np.ndarray,
+    nu: np.ndarray,
+    c: int,
+) -> SVTResult:
+    """Vectorized Alg. 2 kernel: segmented rescans with per-segment rho.
+
+    ``rhos[0]`` is the initial threshold noise; ``rhos[k]`` the refresh used
+    after the k-th positive (the listing refreshes after *every* positive,
+    including the c-th, so up to ``c + 1`` entries are consumed — pass at
+    least that many).  Each query is examined exactly once; a "segment" is a
+    maximal run under one rho, ended by a positive, and within a segment the
+    comparison is one vectorized scan.
+    """
+    arr = _as_values(values)
+    n = arr.size
+    if len(rhos) < min(c, n) + 1:
+        raise InvalidParameterError(f"need at least min(c, n)+1 threshold draws, got {len(rhos)}")
+    noisy = arr + nu
+
+    rho = float(rhos[0])
+    trace = [rho]
+    positives: list[int] = []
+    start = 0
+    processed = n
+    halted = False
+    while start < n:
+        above = noisy[start:] >= thresholds[start:] + rho
+        hits = np.nonzero(above)[0]
+        if not hits.size:
+            break
+        pos = start + int(hits[0])
+        positives.append(pos)
+        rho = float(rhos[len(positives)])
+        trace.append(rho)
+        if len(positives) >= c:
+            processed = pos + 1
+            halted = True
+            break
+        start = pos + 1
+
+    above_set = set(positives)
+    return SVTResult(
+        answers=[ABOVE if i in above_set else BELOW for i in range(processed)],
+        positives=positives,
+        processed=processed,
+        halted=halted,
+        noisy_threshold_trace=trace,
+    )
+
+
+def dpbook_kernel_stream(
+    values: Sequence[float],
+    thresholds: np.ndarray,
+    rhos: np.ndarray,
+    nu: np.ndarray,
+    c: int,
+) -> SVTResult:
+    """Query-at-a-time reference for :func:`dpbook_kernel`."""
+    arr = _as_values(values)
+    rho = float(rhos[0])
+    result = SVTResult(noisy_threshold_trace=[rho])
+    count = 0
+    for i in range(arr.size):
+        result.processed += 1
+        if arr[i] + nu[i] >= thresholds[i] + rho:
+            result.answers.append(ABOVE)
+            result.positives.append(i)
+            count += 1
+            rho = float(rhos[count])
+            result.noisy_threshold_trace.append(rho)
+            if count >= c:
+                result.halted = True
+                break
+        else:
+            result.answers.append(BELOW)
+    return result
+
+
+def nocut_kernel(
+    values: Sequence[float],
+    thresholds: np.ndarray,
+    rho: float,
+    nu: Optional[np.ndarray] = None,
+) -> SVTResult:
+    """Vectorized no-cutoff kernel (Alg. 5/6, GPTT); ``nu=None`` means no query noise."""
+    arr = _as_values(values)
+    noisy = arr + nu if nu is not None else arr + 0.0
+    above = noisy >= thresholds + rho
+    positives = np.nonzero(above)[0]
+    return SVTResult(
+        answers=[ABOVE if flag else BELOW for flag in above],
+        positives=[int(i) for i in positives],
+        processed=int(arr.size),
+        halted=False,
+        noisy_threshold_trace=[float(rho)],
+    )
+
+
+def nocut_kernel_stream(
+    values: Sequence[float],
+    thresholds: np.ndarray,
+    rho: float,
+    nu: Optional[np.ndarray] = None,
+) -> SVTResult:
+    """Query-at-a-time reference for :func:`nocut_kernel`."""
+    arr = _as_values(values)
+    result = SVTResult(noisy_threshold_trace=[float(rho)])
+    for i in range(arr.size):
+        noisy = arr[i] + (nu[i] if nu is not None else 0.0)
+        result.processed += 1
+        if noisy >= thresholds[i] + rho:
+            result.answers.append(ABOVE)
+            result.positives.append(i)
+        else:
+            result.answers.append(BELOW)
+    return result

@@ -1,0 +1,67 @@
+"""Per-variant noise plans: the one place the engine encodes Figure 1's scales.
+
+The streaming modules under :mod:`repro.variants` deliberately restate their
+scales inline — each is a literal transliteration of its Figure 1 listing —
+and the seedwise equivalence tests pin the engine to them.  Within the
+engine, however, both the single-run batch entry points
+(:mod:`repro.engine.batch`) and the multi-trial layer
+(:mod:`repro.engine.trials`) need the same numbers; this table keeps them
+from drifting apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["NoisePlan", "noise_plan"]
+
+
+@dataclass(frozen=True)
+class NoisePlan:
+    """Laplace scales and structure of one variant at (epsilon, c, Delta).
+
+    ``nu_scale=None`` means no query noise (Alg. 5); ``refresh_scale`` is
+    set only for Alg. 2's threshold refresh; ``cutoff`` says whether the run
+    halts at the c-th positive.
+    """
+
+    rho_scale: float
+    nu_scale: Optional[float]
+    refresh_scale: Optional[float]
+    cutoff: bool
+
+
+def noise_plan(
+    key: str, epsilon: float, c: int, delta: float = 1.0, monotonic: bool = False
+) -> NoisePlan:
+    """The Figure 1 noise scales for one variant key.
+
+    Alg. 1 is not served here: its split is caller-chosen via
+    :class:`~repro.core.allocation.BudgetAllocation` (ratio/monotonic), not
+    fixed by a listing.  GPTT with an explicit (eps1, eps2) split likewise
+    stays with its entry point; ``key="gptt"`` gives the even split (= Alg. 6).
+    """
+    if key == "alg2":
+        eps1 = epsilon / 2.0
+        eps2 = epsilon - eps1
+        return NoisePlan(
+            rho_scale=c * delta / eps1,
+            nu_scale=2 * c * delta / eps1,  # the listing scales nu with eps1
+            refresh_scale=c * delta / eps2,
+            cutoff=True,
+        )
+    if key == "alg3":
+        eps1 = epsilon / 2.0
+        return NoisePlan(delta / eps1, c * delta / (epsilon - eps1), None, True)
+    if key == "alg4":
+        eps1 = epsilon / 4.0
+        return NoisePlan(delta / eps1, delta / (epsilon - eps1), None, True)
+    if key == "alg5":
+        return NoisePlan(delta / (epsilon / 2.0), None, None, False)
+    if key in ("alg6", "gptt"):
+        eps1 = epsilon / 2.0
+        return NoisePlan(delta / eps1, delta / (epsilon - eps1), None, False)
+    raise InvalidParameterError(f"no fixed noise plan for variant {key!r}")

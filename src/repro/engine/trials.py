@@ -1,0 +1,449 @@
+"""Multi-trial batch execution: every Monte-Carlo trial in one numpy pass.
+
+The figure-level artifacts of the paper (Figures 2-5) average SER/FNR over
+hundreds of trials per (variant, epsilon, c) cell.  Running each trial
+through a Python-level mechanism call leaves an interpreter loop around the
+hot path; this module removes it:
+
+* the query noise for *all* trials is one ``(trials, n)`` Laplace block
+  (:mod:`repro.engine.noise`), the threshold noise one ``(trials,)`` vector;
+* the halt point of every trial falls out of one row-wise cumsum
+  (:func:`cut_matrix`), and the first-c selections out of one masked
+  scatter (:func:`selection_matrix`);
+* SER/FNR for all trials come from the vectorized
+  :func:`repro.metrics.utility.batch_selection_metrics`.
+
+Alg. 2's threshold refresh makes its comparison row depend on the trial's
+own history; :func:`_dpbook_above` handles it with segmented rescans — at
+most c+1 rounds, each one vectorized across all still-active trials, with
+the per-query noise still drawn as a single up-front block (each query is
+examined at most once, so one draw per query is the correct semantics).
+
+``rng`` may be a seed/Generator (fastest: one block draw) or a list of
+per-trial Generators (bit-compatible with a per-trial loop — what the
+experiment harness uses to keep its historical results reproducible).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.allocation import BudgetAllocation
+from repro.core.base import normalize_thresholds
+from repro.engine.noise import TrialRngs, laplace_matrix, laplace_vector
+from repro.engine.plans import NoisePlan, noise_plan
+from repro.exceptions import InvalidParameterError
+from repro.metrics.utility import batch_selection_metrics
+from repro.rng import RngLike, ensure_rng
+from repro.variants._common import require_opt_in, validate_inputs
+
+__all__ = [
+    "TrialBatch",
+    "cut_matrix",
+    "selection_matrix",
+    "svt_selection_matrix",
+    "run_trials",
+    "transcript_sampler",
+]
+
+
+def cut_matrix(above: np.ndarray, c: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Row-wise halt points: ``(processed, halted)`` for a (trials, n) run.
+
+    The vectorized form of :func:`repro.engine.kernels.cut_at_cth_positive`:
+    a trial halts right after its c-th positive comparison.
+    """
+    trials, n = above.shape
+    cum = np.cumsum(above, axis=1)
+    hit = (cum == c) & above
+    halted = hit.any(axis=1)
+    first = np.argmax(hit, axis=1)
+    processed = np.where(halted, first + 1, n)
+    return processed, halted
+
+
+def selection_matrix(
+    above: np.ndarray, c: int, processed: Optional[np.ndarray] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-trial selected indices: the first c positives within the processed prefix.
+
+    Returns ``(selection, counts)`` where ``selection`` is ``(trials, c)``
+    right-padded with -1 (selection order preserved) and ``counts`` the
+    number of selections per trial.
+    """
+    trials, n = above.shape
+    cum = np.cumsum(above, axis=1)
+    mask = above & (cum <= c)
+    if processed is not None:
+        mask &= np.arange(n)[None, :] < processed[:, None]
+    rows, cols = np.nonzero(mask)
+    ordinal = cum[rows, cols] - 1
+    selection = np.full((trials, c), -1, dtype=np.int64)
+    selection[rows, ordinal] = cols
+    return selection, mask.sum(axis=1)
+
+
+def svt_selection_matrix(
+    values: np.ndarray,
+    thresholds: Union[float, Sequence[float]],
+    allocation: BudgetAllocation,
+    c: int,
+    monotonic: bool = False,
+    sensitivity: float = 1.0,
+    rng: TrialRngs = None,
+) -> np.ndarray:
+    """Alg. 7 top-c selection for a whole (trials, n) matrix of answers.
+
+    The batched form of calling :func:`repro.core.svt.run_svt_batch` once per
+    row: per trial one rho draw then one length-n noise block, so with a list
+    of per-trial generators the selections are bit-identical to the loop.
+    Returns the padded ``(trials, c)`` selection matrix.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 2:
+        raise InvalidParameterError("values must be a (trials, n) matrix")
+    trials, n = values.shape
+    thr = normalize_thresholds(thresholds, n)
+    delta = float(sensitivity)
+    factor = c if monotonic else 2 * c
+    if not isinstance(rng, (list, tuple)):
+        # Coerce once: the samplers below must continue ONE stream.  Passing
+        # a raw seed to each would replay the same bit stream twice, leaving
+        # rho and nu perfectly correlated.
+        rng = ensure_rng(rng)
+    rho = laplace_vector(rng, delta / allocation.eps1, trials)
+    nu = laplace_matrix(rng, factor * delta / allocation.eps2, trials, n)
+    above = values + nu >= thr[None, :] + rho[:, None]
+    processed, _halted = cut_matrix(above, c)
+    selection, _counts = selection_matrix(above, c, processed)
+    return selection
+
+
+@dataclass
+class TrialBatch:
+    """All trials of one (variant, epsilon, c) cell, computed in one pass.
+
+    ``selection`` holds each trial's first-c positive indices (into the
+    possibly shuffled query order that trial saw — already mapped back to
+    original identities when ``shuffle=True``), right-padded with -1.
+    ``ser``/``fnr`` are per-trial metrics against the true top-c of the
+    answer multiset.
+    """
+
+    variant: str
+    epsilon: float
+    c: int
+    trials: int
+    n: int
+    processed: np.ndarray
+    halted: np.ndarray
+    num_positives: np.ndarray
+    selection: np.ndarray
+    ser: np.ndarray
+    fnr: np.ndarray
+    positives_mask: np.ndarray
+
+    def positives(self, trial: int) -> np.ndarray:
+        """All positive indices of one trial (uncapped, unlike ``selection``)."""
+        return np.nonzero(self.positives_mask[trial])[0]
+
+    @property
+    def ser_mean(self) -> float:
+        return float(self.ser.mean())
+
+    @property
+    def ser_std(self) -> float:
+        return float(self.ser.std(ddof=1)) if self.trials > 1 else 0.0
+
+    @property
+    def fnr_mean(self) -> float:
+        return float(self.fnr.mean())
+
+    @property
+    def fnr_std(self) -> float:
+        return float(self.fnr.std(ddof=1)) if self.trials > 1 else 0.0
+
+    @property
+    def positive_rate(self) -> float:
+        """Mean number of positives per trial."""
+        return float(self.num_positives.mean())
+
+
+# ---------------------------------------------------------------------------
+# Per-variant noise plans.
+# ---------------------------------------------------------------------------
+
+_OPT_IN = {
+    "alg3": "Alg. 3 (Roth 2011 lecture notes)",
+    "alg4": "Alg. 4 (Lee & Clifton 2014)",
+    "alg5": "Alg. 5 (Stoddard et al. 2014)",
+    "alg6": "Alg. 6 (Chen et al. 2015)",
+    "gptt": "GPTT (Chen & Machanavajjhala 2015 model)",
+}
+
+_KNOWN = ("alg1", "alg2", "alg3", "alg4", "alg5", "alg6", "gptt")
+
+
+def _normalize_variant(variant) -> str:
+    key = getattr(variant, "key", variant)
+    normalized = str(key).strip().lower().replace(" ", "").replace(".", "")
+    if normalized.isdigit():
+        normalized = f"alg{normalized}"
+    if normalized not in _KNOWN:
+        raise InvalidParameterError(f"unknown variant {key!r}; known: {sorted(_KNOWN)}")
+    return normalized
+
+
+def _above_for_variant(
+    key: str,
+    values: np.ndarray,
+    thr: np.ndarray,
+    epsilon: float,
+    c: int,
+    delta: float,
+    monotonic: bool,
+    ratio: Optional[Union[str, float]],
+    rng: TrialRngs,
+    trials: int,
+) -> Tuple[np.ndarray, bool]:
+    """The (trials, n) comparison matrix plus whether the variant has a cutoff."""
+    n = values.shape[1]
+    if key == "alg1":
+        allocation = BudgetAllocation.from_ratio(
+            epsilon, c, ratio=ratio if ratio is not None else "1:1", monotonic=monotonic
+        )
+        factor = c if monotonic else 2 * c
+        rho = laplace_vector(rng, delta / allocation.eps1, trials)
+        nu = laplace_matrix(rng, factor * delta / allocation.eps2, trials, n)
+        return values + nu >= thr[None, :] + rho[:, None], True
+    plan = noise_plan(key, epsilon, c, delta)
+    if key == "alg2":
+        return _dpbook_above(values, thr, plan, c, rng, trials), True
+    rho = laplace_vector(rng, plan.rho_scale, trials)
+    if plan.nu_scale is None:
+        return values >= thr[None, :] + rho[:, None], plan.cutoff
+    nu = laplace_matrix(rng, plan.nu_scale, trials, n)
+    return values + nu >= thr[None, :] + rho[:, None], plan.cutoff
+
+
+def _dpbook_above(
+    values: np.ndarray,
+    thr: np.ndarray,
+    plan: NoisePlan,
+    c: int,
+    rng: TrialRngs,
+    trials: int,
+) -> np.ndarray:
+    """Alg. 2 comparison matrix via segmented rescans across all trials.
+
+    One up-front noise block covers every query (each is examined at most
+    once); the refresh loop runs at most c+1 rounds, each vectorized over the
+    still-active trials.  The returned matrix reports, for every (trial,
+    query), whether that query's single examination succeeded under the rho
+    in force when it was reached — columns past a trial's halt point are
+    sliced away by :func:`cut_matrix` downstream.
+    """
+    n = values.shape[1]
+    rho = laplace_vector(rng, plan.rho_scale, trials)
+    nu = laplace_matrix(rng, plan.nu_scale, trials, n)
+    noisy = values + nu
+
+    per_trial = isinstance(rng, (list, tuple))
+    shared = None if per_trial else ensure_rng(rng)
+    above = np.zeros((trials, n), dtype=bool)
+    start = np.zeros(trials, dtype=np.int64)
+    count = np.zeros(trials, dtype=np.int64)
+    active = np.ones(trials, dtype=bool)
+    cols = np.arange(n)
+    while active.any():
+        idx = np.nonzero(active)[0]
+        sub = noisy[idx] >= thr[None, :] + rho[idx, None]
+        sub &= cols[None, :] >= start[idx, None]
+        has_hit = sub.any(axis=1)
+        pos = np.argmax(sub, axis=1)
+        # Trials with no further hit under the current rho are done.
+        active[idx[~has_hit]] = False
+        hit_trials = idx[has_hit]
+        hit_pos = pos[has_hit]
+        above[hit_trials, hit_pos] = True
+        count[hit_trials] += 1
+        start[hit_trials] = hit_pos + 1
+        done = count[hit_trials] >= c
+        active[hit_trials[done]] = False
+        refresh = hit_trials[~done]
+        if refresh.size:
+            scale = plan.refresh_scale
+            if per_trial:
+                rho[refresh] = [float(rng[t].laplace(scale=scale)) for t in refresh]
+            else:
+                rho[refresh] = shared.laplace(scale=scale, size=refresh.size)
+    return above
+
+
+def run_trials(
+    variant,
+    answers: Sequence[float],
+    epsilons: Union[float, Sequence[float]],
+    c: int,
+    trials: int,
+    thresholds: Union[float, Sequence[float]] = 0.0,
+    sensitivity: float = 1.0,
+    rng: TrialRngs = None,
+    shuffle: bool = False,
+    monotonic: bool = False,
+    ratio: Optional[Union[str, float]] = None,
+    allow_non_private: bool = False,
+    compute_metrics: bool = True,
+) -> Union[TrialBatch, Dict[float, TrialBatch]]:
+    """Run *trials* Monte-Carlo repetitions of one variant in a single pass.
+
+    Parameters
+    ----------
+    variant:
+        A registry key (``"alg1"``..``"alg6"``, flexible spelling), a
+        :class:`~repro.variants.registry.VariantInfo`, or ``"gptt"`` (even
+        eps split).
+    epsilons:
+        A single budget or a sequence; a sequence returns ``{epsilon:
+        TrialBatch}`` (one engine pass per value).
+    shuffle:
+        Randomize the query order independently per trial (the paper's
+        experiment protocol); selections are mapped back to original
+        identities.
+    monotonic / ratio:
+        Alg. 1 only: monotonic noise scales and the eps1:eps2 split.
+    rng:
+        Seed/Generator, or a list of per-trial Generators for bit-exact
+        agreement with a per-trial loop.
+
+    SER/FNR treat *answers* as the scores being selected over (the
+    selection-experiment reading); disable with ``compute_metrics=False``
+    when the answers are not scores (e.g. attack transcripts).
+    """
+    key = _normalize_variant(variant)
+    if key in _OPT_IN:
+        require_opt_in(allow_non_private, _OPT_IN[key], "see repro.variants")
+    if not isinstance(rng, (list, tuple)):
+        # One shared stream for shuffle + every noise draw (and across an
+        # epsilon sweep).  Coercing the seed once here is load-bearing: the
+        # samplers each accept RngLike, and handing the same raw seed to
+        # rho-, nu-, and refresh-sampling would replay one bit stream,
+        # correlating noises that must be independent.
+        rng = ensure_rng(rng)
+    if not np.isscalar(epsilons):
+        return {
+            float(eps): run_trials(
+                key, answers, float(eps), c, trials,
+                thresholds=thresholds, sensitivity=sensitivity, rng=rng,
+                shuffle=shuffle, monotonic=monotonic, ratio=ratio,
+                allow_non_private=allow_non_private, compute_metrics=compute_metrics,
+            )
+            for eps in epsilons
+        }
+    epsilon = float(epsilons)
+    validate_inputs(epsilon, sensitivity, c)
+    if trials <= 0:
+        raise InvalidParameterError("trials must be > 0")
+    base = np.asarray(answers, dtype=float)
+    if base.ndim != 1:
+        raise InvalidParameterError("answers must be a 1-D sequence")
+    n = base.size
+    thr = normalize_thresholds(thresholds, n)
+    delta = float(sensitivity)
+
+    perms: Optional[np.ndarray] = None
+    if shuffle:
+        if isinstance(rng, (list, tuple)):
+            perms = np.stack([gen.permutation(n) for gen in rng])
+        else:
+            perms = np.argsort(rng.random((trials, n)), axis=1)
+        values = base[perms]
+    else:
+        values = np.broadcast_to(base, (trials, n))
+
+    above, has_cutoff = _above_for_variant(
+        key, values, thr, epsilon, c, delta, monotonic, ratio, rng, trials
+    )
+    if has_cutoff:
+        processed, halted = cut_matrix(above, c)
+    else:
+        processed = np.full(trials, n, dtype=np.int64)
+        halted = np.zeros(trials, dtype=bool)
+    prefix = np.arange(n)[None, :] < processed[:, None]
+    positives_mask = above & prefix
+    num_positives = positives_mask.sum(axis=1)
+    selection, _counts = selection_matrix(above, c, processed)
+
+    if compute_metrics:
+        ser, fnr = batch_selection_metrics(values, selection, c, base_scores=base)
+    else:
+        ser = fnr = np.full(trials, np.nan)
+
+    if perms is not None:
+        valid = selection >= 0
+        selection = np.where(
+            valid, np.take_along_axis(perms, np.where(valid, selection, 0), axis=1), -1
+        )
+        # Re-express the positives mask over original identities too.
+        original_mask = np.zeros_like(positives_mask)
+        rows, cols = np.nonzero(positives_mask)
+        original_mask[rows, perms[rows, cols]] = True
+        positives_mask = original_mask
+    return TrialBatch(
+        variant=key,
+        epsilon=epsilon,
+        c=c,
+        trials=trials,
+        n=n,
+        processed=processed,
+        halted=halted,
+        num_positives=num_positives,
+        selection=selection,
+        ser=ser,
+        fnr=fnr,
+        positives_mask=positives_mask,
+    )
+
+
+def transcript_sampler(
+    variant,
+    answers: Sequence[float],
+    epsilon: float,
+    c: int,
+    thresholds: Union[float, Sequence[float]] = 0.0,
+    sensitivity: float = 1.0,
+    allow_non_private: bool = False,
+):
+    """A vectorized mechanism for the Monte-Carlo privacy estimator.
+
+    Returns a callable suitable for
+    :func:`repro.attacks.estimator.event_frequency` with
+    ``vectorized=True``: given the estimator's list of per-trial generators
+    it runs *all* trials through the batch engine at once and yields one
+    hashable transcript ``(processed, positives)`` per trial.
+    """
+
+    def sample(rngs: Sequence[np.random.Generator]) -> List[tuple]:
+        batch = run_trials(
+            variant,
+            answers,
+            epsilon,
+            c,
+            trials=len(rngs),
+            thresholds=thresholds,
+            sensitivity=sensitivity,
+            rng=list(rngs),
+            allow_non_private=allow_non_private,
+            compute_metrics=False,
+        )
+        out = []
+        for t in range(batch.trials):
+            out.append(
+                (int(batch.processed[t]), tuple(int(i) for i in batch.positives(t)))
+            )
+        return out
+
+    return sample

@@ -18,10 +18,10 @@ from typing import Callable, List, Sequence, Tuple
 import numpy as np
 
 from repro.core.allocation import BudgetAllocation
-from repro.core.svt import run_svt_batch
 from repro.data.generators import ScoreDataset
+from repro.engine.trials import svt_selection_matrix
 from repro.exceptions import InvalidParameterError
-from repro.metrics.utility import score_error_rate
+from repro.metrics.utility import batch_selection_metrics
 from repro.rng import derive_rng
 
 __all__ = ["CrossoverPoint", "eps_c_equivalence"]
@@ -54,21 +54,23 @@ def _mean_ser(
 ) -> float:
     scores = dataset.supports.astype(float)
     threshold = dataset.threshold_for_c(c)
-    sers = []
-    for trial in range(trials):
-        shuffle_rng = derive_rng(seed, "xover-shuffle", c, trial)
-        perm = shuffle_rng.permutation(scores.size)
-        allocation = BudgetAllocation.from_ratio(epsilon, c, "1:c^(2/3)", monotonic=True)
-        result = run_svt_batch(
-            scores[perm],
-            allocation,
-            c,
-            thresholds=threshold,
-            monotonic=True,
-            rng=derive_rng(seed, "xover-mech", c, trial, int(epsilon * 1e9)),
-        )
-        picked = perm[np.asarray(result.positives, dtype=np.int64)]
-        sers.append(score_error_rate(scores, picked, c))
+    # Batched through the engine with the same per-trial derived streams the
+    # historical per-trial loop used, so results are unchanged bit for bit.
+    perms = np.stack(
+        [
+            derive_rng(seed, "xover-shuffle", c, trial).permutation(scores.size)
+            for trial in range(trials)
+        ]
+    )
+    rngs = [
+        derive_rng(seed, "xover-mech", c, trial, int(epsilon * 1e9))
+        for trial in range(trials)
+    ]
+    allocation = BudgetAllocation.from_ratio(epsilon, c, "1:c^(2/3)", monotonic=True)
+    selection = svt_selection_matrix(
+        scores[perms], threshold, allocation, c, monotonic=True, rng=rngs
+    )
+    sers, _fnr = batch_selection_metrics(scores[perms], selection, c, base_scores=scores)
     return float(np.mean(sers))
 
 

@@ -15,28 +15,62 @@ Expected shape (paper Figure 4): SVT-DPBook ≫ SVT-S-1:1 > SVT-S-1:3 >
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Sequence
 
 import numpy as np
 
 from repro.core.allocation import BudgetAllocation
 from repro.core.svt import run_svt_batch
+from repro.engine.trials import svt_selection_matrix
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import MethodResult, SelectionMethod, run_selection_experiment
+from repro.experiments.runner import (
+    BatchSelectionMethod,
+    MethodResult,
+    SelectionMethod,
+    run_selection_experiment,
+)
 from repro.variants.dpbook import run_dpbook_batch
 
 __all__ = ["figure4_methods", "run_figure4"]
 
 
-def _svt_s_method(ratio: str) -> SelectionMethod:
-    def method(scores, threshold, c, epsilon, rng) -> np.ndarray:
-        allocation = BudgetAllocation.from_ratio(epsilon, c, ratio=ratio, monotonic=True)
+class _SvtSMethod(BatchSelectionMethod):
+    """SVT-S under one budget ratio, batched across all trials via the engine.
+
+    ``run_matrix`` draws each trial's noise from that trial's own generator
+    (rho, then the length-n block) — the exact draws the single-trial
+    ``__call__`` makes — so batching changes nothing but the wall clock.
+    """
+
+    def __init__(self, ratio: str) -> None:
+        self.ratio = ratio
+
+    def _allocation(self, epsilon: float, c: int) -> BudgetAllocation:
+        return BudgetAllocation.from_ratio(epsilon, c, ratio=self.ratio, monotonic=True)
+
+    def __call__(self, scores, threshold, c, epsilon, rng) -> np.ndarray:
         result = run_svt_batch(
-            scores, allocation, c, thresholds=threshold, monotonic=True, rng=rng
+            scores, self._allocation(epsilon, c), c,
+            thresholds=threshold, monotonic=True, rng=rng,
         )
         return np.asarray(result.positives, dtype=np.int64)
 
-    return method
+    def run_matrix(
+        self,
+        shuffled: np.ndarray,
+        threshold: float,
+        c: int,
+        epsilon: float,
+        rngs: Sequence[np.random.Generator],
+    ) -> np.ndarray:
+        return svt_selection_matrix(
+            shuffled, threshold, self._allocation(epsilon, c), c,
+            monotonic=True, rng=list(rngs),
+        )
+
+
+def _svt_s_method(ratio: str) -> SelectionMethod:
+    return _SvtSMethod(ratio)
 
 
 def _dpbook_method(scores, threshold, c, epsilon, rng) -> np.ndarray:

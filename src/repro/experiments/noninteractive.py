@@ -10,6 +10,12 @@ Methods (Table 2, "Non-interactive"):
 
 Expected shape (paper Figure 5): EM at or below every SVT curve; larger
 threshold bumps helping more at large c; SVT-ReTr-0D ≈ SVT-S.
+
+Execution: the SVT-S reference runs all trials at once through the batch
+engine (shared :class:`~repro.experiments.interactive._SvtSMethod`); the
+retraversal and EM methods use the harness's per-trial fallback (their
+multi-pass / sampling structure is not yet vectorized across trials — see
+ROADMAP), with metrics still scored in one vectorized pass.
 """
 
 from __future__ import annotations

@@ -1,4 +1,4 @@
-"""The generic selection-experiment loop.
+"""The generic selection-experiment loop, batched through the engine.
 
 One *trial* is exactly the paper's protocol: shuffle the items, hand the
 shuffled score vector (and the threshold computed from the *true* c-th and
@@ -6,11 +6,25 @@ shuffled score vector (and the threshold computed from the *true* c-th and
 back to original identities, and score the selection with SER and FNR.
 Trials are averaged; each trial gets an independent child RNG so results are
 invariant to trial order.
+
+Execution model: the harness builds the whole ``(trials, n)`` shuffled score
+matrix up front and scores every method's selections with one vectorized
+SER/FNR pass (:func:`repro.metrics.utility.batch_selection_metrics`).
+Methods come in two flavors:
+
+* a plain callable ``(shuffled_scores, threshold, c, epsilon, rng) ->
+  indices`` — invoked once per trial (the pre-engine protocol, still
+  supported for methods with inherently sequential structure such as
+  retraversal);
+* a :class:`BatchSelectionMethod` — additionally exposes ``run_matrix``
+  which consumes the full trial matrix at once through
+  :mod:`repro.engine.trials`.  The per-trial generators are the *same*
+  derived streams the callable protocol receives, so promoting a method to
+  the batch path does not change a single released bit.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Sequence, Tuple
 
@@ -18,14 +32,49 @@ import numpy as np
 
 from repro.data.generators import ScoreDataset
 from repro.exceptions import InvalidParameterError
-from repro.metrics.utility import false_negative_rate, score_error_rate
-from repro.rng import RngLike, derive_rng
+from repro.metrics.utility import batch_selection_metrics
+from repro.rng import RngLike, derive_rng, derive_rngs
 
-__all__ = ["SelectionMethod", "MetricSummary", "MethodResult", "run_selection_experiment"]
+__all__ = [
+    "SelectionMethod",
+    "BatchSelectionMethod",
+    "MetricSummary",
+    "MethodResult",
+    "run_selection_experiment",
+]
 
 #: A selection method: (shuffled_scores, threshold, c, epsilon, rng) -> indices
 #: into the shuffled array.
 SelectionMethod = Callable[[np.ndarray, float, int, float, np.random.Generator], np.ndarray]
+
+
+class BatchSelectionMethod:
+    """A selection method the harness may run over all trials in one pass.
+
+    Subclasses implement :meth:`run_matrix`; ``__call__`` must remain the
+    single-trial protocol (used by tooling that probes one trial at a time).
+    """
+
+    def __call__(
+        self,
+        scores: np.ndarray,
+        threshold: float,
+        c: int,
+        epsilon: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    def run_matrix(
+        self,
+        shuffled: np.ndarray,
+        threshold: float,
+        c: int,
+        epsilon: float,
+        rngs: Sequence[np.random.Generator],
+    ) -> np.ndarray:
+        """Selections for every trial row; ``(trials, k)`` padded with -1."""
+        raise NotImplementedError
 
 
 @dataclass(frozen=True)
@@ -54,6 +103,15 @@ class MethodResult:
         cs = sorted(self.by_c)
         attr = f"{metric}_mean"
         return cs, [getattr(self.by_c[c], attr) for c in cs]
+
+
+def _pad_selections(picks: List[np.ndarray]) -> np.ndarray:
+    """Stack ragged per-trial index arrays into a -1-padded matrix."""
+    width = max((p.size for p in picks), default=0)
+    out = np.full((len(picks), max(width, 1)), -1, dtype=np.int64)
+    for t, p in enumerate(picks):
+        out[t, : p.size] = p
+    return out
 
 
 def run_selection_experiment(
@@ -86,23 +144,31 @@ def run_selection_experiment(
                 f"c={c} needs a (c+1)-th score but {dataset.name} has {n} items"
             )
         threshold = dataset.threshold_for_c(c)
-        per_method_ser: Dict[str, List[float]] = {name: [] for name in methods}
-        per_method_fnr: Dict[str, List[float]] = {name: [] for name in methods}
-        for trial in range(trials):
-            shuffle_rng = derive_rng(seed, "shuffle", dataset.name, c, trial)
-            perm = shuffle_rng.permutation(n)
-            shuffled = scores[perm]
-            for name, method in methods.items():
-                mech_rng = derive_rng(seed, "mech", name, dataset.name, c, trial)
-                picked = np.asarray(
-                    method(shuffled, threshold, c, epsilon, mech_rng), dtype=np.int64
-                )
-                original = perm[picked] if picked.size else picked
-                per_method_ser[name].append(score_error_rate(scores, original, c))
-                per_method_fnr[name].append(false_negative_rate(scores, original, c))
-        for name in methods:
-            ser = np.asarray(per_method_ser[name])
-            fnr = np.asarray(per_method_fnr[name])
+        # One shuffle per trial, derived exactly as the per-trial loop did.
+        perms = np.stack(
+            [
+                derive_rng(seed, "shuffle", dataset.name, c, trial).permutation(n)
+                for trial in range(trials)
+            ]
+        )
+        shuffled = scores[perms]
+        for name, method in methods.items():
+            rngs = derive_rngs(seed, trials, "mech", name, dataset.name, c)
+            if isinstance(method, BatchSelectionMethod):
+                selection = method.run_matrix(shuffled, threshold, c, epsilon, rngs)
+            else:
+                picks = [
+                    np.asarray(
+                        method(shuffled[trial], threshold, c, epsilon, rngs[trial]),
+                        dtype=np.int64,
+                    )
+                    for trial in range(trials)
+                ]
+                selection = _pad_selections(picks)
+            # Metrics are computed in the shuffled frame: the selected scores
+            # (and the score multiset) are identical either way, so mapping
+            # back to original identities is not needed for SER/FNR.
+            ser, fnr = batch_selection_metrics(shuffled, selection, c, base_scores=scores)
             results[name].by_c[c] = MetricSummary(
                 ser_mean=float(ser.mean()),
                 ser_std=float(ser.std(ddof=1)) if trials > 1 else 0.0,

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.analysis.verifier import empirical_epsilon, spec_for_variant
 from repro.attacks.estimator import estimate_event_epsilon
+from repro.engine.trials import transcript_sampler
 from repro.exceptions import InvalidParameterError
 from repro.rng import RngLike
 from repro.variants.registry import get_variant
@@ -82,34 +83,36 @@ def privacy_report(
 
     mc_loss: Optional[float] = None
     if mc_trials > 0:
-        def runner(answers):
-            def run(gen):
-                result = info.run(
-                    answers,
-                    epsilon=epsilon,
-                    c=c,
-                    thresholds=thresholds,
-                    rng=gen,
-                    allow_non_private=True,
-                )
-                return (result.processed, tuple(result.positives))
-
-            return run
-
         # The indicator transcript is a deterministic function of
         # (processed, positives); estimating on the full transcript event
         # space via its worst single event would require enumerating again,
         # so use the coarser "identical transcript" event for the pair's
         # most-likely-on-D outcome.
-        probe = runner(list(answers_d))
-        sample_gen = np.random.default_rng(0)
-        target = probe(sample_gen)
+        def probe(gen):
+            result = info.run(
+                list(answers_d),
+                epsilon=epsilon,
+                c=c,
+                thresholds=thresholds,
+                rng=gen,
+                allow_non_private=True,
+            )
+            return (result.processed, tuple(result.positives))
+
+        target = probe(np.random.default_rng(0))
         estimate = estimate_event_epsilon(
-            runner(list(answers_d)),
-            runner(list(answers_d_prime)),
+            transcript_sampler(
+                info, list(answers_d), epsilon, c,
+                thresholds=thresholds, allow_non_private=True,
+            ),
+            transcript_sampler(
+                info, list(answers_d_prime), epsilon, c,
+                thresholds=thresholds, allow_non_private=True,
+            ),
             lambda out: out == target,
             trials=mc_trials,
             rng=rng,
+            vectorized=True,
         )
         mc_loss = estimate.point
 

@@ -17,7 +17,7 @@ matches how the metrics behave on real data where adjacent supports tie.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -28,6 +28,7 @@ __all__ = [
     "score_error_rate",
     "precision_recall",
     "selection_report",
+    "batch_selection_metrics",
 ]
 
 
@@ -105,6 +106,88 @@ def precision_recall(
     fnr = false_negative_rate(scores_arr, sel, c)
     hits = round((1.0 - fnr) * c)
     return hits / sel.size, hits / c
+
+
+def batch_selection_metrics(
+    scores: np.ndarray,
+    selection: np.ndarray,
+    c: int,
+    base_scores: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized (SER, FNR) over a whole batch of trials at once.
+
+    Parameters
+    ----------
+    scores:
+        ``(n,)`` shared scores, or ``(trials, n)`` per-trial score rows (e.g.
+        per-trial shuffles); ``selection`` indexes into the matching row.
+    selection:
+        ``(trials, k)`` selected indices per trial, right-padded with ``-1``.
+        Column order is selection order: SER uses the first c columns (the
+        conservative under-selection convention of :func:`score_error_rate`),
+        FNR all of them.
+    base_scores:
+        The score multiset used for the true top-c reference.  Required when
+        *scores* is 2-D and its rows are permutations of a common multiset
+        (the experiment-harness case); defaults to *scores* when 1-D.
+
+    Matches the scalar metrics exactly: SER is the same clamped ratio of
+    sums; FNR uses the tie-aware counting identity — with b the c-th highest
+    score and a the number of scores strictly above b, the greedy matching of
+    :func:`false_negative_rate` awards ``hits = #{sel > b} + min(#{sel == b},
+    c - a)`` — which a property test cross-checks against the two-pointer.
+    """
+    sel = np.asarray(selection, dtype=np.int64)
+    if sel.ndim != 2:
+        raise InvalidParameterError("selection must be a (trials, k) matrix")
+    scores_arr = np.asarray(scores, dtype=float)
+    if scores_arr.ndim == 1:
+        base = scores_arr if base_scores is None else np.asarray(base_scores, dtype=float)
+        rows = np.broadcast_to(scores_arr, (sel.shape[0], scores_arr.size))
+    elif scores_arr.ndim == 2:
+        if base_scores is None:
+            raise InvalidParameterError(
+                "2-D scores need base_scores (the shared score multiset)"
+            )
+        base = np.asarray(base_scores, dtype=float)
+        rows = scores_arr
+    else:
+        raise InvalidParameterError("scores must be 1-D or (trials, n)")
+    if not isinstance(c, (int, np.integer)) or int(c) <= 0:
+        raise InvalidParameterError(f"c must be a positive integer, got {c!r}")
+    c = int(c)
+    if c > base.size:
+        raise InvalidParameterError(f"c={c} exceeds the number of candidates {base.size}")
+
+    top = np.sort(base)[-c:]
+    top_sum = float(top.sum())
+    if top_sum <= 0.0:
+        raise InvalidParameterError("top-c scores must have positive sum for SER")
+    boundary = float(top[0])  # the c-th highest score
+    slots_above = int(np.count_nonzero(base > boundary))
+
+    # Same guarantees the scalar metrics enforce: -1 is padding, anything
+    # else must be a distinct in-range index.
+    if sel.size:
+        if sel.min() < -1 or sel.max() >= rows.shape[1]:
+            raise InvalidParameterError("selected indices out of range")
+        sorted_sel = np.sort(sel, axis=1)
+        duplicated = (sorted_sel[:, 1:] == sorted_sel[:, :-1]) & (sorted_sel[:, 1:] >= 0)
+        if duplicated.any():
+            raise InvalidParameterError("selected indices must be distinct")
+
+    valid = sel >= 0
+    picked = np.take_along_axis(rows, np.where(valid, sel, 0), axis=1)
+    picked = np.where(valid, picked, -np.inf)
+
+    sel_sum = np.where(valid[:, :c], picked[:, :c], 0.0).sum(axis=1)
+    ser = np.minimum(1.0, np.maximum(0.0, 1.0 - (sel_sum / c) / (top_sum / c)))
+
+    hits = (picked > boundary).sum(axis=1) + np.minimum(
+        (picked == boundary).sum(axis=1), c - slots_above
+    )
+    fnr = 1.0 - hits / c
+    return ser, fnr
 
 
 @dataclass(frozen=True)

@@ -13,7 +13,7 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
-__all__ = ["RngLike", "ensure_rng", "spawn_rngs", "derive_rng"]
+__all__ = ["RngLike", "ensure_rng", "spawn_rngs", "derive_rng", "derive_rngs"]
 
 RngLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
 
@@ -51,16 +51,8 @@ def spawn_rngs(rng: RngLike, n: int) -> list[np.random.Generator]:
     return [np.random.default_rng(child) for child in seq.spawn(n)]
 
 
-def derive_rng(rng: RngLike, *keys: Union[int, str]) -> np.random.Generator:
-    """Derive a deterministic child generator keyed by *keys*.
-
-    Example::
-
-        rng = derive_rng(1234, "figure4", "kosarak", c)
-
-    Two calls with the same base seed and keys produce identical streams;
-    different keys produce independent streams.
-    """
+def _derive_material(rng: RngLike, keys: tuple[Union[int, str], ...]) -> list[int]:
+    """The SeedSequence entropy shared by :func:`derive_rng` / :func:`derive_rngs`."""
     material: list[int] = []
     for key in keys:
         if isinstance(key, str):
@@ -75,5 +67,37 @@ def derive_rng(rng: RngLike, *keys: Union[int, str]) -> np.random.Generator:
         base = int(np.random.SeedSequence().generate_state(1)[0])
     else:
         base = int(rng)
-    seq = np.random.SeedSequence([base & 0xFFFFFFFF, *material])
+    return [base & 0xFFFFFFFF, *material]
+
+
+def derive_rng(rng: RngLike, *keys: Union[int, str]) -> np.random.Generator:
+    """Derive a deterministic child generator keyed by *keys*.
+
+    Example::
+
+        rng = derive_rng(1234, "figure4", "kosarak", c)
+
+    Two calls with the same base seed and keys produce identical streams;
+    different keys produce independent streams.
+    """
+    seq = np.random.SeedSequence(_derive_material(rng, keys))
     return np.random.default_rng(seq)
+
+
+def derive_rngs(rng: RngLike, n: int, *keys: Union[int, str]) -> list[np.random.Generator]:
+    """Derive *n* deterministic child generators keyed by ``(*keys, i)``.
+
+    The i-th returned generator is stream-identical to
+    ``derive_rng(rng, *keys, i)``, so a batch engine drawing trial i's noise
+    from ``derive_rngs(seed, trials, ...)[i]`` reproduces bit-for-bit what a
+    per-trial loop deriving its own generator would have drawn.  The base
+    entropy is resolved once, which matters when *rng* is a ``Generator``
+    (whose state advances on every derivation).
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    material = _derive_material(rng, keys)
+    return [
+        np.random.default_rng(np.random.SeedSequence([*material, i & 0xFFFFFFFF]))
+        for i in range(n)
+    ]

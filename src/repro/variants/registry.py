@@ -53,6 +53,7 @@ class VariantInfo:
     is_private: bool
     runner: Runner
     actual_epsilon: Optional[Callable[[float, int], float]] = None
+    batch_runner: Optional[Runner] = None
 
     def run(
         self,
@@ -70,6 +71,34 @@ class VariantInfo:
         ignore *allow_non_private*.
         """
         return self.runner(
+            answers,
+            epsilon=epsilon,
+            c=c,
+            thresholds=thresholds,
+            sensitivity=sensitivity,
+            rng=rng,
+            allow_non_private=allow_non_private,
+        )
+
+    def run_batch(
+        self,
+        answers: Sequence[float],
+        epsilon: float,
+        c: int,
+        thresholds: Union[float, Sequence[float]] = 0.0,
+        sensitivity: float = 1.0,
+        rng: RngLike = None,
+        allow_non_private: bool = False,
+    ) -> SVTResult:
+        """Run this variant through the vectorized batch engine.
+
+        Same uniform signature (and for the single-pass variants, the same
+        seed-to-result mapping — see :mod:`repro.engine.batch`) as
+        :meth:`run`, but the whole answer array is processed with block noise
+        draws and a cumsum halt point instead of a Python loop.
+        """
+        runner = self.batch_runner if self.batch_runner is not None else self.runner
+        return runner(
             answers,
             epsilon=epsilon,
             c=c,
@@ -151,6 +180,55 @@ def _run_alg6(
     )
 
 
+# Engine-backed batch runners.  The engine package is imported lazily: it
+# depends on the variant modules (via repro.variants.__init__), so a
+# module-level import here would be circular.
+
+
+def _run_alg3_batch(
+    answers, epsilon, c, thresholds, sensitivity, rng, allow_non_private
+) -> SVTResult:
+    from repro.engine.batch import run_roth_batch
+
+    return run_roth_batch(
+        answers, epsilon, c, thresholds=thresholds, sensitivity=sensitivity,
+        rng=rng, allow_non_private=allow_non_private,
+    )
+
+
+def _run_alg4_batch(
+    answers, epsilon, c, thresholds, sensitivity, rng, allow_non_private
+) -> SVTResult:
+    from repro.engine.batch import run_lee_clifton_batch
+
+    return run_lee_clifton_batch(
+        answers, epsilon, c, thresholds=thresholds, sensitivity=sensitivity,
+        rng=rng, allow_non_private=allow_non_private,
+    )
+
+
+def _run_alg5_batch(
+    answers, epsilon, c, thresholds, sensitivity, rng, allow_non_private
+) -> SVTResult:
+    from repro.engine.batch import run_stoddard_batch
+
+    return run_stoddard_batch(
+        answers, epsilon, thresholds=thresholds, sensitivity=sensitivity,
+        rng=rng, allow_non_private=allow_non_private,
+    )
+
+
+def _run_alg6_batch(
+    answers, epsilon, c, thresholds, sensitivity, rng, allow_non_private
+) -> SVTResult:
+    from repro.engine.batch import run_chen_batch
+
+    return run_chen_batch(
+        answers, epsilon, thresholds=thresholds, sensitivity=sensitivity,
+        rng=rng, allow_non_private=allow_non_private,
+    )
+
+
 ALGORITHMS: Dict[str, VariantInfo] = {
     "alg1": VariantInfo(
         key="alg1",
@@ -167,6 +245,7 @@ ALGORITHMS: Dict[str, VariantInfo] = {
         privacy_property="eps-DP",
         is_private=True,
         runner=_run_alg1,
+        batch_runner=_run_alg1,
     ),
     "alg2": VariantInfo(
         key="alg2",
@@ -183,6 +262,7 @@ ALGORITHMS: Dict[str, VariantInfo] = {
         privacy_property="eps-DP",
         is_private=True,
         runner=_run_alg2,
+        batch_runner=_run_alg2,
     ),
     "alg3": VariantInfo(
         key="alg3",
@@ -199,6 +279,7 @@ ALGORITHMS: Dict[str, VariantInfo] = {
         privacy_property="infinity-DP",
         is_private=False,
         runner=_run_alg3,
+        batch_runner=_run_alg3_batch,
     ),
     "alg4": VariantInfo(
         key="alg4",
@@ -216,6 +297,7 @@ ALGORITHMS: Dict[str, VariantInfo] = {
         is_private=False,
         runner=_run_alg4,
         actual_epsilon=lee_clifton_actual_epsilon,
+        batch_runner=_run_alg4_batch,
     ),
     "alg5": VariantInfo(
         key="alg5",
@@ -232,6 +314,7 @@ ALGORITHMS: Dict[str, VariantInfo] = {
         privacy_property="infinity-DP",
         is_private=False,
         runner=_run_alg5,
+        batch_runner=_run_alg5_batch,
     ),
     "alg6": VariantInfo(
         key="alg6",
@@ -248,6 +331,7 @@ ALGORITHMS: Dict[str, VariantInfo] = {
         privacy_property="infinity-DP",
         is_private=False,
         runner=_run_alg6,
+        batch_runner=_run_alg6_batch,
     ),
 }
 

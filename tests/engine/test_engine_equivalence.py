@@ -1,0 +1,201 @@
+"""Batch ≡ streaming for every registry variant.
+
+Two layers of evidence:
+
+* **Same derived noise stream** — for each variant, the noise is sampled once
+  from a derived RNG stream and fed to both the vectorized kernel and its
+  query-at-a-time reference; the resulting ``SVTResult`` must be identical in
+  every field (processed, positives, answers, halt point, threshold trace).
+* **Same seed** — for the single-pass variants the batch entry point draws
+  its noise in exactly the streaming order, so ``run_batch(rng=seed)`` must
+  reproduce the streaming implementation bit for bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import BudgetAllocation
+from repro.core.svt import StandardSVT, run_svt_batch
+from repro.engine.batch import (
+    run_chen_batch,
+    run_gptt_batch,
+    run_lee_clifton_batch,
+    run_roth_batch,
+    run_stoddard_batch,
+)
+from repro.engine.kernels import (
+    dpbook_kernel,
+    dpbook_kernel_stream,
+    nocut_kernel,
+    nocut_kernel_stream,
+    threshold_kernel,
+    threshold_kernel_stream,
+)
+from repro.exceptions import NonPrivateMechanismError
+from repro.rng import derive_rng
+from repro.variants.chen import run_chen
+from repro.variants.gptt import run_gptt
+from repro.variants.lee_clifton import run_lee_clifton
+from repro.variants.registry import ALGORITHMS
+from repro.variants.roth import run_roth
+from repro.variants.stoddard import run_stoddard
+
+EPS = 1.3
+C = 3
+N = 30
+
+
+def assert_results_identical(a, b):
+    assert a.answers == b.answers
+    assert a.positives == b.positives
+    assert a.processed == b.processed
+    assert a.halted == b.halted
+    assert a.noisy_threshold_trace == b.noisy_threshold_trace
+
+
+def make_instance(seed):
+    gen = np.random.default_rng(seed)
+    values = gen.normal(0.0, 2.0, N)
+    thr = gen.normal(0.0, 0.5, N)
+    return values, thr
+
+
+def derived_noise(seed, rho_scale, nu_scale, rho_draws=1):
+    """rho and nu blocks from dedicated derived streams (shared by both paths)."""
+    rho = derive_rng(seed, "rho").laplace(scale=1.0, size=rho_draws) * np.asarray(rho_scale)
+    nu = derive_rng(seed, "nu").laplace(scale=nu_scale, size=N) if nu_scale else None
+    return rho, nu
+
+
+# One (vectorized, streaming) kernel pair per registry variant, driven by the
+# variant's own noise scales.
+def kernel_pair_for(key, values, thr, seed):
+    delta = 1.0
+    if key == "alg1":
+        eps1 = EPS / 2.0
+        rho, nu = derived_noise(seed, delta / eps1, 2 * C * delta / (EPS - eps1))
+        args = (values, thr, float(rho[0]), nu, C)
+        return threshold_kernel(*args), threshold_kernel_stream(*args)
+    if key == "alg2":
+        eps1 = EPS / 2.0
+        eps2 = EPS - eps1
+        rho, nu = derived_noise(seed, 1.0, 2 * C * delta / eps1, rho_draws=C + 1)
+        scales = np.array([C * delta / eps1] + [C * delta / eps2] * C)
+        rhos = rho * scales
+        args = (values, thr, rhos, nu, C)
+        return dpbook_kernel(*args), dpbook_kernel_stream(*args)
+    if key == "alg3":
+        eps1 = EPS / 2.0
+        rho, nu = derived_noise(seed, delta / eps1, C * delta / (EPS - eps1))
+        args = (values, thr, float(rho[0]), nu, C)
+        return (
+            threshold_kernel(*args, release_noisy=True),
+            threshold_kernel_stream(*args, release_noisy=True),
+        )
+    if key == "alg4":
+        eps1 = EPS / 4.0
+        rho, nu = derived_noise(seed, delta / eps1, delta / (EPS - eps1))
+        args = (values, thr, float(rho[0]), nu, C)
+        return threshold_kernel(*args), threshold_kernel_stream(*args)
+    if key == "alg5":
+        rho, _ = derived_noise(seed, delta / (EPS / 2.0), None)
+        args = (values, thr, float(rho[0]), None)
+        return nocut_kernel(*args), nocut_kernel_stream(*args)
+    if key == "alg6":
+        eps1 = EPS / 2.0
+        rho, nu = derived_noise(seed, delta / eps1, delta / (EPS - eps1))
+        args = (values, thr, float(rho[0]), nu)
+        return nocut_kernel(*args), nocut_kernel_stream(*args)
+    raise AssertionError(key)
+
+
+class TestSameNoiseIdenticalResult:
+    @pytest.mark.parametrize("key", sorted(ALGORITHMS))
+    @pytest.mark.parametrize("seed", range(10))
+    def test_every_registry_variant(self, key, seed):
+        values, thr = make_instance(seed)
+        vec, stream = kernel_pair_for(key, values, thr, seed)
+        assert_results_identical(vec, stream)
+
+
+class TestSameSeedIdenticalResult:
+    """The batch entry points sample in streaming draw order."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_alg1(self, seed):
+        values, thr = make_instance(seed)
+        allocation = BudgetAllocation(eps1=EPS / 2.0, eps2=EPS / 2.0)
+        stream = StandardSVT(allocation, c=C, rng=seed).run(values, thr)
+        batch = run_svt_batch(values, allocation, C, thresholds=thr, rng=seed)
+        assert_results_identical(stream, batch)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_alg3(self, seed):
+        values, thr = make_instance(seed)
+        kwargs = dict(thresholds=thr, rng=seed, allow_non_private=True)
+        assert_results_identical(
+            run_roth(values, EPS, C, **kwargs), run_roth_batch(values, EPS, C, **kwargs)
+        )
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_alg4(self, seed):
+        values, thr = make_instance(seed)
+        kwargs = dict(thresholds=thr, rng=seed, allow_non_private=True)
+        assert_results_identical(
+            run_lee_clifton(values, EPS, C, **kwargs),
+            run_lee_clifton_batch(values, EPS, C, **kwargs),
+        )
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_alg5(self, seed):
+        values, thr = make_instance(seed)
+        kwargs = dict(thresholds=thr, rng=seed, allow_non_private=True)
+        assert_results_identical(
+            run_stoddard(values, EPS, **kwargs), run_stoddard_batch(values, EPS, **kwargs)
+        )
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_alg6(self, seed):
+        values, thr = make_instance(seed)
+        kwargs = dict(thresholds=thr, rng=seed, allow_non_private=True)
+        assert_results_identical(
+            run_chen(values, EPS, **kwargs), run_chen_batch(values, EPS, **kwargs)
+        )
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_gptt(self, seed):
+        values, thr = make_instance(seed)
+        kwargs = dict(thresholds=thr, rng=seed, allow_non_private=True)
+        assert_results_identical(
+            run_gptt(values, 0.6, 0.7, **kwargs), run_gptt_batch(values, 0.6, 0.7, **kwargs)
+        )
+
+
+class TestRunBatchDispatch:
+    @pytest.mark.parametrize("key", sorted(ALGORITHMS))
+    def test_every_variant_has_batch_runner(self, key):
+        assert ALGORITHMS[key].batch_runner is not None
+
+    @pytest.mark.parametrize("key", ["alg3", "alg4", "alg5", "alg6"])
+    def test_opt_in_still_enforced(self, key):
+        with pytest.raises(NonPrivateMechanismError):
+            ALGORITHMS[key].run_batch([1.0, 2.0], epsilon=1.0, c=1)
+
+    @pytest.mark.parametrize("key", sorted(ALGORITHMS))
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_streaming_runner_semantics(self, key, seed):
+        """Released transcript agrees with .run for the single-pass variants;
+        for Alg. 2 (mid-stream refresh draws) the batch path is checked
+        distributionally elsewhere — here we only require a well-formed result."""
+        values, thr = make_instance(seed)
+        info = ALGORITHMS[key]
+        batch = info.run_batch(
+            values, epsilon=EPS, c=C, thresholds=thr, rng=seed, allow_non_private=True
+        )
+        assert batch.processed == len(batch.answers)
+        if key != "alg2":
+            stream = info.run(
+                values, epsilon=EPS, c=C, thresholds=thr, rng=seed, allow_non_private=True
+            )
+            assert stream.positives == batch.positives
+            assert stream.processed == batch.processed

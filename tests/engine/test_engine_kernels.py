@@ -1,0 +1,135 @@
+"""Kernel-level batch ≡ streaming: same noise in, identical transcript out."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import ABOVE, BELOW
+from repro.engine.kernels import (
+    cut_at_cth_positive,
+    dpbook_kernel,
+    dpbook_kernel_stream,
+    nocut_kernel,
+    nocut_kernel_stream,
+    threshold_kernel,
+    threshold_kernel_stream,
+)
+from repro.exceptions import InvalidParameterError
+
+
+def assert_results_identical(a, b):
+    assert a.answers == b.answers
+    assert a.positives == b.positives
+    assert a.processed == b.processed
+    assert a.halted == b.halted
+    assert a.noisy_threshold_trace == b.noisy_threshold_trace
+
+
+def random_instance(seed, n=40):
+    gen = np.random.default_rng(seed)
+    values = gen.normal(0.0, 2.0, n)
+    thr = gen.normal(0.0, 1.0, n)
+    rho = float(gen.laplace(scale=1.5))
+    nu = gen.laplace(scale=2.0, size=n)
+    return values, thr, rho, nu, gen
+
+
+class TestCut:
+    def test_no_positives(self):
+        assert cut_at_cth_positive(np.zeros(5, dtype=bool), 2) == (5, False)
+
+    def test_exact_halt(self):
+        above = np.array([True, False, True, True, False])
+        assert cut_at_cth_positive(above, 2) == (3, True)
+        assert cut_at_cth_positive(above, 3) == (4, True)
+        assert cut_at_cth_positive(above, 4) == (5, False)
+
+    def test_empty(self):
+        assert cut_at_cth_positive(np.zeros(0, dtype=bool), 1) == (0, False)
+
+
+class TestThresholdKernel:
+    @pytest.mark.parametrize("c", [1, 2, 5, 100])
+    @pytest.mark.parametrize("seed", range(8))
+    def test_indicator_mode(self, seed, c):
+        values, thr, rho, nu, _ = random_instance(seed)
+        assert_results_identical(
+            threshold_kernel(values, thr, rho, nu, c),
+            threshold_kernel_stream(values, thr, rho, nu, c),
+        )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_release_noisy_mode(self, seed):
+        """Alg. 3: positives release the very q_i + nu_i that won."""
+        values, thr, rho, nu, _ = random_instance(seed)
+        vec = threshold_kernel(values, thr, rho, nu, 3, release_noisy=True)
+        stream = threshold_kernel_stream(values, thr, rho, nu, 3, release_noisy=True)
+        assert_results_identical(vec, stream)
+        for i in vec.positives:
+            assert vec.answers[i] == values[i] + nu[i]
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_numeric_mode(self, seed):
+        """Alg. 7 eps3 phase: positives release q_i + fresh noise."""
+        values, thr, rho, nu, gen = random_instance(seed)
+        numeric = gen.laplace(scale=3.0, size=5)
+        vec = threshold_kernel(values, thr, rho, nu, 5, numeric_noise=numeric)
+        stream = threshold_kernel_stream(values, thr, rho, nu, 5, numeric_noise=numeric)
+        assert_results_identical(vec, stream)
+        for k, i in enumerate(vec.positives):
+            assert vec.answers[i] == values[i] + numeric[k]
+
+    def test_modes_exclusive(self):
+        values, thr, rho, nu, _ = random_instance(0)
+        with pytest.raises(InvalidParameterError):
+            threshold_kernel(
+                values, thr, rho, nu, 2, numeric_noise=np.zeros(2), release_noisy=True
+            )
+
+
+class TestDpbookKernel:
+    @pytest.mark.parametrize("c", [1, 2, 4, 30])
+    @pytest.mark.parametrize("seed", range(8))
+    def test_identical_to_stream(self, seed, c):
+        values, thr, _, nu, gen = random_instance(seed)
+        rhos = gen.laplace(scale=2.0, size=c + 1)
+        assert_results_identical(
+            dpbook_kernel(values, thr, rhos, nu, c),
+            dpbook_kernel_stream(values, thr, rhos, nu, c),
+        )
+
+    def test_refresh_consumed_per_positive(self):
+        """One rho per segment: trace length is 1 + num_positives (Alg. 2)."""
+        values = np.array([10.0, -10.0, 10.0, -10.0])
+        thr = np.zeros(4)
+        rhos = np.array([0.0, 1.0, 2.0, 3.0, 4.0])
+        nu = np.zeros(4)
+        result = dpbook_kernel(values, thr, rhos, nu, 5)
+        assert result.positives == [0, 2]
+        assert result.noisy_threshold_trace == [0.0, 1.0, 2.0]
+
+    def test_too_few_rhos_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            dpbook_kernel(np.ones(3), np.zeros(3), np.zeros(2), np.zeros(3), 4)
+
+
+class TestNocutKernel:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_with_query_noise(self, seed):
+        values, thr, rho, nu, _ = random_instance(seed)
+        assert_results_identical(
+            nocut_kernel(values, thr, rho, nu),
+            nocut_kernel_stream(values, thr, rho, nu),
+        )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_without_query_noise(self, seed):
+        """Alg. 5: the comparison is deterministic given rho."""
+        values, thr, rho, _, _ = random_instance(seed)
+        vec = nocut_kernel(values, thr, rho, nu=None)
+        assert_results_identical(vec, nocut_kernel_stream(values, thr, rho, nu=None))
+        assert vec.processed == values.size
+        assert not vec.halted
+
+    def test_answers_alignment(self):
+        result = nocut_kernel(np.array([10.0, -10.0]), np.zeros(2), 0.0, None)
+        assert result.answers == [ABOVE, BELOW]
