@@ -40,3 +40,12 @@ def emit(title: str, body: str) -> None:
     """Print a labeled reproduction artifact (visible with -s)."""
     bar = "=" * max(len(title), 20)
     print(f"\n{bar}\n{title}\n{bar}\n{body}")
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Flush any recorded engine-bench measurements to BENCH_engine.json."""
+    from benchmarks.record import flush
+
+    path = flush()
+    if path:
+        print(f"\nbenchmark record written: {path}")

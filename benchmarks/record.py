@@ -1,0 +1,79 @@
+"""Machine-readable benchmark results: the ``BENCH_engine.json`` artifact.
+
+The enforced speedup benches (``test_bench_engine.py`` /
+``test_bench_retraversal.py``) call :func:`record` with their measurements;
+a session-finish hook in ``benchmarks/conftest.py`` flushes everything to
+one JSON file so the engine's performance trajectory is tracked across PRs
+(CI uploads the file as a build artifact).
+
+Schema (version 1)::
+
+    {
+      "schema": 1,
+      "python": "3.12.1",
+      "platform": "Linux-...",
+      "peak_rss_kb": 123456,            # process-wide high-water mark
+      "results": {
+        "<variant>": {
+          "speedup": 17.3,              # engine vs streaming wall clock
+          "trials_per_sec": 4200.0,     # engine throughput
+          "streaming_ms": 81.2,
+          "engine_ms": 4.7,
+          "trials": 20, "n": 4000, "c": 25,
+          "peak_rss_kb": 120000         # high-water mark when recorded
+        }, ...
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import resource
+from typing import Dict, Optional
+
+__all__ = ["record", "flush", "peak_rss_kb", "DEFAULT_PATH"]
+
+DEFAULT_PATH = os.path.join(os.path.dirname(__file__), "BENCH_engine.json")
+
+_RESULTS: Dict[str, dict] = {}
+
+
+def peak_rss_kb() -> int:
+    """The process's peak resident set size, in kilobytes.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalize to kB.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if platform.system() == "Darwin":  # pragma: no cover - platform-specific
+        peak //= 1024
+    return int(peak)
+
+
+def record(variant: str, **fields) -> None:
+    """Record one variant's benchmark result for the end-of-session flush."""
+    _RESULTS[str(variant)] = {**fields, "peak_rss_kb": peak_rss_kb()}
+
+
+def flush(path: Optional[str] = None) -> Optional[str]:
+    """Write all recorded results to JSON; returns the path (None if empty).
+
+    The destination is *path*, the ``REPRO_BENCH_RECORD`` environment
+    variable, or ``benchmarks/BENCH_engine.json``.
+    """
+    if not _RESULTS:
+        return None
+    path = path or os.environ.get("REPRO_BENCH_RECORD") or DEFAULT_PATH
+    payload = {
+        "schema": 1,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "peak_rss_kb": peak_rss_kb(),
+        "results": dict(sorted(_RESULTS.items())),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path

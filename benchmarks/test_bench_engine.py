@@ -18,6 +18,7 @@ import numpy as np
 import pytest
 
 from benchmarks.conftest import emit
+from benchmarks.record import record
 from repro.engine import run_trials
 from repro.rng import derive_rng, derive_rngs
 from repro.variants.dpbook import run_dpbook
@@ -76,6 +77,14 @@ def test_engine_vs_streaming_lee_clifton(workload):
         f"streaming: {stream_time * 1e3:.1f} ms   engine: {engine_time * 1e3:.1f} ms   "
         f"speedup: {speedup:.1f}x   ({TRIALS} trials x {N} queries, c={C})",
     )
+    record(
+        "alg4",
+        speedup=round(speedup, 2),
+        trials_per_sec=round(TRIALS / engine_time, 1),
+        streaming_ms=round(stream_time * 1e3, 2),
+        engine_ms=round(engine_time * 1e3, 2),
+        trials=TRIALS, n=N, c=C,
+    )
     assert speedup >= MIN_SPEEDUP
 
 
@@ -100,5 +109,13 @@ def test_engine_vs_streaming_dpbook(workload):
         "Engine vs streaming — Alg. 2 (SVT-DPBook)",
         f"streaming: {stream_time * 1e3:.1f} ms   engine: {engine_time * 1e3:.1f} ms   "
         f"speedup: {speedup:.1f}x   ({TRIALS} trials x {N} queries, c={C})",
+    )
+    record(
+        "alg2",
+        speedup=round(speedup, 2),
+        trials_per_sec=round(TRIALS / engine_time, 1),
+        streaming_ms=round(stream_time * 1e3, 2),
+        engine_ms=round(engine_time * 1e3, 2),
+        trials=TRIALS, n=N, c=C,
     )
     assert speedup >= MIN_SPEEDUP

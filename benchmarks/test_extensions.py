@@ -77,7 +77,7 @@ def test_e11_epsilon_sweep(benchmark, dataset):
     from repro.experiments.interactive import _svt_s_method
     from repro.experiments.noninteractive import _em_method
 
-    methods = {"SVT-S-1:c^(2/3)": _svt_s_method("1:c^(2/3)"), "EM": _em_method}
+    methods = {"SVT-S-1:c^(2/3)": _svt_s_method("1:c^(2/3)"), "EM": _em_method()}
 
     sweep = benchmark.pedantic(
         epsilon_sweep,

@@ -93,6 +93,39 @@ def test_engine_trials_throughput(benchmark, scores):
 
 
 @pytest.mark.benchmark(group="micro")
+def test_engine_em_trials_throughput(benchmark, scores):
+    """A whole EM Monte-Carlo cell (32 trials) through the engine's Gumbel-max."""
+    threshold = float(scores[C])
+
+    def run():
+        return run_trials(
+            "em", scores, 0.1, C, trials=32,
+            thresholds=threshold, monotonic=True, rng=7,
+        )
+
+    result = benchmark(run)
+    assert result.trials == 32
+    assert np.all(result.num_positives == C)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_engine_retraversal_trials_throughput(benchmark, scores):
+    """A whole SVT-ReTr cell (32 trials) through the geometric-race kernel."""
+    threshold = float(scores[C])
+
+    def run():
+        return run_trials(
+            "retraversal", scores, 0.1, C, trials=32,
+            thresholds=threshold, ratio="1:c^(2/3)", monotonic=True,
+            threshold_bump_d=2.0, max_passes=20, rng=8,
+        )
+
+    result = benchmark(run)
+    assert result.trials == 32
+    assert np.all(result.num_positives <= C)
+
+
+@pytest.mark.benchmark(group="micro")
 def test_dpbook_batch_throughput(benchmark, scores):
     rng = np.random.default_rng(5)
     threshold = float(scores[C])

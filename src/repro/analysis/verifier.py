@@ -143,6 +143,23 @@ def _integrate(fn, lo: float, hi: float, points: Sequence[float]) -> float:
     return float(value)
 
 
+def _kink_points(kinks: Sequence[float], query_scale: float) -> list:
+    """Breakpoints for the quadrature: each comparison kink plus its skirt.
+
+    When the query noise is much tighter than the threshold noise, the
+    factors f/g transition over a window of width ~query_scale around each
+    kink — a feature far narrower than the integration interval, which the
+    adaptive rule can step over entirely (losing ~1e-3 of mass) unless the
+    transition region is pinned with its own breakpoints.
+    """
+    pts = list(kinks)
+    if query_scale > 0.0:
+        for k in kinks:
+            for m in (1.0, 8.0, 40.0):
+                pts.extend((k - m * query_scale, k + m * query_scale))
+    return pts
+
+
 def _segment_probability(
     answers: np.ndarray,
     thresholds: np.ndarray,
@@ -169,7 +186,9 @@ def _segment_probability(
     # step discontinuities when query_scale == 0), plus z = 0 where the rho
     # density itself has a kink — without it quad can report a tight error
     # estimate while missing ~1e-4 of mass on these wide intervals.
-    kinks = [0.0] + list(below_q - below) + list(above_q - above)
+    kinks = [0.0] + _kink_points(
+        list(below_q - below) + list(above_q - above), spec.query_scale
+    )
     return _integrate(integrand, -width, width, kinks)
 
 
@@ -214,7 +233,7 @@ def _numeric_outcome_density(
     hi = min(width, z_cap)
     if hi <= -width:
         return 0.0
-    kinks = [0.0] + list(below_q_arr - below_t_arr)
+    kinks = [0.0] + _kink_points(list(below_q_arr - below_t_arr), spec.query_scale)
     return density * _integrate(integrand, -width, hi, kinks)
 
 

@@ -14,6 +14,12 @@ examined query draws fresh noise, and at most c positives are ever produced,
 so the Theorem 4/5 argument applies verbatim — the negatives (however many
 passes they span) are charged only through eps1, the at-most-c positives
 through eps2.  Total cost: ``eps1 + eps2 (+ eps3)``.
+
+This is the single-run reference implementation.  Whole Monte-Carlo cells run
+through :func:`repro.engine.retraversal.retraversal_trials`, which is
+bit-identical to calling this once per trial under per-trial derived streams
+(selection, ``passes``, ``examined``, ``exhausted`` — pinned by
+``tests/engine/test_engine_retraversal.py``).
 """
 
 from __future__ import annotations

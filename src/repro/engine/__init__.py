@@ -10,8 +10,13 @@ Monte-Carlo trial batches — without a Python-level inner loop:
   with a streaming reference twin used by the equivalence test suite;
 * :mod:`repro.engine.batch` — single-run ``run_*_batch`` counterparts of
   every :mod:`repro.variants` implementation;
+* :mod:`repro.engine.retraversal` — the Section-5 kernels: multi-pass
+  SVT-ReTr rescans and the Gumbel-max EM baseline, batched across trials;
 * :mod:`repro.engine.trials` — the multi-trial layer: all trials of a
-  (variant, epsilon, c) cell in one pass, with vectorized SER/FNR.
+  (variant, epsilon, c) cell in one pass, with vectorized SER/FNR and
+  shared-unit-noise epsilon grids;
+* :mod:`repro.engine.plans` / :mod:`repro.engine.exec` — execution planning:
+  ``max_bytes``-driven trial chunking and process-pool sharding.
 
 The experiment harness (:mod:`repro.experiments`), the attack estimator
 (:mod:`repro.attacks.estimator`), and the registry's
@@ -28,12 +33,20 @@ from repro.engine.batch import (
     run_stoddard_batch,
     run_svt_batch,
 )
-from repro.engine.noise import TrialRngs, laplace_matrix, laplace_vector
+from repro.engine.exec import execute_trials, merge_batches
+from repro.engine.noise import TrialRngs, gumbel_matrix, laplace_matrix, laplace_vector
+from repro.engine.plans import BYTES_PER_CELL, TrialPlan, plan_trials
+from repro.engine.retraversal import (
+    RetraversalTrialBatch,
+    em_selection_matrix,
+    retraversal_trials,
+)
 from repro.engine.trials import (
     TrialBatch,
     cut_matrix,
     run_trials,
     selection_matrix,
+    svt_selection_grid,
     svt_selection_matrix,
     transcript_sampler,
 )
@@ -42,6 +55,7 @@ __all__ = [
     "TrialRngs",
     "laplace_matrix",
     "laplace_vector",
+    "gumbel_matrix",
     "run_svt_batch",
     "run_dpbook_batch",
     "run_roth_batch",
@@ -49,10 +63,19 @@ __all__ = [
     "run_stoddard_batch",
     "run_chen_batch",
     "run_gptt_batch",
+    "RetraversalTrialBatch",
+    "retraversal_trials",
+    "em_selection_matrix",
     "TrialBatch",
     "cut_matrix",
     "selection_matrix",
     "svt_selection_matrix",
+    "svt_selection_grid",
     "run_trials",
     "transcript_sampler",
+    "TrialPlan",
+    "plan_trials",
+    "BYTES_PER_CELL",
+    "execute_trials",
+    "merge_batches",
 ]

@@ -1,0 +1,153 @@
+"""Chunked and process-sharded execution of engine trial runs.
+
+The engine's working set is a handful of ``(trials, n)`` blocks.  At the
+paper's full AOL configuration (n ≈ 2.3M items × hundreds of trials) one
+block is tens of gigabytes — far past any laptop — so this layer splits the
+*trial* axis into chunks sized by a byte budget (:func:`~repro.engine.plans.
+plan_trials`) and runs them either serially or sharded across a
+``ProcessPoolExecutor`` (``parallel="process"``), the same scan-sharding
+shape production query engines use for large scans.
+
+Determinism is the design constraint: chunked must equal unchunked, and the
+worker count must never leak into results.  Both follow from one rule —
+entering this layer switches the run onto **per-trial derived streams**
+(:func:`repro.rng.derive_rngs`; a caller-supplied list of per-trial
+generators is used as-is).  Each chunk then consumes exactly its own trials'
+streams, wherever and in whatever order it runs.  The one semantic shift:
+``run_trials(rng=seed, max_bytes=...)`` uses the derived streams even when
+everything fits in one chunk, so its results differ from the plain
+shared-stream ``run_trials(rng=seed)`` — but never across chunk sizes or
+backends.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.engine.plans import TrialPlan, plan_trials
+from repro.exceptions import InvalidParameterError
+from repro.rng import derive_rngs
+
+__all__ = ["execute_trials", "merge_batches"]
+
+_BACKENDS = (None, "serial", "process")
+
+
+def merge_batches(batches: Sequence) -> "TrialBatch":  # noqa: F821 (doc type)
+    """Concatenate per-chunk :class:`~repro.engine.trials.TrialBatch` results.
+
+    All chunks share (variant, epsilon, c, n) and differ only in their trial
+    rows, so every per-trial array concatenates along axis 0.
+    """
+    from repro.engine.trials import TrialBatch
+
+    if not batches:
+        raise InvalidParameterError("no batches to merge")
+    if len(batches) == 1:
+        return batches[0]
+    first = batches[0]
+
+    def cat(name):
+        parts = [getattr(b, name) for b in batches]
+        if any(p is None for p in parts):
+            return None
+        return np.concatenate(parts, axis=0)
+
+    return TrialBatch(
+        variant=first.variant,
+        epsilon=first.epsilon,
+        c=first.c,
+        trials=sum(b.trials for b in batches),
+        n=first.n,
+        processed=cat("processed"),
+        halted=cat("halted"),
+        num_positives=cat("num_positives"),
+        selection=cat("selection"),
+        ser=cat("ser"),
+        fnr=cat("fnr"),
+        positives_mask=cat("positives_mask"),
+        passes=cat("passes"),
+        exhausted=cat("exhausted"),
+    )
+
+
+def _run_payload(payload: dict):
+    """Top-level (picklable) chunk runner for the process backend."""
+    from repro.engine.trials import run_trials
+
+    return run_trials(**payload)
+
+
+def execute_trials(
+    variant: str,
+    answers,
+    epsilons,
+    c: int,
+    trials: int,
+    *,
+    rng=None,
+    max_bytes: Optional[int] = None,
+    parallel: Optional[str] = None,
+    workers: Optional[int] = None,
+    **kwargs,
+) -> Union["TrialBatch", Dict[float, "TrialBatch"]]:  # noqa: F821
+    """Run a (possibly epsilon-grid) trial batch chunked and/or sharded.
+
+    Called by :func:`repro.engine.trials.run_trials` when ``max_bytes`` or
+    ``parallel`` is set; not usually invoked directly.  ``workers`` defaults
+    to the CPU count (capped by the number of chunks).
+    """
+    if parallel not in _BACKENDS:
+        raise InvalidParameterError(
+            f"unknown parallel backend {parallel!r}; known: {sorted(str(b) for b in _BACKENDS)}"
+        )
+    if workers is not None and workers < 1:
+        raise InvalidParameterError("workers must be >= 1")
+    if trials <= 0:
+        raise InvalidParameterError("trials must be > 0")
+    base = np.asarray(answers, dtype=float)
+    if base.ndim != 1:
+        raise InvalidParameterError("answers must be a 1-D sequence")
+
+    if isinstance(rng, (list, tuple)):
+        if len(rng) != trials:
+            raise InvalidParameterError(
+                f"got {len(rng)} per-trial generators for {trials} trials"
+            )
+        rngs = list(rng)
+    else:
+        # Chunk-invariance: derive one stream per trial up front, then hand
+        # each chunk its slice.  (A shared stream would interleave draws
+        # differently at every chunk boundary.)
+        rngs = derive_rngs(rng, trials, "engine-exec")
+
+    plan: TrialPlan = plan_trials(trials, base.size, max_bytes)
+    payloads: List[dict] = [
+        dict(
+            variant=variant,
+            answers=base,
+            epsilons=epsilons,
+            c=c,
+            trials=stop - start,
+            rng=rngs[start:stop],
+            **kwargs,
+        )
+        for start, stop in plan.bounds()
+    ]
+
+    if parallel == "process" and len(payloads) > 1:
+        max_workers = min(workers or os.cpu_count() or 1, len(payloads))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            results = list(pool.map(_run_payload, payloads))
+    else:
+        results = [_run_payload(p) for p in payloads]
+
+    if isinstance(results[0], dict):
+        return {
+            eps: merge_batches([r[eps] for r in results]) for eps in results[0]
+        }
+    return merge_batches(results)

@@ -29,7 +29,7 @@ import numpy as np
 from repro.exceptions import InvalidParameterError
 from repro.rng import RngLike, ensure_rng
 
-__all__ = ["TrialRngs", "laplace_vector", "laplace_matrix"]
+__all__ = ["TrialRngs", "laplace_vector", "laplace_matrix", "gumbel_matrix"]
 
 #: Either one shared stream or one stream per trial.
 TrialRngs = Union[RngLike, Sequence[np.random.Generator]]
@@ -76,3 +76,25 @@ def laplace_matrix(rng: TrialRngs, scale: float, trials: int, n: int) -> np.ndar
             out[i] = gen.laplace(scale=scale, size=n)
         return out
     return ensure_rng(rng).laplace(scale=scale, size=(trials, n))
+
+
+def gumbel_matrix(rng: TrialRngs, trials: int, n: int) -> np.ndarray:
+    """Sample a ``(trials, n)`` matrix of standard Gumbel noise (EM kernel).
+
+    Standard (loc 0, scale 1) because the exponential mechanism's budget
+    enters through the logits, not the noise — which is what lets one Gumbel
+    block serve a whole epsilon grid.  Per-trial generators draw one row per
+    stream, bit-compatible with ``gen.gumbel(size=n)`` in a per-trial loop.
+    """
+    if n < 0 or trials < 0:
+        raise InvalidParameterError("trials and n must be non-negative")
+    if _is_rng_list(rng):
+        if len(rng) != trials:
+            raise InvalidParameterError(
+                f"got {len(rng)} per-trial generators for {trials} trials"
+            )
+        out = np.empty((trials, n), dtype=float)
+        for i, gen in enumerate(rng):
+            out[i] = gen.gumbel(size=n)
+        return out
+    return ensure_rng(rng).gumbel(size=(trials, n))

@@ -1,4 +1,4 @@
-"""Per-variant noise plans: the one place the engine encodes Figure 1's scales.
+"""Per-variant noise plans and trial-chunking plans.
 
 The streaming modules under :mod:`repro.variants` deliberately restate their
 scales inline — each is a literal transliteration of its Figure 1 listing —
@@ -7,16 +7,21 @@ engine, however, both the single-run batch entry points
 (:mod:`repro.engine.batch`) and the multi-trial layer
 (:mod:`repro.engine.trials`) need the same numbers; this table keeps them
 from drifting apart.
+
+:class:`TrialPlan` is the execution-side plan: given a ``max_bytes`` budget
+it decides how many trials fit in one block of the engine's ``(trials, n)``
+working set, so :mod:`repro.engine.exec` can split (and optionally shard)
+the trial axis without any block exceeding the budget.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Tuple
 
 from repro.exceptions import InvalidParameterError
 
-__all__ = ["NoisePlan", "noise_plan"]
+__all__ = ["NoisePlan", "noise_plan", "TrialPlan", "plan_trials", "BYTES_PER_CELL"]
 
 
 @dataclass(frozen=True)
@@ -65,3 +70,62 @@ def noise_plan(
         eps1 = epsilon / 2.0
         return NoisePlan(delta / eps1, delta / (epsilon - eps1), None, False)
     raise InvalidParameterError(f"no fixed noise plan for variant {key!r}")
+
+
+#: Working-set bytes per (trial, query) cell the engine may hold live at
+#: once: the float64 noise block, the noisy-comparison intermediates, the
+#: boolean masks, and the int64 cumsum (8 + 8 + 8 + 8 + 2*8 with slack for
+#: the shuffle row and selection scatter).  Deliberately conservative — the
+#: budget caps *peak* footprint, not the average.
+BYTES_PER_CELL = 48
+
+
+@dataclass(frozen=True)
+class TrialPlan:
+    """How one multi-trial run is split along the trial axis.
+
+    ``chunk_trials`` is the largest trial count whose working set fits the
+    ``max_bytes`` budget (never below one trial: a single trial's row is the
+    irreducible unit of work).  ``max_bytes=None`` means one chunk.
+    """
+
+    trials: int
+    n: int
+    chunk_trials: int
+    max_bytes: Optional[int] = None
+
+    @property
+    def num_chunks(self) -> int:
+        return -(-self.trials // self.chunk_trials)
+
+    @property
+    def chunk_bytes(self) -> int:
+        """Estimated peak working set of one chunk."""
+        return self.chunk_trials * self.n * BYTES_PER_CELL
+
+    def bounds(self) -> List[Tuple[int, int]]:
+        """The [start, stop) trial ranges of every chunk, in order."""
+        return [
+            (start, min(start + self.chunk_trials, self.trials))
+            for start in range(0, self.trials, self.chunk_trials)
+        ]
+
+
+def plan_trials(trials: int, n: int, max_bytes: Optional[int] = None) -> TrialPlan:
+    """Plan the trial chunking for a ``(trials, n)`` engine run."""
+    if trials <= 0:
+        raise InvalidParameterError("trials must be > 0")
+    if n < 0:
+        raise InvalidParameterError("n must be non-negative")
+    if max_bytes is None:
+        return TrialPlan(trials=trials, n=n, chunk_trials=trials, max_bytes=None)
+    if max_bytes <= 0:
+        raise InvalidParameterError("max_bytes must be > 0")
+    per_trial = max(n, 1) * BYTES_PER_CELL
+    chunk = int(max_bytes // per_trial)
+    return TrialPlan(
+        trials=trials,
+        n=n,
+        chunk_trials=max(1, min(chunk, trials)),
+        max_bytes=int(max_bytes),
+    )

@@ -1,0 +1,353 @@
+"""Vectorized Section-5 kernels: SVT with Retraversal and the EM baseline.
+
+These close the last per-trial gap in the engine — the two non-interactive
+methods of Figure 5 whose structure resisted the single-pass batch layer:
+
+* :func:`retraversal_trials` runs every trial of
+  :func:`repro.core.retraversal.svt_retraversal` — segmented multi-pass
+  rescans: the noisy threshold is sampled once per trial, each pass draws
+  fresh query noise for that trial's still-unselected queries, and the
+  first-c selection accumulates across passes.
+* :func:`em_selection_matrix` runs the c-round exponential mechanism for all
+  trials as one Gumbel-max over a ``(trials, n)`` score matrix — the batched
+  form of :func:`repro.mechanisms.exponential.select_top_c_em`'s
+  Gumbel-top-c draw.
+
+Both kernels honour the engine's two RNG modes.  A list of per-trial
+generators consumes each trial's stream exactly as the streaming
+implementation would — pass-by-pass Laplace blocks — making the results
+bit-identical to a per-trial loop (the property the Figure 5 harness and the
+equivalence suite rely on).  A shared generator takes the fast path:
+
+**The geometric race.**  The multi-pass transcript consumes only the
+*indicators* of ``q_i + nu_i >= T-hat_i``.  Given the (fixed) noisy
+threshold, query i's crossing probability ``p_i`` is the same in every pass
+— the gap does not change and the noise is fresh — so the pass in which i
+first crosses is ``Geometric(p_i)``, and the whole multi-pass run is decided
+by one race: order queries by (first-crossing pass, position) and select the
+first c.  One uniform block and a log therefore replace *every* per-pass
+Laplace block, and ``passes``/``examined`` follow in closed form
+(:func:`race_outcome`).  The distribution over
+(selection, passes, examined, exhausted) is exactly that of the literal
+rescans — not an approximation — which a distributional test pins against
+the streaming implementation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.allocation import BudgetAllocation
+from repro.core.base import normalize_thresholds
+from repro.engine.noise import TrialRngs, gumbel_matrix, laplace_vector
+from repro.exceptions import InvalidParameterError
+from repro.mechanisms.exponential import _validate_eps, _validate_sensitivity
+from repro.rng import ensure_rng
+
+__all__ = [
+    "RetraversalTrialBatch",
+    "retraversal_trials",
+    "race_outcome",
+    "em_selection_matrix",
+]
+
+
+@dataclass
+class RetraversalTrialBatch:
+    """All trials of one SVT-ReTr cell: selections plus the work accounting.
+
+    ``selection`` is ``(trials, c)`` right-padded with -1, in selection order
+    across passes.  ``passes`` counts full traversals per trial, ``examined``
+    the total query examinations (the work the paper's Section 5 trades
+    against accuracy), and ``exhausted`` marks trials that hit the pass limit
+    before selecting c queries — field for field what a per-trial loop over
+    :class:`repro.core.retraversal.RetraversalResult` would report.
+    """
+
+    selection: np.ndarray
+    passes: np.ndarray
+    examined: np.ndarray
+    exhausted: np.ndarray
+
+    @property
+    def num_selected(self) -> np.ndarray:
+        return (self.selection >= 0).sum(axis=1)
+
+
+def _validate_retraversal(c, sensitivity: float, threshold_bump_d: float, max_passes: int):
+    if float(sensitivity) <= 0.0 or not math.isfinite(float(sensitivity)):
+        raise InvalidParameterError(
+            f"sensitivity must be finite and > 0, got {sensitivity!r}"
+        )
+    if not isinstance(c, (int, np.integer)) or int(c) <= 0:
+        raise InvalidParameterError(f"c must be a positive integer, got {c!r}")
+    if threshold_bump_d < 0.0:
+        raise InvalidParameterError("threshold_bump_d must be >= 0")
+    if max_passes < 1:
+        raise InvalidParameterError("max_passes must be >= 1")
+
+
+def retraversal_trials(
+    values: np.ndarray,
+    allocation: BudgetAllocation,
+    c: int,
+    thresholds: Union[float, Sequence[float]] = 0.0,
+    sensitivity: float = 1.0,
+    monotonic: bool = False,
+    threshold_bump_d: float = 0.0,
+    max_passes: int = 100,
+    rng: TrialRngs = None,
+) -> RetraversalTrialBatch:
+    """Run SVT-ReTr for a whole ``(trials, n)`` matrix of answers at once.
+
+    The batched form of calling :func:`repro.core.retraversal.svt_retraversal`
+    once per row.  With a list of per-trial generators the draws per trial are
+    exactly the streaming ones — one rho, then one fresh-noise block per pass
+    sized to that trial's remaining queries — so ``selection``/``passes``/
+    ``examined``/``exhausted`` are bit-identical to the loop.  With a shared
+    generator the run takes the geometric-race fast path instead: identical
+    in distribution, but it consumes one uniform block rather than the
+    streaming path's per-pass Laplace draws.
+    """
+    _validate_retraversal(c, sensitivity, threshold_bump_d, max_passes)
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 2:
+        raise InvalidParameterError("values must be a (trials, n) matrix")
+    trials, n = values.shape
+    c = int(min(c, n)) if n else int(c)
+    thr = normalize_thresholds(thresholds, n)
+
+    delta = float(sensitivity)
+    factor = c if monotonic else 2 * c
+    query_scale = factor * delta / allocation.eps2
+    bump = threshold_bump_d * math.sqrt(2.0) * query_scale
+
+    per_trial = isinstance(rng, (list, tuple))
+    shared = None if per_trial else ensure_rng(rng)
+    # One rho per trial for the entire multi-pass run (matching the streaming
+    # draw order: rho before any query noise).
+    rho = laplace_vector(rng if per_trial else shared, delta / allocation.eps1, trials)
+    effective_thr = thr[None, :] + bump + rho[:, None]
+
+    if not per_trial and n:
+        return _geometric_retraversal(
+            values, effective_thr, query_scale, c, max_passes, trials, n, shared
+        )
+    return _literal_retraversal(
+        values, effective_thr, query_scale, c, max_passes, trials, n, rng
+    )
+
+
+def _literal_retraversal(
+    values: np.ndarray,
+    effective_thr: np.ndarray,
+    query_scale: float,
+    c: int,
+    max_passes: int,
+    trials: int,
+    n: int,
+    rng: Sequence[np.random.Generator],
+) -> RetraversalTrialBatch:
+    """Pass-by-pass rescans, each pass vectorized over all active trials.
+
+    The per-trial-generator mode runs through here so each trial's draws —
+    one fresh-noise block per pass, sized to its remaining queries — land on
+    the exact stream positions the streaming loop uses (bit-compatibility).
+    (Shared-generator runs with a non-empty universe take the geometric fast
+    path; with ``n == 0`` the loop below never starts and rng is unused.)
+    """
+    available = np.ones((trials, n), dtype=bool)
+    count = np.zeros(trials, dtype=np.int64)
+    passes = np.zeros(trials, dtype=np.int64)
+    examined = np.zeros(trials, dtype=np.int64)
+    selection = np.full((trials, max(c, 1)), -1, dtype=np.int64)
+    active = available.any(axis=1) & (count < c)
+    cols = np.arange(n)
+
+    while active.any():
+        idx = np.nonzero(active)[0]
+        avail = available[idx]
+        nu = np.zeros((idx.size, n), dtype=float)
+        for row, t in enumerate(idx):
+            mask = avail[row]
+            nu[row, mask] = rng[t].laplace(scale=query_scale, size=int(mask.sum()))
+        above = avail & (values[idx] + nu >= effective_thr[idx])
+        cum = np.cumsum(above, axis=1)
+        need = c - count[idx]
+        hit = (cum == need[:, None]) & above
+        halted = hit.any(axis=1)
+        first = np.argmax(hit, axis=1)
+        # The pass scans the remaining queries in order and stops right after
+        # the need-th positive (or runs them all): queries at available
+        # positions within that prefix are the ones examined.
+        stop_col = np.where(halted, first, n - 1)
+        in_prefix = cols[None, :] <= stop_col[:, None]
+        examined[idx] += (avail & in_prefix).sum(axis=1)
+        picked = above & in_prefix
+        rows, sel_cols = np.nonzero(picked)
+        ordinal = count[idx][rows] + cum[rows, sel_cols] - 1
+        selection[idx[rows], ordinal] = sel_cols
+        count[idx] += picked.sum(axis=1)
+        available[idx] &= ~picked
+        passes[idx] += 1
+        active[idx] = (
+            (count[idx] < c)
+            & (passes[idx] < max_passes)
+            & available[idx].any(axis=1)
+        )
+
+    return RetraversalTrialBatch(
+        selection=selection,
+        passes=passes,
+        examined=examined,
+        exhausted=count < c,
+    )
+
+
+def _geometric_retraversal(
+    values: np.ndarray,
+    effective_thr: np.ndarray,
+    query_scale: float,
+    c: int,
+    max_passes: int,
+    trials: int,
+    n: int,
+    shared: np.random.Generator,
+) -> RetraversalTrialBatch:
+    """The shared-generator fast path: sample first-crossing passes directly.
+
+    ``P[q_i + nu_i >= T-hat_i] = SF_Lap(gap_i / scale)`` is constant across
+    passes, so the first-crossing pass of each (trial, query) is geometric
+    with that success probability: ``G = ceil(ln U / ln(1 - p))``.  One
+    uniform block replaces every per-pass Laplace block; the run's outcome is
+    then pure bookkeeping over G (:func:`race_outcome`).
+
+    ``ln(1 - p)`` is computed branch-wise from the Laplace survival function
+    so neither tail cancels: for gap < 0, ``1 - p = exp(gap/scale)/2``
+    exactly; for gap >= 0, ``log1p(-exp(-gap/scale)/2)``.
+    """
+    z = (effective_thr - values) / query_scale
+    log_one_minus_p = np.where(
+        z < 0.0,
+        z - math.log(2.0),
+        np.log1p(-0.5 * np.exp(-np.abs(z))),
+    )
+    u = shared.random((trials, n))
+    with np.errstate(divide="ignore", invalid="ignore"):
+        first_cross = np.ceil(np.log(u) / log_one_minus_p)
+    # p == 1 gives ln(1-p) = -inf and a 0/0 or x/-inf ratio: first pass.
+    first_cross = np.maximum(np.nan_to_num(first_cross, nan=1.0, posinf=np.inf), 1.0)
+    return race_outcome(first_cross, c, max_passes)
+
+
+def race_outcome(first_cross: np.ndarray, c: int, max_passes: int) -> RetraversalTrialBatch:
+    """Resolve a multi-pass run from each query's first-crossing pass.
+
+    ``first_cross`` is ``(trials, n)`` with entry (t, i) the pass in which
+    query i of trial t first crosses the noisy threshold (``inf`` = never).
+    Chronological selection order is exactly the lexicographic order of
+    ``(first_cross, position)``: pass g's hits are reached in position order,
+    and earlier passes come first.  Hence, with ``G(k)`` the k-th smallest
+    ``first_cross`` in that order:
+
+    * the selected queries are the first ``c`` — truncated to those with
+      ``first_cross <= max_passes`` when the run exhausts its pass budget;
+    * ``passes`` is ``G(c)`` when the c-th selection happens (the run stops
+      mid-pass right there), else ``max_passes``;
+    * ``examined`` counts, per pass, the still-unselected queries up to that
+      pass's stop point: a query is scanned once per pass until it is
+      selected, so it contributes ``min(first_cross, passes - 1)``
+      examinations from complete passes, plus one more in the final pass if
+      it is still unselected there and precedes the stop point.
+
+    Exposed separately so the accounting identities can be tested against a
+    literal pass-by-pass simulation of the same ``first_cross`` matrix.
+    """
+    trials, n = first_cross.shape
+    c = int(min(c, n))
+    if n == 0 or c <= 0:
+        # Nothing to traverse (c is clamped to n): zero passes, nothing
+        # selected, and num_selected < c is vacuously false.
+        return RetraversalTrialBatch(
+            selection=np.full((trials, max(c, 1)), -1, dtype=np.int64),
+            passes=np.zeros(trials, dtype=np.int64),
+            examined=np.zeros(trials, dtype=np.int64),
+            exhausted=np.zeros(trials, dtype=bool),
+        )
+    order = np.argsort(first_cross, axis=1, kind="stable")
+    head = order[:, :c]
+    head_cross = np.take_along_axis(first_cross, head, axis=1)
+    valid = head_cross <= max_passes
+    reached = valid[:, c - 1]  # all first c valid <=> the c-th selection happens
+    selection = np.where(valid, head, -1)
+
+    passes = np.where(reached, head_cross[:, c - 1], float(max_passes))
+    # Complete passes contribute one examination per still-unselected query.
+    full_passes = np.where(reached, passes - 1.0, float(max_passes))
+    examined = np.minimum(first_cross, full_passes[:, None]).sum(axis=1)
+    # The stopping pass scans up to the c-th selection's position.
+    stop_pos = head[:, c - 1]
+    cols = np.arange(n)
+    in_final = (cols[None, :] <= stop_pos[:, None]) & (
+        first_cross >= passes[:, None]
+    )
+    examined += np.where(reached, in_final.sum(axis=1), 0)
+    return RetraversalTrialBatch(
+        selection=selection,
+        passes=passes.astype(np.int64),
+        examined=examined.astype(np.int64),
+        exhausted=~reached,
+    )
+
+
+def em_selection_matrix(
+    values: np.ndarray,
+    epsilon: float,
+    c: int,
+    sensitivity: float = 1.0,
+    monotonic: bool = False,
+    rng: TrialRngs = None,
+    per_round_epsilon: Optional[float] = None,
+    gumbel: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """c-round EM selections for a whole ``(trials, n)`` matrix of qualities.
+
+    The batched form of :func:`repro.mechanisms.exponential.select_top_c_em`:
+    one Gumbel block over the trial matrix, then a row-wise top-c (NumPy's
+    row-wise argpartition/argsort equals the per-row calls element for
+    element, so per-trial generators again give bit-identical selections).
+    ``gumbel`` may carry a pre-drawn standard-Gumbel block — the epsilon-grid
+    path draws it once and reuses it across the grid, since the budget enters
+    only through the logits.  Returns the ``(trials, min(c, n))`` selection
+    matrix in selection order.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 2 or values.shape[1] == 0:
+        raise InvalidParameterError("values must be a non-empty (trials, n) matrix")
+    if not isinstance(c, (int, np.integer)) or c <= 0:
+        raise InvalidParameterError(f"c must be a positive integer, got {c!r}")
+    trials, n = values.shape
+    c = int(min(c, n))
+    sensitivity = _validate_sensitivity(sensitivity)
+    if per_round_epsilon is None:
+        per_round_epsilon = _validate_eps(epsilon) / c
+    else:
+        per_round_epsilon = _validate_eps(per_round_epsilon)
+    denom = sensitivity if monotonic else 2.0 * sensitivity
+    logits = (per_round_epsilon / denom) * values
+    if gumbel is None:
+        gumbel = gumbel_matrix(rng, trials, n)
+    elif gumbel.shape != (trials, n):
+        raise InvalidParameterError(
+            f"pre-drawn gumbel block has shape {gumbel.shape}, need {(trials, n)}"
+        )
+    keys = logits + gumbel
+    if c >= n:
+        return np.argsort(-keys, axis=1, kind="stable")
+    head = np.argpartition(-keys, c, axis=1)[:, :c]
+    order = np.argsort(np.take_along_axis(-keys, head, axis=1), axis=1, kind="stable")
+    return np.take_along_axis(head, order, axis=1)

@@ -18,6 +18,27 @@ own history; :func:`_dpbook_above` handles it with segmented rescans — at
 most c+1 rounds, each one vectorized across all still-active trials, with
 the per-query noise still drawn as a single up-front block (each query is
 examined at most once, so one draw per query is the correct semantics).
+The Section-5 methods route through :mod:`repro.engine.retraversal`:
+``"retraversal"`` runs segmented multi-pass rescans and ``"em"`` a row-wise
+Gumbel-max, so *every* registry method now executes vectorized end to end.
+
+**Epsilon grids.**  Passing a sequence of epsilons returns ``{epsilon:
+TrialBatch}``.  By default (``share_noise=True``) the engine samples one
+*unit* noise block per cell — ``Lap(1)`` threshold/query noise, standard
+Gumbel for EM — and rescales it per epsilon, so a Figure 4/5 sweep pays for
+its noise once instead of once per grid point.  Because a NumPy Laplace draw
+is linear in ``scale`` for a fixed bit stream, the rescaled results are
+bit-identical to re-running each epsilon with a freshly rewound generator —
+paired-across-epsilon semantics, lower variance in cross-epsilon
+differences.  Alg. 2's refresh draws and retraversal's per-pass blocks are
+data-dependent and stay fresh per epsilon; ``share_noise=False`` restores
+fully independent cells (one stream consumed sequentially).
+
+**Memory & parallelism.**  ``max_bytes`` caps the engine's block footprint by
+splitting the trial axis into chunks, and ``parallel="process"`` shards the
+chunks across a process pool — see :mod:`repro.engine.exec`.  Both switch
+the run onto per-trial derived streams so results are independent of the
+chunk boundaries and worker count.
 
 ``rng`` may be a seed/Generator (fastest: one block draw) or a list of
 per-trial Generators (bit-compatible with a per-trial loop — what the
@@ -33,11 +54,17 @@ import numpy as np
 
 from repro.core.allocation import BudgetAllocation
 from repro.core.base import normalize_thresholds
-from repro.engine.noise import TrialRngs, laplace_matrix, laplace_vector
+from repro.engine.noise import (
+    TrialRngs,
+    gumbel_matrix,
+    laplace_matrix,
+    laplace_vector,
+)
 from repro.engine.plans import NoisePlan, noise_plan
+from repro.engine.retraversal import em_selection_matrix, retraversal_trials
 from repro.exceptions import InvalidParameterError
 from repro.metrics.utility import batch_selection_metrics
-from repro.rng import RngLike, ensure_rng
+from repro.rng import ensure_rng
 from repro.variants._common import require_opt_in, validate_inputs
 
 __all__ = [
@@ -45,6 +72,7 @@ __all__ = [
     "cut_matrix",
     "selection_matrix",
     "svt_selection_matrix",
+    "svt_selection_grid",
     "run_trials",
     "transcript_sampler",
 ]
@@ -86,6 +114,28 @@ def selection_matrix(
     return selection, mask.sum(axis=1)
 
 
+def _svt_scales(
+    allocation: BudgetAllocation, c: int, delta: float, monotonic: bool
+) -> Tuple[float, float]:
+    """(rho_scale, nu_scale) of Alg. 7 under one allocation."""
+    factor = c if monotonic else 2 * c
+    return delta / allocation.eps1, factor * delta / allocation.eps2
+
+
+def _svt_select(
+    values: np.ndarray, thr: np.ndarray, rho: np.ndarray, nu: np.ndarray, c: int
+) -> np.ndarray:
+    """Compare/cut/select tail shared by the single- and grid-epsilon paths.
+
+    One implementation keeps the grid's "cell == per-epsilon call" guarantee
+    a statement about noise scaling alone.
+    """
+    above = values + nu >= thr[None, :] + rho[:, None]
+    processed, _halted = cut_matrix(above, c)
+    selection, _counts = selection_matrix(above, c, processed)
+    return selection
+
+
 def svt_selection_matrix(
     values: np.ndarray,
     thresholds: Union[float, Sequence[float]],
@@ -107,19 +157,50 @@ def svt_selection_matrix(
         raise InvalidParameterError("values must be a (trials, n) matrix")
     trials, n = values.shape
     thr = normalize_thresholds(thresholds, n)
-    delta = float(sensitivity)
-    factor = c if monotonic else 2 * c
+    rho_scale, nu_scale = _svt_scales(allocation, c, float(sensitivity), monotonic)
     if not isinstance(rng, (list, tuple)):
         # Coerce once: the samplers below must continue ONE stream.  Passing
         # a raw seed to each would replay the same bit stream twice, leaving
         # rho and nu perfectly correlated.
         rng = ensure_rng(rng)
-    rho = laplace_vector(rng, delta / allocation.eps1, trials)
-    nu = laplace_matrix(rng, factor * delta / allocation.eps2, trials, n)
-    above = values + nu >= thr[None, :] + rho[:, None]
-    processed, _halted = cut_matrix(above, c)
-    selection, _counts = selection_matrix(above, c, processed)
-    return selection
+    rho = laplace_vector(rng, rho_scale, trials)
+    nu = laplace_matrix(rng, nu_scale, trials, n)
+    return _svt_select(values, thr, rho, nu, c)
+
+
+def svt_selection_grid(
+    values: np.ndarray,
+    thresholds: Union[float, Sequence[float]],
+    allocations: Dict[float, BudgetAllocation],
+    c: int,
+    monotonic: bool = False,
+    sensitivity: float = 1.0,
+    rng: TrialRngs = None,
+) -> Dict[float, np.ndarray]:
+    """Alg. 7 selections for a whole epsilon grid from one unit noise block.
+
+    ``allocations`` maps each epsilon to its budget split.  One ``Lap(1)``
+    rho vector and nu matrix are drawn and rescaled per epsilon, which (by
+    linearity of the Laplace sampler in ``scale``) is bit-identical to
+    calling :func:`svt_selection_matrix` per epsilon with a rewound
+    generator — the old per-epsilon sweep behavior, at one draw's cost.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 2:
+        raise InvalidParameterError("values must be a (trials, n) matrix")
+    trials, n = values.shape
+    thr = normalize_thresholds(thresholds, n)
+    if not isinstance(rng, (list, tuple)):
+        rng = ensure_rng(rng)
+    rho_unit = laplace_vector(rng, 1.0, trials)
+    nu_unit = laplace_matrix(rng, 1.0, trials, n)
+    out: Dict[float, np.ndarray] = {}
+    for epsilon, allocation in allocations.items():
+        rho_scale, nu_scale = _svt_scales(allocation, c, float(sensitivity), monotonic)
+        out[float(epsilon)] = _svt_select(
+            values, thr, rho_unit * rho_scale, nu_unit * nu_scale, c
+        )
+    return out
 
 
 @dataclass
@@ -131,6 +212,12 @@ class TrialBatch:
     original identities when ``shuffle=True``), right-padded with -1.
     ``ser``/``fnr`` are per-trial metrics against the true top-c of the
     answer multiset.
+
+    For the retraversal method three extra per-trial arrays are populated:
+    ``passes`` (full traversals), ``exhausted`` (pass limit hit before c
+    selections), and ``processed`` counts total query *examinations* across
+    passes (the :attr:`RetraversalResult.examined` accounting) rather than a
+    one-pass prefix length.
     """
 
     variant: str
@@ -145,10 +232,18 @@ class TrialBatch:
     ser: np.ndarray
     fnr: np.ndarray
     positives_mask: np.ndarray
+    passes: Optional[np.ndarray] = None
+    exhausted: Optional[np.ndarray] = None
 
     def positives(self, trial: int) -> np.ndarray:
         """All positive indices of one trial (uncapped, unlike ``selection``)."""
         return np.nonzero(self.positives_mask[trial])[0]
+
+    @property
+    def examined(self) -> np.ndarray:
+        """Per-trial query examinations (alias of ``processed``; total across
+        passes for retraversal)."""
+        return self.processed
 
     @property
     def ser_mean(self) -> float:
@@ -184,17 +279,53 @@ _OPT_IN = {
     "gptt": "GPTT (Chen & Machanavajjhala 2015 model)",
 }
 
-_KNOWN = ("alg1", "alg2", "alg3", "alg4", "alg5", "alg6", "gptt")
+_KNOWN = (
+    "alg1", "alg2", "alg3", "alg4", "alg5", "alg6", "gptt", "retraversal", "em",
+)
 
 
 def _normalize_variant(variant) -> str:
+    # The alias table is shared with registry.get_method so every entry
+    # point accepts the same spellings (imported here, not at module level,
+    # only to keep the package's engine-after-variants import order obvious).
+    from repro.variants.registry import METHOD_ALIASES
+
     key = getattr(variant, "key", variant)
     normalized = str(key).strip().lower().replace(" ", "").replace(".", "")
     if normalized.isdigit():
         normalized = f"alg{normalized}"
+    normalized = METHOD_ALIASES.get(normalized, normalized)
     if normalized not in _KNOWN:
         raise InvalidParameterError(f"unknown variant {key!r}; known: {sorted(_KNOWN)}")
     return normalized
+
+
+@dataclass(frozen=True)
+class _UnitNoise:
+    """Pre-drawn unit noise for one epsilon grid (rescaled per epsilon)."""
+
+    rho: Optional[np.ndarray] = None  # (trials,) Lap(1)
+    nu: Optional[np.ndarray] = None  # (trials, n) Lap(1)
+    gumbel: Optional[np.ndarray] = None  # (trials, n) standard Gumbel
+
+
+def _draw_units(key: str, rng: TrialRngs, trials: int, n: int) -> Optional[_UnitNoise]:
+    """Draw the sharable unit blocks of one variant, in its draw order.
+
+    Returns ``None`` for retraversal, whose per-pass blocks are
+    data-dependent (size = that trial's remaining queries) and cannot be
+    pre-drawn; its grid cells sample fresh noise per epsilon.
+    """
+    if key == "retraversal":
+        return None
+    if key == "em":
+        return _UnitNoise(gumbel=gumbel_matrix(rng, trials, n))
+    if key == "alg5":
+        return _UnitNoise(rho=laplace_vector(rng, 1.0, trials))
+    return _UnitNoise(
+        rho=laplace_vector(rng, 1.0, trials),
+        nu=laplace_matrix(rng, 1.0, trials, n),
+    )
 
 
 def _above_for_variant(
@@ -208,24 +339,39 @@ def _above_for_variant(
     ratio: Optional[Union[str, float]],
     rng: TrialRngs,
     trials: int,
+    units: Optional[_UnitNoise] = None,
 ) -> Tuple[np.ndarray, bool]:
-    """The (trials, n) comparison matrix plus whether the variant has a cutoff."""
+    """The (trials, n) comparison matrix plus whether the variant has a cutoff.
+
+    With *units* the threshold/query noise comes from the pre-drawn unit
+    blocks rescaled to this epsilon's scales instead of fresh draws.
+    """
     n = values.shape[1]
     if key == "alg1":
         allocation = BudgetAllocation.from_ratio(
             epsilon, c, ratio=ratio if ratio is not None else "1:1", monotonic=monotonic
         )
-        factor = c if monotonic else 2 * c
-        rho = laplace_vector(rng, delta / allocation.eps1, trials)
-        nu = laplace_matrix(rng, factor * delta / allocation.eps2, trials, n)
+        rho_scale, nu_scale = _svt_scales(allocation, c, delta, monotonic)
+        if units is not None:
+            rho = units.rho * rho_scale
+            nu = units.nu * nu_scale
+        else:
+            rho = laplace_vector(rng, rho_scale, trials)
+            nu = laplace_matrix(rng, nu_scale, trials, n)
         return values + nu >= thr[None, :] + rho[:, None], True
     plan = noise_plan(key, epsilon, c, delta)
     if key == "alg2":
-        return _dpbook_above(values, thr, plan, c, rng, trials), True
-    rho = laplace_vector(rng, plan.rho_scale, trials)
+        return _dpbook_above(values, thr, plan, c, rng, trials, units), True
+    if units is not None:
+        rho = units.rho * plan.rho_scale
+    else:
+        rho = laplace_vector(rng, plan.rho_scale, trials)
     if plan.nu_scale is None:
         return values >= thr[None, :] + rho[:, None], plan.cutoff
-    nu = laplace_matrix(rng, plan.nu_scale, trials, n)
+    if units is not None:
+        nu = units.nu * plan.nu_scale
+    else:
+        nu = laplace_matrix(rng, plan.nu_scale, trials, n)
     return values + nu >= thr[None, :] + rho[:, None], plan.cutoff
 
 
@@ -236,6 +382,7 @@ def _dpbook_above(
     c: int,
     rng: TrialRngs,
     trials: int,
+    units: Optional[_UnitNoise] = None,
 ) -> np.ndarray:
     """Alg. 2 comparison matrix via segmented rescans across all trials.
 
@@ -244,11 +391,18 @@ def _dpbook_above(
     still-active trials.  The returned matrix reports, for every (trial,
     query), whether that query's single examination succeeded under the rho
     in force when it was reached — columns past a trial's halt point are
-    sliced away by :func:`cut_matrix` downstream.
+    sliced away by :func:`cut_matrix` downstream.  In grid mode the initial
+    rho and the nu block come from the shared unit noise; the
+    outcome-dependent refresh draws stay fresh per epsilon.
     """
     n = values.shape[1]
-    rho = laplace_vector(rng, plan.rho_scale, trials)
-    nu = laplace_matrix(rng, plan.nu_scale, trials, n)
+    if units is not None:
+        rho = units.rho * plan.rho_scale
+        nu = units.nu * plan.nu_scale
+    else:
+        rho = laplace_vector(rng, plan.rho_scale, trials)
+        nu = laplace_matrix(rng, plan.nu_scale, trials, n)
+    rho = rho.copy()  # refreshed in place below; keep the units intact
     noisy = values + nu
 
     per_trial = isinstance(rng, (list, tuple))
@@ -283,6 +437,14 @@ def _dpbook_above(
     return above
 
 
+def _scatter_selection(selection: np.ndarray, trials: int, n: int) -> np.ndarray:
+    """(trials, n) boolean mask of the selected indices."""
+    mask = np.zeros((trials, n), dtype=bool)
+    rows, cols = np.nonzero(selection >= 0)
+    mask[rows, selection[rows, cols]] = True
+    return mask
+
+
 def run_trials(
     variant,
     answers: Sequence[float],
@@ -295,8 +457,14 @@ def run_trials(
     shuffle: bool = False,
     monotonic: bool = False,
     ratio: Optional[Union[str, float]] = None,
+    threshold_bump_d: float = 0.0,
+    max_passes: int = 100,
     allow_non_private: bool = False,
     compute_metrics: bool = True,
+    share_noise: bool = True,
+    max_bytes: Optional[int] = None,
+    parallel: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> Union[TrialBatch, Dict[float, TrialBatch]]:
     """Run *trials* Monte-Carlo repetitions of one variant in a single pass.
 
@@ -304,20 +472,33 @@ def run_trials(
     ----------
     variant:
         A registry key (``"alg1"``..``"alg6"``, flexible spelling), a
-        :class:`~repro.variants.registry.VariantInfo`, or ``"gptt"`` (even
-        eps split).
+        :class:`~repro.variants.registry.VariantInfo`, ``"gptt"`` (even eps
+        split), ``"retraversal"`` (Section 5 SVT-ReTr; also ``"retr"``), or
+        ``"em"`` (the c-round exponential-mechanism baseline).
     epsilons:
         A single budget or a sequence; a sequence returns ``{epsilon:
-        TrialBatch}`` (one engine pass per value).
+        TrialBatch}``.  With ``share_noise=True`` (default) the grid reuses
+        one unit noise block rescaled per epsilon (see the module docstring);
+        ``share_noise=False`` restores fully independent cells.
     shuffle:
         Randomize the query order independently per trial (the paper's
         experiment protocol); selections are mapped back to original
         identities.
     monotonic / ratio:
-        Alg. 1 only: monotonic noise scales and the eps1:eps2 split.
+        Alg. 1 and retraversal: monotonic noise scales and the eps1:eps2
+        split.  ``monotonic`` also selects the EM exponent.
+    threshold_bump_d / max_passes:
+        Retraversal only: the threshold increment in D units and the pass
+        cap (see :func:`repro.core.retraversal.svt_retraversal`).
     rng:
         Seed/Generator, or a list of per-trial Generators for bit-exact
         agreement with a per-trial loop.
+    max_bytes / parallel / workers:
+        Execution knobs (see :mod:`repro.engine.exec`): ``max_bytes`` chunks
+        the trial axis so no noise block exceeds the budget;
+        ``parallel="process"`` runs the chunks on a ProcessPoolExecutor with
+        *workers* processes.  Either knob switches to per-trial derived
+        streams, making results independent of chunking and worker count.
 
     SER/FNR treat *answers* as the scores being selected over (the
     selection-experiment reading); disable with ``compute_metrics=False``
@@ -326,6 +507,20 @@ def run_trials(
     key = _normalize_variant(variant)
     if key in _OPT_IN:
         require_opt_in(allow_non_private, _OPT_IN[key], "see repro.variants")
+    if trials <= 0:
+        raise InvalidParameterError("trials must be > 0")
+    if max_bytes is not None or parallel is not None:
+        from repro.engine.exec import execute_trials
+
+        return execute_trials(
+            key, answers, epsilons, c, trials,
+            thresholds=thresholds, sensitivity=sensitivity, rng=rng,
+            shuffle=shuffle, monotonic=monotonic, ratio=ratio,
+            threshold_bump_d=threshold_bump_d, max_passes=max_passes,
+            allow_non_private=allow_non_private, compute_metrics=compute_metrics,
+            share_noise=share_noise, max_bytes=max_bytes, parallel=parallel,
+            workers=workers,
+        )
     if not isinstance(rng, (list, tuple)):
         # One shared stream for shuffle + every noise draw (and across an
         # epsilon sweep).  Coercing the seed once here is load-bearing: the
@@ -333,20 +528,7 @@ def run_trials(
         # rho-, nu-, and refresh-sampling would replay one bit stream,
         # correlating noises that must be independent.
         rng = ensure_rng(rng)
-    if not np.isscalar(epsilons):
-        return {
-            float(eps): run_trials(
-                key, answers, float(eps), c, trials,
-                thresholds=thresholds, sensitivity=sensitivity, rng=rng,
-                shuffle=shuffle, monotonic=monotonic, ratio=ratio,
-                allow_non_private=allow_non_private, compute_metrics=compute_metrics,
-            )
-            for eps in epsilons
-        }
-    epsilon = float(epsilons)
-    validate_inputs(epsilon, sensitivity, c)
-    if trials <= 0:
-        raise InvalidParameterError("trials must be > 0")
+
     base = np.asarray(answers, dtype=float)
     if base.ndim != 1:
         raise InvalidParameterError("answers must be a 1-D sequence")
@@ -354,28 +536,114 @@ def run_trials(
     thr = normalize_thresholds(thresholds, n)
     delta = float(sensitivity)
 
-    perms: Optional[np.ndarray] = None
-    if shuffle:
-        if isinstance(rng, (list, tuple)):
-            perms = np.stack([gen.permutation(n) for gen in rng])
-        else:
-            perms = np.argsort(rng.random((trials, n)), axis=1)
-        values = base[perms]
-    else:
-        values = np.broadcast_to(base, (trials, n))
-
-    above, has_cutoff = _above_for_variant(
-        key, values, thr, epsilon, c, delta, monotonic, ratio, rng, trials
+    cell_kwargs = dict(
+        base=base, thr=thr, c=c, trials=trials, delta=delta, monotonic=monotonic,
+        ratio=ratio, threshold_bump_d=threshold_bump_d, max_passes=max_passes,
+        compute_metrics=compute_metrics, rng=rng,
     )
-    if has_cutoff:
-        processed, halted = cut_matrix(above, c)
+
+    if not np.isscalar(epsilons):
+        eps_list = [float(eps) for eps in epsilons]
+        for eps in eps_list:
+            validate_inputs(eps, sensitivity, c)
+        if not share_noise:
+            return {
+                eps: run_trials(
+                    key, answers, eps, c, trials,
+                    thresholds=thresholds, sensitivity=sensitivity, rng=rng,
+                    shuffle=shuffle, monotonic=monotonic, ratio=ratio,
+                    threshold_bump_d=threshold_bump_d, max_passes=max_passes,
+                    allow_non_private=allow_non_private,
+                    compute_metrics=compute_metrics, share_noise=False,
+                )
+                for eps in eps_list
+            }
+        perms, values = _shuffled_values(base, trials, n, rng, shuffle)
+        units = _draw_units(key, rng, trials, n)
+        return {
+            eps: _run_cell(key, eps, values=values, perms=perms, units=units, **cell_kwargs)
+            for eps in eps_list
+        }
+
+    epsilon = float(epsilons)
+    validate_inputs(epsilon, sensitivity, c)
+    perms, values = _shuffled_values(base, trials, n, rng, shuffle)
+    return _run_cell(key, epsilon, values=values, perms=perms, units=None, **cell_kwargs)
+
+
+def _shuffled_values(
+    base: np.ndarray, trials: int, n: int, rng: TrialRngs, shuffle: bool
+) -> Tuple[Optional[np.ndarray], np.ndarray]:
+    """Per-trial (possibly shuffled) score rows, plus the permutations used."""
+    if not shuffle:
+        return None, np.broadcast_to(base, (trials, n))
+    if isinstance(rng, (list, tuple)):
+        perms = np.stack([gen.permutation(n) for gen in rng])
     else:
+        perms = np.argsort(rng.random((trials, n)), axis=1)
+    return perms, base[perms]
+
+
+def _run_cell(
+    key: str,
+    epsilon: float,
+    *,
+    base: np.ndarray,
+    values: np.ndarray,
+    perms: Optional[np.ndarray],
+    thr: np.ndarray,
+    c: int,
+    trials: int,
+    delta: float,
+    monotonic: bool,
+    ratio: Optional[Union[str, float]],
+    threshold_bump_d: float,
+    max_passes: int,
+    compute_metrics: bool,
+    rng: TrialRngs,
+    units: Optional[_UnitNoise],
+) -> TrialBatch:
+    """One fully-vectorized (variant, epsilon, c) cell."""
+    n = base.size
+    passes = exhausted = None
+    if key == "retraversal":
+        allocation = BudgetAllocation.from_ratio(
+            epsilon, c, ratio=ratio if ratio is not None else "1:1", monotonic=monotonic
+        )
+        retr = retraversal_trials(
+            values, allocation, c,
+            thresholds=thr, sensitivity=delta, monotonic=monotonic,
+            threshold_bump_d=threshold_bump_d, max_passes=max_passes, rng=rng,
+        )
+        selection = retr.selection
+        processed = retr.examined
+        halted = ~retr.exhausted
+        passes, exhausted = retr.passes, retr.exhausted
+        positives_mask = _scatter_selection(selection, trials, n)
+        num_positives = retr.num_selected
+    elif key == "em":
+        selection = em_selection_matrix(
+            values, epsilon, c,
+            sensitivity=delta, monotonic=monotonic, rng=rng,
+            gumbel=units.gumbel if units is not None else None,
+        )
         processed = np.full(trials, n, dtype=np.int64)
         halted = np.zeros(trials, dtype=bool)
-    prefix = np.arange(n)[None, :] < processed[:, None]
-    positives_mask = above & prefix
-    num_positives = positives_mask.sum(axis=1)
-    selection, _counts = selection_matrix(above, c, processed)
+        positives_mask = _scatter_selection(selection, trials, n)
+        num_positives = (selection >= 0).sum(axis=1)
+    else:
+        above, has_cutoff = _above_for_variant(
+            key, values, thr, epsilon, c, delta, monotonic, ratio, rng, trials, units
+        )
+        if has_cutoff:
+            processed, halted = cut_matrix(above, c)
+        else:
+            processed = np.full(trials, n, dtype=np.int64)
+            halted = np.zeros(trials, dtype=bool)
+        prefix = np.arange(n)[None, :] < processed[:, None]
+        positives_mask = above & prefix
+        num_positives = positives_mask.sum(axis=1)
+        selection, _counts = selection_matrix(above, c, processed)
 
     if compute_metrics:
         ser, fnr = batch_selection_metrics(values, selection, c, base_scores=base)
@@ -405,6 +673,8 @@ def run_trials(
         ser=ser,
         fnr=fnr,
         positives_mask=positives_mask,
+        passes=passes,
+        exhausted=exhausted,
     )
 
 

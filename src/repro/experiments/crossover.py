@@ -13,18 +13,16 @@ paired SERs track each other closely.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
-import numpy as np
-
-from repro.core.allocation import BudgetAllocation
 from repro.data.generators import ScoreDataset
-from repro.engine.trials import svt_selection_matrix
+from repro.engine.trials import run_trials
 from repro.exceptions import InvalidParameterError
-from repro.metrics.utility import batch_selection_metrics
-from repro.rng import derive_rng
+from repro.rng import derive_rngs
 
 __all__ = ["CrossoverPoint", "eps_c_equivalence"]
+
+_RATIO = "1:c^(2/3)"
 
 
 @dataclass(frozen=True)
@@ -47,31 +45,35 @@ class CrossoverPoint:
 
 def _mean_ser(
     dataset: ScoreDataset,
-    epsilon: float,
+    epsilons: Sequence[float],
     c: int,
     trials: int,
     seed,
-) -> float:
+) -> Dict[float, float]:
+    """Mean SER of SVT-S-1:c^(2/3) at fixed c over a whole epsilon grid.
+
+    One multi-epsilon :func:`~repro.engine.trials.run_trials` call: per-trial
+    derived streams (keyed by c, *not* by epsilon) supply the shuffles and
+    one unit noise block that the grid rescales per epsilon.  Trials are
+    therefore paired along the epsilon axis, and a grid cell is bit-identical
+    to a standalone single-epsilon call with the same keys — which keeps the
+    c-sweep and eps-sweep members of the anchor pair (c == base_c, equal
+    epsilon) exactly equal.
+    """
     scores = dataset.supports.astype(float)
-    threshold = dataset.threshold_for_c(c)
-    # Batched through the engine with the same per-trial derived streams the
-    # historical per-trial loop used, so results are unchanged bit for bit.
-    perms = np.stack(
-        [
-            derive_rng(seed, "xover-shuffle", c, trial).permutation(scores.size)
-            for trial in range(trials)
-        ]
+    grid = run_trials(
+        "alg1",
+        scores,
+        [float(e) for e in epsilons],
+        c,
+        trials,
+        thresholds=dataset.threshold_for_c(c),
+        rng=derive_rngs(seed, trials, "xover", c),
+        shuffle=True,
+        monotonic=True,
+        ratio=_RATIO,
     )
-    rngs = [
-        derive_rng(seed, "xover-mech", c, trial, int(epsilon * 1e9))
-        for trial in range(trials)
-    ]
-    allocation = BudgetAllocation.from_ratio(epsilon, c, "1:c^(2/3)", monotonic=True)
-    selection = svt_selection_matrix(
-        scores[perms], threshold, allocation, c, monotonic=True, rng=rngs
-    )
-    sers, _fnr = batch_selection_metrics(scores[perms], selection, c, base_scores=scores)
-    return float(np.mean(sers))
+    return {eps: batch.ser_mean for eps, batch in grid.items()}
 
 
 def eps_c_equivalence(
@@ -92,27 +94,33 @@ def eps_c_equivalence(
     """
     if base_c not in c_values:
         raise InvalidParameterError("base_c should be one of c_values for a shared anchor")
-    points: List[CrossoverPoint] = []
     for c in c_values:
         if c >= dataset.num_items:
             raise InvalidParameterError(
                 f"c={c} too large for dataset with {dataset.num_items} items"
             )
-        ratio = base_epsilon / c  # the shared eps/c value of this pair
-        # c-sweep member: (eps = base_epsilon, c = c).
-        ser_c_sweep = _mean_ser(dataset, base_epsilon, c, trials, seed)
-        # eps-sweep member: (eps = ratio * base_c, c = base_c).
-        partner_eps = ratio * base_c
-        ser_eps_sweep = _mean_ser(dataset, partner_eps, base_c, trials, seed)
+    # The eps-sweep members all run at c = base_c, so the whole sweep is one
+    # multi-epsilon engine pass sharing one noise block across the grid.
+    partner_eps = {c: base_epsilon * base_c / c for c in c_values}
+    eps_sweep_ser = _mean_ser(
+        dataset, [partner_eps[c] for c in c_values], base_c, trials, seed
+    )
+    points: List[CrossoverPoint] = []
+    for c in c_values:
+        # c-sweep member: (eps = base_epsilon, c = c).  At c == base_c this
+        # recomputes the grid's anchor cell on purpose: the two independent
+        # computations agreeing bit-for-bit is the property the anchor pair
+        # (and its test) certifies — do not reuse eps_sweep_ser here.
+        ser_c_sweep = _mean_ser(dataset, [base_epsilon], c, trials, seed)[base_epsilon]
         points.append(
             CrossoverPoint(
-                eps_over_c=ratio,
+                eps_over_c=base_epsilon / c,
                 c_sweep_c=c,
                 c_sweep_eps=base_epsilon,
                 c_sweep_ser=ser_c_sweep,
                 eps_sweep_c=base_c,
-                eps_sweep_eps=partner_eps,
-                eps_sweep_ser=ser_eps_sweep,
+                eps_sweep_eps=partner_eps[c],
+                eps_sweep_ser=eps_sweep_ser[partner_eps[c]],
             )
         )
     return points

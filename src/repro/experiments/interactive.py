@@ -15,13 +15,13 @@ Expected shape (paper Figure 4): SVT-DPBook ≫ SVT-S-1:1 > SVT-S-1:3 >
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Callable, Dict, List, Sequence
 
 import numpy as np
 
 from repro.core.allocation import BudgetAllocation
 from repro.core.svt import run_svt_batch
-from repro.engine.trials import svt_selection_matrix
+from repro.engine.trials import svt_selection_grid, svt_selection_matrix
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import (
     BatchSelectionMethod,
@@ -66,6 +66,22 @@ class _SvtSMethod(BatchSelectionMethod):
         return svt_selection_matrix(
             shuffled, threshold, self._allocation(epsilon, c), c,
             monotonic=True, rng=list(rngs),
+        )
+
+    def run_grid(
+        self,
+        shuffled: np.ndarray,
+        threshold: float,
+        c: int,
+        epsilons: Sequence[float],
+        make_rngs: Callable[[], List[np.random.Generator]],
+    ) -> Dict[float, np.ndarray]:
+        # One unit rho/nu draw from the derived streams, rescaled per epsilon
+        # — bit-identical to run_matrix at every grid point (Laplace draws
+        # are linear in scale for a fixed bit stream), at one draw's cost.
+        allocations = {float(e): self._allocation(float(e), c) for e in epsilons}
+        return svt_selection_grid(
+            shuffled, threshold, allocations, c, monotonic=True, rng=make_rngs()
         )
 
 

@@ -11,24 +11,33 @@ Methods (Table 2, "Non-interactive"):
 Expected shape (paper Figure 5): EM at or below every SVT curve; larger
 threshold bumps helping more at large c; SVT-ReTr-0D ≈ SVT-S.
 
-Execution: the SVT-S reference runs all trials at once through the batch
-engine (shared :class:`~repro.experiments.interactive._SvtSMethod`); the
-retraversal and EM methods use the harness's per-trial fallback (their
-multi-pass / sampling structure is not yet vectorized across trials — see
-ROADMAP), with metrics still scored in one vectorized pass.
+Execution: every method on the roster runs all trials at once through the
+batch engine — SVT-S via the shared :class:`_SvtSMethod`, retraversal via
+:func:`repro.engine.retraversal.retraversal_trials` (segmented multi-pass
+rescans), and EM via the row-wise Gumbel-max of
+:func:`repro.engine.retraversal.em_selection_matrix`.  Each ``run_matrix``
+feeds the engine the *same* per-trial derived streams the single-trial
+callable protocol receives, so the batched figure is bit-identical to the
+historical per-trial loop.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Callable, Dict, List, Sequence
 
 import numpy as np
 
 from repro.core.allocation import BudgetAllocation
 from repro.core.retraversal import svt_retraversal
+from repro.engine.retraversal import em_selection_matrix, retraversal_trials
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.interactive import _svt_s_method
-from repro.experiments.runner import MethodResult, SelectionMethod, run_selection_experiment
+from repro.experiments.runner import (
+    BatchSelectionMethod,
+    MethodResult,
+    SelectionMethod,
+    run_selection_experiment,
+)
 from repro.mechanisms.exponential import select_top_c_em
 
 __all__ = ["figure5_methods", "run_figure5"]
@@ -36,25 +45,94 @@ __all__ = ["figure5_methods", "run_figure5"]
 _RATIO = "1:c^(2/3)"
 
 
-def _em_method(scores, threshold, c, epsilon, rng) -> np.ndarray:
-    return select_top_c_em(scores, epsilon, c, monotonic=True, rng=rng)
+class _EmMethod(BatchSelectionMethod):
+    """c-round EM, batched across all trials via the engine's Gumbel-max."""
+
+    def __call__(self, scores, threshold, c, epsilon, rng) -> np.ndarray:
+        return select_top_c_em(scores, epsilon, c, monotonic=True, rng=rng)
+
+    def run_matrix(
+        self,
+        shuffled: np.ndarray,
+        threshold: float,
+        c: int,
+        epsilon: float,
+        rngs: Sequence[np.random.Generator],
+    ) -> np.ndarray:
+        return em_selection_matrix(
+            shuffled, epsilon, c, monotonic=True, rng=list(rngs)
+        )
+
+    def run_grid(
+        self,
+        shuffled: np.ndarray,
+        threshold: float,
+        c: int,
+        epsilons: Sequence[float],
+        make_rngs: Callable[[], List[np.random.Generator]],
+    ) -> Dict[float, np.ndarray]:
+        # The Gumbel block is budget-free: draw it once and reuse it across
+        # the grid (bit-identical to run_matrix per epsilon, since each
+        # rewound stream would redraw the very same block).
+        from repro.engine.noise import gumbel_matrix
+
+        rngs = make_rngs()
+        gumbel = gumbel_matrix(rngs, shuffled.shape[0], shuffled.shape[1])
+        return {
+            float(eps): em_selection_matrix(
+                shuffled, float(eps), c, monotonic=True, gumbel=gumbel
+            )
+            for eps in epsilons
+        }
 
 
-def _retraversal_method(bump_d: float) -> SelectionMethod:
-    def method(scores, threshold, c, epsilon, rng) -> np.ndarray:
-        allocation = BudgetAllocation.from_ratio(epsilon, c, ratio=_RATIO, monotonic=True)
+class _RetraversalMethod(BatchSelectionMethod):
+    """SVT-ReTr under one threshold bump, batched via segmented rescans."""
+
+    def __init__(self, bump_d: float) -> None:
+        self.bump_d = float(bump_d)
+
+    def _allocation(self, epsilon: float, c: int) -> BudgetAllocation:
+        return BudgetAllocation.from_ratio(epsilon, c, ratio=_RATIO, monotonic=True)
+
+    def __call__(self, scores, threshold, c, epsilon, rng) -> np.ndarray:
         result = svt_retraversal(
             scores,
-            allocation,
+            self._allocation(epsilon, c),
             c,
             thresholds=threshold,
             monotonic=True,
-            threshold_bump_d=bump_d,
+            threshold_bump_d=self.bump_d,
             rng=rng,
         )
         return np.asarray(result.selected, dtype=np.int64)
 
-    return method
+    def run_matrix(
+        self,
+        shuffled: np.ndarray,
+        threshold: float,
+        c: int,
+        epsilon: float,
+        rngs: Sequence[np.random.Generator],
+    ) -> np.ndarray:
+        batch = retraversal_trials(
+            shuffled,
+            self._allocation(epsilon, c),
+            c,
+            thresholds=threshold,
+            monotonic=True,
+            threshold_bump_d=self.bump_d,
+            rng=list(rngs),
+        )
+        return batch.selection
+
+
+def _em_method() -> SelectionMethod:
+    return _EmMethod()
+
+
+def _retraversal_method(bump_d: float) -> SelectionMethod:
+    return _RetraversalMethod(bump_d)
 
 
 def figure5_methods(config: ExperimentConfig) -> Dict[str, SelectionMethod]:
@@ -62,7 +140,7 @@ def figure5_methods(config: ExperimentConfig) -> Dict[str, SelectionMethod]:
     methods: Dict[str, SelectionMethod] = {f"SVT-S-{_RATIO}": _svt_s_method(_RATIO)}
     for bump in config.retraversal_bumps:
         methods[f"SVT-ReTr-{_RATIO}-{bump:g}D"] = _retraversal_method(bump)
-    methods["EM"] = _em_method
+    methods["EM"] = _em_method()
     return methods
 
 

@@ -41,6 +41,7 @@ __all__ = [
     "MetricSummary",
     "MethodResult",
     "run_selection_experiment",
+    "run_selection_sweep",
 ]
 
 #: A selection method: (shuffled_scores, threshold, c, epsilon, rng) -> indices
@@ -75,6 +76,29 @@ class BatchSelectionMethod:
     ) -> np.ndarray:
         """Selections for every trial row; ``(trials, k)`` padded with -1."""
         raise NotImplementedError
+
+    def run_grid(
+        self,
+        shuffled: np.ndarray,
+        threshold: float,
+        c: int,
+        epsilons: Sequence[float],
+        make_rngs: Callable[[], List[np.random.Generator]],
+    ) -> Dict[float, np.ndarray]:
+        """Selections for a whole epsilon grid, same trials at every epsilon.
+
+        ``make_rngs`` returns a *fresh* (rewound) list of the per-trial
+        generators — the same derived streams at every call — so the default
+        per-epsilon loop reproduces exactly what running ``run_matrix`` per
+        epsilon with the harness's derivation would.  Engine-backed methods
+        override this to draw the streams' unit noise once and rescale per
+        epsilon (bit-identical output, one sampling pass — see
+        :func:`repro.engine.trials.svt_selection_grid`).
+        """
+        return {
+            float(eps): self.run_matrix(shuffled, threshold, c, float(eps), make_rngs())
+            for eps in epsilons
+        }
 
 
 @dataclass(frozen=True)
@@ -170,6 +194,79 @@ def run_selection_experiment(
             # back to original identities is not needed for SER/FNR.
             ser, fnr = batch_selection_metrics(shuffled, selection, c, base_scores=scores)
             results[name].by_c[c] = MetricSummary(
+                ser_mean=float(ser.mean()),
+                ser_std=float(ser.std(ddof=1)) if trials > 1 else 0.0,
+                fnr_mean=float(fnr.mean()),
+                fnr_std=float(fnr.std(ddof=1)) if trials > 1 else 0.0,
+                trials=trials,
+            )
+    return results
+
+
+def run_selection_sweep(
+    dataset: ScoreDataset,
+    methods: Dict[str, SelectionMethod],
+    c: int,
+    epsilons: Sequence[float],
+    trials: int,
+    seed: RngLike = 0,
+) -> Dict[str, Dict[float, MetricSummary]]:
+    """Every method over a whole epsilon grid at fixed c, in one pass.
+
+    The multi-epsilon counterpart of :func:`run_selection_experiment`:
+    *all* epsilon cells of a (method, c) pair share the same per-trial
+    shuffles **and** the same derived mechanism streams, so comparisons are
+    paired across methods (same shuffles within a cell, as before) *and*
+    across epsilons.  The shuffle/stream derivation is byte-identical to
+    running :func:`run_selection_experiment` once per epsilon — which is
+    exactly what this replaces — so sweep results are unchanged; batch
+    methods just stop re-sampling their noise at every grid point (their
+    ``run_grid`` rescales one unit block per epsilon).
+    """
+    if not epsilons or any(float(e) <= 0 for e in epsilons):
+        raise InvalidParameterError("epsilons must be non-empty and positive")
+    if trials <= 0:
+        raise InvalidParameterError("trials must be > 0")
+    scores = dataset.supports.astype(float)
+    n = scores.size
+    c = int(c)
+    if c >= n:
+        raise InvalidParameterError(
+            f"c={c} needs a (c+1)-th score but {dataset.name} has {n} items"
+        )
+    eps_list = [float(e) for e in epsilons]
+    threshold = dataset.threshold_for_c(c)
+    perms = np.stack(
+        [
+            derive_rng(seed, "shuffle", dataset.name, c, trial).permutation(n)
+            for trial in range(trials)
+        ]
+    )
+    shuffled = scores[perms]
+    results: Dict[str, Dict[float, MetricSummary]] = {name: {} for name in methods}
+    for name, method in methods.items():
+        def make_rngs(name=name):
+            return derive_rngs(seed, trials, "mech", name, dataset.name, c)
+
+        if isinstance(method, BatchSelectionMethod):
+            grid = method.run_grid(shuffled, threshold, c, eps_list, make_rngs)
+        else:
+            grid = {}
+            for epsilon in eps_list:
+                rngs = make_rngs()
+                picks = [
+                    np.asarray(
+                        method(shuffled[trial], threshold, c, epsilon, rngs[trial]),
+                        dtype=np.int64,
+                    )
+                    for trial in range(trials)
+                ]
+                grid[epsilon] = _pad_selections(picks)
+        for epsilon in eps_list:
+            ser, fnr = batch_selection_metrics(
+                shuffled, grid[epsilon], c, base_scores=scores
+            )
+            results[name][epsilon] = MetricSummary(
                 ser_mean=float(ser.mean()),
                 ser_std=float(ser.std(ddof=1)) if trials > 1 else 0.0,
                 fnr_mean=float(fnr.mean()),

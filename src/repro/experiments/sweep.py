@@ -5,21 +5,25 @@ omit results for other eps values because of space limitation."  This driver
 fills the gap: SER of each Figure-4/5 method as a function of eps at fixed c,
 on any dataset.  Combined with :mod:`repro.experiments.crossover` it also
 illustrates *why* the omission was harmless (eps/c governs everything).
+
+The whole grid runs as one multi-epsilon pass
+(:func:`~repro.experiments.runner.run_selection_sweep`): shuffles and
+derived mechanism streams are shared across the grid — byte-identical to the
+historical one-:func:`run_selection_experiment`-per-epsilon loop, but
+engine-backed methods sample their noise once and rescale it per epsilon
+instead of redrawing at every grid point.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence
-
-import numpy as np
+from typing import Dict, List, Sequence
 
 from repro.data.generators import ScoreDataset
 from repro.exceptions import InvalidParameterError
 from repro.experiments.runner import (
-    MethodResult,
     MetricSummary,
     SelectionMethod,
-    run_selection_experiment,
+    run_selection_sweep,
 )
 
 __all__ = ["epsilon_sweep"]
@@ -35,25 +39,15 @@ def epsilon_sweep(
 ) -> Dict[str, Dict[float, MetricSummary]]:
     """SER/FNR of every method at each epsilon, fixed c.
 
-    Returns ``{method: {epsilon: MetricSummary}}``.  Reuses the paired-trial
-    runner per epsilon, so cross-method comparisons stay paired within each
-    epsilon level.
+    Returns ``{method: {epsilon: MetricSummary}}``.  Trials are paired both
+    across methods (same shuffles within an epsilon) and across epsilons
+    (same shuffles and derived streams along the grid).
     """
     if not epsilons or any(e <= 0 for e in epsilons):
         raise InvalidParameterError("epsilons must be positive")
-    out: Dict[str, Dict[float, MetricSummary]] = {name: {} for name in methods}
-    for epsilon in epsilons:
-        results = run_selection_experiment(
-            dataset,
-            methods,
-            c_values=[c],
-            epsilon=float(epsilon),
-            trials=trials,
-            seed=seed,
-        )
-        for name, method_result in results.items():
-            out[name][float(epsilon)] = method_result.by_c[c]
-    return out
+    return run_selection_sweep(
+        dataset, methods, c=c, epsilons=epsilons, trials=trials, seed=seed
+    )
 
 
 def format_epsilon_sweep(

@@ -26,7 +26,15 @@ from repro.variants.lee_clifton import lee_clifton_actual_epsilon, run_lee_clift
 from repro.variants.roth import run_roth
 from repro.variants.stoddard import run_stoddard
 
-__all__ = ["VariantInfo", "ALGORITHMS", "get_variant", "figure2_table"]
+__all__ = [
+    "VariantInfo",
+    "SelectionMethodInfo",
+    "ALGORITHMS",
+    "SECTION5_METHODS",
+    "get_variant",
+    "get_method",
+    "figure2_table",
+]
 
 ScaleFn = Callable[[int, float, float], float]
 # Uniform runner signature: (answers, epsilon, c, thresholds, sensitivity,
@@ -334,6 +342,125 @@ ALGORITHMS: Dict[str, VariantInfo] = {
         batch_runner=_run_alg6_batch,
     ),
 }
+
+
+# ---------------------------------------------------------------------------
+# Section-5 methods (Figure 5's non-interactive roster): SVT with Retraversal
+# and the c-round exponential mechanism.  Not Figure-2 rows — they have no
+# eps1-fraction/noise-formula table entries — but the engine and the
+# experiment harness dispatch them exactly like the six listed variants.
+# ---------------------------------------------------------------------------
+
+
+def _run_retraversal(
+    answers,
+    epsilon,
+    c,
+    thresholds=0.0,
+    sensitivity=1.0,
+    rng=None,
+    allow_non_private=False,
+    ratio="1:c^(2/3)",
+    monotonic=True,
+    threshold_bump_d=0.0,
+    max_passes=100,
+):
+    from repro.core.retraversal import svt_retraversal
+
+    allocation = BudgetAllocation.from_ratio(epsilon, c, ratio=ratio, monotonic=monotonic)
+    return svt_retraversal(
+        answers, allocation, c, thresholds=thresholds, sensitivity=sensitivity,
+        monotonic=monotonic, threshold_bump_d=threshold_bump_d,
+        max_passes=max_passes, rng=rng,
+    )
+
+
+def _run_em(
+    answers,
+    epsilon,
+    c,
+    thresholds=0.0,
+    sensitivity=1.0,
+    rng=None,
+    allow_non_private=False,
+    monotonic=True,
+):
+    from repro.mechanisms.exponential import select_top_c_em
+
+    return select_top_c_em(
+        answers, epsilon, c, sensitivity=sensitivity, monotonic=monotonic, rng=rng
+    )
+
+
+@dataclass(frozen=True)
+class SelectionMethodInfo:
+    """A Section-5 selection method with engine-backed dispatch.
+
+    ``run`` executes one run (already array-vectorized within the run);
+    ``run_trials`` routes a whole Monte-Carlo cell — or an epsilon grid —
+    through :func:`repro.engine.trials.run_trials`, which batches every
+    trial in one pass.
+    """
+
+    key: str
+    listing: str
+    source: str
+    privacy_property: str
+    is_private: bool
+    runner: Callable
+
+    def run(self, answers, epsilon, c, **kwargs):
+        return self.runner(answers, epsilon=epsilon, c=c, **kwargs)
+
+    # The single-run implementations are already vectorized over the query
+    # axis, so the batch form of one run is the run itself.
+    run_batch = run
+
+    def run_trials(self, answers, epsilons, c, trials, **kwargs):
+        from repro.engine.trials import run_trials
+
+        return run_trials(self.key, answers, epsilons, c, trials, **kwargs)
+
+
+SECTION5_METHODS: Dict[str, SelectionMethodInfo] = {
+    "retraversal": SelectionMethodInfo(
+        key="retraversal",
+        listing="SVT-ReTr",
+        source="this paper (Section 5)",
+        privacy_property="eps-DP",
+        is_private=True,
+        runner=_run_retraversal,
+    ),
+    "em": SelectionMethodInfo(
+        key="em",
+        listing="EM",
+        source="this paper (Section 5) / McSherry & Talwar 2007",
+        privacy_property="eps-DP",
+        is_private=True,
+        runner=_run_em,
+    ),
+}
+
+#: Canonical alias spellings for the Section-5 methods.  The engine's
+#: run_trials dispatch (:mod:`repro.engine.trials`) uses this same table, so
+#: a spelling accepted by one entry point is accepted by all of them.
+METHOD_ALIASES = {
+    "retr": "retraversal",
+    "svtretr": "retraversal",
+    "svtretraversal": "retraversal",
+    "svt-retr": "retraversal",
+    "expmech": "em",
+    "exponential": "em",
+}
+
+
+def get_method(key: str) -> Union[VariantInfo, SelectionMethodInfo]:
+    """Look up any dispatchable method: the six variants plus ReTr and EM."""
+    normalized = str(key).strip().lower().replace(" ", "").replace(".", "")
+    normalized = METHOD_ALIASES.get(normalized, normalized)
+    if normalized in SECTION5_METHODS:
+        return SECTION5_METHODS[normalized]
+    return get_variant(key)
 
 
 def get_variant(key: str) -> VariantInfo:

@@ -93,6 +93,20 @@ class TestProbabilityBasics:
         )
         assert total == pytest.approx(1.0, abs=1e-6)
 
+    def test_sharp_query_noise_keeps_full_mass(self):
+        """Regression: query noise far tighter than threshold noise.
+
+        The f/g transition then spans ~query_scale inside a ±60*threshold_scale
+        interval; without transition-skirt breakpoints quad stepped over it and
+        the pattern space summed to ~0.998 (found by the hypothesis fuzzer with
+        threshold_scale=4, query_scale=2^-6)."""
+        spec = MechanismSpec(threshold_scale=4.0, query_scale=0.015625)
+        total = sum(
+            outcome_probability(spec, [0.0], p, 0.0)
+            for p in itertools.product([False, True], repeat=1)
+        )
+        assert total == pytest.approx(1.0, abs=1e-6)
+
     def test_alg5_step_functions(self):
         """With no query noise the outcome depends only on rho vs the answers."""
         spec = spec_for_variant("alg5", EPS, c=1)

@@ -1,0 +1,218 @@
+"""The execution layer: trial plans, chunked runs, process sharding.
+
+The memory contract — chunked results identical to unchunked for *every*
+variant, and no noise block larger than the plan allows — plus the
+ProcessPoolExecutor backend returning exactly the serial results.
+"""
+
+import numpy as np
+import pytest
+
+import repro.engine.trials as trials_mod
+from repro.engine.exec import execute_trials, merge_batches
+from repro.engine.plans import BYTES_PER_CELL, TrialPlan, plan_trials
+from repro.engine.trials import run_trials
+from repro.exceptions import InvalidParameterError
+from repro.rng import derive_rngs
+
+ALL_KEYS = (
+    "alg1", "alg2", "alg3", "alg4", "alg5", "alg6", "gptt", "retraversal", "em",
+)
+
+
+@pytest.fixture(scope="module")
+def scores():
+    gen = np.random.default_rng(1)
+    return np.sort(gen.pareto(1.2, 120))[::-1] * 30
+
+
+class TestTrialPlan:
+    def test_no_budget_single_chunk(self):
+        plan = plan_trials(100, 5_000)
+        assert plan.num_chunks == 1
+        assert plan.chunk_trials == 100
+
+    def test_budget_splits_trials(self):
+        n = 1_000
+        plan = plan_trials(64, n, max_bytes=8 * n * BYTES_PER_CELL)
+        assert plan.chunk_trials == 8
+        assert plan.num_chunks == 8
+        assert plan.chunk_bytes <= 8 * n * BYTES_PER_CELL
+        assert plan.bounds()[0] == (0, 8)
+        assert plan.bounds()[-1] == (56, 64)
+
+    def test_budget_below_one_trial_clamps(self):
+        plan = plan_trials(10, 1_000, max_bytes=1)
+        assert plan.chunk_trials == 1
+        assert plan.num_chunks == 10
+
+    def test_bounds_cover_all_trials_once(self):
+        plan = plan_trials(17, 100, max_bytes=5 * 100 * BYTES_PER_CELL)
+        covered = [t for start, stop in plan.bounds() for t in range(start, stop)]
+        assert covered == list(range(17))
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            plan_trials(0, 10)
+        with pytest.raises(InvalidParameterError):
+            plan_trials(5, -1)
+        with pytest.raises(InvalidParameterError):
+            plan_trials(5, 10, max_bytes=0)
+
+
+class TestChunkedEqualsUnchunked:
+    @pytest.mark.parametrize("key", ALL_KEYS)
+    def test_identical_for_every_variant(self, scores, key):
+        """The memory layer may not change a single released bit."""
+        c, eps, trials = 4, 0.6, 9
+        kwargs = dict(
+            thresholds=float(scores[c]), allow_non_private=True, shuffle=True,
+            monotonic=True,
+        )
+        whole = run_trials(
+            key, scores, eps, c, trials, rng=derive_rngs(2, trials, "eq", key), **kwargs
+        )
+        chunked = run_trials(
+            key, scores, eps, c, trials, rng=derive_rngs(2, trials, "eq", key),
+            max_bytes=2 * scores.size * BYTES_PER_CELL, **kwargs
+        )
+        np.testing.assert_array_equal(whole.selection, chunked.selection)
+        np.testing.assert_array_equal(whole.processed, chunked.processed)
+        np.testing.assert_array_equal(whole.positives_mask, chunked.positives_mask)
+        np.testing.assert_array_equal(whole.ser, chunked.ser)
+        np.testing.assert_array_equal(whole.fnr, chunked.fnr)
+        if whole.passes is not None:
+            np.testing.assert_array_equal(whole.passes, chunked.passes)
+            np.testing.assert_array_equal(whole.exhausted, chunked.exhausted)
+
+    def test_seed_mode_chunk_size_invariant(self, scores):
+        """With a bare seed, results depend on the seed but never on the
+        chunk size (per-trial streams are derived before chunking)."""
+        c, eps, trials = 3, 0.8, 10
+        runs = [
+            run_trials(
+                "alg1", scores, eps, c, trials, thresholds=float(scores[c]),
+                rng=6, max_bytes=budget,
+            )
+            for budget in (
+                1,  # one trial per chunk
+                4 * scores.size * BYTES_PER_CELL,
+                10**12,  # everything in one chunk
+            )
+        ]
+        for other in runs[1:]:
+            np.testing.assert_array_equal(runs[0].selection, other.selection)
+            np.testing.assert_array_equal(runs[0].ser, other.ser)
+
+    def test_epsilon_grid_chunked(self, scores):
+        c, trials = 3, 8
+        grid = run_trials(
+            "alg1", scores, [0.2, 0.9], c, trials, thresholds=float(scores[c]),
+            rng=derive_rngs(4, trials, "grid"),
+            max_bytes=3 * scores.size * BYTES_PER_CELL,
+        )
+        whole = run_trials(
+            "alg1", scores, [0.2, 0.9], c, trials, thresholds=float(scores[c]),
+            rng=derive_rngs(4, trials, "grid"),
+        )
+        assert set(grid) == {0.2, 0.9}
+        for eps in (0.2, 0.9):
+            assert grid[eps].trials == trials
+            np.testing.assert_array_equal(grid[eps].selection, whole[eps].selection)
+
+
+class TestMemoryBudget:
+    def test_no_block_exceeds_budget(self, scores, monkeypatch):
+        """Monkeypatched allocators: every sampled block respects the plan."""
+        c, eps, trials = 3, 0.5, 12
+        max_bytes = 3 * scores.size * BYTES_PER_CELL
+        plan = plan_trials(trials, scores.size, max_bytes)
+        seen = []
+
+        real_laplace = trials_mod.laplace_matrix
+        real_gumbel = trials_mod.gumbel_matrix
+
+        def spy_laplace(rng, scale, t, n):
+            seen.append((t, n))
+            return real_laplace(rng, scale, t, n)
+
+        def spy_gumbel(rng, t, n):
+            seen.append((t, n))
+            return real_gumbel(rng, t, n)
+
+        monkeypatch.setattr(trials_mod, "laplace_matrix", spy_laplace)
+        monkeypatch.setattr(trials_mod, "gumbel_matrix", spy_gumbel)
+        for key in ("alg1", "alg2", "em"):
+            run_trials(
+                key, scores, eps, c, trials, thresholds=float(scores[c]),
+                rng=0, max_bytes=max_bytes,
+            )
+        assert seen, "the spies saw no block draws"
+        assert max(t for t, _n in seen) == plan.chunk_trials
+        for t, n in seen:
+            assert t * n * BYTES_PER_CELL <= max_bytes
+
+    def test_budget_smaller_than_one_trial_still_runs(self, scores):
+        batch = run_trials(
+            "alg1", scores, 0.5, 3, 4, thresholds=float(scores[3]),
+            rng=0, max_bytes=1,
+        )
+        assert batch.trials == 4
+
+
+class TestProcessBackend:
+    def test_identical_to_serial(self, scores):
+        c, eps, trials = 3, 0.7, 8
+        kwargs = dict(thresholds=float(scores[c]), max_bytes=2 * scores.size * BYTES_PER_CELL)
+        serial = run_trials("alg1", scores, eps, c, trials, rng=5, **kwargs)
+        sharded = run_trials(
+            "alg1", scores, eps, c, trials, rng=5, parallel="process", workers=2,
+            **kwargs,
+        )
+        np.testing.assert_array_equal(serial.selection, sharded.selection)
+        np.testing.assert_array_equal(serial.ser, sharded.ser)
+        np.testing.assert_array_equal(serial.positives_mask, sharded.positives_mask)
+
+    def test_retraversal_through_pool(self, scores):
+        c, trials = 3, 6
+        kwargs = dict(
+            thresholds=float(scores[c]), monotonic=True, ratio="1:c^(2/3)",
+            threshold_bump_d=1.0, max_bytes=2 * scores.size * BYTES_PER_CELL,
+        )
+        serial = run_trials("retraversal", scores, 0.5, c, trials, rng=8, **kwargs)
+        sharded = run_trials(
+            "retraversal", scores, 0.5, c, trials, rng=8, parallel="process",
+            workers=2, **kwargs,
+        )
+        np.testing.assert_array_equal(serial.selection, sharded.selection)
+        np.testing.assert_array_equal(serial.passes, sharded.passes)
+        np.testing.assert_array_equal(serial.processed, sharded.processed)
+
+    def test_parallel_without_max_bytes_allowed(self, scores):
+        batch = run_trials(
+            "alg1", scores, 0.5, 3, 4, thresholds=float(scores[3]),
+            rng=0, parallel="process",
+        )
+        assert batch.trials == 4
+
+    def test_unknown_backend_rejected(self, scores):
+        with pytest.raises(InvalidParameterError):
+            run_trials("alg1", scores, 0.5, 3, 4, rng=0, parallel="threads")
+
+    def test_bad_worker_count_rejected(self, scores):
+        with pytest.raises(InvalidParameterError):
+            run_trials(
+                "alg1", scores, 0.5, 3, 4, rng=0, parallel="process", workers=0
+            )
+
+
+class TestMergeBatches:
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            merge_batches([])
+
+    def test_wrong_rng_count_rejected(self, scores):
+        with pytest.raises(InvalidParameterError):
+            execute_trials(
+                "alg1", scores, 0.5, 3, 4, rng=derive_rngs(0, 3, "x"), max_bytes=10**9
+            )

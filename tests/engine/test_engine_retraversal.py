@@ -1,0 +1,338 @@
+"""Engine ≡ streaming for the Section-5 methods (SVT-ReTr and EM).
+
+Three layers of evidence, mirroring the PR-1 equivalence suite:
+
+* **Bit-exactness under per-trial streams** — with a list of per-trial
+  derived generators, the batched kernels must reproduce a per-trial loop
+  over :func:`repro.core.retraversal.svt_retraversal` /
+  :func:`repro.mechanisms.exponential.select_top_c_em` field for field —
+  including the ``passes``/``examined`` work accounting (the regression
+  guard for the vectorized path's examined arithmetic).
+* **Closed-form race accounting** — the shared-generator fast path resolves
+  the multi-pass run from each query's first-crossing pass
+  (:func:`repro.engine.retraversal.race_outcome`); a literal pass-by-pass
+  simulation over random first-crossing matrices pins its selection /
+  passes / examined identities exactly.
+* **Distributional equivalence** — the geometric-race sampling itself is
+  compared to the streaming implementation on outcome histograms (the same
+  treatment Alg. 2's refresh path gets).
+"""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core.allocation import BudgetAllocation
+from repro.core.retraversal import svt_retraversal
+from repro.engine.noise import gumbel_matrix
+from repro.engine.retraversal import (
+    em_selection_matrix,
+    race_outcome,
+    retraversal_trials,
+)
+from repro.engine.trials import run_trials
+from repro.exceptions import InvalidParameterError
+from repro.mechanisms.exponential import select_top_c_em
+from repro.rng import derive_rng, derive_rngs
+
+TRIALS = 11
+EPS = 0.4
+C = 6
+
+
+@pytest.fixture(scope="module")
+def scores():
+    gen = np.random.default_rng(0)
+    return np.sort(gen.pareto(1.2, 150))[::-1] * 40
+
+
+@pytest.fixture(scope="module")
+def allocation():
+    return BudgetAllocation.from_ratio(EPS, C, "1:c^(2/3)", monotonic=True)
+
+
+class TestRetraversalBitExactness:
+    """Per-trial streams: the batched kernel equals the streaming loop."""
+
+    @pytest.mark.parametrize("bump", [0.0, 1.0, 3.0])
+    def test_matches_streaming_loop(self, scores, allocation, bump):
+        thr = float(scores[C])
+        rngs = derive_rngs(3, TRIALS, "retr", bump)
+        values = np.broadcast_to(scores, (TRIALS, scores.size))
+        batch = retraversal_trials(
+            values, allocation, C, thresholds=thr, monotonic=True,
+            threshold_bump_d=bump, rng=rngs,
+        )
+        for t in range(TRIALS):
+            gen = derive_rng(3, "retr", bump, t)
+            res = svt_retraversal(
+                scores, allocation, C, thresholds=thr, monotonic=True,
+                threshold_bump_d=bump, rng=gen,
+            )
+            sel = batch.selection[t]
+            assert sel[sel >= 0].tolist() == res.selected
+            assert batch.passes[t] == res.passes
+            assert batch.examined[t] == res.examined
+            assert batch.exhausted[t] == res.exhausted
+
+    def test_examined_and_passes_regression(self, scores, allocation):
+        """The work accounting (examined/passes) agrees trial by trial —
+        the satellite regression for the vectorized path's arithmetic."""
+        thr = float(scores[C]) * 1.5  # raised threshold: multiple passes
+        rngs = derive_rngs(9, TRIALS, "acct")
+        values = np.broadcast_to(scores, (TRIALS, scores.size))
+        batch = retraversal_trials(
+            values, allocation, C, thresholds=thr, monotonic=True,
+            threshold_bump_d=2.0, max_passes=15, rng=rngs,
+        )
+        stream = [
+            svt_retraversal(
+                scores, allocation, C, thresholds=thr, monotonic=True,
+                threshold_bump_d=2.0, max_passes=15, rng=derive_rng(9, "acct", t),
+            )
+            for t in range(TRIALS)
+        ]
+        np.testing.assert_array_equal(batch.passes, [r.passes for r in stream])
+        np.testing.assert_array_equal(batch.examined, [r.examined for r in stream])
+        assert batch.passes.max() > 1  # the scenario actually retraverses
+
+    def test_exhaustion_matches_streaming(self):
+        rngs = derive_rngs(5, 4, "ex")
+        values = np.zeros((4, 5))
+        alloc = BudgetAllocation.from_ratio(1000.0, 3, "1:1")
+        batch = retraversal_trials(
+            values, alloc, 3, thresholds=1e9, max_passes=3, rng=rngs
+        )
+        for t in range(4):
+            res = svt_retraversal(
+                np.zeros(5), alloc, 3, thresholds=1e9, max_passes=3,
+                rng=derive_rng(5, "ex", t),
+            )
+            assert res.exhausted and batch.exhausted[t]
+            assert batch.passes[t] == res.passes == 3
+            assert batch.examined[t] == res.examined == 15
+
+    def test_validation(self, scores, allocation):
+        values = np.broadcast_to(scores, (2, scores.size))
+        with pytest.raises(InvalidParameterError):
+            retraversal_trials(values, allocation, 0, rng=0)
+        with pytest.raises(InvalidParameterError):
+            retraversal_trials(values, allocation, 2, threshold_bump_d=-1.0, rng=0)
+        with pytest.raises(InvalidParameterError):
+            retraversal_trials(values, allocation, 2, max_passes=0, rng=0)
+        with pytest.raises(InvalidParameterError):
+            retraversal_trials(scores, allocation, 2, rng=0)  # 1-D input
+
+
+class TestRaceOutcome:
+    """The closed-form accounting equals a literal pass-by-pass simulation."""
+
+    @staticmethod
+    def literal(first_cross, c, max_passes):
+        T, n = first_cross.shape
+        c = int(min(c, n))
+        out = []
+        for t in range(T):
+            avail = list(range(n))
+            selected, passes, examined = [], 0, 0
+            while len(selected) < c and passes < max_passes and avail:
+                passes += 1
+                need = c - len(selected)
+                got, scanned = [], 0
+                for i in avail:
+                    scanned += 1
+                    if first_cross[t, i] <= passes:
+                        got.append(i)
+                        if len(got) == need:
+                            break
+                examined += scanned
+                selected.extend(got)
+                avail = [i for i in avail if i not in got]
+            out.append((selected, passes, examined, len(selected) < c))
+        return out
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_matches_literal_simulation(self, seed):
+        gen = np.random.default_rng(seed)
+        T = int(gen.integers(1, 5))
+        n = int(gen.integers(1, 12))
+        c = int(gen.integers(1, 6))
+        max_passes = int(gen.integers(1, 8))
+        first_cross = gen.integers(1, 10, (T, n)).astype(float)
+        first_cross[gen.random((T, n)) < 0.3] = np.inf
+        batch = race_outcome(first_cross, c, max_passes)
+        for t, (sel, passes, examined, exhausted) in enumerate(
+            self.literal(first_cross, c, max_passes)
+        ):
+            got = batch.selection[t]
+            assert got[got >= 0].tolist() == sel
+            assert batch.passes[t] == passes
+            assert batch.examined[t] == examined
+            assert batch.exhausted[t] == exhausted
+
+    def test_empty_universe(self):
+        batch = race_outcome(np.empty((3, 0)), 2, 10)
+        assert batch.selection.shape == (3, 1)
+        np.testing.assert_array_equal(batch.passes, 0)
+        np.testing.assert_array_equal(batch.exhausted, False)
+
+
+class TestGeometricRaceDistribution:
+    """Shared-rng fast path ~ streaming, on outcome histograms."""
+
+    def test_outcomes_match_streaming(self):
+        answers = np.array([3.0, 1.0, 2.5, 0.5, 2.0])
+        alloc = BudgetAllocation.from_ratio(1.0, 2, "1:c^(2/3)", monotonic=True)
+        trials = 2_000
+        values = np.broadcast_to(answers, (trials, answers.size))
+        batch = retraversal_trials(
+            values, alloc, 2, thresholds=2.2, monotonic=True,
+            threshold_bump_d=1.0, max_passes=6, rng=0,
+        )
+        stream = [
+            svt_retraversal(
+                answers, alloc, 2, thresholds=2.2, monotonic=True,
+                threshold_bump_d=1.0, max_passes=6, rng=50_000 + i,
+            )
+            for i in range(trials)
+        ]
+        batch_passes = np.bincount(batch.passes, minlength=7)
+        stream_passes = np.bincount([r.passes for r in stream], minlength=7)
+        _, p_passes, _, _ = stats.chi2_contingency(
+            np.vstack([batch_passes, stream_passes]) + 1
+        )
+        assert p_passes > 0.001
+        width = 5 * 6 + 1
+        batch_exam = np.bincount(batch.examined, minlength=width)
+        stream_exam = np.bincount([r.examined for r in stream], minlength=width)
+        _, p_exam, _, _ = stats.chi2_contingency(
+            np.vstack([batch_exam, stream_exam]) + 1
+        )
+        assert p_exam > 0.001
+
+    def test_selected_sets_match_streaming(self):
+        answers = np.array([2.0, 1.5, 1.0])
+        alloc = BudgetAllocation.from_ratio(1.5, 1, "1:1")
+        trials = 2_000
+        values = np.broadcast_to(answers, (trials, answers.size))
+        batch = retraversal_trials(
+            values, alloc, 1, thresholds=1.4, max_passes=4, rng=1
+        )
+        batch_first = np.where(
+            (batch.selection[:, 0] >= 0), batch.selection[:, 0], 3
+        )
+        stream_first = []
+        for i in range(trials):
+            res = svt_retraversal(
+                answers, alloc, 1, thresholds=1.4, max_passes=4, rng=90_000 + i
+            )
+            stream_first.append(res.selected[0] if res.selected else 3)
+        table = np.vstack(
+            [np.bincount(batch_first, minlength=4), np.bincount(stream_first, minlength=4)]
+        )
+        _, p, _, _ = stats.chi2_contingency(table + 1)
+        assert p > 0.001
+
+
+class TestEmBitExactness:
+    @pytest.mark.parametrize("c", [1, 4, 150, 200])
+    def test_matches_streaming_loop(self, scores, c):
+        rngs = derive_rngs(7, TRIALS, "em", c)
+        values = np.broadcast_to(scores, (TRIALS, scores.size))
+        selection = em_selection_matrix(values, EPS, c, monotonic=True, rng=rngs)
+        for t in range(TRIALS):
+            gen = derive_rng(7, "em", c, t)
+            reference = select_top_c_em(scores, EPS, c, monotonic=True, rng=gen)
+            assert selection[t].tolist() == reference.tolist()
+
+    def test_shared_gumbel_grid_identical_to_resampling(self, scores):
+        """A pre-drawn Gumbel block gives the exact selections a rewound
+        generator would redraw at every epsilon — the grid-sharing basis."""
+        values = np.broadcast_to(scores, (TRIALS, scores.size))
+        gumbel = gumbel_matrix(derive_rngs(4, TRIALS, "g"), TRIALS, scores.size)
+        for eps in (0.05, 0.4):
+            shared = em_selection_matrix(values, eps, C, monotonic=True, gumbel=gumbel)
+            redrawn = em_selection_matrix(
+                values, eps, C, monotonic=True, rng=derive_rngs(4, TRIALS, "g")
+            )
+            np.testing.assert_array_equal(shared, redrawn)
+
+    def test_validation(self, scores):
+        values = np.broadcast_to(scores, (2, scores.size))
+        with pytest.raises(InvalidParameterError):
+            em_selection_matrix(values, EPS, 0, rng=0)
+        with pytest.raises(InvalidParameterError):
+            em_selection_matrix(values, -1.0, 2, rng=0)
+        with pytest.raises(InvalidParameterError):
+            em_selection_matrix(values, EPS, 2, gumbel=np.zeros((3, 3)))
+        with pytest.raises(InvalidParameterError):
+            em_selection_matrix(scores, EPS, 2, rng=0)  # 1-D input
+
+
+class TestRunTrialsDispatch:
+    """run_trials routes ReTr and EM like any other registry method."""
+
+    @pytest.mark.parametrize("alias", ["retraversal", "retr", "SVT-ReTr"])
+    def test_retraversal_aliases(self, scores, alias):
+        batch = run_trials(
+            alias, scores, EPS, C, 5, thresholds=float(scores[C]),
+            monotonic=True, ratio="1:c^(2/3)", threshold_bump_d=1.0, rng=0,
+        )
+        assert batch.variant == "retraversal"
+        assert batch.passes is not None and batch.exhausted is not None
+        assert batch.selection.shape == (5, C)
+
+    @pytest.mark.parametrize("alias", ["em", "EM", "expmech"])
+    def test_em_aliases(self, scores, alias):
+        batch = run_trials(alias, scores, EPS, C, 5, thresholds=0.0, rng=0)
+        assert batch.variant == "em"
+        assert batch.passes is None
+        np.testing.assert_array_equal(batch.num_positives, C)
+
+    def test_retraversal_bit_exact_through_run_trials(self, scores, allocation):
+        """Dispatch preserves the kernel's per-trial-stream bit-exactness."""
+        thr = float(scores[C])
+        batch = run_trials(
+            "retraversal", scores, EPS, C, TRIALS, thresholds=thr,
+            monotonic=True, ratio="1:c^(2/3)", threshold_bump_d=1.0,
+            rng=derive_rngs(13, TRIALS, "d"),
+        )
+        for t in range(TRIALS):
+            res = svt_retraversal(
+                scores, allocation, C, thresholds=thr, monotonic=True,
+                threshold_bump_d=1.0, rng=derive_rng(13, "d", t),
+            )
+            sel = batch.selection[t]
+            assert sel[sel >= 0].tolist() == res.selected
+            assert batch.processed[t] == res.examined  # examined rides processed
+
+    def test_shuffle_maps_back_to_original(self, scores):
+        batch = run_trials(
+            "retraversal", scores, 200.0, C, 8, thresholds=float(scores[C]),
+            monotonic=True, rng=2, shuffle=True,
+        )
+        # Huge budget: essentially the true top-C, in original identities.
+        assert batch.ser_mean < 0.2
+        em = run_trials(
+            "em", scores, 200.0, C, 8, thresholds=0.0, monotonic=True, rng=2,
+            shuffle=True,
+        )
+        assert em.ser_mean < 0.2
+
+    def test_epsilon_grid_for_section5_methods(self, scores):
+        grid = run_trials(
+            "em", scores, [0.1, 0.5], C, 6, rng=3, monotonic=True
+        )
+        assert set(grid) == {0.1, 0.5}
+        solo = run_trials("em", scores, 0.1, C, 6, rng=3, monotonic=True)
+        np.testing.assert_array_equal(grid[0.1].selection, solo.selection)
+        retr_grid = run_trials(
+            "retraversal", scores, [0.1, 0.5], C, 6,
+            thresholds=float(scores[C]), monotonic=True, rng=3,
+        )
+        assert retr_grid[0.5].passes is not None
+
+    def test_no_opt_in_required(self, scores):
+        """Both Section-5 methods are private: no allow_non_private gate."""
+        run_trials("retraversal", scores, EPS, C, 2, rng=0)
+        run_trials("em", scores, EPS, C, 2, rng=0)

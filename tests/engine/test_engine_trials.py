@@ -191,9 +191,10 @@ class TestRunTrialsSemantics:
         b = svt_selection_matrix(vals, 1.0, alloc, 3, rng=np.random.default_rng(8))
         np.testing.assert_array_equal(a, b)
 
-    def test_epsilon_sweep_deterministic_and_cells_independent(self, scores):
-        """A seed-driven sweep continues one stream across cells: it stays
-        reproducible, but later cells must not replay the first cell's noise."""
+    def test_epsilon_sweep_shares_unit_noise_per_cell(self, scores):
+        """The epsilon grid rescales ONE unit noise block: every cell is
+        bit-identical to the standalone run at that epsilon (paired-across-
+        epsilon semantics, one sampling pass for the whole grid)."""
         gen = np.random.default_rng(2)
         answers = gen.normal(0.0, 1.0, 100) + 2.0  # noise-dominated outcomes
         kwargs = dict(thresholds=1.0, rng=4)
@@ -201,9 +202,23 @@ class TestRunTrialsSemantics:
         b = run_trials("alg1", answers, [0.3, 0.6], 3, 20, **kwargs)
         for eps in (0.3, 0.6):
             np.testing.assert_array_equal(a[eps].positives_mask, b[eps].positives_mask)
-        # The second cell consumed draws after the first — it is not the same
-        # as a standalone run reseeded from scratch.
-        standalone = run_trials("alg1", answers, 0.6, 3, 20, **kwargs)
+            standalone = run_trials("alg1", answers, eps, 3, 20, **kwargs)
+            np.testing.assert_array_equal(
+                a[eps].positives_mask, standalone.positives_mask
+            )
+
+    def test_epsilon_sweep_share_noise_off_restores_independent_cells(self, scores):
+        """share_noise=False keeps the legacy semantics: one stream consumed
+        sequentially across cells, so the second cell does not replay the
+        first cell's draws (nor a standalone run's)."""
+        gen = np.random.default_rng(2)
+        answers = gen.normal(0.0, 1.0, 100) + 2.0
+        kwargs = dict(thresholds=1.0, rng=4, share_noise=False)
+        a = run_trials("alg1", answers, [0.3, 0.6], 3, 20, **kwargs)
+        b = run_trials("alg1", answers, [0.3, 0.6], 3, 20, **kwargs)
+        for eps in (0.3, 0.6):
+            np.testing.assert_array_equal(a[eps].positives_mask, b[eps].positives_mask)
+        standalone = run_trials("alg1", answers, 0.6, 3, 20, thresholds=1.0, rng=4)
         assert not np.array_equal(a[0.6].positives_mask, standalone.positives_mask)
 
     def test_alg2_distribution_matches_streaming(self):

@@ -5,6 +5,7 @@ import pytest
 
 from repro.data.generators import ScoreDataset
 from repro.exceptions import InvalidParameterError
+from repro.experiments.runner import run_selection_experiment, run_selection_sweep
 from repro.experiments.sweep import epsilon_sweep, format_epsilon_sweep
 
 
@@ -53,6 +54,59 @@ class TestEpsilonSweep:
             epsilon_sweep(dataset, {"EM": em_method}, epsilons=())
         with pytest.raises(InvalidParameterError):
             epsilon_sweep(dataset, {"EM": em_method}, epsilons=(0.0,))
+
+
+class TestSweepRunner:
+    """The multi-epsilon runner that epsilon_sweep now rides on."""
+
+    def test_matches_per_epsilon_experiment_for_callables(self, dataset):
+        """One grid pass == the historical one-run_selection_experiment-per-
+        epsilon loop, byte for byte (same shuffle/stream derivations)."""
+        eps_grid = (0.05, 0.2)
+        sweep = run_selection_sweep(
+            dataset, {"EM": em_method}, c=8, epsilons=eps_grid, trials=6, seed=11
+        )
+        for eps in eps_grid:
+            old = run_selection_experiment(
+                dataset, {"EM": em_method}, c_values=[8], epsilon=eps, trials=6, seed=11
+            )
+            assert sweep["EM"][eps] == old["EM"].by_c[8]
+
+    def test_matches_per_epsilon_experiment_for_batch_methods(self, dataset):
+        from repro.experiments.interactive import _svt_s_method
+        from repro.experiments.noninteractive import _EmMethod, _RetraversalMethod
+
+        methods = {
+            "SVT-S": _svt_s_method("1:c^(2/3)"),
+            "ReTr-2D": _RetraversalMethod(2.0),
+            "EM": _EmMethod(),
+        }
+        eps_grid = (0.05, 0.2)
+        sweep = run_selection_sweep(
+            dataset, methods, c=8, epsilons=eps_grid, trials=6, seed=12
+        )
+        for eps in eps_grid:
+            old = run_selection_experiment(
+                dataset, methods, c_values=[8], epsilon=eps, trials=6, seed=12
+            )
+            for name in methods:
+                assert sweep[name][eps] == old[name].by_c[8], (name, eps)
+
+    def test_validation(self, dataset):
+        with pytest.raises(InvalidParameterError):
+            run_selection_sweep(dataset, {"EM": em_method}, c=8, epsilons=(), trials=3)
+        with pytest.raises(InvalidParameterError):
+            run_selection_sweep(
+                dataset, {"EM": em_method}, c=8, epsilons=(0.0,), trials=3
+            )
+        with pytest.raises(InvalidParameterError):
+            run_selection_sweep(
+                dataset, {"EM": em_method}, c=8, epsilons=(0.1,), trials=0
+            )
+        with pytest.raises(InvalidParameterError):
+            run_selection_sweep(
+                dataset, {"EM": em_method}, c=dataset.num_items, epsilons=(0.1,), trials=3
+            )
 
 
 class TestFormatting:

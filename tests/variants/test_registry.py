@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 
 from repro.exceptions import InvalidParameterError, NonPrivateMechanismError
-from repro.variants.registry import ALGORITHMS, figure2_table, get_variant
+from repro.variants.registry import (
+    ALGORITHMS,
+    SECTION5_METHODS,
+    figure2_table,
+    get_method,
+    get_variant,
+)
 
 
 class TestLookup:
@@ -100,6 +106,55 @@ class TestUniformRunner:
             allow_non_private=True,
         )
         assert result.num_positives >= 1
+
+
+class TestSectionFiveDispatch:
+    def test_both_methods_registered(self):
+        assert sorted(SECTION5_METHODS) == ["em", "retraversal"]
+        for info in SECTION5_METHODS.values():
+            assert info.is_private
+
+    @pytest.mark.parametrize(
+        "key, expected",
+        [
+            ("retraversal", "retraversal"),
+            ("retr", "retraversal"),
+            ("SVT-ReTr", "retraversal"),
+            ("em", "em"),
+            ("ExpMech", "em"),
+            ("alg2", "alg2"),  # falls through to the Figure-2 table
+            ("3", "alg3"),
+        ],
+    )
+    def test_get_method_covers_all_eight(self, key, expected):
+        assert get_method(key).key == expected
+
+    def test_get_method_unknown(self):
+        with pytest.raises(InvalidParameterError):
+            get_method("nope")
+
+    def test_retraversal_run_returns_native_result(self):
+        result = get_method("retraversal").run(
+            [1e6, -1e6, 1e6], epsilon=100.0, c=2, thresholds=0.0, rng=0
+        )
+        assert sorted(result.selected) == [0, 2]
+        assert result.passes >= 1
+        assert result.examined >= 2
+
+    def test_em_run_returns_selection(self):
+        selection = get_method("em").run([1e6, -1e6, 1e6], epsilon=100.0, c=2, rng=0)
+        assert sorted(int(i) for i in selection) == [0, 2]
+
+    def test_run_trials_routes_through_engine(self):
+        batch = get_method("retr").run_trials(
+            [5.0, 1.0, 4.0], 2.0, 2, trials=4, thresholds=2.0, rng=0
+        )
+        assert batch.trials == 4
+        assert batch.passes is not None
+        grid = get_method("em").run_trials(
+            [5.0, 1.0, 4.0], [1.0, 2.0], 2, trials=4, rng=0
+        )
+        assert set(grid) == {1.0, 2.0}
 
 
 class TestTableRendering:
