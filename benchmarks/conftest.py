@@ -43,9 +43,9 @@ def emit(title: str, body: str) -> None:
 
 
 def pytest_sessionfinish(session, exitstatus):
-    """Flush any recorded engine-bench measurements to BENCH_engine.json."""
-    from benchmarks.record import flush
+    """Flush recorded measurements to BENCH_engine.json / BENCH_service.json."""
+    from benchmarks.record import flush, flush_service
 
-    path = flush()
-    if path:
-        print(f"\nbenchmark record written: {path}")
+    for path in (flush(), flush_service()):
+        if path:
+            print(f"\nbenchmark record written: {path}")

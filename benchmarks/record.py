@@ -1,10 +1,12 @@
-"""Machine-readable benchmark results: the ``BENCH_engine.json`` artifact.
+"""Machine-readable benchmark results: the ``BENCH_*.json`` artifacts.
 
 The enforced speedup benches (``test_bench_engine.py`` /
-``test_bench_retraversal.py``) call :func:`record` with their measurements;
-a session-finish hook in ``benchmarks/conftest.py`` flushes everything to
-one JSON file so the engine's performance trajectory is tracked across PRs
-(CI uploads the file as a build artifact).
+``test_bench_retraversal.py``) call :func:`record` with their measurements
+and the service bench (``test_bench_service.py``) calls
+:func:`record_service`; a session-finish hook in ``benchmarks/conftest.py``
+flushes everything to ``BENCH_engine.json`` / ``BENCH_service.json`` so the
+performance trajectory is tracked across PRs (CI uploads both files as
+build artifacts).
 
 Schema (version 1)::
 
@@ -34,11 +36,21 @@ import platform
 import resource
 from typing import Dict, Optional
 
-__all__ = ["record", "flush", "peak_rss_kb", "DEFAULT_PATH"]
+__all__ = [
+    "record",
+    "record_service",
+    "flush",
+    "flush_service",
+    "peak_rss_kb",
+    "DEFAULT_PATH",
+    "DEFAULT_SERVICE_PATH",
+]
 
 DEFAULT_PATH = os.path.join(os.path.dirname(__file__), "BENCH_engine.json")
+DEFAULT_SERVICE_PATH = os.path.join(os.path.dirname(__file__), "BENCH_service.json")
 
 _RESULTS: Dict[str, dict] = {}
+_SERVICE_RESULTS: Dict[str, dict] = {}
 
 
 def peak_rss_kb() -> int:
@@ -57,23 +69,43 @@ def record(variant: str, **fields) -> None:
     _RESULTS[str(variant)] = {**fields, "peak_rss_kb": peak_rss_kb()}
 
 
+def record_service(name: str, **fields) -> None:
+    """Record one service-bench measurement (workload name -> fields)."""
+    _SERVICE_RESULTS[str(name)] = {**fields, "peak_rss_kb": peak_rss_kb()}
+
+
+def _write(results: Dict[str, dict], path: str) -> str:
+    payload = {
+        "schema": 1,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "peak_rss_kb": peak_rss_kb(),
+        "results": dict(sorted(results.items())),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path
+
+
 def flush(path: Optional[str] = None) -> Optional[str]:
-    """Write all recorded results to JSON; returns the path (None if empty).
+    """Write all recorded engine results to JSON; returns the path (None if empty).
 
     The destination is *path*, the ``REPRO_BENCH_RECORD`` environment
     variable, or ``benchmarks/BENCH_engine.json``.
     """
     if not _RESULTS:
         return None
-    path = path or os.environ.get("REPRO_BENCH_RECORD") or DEFAULT_PATH
-    payload = {
-        "schema": 1,
-        "python": platform.python_version(),
-        "platform": platform.platform(),
-        "peak_rss_kb": peak_rss_kb(),
-        "results": dict(sorted(_RESULTS.items())),
-    }
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=False)
-        handle.write("\n")
-    return path
+    return _write(_RESULTS, path or os.environ.get("REPRO_BENCH_RECORD") or DEFAULT_PATH)
+
+
+def flush_service(path: Optional[str] = None) -> Optional[str]:
+    """Write the service-bench results (requests/sec, batch occupancy,
+    latency percentiles) to ``BENCH_service.json`` (or
+    ``REPRO_BENCH_RECORD_SERVICE`` / *path*)."""
+    if not _SERVICE_RESULTS:
+        return None
+    return _write(
+        _SERVICE_RESULTS,
+        path or os.environ.get("REPRO_BENCH_RECORD_SERVICE") or DEFAULT_SERVICE_PATH,
+    )

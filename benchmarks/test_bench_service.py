@@ -1,0 +1,98 @@
+"""E9 — the multi-tenant service vs per-session streaming, enforced speedup.
+
+Not a paper artifact: this bench guards the service's reason to exist.  A
+256-tenant Zipf workload (hot tenants dominate, correlated per-tenant query
+streams) is served twice — once query-at-a-time through every session's
+streaming loop, once through the batcher + cross-session cohort engine —
+and the batched path must hold a >=5x throughput advantage.  The recorded
+``BENCH_service.json`` tracks requests/sec, batch occupancy (mean rows per
+vectorized gate call), and p50/p99 drain latency across PRs.
+
+Timing is min-of-3 wall clock rather than pytest-benchmark calibration so
+the assertion holds in every mode, including ``--benchmark-disable`` smoke
+runs.  Sessions are re-opened fresh for every repetition: serving mutates
+gate and history state, so reps must not share sessions.
+"""
+
+import os
+
+import pytest
+
+from benchmarks.conftest import emit
+from benchmarks.record import record_service
+from repro.service import SVTQueryService, WorkloadSpec, generate_workload
+from repro.service.workload import run_batched, run_streaming
+
+TENANTS = 256
+REQUESTS = int(os.environ.get("REPRO_BENCH_SERVICE_REQUESTS", "50000"))
+BATCH_WINDOW = 16_384
+# The acceptance floor.  Shared CI runners can steal cycles from the
+# millisecond-scale timings, so CI smoke sets a lower floor via the env
+# knob rather than flaking an unrelated PR.
+MIN_SPEEDUP = float(os.environ.get("REPRO_MIN_SPEEDUP", "5.0"))
+
+SPEC = WorkloadSpec(
+    tenants=TENANTS,
+    requests=REQUESTS,
+    dataset="Zipf",
+    dataset_scale=0.05,
+    threshold_factor=0.8,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_workload(SPEC, rng=0)
+
+
+def best_stats(runner, repeats=3):
+    best = None
+    for _ in range(repeats):
+        stats = runner()
+        if best is None or stats.duration_s < best.duration_s:
+            best = stats
+    return best
+
+
+def test_service_vs_streaming(workload):
+    """Cross-session batched drains vs the per-session streaming loop."""
+
+    def streaming():
+        service = SVTQueryService(workload.supports, seed=1)
+        return run_streaming(service, workload, session_seed=42)
+
+    def batched():
+        service = SVTQueryService(workload.supports, seed=1)
+        return run_batched(
+            service, workload, batch_size=BATCH_WINDOW, session_seed=42
+        )
+
+    stream = best_stats(streaming)
+    batch = best_stats(batched)
+    speedup = stream.duration_s / batch.duration_s
+
+    # Both drivers serve the same trace against identically-seeded sessions;
+    # the workload regime itself must match (sanity, not bit-identity —
+    # that's enforced seed-exactly in tests/service/).
+    assert batch.answered + batch.rejected == REQUESTS
+    assert abs(batch.history_rate - stream.history_rate) < 0.05
+    assert batch.mean_block_rows > TENANTS  # real cross-session batching
+
+    emit(
+        "Service vs streaming — 256-tenant Zipf workload",
+        f"streaming: {stream.duration_s * 1e3:.0f} ms ({stream.requests_per_sec:,.0f} req/s)   "
+        f"batched: {batch.duration_s * 1e3:.0f} ms ({batch.requests_per_sec:,.0f} req/s)\n"
+        f"speedup: {speedup:.1f}x   occupancy: {batch.mean_block_rows:.0f} rows/block   "
+        f"p50/p99 drain latency: {batch.latency_p50_ms:.1f}/{batch.latency_p99_ms:.1f} ms\n"
+        f"({REQUESTS} requests, {TENANTS} tenants, window {BATCH_WINDOW}, "
+        f"history rate {batch.history_rate:.1%}, {batch.db_accesses} database accesses)",
+    )
+    record_service(
+        "zipf-256",
+        speedup=round(speedup, 2),
+        streaming=stream.as_record(),
+        batched=batch.as_record(),
+        tenants=TENANTS,
+        batch_window=BATCH_WINDOW,
+    )
+    assert speedup >= MIN_SPEEDUP

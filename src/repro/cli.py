@@ -17,6 +17,14 @@ Subcommands
     pair (exact, via the Eq.-(5) verifier).
 ``experiment``
     Run the Section-6 reproduction (delegates to ``repro.experiments``).
+``serve``
+    Run the multi-tenant SVT query service over a score file: requests
+    (``tenant item`` lines) stream in on stdin, answers stream out as JSON
+    lines; pending queries are answered in cross-session batched drains.
+``load-test``
+    Closed-loop throughput benchmark of the service: a Zipf multi-tenant
+    workload served both batched and query-at-a-time, with requests/sec,
+    batch occupancy, and latency percentiles (optionally written to JSON).
 """
 
 from __future__ import annotations
@@ -98,6 +106,34 @@ def build_parser() -> argparse.ArgumentParser:
     exp = sub.add_parser("experiment", help="run the Section-6 reproduction")
     exp.add_argument("--tiny", action="store_true")
     exp.add_argument("--no-charts", action="store_true")
+
+    serve = sub.add_parser("serve", help="serve tenant item queries from stdin")
+    serve.add_argument("scores", type=Path, help="file with one numeric score per line")
+    serve.add_argument("--epsilon", type=float, default=1.0, help="per-session budget")
+    serve.add_argument("--threshold", type=float, required=True, help="error threshold T")
+    serve.add_argument("-c", "--top", type=int, default=3, dest="c",
+                       help="database accesses per session")
+    serve.add_argument("--svt-fraction", type=float, default=0.5)
+    serve.add_argument("--mode", choices=("shared", "per-session"), default="shared")
+    serve.add_argument("--batch", type=int, default=256,
+                       help="drain after this many pending requests (blank line or EOF also drains)")
+    serve.add_argument("--seed", type=int, default=None)
+
+    load = sub.add_parser("load-test", help="closed-loop service throughput benchmark")
+    load.add_argument("--tenants", type=int, default=256)
+    load.add_argument("--requests", type=int, default=20_000)
+    load.add_argument("--dataset", choices=sorted(DATASET_GENERATORS), default="Zipf")
+    load.add_argument("--scale", type=float, default=0.05)
+    load.add_argument("--batch", type=int, default=8_192, help="submit window size")
+    load.add_argument("--epsilon", type=float, default=1.0)
+    load.add_argument("-c", "--top", type=int, default=3, dest="c")
+    load.add_argument("--threshold-factor", type=float, default=0.8,
+                      help="error threshold as a fraction of the head support")
+    load.add_argument("--seed", type=int, default=0)
+    load.add_argument("--skip-streaming", action="store_true",
+                      help="measure only the batched path")
+    load.add_argument("--record", type=Path, default=None,
+                      help="write the measurements to this JSON file")
 
     return parser
 
@@ -189,6 +225,115 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 1 if report.violated else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import SVTQueryService
+
+    supports = np.array(
+        [float(line) for line in args.scores.read_text().split() if line.strip()]
+    )
+    service = SVTQueryService(supports, seed=args.seed, mode=args.mode)
+    meta: dict = {}  # ticket -> (tenant, item)
+
+    def open_if_needed(tenant: str):
+        if tenant not in service.manager:
+            service.open_session(
+                tenant,
+                epsilon=args.epsilon,
+                error_threshold=args.threshold,
+                c=args.c,
+                svt_fraction=args.svt_fraction,
+            )
+
+    def drain() -> None:
+        result = service.drain()
+        for i, ticket in enumerate(result.tickets):
+            tenant, item = meta.pop(int(ticket))
+            payload = {"ticket": int(ticket), "tenant": tenant, "item": item}
+            if result.ok[i]:
+                payload["value"] = float(result.values[i])
+                payload["from_history"] = bool(result.from_history[i])
+            else:
+                payload["error"] = result.errors[i]
+            print(json.dumps(payload))
+
+    served = 0
+    for line in sys.stdin:
+        line = line.strip()
+        if not line:
+            drain()
+            continue
+        try:
+            tenant, item_text = line.split()
+            item = int(item_text)
+        except ValueError:
+            print(f"error: bad request line {line!r}", file=sys.stderr)
+            continue
+        open_if_needed(tenant)
+        ticket = service.submit(tenant, item)
+        meta[ticket] = (tenant, item)
+        served += 1
+        if service.batcher.pending >= args.batch:
+            drain()
+    drain()
+    spent = sum(s.ledger.spent for s in service.sessions())
+    print(
+        f"served {served} requests across {len(service.manager)} sessions "
+        f"({len(service.audit)} audit records, total epsilon spent {spent:g})",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_load_test(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import SVTQueryService, WorkloadSpec, generate_workload
+    from repro.service.workload import run_batched, run_streaming
+
+    spec = WorkloadSpec(
+        tenants=args.tenants,
+        requests=args.requests,
+        dataset=args.dataset,
+        dataset_scale=args.scale,
+        epsilon=args.epsilon,
+        c=args.c,
+        threshold_factor=args.threshold_factor,
+    )
+    workload = generate_workload(spec, rng=args.seed)
+    batched = run_batched(
+        SVTQueryService(workload.supports, seed=args.seed),
+        workload,
+        batch_size=args.batch,
+        session_seed=args.seed,
+    )
+    print(
+        f"batched:   {batched.requests_per_sec:>12,.0f} req/s   "
+        f"occupancy {batched.mean_block_rows:.0f} rows/block   "
+        f"p50/p99 {batched.latency_p50_ms:.2f}/{batched.latency_p99_ms:.2f} ms   "
+        f"history rate {batched.history_rate:.1%}"
+    )
+    payload = {"workload": vars(args) | {"record": None}, "batched": batched.as_record()}
+    if not args.skip_streaming:
+        streaming = run_streaming(
+            SVTQueryService(workload.supports, seed=args.seed),
+            workload,
+            session_seed=args.seed,
+        )
+        speedup = streaming.duration_s / batched.duration_s
+        print(
+            f"streaming: {streaming.requests_per_sec:>12,.0f} req/s   "
+            f"(per-session loop)   speedup {speedup:.1f}x"
+        )
+        payload["streaming"] = streaming.as_record()
+        payload["speedup"] = round(speedup, 2)
+    if args.record is not None:
+        args.record.write_text(json.dumps(payload, indent=2, default=str) + "\n")
+        print(f"record written: {args.record}")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments.__main__ import main as experiments_main
 
@@ -206,6 +351,8 @@ _HANDLERS = {
     "mine": _cmd_mine,
     "audit": _cmd_audit,
     "experiment": _cmd_experiment,
+    "serve": _cmd_serve,
+    "load-test": _cmd_load_test,
 }
 
 

@@ -33,9 +33,10 @@ from repro.engine.batch import (
     run_stoddard_batch,
     run_svt_batch,
 )
-from repro.engine.exec import execute_trials, merge_batches
+from repro.engine.exec import execute_trials, merge_batches, run_sharded
+from repro.engine.gate import GateBlock, gate_block
 from repro.engine.noise import TrialRngs, gumbel_matrix, laplace_matrix, laplace_vector
-from repro.engine.plans import BYTES_PER_CELL, TrialPlan, plan_trials
+from repro.engine.plans import BYTES_PER_CELL, TrialPlan, bytes_per_cell, plan_trials
 from repro.engine.retraversal import (
     RetraversalTrialBatch,
     em_selection_matrix,
@@ -76,6 +77,10 @@ __all__ = [
     "TrialPlan",
     "plan_trials",
     "BYTES_PER_CELL",
+    "bytes_per_cell",
     "execute_trials",
     "merge_batches",
+    "run_sharded",
+    "GateBlock",
+    "gate_block",
 ]

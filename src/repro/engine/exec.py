@@ -32,9 +32,30 @@ from repro.engine.plans import TrialPlan, plan_trials
 from repro.exceptions import InvalidParameterError
 from repro.rng import derive_rngs
 
-__all__ = ["execute_trials", "merge_batches"]
+__all__ = ["execute_trials", "merge_batches", "run_sharded"]
 
 _BACKENDS = (None, "serial", "process")
+
+
+def run_sharded(runner, payloads, parallel=None, workers=None) -> list:
+    """Run *payloads* through *runner*, serially or on a process pool.
+
+    The shared sharding backend: :func:`execute_trials` feeds it trial
+    chunks and :func:`repro.experiments.runner.run_selection_experiment`
+    feeds it figure cells.  ``runner`` and every payload must be picklable
+    for ``parallel="process"``; results come back in payload order.
+    """
+    if parallel not in _BACKENDS:
+        raise InvalidParameterError(
+            f"unknown parallel backend {parallel!r}; known: {sorted(str(b) for b in _BACKENDS)}"
+        )
+    if workers is not None and workers < 1:
+        raise InvalidParameterError("workers must be >= 1")
+    if parallel == "process" and len(payloads) > 1:
+        max_workers = min(workers or os.cpu_count() or 1, len(payloads))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            return list(pool.map(runner, payloads))
+    return [runner(p) for p in payloads]
 
 
 def merge_batches(batches: Sequence) -> "TrialBatch":  # noqa: F821 (doc type)
@@ -125,7 +146,7 @@ def execute_trials(
         # differently at every chunk boundary.)
         rngs = derive_rngs(rng, trials, "engine-exec")
 
-    plan: TrialPlan = plan_trials(trials, base.size, max_bytes)
+    plan: TrialPlan = plan_trials(trials, base.size, max_bytes, variant=variant)
     payloads: List[dict] = [
         dict(
             variant=variant,
@@ -139,12 +160,7 @@ def execute_trials(
         for start, stop in plan.bounds()
     ]
 
-    if parallel == "process" and len(payloads) > 1:
-        max_workers = min(workers or os.cpu_count() or 1, len(payloads))
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            results = list(pool.map(_run_payload, payloads))
-    else:
-        results = [_run_payload(p) for p in payloads]
+    results = run_sharded(_run_payload, payloads, parallel=parallel, workers=workers)
 
     if isinstance(results[0], dict):
         return {

@@ -1,0 +1,133 @@
+"""Row-per-session gate execution: the service's engine entry point.
+
+The multi-tenant service (:mod:`repro.service`) answers many interactive
+sessions at once.  Each session runs the corrected Section-3.4 online gate —
+``r_i + nu >= T + rho`` on the error of a derived answer, Laplace release on
+⊤ — and sessions differ in everything: epsilon split, threshold, firing
+budget, even their already-drawn threshold noise rho.  The service therefore
+needs a *heterogeneous* block primitive: one row per (session, query), with
+per-row thresholds, rho, and noise scales, so a whole cross-session batch
+becomes one vectorized compare instead of N Python-level ``answer()`` calls.
+
+:func:`gate_block` is that primitive.  Like the rest of the engine it keeps
+sampling and logic in one auditable place and supports the two stream modes
+of :mod:`repro.engine.noise`:
+
+* a single shared ``Generator`` — one block draw for the query noise and one
+  for the release noise (the throughput path; heterogeneous scales are
+  handled by rescaling unit draws, the same linearity the epsilon-grid path
+  relies on);
+* a list of per-row ``Generator`` objects — row i draws its nu (and, only
+  when it fires, its release noise) from its own stream, in exactly the
+  order a per-session streaming loop would.  Because each session appears at
+  most once per block, committing blocks in round order reproduces every
+  per-session stream draw for draw — the bit-identity contract the service's
+  ``per-session`` mode is tested against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.noise import TrialRngs, laplace_vector
+from repro.exceptions import InvalidParameterError
+from repro.rng import ensure_rng
+
+__all__ = ["GateBlock", "gate_block"]
+
+
+@dataclass(frozen=True)
+class GateBlock:
+    """Outcome of one heterogeneous gate block.
+
+    ``above[i]`` says whether row i's gate fired; ``released[i]`` holds the
+    noisy database answer for fired rows and NaN elsewhere (a below row
+    releases nothing — its session serves the derived estimate, which never
+    touches this kernel).
+    """
+
+    above: np.ndarray
+    nu: np.ndarray
+    released: np.ndarray
+
+    @property
+    def rows(self) -> int:
+        return int(self.above.size)
+
+
+def _as_row_vector(value, rows: int, name: str) -> np.ndarray:
+    out = np.broadcast_to(np.asarray(value, dtype=float), (rows,))
+    if not np.all(np.isfinite(out)):
+        raise InvalidParameterError(f"{name} must be finite")
+    return out
+
+
+def gate_block(
+    errors,
+    thresholds,
+    rho,
+    nu_scales,
+    answer_scales,
+    truths,
+    rng: TrialRngs = None,
+) -> GateBlock:
+    """Answer one row-per-session block of corrected online-SVT gates.
+
+    Parameters
+    ----------
+    errors:
+        Per-row gate queries ``r_i = |q~ - q(D)|`` (already evaluated — the
+        kernel never sees raw data, only numbers, like the rest of the
+        engine).
+    thresholds / rho / nu_scales / answer_scales:
+        Per-row gate parameters; scalars broadcast.  ``rho`` is each row's
+        session threshold noise, drawn once at session open, *not* here.
+    truths:
+        Per-row true answers ``q(D)``, released with ``Lap(answer_scales)``
+        noise where the gate fires.
+    rng:
+        A shared seed/Generator (one block draw, unit noise rescaled per
+        row) or one Generator per row (bit-compatible with a per-session
+        streaming loop: nu then — only on ⊤ — the release draw).
+    """
+    errors = np.asarray(errors, dtype=float)
+    if errors.ndim != 1:
+        raise InvalidParameterError("errors must be a 1-D row-per-session vector")
+    rows = errors.size
+    if rows == 0:
+        empty = np.empty(0)
+        return GateBlock(above=np.empty(0, dtype=bool), nu=empty, released=empty)
+    if isinstance(rng, (list, tuple)):
+        if len(rng) != rows:
+            raise InvalidParameterError(
+                f"got {len(rng)} per-row generators for {rows} rows"
+            )
+    else:
+        # Coerce once: the nu and release draws below must continue ONE
+        # stream (a raw seed handed to each sampler would replay one bit
+        # stream, correlating noises that must be independent).
+        rng = ensure_rng(rng)
+    thr = _as_row_vector(thresholds, rows, "thresholds")
+    rho = _as_row_vector(rho, rows, "rho")
+    nu_scales = _as_row_vector(nu_scales, rows, "nu_scales")
+    answer_scales = _as_row_vector(answer_scales, rows, "answer_scales")
+    truths = np.broadcast_to(np.asarray(truths, dtype=float), (rows,))
+    if np.any(nu_scales <= 0.0) or np.any(answer_scales <= 0.0):
+        raise InvalidParameterError("noise scales must be > 0")
+
+    nu = laplace_vector(rng, nu_scales, rows)
+    above = errors + nu >= thr + rho
+
+    released = np.full(rows, np.nan)
+    fired = np.nonzero(above)[0]
+    if fired.size:
+        if isinstance(rng, (list, tuple)):
+            release_noise = laplace_vector(
+                [rng[i] for i in fired], answer_scales[fired], fired.size
+            )
+        else:
+            release_noise = laplace_vector(rng, answer_scales[fired], fired.size)
+        released[fired] = truths[fired] + release_noise
+    return GateBlock(above=above, nu=nu, released=released)

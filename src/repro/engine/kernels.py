@@ -40,7 +40,37 @@ __all__ = [
     "dpbook_kernel_stream",
     "nocut_kernel",
     "nocut_kernel_stream",
+    "THRESHOLD_BYTES_PER_CELL",
+    "DPBOOK_BYTES_PER_CELL",
+    "NOCUT_BYTES_PER_CELL",
+    "NOCUT_NONOISE_BYTES_PER_CELL",
 ]
+
+# ---------------------------------------------------------------------------
+# Working-set models: peak live bytes per (trial, query) cell of each kernel
+# family, used by repro.engine.plans to size trial chunks.  Counted from the
+# arrays each multi-trial path actually holds at once (float64 = 8, bool/int
+# masks as labelled), with slack for the shuffle row and selection scatter.
+# Deliberately conservative — the budget caps *peak* footprint.
+# ---------------------------------------------------------------------------
+
+#: threshold_kernel shape (Alg. 1/3/4/7): shuffled values (8) + nu block (8)
+#: + noisy-comparison intermediate (8) + above (1) + cumsum (8) + prefix and
+#: positives masks (2) + slack.
+THRESHOLD_BYTES_PER_CELL = 48
+
+#: dpbook_kernel (Alg. 2): the threshold shape plus the persistent
+#: ``values + nu`` matrix the segmented refresh rescans keep live.
+DPBOOK_BYTES_PER_CELL = 56
+
+#: nocut_kernel with query noise (Alg. 6 / GPTT): no halt bookkeeping, but
+#: the selection scatter still runs a cumsum; one intermediate fewer than
+#: the threshold shape.
+NOCUT_BYTES_PER_CELL = 44
+
+#: nocut_kernel without query noise (Alg. 5): no nu block and no noisy
+#: intermediate at all — the comparison broadcasts against rho alone.
+NOCUT_NONOISE_BYTES_PER_CELL = 32
 
 
 def cut_at_cth_positive(above: np.ndarray, c: int) -> Tuple[int, bool]:

@@ -21,7 +21,14 @@ from typing import List, Optional, Tuple
 
 from repro.exceptions import InvalidParameterError
 
-__all__ = ["NoisePlan", "noise_plan", "TrialPlan", "plan_trials", "BYTES_PER_CELL"]
+__all__ = [
+    "NoisePlan",
+    "noise_plan",
+    "TrialPlan",
+    "plan_trials",
+    "BYTES_PER_CELL",
+    "bytes_per_cell",
+]
 
 
 @dataclass(frozen=True)
@@ -72,12 +79,43 @@ def noise_plan(
     raise InvalidParameterError(f"no fixed noise plan for variant {key!r}")
 
 
-#: Working-set bytes per (trial, query) cell the engine may hold live at
-#: once: the float64 noise block, the noisy-comparison intermediates, the
-#: boolean masks, and the int64 cumsum (8 + 8 + 8 + 8 + 2*8 with slack for
-#: the shuffle row and selection scatter).  Deliberately conservative — the
-#: budget caps *peak* footprint, not the average.
+#: The variant-agnostic fallback: the threshold-kernel working set (the
+#: most common shape), used when the caller doesn't say which kernel runs.
 BYTES_PER_CELL = 48
+
+
+def bytes_per_cell(variant: Optional[str] = None) -> int:
+    """Peak working-set bytes per (trial, query) cell of one variant.
+
+    Each kernel module exposes its own measured model (see
+    :mod:`repro.engine.kernels` / :mod:`repro.engine.retraversal`); this
+    resolves a registry key to the right one.  ``None`` (or an unknown key)
+    falls back to the conservative :data:`BYTES_PER_CELL` default.
+    """
+    if variant is None:
+        return BYTES_PER_CELL
+    # Imported lazily: kernels/retraversal sit above plans in the package's
+    # import order for the trial layer.
+    from repro.engine.kernels import (
+        DPBOOK_BYTES_PER_CELL,
+        NOCUT_BYTES_PER_CELL,
+        NOCUT_NONOISE_BYTES_PER_CELL,
+        THRESHOLD_BYTES_PER_CELL,
+    )
+    from repro.engine.retraversal import EM_BYTES_PER_CELL, RETRAVERSAL_BYTES_PER_CELL
+
+    table = {
+        "alg1": THRESHOLD_BYTES_PER_CELL,
+        "alg2": DPBOOK_BYTES_PER_CELL,
+        "alg3": THRESHOLD_BYTES_PER_CELL,
+        "alg4": THRESHOLD_BYTES_PER_CELL,
+        "alg5": NOCUT_NONOISE_BYTES_PER_CELL,
+        "alg6": NOCUT_BYTES_PER_CELL,
+        "gptt": NOCUT_BYTES_PER_CELL,
+        "retraversal": RETRAVERSAL_BYTES_PER_CELL,
+        "em": EM_BYTES_PER_CELL,
+    }
+    return table.get(str(variant), BYTES_PER_CELL)
 
 
 @dataclass(frozen=True)
@@ -87,12 +125,15 @@ class TrialPlan:
     ``chunk_trials`` is the largest trial count whose working set fits the
     ``max_bytes`` budget (never below one trial: a single trial's row is the
     irreducible unit of work).  ``max_bytes=None`` means one chunk.
+    ``cell_bytes`` is the per-cell model the plan was sized with — the
+    variant's own estimate when :func:`plan_trials` was told the variant.
     """
 
     trials: int
     n: int
     chunk_trials: int
     max_bytes: Optional[int] = None
+    cell_bytes: int = BYTES_PER_CELL
 
     @property
     def num_chunks(self) -> int:
@@ -101,7 +142,7 @@ class TrialPlan:
     @property
     def chunk_bytes(self) -> int:
         """Estimated peak working set of one chunk."""
-        return self.chunk_trials * self.n * BYTES_PER_CELL
+        return self.chunk_trials * self.n * self.cell_bytes
 
     def bounds(self) -> List[Tuple[int, int]]:
         """The [start, stop) trial ranges of every chunk, in order."""
@@ -111,21 +152,35 @@ class TrialPlan:
         ]
 
 
-def plan_trials(trials: int, n: int, max_bytes: Optional[int] = None) -> TrialPlan:
-    """Plan the trial chunking for a ``(trials, n)`` engine run."""
+def plan_trials(
+    trials: int,
+    n: int,
+    max_bytes: Optional[int] = None,
+    variant: Optional[str] = None,
+) -> TrialPlan:
+    """Plan the trial chunking for a ``(trials, n)`` engine run.
+
+    With *variant* the chunk size is computed from that kernel's own
+    bytes-per-cell estimate (Alg. 5's noise-free scan packs half again as
+    many trials per chunk as a retraversal run under the same budget).
+    """
     if trials <= 0:
         raise InvalidParameterError("trials must be > 0")
     if n < 0:
         raise InvalidParameterError("n must be non-negative")
+    cell = bytes_per_cell(variant)
     if max_bytes is None:
-        return TrialPlan(trials=trials, n=n, chunk_trials=trials, max_bytes=None)
+        return TrialPlan(
+            trials=trials, n=n, chunk_trials=trials, max_bytes=None, cell_bytes=cell
+        )
     if max_bytes <= 0:
         raise InvalidParameterError("max_bytes must be > 0")
-    per_trial = max(n, 1) * BYTES_PER_CELL
+    per_trial = max(n, 1) * cell
     chunk = int(max_bytes // per_trial)
     return TrialPlan(
         trials=trials,
         n=n,
         chunk_trials=max(1, min(chunk, trials)),
         max_bytes=int(max_bytes),
+        cell_bytes=cell,
     )

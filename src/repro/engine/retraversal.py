@@ -53,7 +53,19 @@ __all__ = [
     "retraversal_trials",
     "race_outcome",
     "em_selection_matrix",
+    "RETRAVERSAL_BYTES_PER_CELL",
+    "EM_BYTES_PER_CELL",
 ]
+
+#: Peak live bytes per (trial, query) cell of the multi-pass rescan path:
+#: the threshold-kernel working set plus a fresh per-pass nu block, the
+#: already-selected mask, and the still-active bookkeeping (see
+#: repro.engine.kernels for how these models are counted).
+RETRAVERSAL_BYTES_PER_CELL = 64
+
+#: Row-wise Gumbel-max EM: values (8) + gumbel block (8) + logits (8) +
+#: perturbed scores (8) + top-c partition workspace and slack.
+EM_BYTES_PER_CELL = 40
 
 
 @dataclass

@@ -26,7 +26,7 @@ Methods come in two flavors:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -138,6 +138,19 @@ def _pad_selections(picks: List[np.ndarray]) -> np.ndarray:
     return out
 
 
+def _run_experiment_cell(payload: tuple) -> MetricSummary:
+    """One (method, c) figure cell, executed in a worker process.
+
+    Calls :func:`run_selection_experiment` on the singleton cell: every
+    shuffle and mechanism stream is derived from ``(seed, dataset, name,
+    c, ...)`` alone, so a cell computed in isolation is byte-identical to
+    the same cell inside a full serial run.
+    """
+    dataset, name, method, c, epsilon, trials, seed = payload
+    result = run_selection_experiment(dataset, {name: method}, [c], epsilon, trials, seed)
+    return result[name].by_c[c]
+
+
 def run_selection_experiment(
     dataset: ScoreDataset,
     methods: Dict[str, SelectionMethod],
@@ -145,12 +158,21 @@ def run_selection_experiment(
     epsilon: float,
     trials: int,
     seed: RngLike = 0,
+    parallel: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> Dict[str, MethodResult]:
     """Run every method over every c, *trials* times each, on one dataset.
 
     All methods within a (c, trial) cell see the **same** shuffled order, so
     method comparisons are paired (lower variance in the differences), while
     their mechanism randomness stays independent.
+
+    ``parallel="process"`` fans the (method, c) cells out across a process
+    pool (:func:`repro.engine.exec.run_sharded`, the same machinery that
+    shards engine trial chunks).  Because every cell derives its shuffles
+    and mechanism streams from *seed* and its own coordinates, the fan-out
+    is bit-identical to the serial loop; it requires a stateless *seed*
+    (int/None) and picklable methods.
     """
     if epsilon <= 0:
         raise InvalidParameterError("epsilon must be > 0")
@@ -158,15 +180,37 @@ def run_selection_experiment(
         raise InvalidParameterError("trials must be > 0")
     scores = dataset.supports.astype(float)
     n = scores.size
+    for c in c_values:
+        if int(c) >= n:
+            raise InvalidParameterError(
+                f"c={int(c)} needs a (c+1)-th score but {dataset.name} has {n} items"
+            )
     results: Dict[str, MethodResult] = {
         name: MethodResult(method=name, dataset=dataset.name, by_c={}) for name in methods
     }
+    if parallel is not None and parallel != "serial":
+        from repro.engine.exec import run_sharded
+
+        if isinstance(seed, np.random.Generator):
+            raise InvalidParameterError(
+                "parallel cells need a stateless seed (int or None), not a "
+                "Generator whose state would depend on cell order"
+            )
+        payloads = [
+            (dataset, name, method, int(c), float(epsilon), int(trials), seed)
+            for c in c_values
+            for name, method in methods.items()
+        ]
+        summaries = run_sharded(
+            _run_experiment_cell, payloads, parallel=parallel, workers=workers
+        )
+        for (                # noqa: B007 - unpacking documents the payload
+            _dataset, name, _method, c, _eps, _trials, _seed
+        ), summary in zip(payloads, summaries):
+            results[name].by_c[c] = summary
+        return results
     for c in c_values:
         c = int(c)
-        if c >= n:
-            raise InvalidParameterError(
-                f"c={c} needs a (c+1)-th score but {dataset.name} has {n} items"
-            )
         threshold = dataset.threshold_for_c(c)
         # One shuffle per trial, derived exactly as the per-trial loop did.
         perms = np.stack(

@@ -14,60 +14,32 @@ absolute value), whose left side is always >= 0 — so any ⊤ reveals
 ``rho >= -T``, leaking the threshold noise just like Alg. 3's numeric
 outputs.  The fix is to treat ``r_i = |q~ - q(D)|`` as the query and add the
 noise outside: ``r_i + nu >= T + rho``.
+
+Since the multi-tenant service landed, the gate/ledger/estimator machinery
+lives in :class:`repro.service.session.Session`; this class is the historical
+single-session facade over exactly one such session.  A serving deployment
+that wants cross-session batching opens sessions through
+:class:`repro.service.SVTQueryService` instead — the session semantics (and,
+per seed, the released bits) are identical.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import List, Optional
 
-from repro.accounting.budget import BudgetLedger
-from repro.core.allocation import BudgetAllocation
-from repro.core.base import BELOW
-from repro.core.svt import StandardSVT
-from repro.exceptions import InvalidParameterError, PrivacyError
-from repro.mechanisms.laplace import LaplaceMechanism
+from repro.exceptions import InvalidParameterError
 from repro.queries.base import Query
-from repro.rng import RngLike, ensure_rng
+from repro.rng import RngLike
+from repro.service.session import EstimatorFn, OnlineAnswer, Session
 
 __all__ = ["OnlineAnswer", "OnlineQueryAnswerer"]
-
-#: Derives an estimate for a query from the answer history.  Receives the
-#: query and the history list of (query, answer) pairs; returns the estimate.
-EstimatorFn = Callable[[Query, List[tuple]], float]
-
-
-def _default_estimator(query: Query, history: List[tuple]) -> float:
-    """Answer from history: exact past answer if the query repeats, else the mean.
-
-    Deliberately simple — the contract is "any function of *released* data is
-    free", and repeated/correlated query streams are where it shines.  The MW
-    substrate provides a much stronger estimator for linear queries.
-    """
-    for past_query, past_answer in reversed(history):
-        if repr(past_query) == repr(query):
-            return past_answer
-    if history:
-        return sum(ans for _, ans in history) / len(history)
-    return 0.0
-
-
-@dataclass(frozen=True)
-class OnlineAnswer:
-    """One served answer and how it was produced.
-
-    ``from_history`` is True when the SVT gate said the derived answer was
-    good enough (no budget spent on this query beyond the shared SVT charge).
-    """
-
-    value: float
-    from_history: bool
-    query_index: int
 
 
 class OnlineQueryAnswerer:
     """Answer an adaptive stream of queries under a fixed total budget.
+
+    A thin wrapper over one :class:`~repro.service.session.Session` — see
+    that class for the gate, ledger, and estimator details.
 
     Parameters
     ----------
@@ -96,70 +68,42 @@ class OnlineQueryAnswerer:
         estimator: Optional[EstimatorFn] = None,
         rng: RngLike = None,
     ) -> None:
-        if not 0.0 < svt_fraction < 1.0:
-            raise InvalidParameterError("svt_fraction must be in (0, 1)")
-        if error_threshold < 0.0:
-            raise InvalidParameterError("error_threshold must be >= 0")
-        self._dataset = dataset
-        self._rng = ensure_rng(rng)
-        self._estimator = estimator or _default_estimator
-        self._sensitivity = float(sensitivity)
-        self._c = int(c)
-        self._threshold = float(error_threshold)
-
-        self.ledger = BudgetLedger.with_total(epsilon)
-        eps_svt = epsilon * svt_fraction
-        eps_answers = epsilon - eps_svt
-        # The error query r = |q~ - q(D)| has the same sensitivity as q
-        # (|r(D) - r(D')| <= |q(D) - q(D')| by the reverse triangle
-        # inequality), and is generally NOT monotonic even for monotonic q.
-        allocation = BudgetAllocation.from_ratio(eps_svt, self._c, ratio="optimal")
-        self._svt = StandardSVT(
-            allocation, sensitivity=self._sensitivity, c=self._c, rng=self._rng
+        self._session = Session(
+            dataset,
+            epsilon=epsilon,
+            error_threshold=error_threshold,
+            c=c,
+            svt_fraction=svt_fraction,
+            sensitivity=sensitivity,
+            estimator=estimator,
+            rng=rng,
+            tenant="online",
         )
-        self.ledger.charge("svt-gate", eps_svt, note="threshold test for all queries")
-        self._eps_per_answer = eps_answers / self._c
-        self._laplace = LaplaceMechanism(self._eps_per_answer, self._sensitivity)
-        self.history: List[tuple] = []
-        self._served = 0
+
+    @property
+    def session(self) -> Session:
+        """The underlying service session (gate state, ledger, audit log)."""
+        return self._session
+
+    @property
+    def ledger(self):
+        return self._session.ledger
+
+    @property
+    def history(self) -> List[tuple]:
+        return self._session.history
 
     @property
     def exhausted(self) -> bool:
         """True when the c database accesses are used up — the session is over."""
-        return self._svt.halted
+        return self._session.exhausted
 
     @property
     def database_accesses(self) -> int:
-        return self._svt.count
+        return self._session.database_accesses
 
     def answer(self, query: Query) -> OnlineAnswer:
         """Serve one query: history if the SVT gate allows, else the database."""
         if not isinstance(query, Query):
             raise InvalidParameterError("answer() expects a Query instance")
-        if self.exhausted:
-            raise PrivacyError(
-                "interactive session exhausted: c database accesses used; "
-                "further queries would exceed the privacy budget"
-            )
-        if query.sensitivity > self._sensitivity:
-            raise PrivacyError(
-                f"query sensitivity {query.sensitivity} exceeds the session bound "
-                f"{self._sensitivity}"
-            )
-        estimate = float(self._estimator(query, self.history))
-        true_answer = float(query.evaluate(self._dataset))
-        # Corrected Section-3.4 check: the error |q~ - q(D)| is the SVT query.
-        error = abs(estimate - true_answer)
-        outcome = self._svt.process(error, threshold=self._threshold)
-        index = self._served
-        self._served += 1
-        if outcome is BELOW:
-            served = OnlineAnswer(value=estimate, from_history=True, query_index=index)
-        else:
-            noisy = float(self._laplace.release(true_answer, rng=self._rng))
-            self.ledger.charge(
-                "laplace-answer", self._eps_per_answer, note=f"query #{index}"
-            )
-            self.history.append((query, noisy))
-            served = OnlineAnswer(value=noisy, from_history=False, query_index=index)
-        return served
+        return self._session.answer(query)

@@ -1,0 +1,52 @@
+"""Multi-tenant SVT query service.
+
+The paper's Section-3.4 online-answering pattern — "answer many queries for
+``eps_svt + c * eps_answer``" — scaled from one session to many tenants:
+
+* :mod:`repro.service.session` — one tenant's interactive session: the
+  corrected-SVT gate state (threshold noise, firing count), a
+  :class:`~repro.accounting.budget.BudgetLedger`, and the answer-history
+  estimator;
+* :mod:`repro.service.manager` — :class:`SessionManager`: opens, indexes,
+  and seeds sessions per tenant over one shared private dataset;
+* :mod:`repro.service.audit` — the append-only audit log of every budget
+  spend and database release, plus post-hoc verification (accounting replay
+  and an exact :mod:`repro.analysis.verifier` bridge);
+* :mod:`repro.service.batcher` — :class:`RequestBatcher`: FIFO queueing and
+  (epsilon, threshold, c, variant) cohort grouping of pending queries;
+* :mod:`repro.service.engine` — :class:`ServiceEngine` /
+  :class:`SVTQueryService` / :class:`ServiceClient`: cross-session batched
+  execution through :func:`repro.engine.gate.gate_block`, with a
+  ``per-session`` stream mode that is bit-identical to driving every
+  session's streaming loop independently;
+* :mod:`repro.service.workload` — the closed-loop Zipf workload generator
+  and throughput/latency harness behind ``repro load-test`` and the
+  enforced service benchmark.
+"""
+
+from repro.service.audit import AuditLog, AuditRecord, gate_mechanism_spec, verify_audit
+from repro.service.batcher import QueuedRequest, RequestBatcher
+from repro.service.engine import DrainResult, ServiceClient, ServiceEngine, SVTQueryService
+from repro.service.manager import SessionManager
+from repro.service.session import OnlineAnswer, Session
+from repro.service.workload import LoadStats, Workload, WorkloadSpec, generate_workload
+
+__all__ = [
+    "AuditLog",
+    "AuditRecord",
+    "gate_mechanism_spec",
+    "verify_audit",
+    "QueuedRequest",
+    "RequestBatcher",
+    "DrainResult",
+    "ServiceClient",
+    "ServiceEngine",
+    "SVTQueryService",
+    "SessionManager",
+    "OnlineAnswer",
+    "Session",
+    "LoadStats",
+    "Workload",
+    "WorkloadSpec",
+    "generate_workload",
+]

@@ -1,0 +1,233 @@
+"""The service audit log: every spend and release, verifiable after the fact.
+
+A multi-tenant privacy service lives or dies by its accounting.  The ledger
+inside each session *enforces* the budget at serve time; the audit log is the
+independent, append-only record that lets an auditor re-derive the claim
+afterwards: every ``svt-gate`` and ``laplace-answer`` spend, every database
+release, in global order.  :func:`verify_audit` replays that record against
+the sessions' declared configurations — totals, per-spend amounts, firing
+cutoffs, spend/release pairing — and :func:`gate_mechanism_spec` bridges to
+the exact Eq.-(5) verifier so the gate's *claimed* epsilon itself can be
+certified on adversarial instances, not just its bookkeeping.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, NamedTuple, Optional
+
+from repro.accounting.budget import _EPS_SLACK
+from repro.core.allocation import BudgetAllocation
+from repro.exceptions import InvalidParameterError
+
+__all__ = [
+    "AuditRecord",
+    "AuditLog",
+    "AuditReport",
+    "verify_audit",
+    "gate_mechanism_spec",
+]
+
+#: Record kinds: a budget spend, a database release (numeric answer), or the
+#: gate reaching its firing cutoff.
+KINDS = ("open", "spend", "release", "halt")
+
+
+class AuditRecord(NamedTuple):
+    """One audited event, in global service order.
+
+    ``epsilon`` is the amount spent (0 for non-spend records); ``value`` is
+    the released numeric answer for ``release`` records.  (A NamedTuple, not
+    a dataclass: records are appended on the serving hot path.)
+    """
+
+    seq: int
+    session: str
+    kind: str
+    mechanism: str = ""
+    epsilon: float = 0.0
+    value: Optional[float] = None
+    note: str = ""
+
+
+class AuditLog:
+    """Append-only event log shared by every session of one service."""
+
+    def __init__(self) -> None:
+        self._records: List[AuditRecord] = []
+
+    def record(
+        self,
+        session: str,
+        kind: str,
+        mechanism: str = "",
+        epsilon: float = 0.0,
+        value: Optional[float] = None,
+        note: str = "",
+    ) -> AuditRecord:
+        if kind not in KINDS:
+            raise InvalidParameterError(f"unknown audit kind {kind!r}; known: {KINDS}")
+        entry = AuditRecord(
+            seq=len(self._records),
+            session=str(session),
+            kind=kind,
+            mechanism=mechanism,
+            epsilon=float(epsilon),
+            value=value,
+            note=note,
+        )
+        self._records.append(entry)
+        return entry
+
+    def for_session(self, session: str) -> List[AuditRecord]:
+        return [r for r in self._records if r.session == str(session)]
+
+    def spend_by_session(self) -> Dict[str, float]:
+        """Total audited epsilon per session id."""
+        totals: Dict[str, float] = {}
+        for r in self._records:
+            if r.kind == "spend":
+                totals[r.session] = totals.get(r.session, 0.0) + r.epsilon
+        return totals
+
+    def __iter__(self) -> Iterator[AuditRecord]:
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+@dataclass
+class AuditReport:
+    """Outcome of an audit replay: per-session spend plus any violations."""
+
+    spend_by_session: Dict[str, float] = field(default_factory=dict)
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.ok:
+            lines = ["audit OK"]
+        else:
+            lines = [f"audit FAILED ({len(self.violations)} violations)"]
+            lines += [f"  - {v}" for v in self.violations]
+        for sid, spent in sorted(self.spend_by_session.items()):
+            lines.append(f"  {sid}: spent {spent:.6g}")
+        return "\n".join(lines)
+
+
+def verify_audit(log: AuditLog, sessions) -> AuditReport:
+    """Replay the audit log against the sessions' declared configurations.
+
+    *sessions* maps session id to anything exposing ``epsilon``,
+    ``svt_fraction``, and ``c`` (a :class:`~repro.service.session.Session`
+    does); an iterable of sessions with ``session_id`` works too.  Checks,
+    per session:
+
+    * total audited spend <= epsilon (within the ledger's float slack);
+    * the first spend is the up-front ``svt-gate`` charge of
+      ``epsilon * svt_fraction``;
+    * at most c ``laplace-answer`` spends, each of the per-answer epsilon;
+    * every spend after the gate charge pairs with a ``release`` record of
+      the same mechanism (no unaccounted releases, no phantom spends).
+    """
+    if not isinstance(sessions, dict):
+        sessions = {s.session_id: s for s in sessions}
+    report = AuditReport(spend_by_session=log.spend_by_session())
+    for sid, spent in report.spend_by_session.items():
+        if sid not in sessions:
+            report.violations.append(f"{sid}: audited spends for an unknown session")
+    # One pass over the log; per-session rescans would make a 256-tenant
+    # replay quadratic in the record count.
+    by_session: Dict[str, List[AuditRecord]] = {}
+    for record in log:
+        by_session.setdefault(record.session, []).append(record)
+    for sid, session in sessions.items():
+        epsilon = float(session.epsilon)
+        svt_fraction = float(session.svt_fraction)
+        c = int(session.c)
+        eps_svt = epsilon * svt_fraction
+        eps_answer = (epsilon - eps_svt) / c
+        records = by_session.get(sid, [])
+        spends = [r for r in records if r.kind == "spend"]
+        releases = [r for r in records if r.kind == "release"]
+        total = sum(r.epsilon for r in spends)
+        if total > epsilon + _EPS_SLACK:
+            report.violations.append(
+                f"{sid}: audited spend {total:.6g} exceeds budget {epsilon:.6g}"
+            )
+        if not spends:
+            report.violations.append(f"{sid}: no audited svt-gate charge")
+            continue
+        head = spends[0]
+        if head.mechanism != "svt-gate" or not math.isclose(
+            head.epsilon, eps_svt, rel_tol=1e-12, abs_tol=_EPS_SLACK
+        ):
+            report.violations.append(
+                f"{sid}: first spend must be the svt-gate charge of {eps_svt:.6g}, "
+                f"got {head.mechanism!r} for {head.epsilon:.6g}"
+            )
+        answers = [r for r in spends[1:] if r.mechanism == "laplace-answer"]
+        if len(answers) != len(spends) - 1:
+            extras = {r.mechanism for r in spends[1:]} - {"laplace-answer"}
+            report.violations.append(f"{sid}: unexpected spend mechanisms {sorted(extras)}")
+        if len(answers) > c:
+            report.violations.append(
+                f"{sid}: {len(answers)} laplace-answer spends exceed the cutoff c={c}"
+            )
+        for r in answers:
+            if not math.isclose(r.epsilon, eps_answer, rel_tol=1e-12, abs_tol=_EPS_SLACK):
+                report.violations.append(
+                    f"{sid}: laplace-answer spend {r.epsilon:.6g} != "
+                    f"per-answer epsilon {eps_answer:.6g}"
+                )
+        db_releases = [r for r in releases if r.mechanism == "laplace-answer"]
+        if len(db_releases) != len(answers):
+            report.violations.append(
+                f"{sid}: {len(db_releases)} database releases vs "
+                f"{len(answers)} laplace-answer spends"
+            )
+        else:
+            for spend, release in zip(answers, db_releases):
+                if release.seq < spend.seq:
+                    report.violations.append(
+                        f"{sid}: release #{release.seq} precedes its spend #{spend.seq}"
+                    )
+    return report
+
+
+def gate_mechanism_spec(
+    epsilon: float,
+    c: int,
+    svt_fraction: float = 0.5,
+    sensitivity: float = 1.0,
+    monotonic: bool = False,
+):
+    """The session gate's noise structure as a verifier :class:`MechanismSpec`.
+
+    The audit log claims the gate costs ``epsilon * svt_fraction`` for the
+    whole session regardless of query count.  This bridge lets a test (or an
+    auditor) certify that claim *exactly*: feed the spec to
+    :func:`repro.analysis.verifier.empirical_epsilon` with adversarial
+    neighboring error vectors (the error query has sensitivity <= Delta by
+    the reverse triangle inequality) and check the worst-case privacy loss
+    stays <= ``eps_svt``.
+    """
+    from repro.analysis.verifier import MechanismSpec
+
+    eps_svt = float(epsilon) * float(svt_fraction)
+    if eps_svt <= 0.0 or not math.isfinite(eps_svt):
+        raise InvalidParameterError("epsilon * svt_fraction must be finite and > 0")
+    allocation = BudgetAllocation.from_ratio(
+        eps_svt, int(c), ratio="optimal", monotonic=monotonic
+    )
+    delta = float(sensitivity)
+    factor = c if monotonic else 2 * c
+    return MechanismSpec(
+        threshold_scale=delta / allocation.eps1,
+        query_scale=factor * delta / allocation.eps2,
+    )

@@ -1,0 +1,127 @@
+"""Request queueing and cohort grouping for cross-session batching.
+
+The batcher is deliberately dumb: it remembers submission order (tickets),
+keeps per-session FIFO discipline, and hands the engine everything pending.
+Two submission lanes exist because per-request Python is exactly what the
+batched engine is built to avoid:
+
+* :meth:`RequestBatcher.submit` — one query, any shape (item index or
+  :class:`~repro.queries.base.Query`); allocates one
+  :class:`QueuedRequest`.
+* :meth:`RequestBatcher.submit_array` — a whole array of item-index queries
+  for one session in one call; stored as a :class:`BlockRequest` and never
+  expanded on the fast path, so a 4096-request window costs a handful of
+  appends instead of 4096 object constructions.
+
+Tickets are dense: a drain always covers a contiguous ticket range, which
+is what lets :class:`~repro.service.engine.DrainResult` use plain arrays
+indexed by ``ticket - base``.
+
+All actual answering — including grouping sessions into ``(epsilon,
+threshold, c, svt_fraction, sensitivity, monotonic)`` cohorts that execute
+as one vectorized engine block per pass — lives in
+:mod:`repro.service.engine`, keyed by ``Session.cohort_key``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Union
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.service.session import QueryLike, Session
+
+__all__ = ["QueuedRequest", "BlockRequest", "DrainBatch", "RequestBatcher"]
+
+
+@dataclass(frozen=True)
+class QueuedRequest:
+    """One pending query: which session asked what, and in which global order."""
+
+    ticket: int
+    session: Session
+    query: QueryLike
+
+
+@dataclass(frozen=True)
+class BlockRequest:
+    """A contiguous run of item-index queries from one session.
+
+    ``queries[i]`` holds ticket ``ticket + i``.
+    """
+
+    ticket: int
+    session: Session
+    queries: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.queries.size)
+
+
+Entry = Union[QueuedRequest, BlockRequest]
+
+
+@dataclass(frozen=True)
+class DrainBatch:
+    """Everything pending at drain time: entries plus the ticket range."""
+
+    entries: List[Entry]
+    base_ticket: int
+    size: int
+
+    def __len__(self) -> int:
+        return self.size
+
+
+class RequestBatcher:
+    """FIFO queue of pending queries from many concurrent sessions."""
+
+    def __init__(self) -> None:
+        self._entries: List[Entry] = []
+        self._pending = 0
+        self._next_ticket = 0
+
+    def submit(self, session: Session, query: QueryLike) -> int:
+        """Queue one query; returns its ticket (global submission index)."""
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        self._pending += 1
+        self._entries.append(QueuedRequest(ticket=ticket, session=session, query=query))
+        return ticket
+
+    def submit_array(self, session: Session, queries) -> np.ndarray:
+        """Queue a whole array of item-index queries for one session.
+
+        Returns the tickets (a contiguous range).  An int64 array is kept by
+        reference — don't mutate it after submitting.
+        """
+        queries = np.asarray(queries)
+        if queries.ndim != 1:
+            raise InvalidParameterError("submit_array expects a 1-D array of items")
+        if queries.dtype != np.int64:
+            if queries.dtype.kind not in "iu":
+                raise InvalidParameterError("submit_array expects integer item queries")
+            queries = queries.astype(np.int64)
+        ticket = self._next_ticket
+        self._next_ticket += queries.size
+        self._pending += int(queries.size)
+        self._entries.append(
+            BlockRequest(ticket=ticket, session=session, queries=queries)
+        )
+        return np.arange(ticket, ticket + queries.size, dtype=np.int64)
+
+    @property
+    def pending(self) -> int:
+        return self._pending
+
+    def __len__(self) -> int:
+        return self._pending
+
+    def drain(self) -> DrainBatch:
+        """Take every pending request, in submission order."""
+        entries, self._entries = self._entries, []
+        size, self._pending = self._pending, 0
+        base = self._next_ticket - size
+        return DrainBatch(entries=entries, base_ticket=base, size=size)

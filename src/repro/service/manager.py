@@ -1,0 +1,123 @@
+"""Session lifecycle: one manager per service, one session per tenant.
+
+The manager owns what sessions share — the private dataset (with its
+support-vector fast path when the backend is a
+:class:`~repro.data.generators.ScoreDataset` or a plain array), the audit
+log, and the seed material from which every session's noise stream is
+derived.  Per-session streams come from :func:`repro.rng.derive_rng` keyed
+by ``(tenant, epoch)``, so a tenant's stream never depends on *when* its
+session was opened relative to other tenants — the property that lets the
+bit-identity tests drive the same tenants through the batched service and
+through independent streaming loops.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.rng import RngLike, derive_rng
+from repro.service.audit import AuditLog
+from repro.service.session import EstimatorFn, Session
+
+__all__ = ["SessionManager"]
+
+
+def _extract_supports(dataset) -> Optional[np.ndarray]:
+    """The backend's item-support vector, when it has one."""
+    supports = getattr(dataset, "supports", None)
+    if supports is None and isinstance(dataset, (np.ndarray, list, tuple)):
+        supports = dataset
+    if supports is None:
+        return None
+    return np.asarray(supports, dtype=float)
+
+
+class SessionManager:
+    """Open, look up, and close per-tenant sessions over one shared dataset."""
+
+    def __init__(self, dataset, seed: RngLike = None, audit: Optional[AuditLog] = None) -> None:
+        self._dataset = dataset
+        self._supports = _extract_supports(dataset)
+        self.audit = audit if audit is not None else AuditLog()
+        # Resolve the seed material once so per-session derivations are a
+        # pure function of (tenant, epoch), not of open order.
+        if seed is None:
+            seed = int(np.random.SeedSequence().generate_state(1)[0])
+        elif isinstance(seed, np.random.Generator):
+            seed = int(seed.integers(0, 2**32))
+        self._seed = seed
+        self._sessions: Dict[str, Session] = {}
+        self._epochs: Dict[str, int] = {}
+
+    @property
+    def dataset(self):
+        return self._dataset
+
+    @property
+    def supports(self) -> Optional[np.ndarray]:
+        return self._supports
+
+    @property
+    def num_items(self) -> Optional[int]:
+        return None if self._supports is None else int(self._supports.size)
+
+    def open_session(
+        self,
+        tenant: str,
+        epsilon: float,
+        error_threshold: float,
+        c: int,
+        svt_fraction: float = 0.5,
+        sensitivity: float = 1.0,
+        monotonic: bool = False,
+        estimator: Optional[EstimatorFn] = None,
+        rng: RngLike = None,
+    ) -> Session:
+        """Open a fresh session for *tenant*; its previous one (if any) ends.
+
+        ``rng=None`` derives the session stream from the manager seed keyed
+        by tenant and epoch; pass an explicit seed/Generator to pin it.
+        """
+        tenant = str(tenant)
+        epoch = self._epochs.get(tenant, 0)
+        self._epochs[tenant] = epoch + 1
+        if rng is None:
+            rng = derive_rng(self._seed, "service-session", tenant, epoch)
+        session = Session(
+            self._dataset,
+            epsilon=epsilon,
+            error_threshold=error_threshold,
+            c=c,
+            svt_fraction=svt_fraction,
+            sensitivity=sensitivity,
+            monotonic=monotonic,
+            estimator=estimator,
+            rng=rng,
+            supports=self._supports,
+            tenant=tenant,
+            session_id=f"{tenant}#{epoch}",
+            audit=self.audit,
+        )
+        self._sessions[tenant] = session
+        return session
+
+    def session(self, tenant: str) -> Session:
+        try:
+            return self._sessions[str(tenant)]
+        except KeyError:
+            raise InvalidParameterError(f"no open session for tenant {tenant!r}") from None
+
+    def close_session(self, tenant: str) -> None:
+        self._sessions.pop(str(tenant), None)
+
+    def __contains__(self, tenant: str) -> bool:
+        return str(tenant) in self._sessions
+
+    def __iter__(self) -> Iterator[Session]:
+        return iter(self._sessions.values())
+
+    def __len__(self) -> int:
+        return len(self._sessions)

@@ -1,0 +1,305 @@
+"""One tenant's interactive session: gate state, ledger, and estimator.
+
+A session is the unit of privacy accounting in the service.  It owns
+
+* the **corrected Section-3.4 SVT gate**: one threshold-noise draw ``rho``
+  at open (scale ``Delta/eps1`` of the gate's internal split), a firing
+  count against the cutoff ``c``, and the noise scales for the per-query
+  test ``|q~ - q(D)| + nu >= T + rho`` — noise *outside* the absolute value,
+  the fix for the threshold-leaking check of [12, 16];
+* a :class:`~repro.accounting.budget.BudgetLedger` charged ``eps_svt`` up
+  front and ``eps_answer`` per database access, so the whole session costs
+  ``eps_svt + c * eps_answer`` no matter how many queries are asked;
+* the answer-history estimator whose derived answers are free (functions of
+  released data), kept both as the literal ``(query, answer)`` history list
+  (the estimator-callback contract) and as an O(1) last-release/running-mean
+  index used by the default estimator.
+
+The streaming entry point :meth:`Session.answer` serves one query end to
+end; the ``resolve``/``estimate``/``next_index``/``commit_release`` hooks
+expose the same steps separately so
+:class:`~repro.service.engine.ServiceEngine` can run the noise-and-compare
+middle of many sessions as one vectorized
+:func:`~repro.engine.gate.gate_block`.  Both paths mutate the same state in
+the same order, which is what makes per-session-stream batching bit-identical
+to this loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.accounting.budget import BudgetLedger
+from repro.core.allocation import BudgetAllocation
+from repro.exceptions import InvalidParameterError, PrivacyError
+from repro.queries.base import Query
+from repro.rng import RngLike, ensure_rng
+from repro.service.audit import AuditLog
+
+__all__ = ["OnlineAnswer", "Session", "EstimatorFn", "EXHAUSTED_MESSAGE"]
+
+#: Rejection text for queries after the c-th firing — shared by the
+#: streaming raise and the batched engine's per-row errors so both paths
+#: report the identical condition identically.
+EXHAUSTED_MESSAGE = (
+    "interactive session exhausted: c database accesses used; "
+    "further queries would exceed the privacy budget"
+)
+
+#: Derives an estimate for a query from the answer history.  Receives the
+#: query and the history list of (query, answer) pairs; returns the estimate.
+EstimatorFn = Callable[[object, List[tuple]], float]
+
+#: A submitted query: a :class:`~repro.queries.base.Query` evaluated on the
+#: backing dataset, or a plain item index into the service's support vector.
+QueryLike = Union[Query, int]
+
+
+@dataclass(frozen=True)
+class OnlineAnswer:
+    """One served answer and how it was produced.
+
+    ``from_history`` is True when the SVT gate said the derived answer was
+    good enough (no budget spent on this query beyond the shared SVT charge).
+    """
+
+    value: float
+    from_history: bool
+    query_index: int
+
+
+class Session:
+    """Answer one tenant's adaptive query stream under a fixed total budget.
+
+    Parameters
+    ----------
+    dataset:
+        The private dataset, passed to ``query.evaluate``.  When *supports*
+        is given, plain integer queries index that vector directly (the
+        service fast path).
+    epsilon:
+        Total privacy budget for the whole interactive session.
+    error_threshold:
+        The T of the SVT test on the derived answer's error: estimates with
+        (noisy) error below T are served from history.
+    c:
+        Maximum number of database accesses (SVT positives).
+    svt_fraction:
+        Fraction of *epsilon* funding the SVT gate; the rest is split evenly
+        across the c Laplace answers.
+    monotonic:
+        Promise that the error queries form a monotonic family (Section
+        4.3), dropping the gate's query-noise scale from ``2c*Delta/eps2``
+        to ``c*Delta/eps2``.  The default error query ``|q~ - q(D)|`` is
+        generally *not* monotonic even for monotonic q — leave this False
+        unless the deployment proves otherwise.
+    """
+
+    def __init__(
+        self,
+        dataset,
+        epsilon: float,
+        error_threshold: float,
+        c: int,
+        svt_fraction: float = 0.5,
+        sensitivity: float = 1.0,
+        monotonic: bool = False,
+        estimator: Optional[EstimatorFn] = None,
+        rng: RngLike = None,
+        supports: Optional[np.ndarray] = None,
+        tenant: str = "online",
+        session_id: Optional[str] = None,
+        audit: Optional[AuditLog] = None,
+    ) -> None:
+        if not 0.0 < svt_fraction < 1.0:
+            raise InvalidParameterError("svt_fraction must be in (0, 1)")
+        if error_threshold < 0.0:
+            raise InvalidParameterError("error_threshold must be >= 0")
+        sensitivity = float(sensitivity)
+        if sensitivity <= 0.0 or not np.isfinite(sensitivity):
+            # Zero/negative Delta would zero every noise scale and release
+            # exact answers — the validation StandardSVT used to provide.
+            raise InvalidParameterError(
+                f"sensitivity must be finite and > 0, got {sensitivity!r}"
+            )
+        self._dataset = dataset
+        self._supports = None if supports is None else np.asarray(supports, dtype=float)
+        self.tenant = str(tenant)
+        self.session_id = str(session_id) if session_id is not None else self.tenant
+        self.audit = audit if audit is not None else AuditLog()
+        self._rng = ensure_rng(rng)
+        self._estimator = estimator
+        self._sensitivity = float(sensitivity)
+        self.c = int(c)
+        self.epsilon = float(epsilon)
+        self.svt_fraction = float(svt_fraction)
+        self.monotonic = bool(monotonic)
+        self.threshold = float(error_threshold)
+
+        self.ledger = BudgetLedger.with_total(epsilon)
+        eps_svt = self.epsilon * self.svt_fraction
+        eps_answers = self.epsilon - eps_svt
+        # The error query r = |q~ - q(D)| has the same sensitivity as q
+        # (|r(D) - r(D')| <= |q(D) - q(D')| by the reverse triangle
+        # inequality).  The gate's internal eps1:eps2 split is the Section
+        # 4.2 optimum.
+        allocation = BudgetAllocation.from_ratio(
+            eps_svt, self.c, ratio="optimal", monotonic=self.monotonic
+        )
+        self.allocation = allocation
+        factor = self.c if self.monotonic else 2 * self.c
+        self.rho_scale = self._sensitivity / allocation.eps1
+        self.nu_scale = factor * self._sensitivity / allocation.eps2
+        self._eps_per_answer = eps_answers / self.c
+        self.answer_scale = self._sensitivity / self._eps_per_answer
+        # Line 1 of Alg. 7: perturb the threshold once for the whole session.
+        self.rho = float(self._rng.laplace(scale=self.rho_scale))
+        self._count = 0
+        self._halted = False
+        self._served = 0
+
+        self.audit.record(self.session_id, "open", note=f"tenant {self.tenant}")
+        self.ledger.charge("svt-gate", eps_svt, note="threshold test for all queries")
+        self.audit.record(
+            self.session_id, "spend", mechanism="svt-gate", epsilon=eps_svt,
+            note="threshold test for all queries",
+        )
+
+        self.history: List[tuple] = []
+        # O(1) default-estimator state: last release per query key plus the
+        # running sum/count of all releases.  Left-to-right accumulation
+        # makes the mean bit-identical to summing the history list afresh.
+        self._last_release: dict = {}
+        self._release_sum = 0.0
+
+    # ------------------------------------------------------------------
+    # State.
+    # ------------------------------------------------------------------
+    @property
+    def exhausted(self) -> bool:
+        """True when the c database accesses are used up — the session is over."""
+        return self._halted
+
+    @property
+    def database_accesses(self) -> int:
+        return self._count
+
+    @property
+    def served(self) -> int:
+        """Queries answered so far (history or database)."""
+        return self._served
+
+    @property
+    def rng(self) -> np.random.Generator:
+        return self._rng
+
+    @property
+    def cohort_key(self) -> tuple:
+        """Sessions sharing this key run as one vectorized engine cohort."""
+        return (
+            self.epsilon,
+            self.threshold,
+            self.c,
+            self.svt_fraction,
+            self._sensitivity,
+            self.monotonic,
+        )
+
+    # ------------------------------------------------------------------
+    # Query resolution and estimation.
+    # ------------------------------------------------------------------
+    def resolve(self, query: QueryLike) -> Tuple[object, float]:
+        """``(key, true_answer)`` for one submitted query.
+
+        Raises :class:`PrivacyError` for over-sensitive queries and
+        :class:`InvalidParameterError` for queries the backend cannot serve.
+        """
+        if isinstance(query, Query):
+            if query.sensitivity > self._sensitivity:
+                raise PrivacyError(
+                    f"query sensitivity {query.sensitivity} exceeds the session "
+                    f"bound {self._sensitivity}"
+                )
+            return repr(query), float(query.evaluate(self._dataset))
+        if self._supports is not None and isinstance(query, (int, np.integer)):
+            item = int(query)
+            if not 0 <= item < self._supports.size:
+                raise InvalidParameterError(
+                    f"item {item} outside the backend's {self._supports.size} items"
+                )
+            return item, float(self._supports[item])
+        raise InvalidParameterError("answer() expects a Query instance")
+
+    def estimate(self, key, query: QueryLike) -> float:
+        """The derived (free) answer for *query* from released history."""
+        if self._estimator is not None:
+            return float(self._estimator(query, self.history))
+        last = self._last_release.get(key)
+        if last is not None:
+            return last
+        if self.history:
+            return self._release_sum / len(self.history)
+        return 0.0
+
+    # ------------------------------------------------------------------
+    # Batch hooks (see repro.service.engine).
+    # ------------------------------------------------------------------
+    def check_open(self) -> None:
+        if self._halted:
+            raise PrivacyError(EXHAUSTED_MESSAGE)
+
+    def next_index(self) -> int:
+        index = self._served
+        self._served += 1
+        return index
+
+    def commit_release(
+        self, key, query: QueryLike, truth: float, noisy: float, index: int
+    ) -> None:
+        """Record one gate firing: budget charge, audit trail, history update."""
+        self._count += 1
+        if self._count >= self.c:
+            self._halted = True
+        self.ledger.charge(
+            "laplace-answer", self._eps_per_answer, note=f"query #{index}"
+        )
+        self.audit.record(
+            self.session_id, "spend", mechanism="laplace-answer",
+            epsilon=self._eps_per_answer, note=f"query #{index}",
+        )
+        self.audit.record(
+            self.session_id, "release", mechanism="laplace-answer", value=noisy,
+        )
+        self.history.append((query, noisy))
+        self._last_release[key] = noisy
+        self._release_sum += noisy
+        if self._halted:
+            self.audit.record(self.session_id, "halt", note=f"c={self.c} firings")
+
+    # ------------------------------------------------------------------
+    # The streaming path (one query end to end).
+    # ------------------------------------------------------------------
+    def answer(self, query: QueryLike) -> OnlineAnswer:
+        """Serve one query: history if the SVT gate allows, else the database."""
+        self.check_open()
+        key, truth = self.resolve(query)
+        estimate = self.estimate(key, query)
+        # Corrected Section-3.4 check: the error |q~ - q(D)| is the SVT query.
+        error = abs(estimate - truth)
+        nu = float(self._rng.laplace(scale=self.nu_scale))
+        index = self.next_index()
+        if error + nu < self.threshold + self.rho:
+            return OnlineAnswer(value=estimate, from_history=True, query_index=index)
+        noisy = truth + float(self._rng.laplace(scale=self.answer_scale))
+        self.commit_release(key, query, truth, noisy, index)
+        return OnlineAnswer(value=noisy, from_history=False, query_index=index)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Session({self.session_id!r}, eps={self.epsilon:g}, T={self.threshold:g}, "
+            f"c={self.c}, accesses={self._count}, served={self._served}"
+            f"{', exhausted' if self._halted else ''})"
+        )

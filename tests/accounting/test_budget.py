@@ -99,3 +99,119 @@ class TestBudgetLedger:
         assert isinstance(entry, LedgerEntry)
         assert entry.mechanism == "a"
         assert entry.note == "n"
+
+
+class TestInterleavedSessions:
+    """Multiple sessions spending concurrently: ledgers stay independent."""
+
+    def test_interleaved_spends_do_not_cross_contaminate(self):
+        ledgers = [BudgetLedger.with_total(1.0) for _ in range(3)]
+        # Round-robin spends, deliberately interleaved across "sessions".
+        for round_idx in range(4):
+            for i, ledger in enumerate(ledgers):
+                ledger.charge("laplace-answer", 0.05 * (i + 1), note=f"round {round_idx}")
+        for i, ledger in enumerate(ledgers):
+            assert ledger.spent == pytest.approx(4 * 0.05 * (i + 1))
+            assert len(ledger) == 4
+            assert all(e.mechanism == "laplace-answer" for e in ledger)
+
+    def test_service_sessions_account_independently(self):
+        """The multi-tenant service drains cross-session batches; every
+        session's ledger must record exactly its own gate + answer charges."""
+        import numpy as np
+
+        from repro.service import SVTQueryService
+
+        supports = np.array([50.0, 40.0, 30.0, 20.0, 10.0])
+        service = SVTQueryService(supports, seed=0)
+        for tenant, epsilon in (("a", 1.0), ("b", 2.0)):
+            service.open_session(tenant, epsilon=epsilon, error_threshold=5.0, c=2)
+        for item in (0, 1, 0, 2, 1, 0):
+            service.submit("a", item)
+            service.submit("b", item)
+        service.drain()
+        for tenant, epsilon in (("a", 1.0), ("b", 2.0)):
+            session = service.manager.session(tenant)
+            per_answer = (epsilon / 2) / 2
+            expected = epsilon / 2 + session.database_accesses * per_answer
+            assert session.ledger.spent == pytest.approx(expected)
+            assert session.ledger.spent <= epsilon + 1e-9
+
+    def test_exhaustion_order_is_deterministic(self):
+        """The same spend sequence exhausts at the same step, every time —
+        and permuting *independent* budgets never changes any one's cutoff."""
+        amounts = [0.4, 0.3, 0.2, 0.2, 0.1]
+
+        def exhaust_step(budget_total):
+            budget = PrivacyBudget(budget_total)
+            for step, amount in enumerate(amounts):
+                try:
+                    budget.spend(amount)
+                except BudgetExhaustedError:
+                    return step
+            return len(amounts)
+
+        assert [exhaust_step(1.0) for _ in range(5)] == [3] * 5
+        # Interleaving with another session's budget changes nothing.
+        first = PrivacyBudget(1.0)
+        second = PrivacyBudget(10.0)
+        failed_at = None
+        for step, amount in enumerate(amounts):
+            second.spend(amount)
+            try:
+                first.spend(amount)
+            except BudgetExhaustedError:
+                failed_at = step
+                break
+        assert failed_at == 3
+
+
+class TestEpsilonSlackBoundary:
+    """The _EPS_SLACK tolerance: generous to float dust, firm beyond it."""
+
+    def test_spend_exactly_at_slack_boundary_allowed(self):
+        from repro.accounting.budget import _EPS_SLACK
+
+        budget = PrivacyBudget(1.0)
+        budget.spend(0.75)
+        budget.spend(0.25 + _EPS_SLACK)  # exactly at the documented tolerance
+        assert budget.remaining == 0.0
+        assert budget.spent == 1.0  # clamped to total, never beyond
+
+    def test_spend_just_past_slack_rejected(self):
+        from repro.accounting.budget import _EPS_SLACK
+
+        budget = PrivacyBudget(1.0)
+        budget.spend(1.0)
+        with pytest.raises(BudgetExhaustedError):
+            budget.spend(2.0 * _EPS_SLACK)
+
+    def test_can_spend_mirrors_spend_at_the_boundary(self):
+        from repro.accounting.budget import _EPS_SLACK
+
+        budget = PrivacyBudget(0.5)
+        budget.spend(0.5)
+        assert budget.can_spend(_EPS_SLACK)
+        assert not budget.can_spend(1.1 * _EPS_SLACK)
+
+    def test_repeated_dust_cannot_accumulate_into_real_spend(self):
+        """Slack is absolute, not per-spend-cumulative: zero-amount spends
+        are always fine, but the clamped total never drifts upward."""
+        from repro.accounting.budget import _EPS_SLACK
+
+        budget = PrivacyBudget(1.0)
+        budget.spend(1.0)
+        for _ in range(1000):
+            budget.spend(0.0)
+            budget.spend(_EPS_SLACK / 2)
+        assert budget.spent == 1.0
+
+    def test_three_way_split_reassembles_exactly(self):
+        """eps1 + eps2 + eps3 carved from eps must spend back to eps."""
+        budget = PrivacyBudget(0.7)
+        eps1 = 0.7 / 3
+        eps2 = 0.7 / 3
+        eps3 = 0.7 - eps1 - eps2
+        for part in (eps1, eps2, eps3):
+            budget.spend(part)
+        assert budget.remaining == pytest.approx(0.0, abs=1e-12)

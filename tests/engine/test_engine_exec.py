@@ -10,7 +10,7 @@ import pytest
 
 import repro.engine.trials as trials_mod
 from repro.engine.exec import execute_trials, merge_batches
-from repro.engine.plans import BYTES_PER_CELL, TrialPlan, plan_trials
+from repro.engine.plans import BYTES_PER_CELL, TrialPlan, bytes_per_cell, plan_trials
 from repro.engine.trials import run_trials
 from repro.exceptions import InvalidParameterError
 from repro.rng import derive_rngs
@@ -122,15 +122,19 @@ class TestChunkedEqualsUnchunked:
 
 
 class TestMemoryBudget:
-    def test_no_block_exceeds_budget(self, scores, monkeypatch):
-        """Monkeypatched allocators: every sampled block respects the plan."""
+    @pytest.mark.parametrize("key", ("alg1", "alg2", "em"))
+    def test_no_block_exceeds_budget(self, scores, monkeypatch, key):
+        """Monkeypatched allocators: every sampled block respects the plan —
+        sized with the *variant's own* bytes-per-cell estimate."""
         c, eps, trials = 3, 0.5, 12
         max_bytes = 3 * scores.size * BYTES_PER_CELL
-        plan = plan_trials(trials, scores.size, max_bytes)
+        plan = plan_trials(trials, scores.size, max_bytes, variant=key)
         seen = []
 
+        import repro.engine.retraversal as retraversal_mod
+
         real_laplace = trials_mod.laplace_matrix
-        real_gumbel = trials_mod.gumbel_matrix
+        real_gumbel = retraversal_mod.gumbel_matrix
 
         def spy_laplace(rng, scale, t, n):
             seen.append((t, n))
@@ -142,15 +146,15 @@ class TestMemoryBudget:
 
         monkeypatch.setattr(trials_mod, "laplace_matrix", spy_laplace)
         monkeypatch.setattr(trials_mod, "gumbel_matrix", spy_gumbel)
-        for key in ("alg1", "alg2", "em"):
-            run_trials(
-                key, scores, eps, c, trials, thresholds=float(scores[c]),
-                rng=0, max_bytes=max_bytes,
-            )
+        monkeypatch.setattr(retraversal_mod, "gumbel_matrix", spy_gumbel)
+        run_trials(
+            key, scores, eps, c, trials, thresholds=float(scores[c]),
+            rng=0, max_bytes=max_bytes,
+        )
         assert seen, "the spies saw no block draws"
         assert max(t for t, _n in seen) == plan.chunk_trials
         for t, n in seen:
-            assert t * n * BYTES_PER_CELL <= max_bytes
+            assert t * n * bytes_per_cell(key) <= max_bytes
 
     def test_budget_smaller_than_one_trial_still_runs(self, scores):
         batch = run_trials(

@@ -1,0 +1,74 @@
+"""Per-variant working-set models and the chunk-budget math."""
+
+import pytest
+
+from repro.engine.kernels import (
+    DPBOOK_BYTES_PER_CELL,
+    NOCUT_BYTES_PER_CELL,
+    NOCUT_NONOISE_BYTES_PER_CELL,
+    THRESHOLD_BYTES_PER_CELL,
+)
+from repro.engine.plans import BYTES_PER_CELL, bytes_per_cell, plan_trials
+from repro.engine.retraversal import EM_BYTES_PER_CELL, RETRAVERSAL_BYTES_PER_CELL
+from repro.exceptions import InvalidParameterError
+
+ALL_KEYS = ("alg1", "alg2", "alg3", "alg4", "alg5", "alg6", "gptt", "retraversal", "em")
+
+
+class TestBytesPerCell:
+    def test_default_is_the_threshold_model(self):
+        assert bytes_per_cell() == BYTES_PER_CELL == THRESHOLD_BYTES_PER_CELL
+
+    def test_structure_ordering(self):
+        """More live arrays -> bigger model: noise-free < single-block <
+        refresh < multi-pass."""
+        assert NOCUT_NONOISE_BYTES_PER_CELL < NOCUT_BYTES_PER_CELL
+        assert NOCUT_BYTES_PER_CELL <= THRESHOLD_BYTES_PER_CELL
+        assert THRESHOLD_BYTES_PER_CELL < DPBOOK_BYTES_PER_CELL
+        assert DPBOOK_BYTES_PER_CELL < RETRAVERSAL_BYTES_PER_CELL
+        assert EM_BYTES_PER_CELL < THRESHOLD_BYTES_PER_CELL
+
+    @pytest.mark.parametrize("key", ALL_KEYS)
+    def test_every_variant_resolves(self, key):
+        assert bytes_per_cell(key) >= 8  # at least one float64 per cell
+
+    def test_unknown_variant_falls_back(self):
+        assert bytes_per_cell("mystery") == BYTES_PER_CELL
+
+
+class TestVariantAwarePlans:
+    @pytest.mark.parametrize("key", ALL_KEYS)
+    def test_chunk_fills_but_never_exceeds_budget(self, key):
+        n, trials = 500, 64
+        budget = 10 * n * BYTES_PER_CELL
+        plan = plan_trials(trials, n, budget, variant=key)
+        cell = bytes_per_cell(key)
+        assert plan.cell_bytes == cell
+        assert plan.chunk_trials * n * cell <= budget
+        # Maximal: one more trial would overflow (unless all trials fit).
+        if plan.chunk_trials < trials:
+            assert (plan.chunk_trials + 1) * n * cell > budget
+        assert plan.chunk_bytes == plan.chunk_trials * n * cell
+
+    def test_cheaper_variants_pack_more_trials(self):
+        n, trials = 1_000, 256
+        budget = 20 * n * BYTES_PER_CELL
+        cheap = plan_trials(trials, n, budget, variant="alg5")
+        default = plan_trials(trials, n, budget, variant="alg1")
+        costly = plan_trials(trials, n, budget, variant="retraversal")
+        assert cheap.chunk_trials > default.chunk_trials > costly.chunk_trials
+
+    def test_no_budget_keeps_one_chunk_with_variant_model(self):
+        plan = plan_trials(10, 100, variant="alg2")
+        assert plan.num_chunks == 1
+        assert plan.cell_bytes == DPBOOK_BYTES_PER_CELL
+
+    def test_budget_below_one_trial_still_clamps(self):
+        plan = plan_trials(4, 1_000, max_bytes=1, variant="retraversal")
+        assert plan.chunk_trials == 1
+
+    def test_validation_unchanged(self):
+        with pytest.raises(InvalidParameterError):
+            plan_trials(0, 10, variant="alg1")
+        with pytest.raises(InvalidParameterError):
+            plan_trials(5, 10, max_bytes=0, variant="alg1")

@@ -1,0 +1,110 @@
+"""The heterogeneous row-per-session gate kernel."""
+
+import numpy as np
+import pytest
+
+from repro.engine.gate import gate_block
+from repro.exceptions import InvalidParameterError
+from repro.rng import derive_rngs
+
+
+class TestSharedMode:
+    def test_decisions_and_releases(self):
+        errors = np.array([0.0, 100.0, 0.0, 100.0])
+        block = gate_block(
+            errors,
+            thresholds=50.0,
+            rho=np.zeros(4),
+            nu_scales=1e-9,
+            answer_scales=1e-9,
+            truths=np.array([1.0, 2.0, 3.0, 4.0]),
+            rng=0,
+        )
+        np.testing.assert_array_equal(block.above, [False, True, False, True])
+        assert np.isnan(block.released[0]) and np.isnan(block.released[2])
+        assert block.released[1] == pytest.approx(2.0, abs=1e-6)
+        assert block.released[3] == pytest.approx(4.0, abs=1e-6)
+        assert block.rows == 4
+
+    def test_heterogeneous_rows(self):
+        """Per-row thresholds, rho, and scales — one block, many sessions."""
+        block = gate_block(
+            errors=np.array([10.0, 10.0]),
+            thresholds=np.array([5.0, 50.0]),
+            rho=np.array([0.0, 0.0]),
+            nu_scales=np.array([1e-9, 1e-9]),
+            answer_scales=np.array([1e-9, 1.0]),
+            truths=7.0,
+            rng=1,
+        )
+        np.testing.assert_array_equal(block.above, [True, False])
+
+    def test_empty_block(self):
+        block = gate_block(np.empty(0), 0.0, 0.0, 1.0, 1.0, np.empty(0), rng=0)
+        assert block.rows == 0
+
+    def test_seed_coerced_once(self):
+        """nu and release noise must come from one continued stream."""
+        errors = np.full(3, 100.0)
+        block = gate_block(errors, 0.0, 0.0, 1.0, 1.0, np.zeros(3), rng=5)
+        gen = np.random.default_rng(5)
+        nu = gen.laplace(scale=np.ones(3), size=3)
+        release = gen.laplace(scale=np.ones(3), size=3)
+        np.testing.assert_array_equal(block.nu, nu)
+        np.testing.assert_array_equal(block.released, release)
+
+
+class TestPerRowStreams:
+    def test_bit_identical_to_streaming_loop(self):
+        """Row i draws nu then (on top) the release from its own stream,
+        exactly like a per-session streaming loop."""
+        rows = 6
+        errors = np.array([0.0, 90.0, 10.0, 70.0, 0.0, 120.0])
+        thresholds = np.full(rows, 40.0)
+        nu_scales = np.full(rows, 3.0)
+        answer_scales = np.full(rows, 2.0)
+        truths = np.arange(rows, dtype=float)
+
+        streams = derive_rngs(7, rows, "gate")
+        rhos = np.array([float(g.laplace(scale=1.5)) for g in streams])
+        block = gate_block(
+            errors, thresholds, rhos, nu_scales, answer_scales, truths, rng=streams
+        )
+
+        replay = derive_rngs(7, rows, "gate")
+        for i, gen in enumerate(replay):
+            rho = float(gen.laplace(scale=1.5))
+            nu = float(gen.laplace(scale=3.0))
+            assert block.nu[i] == nu
+            if errors[i] + nu >= thresholds[i] + rho:
+                assert block.above[i]
+                assert block.released[i] == truths[i] + float(gen.laplace(scale=2.0))
+            else:
+                assert not block.above[i]
+                assert np.isnan(block.released[i])
+
+    def test_below_rows_leave_streams_untouched(self):
+        """A row that doesn't fire must not consume a release draw."""
+        streams = derive_rngs(3, 1, "gate-below")
+        block = gate_block(
+            np.array([0.0]), 100.0, 0.0, 1.0, 1.0, np.array([5.0]), rng=streams
+        )
+        assert not block.above[0]
+        follow_up = float(streams[0].laplace(scale=1.0))
+        replay = derive_rngs(3, 1, "gate-below")[0]
+        replay.laplace(scale=1.0)  # the nu draw
+        assert follow_up == float(replay.laplace(scale=1.0))
+
+
+class TestValidation:
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(InvalidParameterError):
+            gate_block(np.zeros((2, 2)), 0.0, 0.0, 1.0, 1.0, 0.0, rng=0)
+        with pytest.raises(InvalidParameterError):
+            gate_block(np.zeros(3), 0.0, 0.0, 1.0, 1.0, 0.0, rng=derive_rngs(0, 2, "x"))
+
+    def test_rejects_bad_scales(self):
+        with pytest.raises(InvalidParameterError):
+            gate_block(np.zeros(2), 0.0, 0.0, 0.0, 1.0, 0.0, rng=0)
+        with pytest.raises(InvalidParameterError):
+            gate_block(np.zeros(2), np.inf, 0.0, 1.0, 1.0, 0.0, rng=0)

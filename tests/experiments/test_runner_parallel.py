@@ -1,0 +1,78 @@
+"""Process fan-out of figure cells: bit-identical to the serial loop."""
+
+import numpy as np
+import pytest
+
+from repro.data.generators import zipf_like
+from repro.exceptions import InvalidParameterError
+from repro.experiments.noninteractive import figure5_methods
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_selection_experiment
+
+
+def noisy_pick(scores, threshold, c, epsilon, rng):
+    """A plain (picklable, module-level) selection method."""
+    return np.argsort(scores + rng.normal(0, 1.0 / epsilon, scores.size))[-c:]
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return zipf_like(rng=0, scale=0.01)
+
+
+@pytest.fixture(scope="module")
+def methods():
+    # Engine-backed batch methods plus a plain callable, all module-level.
+    figure5 = figure5_methods(ExperimentConfig(trials=2))
+    retr = next(name for name in figure5 if name.startswith("SVT-ReTr"))
+    return {retr: figure5[retr], "EM": figure5["EM"], "noisy": noisy_pick}
+
+
+def summaries(results):
+    return {
+        (name, c): result.by_c[c]
+        for name, result in results.items()
+        for c in result.by_c
+    }
+
+
+class TestParallelCells:
+    def test_process_fanout_bit_identical_to_serial(self, dataset, methods):
+        kwargs = dict(c_values=[3, 7], epsilon=0.5, trials=3, seed=11)
+        serial = run_selection_experiment(dataset, methods, **kwargs)
+        forked = run_selection_experiment(
+            dataset, methods, parallel="process", workers=2, **kwargs
+        )
+        assert summaries(serial) == summaries(forked)
+
+    def test_serial_backend_is_the_plain_loop(self, dataset, methods):
+        kwargs = dict(c_values=[4], epsilon=0.4, trials=2, seed=3)
+        a = run_selection_experiment(dataset, methods, **kwargs)
+        b = run_selection_experiment(dataset, methods, parallel="serial", **kwargs)
+        assert summaries(a) == summaries(b)
+
+    def test_generator_seed_rejected_in_parallel(self, dataset, methods):
+        with pytest.raises(InvalidParameterError):
+            run_selection_experiment(
+                dataset,
+                methods,
+                c_values=[3],
+                epsilon=0.5,
+                trials=2,
+                seed=np.random.default_rng(0),
+                parallel="process",
+            )
+
+    def test_unknown_backend_rejected(self, dataset, methods):
+        with pytest.raises(InvalidParameterError):
+            run_selection_experiment(
+                dataset, methods, c_values=[3], epsilon=0.5, trials=2,
+                parallel="threads",
+            )
+
+    def test_c_validation_happens_upfront(self, dataset, methods):
+        with pytest.raises(InvalidParameterError):
+            run_selection_experiment(
+                dataset, methods, c_values=[dataset.num_items], epsilon=0.5,
+                trials=2, parallel="process",
+            )

@@ -1,0 +1,119 @@
+"""The audit log: accounting replay and the exact-verifier bridge."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.verifier import empirical_epsilon
+from repro.exceptions import InvalidParameterError, PrivacyError
+from repro.service import SVTQueryService, WorkloadSpec, generate_workload
+from repro.service.audit import AuditLog, AuditRecord, gate_mechanism_spec, verify_audit
+from repro.service.session import Session
+from repro.service.workload import open_workload_sessions
+
+SUPPORTS = np.array([120.0, 90.0, 60.0, 30.0, 10.0, 4.0])
+
+
+def exercised_session(**kwargs):
+    defaults = dict(epsilon=3.0, error_threshold=20.0, c=3, rng=2, supports=SUPPORTS)
+    defaults.update(kwargs)
+    session = Session(SUPPORTS, **defaults)
+    try:
+        for i in range(30):
+            session.answer(i % SUPPORTS.size)
+    except PrivacyError:
+        pass
+    return session
+
+
+class TestAuditLog:
+    def test_global_sequence_numbers(self):
+        session = exercised_session()
+        seqs = [r.seq for r in session.audit]
+        assert seqs == list(range(len(session.audit)))
+
+    def test_spend_by_session_totals_match_ledger(self):
+        session = exercised_session()
+        totals = session.audit.spend_by_session()
+        assert totals[session.session_id] == pytest.approx(session.ledger.spent)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            AuditLog().record("s", "withdrawal")
+
+
+class TestVerifyAudit:
+    def test_clean_session_passes(self):
+        session = exercised_session()
+        report = verify_audit(session.audit, [session])
+        assert report.ok, report.violations
+
+    def test_clean_service_run_passes(self):
+        spec = WorkloadSpec(
+            tenants=8, requests=600, dataset_scale=0.02, threshold_factor=0.6
+        )
+        workload = generate_workload(spec, rng=3)
+        service = SVTQueryService(workload.supports, seed=4)
+        sessions = open_workload_sessions(service, workload, seed=5)
+        for k in range(workload.num_requests):
+            service.batcher.submit(sessions[workload.tenants[k]], int(workload.items[k]))
+        service.drain()
+        report = verify_audit(service.audit, {s.session_id: s for s in sessions})
+        assert report.ok, report.violations
+        assert sum(report.spend_by_session.values()) == pytest.approx(
+            sum(s.ledger.spent for s in sessions)
+        )
+
+    def test_overspend_detected(self):
+        session = exercised_session()
+        session.audit.record(
+            session.session_id, "spend", mechanism="laplace-answer", epsilon=5.0
+        )
+        report = verify_audit(session.audit, [session])
+        assert not report.ok
+        assert any("exceeds budget" in v for v in report.violations)
+
+    def test_unpaired_release_detected(self):
+        session = exercised_session()
+        session.audit.record(
+            session.session_id, "release", mechanism="laplace-answer", value=1.0
+        )
+        report = verify_audit(session.audit, [session])
+        assert any("releases vs" in v for v in report.violations)
+
+    def test_missing_gate_charge_detected(self):
+        log = AuditLog()
+        log.record("s#0", "open")
+        session = exercised_session()
+        fake = {"s#0": session}
+        report = verify_audit(log, fake)
+        assert any("svt-gate" in v for v in report.violations)
+
+    def test_unknown_session_detected(self):
+        session = exercised_session()
+        session.audit.record("ghost", "spend", mechanism="svt-gate", epsilon=0.1)
+        report = verify_audit(session.audit, [session])
+        assert any("unknown session" in v for v in report.violations)
+
+
+class TestVerifierBridge:
+    def test_gate_spec_scales(self):
+        spec = gate_mechanism_spec(epsilon=2.0, c=3, svt_fraction=0.5)
+        session = Session(
+            SUPPORTS, epsilon=2.0, error_threshold=1.0, c=3, rng=0, supports=SUPPORTS
+        )
+        assert spec.threshold_scale == pytest.approx(session.rho_scale)
+        assert spec.query_scale == pytest.approx(session.nu_scale)
+
+    def test_gate_privacy_claim_certified_exactly(self):
+        """The audited eps_svt bounds the gate's exact worst-case loss.
+
+        Error queries on neighbors differ by at most Delta = 1 (reverse
+        triangle inequality), so Eq.-(5) enumeration over adversarial error
+        vectors must stay within the svt-gate charge.
+        """
+        epsilon, c = 1.2, 2
+        spec = gate_mechanism_spec(epsilon=epsilon, c=c, svt_fraction=0.5)
+        errors_d = [0.4, 1.9, 0.1, 2.5]
+        errors_dp = [1.4, 0.9, 1.1, 1.5]  # each entry moved by Delta = 1
+        loss = empirical_epsilon(spec, errors_d, errors_dp, thresholds=1.0, c=c)
+        assert loss <= epsilon * 0.5 + 1e-6

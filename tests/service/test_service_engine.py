@@ -1,0 +1,340 @@
+"""Cross-session batched execution vs per-session streaming.
+
+The load-bearing guarantee: ``mode="per-session"`` is bit-identical to
+driving every session's streaming loop independently — same values, same
+rejections, same ledgers.  The shared throughput mode is checked for
+distributional agreement and for the logical invariants that don't depend
+on which generator drew the noise (ordering, accounting, speculation
+replay).
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError
+from repro.service import SVTQueryService, WorkloadSpec, generate_workload
+from repro.service.workload import open_workload_sessions
+
+SPEC = WorkloadSpec(
+    tenants=12, requests=1500, dataset_scale=0.02, threshold_factor=0.6
+)
+
+
+def drive_streaming(workload, seed):
+    """Independent per-session streaming loops over the trace."""
+    service = SVTQueryService(workload.supports, seed=99)
+    sessions = open_workload_sessions(service, workload, seed=seed)
+    values = np.full(workload.num_requests, np.nan)
+    hist = np.zeros(workload.num_requests, dtype=bool)
+    ok = np.zeros(workload.num_requests, dtype=bool)
+    for k in range(workload.num_requests):
+        try:
+            answer = sessions[workload.tenants[k]].answer(int(workload.items[k]))
+        except ReproError:
+            continue
+        values[k], hist[k], ok[k] = answer.value, answer.from_history, True
+    return values, hist, ok, sessions
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_workload(SPEC, rng=5)
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("use_arrays", [False, True])
+    def test_per_session_mode_matches_streaming(self, workload, use_arrays):
+        """Batched per-session execution releases exactly the streaming bits."""
+        values_s, hist_s, ok_s, sessions_s = drive_streaming(workload, seed=42)
+
+        service = SVTQueryService(workload.supports, seed=99, mode="per-session")
+        sessions = open_workload_sessions(service, workload, seed=42)
+        if use_arrays:
+            # Array lane, grouped by tenant (per-session order preserved).
+            order = np.argsort(workload.tenants, kind="stable")
+            tickets = np.empty(workload.num_requests, dtype=np.int64)
+            pos = 0
+            for t in np.unique(workload.tenants[order]):
+                mask = workload.tenants == t
+                got = service.batcher.submit_array(sessions[t], workload.items[mask])
+                tickets[mask] = got
+                pos += got.size
+            result = service.drain()
+            # Map expansion order back to trace order via tickets.
+            inverse = np.empty(workload.num_requests, dtype=np.int64)
+            inverse[result.tickets] = np.arange(workload.num_requests)
+            rows = inverse[tickets]
+        else:
+            rows = np.array(
+                [
+                    service.batcher.submit(
+                        sessions[workload.tenants[k]], int(workload.items[k])
+                    )
+                    for k in range(workload.num_requests)
+                ]
+            )
+            result = service.drain()
+
+        np.testing.assert_array_equal(result.ok[rows], ok_s)
+        mask = ok_s
+        np.testing.assert_array_equal(result.values[rows][mask], values_s[mask])
+        np.testing.assert_array_equal(result.from_history[rows][mask], hist_s[mask])
+        # Ledgers and gate state agree session by session.
+        for s_batched, s_streamed in zip(sessions, sessions_s):
+            assert s_batched.ledger.spent == s_streamed.ledger.spent
+            assert s_batched.database_accesses == s_streamed.database_accesses
+            assert s_batched.served == s_streamed.served
+
+    def test_incremental_drains_match_one_big_drain(self, workload):
+        """Drain boundaries must not change per-session mode results."""
+        outs = []
+        for chunk in (workload.num_requests, 173):
+            service = SVTQueryService(workload.supports, seed=99, mode="per-session")
+            sessions = open_workload_sessions(service, workload, seed=42)
+            values = np.full(workload.num_requests, np.nan)
+            for lo in range(0, workload.num_requests, chunk):
+                hi = min(lo + chunk, workload.num_requests)
+                for k in range(lo, hi):
+                    service.batcher.submit(
+                        sessions[workload.tenants[k]], int(workload.items[k])
+                    )
+                result = service.drain()
+                values[result.tickets - (0 if lo == 0 else 0)] = result.values
+            outs.append(values)
+        np.testing.assert_array_equal(outs[0], outs[1])
+
+
+class TestSharedMode:
+    def test_deterministic_given_seed(self, workload):
+        results = []
+        for _ in range(2):
+            service = SVTQueryService(workload.supports, seed=31)
+            sessions = open_workload_sessions(service, workload, seed=42)
+            for k in range(workload.num_requests):
+                service.batcher.submit(
+                    sessions[workload.tenants[k]], int(workload.items[k])
+                )
+            results.append(service.drain())
+        np.testing.assert_array_equal(results[0].values, results[1].values)
+        np.testing.assert_array_equal(results[0].ok, results[1].ok)
+
+    def test_accounting_invariants(self, workload):
+        service = SVTQueryService(workload.supports, seed=31)
+        sessions = open_workload_sessions(service, workload, seed=42)
+        for k in range(workload.num_requests):
+            service.batcher.submit(sessions[workload.tenants[k]], int(workload.items[k]))
+        result = service.drain()
+        spec = workload.spec
+        for t, session in enumerate(sessions):
+            # Budget: eps_svt plus one per-answer charge per database access.
+            eps_svt = spec.epsilon * spec.svt_fraction
+            per_answer = (spec.epsilon - eps_svt) / spec.c
+            assert session.ledger.spent == pytest.approx(
+                eps_svt + session.database_accesses * per_answer
+            )
+            assert session.database_accesses <= spec.c
+            # query_index is 0..served-1 in trace order for this tenant.
+            mine = np.nonzero((workload.tenants == t) & result.ok)[0]
+            np.testing.assert_array_equal(
+                result.query_index[mine], np.arange(mine.size)
+            )
+
+    def test_rejections_follow_exhaustion(self, workload):
+        """Once a session's c-th firing lands, its later rows are rejected."""
+        service = SVTQueryService(workload.supports, seed=31)
+        sessions = open_workload_sessions(service, workload, seed=42)
+        for k in range(workload.num_requests):
+            service.batcher.submit(sessions[workload.tenants[k]], int(workload.items[k]))
+        result = service.drain()
+        for t, session in enumerate(sessions):
+            mine = np.nonzero(workload.tenants == t)[0]
+            ok_mine = result.ok[mine]
+            if session.exhausted:
+                # After the last answered request, everything is rejected.
+                last_ok = np.nonzero(ok_mine)[0].max()
+                assert not ok_mine[last_ok + 1 :].any()
+                assert all(
+                    "exhausted" in result.errors[r]
+                    for r in mine[~ok_mine]
+                )
+            else:
+                assert ok_mine.all()
+
+    def test_fire_rate_matches_streaming_distribution(self):
+        """Shared-noise batching must not change the gate's behavior."""
+        spec = WorkloadSpec(
+            tenants=8, requests=1200, dataset_scale=0.02, threshold_factor=0.7
+        )
+        workload = generate_workload(spec, rng=11)
+        fires_batched = []
+        fires_streaming = []
+        for rep in range(20):
+            service = SVTQueryService(workload.supports, seed=1000 + rep)
+            sessions = open_workload_sessions(service, workload, seed=2000 + rep)
+            for k in range(workload.num_requests):
+                service.batcher.submit(
+                    sessions[workload.tenants[k]], int(workload.items[k])
+                )
+            result = service.drain()
+            fires_batched.append(int((result.ok & ~result.from_history).sum()))
+            _v, hist, ok, _s = drive_streaming(workload, seed=3000 + rep)
+            fires_streaming.append(int((ok & ~hist).sum()))
+        mean_b = np.mean(fires_batched)
+        mean_s = np.mean(fires_streaming)
+        # Means within 3 pooled standard errors.
+        pooled = np.sqrt(
+            (np.var(fires_batched) + np.var(fires_streaming)) / len(fires_batched)
+        )
+        assert abs(mean_b - mean_s) <= max(3.0 * pooled, 3.0)
+
+
+class TestCohortsAndGenerality:
+    def test_mixed_cohorts_execute_independently(self, workload):
+        """Two session configurations in one drain — two engine cohorts."""
+        head = float(workload.supports[0])
+        service = SVTQueryService(workload.supports, seed=5)
+        small = service.open_session(
+            "small", epsilon=1.0, error_threshold=4 * head, c=2
+        )
+        big = service.open_session(
+            "big", epsilon=8.0, error_threshold=8 * head, c=4
+        )
+        assert small.cohort_key != big.cohort_key
+        for item in range(6):
+            service.submit("small", item)
+            service.submit("big", item)
+        result = service.drain()
+        assert result.ok.sum() == 12
+        # Thresholds far above any error: nothing fires, so each cohort is
+        # answered in exactly one 6-row block.
+        assert sorted(result.block_rows) == [6, 6]
+
+    def test_query_objects_take_the_generic_path(self):
+        from repro.data.transaction_db import TransactionDatabase
+        from repro.queries.counting import ItemSupportQuery
+
+        db = TransactionDatabase.synthesize(300, np.linspace(0.8, 0.2, 6), rng=4)
+        service = SVTQueryService(db, seed=6)
+        service.open_session("a", epsilon=4.0, error_threshold=150.0, c=3)
+        for i in [0, 1, 0, 2, 0, 1]:
+            service.submit("a", ItemSupportQuery(i))
+        result = service.drain()
+        assert result.ok.all()
+        # Same trace through a bare streaming session, same seed material.
+        service2 = SVTQueryService(db, seed=6)
+        session2 = service2.open_session("a", epsilon=4.0, error_threshold=150.0, c=3)
+        answers = [session2.answer(ItemSupportQuery(i)) for i in [0, 1, 0, 2, 0, 1]]
+        # Distributionally equivalent, not bit-identical (shared service rng
+        # vs session rng) — but the structure must match: the first query
+        # always fires (empty history), repeats of released queries are free.
+        assert not result.from_history[0] and not answers[0].from_history
+        assert result.from_history[2] and answers[2].from_history
+
+    def test_bad_items_rejected_without_breaking_the_batch(self, workload):
+        service = SVTQueryService(workload.supports, seed=8)
+        service.open_session(
+            "a", epsilon=2.0, error_threshold=workload.error_threshold, c=2
+        )
+        service.submit("a", 0)
+        service.submit("a", 10**9)  # out of range
+        service.submit("a", 1)
+        result = service.drain()
+        assert list(result.ok) == [True, False, True]
+        assert "outside the backend" in result.errors[1]
+        # The invalid row must not consume a query index.
+        assert list(result.query_index) == [0, -1, 1]
+
+    def test_sync_client_facade(self, workload):
+        service = SVTQueryService(workload.supports, seed=9)
+        service.open_session(
+            "t", epsilon=2.0, error_threshold=workload.error_threshold, c=2
+        )
+        client = service.client("t")
+        answer = client.ask(0)
+        assert answer.query_index == 0
+        ticket = client.submit(1)
+        result = service.drain()
+        assert result.tickets[0] == ticket
+        assert client.session.served == 2
+
+
+class TestMixedBackends:
+    def test_fast_rows_never_gather_from_another_backend(self):
+        """A session on a different support vector must not be served from
+        the drain's shared one (regression: cohort truths were gathered from
+        the first non-None supports in the cohort)."""
+        from repro.service.batcher import RequestBatcher
+        from repro.service.engine import ServiceEngine
+        from repro.service.session import Session
+
+        big = np.array([1000.0, 900.0])
+        small = np.array([5.0, 7.0])
+        config = dict(epsilon=50.0, error_threshold=1.0, c=2)
+        session_big = Session(big, supports=big, rng=1, tenant="big", **config)
+        session_small = Session(small, supports=small, rng=2, tenant="small", **config)
+        assert session_big.cohort_key == session_small.cohort_key
+
+        batcher = RequestBatcher()
+        batcher.submit(session_big, 0)
+        batcher.submit(session_small, 0)
+        result = ServiceEngine(rng=0).execute(batcher.drain())
+        assert result.ok.all()
+        # Both first-sight queries fire (threshold 1, epsilon 50 -> tiny
+        # noise); each release must be near its OWN backend's truth.
+        assert not result.from_history.any()
+        assert abs(result.values[0] - 1000.0) < 50.0
+        assert abs(result.values[1] - 5.0) < 50.0
+
+    def test_monotonic_gate_spec_matches_monotonic_session(self):
+        from repro.service.audit import gate_mechanism_spec
+        from repro.service.session import Session
+
+        supports = np.array([10.0, 5.0])
+        session = Session(
+            supports, epsilon=1.0, error_threshold=1.0, c=3, monotonic=True,
+            rng=0, supports=supports,
+        )
+        spec = gate_mechanism_spec(epsilon=1.0, c=3, monotonic=True)
+        assert spec.threshold_scale == pytest.approx(session.rho_scale)
+        assert spec.query_scale == pytest.approx(session.nu_scale)
+
+
+class TestErrorPrecedence:
+    def test_exhausted_wins_over_bad_item_in_shared_mode(self):
+        """A bad item sent to an exhausted session reports exhaustion —
+        the same precedence as the streaming check_open-before-resolve."""
+        supports = np.array([1000.0, 500.0])
+        service = SVTQueryService(supports, seed=2)
+        session = service.open_session("t", epsilon=50.0, error_threshold=1.0, c=1)
+        service.submit("t", 0)  # fires (estimate 0, error 1000) -> exhausts
+        first = service.drain()
+        assert session.exhausted and not first.from_history[0]
+        service.submit("t", 10**9)  # bad item, but the session is dead
+        result = service.drain()
+        assert not result.ok[0]
+        assert "exhausted" in result.errors[0]
+
+    def test_bad_item_behind_exhausting_fire_reports_exhaustion(self):
+        """Even within one drain: a bad item queued behind the c-th firing
+        must see the post-fire state, not its static resolve error."""
+        supports = np.array([1000.0, 500.0])
+        service = SVTQueryService(supports, seed=2)
+        service.open_session("t", epsilon=50.0, error_threshold=1.0, c=1)
+        service.submit("t", 0)  # will fire and exhaust (c=1, tiny noise)
+        service.submit("t", 10**9)
+        result = service.drain()
+        assert not result.from_history[0] and result.ok[0]
+        assert not result.ok[1]
+        assert "exhausted" in result.errors[1]
+
+    def test_sensitivity_must_be_positive(self):
+        from repro.service.session import Session
+
+        supports = np.array([10.0, 5.0])
+        for bad in (0.0, -1.0, float("inf")):
+            with pytest.raises(Exception) as excinfo:
+                Session(
+                    supports, epsilon=1.0, error_threshold=1.0, c=1,
+                    sensitivity=bad, supports=supports,
+                )
+            assert "sensitivity" in str(excinfo.value)

@@ -1,0 +1,91 @@
+"""The closed-loop workload generator and its two drivers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.service import SVTQueryService, WorkloadSpec, generate_workload
+from repro.service.workload import run_batched, run_streaming
+
+SPEC = WorkloadSpec(tenants=24, requests=3000, dataset_scale=0.02, threshold_factor=0.8)
+
+
+class TestGeneration:
+    def test_deterministic_from_seed(self):
+        a = generate_workload(SPEC, rng=13)
+        b = generate_workload(SPEC, rng=13)
+        np.testing.assert_array_equal(a.tenants, b.tenants)
+        np.testing.assert_array_equal(a.items, b.items)
+        assert a.error_threshold == b.error_threshold
+
+    def test_zipf_tenant_skew(self):
+        workload = generate_workload(SPEC, rng=13)
+        counts = np.bincount(workload.tenants, minlength=SPEC.tenants)
+        # Zipf: the top tenant dominates the median tenant.
+        assert counts.max() > 4 * np.median(counts)
+
+    def test_streams_are_correlated(self):
+        """repeat_prob concentrates each tenant's requests on few items."""
+        workload = generate_workload(SPEC, rng=13)
+        top = int(np.argmax(np.bincount(workload.tenants)))
+        items = workload.items[workload.tenants == top]
+        distinct = np.unique(items).size
+        assert distinct < items.size / 3
+
+    def test_items_within_dataset(self):
+        workload = generate_workload(SPEC, rng=13)
+        assert workload.items.min() >= 0
+        assert workload.items.max() < workload.supports.size
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            WorkloadSpec(tenants=0)
+        with pytest.raises(InvalidParameterError):
+            WorkloadSpec(repeat_prob=1.5)
+
+
+class TestDrivers:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return generate_workload(SPEC, rng=13)
+
+    def test_batched_stats_consistent(self, workload):
+        service = SVTQueryService(workload.supports, seed=3)
+        stats = run_batched(service, workload, batch_size=512, session_seed=7)
+        assert stats.requests == workload.num_requests
+        assert stats.answered + stats.rejected == stats.requests
+        assert stats.db_accesses <= SPEC.tenants * SPEC.c
+        assert 0.0 <= stats.history_rate <= 1.0
+        assert stats.batches == -(-workload.num_requests // 512)
+        assert stats.mean_block_rows > 1.0
+        assert stats.latency_p99_ms >= stats.latency_p50_ms > 0.0
+        assert stats.requests_per_sec > 0.0
+
+    def test_streaming_stats_consistent(self, workload):
+        service = SVTQueryService(workload.supports, seed=3)
+        stats = run_streaming(service, workload, session_seed=7)
+        assert stats.answered + stats.rejected == stats.requests
+        assert stats.db_accesses <= SPEC.tenants * SPEC.c
+        assert stats.latency_p99_ms >= stats.latency_p50_ms
+
+    def test_same_sessions_give_same_accounting(self, workload):
+        """Both drivers answer the same trace; per-session mode matches
+        streaming access counts exactly (bit-identity), and stats record it."""
+        svc_b = SVTQueryService(workload.supports, seed=3, mode="per-session")
+        stats_b = run_batched(svc_b, workload, batch_size=777, session_seed=7)
+        svc_s = SVTQueryService(workload.supports, seed=3)
+        stats_s = run_streaming(svc_s, workload, session_seed=7)
+        assert stats_b.db_accesses == stats_s.db_accesses
+        assert stats_b.answered == stats_s.answered
+        assert stats_b.rejected == stats_s.rejected
+
+    def test_as_record_round_trips(self, workload):
+        service = SVTQueryService(workload.supports, seed=3)
+        record = run_batched(service, workload, batch_size=512, session_seed=7).as_record()
+        assert record["requests"] == workload.num_requests
+        assert set(record) >= {
+            "requests_per_sec",
+            "mean_block_rows",
+            "latency_p50_ms",
+            "latency_p99_ms",
+        }

@@ -122,3 +122,71 @@ class TestParser:
     def test_unknown_subcommand(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestServe:
+    @pytest.fixture
+    def scores_file(self, tmp_path):
+        path = tmp_path / "scores.txt"
+        path.write_text("\n".join(str(1000 - 10 * i) for i in range(60)))
+        return path
+
+    def test_serve_answers_stdin_requests(self, scores_file, capsys, monkeypatch):
+        import io
+        import json
+
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("alice 0\nbob 1\nalice 0\n\nbob 2\n")
+        )
+        code = main(
+            ["serve", str(scores_file), "--threshold", "600", "--seed", "5"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        lines = [json.loads(line) for line in captured.out.splitlines()]
+        assert [entry["ticket"] for entry in lines] == [0, 1, 2, 3]
+        repeat = lines[2]
+        assert repeat["tenant"] == "alice" and repeat["from_history"]
+        assert repeat["value"] == lines[0]["value"]
+        assert "2 sessions" in captured.err
+
+    def test_serve_reports_bad_lines(self, scores_file, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("nonsense\nalice 0\n"))
+        code = main(["serve", str(scores_file), "--threshold", "600"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "bad request line" in captured.err
+        assert captured.out.count("\n") == 1
+
+
+class TestLoadTest:
+    def test_load_test_records_metrics(self, tmp_path, capsys):
+        import json
+
+        record = tmp_path / "bench.json"
+        code = main(
+            [
+                "load-test", "--tenants", "8", "--requests", "500",
+                "--scale", "0.02", "--batch", "200", "--record", str(record),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "batched:" in out and "speedup" in out
+        payload = json.loads(record.read_text())
+        assert payload["batched"]["requests"] == 500
+        assert "latency_p99_ms" in payload["batched"]
+        assert "speedup" in payload
+
+    def test_skip_streaming(self, capsys):
+        code = main(
+            [
+                "load-test", "--tenants", "4", "--requests", "200",
+                "--scale", "0.02", "--skip-streaming",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "batched:" in out and "streaming" not in out
