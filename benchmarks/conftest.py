@@ -43,9 +43,9 @@ def emit(title: str, body: str) -> None:
 
 
 def pytest_sessionfinish(session, exitstatus):
-    """Flush recorded measurements to BENCH_engine.json / BENCH_service.json."""
-    from benchmarks.record import flush, flush_service
+    """Flush recorded measurements to the BENCH_*.json artifacts."""
+    from benchmarks.record import flush, flush_outofcore, flush_service
 
-    for path in (flush(), flush_service()):
+    for path in (flush(), flush_service(), flush_outofcore()):
         if path:
             print(f"\nbenchmark record written: {path}")

@@ -39,18 +39,23 @@ from typing import Dict, Optional
 __all__ = [
     "record",
     "record_service",
+    "record_outofcore",
     "flush",
     "flush_service",
+    "flush_outofcore",
     "peak_rss_kb",
     "DEFAULT_PATH",
     "DEFAULT_SERVICE_PATH",
+    "DEFAULT_OUTOFCORE_PATH",
 ]
 
 DEFAULT_PATH = os.path.join(os.path.dirname(__file__), "BENCH_engine.json")
 DEFAULT_SERVICE_PATH = os.path.join(os.path.dirname(__file__), "BENCH_service.json")
+DEFAULT_OUTOFCORE_PATH = os.path.join(os.path.dirname(__file__), "BENCH_outofcore.json")
 
 _RESULTS: Dict[str, dict] = {}
 _SERVICE_RESULTS: Dict[str, dict] = {}
+_OUTOFCORE_RESULTS: Dict[str, dict] = {}
 
 
 def peak_rss_kb() -> int:
@@ -72,6 +77,17 @@ def record(variant: str, **fields) -> None:
 def record_service(name: str, **fields) -> None:
     """Record one service-bench measurement (workload name -> fields)."""
     _SERVICE_RESULTS[str(name)] = {**fields, "peak_rss_kb": peak_rss_kb()}
+
+
+def record_outofcore(name: str, **fields) -> None:
+    """Record one out-of-core bench measurement (config name -> fields).
+
+    Unlike the other recorders, the interesting peak RSS here is the
+    *subprocess* high-water mark the bench measured itself — callers pass it
+    in ``fields`` (``peak_rss_kb``) so the parent pytest process's footprint
+    does not pollute the memory-cap evidence.
+    """
+    _OUTOFCORE_RESULTS[str(name)] = dict(fields)
 
 
 def _write(results: Dict[str, dict], path: str) -> str:
@@ -108,4 +124,15 @@ def flush_service(path: Optional[str] = None) -> Optional[str]:
     return _write(
         _SERVICE_RESULTS,
         path or os.environ.get("REPRO_BENCH_RECORD_SERVICE") or DEFAULT_SERVICE_PATH,
+    )
+
+
+def flush_outofcore(path: Optional[str] = None) -> Optional[str]:
+    """Write the out-of-core results (n, tiles, peak RSS, trials/sec) to
+    ``BENCH_outofcore.json`` (or ``REPRO_BENCH_RECORD_OUTOFCORE`` / *path*)."""
+    if not _OUTOFCORE_RESULTS:
+        return None
+    return _write(
+        _OUTOFCORE_RESULTS,
+        path or os.environ.get("REPRO_BENCH_RECORD_OUTOFCORE") or DEFAULT_OUTOFCORE_PATH,
     )

@@ -1,0 +1,126 @@
+"""E8 — the AOL-scale out-of-core proof: n = 2,290,685 under a hard memory cap.
+
+The paper's headline experiments run over the full AOL item universe; a
+dense ``(trials, n)`` engine block at that n is tens of gigabytes.  This
+bench runs the real thing — ``run_trials`` over a lazy
+:class:`~repro.data.scores.GeneratorScores` universe of 2,290,685 items
+with ``max_bytes = 256 MB`` — in a **fresh subprocess** (so the measured
+``ru_maxrss`` is this workload's high-water mark, not the pytest session's)
+and enforces that peak RSS stays under ~3× the cap.  Two configurations:
+
+* ``aol-chunked`` — the acceptance-criteria literal: ``max_bytes=256MB``
+  alone (the planner fits two full-width trial rows per chunk);
+* ``aol-tiled``   — two-axis execution forced via ``chunk_n``: 1/4-width
+  query tiles, several trials per chunk, exercising the tiled kernels at
+  full scale.
+
+Measurements (n, chunk/tile grid, peak RSS, trials/sec) land in
+``BENCH_outofcore.json`` next to the other BENCH artifacts (CI uploads it).
+
+Scale knobs: ``REPRO_BENCH_OUTOFCORE_TRIALS`` (default 6) and
+``REPRO_BENCH_OUTOFCORE_N`` (default the full 2,290,685).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from benchmarks.record import record_outofcore
+
+#: The paper's AOL item-universe size (Table 1).
+AOL_N = 2_290_685
+MAX_BYTES = 256 * 1024 * 1024
+#: Allowance over the engine budget for the interpreter + numpy + the lazy
+#: score machinery: the bench asserts peak RSS < 3x the engine cap.
+RSS_CAP_KB = 3 * MAX_BYTES // 1024
+
+BENCH_N = int(os.environ.get("REPRO_BENCH_OUTOFCORE_N", str(AOL_N)))
+BENCH_TRIALS = int(os.environ.get("REPRO_BENCH_OUTOFCORE_TRIALS", "6"))
+
+_CHILD = r"""
+import json, resource, sys, time
+import numpy as np
+from repro.data.scores import GeneratorScores, topc_values
+from repro.engine.plans import plan_trials
+from repro.engine.trials import run_trials
+
+n, trials, max_bytes, c = (int(a) for a in sys.argv[1:5])
+eps = 0.1
+source = GeneratorScores.power_law(
+    n, head_support=180_000.0, alpha=1.05, num_records=647_377
+)
+top = topc_values(source, c + 1)  # ascending: [(c+1)-th, c-th, ...]
+threshold = float(top[0] + top[1]) / 2.0
+
+results = {}
+for name, chunk_n in (("aol-chunked", None), ("aol-tiled", max(1, n // 4))):
+    plan = plan_trials(trials, n, max_bytes, variant="alg1", chunk_n=chunk_n)
+    start = time.perf_counter()
+    batch = run_trials(
+        "alg1", source, eps, c, trials, thresholds=threshold, rng=0,
+        max_bytes=max_bytes, chunk_n=chunk_n,
+    )
+    elapsed = time.perf_counter() - start
+    assert batch.trials == trials and batch.n == n
+    # The tiled path keeps nothing (trials, n)-dense beyond the small
+    # boolean-mask policy limit (the mask is suppressed past it).
+    from repro.engine.tiled import MASK_MATERIALIZE_LIMIT
+    if chunk_n is not None and trials * n > MASK_MATERIALIZE_LIMIT:
+        assert batch.positives_mask is None
+    results[name] = {
+        "n": n,
+        "trials": trials,
+        "c": c,
+        "epsilon": eps,
+        "max_bytes": max_bytes,
+        "chunk_trials": plan.chunk_trials,
+        "chunk_n": plan.chunk_n,
+        "num_chunks": plan.num_chunks,
+        "num_tiles": plan.num_tiles,
+        "duration_s": round(elapsed, 3),
+        "trials_per_sec": round(trials / elapsed, 2),
+        "ser_mean": float(batch.ser.mean()),
+        "fnr_mean": float(batch.fnr.mean()),
+    }
+peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+if sys.platform == "darwin":
+    peak_kb //= 1024
+print(json.dumps({"peak_rss_kb": int(peak_kb), "results": results}))
+"""
+
+
+def test_aol_scale_under_memory_cap():
+    repo_src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = repo_src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD, str(BENCH_N), str(BENCH_TRIALS),
+         str(MAX_BYTES), "25"],
+        capture_output=True, text=True, env=env, timeout=570,
+    )
+    assert proc.returncode == 0, f"child failed:\n{proc.stderr[-4000:]}"
+    payload = json.loads(proc.stdout.strip().splitlines()[-1])
+    peak_kb = payload["peak_rss_kb"]
+
+    print(f"\nAOL-scale out-of-core (n={BENCH_N:,}, trials={BENCH_TRIALS}, "
+          f"cap={MAX_BYTES >> 20} MB): peak RSS {peak_kb / 1024:.0f} MB "
+          f"(limit {RSS_CAP_KB / 1024:.0f} MB)")
+    for name, fields in payload["results"].items():
+        print(f"  {name}: {fields['num_chunks']} chunks x {fields['num_tiles']} tiles, "
+              f"{fields['trials_per_sec']:.2f} trials/s, SER {fields['ser_mean']:.3f}")
+        record_outofcore(name, peak_rss_kb=peak_kb, rss_cap_kb=RSS_CAP_KB, **fields)
+
+    # The hard acceptance gate: the full-scale run fits under the cap.
+    assert peak_kb < RSS_CAP_KB, (
+        f"peak RSS {peak_kb} kB exceeds the {RSS_CAP_KB} kB cap "
+        f"(3x the {MAX_BYTES >> 20} MB engine budget)"
+    )
+    # The tiled config genuinely tiled, and a sane selection came back.
+    tiled = payload["results"]["aol-tiled"]
+    assert tiled["num_tiles"] >= 4
+    assert 0.0 <= tiled["ser_mean"] <= 1.0

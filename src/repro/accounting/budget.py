@@ -33,6 +33,7 @@ class PrivacyBudget:
             raise InvalidParameterError(f"total epsilon must be finite and > 0, got {epsilon!r}")
         self._total = epsilon
         self._spent = 0.0
+        self._closed = False
 
     @property
     def total(self) -> float:
@@ -46,8 +47,26 @@ class PrivacyBudget:
     def remaining(self) -> float:
         return max(0.0, self._total - self._spent)
 
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` returned the remainder; no further spends."""
+        return self._closed
+
     def can_spend(self, epsilon: float) -> bool:
-        return float(epsilon) <= self.remaining + _EPS_SLACK
+        return not self._closed and float(epsilon) <= self.remaining + _EPS_SLACK
+
+    def close(self) -> float:
+        """Shut the budget and return the unspent remainder.
+
+        Used by session eviction: the remainder goes back to the tenant's
+        global allowance, and the closed budget rejects every further spend
+        (idempotent — a second close returns 0).
+        """
+        if self._closed:
+            return 0.0
+        amount = self.remaining
+        self._closed = True
+        return amount
 
     def spend(self, epsilon: float) -> None:
         """Consume *epsilon* of the budget; raise if not enough remains."""
@@ -96,10 +115,23 @@ class BudgetLedger:
 
     budget: PrivacyBudget
     entries: List[LedgerEntry] = field(default_factory=list)
+    released: float = 0.0
 
     @classmethod
     def with_total(cls, epsilon: float) -> "BudgetLedger":
         return cls(budget=PrivacyBudget(epsilon))
+
+    def release_remaining(self, note: str = "") -> float:
+        """Close the budget and hand back whatever was never spent.
+
+        The session-eviction hook: the unspent remainder is recorded in
+        ``released`` (and returned so the caller can credit it upstream),
+        and the underlying budget rejects all further charges.  Idempotent.
+        """
+        amount = self.budget.close()
+        if amount > 0.0:
+            self.released += amount
+        return amount
 
     def charge(self, mechanism: str, epsilon: float, note: str = "") -> None:
         self.budget.spend(epsilon)

@@ -118,6 +118,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--batch", type=int, default=256,
                        help="drain after this many pending requests (blank line or EOF also drains)")
     serve.add_argument("--seed", type=int, default=None)
+    serve.add_argument("--audit-log", type=Path, default=None, dest="audit_log",
+                       help="persist the audit trail to this JSONL file on exit "
+                            "(replayable via AuditLog.replay / verify_audit)")
+    serve.add_argument("--session-ttl", type=float, default=None, dest="session_ttl",
+                       help="expire sessions after this many seconds, releasing "
+                            "unspent budget (checked at every drain)")
 
     load = sub.add_parser("load-test", help="closed-loop service throughput benchmark")
     load.add_argument("--tenants", type=int, default=256)
@@ -244,9 +250,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 error_threshold=args.threshold,
                 c=args.c,
                 svt_fraction=args.svt_fraction,
+                ttl_s=args.session_ttl,
             )
 
     def drain() -> None:
+        before = dict(service.manager.released_budget)
+        for tenant in service.expire():
+            released = service.manager.released_budget[tenant] - before.get(tenant, 0.0)
+            print(
+                f"expired session for tenant {tenant} "
+                f"(released {released:g} epsilon)",
+                file=sys.stderr,
+            )
         result = service.drain()
         for i, ticket in enumerate(result.tickets):
             tenant, item = meta.pop(int(ticket))
@@ -277,12 +292,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if service.batcher.pending >= args.batch:
             drain()
     drain()
-    spent = sum(s.ledger.spent for s in service.sessions())
+    spent = service.manager.total_spent()  # live and evicted sessions alike
     print(
         f"served {served} requests across {len(service.manager)} sessions "
         f"({len(service.audit)} audit records, total epsilon spent {spent:g})",
         file=sys.stderr,
     )
+    if args.audit_log is not None:
+        written = service.audit.to_jsonl(args.audit_log)
+        print(f"audit log: {written} records written to {args.audit_log}", file=sys.stderr)
     return 0
 
 

@@ -18,6 +18,16 @@ from repro.data.generators import (
     kosarak_like,
     zipf_like,
 )
+from repro.data.scores import (
+    DenseScores,
+    GeneratorScores,
+    MemmapScores,
+    ScoreSource,
+    SourceDataset,
+    as_score_source,
+    topc_stats,
+    topc_values,
+)
 from repro.data.histograms import (
     block_queries,
     interval_queries,
@@ -31,6 +41,14 @@ from repro.data.loaders import load_transactions, save_transactions
 
 __all__ = [
     "ScoreDataset",
+    "ScoreSource",
+    "DenseScores",
+    "GeneratorScores",
+    "MemmapScores",
+    "SourceDataset",
+    "as_score_source",
+    "topc_stats",
+    "topc_values",
     "bms_pos_like",
     "kosarak_like",
     "aol_like",

@@ -16,7 +16,11 @@ Monte-Carlo trial batches — without a Python-level inner loop:
   (variant, epsilon, c) cell in one pass, with vectorized SER/FNR and
   shared-unit-noise epsilon grids;
 * :mod:`repro.engine.plans` / :mod:`repro.engine.exec` — execution planning:
-  ``max_bytes``-driven trial chunking and process-pool sharding.
+  ``max_bytes``-driven two-axis chunking (trials × query tiles, with
+  ``"auto"`` budgets from live memory) and process-pool sharding;
+* :mod:`repro.engine.tiled` — the out-of-core path: every variant folded
+  across query-axis tiles over a lazy :class:`~repro.data.scores.ScoreSource`,
+  bit-identical to the dense per-trial-stream engine.
 
 The experiment harness (:mod:`repro.experiments`), the attack estimator
 (:mod:`repro.attacks.estimator`), and the registry's
@@ -36,7 +40,14 @@ from repro.engine.batch import (
 from repro.engine.exec import execute_trials, merge_batches, run_sharded
 from repro.engine.gate import GateBlock, gate_block
 from repro.engine.noise import TrialRngs, gumbel_matrix, laplace_matrix, laplace_vector
-from repro.engine.plans import BYTES_PER_CELL, TrialPlan, bytes_per_cell, plan_trials
+from repro.engine.plans import (
+    BYTES_PER_CELL,
+    TrialPlan,
+    available_memory_bytes,
+    bytes_per_cell,
+    plan_trials,
+)
+from repro.engine.tiled import run_tiled_chunk
 from repro.engine.retraversal import (
     RetraversalTrialBatch,
     em_selection_matrix,
@@ -76,6 +87,8 @@ __all__ = [
     "transcript_sampler",
     "TrialPlan",
     "plan_trials",
+    "available_memory_bytes",
+    "run_tiled_chunk",
     "BYTES_PER_CELL",
     "bytes_per_cell",
     "execute_trials",

@@ -1,4 +1,4 @@
-"""Chunked and process-sharded execution of engine trial runs.
+"""Chunked, tiled, and process-sharded execution of engine trial runs.
 
 The engine's working set is a handful of ``(trials, n)`` blocks.  At the
 paper's full AOL configuration (n ≈ 2.3M items × hundreds of trials) one
@@ -6,18 +6,25 @@ block is tens of gigabytes — far past any laptop — so this layer splits the
 *trial* axis into chunks sized by a byte budget (:func:`~repro.engine.plans.
 plan_trials`) and runs them either serially or sharded across a
 ``ProcessPoolExecutor`` (``parallel="process"``), the same scan-sharding
-shape production query engines use for large scans.
+shape production query engines use for large scans.  When even a single
+full-width trial row exceeds the budget — or the caller passes ``chunk_n``
+— the plan tiles the *query* axis too, and each chunk runs through
+:mod:`repro.engine.tiled` over a lazy :class:`~repro.data.scores.ScoreSource`
+(what workers receive is the source and the tile grid, never a materialized
+score matrix).
 
-Determinism is the design constraint: chunked must equal unchunked, and the
-worker count must never leak into results.  Both follow from one rule —
-entering this layer switches the run onto **per-trial derived streams**
-(:func:`repro.rng.derive_rngs`; a caller-supplied list of per-trial
-generators is used as-is).  Each chunk then consumes exactly its own trials'
-streams, wherever and in whatever order it runs.  The one semantic shift:
+Determinism is the design constraint: chunked must equal unchunked, tiled
+must equal untiled, and the worker count must never leak into results.  All
+follow from one rule — entering this layer switches the run onto
+**per-trial derived streams** (:func:`repro.rng.derive_rngs`; a
+caller-supplied list of per-trial generators is used as-is).  Each chunk
+then consumes exactly its own trials' streams, wherever and in whatever
+order it runs, and each stream is consumed tile by tile in query order —
+bit-identical to one full-width draw.  The one semantic shift:
 ``run_trials(rng=seed, max_bytes=...)`` uses the derived streams even when
 everything fits in one chunk, so its results differ from the plain
-shared-stream ``run_trials(rng=seed)`` — but never across chunk sizes or
-backends.
+shared-stream ``run_trials(rng=seed)`` — but never across chunk sizes,
+tile widths, or backends.
 """
 
 from __future__ import annotations
@@ -28,9 +35,11 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.data.scores import as_score_source, topc_stats
 from repro.engine.plans import TrialPlan, plan_trials
 from repro.exceptions import InvalidParameterError
 from repro.rng import derive_rngs
+from repro.variants._common import validate_inputs
 
 __all__ = ["execute_trials", "merge_batches", "run_sharded"]
 
@@ -103,6 +112,13 @@ def _run_payload(payload: dict):
     return run_trials(**payload)
 
 
+def _run_tiled_payload(payload: dict):
+    """Top-level (picklable) tiled-chunk runner for the process backend."""
+    from repro.engine.tiled import run_tiled_chunk
+
+    return run_tiled_chunk(**payload)
+
+
 def execute_trials(
     variant: str,
     answers,
@@ -111,16 +127,18 @@ def execute_trials(
     trials: int,
     *,
     rng=None,
-    max_bytes: Optional[int] = None,
+    max_bytes: Union[int, str, None] = None,
     parallel: Optional[str] = None,
     workers: Optional[int] = None,
+    chunk_n: Optional[int] = None,
     **kwargs,
 ) -> Union["TrialBatch", Dict[float, "TrialBatch"]]:  # noqa: F821
-    """Run a (possibly epsilon-grid) trial batch chunked and/or sharded.
+    """Run a (possibly epsilon-grid) trial batch chunked, tiled, and/or sharded.
 
-    Called by :func:`repro.engine.trials.run_trials` when ``max_bytes`` or
-    ``parallel`` is set; not usually invoked directly.  ``workers`` defaults
-    to the CPU count (capped by the number of chunks).
+    Called by :func:`repro.engine.trials.run_trials` when ``max_bytes``,
+    ``parallel``, ``chunk_n``, or a lazy score source is in play; not
+    usually invoked directly.  ``workers`` defaults to the CPU count
+    (capped by the number of chunks).
     """
     if parallel not in _BACKENDS:
         raise InvalidParameterError(
@@ -130,9 +148,7 @@ def execute_trials(
         raise InvalidParameterError("workers must be >= 1")
     if trials <= 0:
         raise InvalidParameterError("trials must be > 0")
-    base = np.asarray(answers, dtype=float)
-    if base.ndim != 1:
-        raise InvalidParameterError("answers must be a 1-D sequence")
+    source = as_score_source(answers)
 
     if isinstance(rng, (list, tuple)):
         if len(rng) != trials:
@@ -146,21 +162,81 @@ def execute_trials(
         # differently at every chunk boundary.)
         rngs = derive_rngs(rng, trials, "engine-exec")
 
-    plan: TrialPlan = plan_trials(trials, base.size, max_bytes, variant=variant)
-    payloads: List[dict] = [
-        dict(
-            variant=variant,
-            answers=base,
-            epsilons=epsilons,
-            c=c,
-            trials=stop - start,
-            rng=rngs[start:stop],
-            **kwargs,
-        )
-        for start, stop in plan.bounds()
-    ]
+    plan: TrialPlan = plan_trials(
+        trials, source.n, max_bytes, variant=variant, chunk_n=chunk_n
+    )
+    # The (trials, n) positives mask is sized by the TOTAL trial count, not
+    # one chunk's: per-chunk masks merge into a full-height mask, which must
+    # not outgrow the budget the chunking exists to enforce.
+    from repro.engine.tiled import MASK_MATERIALIZE_LIMIT
 
-    results = run_sharded(_run_payload, payloads, parallel=parallel, workers=workers)
+    keep_mask = trials * source.n <= MASK_MATERIALIZE_LIMIT
+
+    if plan.chunk_n is None:
+        # One-axis plan: each chunk runs the classic dense cell (small
+        # sources materialize once; the working set is bounded by the plan).
+        base = source.to_array()
+        payloads: List[dict] = [
+            dict(
+                variant=variant,
+                answers=base,
+                epsilons=epsilons,
+                c=c,
+                trials=stop - start,
+                rng=rngs[start:stop],
+                **kwargs,
+            )
+            for start, stop in plan.bounds()
+        ]
+        results = run_sharded(
+            _run_payload, payloads, parallel=parallel, workers=workers
+        )
+        if not keep_mask:
+            # Per-chunk masks are transient (1/48th of the chunk working
+            # set); the full-height concatenation is what breaks the cap.
+            for result in results:
+                for batch in (result.values() if isinstance(result, dict) else [result]):
+                    batch.positives_mask = None
+    else:
+        # Two-axis plan: ship the lazy source plus the tile grid to each
+        # chunk; nothing (trials, n)-shaped is ever materialized.
+        if kwargs.get("shuffle"):
+            raise InvalidParameterError(
+                "tiled (chunk_n) execution does not support shuffle=True: a "
+                "per-trial permutation is itself a dense (trials, n) object"
+            )
+        sensitivity = kwargs.get("sensitivity", 1.0)
+        eps_list = [epsilons] if np.isscalar(epsilons) else list(epsilons)
+        for eps in eps_list:
+            validate_inputs(float(eps), sensitivity, c)
+        compute_metrics = kwargs.get("compute_metrics", True)
+        topc = topc_stats(source, c) if compute_metrics else None
+        tiles = plan.tile_bounds()
+        payloads = [
+            dict(
+                key=variant,
+                source=source,
+                epsilons=epsilons,
+                c=c,
+                trials=stop - start,
+                rngs=rngs[start:stop],
+                tiles=tiles,
+                thresholds=kwargs.get("thresholds", 0.0),
+                sensitivity=sensitivity,
+                monotonic=kwargs.get("monotonic", False),
+                ratio=kwargs.get("ratio"),
+                threshold_bump_d=kwargs.get("threshold_bump_d", 0.0),
+                max_passes=kwargs.get("max_passes", 100),
+                compute_metrics=compute_metrics,
+                share_noise=kwargs.get("share_noise", True),
+                topc=topc,
+                keep_positives_mask=keep_mask,
+            )
+            for start, stop in plan.bounds()
+        ]
+        results = run_sharded(
+            _run_tiled_payload, payloads, parallel=parallel, workers=workers
+        )
 
     if isinstance(results[0], dict):
         return {

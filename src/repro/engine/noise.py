@@ -22,14 +22,20 @@ argument:
 
 from __future__ import annotations
 
-from typing import Sequence, Union
+from typing import List, Sequence, Union
 
 import numpy as np
 
 from repro.exceptions import InvalidParameterError
 from repro.rng import RngLike, ensure_rng
 
-__all__ = ["TrialRngs", "laplace_vector", "laplace_matrix", "gumbel_matrix"]
+__all__ = [
+    "TrialRngs",
+    "TrialStreams",
+    "laplace_vector",
+    "laplace_matrix",
+    "gumbel_matrix",
+]
 
 #: Either one shared stream or one stream per trial.
 TrialRngs = Union[RngLike, Sequence[np.random.Generator]]
@@ -76,6 +82,67 @@ def laplace_matrix(rng: TrialRngs, scale: float, trials: int, n: int) -> np.ndar
             out[i] = gen.laplace(scale=scale, size=n)
         return out
     return ensure_rng(rng).laplace(scale=scale, size=(trials, n))
+
+
+class TrialStreams:
+    """Per-trial generators with checkpoint/replay, for two-axis tiling.
+
+    The tiled engine (:mod:`repro.engine.tiled`) consumes each trial's noise
+    stream *tile by tile* in query order.  Because a NumPy block draw eats
+    the bit stream exactly like the equivalent sequence of smaller draws,
+    the concatenation of per-tile draws is bit-identical to the one
+    full-width draw the dense engine makes — that is what keeps tiled ==
+    untiled exact for every chunk_n.
+
+    Two mechanisms need to *revisit* stream positions without disturbing
+    them: Alg. 2's segmented rescans re-read the query-noise tiles after
+    later rounds learn a refreshed threshold, and epsilon grids re-read the
+    shared unit-noise tiles once per grid point.  :meth:`checkpoint` captures
+    every trial's ``bit_generator.state`` (a small dict — noise tiles are
+    re-derived from their coordinates in the stream, never stored), and
+    :meth:`replayer` builds a throwaway generator positioned at a saved
+    state, so replays never advance the live streams.
+    """
+
+    def __init__(self, gens: Sequence[np.random.Generator]) -> None:
+        self.gens: List[np.random.Generator] = list(gens)
+
+    def __len__(self) -> int:
+        return len(self.gens)
+
+    # -- live draws (advance the streams) --------------------------------
+    def rho(self, scale: float) -> np.ndarray:
+        """One threshold draw per trial (``Lap(scale)``), in trial order."""
+        return laplace_vector(self.gens, scale, len(self.gens))
+
+    def laplace_tile(self, scale: float, width: int) -> np.ndarray:
+        """A ``(trials, width)`` Laplace tile, one row per live stream."""
+        return laplace_matrix(self.gens, scale, len(self.gens), width)
+
+    def gumbel_tile(self, width: int) -> np.ndarray:
+        """A ``(trials, width)`` standard-Gumbel tile from the live streams."""
+        return gumbel_matrix(self.gens, len(self.gens), width)
+
+    # -- checkpoint / replay ---------------------------------------------
+    def checkpoint(self) -> list:
+        """Every trial's current bit-generator state (cheap, copyable)."""
+        return [g.bit_generator.state for g in self.gens]
+
+    @staticmethod
+    def _clone(gen: np.random.Generator, state) -> np.random.Generator:
+        replay = np.random.Generator(type(gen.bit_generator)())
+        replay.bit_generator.state = state
+        return replay
+
+    def replayer(self, trial: int, state) -> np.random.Generator:
+        """A fresh generator for *trial* positioned at a saved *state*."""
+        return self._clone(self.gens[trial], state)
+
+    def replayers(self, states) -> "TrialStreams":
+        """A whole replay bundle positioned at per-trial *states*."""
+        return TrialStreams(
+            [self._clone(g, s) for g, s in zip(self.gens, states)]
+        )
 
 
 def gumbel_matrix(rng: TrialRngs, trials: int, n: int) -> np.ndarray:

@@ -11,13 +11,19 @@ from drifting apart.
 :class:`TrialPlan` is the execution-side plan: given a ``max_bytes`` budget
 it decides how many trials fit in one block of the engine's ``(trials, n)``
 working set, so :mod:`repro.engine.exec` can split (and optionally shard)
-the trial axis without any block exceeding the budget.
+the trial axis without any block exceeding the budget.  Since the two-axis
+refactor the plan covers *both* axes: when even a single trial's full-width
+row would blow the budget (the AOL-scale regime, n ≈ 2.3M) — or when the
+caller asks for it explicitly via ``chunk_n`` — the query axis is tiled too
+(``chunk_trials × chunk_n`` tiles), and :mod:`repro.engine.tiled` folds the
+running kernel state across the n-tiles.  ``max_bytes="auto"`` sizes the
+budget from the machine's available memory instead of a static number.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 from repro.exceptions import InvalidParameterError
 
@@ -26,8 +32,10 @@ __all__ = [
     "noise_plan",
     "TrialPlan",
     "plan_trials",
+    "available_memory_bytes",
     "BYTES_PER_CELL",
     "bytes_per_cell",
+    "DEFAULT_MEMORY_FRACTION",
 ]
 
 
@@ -118,15 +126,69 @@ def bytes_per_cell(variant: Optional[str] = None) -> int:
     return table.get(str(variant), BYTES_PER_CELL)
 
 
+#: Fraction of the machine's available memory targeted by ``max_bytes="auto"``.
+DEFAULT_MEMORY_FRACTION = 0.5
+
+#: Conservative fallback when neither /proc/meminfo nor psutil is available.
+_FALLBACK_AVAILABLE_BYTES = 1 << 30
+
+
+def available_memory_bytes() -> int:
+    """The memory currently available to this process, in bytes.
+
+    Reads ``MemAvailable`` from ``/proc/meminfo`` (Linux); falls back to
+    :func:`psutil.virtual_memory` when present, then to a conservative 1 GiB
+    so ``max_bytes="auto"`` degrades to a small static budget rather than
+    failing on exotic platforms.
+    """
+    try:
+        with open("/proc/meminfo", "r", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("MemAvailable:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):  # pragma: no cover - non-Linux
+        pass
+    try:  # pragma: no cover - psutil is not a declared dependency
+        import psutil
+
+        return int(psutil.virtual_memory().available)
+    except Exception:  # pragma: no cover
+        return _FALLBACK_AVAILABLE_BYTES
+    return _FALLBACK_AVAILABLE_BYTES  # pragma: no cover
+
+
+def _resolve_budget(max_bytes, memory_fraction: float) -> Optional[int]:
+    """Turn the ``max_bytes`` argument (int / None / "auto") into bytes."""
+    if max_bytes is None:
+        return None
+    if isinstance(max_bytes, str):
+        if max_bytes != "auto":
+            raise InvalidParameterError(
+                f'max_bytes must be a positive int, None, or "auto"; got {max_bytes!r}'
+            )
+        if not 0.0 < memory_fraction <= 1.0:
+            raise InvalidParameterError("memory_fraction must be in (0, 1]")
+        return max(1, int(available_memory_bytes() * memory_fraction))
+    if max_bytes <= 0:
+        raise InvalidParameterError("max_bytes must be > 0")
+    return int(max_bytes)
+
+
 @dataclass(frozen=True)
 class TrialPlan:
-    """How one multi-trial run is split along the trial axis.
+    """How one multi-trial run is split along the trial and query axes.
 
     ``chunk_trials`` is the largest trial count whose working set fits the
     ``max_bytes`` budget (never below one trial: a single trial's row is the
     irreducible unit of work).  ``max_bytes=None`` means one chunk.
     ``cell_bytes`` is the per-cell model the plan was sized with — the
     variant's own estimate when :func:`plan_trials` was told the variant.
+
+    ``chunk_n`` is the query-axis tile width: ``None`` means the full row
+    (the classic one-axis plan, bit-identical to the pre-tiling engine);
+    an integer switches the chunk onto the two-axis tiled execution path
+    (:mod:`repro.engine.tiled`), whose working set is ``chunk_trials ×
+    chunk_n`` cells regardless of n.
     """
 
     trials: int
@@ -134,15 +196,29 @@ class TrialPlan:
     chunk_trials: int
     max_bytes: Optional[int] = None
     cell_bytes: int = BYTES_PER_CELL
+    chunk_n: Optional[int] = None
 
     @property
     def num_chunks(self) -> int:
         return -(-self.trials // self.chunk_trials)
 
     @property
+    def tiled(self) -> bool:
+        """Whether the query axis is tiled (two-axis execution)."""
+        return self.chunk_n is not None
+
+    @property
+    def num_tiles(self) -> int:
+        """Query-axis tiles per trial chunk (1 when untiled)."""
+        if self.chunk_n is None or self.n == 0:
+            return 1
+        return -(-self.n // self.chunk_n)
+
+    @property
     def chunk_bytes(self) -> int:
         """Estimated peak working set of one chunk."""
-        return self.chunk_trials * self.n * self.cell_bytes
+        width = self.n if self.chunk_n is None else min(self.chunk_n, self.n)
+        return self.chunk_trials * width * self.cell_bytes
 
     def bounds(self) -> List[Tuple[int, int]]:
         """The [start, stop) trial ranges of every chunk, in order."""
@@ -151,36 +227,78 @@ class TrialPlan:
             for start in range(0, self.trials, self.chunk_trials)
         ]
 
+    def tile_bounds(self) -> List[Tuple[int, int]]:
+        """The [lo, hi) query ranges of every n-tile, in scan order."""
+        if self.chunk_n is None:
+            return [(0, self.n)]
+        return [
+            (lo, min(lo + self.chunk_n, self.n))
+            for lo in range(0, max(self.n, 1), self.chunk_n)
+        ]
+
 
 def plan_trials(
     trials: int,
     n: int,
-    max_bytes: Optional[int] = None,
+    max_bytes: Union[int, str, None] = None,
     variant: Optional[str] = None,
+    chunk_n: Optional[int] = None,
+    memory_fraction: float = DEFAULT_MEMORY_FRACTION,
 ) -> TrialPlan:
-    """Plan the trial chunking for a ``(trials, n)`` engine run.
+    """Plan the chunking of a ``(trials, n)`` engine run over both axes.
 
     With *variant* the chunk size is computed from that kernel's own
     bytes-per-cell estimate (Alg. 5's noise-free scan packs half again as
     many trials per chunk as a retraversal run under the same budget).
+
+    ``max_bytes`` may be ``"auto"``: the budget becomes ``memory_fraction``
+    of the machine's currently available memory (:func:`available_memory_bytes`).
+
+    The query axis is tiled only when asked (*chunk_n*) or forced: if even a
+    single full-width trial row exceeds the budget, the plan falls back to
+    ``chunk_trials=1`` with ``chunk_n = max_bytes // cell`` — the regime the
+    full AOL universe (n ≈ 2.3M) lives in.  Otherwise ``chunk_n=None`` and
+    the plan is bit-identical to the classic trial-axis-only plan.
     """
     if trials <= 0:
         raise InvalidParameterError("trials must be > 0")
     if n < 0:
         raise InvalidParameterError("n must be non-negative")
     cell = bytes_per_cell(variant)
-    if max_bytes is None:
+    budget = _resolve_budget(max_bytes, memory_fraction)
+    if chunk_n is not None:
+        if chunk_n <= 0:
+            raise InvalidParameterError("chunk_n must be > 0")
+        chunk_n = int(min(chunk_n, max(n, 1)))
+        if budget is None:
+            chunk_trials = trials
+        else:
+            chunk_trials = max(1, min(int(budget // (chunk_n * cell)), trials))
+        return TrialPlan(
+            trials=trials, n=n, chunk_trials=chunk_trials, max_bytes=budget,
+            cell_bytes=cell, chunk_n=chunk_n,
+        )
+    if budget is None:
         return TrialPlan(
             trials=trials, n=n, chunk_trials=trials, max_bytes=None, cell_bytes=cell
         )
-    if max_bytes <= 0:
-        raise InvalidParameterError("max_bytes must be > 0")
     per_trial = max(n, 1) * cell
-    chunk = int(max_bytes // per_trial)
+    chunk = int(budget // per_trial)
+    if chunk < 1:
+        # One full-width row does not fit: tile the query axis instead of
+        # silently overshooting the budget (the pre-tiling clamp-to-one-trial
+        # behavior is preserved for n so small the tile would equal the row).
+        width = max(1, min(int(budget // cell), max(n, 1)))
+        if width < max(n, 1):
+            return TrialPlan(
+                trials=trials, n=n, chunk_trials=1, max_bytes=budget,
+                cell_bytes=cell, chunk_n=width,
+            )
+        chunk = 1
     return TrialPlan(
         trials=trials,
         n=n,
         chunk_trials=max(1, min(chunk, trials)),
-        max_bytes=int(max_bytes),
+        max_bytes=budget,
         cell_bytes=cell,
     )

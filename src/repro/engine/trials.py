@@ -54,6 +54,7 @@ import numpy as np
 
 from repro.core.allocation import BudgetAllocation
 from repro.core.base import normalize_thresholds
+from repro.data.scores import ScoreSource
 from repro.engine.noise import (
     TrialRngs,
     gumbel_matrix,
@@ -231,12 +232,24 @@ class TrialBatch:
     selection: np.ndarray
     ser: np.ndarray
     fnr: np.ndarray
-    positives_mask: np.ndarray
+    positives_mask: Optional[np.ndarray]
     passes: Optional[np.ndarray] = None
     exhausted: Optional[np.ndarray] = None
 
     def positives(self, trial: int) -> np.ndarray:
-        """All positive indices of one trial (uncapped, unlike ``selection``)."""
+        """All positive indices of one trial (uncapped, unlike ``selection``).
+
+        Runs through the execution layer whose merged ``(trials, n)`` mask
+        would exceed the out-of-core size policy
+        (:data:`repro.engine.tiled.MASK_MATERIALIZE_LIMIT`) carry no
+        positives mask; use ``selection``/``num_positives``.
+        """
+        if self.positives_mask is None:
+            raise InvalidParameterError(
+                "this batch carries no positives mask: trials * n exceeds the "
+                "out-of-core mask size policy; use selection/num_positives "
+                "instead"
+            )
         return np.nonzero(self.positives_mask[trial])[0]
 
     @property
@@ -462,9 +475,10 @@ def run_trials(
     allow_non_private: bool = False,
     compute_metrics: bool = True,
     share_noise: bool = True,
-    max_bytes: Optional[int] = None,
+    max_bytes: Union[int, str, None] = None,
     parallel: Optional[str] = None,
     workers: Optional[int] = None,
+    chunk_n: Optional[int] = None,
 ) -> Union[TrialBatch, Dict[float, TrialBatch]]:
     """Run *trials* Monte-Carlo repetitions of one variant in a single pass.
 
@@ -493,12 +507,21 @@ def run_trials(
     rng:
         Seed/Generator, or a list of per-trial Generators for bit-exact
         agreement with a per-trial loop.
-    max_bytes / parallel / workers:
-        Execution knobs (see :mod:`repro.engine.exec`): ``max_bytes`` chunks
-        the trial axis so no noise block exceeds the budget;
-        ``parallel="process"`` runs the chunks on a ProcessPoolExecutor with
-        *workers* processes.  Either knob switches to per-trial derived
-        streams, making results independent of chunking and worker count.
+    max_bytes / parallel / workers / chunk_n:
+        Execution knobs (see :mod:`repro.engine.exec`): ``max_bytes`` caps
+        the working set (an int, or ``"auto"`` to target a fraction of the
+        machine's available memory) by chunking the trial axis — and, when
+        even one full-width trial row exceeds the budget, by tiling the
+        query axis too (:mod:`repro.engine.tiled`); ``chunk_n`` forces a
+        query-axis tile width explicitly.  ``parallel="process"`` runs the
+        chunks on a ProcessPoolExecutor with *workers* processes.  Any of
+        these knobs switches to per-trial derived streams, making results
+        independent of chunking, tiling, and worker count.  *answers* may
+        also be a lazy :class:`~repro.data.scores.ScoreSource` (e.g.
+        ``GeneratorScores`` for the AOL-scale universe), which routes
+        through the same execution layer; tiled runs do not support
+        ``shuffle=True`` (a per-trial permutation is itself a dense
+        (trials, n) object).
 
     SER/FNR treat *answers* as the scores being selected over (the
     selection-experiment reading); disable with ``compute_metrics=False``
@@ -509,7 +532,12 @@ def run_trials(
         require_opt_in(allow_non_private, _OPT_IN[key], "see repro.variants")
     if trials <= 0:
         raise InvalidParameterError("trials must be > 0")
-    if max_bytes is not None or parallel is not None:
+    if (
+        max_bytes is not None
+        or parallel is not None
+        or chunk_n is not None
+        or isinstance(answers, ScoreSource)
+    ):
         from repro.engine.exec import execute_trials
 
         return execute_trials(
@@ -519,7 +547,7 @@ def run_trials(
             threshold_bump_d=threshold_bump_d, max_passes=max_passes,
             allow_non_private=allow_non_private, compute_metrics=compute_metrics,
             share_noise=share_noise, max_bytes=max_bytes, parallel=parallel,
-            workers=workers,
+            workers=workers, chunk_n=chunk_n,
         )
     if not isinstance(rng, (list, tuple)):
         # One shared stream for shuffle + every noise draw (and across an

@@ -146,9 +146,37 @@ def _run_experiment_cell(payload: tuple) -> MetricSummary:
     c, ...)`` alone, so a cell computed in isolation is byte-identical to
     the same cell inside a full serial run.
     """
-    dataset, name, method, c, epsilon, trials, seed = payload
-    result = run_selection_experiment(dataset, {name: method}, [c], epsilon, trials, seed)
+    dataset, name, method, c, epsilon, trials, seed, max_bytes = payload
+    result = run_selection_experiment(
+        dataset, {name: method}, [c], epsilon, trials, seed, max_bytes=max_bytes
+    )
     return result[name].by_c[c]
+
+
+def _trial_chunks(trials: int, n: int, max_bytes) -> List[Tuple[int, int]]:
+    """[t0, t1) trial windows keeping the (chunk, n) working set budgeted.
+
+    The harness's hot allocation is the shuffled score matrix plus the
+    engine blocks behind ``run_matrix``; both scale with (trials × n), so
+    the engine's own planner sizes the windows.  ``max_bytes=None`` keeps
+    the historical single-window behavior.
+    """
+    if max_bytes is None:
+        return [(0, trials)]
+    from repro.engine.plans import plan_trials
+
+    chunk = plan_trials(trials, n, max_bytes).chunk_trials
+    return [(t0, min(t0 + chunk, trials)) for t0 in range(0, trials, chunk)]
+
+
+def _summarize(ser: np.ndarray, fnr: np.ndarray, trials: int) -> MetricSummary:
+    return MetricSummary(
+        ser_mean=float(ser.mean()),
+        ser_std=float(ser.std(ddof=1)) if trials > 1 else 0.0,
+        fnr_mean=float(fnr.mean()),
+        fnr_std=float(fnr.std(ddof=1)) if trials > 1 else 0.0,
+        trials=trials,
+    )
 
 
 def run_selection_experiment(
@@ -160,6 +188,7 @@ def run_selection_experiment(
     seed: RngLike = 0,
     parallel: Optional[str] = None,
     workers: Optional[int] = None,
+    max_bytes: Optional[int] = None,
 ) -> Dict[str, MethodResult]:
     """Run every method over every c, *trials* times each, on one dataset.
 
@@ -173,12 +202,18 @@ def run_selection_experiment(
     and mechanism streams from *seed* and its own coordinates, the fan-out
     is bit-identical to the serial loop; it requires a stateless *seed*
     (int/None) and picklable methods.
+
+    ``max_bytes`` bounds the harness working set — the (trials, n) shuffled
+    score matrix and the engine blocks behind it — by windowing the trial
+    axis.  Every shuffle and mechanism stream is derived from the *global*
+    trial index, so windowed results are byte-identical to the unwindowed
+    run (and to any other window size).
     """
     if epsilon <= 0:
         raise InvalidParameterError("epsilon must be > 0")
     if trials <= 0:
         raise InvalidParameterError("trials must be > 0")
-    scores = dataset.supports.astype(float)
+    scores = np.asarray(dataset.supports, dtype=float)
     n = scores.size
     for c in c_values:
         if int(c) >= n:
@@ -197,7 +232,7 @@ def run_selection_experiment(
                 "Generator whose state would depend on cell order"
             )
         payloads = [
-            (dataset, name, method, int(c), float(epsilon), int(trials), seed)
+            (dataset, name, method, int(c), float(epsilon), int(trials), seed, max_bytes)
             for c in c_values
             for name, method in methods.items()
         ]
@@ -205,45 +240,51 @@ def run_selection_experiment(
             _run_experiment_cell, payloads, parallel=parallel, workers=workers
         )
         for (                # noqa: B007 - unpacking documents the payload
-            _dataset, name, _method, c, _eps, _trials, _seed
+            _dataset, name, _method, c, _eps, _trials, _seed, _mb
         ), summary in zip(payloads, summaries):
             results[name].by_c[c] = summary
         return results
+    windows = _trial_chunks(trials, n, max_bytes)
     for c in c_values:
         c = int(c)
         threshold = dataset.threshold_for_c(c)
-        # One shuffle per trial, derived exactly as the per-trial loop did.
-        perms = np.stack(
-            [
-                derive_rng(seed, "shuffle", dataset.name, c, trial).permutation(n)
-                for trial in range(trials)
-            ]
-        )
-        shuffled = scores[perms]
-        for name, method in methods.items():
-            rngs = derive_rngs(seed, trials, "mech", name, dataset.name, c)
-            if isinstance(method, BatchSelectionMethod):
-                selection = method.run_matrix(shuffled, threshold, c, epsilon, rngs)
-            else:
-                picks = [
-                    np.asarray(
-                        method(shuffled[trial], threshold, c, epsilon, rngs[trial]),
-                        dtype=np.int64,
-                    )
-                    for trial in range(trials)
+        per_method: Dict[str, List[Tuple[np.ndarray, np.ndarray]]] = {
+            name: [] for name in methods
+        }
+        for t0, t1 in windows:
+            # One shuffle per trial, derived exactly as the per-trial loop
+            # did — keyed by the global trial index, so windowing is free.
+            perms = np.stack(
+                [
+                    derive_rng(seed, "shuffle", dataset.name, c, trial).permutation(n)
+                    for trial in range(t0, t1)
                 ]
-                selection = _pad_selections(picks)
-            # Metrics are computed in the shuffled frame: the selected scores
-            # (and the score multiset) are identical either way, so mapping
-            # back to original identities is not needed for SER/FNR.
-            ser, fnr = batch_selection_metrics(shuffled, selection, c, base_scores=scores)
-            results[name].by_c[c] = MetricSummary(
-                ser_mean=float(ser.mean()),
-                ser_std=float(ser.std(ddof=1)) if trials > 1 else 0.0,
-                fnr_mean=float(fnr.mean()),
-                fnr_std=float(fnr.std(ddof=1)) if trials > 1 else 0.0,
-                trials=trials,
             )
+            shuffled = scores[perms]
+            for name, method in methods.items():
+                rngs = derive_rngs(seed, t1 - t0, "mech", name, dataset.name, c, start=t0)
+                if isinstance(method, BatchSelectionMethod):
+                    selection = method.run_matrix(shuffled, threshold, c, epsilon, rngs)
+                else:
+                    picks = [
+                        np.asarray(
+                            method(shuffled[row], threshold, c, epsilon, rngs[row]),
+                            dtype=np.int64,
+                        )
+                        for row in range(t1 - t0)
+                    ]
+                    selection = _pad_selections(picks)
+                # Metrics are computed in the shuffled frame: the selected
+                # scores (and the score multiset) are identical either way,
+                # so mapping back to original identities is not needed.
+                ser, fnr = batch_selection_metrics(
+                    shuffled, selection, c, base_scores=scores
+                )
+                per_method[name].append((ser, fnr))
+        for name, parts in per_method.items():
+            ser = np.concatenate([p[0] for p in parts])
+            fnr = np.concatenate([p[1] for p in parts])
+            results[name].by_c[c] = _summarize(ser, fnr, trials)
     return results
 
 
@@ -254,6 +295,7 @@ def run_selection_sweep(
     epsilons: Sequence[float],
     trials: int,
     seed: RngLike = 0,
+    max_bytes: Optional[int] = None,
 ) -> Dict[str, Dict[float, MetricSummary]]:
     """Every method over a whole epsilon grid at fixed c, in one pass.
 
@@ -265,13 +307,15 @@ def run_selection_sweep(
     running :func:`run_selection_experiment` once per epsilon — which is
     exactly what this replaces — so sweep results are unchanged; batch
     methods just stop re-sampling their noise at every grid point (their
-    ``run_grid`` rescales one unit block per epsilon).
+    ``run_grid`` rescales one unit block per epsilon).  ``max_bytes``
+    windows the trial axis exactly as in :func:`run_selection_experiment`
+    (byte-identical results, bounded working set).
     """
     if not epsilons or any(float(e) <= 0 for e in epsilons):
         raise InvalidParameterError("epsilons must be non-empty and positive")
     if trials <= 0:
         raise InvalidParameterError("trials must be > 0")
-    scores = dataset.supports.astype(float)
+    scores = np.asarray(dataset.supports, dtype=float)
     n = scores.size
     c = int(c)
     if c >= n:
@@ -280,41 +324,46 @@ def run_selection_sweep(
         )
     eps_list = [float(e) for e in epsilons]
     threshold = dataset.threshold_for_c(c)
-    perms = np.stack(
-        [
-            derive_rng(seed, "shuffle", dataset.name, c, trial).permutation(n)
-            for trial in range(trials)
-        ]
-    )
-    shuffled = scores[perms]
     results: Dict[str, Dict[float, MetricSummary]] = {name: {} for name in methods}
-    for name, method in methods.items():
-        def make_rngs(name=name):
-            return derive_rngs(seed, trials, "mech", name, dataset.name, c)
+    acc: Dict[Tuple[str, float], List[Tuple[np.ndarray, np.ndarray]]] = {
+        (name, eps): [] for name in methods for eps in eps_list
+    }
+    for t0, t1 in _trial_chunks(trials, n, max_bytes):
+        perms = np.stack(
+            [
+                derive_rng(seed, "shuffle", dataset.name, c, trial).permutation(n)
+                for trial in range(t0, t1)
+            ]
+        )
+        shuffled = scores[perms]
+        for name, method in methods.items():
+            def make_rngs(name=name, t0=t0, t1=t1):
+                return derive_rngs(
+                    seed, t1 - t0, "mech", name, dataset.name, c, start=t0
+                )
 
-        if isinstance(method, BatchSelectionMethod):
-            grid = method.run_grid(shuffled, threshold, c, eps_list, make_rngs)
-        else:
-            grid = {}
+            if isinstance(method, BatchSelectionMethod):
+                grid = method.run_grid(shuffled, threshold, c, eps_list, make_rngs)
+            else:
+                grid = {}
+                for epsilon in eps_list:
+                    rngs = make_rngs()
+                    picks = [
+                        np.asarray(
+                            method(shuffled[row], threshold, c, epsilon, rngs[row]),
+                            dtype=np.int64,
+                        )
+                        for row in range(t1 - t0)
+                    ]
+                    grid[epsilon] = _pad_selections(picks)
             for epsilon in eps_list:
-                rngs = make_rngs()
-                picks = [
-                    np.asarray(
-                        method(shuffled[trial], threshold, c, epsilon, rngs[trial]),
-                        dtype=np.int64,
+                acc[(name, epsilon)].append(
+                    batch_selection_metrics(
+                        shuffled, grid[epsilon], c, base_scores=scores
                     )
-                    for trial in range(trials)
-                ]
-                grid[epsilon] = _pad_selections(picks)
-        for epsilon in eps_list:
-            ser, fnr = batch_selection_metrics(
-                shuffled, grid[epsilon], c, base_scores=scores
-            )
-            results[name][epsilon] = MetricSummary(
-                ser_mean=float(ser.mean()),
-                ser_std=float(ser.std(ddof=1)) if trials > 1 else 0.0,
-                fnr_mean=float(fnr.mean()),
-                fnr_std=float(fnr.std(ddof=1)) if trials > 1 else 0.0,
-                trials=trials,
-            )
+                )
+    for (name, epsilon), parts in acc.items():
+        ser = np.concatenate([p[0] for p in parts])
+        fnr = np.concatenate([p[1] for p in parts])
+        results[name][epsilon] = _summarize(ser, fnr, trials)
     return results

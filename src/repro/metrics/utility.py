@@ -29,6 +29,7 @@ __all__ = [
     "precision_recall",
     "selection_report",
     "batch_selection_metrics",
+    "metrics_from_topc",
 ]
 
 
@@ -179,7 +180,30 @@ def batch_selection_metrics(
     valid = sel >= 0
     picked = np.take_along_axis(rows, np.where(valid, sel, 0), axis=1)
     picked = np.where(valid, picked, -np.inf)
+    return metrics_from_topc(picked, valid, c, top_sum, boundary, slots_above)
 
+
+def metrics_from_topc(
+    picked: np.ndarray,
+    valid: np.ndarray,
+    c: int,
+    top_sum: float,
+    boundary: float,
+    slots_above: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(SER, FNR) from gathered selection scores plus the top-c reference.
+
+    The computational core of :func:`batch_selection_metrics`, split out so
+    the tiled engine can score selections against a streaming top-c summary
+    (:func:`repro.data.scores.topc_stats`) without ever holding the score
+    vector: *picked* is the ``(trials, k)`` matrix of selected scores
+    (``-inf`` at padded slots, *valid* marking real entries), and
+    ``(top_sum, boundary, slots_above)`` the true top-c sum, the c-th
+    highest score, and the count strictly above it.  Bit-identical to the
+    dense path — same sums in the same order, same tie-aware counting.
+    """
+    if top_sum <= 0.0:
+        raise InvalidParameterError("top-c scores must have positive sum for SER")
     sel_sum = np.where(valid[:, :c], picked[:, :c], 0.0).sum(axis=1)
     ser = np.minimum(1.0, np.maximum(0.0, 1.0 - (sel_sum / c) / (top_sum / c)))
 

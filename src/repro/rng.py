@@ -84,20 +84,29 @@ def derive_rng(rng: RngLike, *keys: Union[int, str]) -> np.random.Generator:
     return np.random.default_rng(seq)
 
 
-def derive_rngs(rng: RngLike, n: int, *keys: Union[int, str]) -> list[np.random.Generator]:
+def derive_rngs(
+    rng: RngLike, n: int, *keys: Union[int, str], start: int = 0
+) -> list[np.random.Generator]:
     """Derive *n* deterministic child generators keyed by ``(*keys, i)``.
 
     The i-th returned generator is stream-identical to
-    ``derive_rng(rng, *keys, i)``, so a batch engine drawing trial i's noise
-    from ``derive_rngs(seed, trials, ...)[i]`` reproduces bit-for-bit what a
-    per-trial loop deriving its own generator would have drawn.  The base
-    entropy is resolved once, which matters when *rng* is a ``Generator``
-    (whose state advances on every derivation).
+    ``derive_rng(rng, *keys, start + i)``, so a batch engine drawing trial
+    i's noise from ``derive_rngs(seed, trials, ...)[i]`` reproduces
+    bit-for-bit what a per-trial loop deriving its own generator would have
+    drawn.  The base entropy is resolved once, which matters when *rng* is a
+    ``Generator`` (whose state advances on every derivation).
+
+    ``start`` offsets the index keys: ``derive_rngs(seed, k, *keys,
+    start=s)`` equals ``derive_rngs(seed, s + k, *keys)[s:]`` without
+    constructing the prefix — what window-chunked executors use to derive
+    only their own trials' streams.
     """
     if n < 0:
         raise ValueError("n must be non-negative")
+    if start < 0:
+        raise ValueError("start must be non-negative")
     material = _derive_material(rng, keys)
     return [
         np.random.default_rng(np.random.SeedSequence([*material, i & 0xFFFFFFFF]))
-        for i in range(n)
+        for i in range(start, start + n)
     ]

@@ -13,6 +13,7 @@ certified on adversarial instances, not just its bookkeeping.
 
 from __future__ import annotations
 
+import json
 import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, NamedTuple, Optional
@@ -29,9 +30,10 @@ __all__ = [
     "gate_mechanism_spec",
 ]
 
-#: Record kinds: a budget spend, a database release (numeric answer), or the
-#: gate reaching its firing cutoff.
-KINDS = ("open", "spend", "release", "halt")
+#: Record kinds: a budget spend, a database release (numeric answer), the
+#: gate reaching its firing cutoff, or an eviction returning unspent budget
+#: (``epsilon`` then carries the released amount).
+KINDS = ("open", "spend", "release", "halt", "evict")
 
 
 class AuditRecord(NamedTuple):
@@ -97,6 +99,55 @@ class AuditLog:
     def __len__(self) -> int:
         return len(self._records)
 
+    # ------------------------------------------------------------------
+    # Persistence: an in-memory log is no audit trail at all.
+    # ------------------------------------------------------------------
+    def to_jsonl(self, path) -> int:
+        """Write every record as one JSON line; returns the record count.
+
+        The format is the NamedTuple's fields verbatim (``seq`` included),
+        so a replayed log is field-for-field the original and
+        :func:`verify_audit` runs on it unchanged.
+        """
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in self._records:
+                handle.write(json.dumps(record._asdict(), sort_keys=False) + "\n")
+        return len(self._records)
+
+    @classmethod
+    def replay(cls, path) -> "AuditLog":
+        """Load a :meth:`to_jsonl` file back into an append-only log.
+
+        Append-only integrity is enforced on the way in: records must carry
+        the contiguous ``seq`` numbers 0..N-1 in file order and only known
+        kinds — a truncated, reordered, or hand-edited file is rejected
+        rather than silently re-sequenced.
+        """
+        log = cls()
+        with open(path, "r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                    record = AuditRecord(**payload)
+                except (ValueError, TypeError) as exc:
+                    raise InvalidParameterError(
+                        f"{path}: line {lineno + 1} is not an audit record: {exc}"
+                    ) from None
+                if record.kind not in KINDS:
+                    raise InvalidParameterError(
+                        f"{path}: line {lineno + 1} has unknown kind {record.kind!r}"
+                    )
+                if record.seq != len(log._records):
+                    raise InvalidParameterError(
+                        f"{path}: line {lineno + 1} has seq {record.seq}, "
+                        f"expected {len(log._records)} (log not append-only?)"
+                    )
+                log._records.append(record)
+        return log
+
 
 @dataclass
 class AuditReport:
@@ -133,7 +184,10 @@ def verify_audit(log: AuditLog, sessions) -> AuditReport:
       ``epsilon * svt_fraction``;
     * at most c ``laplace-answer`` spends, each of the per-answer epsilon;
     * every spend after the gate charge pairs with a ``release`` record of
-      the same mechanism (no unaccounted releases, no phantom spends).
+      the same mechanism (no unaccounted releases, no phantom spends);
+    * an ``evict`` record, if present, is unique, terminal for its session,
+      and its released amount plus the audited spend covers the whole
+      budget (nothing silently vanishes on eviction).
     """
     if not isinstance(sessions, dict):
         sessions = {s.session_id: s for s in sessions}
@@ -184,6 +238,20 @@ def verify_audit(log: AuditLog, sessions) -> AuditReport:
                 report.violations.append(
                     f"{sid}: laplace-answer spend {r.epsilon:.6g} != "
                     f"per-answer epsilon {eps_answer:.6g}"
+                )
+        evicts = [r for r in records if r.kind == "evict"]
+        if evicts:
+            if len(evicts) > 1:
+                report.violations.append(f"{sid}: {len(evicts)} evict records (max 1)")
+            if records[-1].kind != "evict":
+                report.violations.append(
+                    f"{sid}: records appended after eviction (#{evicts[0].seq})"
+                )
+            returned = evicts[-1].epsilon
+            if returned < -_EPS_SLACK or abs(total + returned - epsilon) > _EPS_SLACK:
+                report.violations.append(
+                    f"{sid}: evict released {returned:.6g} but {total:.6g} was "
+                    f"spent of a {epsilon:.6g} budget (spend + release != budget)"
                 )
         db_releases = [r for r in releases if r.mechanism == "laplace-answer"]
         if len(db_releases) != len(answers):

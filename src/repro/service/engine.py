@@ -48,6 +48,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro.data.scores import ScoreSource
 from repro.engine.gate import gate_block
 from repro.exceptions import InvalidParameterError, ReproError
 from repro.rng import RngLike, derive_rng, ensure_rng
@@ -199,6 +200,24 @@ class _SessPending:
         return None, None, generic
 
 
+def _backend_size(backend) -> int:
+    """Item count of a session backend (dense vector or lazy source)."""
+    if backend is None:
+        return 0
+    if isinstance(backend, ScoreSource):
+        return int(backend.n)
+    return int(backend.size)
+
+
+def _backend_gather(backend, items: np.ndarray) -> np.ndarray:
+    """True supports at *items* — fancy-indexed dense, or block-grouped
+    :meth:`~repro.data.scores.ScoreSource.take` for a lazy backend (no
+    per-cohort dense copy of a 2.3M-item universe is ever pinned)."""
+    if isinstance(backend, ScoreSource):
+        return backend.take(items)
+    return backend[items]
+
+
 def _cumcount(group_ids: np.ndarray, num_groups: int):
     """Per-row ordinal within its group plus per-group counts (stable order)."""
     counts = np.bincount(group_ids, minlength=num_groups)
@@ -247,13 +266,14 @@ class ServiceEngine:
         per_session: Dict[int, _SessPending] = {}
         order: List[_SessPending] = []
         cursor = 0
-        # The shared support vector: sessions on any other backend (or with
-        # a custom estimator) take the generic path.
+        # The shared support backend (dense vector or lazy ScoreSource):
+        # sessions on any other backend (or with a custom estimator) take
+        # the generic path.
         shared_supports = None
         for entry in batch.entries:
-            supports = entry.session._supports
-            if supports is not None:
-                shared_supports = supports
+            backend = entry.session._backend
+            if backend is not None:
+                shared_supports = backend
                 break
         for entry in batch.entries:
             s = entry.session
@@ -264,7 +284,7 @@ class ServiceEngine:
                     fast_eligible=(
                         s._estimator is None
                         and shared_supports is not None
-                        and s._supports is shared_supports
+                        and s._backend is shared_supports
                     ),
                 )
                 per_session[id(s)] = record
@@ -304,10 +324,10 @@ class ServiceEngine:
         answer_scale = first.answer_scale
         num_sess = len(sessions)
         rho_by_sess = np.fromiter((s.rho for s in sessions), dtype=float, count=num_sess)
-        # *supports* is the vector fast eligibility was decided against in
-        # _normalize: every fast session satisfies ``_supports is supports``,
+        # *supports* is the backend fast eligibility was decided against in
+        # _normalize: every fast session satisfies ``_backend is supports``,
         # so gathering truths from it can never read another backend's data.
-        n_items = 0 if supports is None else supports.size
+        n_items = _backend_size(supports)
 
         # Fast rows: concatenated per-session arrays (session-contiguous,
         # submission order within each session — the only order the
@@ -340,7 +360,7 @@ class ServiceEngine:
             # the same error precedence as the streaming loop.
             f_poison = (f_items < 0) | (f_items >= n_items)
             safe_items = np.where(f_poison, 0, f_items)
-            f_truths = np.where(f_poison, 0.0, supports[safe_items])
+            f_truths = np.where(f_poison, 0.0, _backend_gather(supports, safe_items))
             f_codes = f_sess * n_items + safe_items
         else:
             f_rows = f_sess = f_items = np.empty(0, dtype=np.int64)
@@ -606,6 +626,14 @@ class SVTQueryService:
 
     def open_session(self, tenant: str, **config) -> Session:
         return self.manager.open_session(tenant, **config)
+
+    def evict(self, tenant: str) -> float:
+        """Close one tenant's session, releasing its unspent budget."""
+        return self.manager.evict(tenant)
+
+    def expire(self, now=None):
+        """Evict every TTL-elapsed session; returns the evicted tenants."""
+        return self.manager.expire(now)
 
     def submit(self, tenant: str, query: QueryLike) -> int:
         """Queue one query for the next drain; returns its ticket."""

@@ -2,32 +2,64 @@
 
 The manager owns what sessions share — the private dataset (with its
 support-vector fast path when the backend is a
-:class:`~repro.data.generators.ScoreDataset` or a plain array), the audit
-log, and the seed material from which every session's noise stream is
+:class:`~repro.data.generators.ScoreDataset`, a plain array, or a lazy
+:class:`~repro.data.scores.ScoreSource` for AOL-scale item universes), the
+audit log, and the seed material from which every session's noise stream is
 derived.  Per-session streams come from :func:`repro.rng.derive_rng` keyed
 by ``(tenant, epoch)``, so a tenant's stream never depends on *when* its
 session was opened relative to other tenants — the property that lets the
 bit-identity tests drive the same tenants through the batched service and
 through independent streaming loops.
+
+Sessions can carry a TTL (``open_session(ttl_s=...)``).  Expiry is driven
+by an injectable *clock* — deterministic in tests, ``time.monotonic`` in
+production — and :meth:`SessionManager.evict` / :meth:`expire` close the
+session, release its unspent budget back to the tenant's account through
+the ledger, and append the release to the audit log.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Union
 
 import numpy as np
 
+from repro.data.scores import ScoreSource
 from repro.exceptions import InvalidParameterError
 from repro.rng import RngLike, derive_rng
 from repro.service.audit import AuditLog
 from repro.service.session import EstimatorFn, Session
 
-__all__ = ["SessionManager"]
+__all__ = ["SessionManager", "ClosedSession"]
 
 
-def _extract_supports(dataset) -> Optional[np.ndarray]:
-    """The backend's item-support vector, when it has one."""
+@dataclass(frozen=True)
+class ClosedSession:
+    """The audit-relevant view of a session that no longer exists.
+
+    Exactly what :func:`repro.service.audit.verify_audit` needs (``epsilon``,
+    ``svt_fraction``, ``c``) plus the spend/release totals at close, so a
+    persisted audit log remains verifiable after its sessions are evicted.
+    """
+
+    session_id: str
+    tenant: str
+    epsilon: float
+    svt_fraction: float
+    c: int
+    spent: float
+    released: float
+
+
+def _extract_supports(dataset) -> Union[np.ndarray, ScoreSource, None]:
+    """The backend's item-support vector (dense or lazy), when it has one."""
+    if isinstance(dataset, ScoreSource):
+        return dataset
     supports = getattr(dataset, "supports", None)
+    if isinstance(supports, ScoreSource):
+        return supports
     if supports is None and isinstance(dataset, (np.ndarray, list, tuple)):
         supports = dataset
     if supports is None:
@@ -36,12 +68,21 @@ def _extract_supports(dataset) -> Optional[np.ndarray]:
 
 
 class SessionManager:
-    """Open, look up, and close per-tenant sessions over one shared dataset."""
+    """Open, look up, expire, and close per-tenant sessions over one dataset."""
 
-    def __init__(self, dataset, seed: RngLike = None, audit: Optional[AuditLog] = None) -> None:
+    def __init__(
+        self,
+        dataset,
+        seed: RngLike = None,
+        audit: Optional[AuditLog] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
         self._dataset = dataset
         self._supports = _extract_supports(dataset)
         self.audit = audit if audit is not None else AuditLog()
+        self._clock = clock if clock is not None else time.monotonic
+        #: Unspent epsilon returned to each tenant by evictions.
+        self.released_budget: Dict[str, float] = {}
         # Resolve the seed material once so per-session derivations are a
         # pure function of (tenant, epoch), not of open order.
         if seed is None:
@@ -51,18 +92,23 @@ class SessionManager:
         self._seed = seed
         self._sessions: Dict[str, Session] = {}
         self._epochs: Dict[str, int] = {}
+        self._closed: Dict[str, ClosedSession] = {}
 
     @property
     def dataset(self):
         return self._dataset
 
     @property
-    def supports(self) -> Optional[np.ndarray]:
+    def supports(self) -> Union[np.ndarray, ScoreSource, None]:
         return self._supports
 
     @property
     def num_items(self) -> Optional[int]:
-        return None if self._supports is None else int(self._supports.size)
+        if self._supports is None:
+            return None
+        if isinstance(self._supports, ScoreSource):
+            return int(self._supports.n)
+        return int(self._supports.size)
 
     def open_session(
         self,
@@ -75,11 +121,15 @@ class SessionManager:
         monotonic: bool = False,
         estimator: Optional[EstimatorFn] = None,
         rng: RngLike = None,
+        ttl_s: Optional[float] = None,
     ) -> Session:
         """Open a fresh session for *tenant*; its previous one (if any) ends.
 
         ``rng=None`` derives the session stream from the manager seed keyed
         by tenant and epoch; pass an explicit seed/Generator to pin it.
+        ``ttl_s`` arms the session for :meth:`expire`: once the manager
+        clock advances past ``open time + ttl_s`` the session is evicted
+        and its unspent budget released.
         """
         tenant = str(tenant)
         epoch = self._epochs.get(tenant, 0)
@@ -100,6 +150,8 @@ class SessionManager:
             tenant=tenant,
             session_id=f"{tenant}#{epoch}",
             audit=self.audit,
+            ttl_s=ttl_s,
+            opened_at=self._clock(),
         )
         self._sessions[tenant] = session
         return session
@@ -112,6 +164,63 @@ class SessionManager:
 
     def close_session(self, tenant: str) -> None:
         self._sessions.pop(str(tenant), None)
+
+    def evict(self, tenant: str) -> float:
+        """Close *tenant*'s session and release its unspent budget.
+
+        Returns the released epsilon; it is also accumulated per tenant in
+        :attr:`released_budget` (the tenant's account gets it back), and the
+        session's audit trail gains a terminal ``evict`` record.
+        """
+        tenant = str(tenant)
+        session = self.session(tenant)
+        amount = session.close(note=f"evicted tenant {tenant}")
+        del self._sessions[tenant]
+        self.released_budget[tenant] = self.released_budget.get(tenant, 0.0) + amount
+        self._closed[session.session_id] = ClosedSession(
+            session_id=session.session_id,
+            tenant=tenant,
+            epsilon=session.epsilon,
+            svt_fraction=session.svt_fraction,
+            c=session.c,
+            spent=session.ledger.spent,
+            released=amount,
+        )
+        return amount
+
+    def closed_sessions(self) -> Dict[str, ClosedSession]:
+        """Audit views of every evicted session, keyed by session id."""
+        return dict(self._closed)
+
+    def audit_sessions(self) -> Dict[str, object]:
+        """Every session the audit log may reference — live and evicted.
+
+        Feed this to :func:`repro.service.audit.verify_audit`: without the
+        closed views, spends of an evicted session would be flagged as
+        belonging to an unknown session.
+        """
+        live = {s.session_id: s for s in self._sessions.values()}
+        return {**self._closed, **live}
+
+    def total_spent(self) -> float:
+        """Epsilon spent across live *and* evicted sessions."""
+        return sum(s.ledger.spent for s in self._sessions.values()) + sum(
+            c.spent for c in self._closed.values()
+        )
+
+    def expire(self, now: Optional[float] = None) -> List[str]:
+        """Evict every session whose TTL has elapsed; returns the tenants.
+
+        *now* defaults to the manager clock — pass an explicit time for
+        deterministic replay of an eviction schedule.
+        """
+        now = self._clock() if now is None else float(now)
+        expired = [
+            tenant for tenant, s in self._sessions.items() if s.expired(now)
+        ]
+        for tenant in expired:
+            self.evict(tenant)
+        return expired
 
     def __contains__(self, tenant: str) -> bool:
         return str(tenant) in self._sessions

@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.accounting.budget import BudgetLedger
 from repro.core.allocation import BudgetAllocation
+from repro.data.scores import ScoreSource
 from repro.exceptions import InvalidParameterError, PrivacyError
 from repro.queries.base import Query
 from repro.rng import RngLike, ensure_rng
@@ -109,10 +110,12 @@ class Session:
         monotonic: bool = False,
         estimator: Optional[EstimatorFn] = None,
         rng: RngLike = None,
-        supports: Optional[np.ndarray] = None,
+        supports: Union[np.ndarray, ScoreSource, None] = None,
         tenant: str = "online",
         session_id: Optional[str] = None,
         audit: Optional[AuditLog] = None,
+        ttl_s: Optional[float] = None,
+        opened_at: Optional[float] = None,
     ) -> None:
         if not 0.0 < svt_fraction < 1.0:
             raise InvalidParameterError("svt_fraction must be in (0, 1)")
@@ -125,8 +128,24 @@ class Session:
             raise InvalidParameterError(
                 f"sensitivity must be finite and > 0, got {sensitivity!r}"
             )
+        if ttl_s is not None and float(ttl_s) <= 0.0:
+            raise InvalidParameterError("ttl_s must be > 0 (or None for no expiry)")
         self._dataset = dataset
-        self._supports = None if supports is None else np.asarray(supports, dtype=float)
+        # The item-query backend: a dense support vector, or a lazy
+        # ScoreSource (the 2.3M-item AOL regime — truths come from
+        # block/take gathers, never a resident dense copy).
+        if supports is None:
+            self._supports: Optional[np.ndarray] = None
+            self._source: Optional[ScoreSource] = None
+        elif isinstance(supports, ScoreSource):
+            self._supports = None
+            self._source = supports
+        else:
+            self._supports = np.asarray(supports, dtype=float)
+            self._source = None
+        self.ttl_s = None if ttl_s is None else float(ttl_s)
+        self.opened_at = None if opened_at is None else float(opened_at)
+        self._closed = False
         self.tenant = str(tenant)
         self.session_id = str(session_id) if session_id is not None else self.tenant
         self.audit = audit if audit is not None else AuditLog()
@@ -197,6 +216,43 @@ class Session:
         return self._rng
 
     @property
+    def _backend(self):
+        """The shared item backend (dense vector or lazy source), if any."""
+        return self._source if self._source is not None else self._supports
+
+    @property
+    def _backend_size(self) -> int:
+        if self._source is not None:
+            return int(self._source.n)
+        return 0 if self._supports is None else int(self._supports.size)
+
+    def expired(self, now: float) -> bool:
+        """Whether the session's TTL has elapsed at clock time *now*."""
+        return (
+            self.ttl_s is not None
+            and self.opened_at is not None
+            and float(now) - self.opened_at >= self.ttl_s
+        )
+
+    def close(self, note: str = "") -> float:
+        """End the session: release unspent budget, audit the release.
+
+        Returns the released epsilon (0 on a second close).  The ledger's
+        budget is shut — every further charge raises — and the session
+        rejects queries like an exhausted one.
+        """
+        if self._closed:
+            return 0.0
+        self._closed = True
+        self._halted = True
+        amount = self.ledger.release_remaining(note=note or "session closed")
+        self.audit.record(
+            self.session_id, "evict", mechanism="budget-release",
+            epsilon=amount, note=note or "session closed",
+        )
+        return amount
+
+    @property
     def cohort_key(self) -> tuple:
         """Sessions sharing this key run as one vectorized engine cohort."""
         return (
@@ -224,12 +280,15 @@ class Session:
                     f"bound {self._sensitivity}"
                 )
             return repr(query), float(query.evaluate(self._dataset))
-        if self._supports is not None and isinstance(query, (int, np.integer)):
+        if self._backend is not None and isinstance(query, (int, np.integer)):
             item = int(query)
-            if not 0 <= item < self._supports.size:
+            size = self._backend_size
+            if not 0 <= item < size:
                 raise InvalidParameterError(
-                    f"item {item} outside the backend's {self._supports.size} items"
+                    f"item {item} outside the backend's {size} items"
                 )
+            if self._source is not None:
+                return item, float(self._source.take([item])[0])
             return item, float(self._supports[item])
         raise InvalidParameterError("answer() expects a Query instance")
 

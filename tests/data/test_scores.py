@@ -1,0 +1,218 @@
+"""The lazy score layer: sources, blocks, gathers, and streaming top-c."""
+
+import numpy as np
+import pytest
+
+from repro.data.scores import (
+    DEFAULT_SCORE_TILE,
+    DenseScores,
+    GeneratorScores,
+    MemmapScores,
+    ScoreSource,
+    SourceDataset,
+    as_score_source,
+    topc_stats,
+    topc_values,
+)
+from repro.exceptions import InvalidParameterError
+
+
+@pytest.fixture()
+def arr():
+    gen = np.random.default_rng(0)
+    return np.sort(gen.pareto(1.1, 531))[::-1] * 100
+
+
+def _rank_sampler(rng, lo, hi):
+    ranks = np.arange(lo + 1, hi + 1, dtype=float)
+    return np.clip(np.rint(5_000.0 * ranks ** -0.9), 1, 50_000)
+
+
+class TestDenseScores:
+    def test_block_and_take(self, arr):
+        src = DenseScores(arr)
+        assert src.n == arr.size
+        np.testing.assert_array_equal(src.block(10, 40), arr[10:40])
+        np.testing.assert_array_equal(src.take([3, 1, 3]), arr[[3, 1, 3]])
+        np.testing.assert_array_equal(src.to_array(), arr)
+
+    def test_validation(self, arr):
+        src = DenseScores(arr)
+        with pytest.raises(InvalidParameterError):
+            src.block(-1, 5)
+        with pytest.raises(InvalidParameterError):
+            src.block(0, arr.size + 1)
+        with pytest.raises(InvalidParameterError):
+            src.take([arr.size])
+        with pytest.raises(InvalidParameterError):
+            DenseScores(arr.reshape(-1, 3))
+
+    def test_as_score_source(self, arr):
+        src = as_score_source(arr)
+        assert isinstance(src, DenseScores)
+        assert as_score_source(src) is src
+        assert as_score_source([1.0, 2.0]).n == 2
+
+
+class TestGeneratorScores:
+    def test_tiles_recomputable_and_order_independent(self):
+        """The satellite determinism guarantee: any range, any read order,
+        any internal tile width — same values."""
+        a = GeneratorScores(997, _rank_sampler, seed=4, tile=64)
+        b = GeneratorScores(997, _rank_sampler, seed=4, tile=64)
+        # Read b backwards and misaligned; a forwards.
+        forward = a.to_array()
+        backward_parts = [b.block(lo, min(lo + 37, 997)) for lo in range(962, -1, -37)]
+        backward = np.concatenate(backward_parts[::-1])
+        np.testing.assert_array_equal(forward, backward)
+        # Re-reading a range after everything else is untouched.
+        np.testing.assert_array_equal(a.block(100, 200), forward[100:200])
+
+    def test_take_matches_block(self):
+        src = GeneratorScores(500, _rank_sampler, seed=1, tile=32)
+        arr = src.to_array()
+        idx = [0, 499, 31, 32, 33, 250, 250]
+        np.testing.assert_array_equal(src.take(idx), arr[idx])
+
+    def test_power_law_matches_generators_module(self):
+        """The closed form equals power_law_supports with jitter=0."""
+        from repro.data.generators import power_law_supports
+
+        n = 1_203
+        src = GeneratorScores.power_law(
+            n, head_support=1800.0, alpha=1.05, num_records=40_000, tile=100
+        )
+        expected = power_law_supports(n, 40_000, 1800.0, 1.05, jitter=0.0)
+        np.testing.assert_array_equal(src.to_array(), expected.astype(float))
+
+    def test_seed_changes_randomized_tiles(self):
+        def noisy(rng, lo, hi):
+            return rng.random(hi - lo)
+
+        a = GeneratorScores(100, noisy, seed=1, tile=16)
+        b = GeneratorScores(100, noisy, seed=2, tile=16)
+        assert not np.array_equal(a.to_array(), b.to_array())
+        np.testing.assert_array_equal(a.to_array(), GeneratorScores(100, noisy, seed=1, tile=16).to_array())
+
+    def test_bad_sampler_shape_rejected(self):
+        src = GeneratorScores(50, lambda rng, lo, hi: np.zeros(3), tile=16)
+        with pytest.raises(InvalidParameterError):
+            src.block(0, 10)
+
+    def test_repeated_single_item_reads_hit_the_tile_cache(self):
+        """The service hot path reads one item at a time; that must not
+        regenerate the whole aligned tile per request."""
+        calls = []
+
+        def sampler(rng, lo, hi):
+            calls.append((lo, hi))
+            return np.arange(lo, hi, dtype=float)
+
+        src = GeneratorScores(1_000, sampler, tile=256)
+        for _ in range(50):
+            assert src.take([37])[0] == 37.0
+        assert len(calls) == 1  # one generation, 49 cache hits
+        assert src.take([600])[0] == 600.0
+        assert len(calls) == 2
+
+    def test_cache_not_pickled(self):
+        import pickle
+
+        src = GeneratorScores(200, _rank_sampler, tile=64)
+        src.block(0, 64)
+        clone = pickle.loads(pickle.dumps(src))
+        assert clone._cached_k is None
+        np.testing.assert_array_equal(clone.block(0, 64), src.block(0, 64))
+
+
+class TestMemmapScores:
+    def test_roundtrip(self, arr, tmp_path):
+        path = tmp_path / "scores.f64"
+        arr.tofile(path)
+        src = MemmapScores(path)
+        assert src.n == arr.size
+        np.testing.assert_array_equal(src.block(5, 50), arr[5:50])
+        np.testing.assert_array_equal(src.take([0, 2, 2]), arr[[0, 2, 2]])
+
+    def test_truncation_and_validation(self, arr, tmp_path):
+        path = tmp_path / "scores.f64"
+        arr.tofile(path)
+        src = MemmapScores(path, n=100)
+        assert src.n == 100
+        with pytest.raises(InvalidParameterError):
+            MemmapScores(path, n=arr.size + 1)
+
+    def test_blocks_are_writable_copies(self, arr, tmp_path):
+        path = tmp_path / "scores.f64"
+        arr.tofile(path)
+        block = MemmapScores(path).block(0, 10)
+        block[0] = -1.0  # a read-only memmap view would raise here
+        assert MemmapScores(path).block(0, 10)[0] == arr[0]
+
+    def test_pickles_by_path(self, arr, tmp_path):
+        import pickle
+
+        path = tmp_path / "scores.f64"
+        arr.tofile(path)
+        src = pickle.loads(pickle.dumps(MemmapScores(path)))
+        np.testing.assert_array_equal(src.block(0, 10), arr[:10])
+
+
+class TestTopC:
+    def test_matches_sort(self, arr):
+        for c in (1, 3, 25, arr.size):
+            np.testing.assert_array_equal(
+                topc_values(arr, c), np.sort(arr)[-c:]
+            )
+
+    def test_matches_sort_across_tiles(self, arr):
+        src = DenseScores(arr)
+        np.testing.assert_array_equal(
+            topc_values(src, 10, tile=17), np.sort(arr)[-10:]
+        )
+
+    def test_stats(self, arr):
+        c = 25
+        top = np.sort(arr)[-c:]
+        top_sum, boundary, slots_above = topc_stats(arr, c, tile=50)
+        assert top_sum == float(top.sum())
+        assert boundary == float(top[0])
+        assert slots_above == int(np.count_nonzero(arr > boundary))
+
+    def test_validation(self, arr):
+        with pytest.raises(InvalidParameterError):
+            topc_values(arr, 0)
+        with pytest.raises(InvalidParameterError):
+            topc_values(arr, arr.size + 1)
+
+
+class TestSourceDataset:
+    def test_matches_score_dataset_protocol(self):
+        from repro.data.generators import ScoreDataset
+
+        supports = np.sort(
+            np.clip(np.rint(3000 * np.arange(1, 301, dtype=float) ** -1.0), 1, 10_000)
+        )[::-1]
+        ref = ScoreDataset(name="ref", num_records=10_000, supports=supports.astype(np.int64))
+        ds = SourceDataset("ref", DenseScores(supports), num_records=10_000)
+        assert ds.num_items == ref.num_items
+        for c in (1, 5, 25, 299):
+            assert ds.threshold_for_c(c) == ref.threshold_for_c(c)
+        np.testing.assert_array_equal(ds.head(10), ref.head(10))
+        np.testing.assert_array_equal(
+            ds.top_c_scores(5), ref.top_c_scores(5).astype(float)
+        )
+        np.testing.assert_array_equal(ds.supports, supports)
+
+    def test_threshold_edge(self):
+        ds = SourceDataset("x", DenseScores([5.0, 3.0, 1.0]))
+        assert ds.threshold_for_c(3) == 1.0
+        assert ds.threshold_for_c(7) == 1.0
+
+
+class TestDefaultTileBounds:
+    def test_cover_once_in_order(self):
+        src = DenseScores(np.arange(10.0))
+        assert src.tile_bounds(4) == [(0, 4), (4, 8), (8, 10)]
+        assert isinstance(src, ScoreSource)
+        assert DEFAULT_SCORE_TILE > 0

@@ -8,7 +8,12 @@ from repro.engine.kernels import (
     NOCUT_NONOISE_BYTES_PER_CELL,
     THRESHOLD_BYTES_PER_CELL,
 )
-from repro.engine.plans import BYTES_PER_CELL, bytes_per_cell, plan_trials
+from repro.engine.plans import (
+    BYTES_PER_CELL,
+    available_memory_bytes,
+    bytes_per_cell,
+    plan_trials,
+)
 from repro.engine.retraversal import EM_BYTES_PER_CELL, RETRAVERSAL_BYTES_PER_CELL
 from repro.exceptions import InvalidParameterError
 
@@ -72,3 +77,67 @@ class TestVariantAwarePlans:
             plan_trials(0, 10, variant="alg1")
         with pytest.raises(InvalidParameterError):
             plan_trials(5, 10, max_bytes=0, variant="alg1")
+
+
+class TestTwoAxisPlans:
+    def test_untiled_by_default(self):
+        plan = plan_trials(16, 1_000, max_bytes=4 * 1_000 * BYTES_PER_CELL)
+        assert not plan.tiled
+        assert plan.chunk_n is None
+        assert plan.num_tiles == 1
+        assert plan.tile_bounds() == [(0, 1_000)]
+
+    def test_forced_tiling_below_one_row(self):
+        """A budget under one full-width row tiles n instead of overshooting."""
+        n, cell = 100_000, bytes_per_cell("alg1")
+        budget = 10_000 * cell
+        plan = plan_trials(8, n, max_bytes=budget, variant="alg1")
+        assert plan.tiled
+        assert plan.chunk_trials == 1
+        assert plan.chunk_n == 10_000
+        assert plan.num_tiles == 10
+        assert plan.chunk_bytes <= budget
+
+    def test_explicit_chunk_n_budgets_trials(self):
+        n, cell = 5_000, bytes_per_cell("alg1")
+        plan = plan_trials(64, n, max_bytes=6 * 500 * cell, chunk_n=500, variant="alg1")
+        assert plan.chunk_n == 500
+        assert plan.chunk_trials == 6
+        assert plan.num_tiles == 10
+        assert plan.chunk_bytes <= 6 * 500 * cell
+
+    def test_chunk_n_clamped_to_n(self):
+        plan = plan_trials(4, 100, chunk_n=10_000)
+        assert plan.chunk_n == 100
+        assert plan.num_tiles == 1
+
+    def test_tile_bounds_cover_in_order(self):
+        plan = plan_trials(4, 103, chunk_n=25)
+        bounds = plan.tile_bounds()
+        assert bounds[0] == (0, 25)
+        assert bounds[-1] == (100, 103)
+        covered = [q for lo, hi in bounds for q in range(lo, hi)]
+        assert covered == list(range(103))
+
+    def test_chunk_n_validation(self):
+        with pytest.raises(InvalidParameterError):
+            plan_trials(4, 100, chunk_n=0)
+
+
+class TestAutoBudget:
+    def test_available_memory_readable(self):
+        assert available_memory_bytes() > 0
+
+    def test_auto_targets_fraction(self, monkeypatch):
+        import repro.engine.plans as plans_mod
+
+        monkeypatch.setattr(plans_mod, "available_memory_bytes", lambda: 1_000_000)
+        plan = plan_trials(32, 100, max_bytes="auto", memory_fraction=0.25)
+        assert plan.max_bytes == 250_000
+        assert plan.chunk_trials == min(32, 250_000 // (100 * BYTES_PER_CELL))
+
+    def test_auto_validation(self):
+        with pytest.raises(InvalidParameterError):
+            plan_trials(4, 100, max_bytes="lots")
+        with pytest.raises(InvalidParameterError):
+            plan_trials(4, 100, max_bytes="auto", memory_fraction=0.0)

@@ -1,0 +1,278 @@
+"""Two-axis tiled execution: tiled must equal dense, bit for bit.
+
+The out-of-core contract: for every registry variant and every
+``(chunk_trials, chunk_n)`` grid, running over a lazy ``ScoreSource`` with
+the query axis tiled produces exactly the dense per-trial-stream result —
+selections, ``processed``/``passes``/``examined`` accounting, positives,
+SER/FNR.  Plus the planner's forced-tiling fallback, the epsilon-grid
+shared-noise path, the mask-materialization policy, and shuffle rejection.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.scores import DenseScores, GeneratorScores, MemmapScores
+from repro.engine.plans import plan_trials
+from repro.engine.trials import run_trials
+from repro.exceptions import InvalidParameterError
+from repro.rng import derive_rngs
+
+ALL_KEYS = (
+    "alg1", "alg2", "alg3", "alg4", "alg5", "alg6", "gptt", "retraversal", "em",
+)
+
+FIELDS = (
+    "selection", "processed", "halted", "num_positives", "ser", "fnr",
+    "positives_mask", "passes", "exhausted",
+)
+
+
+@pytest.fixture(scope="module")
+def scores():
+    gen = np.random.default_rng(3)
+    return np.sort(gen.pareto(1.2, 143))[::-1] * 40
+
+
+def assert_batches_equal(a, b, msg=""):
+    for field in FIELDS:
+        left, right = getattr(a, field), getattr(b, field)
+        if left is None and right is None:
+            continue
+        assert left is not None and right is not None, f"{msg}: {field} None mismatch"
+        np.testing.assert_array_equal(left, right, err_msg=f"{msg}: {field}")
+
+
+class TestTiledEqualsDense:
+    @pytest.mark.parametrize("key", ALL_KEYS)
+    @pytest.mark.parametrize("chunk_n", (1, 11, 64, 143, 500))
+    def test_bit_identical_every_variant(self, scores, key, chunk_n):
+        """The tentpole guarantee, over the whole (variant, chunk_n) grid."""
+        c, eps, trials = 4, 0.6, 7
+        kwargs = dict(
+            thresholds=float(scores[c]), allow_non_private=True, monotonic=True,
+        )
+        dense = run_trials(
+            key, scores, eps, c, trials,
+            rng=derive_rngs(2, trials, "tiled", key), **kwargs,
+        )
+        tiled = run_trials(
+            key, scores, eps, c, trials,
+            rng=derive_rngs(2, trials, "tiled", key), chunk_n=chunk_n, **kwargs,
+        )
+        assert_batches_equal(dense, tiled, f"{key} chunk_n={chunk_n}")
+
+    @pytest.mark.parametrize("key", ("alg1", "alg2", "retraversal", "em"))
+    @pytest.mark.parametrize("chunk_trials", (1, 3, 7))
+    def test_both_axes_chunked(self, scores, key, chunk_trials):
+        """chunk_trials x chunk_n grids: both axes split at once."""
+        c, eps, trials = 3, 0.5, 7
+        budget = chunk_trials * 29 * 64  # chunk_trials trials of 29-wide tiles
+        kwargs = dict(thresholds=float(scores[c]), allow_non_private=True)
+        dense = run_trials(
+            key, scores, eps, c, trials,
+            rng=derive_rngs(9, trials, "axes", key), **kwargs,
+        )
+        tiled = run_trials(
+            key, scores, eps, c, trials,
+            rng=derive_rngs(9, trials, "axes", key),
+            chunk_n=29, max_bytes=budget, **kwargs,
+        )
+        assert_batches_equal(dense, tiled, f"{key} chunk_trials={chunk_trials}")
+
+    def test_forced_tiling_when_row_exceeds_budget(self, scores):
+        """A budget below one full-width row must tile, not overshoot."""
+        plan = plan_trials(8, scores.size, max_bytes=scores.size * 8, variant="alg1")
+        assert plan.tiled and plan.chunk_trials == 1
+        a = run_trials(
+            "alg1", scores, 0.7, 3, 8, thresholds=float(scores[3]),
+            rng=6, max_bytes=scores.size * 8,
+        )
+        b = run_trials(
+            "alg1", scores, 0.7, 3, 8, thresholds=float(scores[3]),
+            rng=6, max_bytes=10**12,
+        )
+        assert_batches_equal(a, b, "forced tiling vs one chunk")
+
+    @pytest.mark.parametrize("key", ("alg1", "alg2", "alg5", "retraversal", "em"))
+    @pytest.mark.parametrize("share_noise", (True, False))
+    def test_epsilon_grid_tiled(self, scores, key, share_noise):
+        """Grid cells (shared unit noise or independent) survive tiling."""
+        c, trials = 3, 6
+        eps_grid = [0.2, 0.6, 1.1]
+        kwargs = dict(
+            thresholds=float(scores[c]), allow_non_private=True,
+            share_noise=share_noise,
+        )
+        dense = run_trials(
+            key, scores, eps_grid, c, trials,
+            rng=derive_rngs(4, trials, "grid", key), **kwargs,
+        )
+        tiled = run_trials(
+            key, scores, eps_grid, c, trials,
+            rng=derive_rngs(4, trials, "grid", key), chunk_n=17, **kwargs,
+        )
+        assert set(dense) == set(tiled)
+        for eps in eps_grid:
+            assert_batches_equal(
+                dense[eps], tiled[eps], f"{key} share={share_noise} eps={eps}"
+            )
+
+    def test_selection_sweep_grid_matches_per_epsilon_runs(self, scores):
+        """Each tiled grid cell equals the standalone tiled run (the
+        run_selection_sweep epsilon-grid guarantee on the tiled path)."""
+        c, trials = 3, 5
+        eps_grid = [0.3, 0.9]
+        grid = run_trials(
+            "alg1", scores, eps_grid, c, trials, thresholds=float(scores[c]),
+            rng=derive_rngs(11, trials, "sweep"), chunk_n=23,
+        )
+        for eps in eps_grid:
+            solo = run_trials(
+                "alg1", scores, eps, c, trials, thresholds=float(scores[c]),
+                rng=derive_rngs(11, trials, "sweep"), chunk_n=23,
+            )
+            np.testing.assert_array_equal(grid[eps].selection, solo.selection)
+            np.testing.assert_array_equal(grid[eps].ser, solo.ser)
+
+    @pytest.mark.parametrize("key", ("retraversal", "alg2"))
+    def test_work_accounting_survives_tiling(self, scores, key):
+        """examined/passes are the Section-5 work currency: exact, not close."""
+        c, trials = 5, 9
+        kwargs = dict(
+            thresholds=float(scores[c]), allow_non_private=True,
+            monotonic=True, threshold_bump_d=1.0, max_passes=7,
+        )
+        dense = run_trials(
+            key, scores, 0.4, c, trials, rng=derive_rngs(7, trials, "work", key),
+            **kwargs,
+        )
+        tiled = run_trials(
+            key, scores, 0.4, c, trials, rng=derive_rngs(7, trials, "work", key),
+            chunk_n=10, **kwargs,
+        )
+        np.testing.assert_array_equal(dense.examined, tiled.examined)
+        if dense.passes is not None:
+            np.testing.assert_array_equal(dense.passes, tiled.passes)
+            np.testing.assert_array_equal(dense.exhausted, tiled.exhausted)
+
+
+class TestScoreSources:
+    def test_generator_and_memmap_match_dense(self, scores, tmp_path):
+        """The same values through all three source kinds: same outputs."""
+        path = tmp_path / "scores.f64"
+        scores.astype(float).tofile(path)
+        dense_src = DenseScores(scores)
+        mm = MemmapScores(path)
+        runs = [
+            run_trials(
+                "alg1", src, 0.6, 4, 6, thresholds=float(scores[4]),
+                rng=derive_rngs(2, 6, "src"), chunk_n=19,
+            )
+            for src in (dense_src, mm)
+        ]
+        assert_batches_equal(runs[0], runs[1], "dense vs memmap")
+
+    def test_generator_scores_visit_order_free(self):
+        """GeneratorScores tiles derive from coordinates: a run that reads
+        them through a different tile grid sees identical scores."""
+
+        src = GeneratorScores.power_law(
+            701, head_support=900.0, alpha=1.0, num_records=30_000, tile=64
+        )
+        thr = float(src.to_array()[5])
+        a = run_trials("alg1", src, 0.5, 4, 5, thresholds=thr,
+                       rng=derive_rngs(1, 5, "gen"), chunk_n=701)
+        b = run_trials("alg1", src, 0.5, 4, 5, thresholds=thr,
+                       rng=derive_rngs(1, 5, "gen"), chunk_n=53)
+        assert_batches_equal(a, b, "tile-grid independence")
+
+    def test_score_source_routes_through_exec(self):
+        """Passing a ScoreSource (no other knobs) uses derived streams —
+        the execution layer's semantics."""
+        src = GeneratorScores.power_law(
+            200, head_support=500.0, alpha=0.9, num_records=10_000
+        )
+        thr = float(src.block(4, 5)[0])
+        via_source = run_trials("alg1", src, 0.5, 3, 4, thresholds=thr, rng=0)
+        via_exec = run_trials(
+            "alg1", src.to_array(), 0.5, 3, 4, thresholds=thr, rng=0,
+            max_bytes=10**12,
+        )
+        assert_batches_equal(via_source, via_exec, "source vs exec")
+
+
+class TestTiledPolicies:
+    def test_shuffle_rejected(self, scores):
+        with pytest.raises(InvalidParameterError):
+            run_trials(
+                "alg1", scores, 0.5, 3, 4, thresholds=float(scores[3]),
+                rng=0, chunk_n=16, shuffle=True,
+            )
+
+    def test_mask_suppressed_above_limit(self, scores, monkeypatch):
+        import repro.engine.tiled as tiled_mod
+
+        monkeypatch.setattr(tiled_mod, "MASK_MATERIALIZE_LIMIT", 10)
+        batch = run_trials(
+            "alg6", scores, 0.5, 3, 4, thresholds=float(scores[3]),
+            rng=0, chunk_n=16, allow_non_private=True,
+        )
+        assert batch.positives_mask is None
+        assert batch.num_positives.shape == (4,)
+        with pytest.raises(InvalidParameterError):
+            batch.positives(0)
+        # Cutoff metrics and accounting still exact vs the mask-bearing run.
+        monkeypatch.undo()
+        full = run_trials(
+            "alg6", scores, 0.5, 3, 4, thresholds=float(scores[3]),
+            rng=0, chunk_n=16, allow_non_private=True,
+        )
+        np.testing.assert_array_equal(batch.selection, full.selection)
+        np.testing.assert_array_equal(batch.num_positives, full.num_positives)
+        np.testing.assert_array_equal(batch.ser, full.ser)
+
+    def test_mask_limit_applies_to_total_trials(self, scores, monkeypatch):
+        """Per-chunk masks may be under the limit while their merge is not:
+        the policy must consider the merged (trials, n) height."""
+        # 3 chunks x 3 trials: each chunk is 3*143=429 cells (under a 500-
+        # cell limit) but the merged mask would be 1287 cells (over it).
+        import repro.engine.tiled as tiled_mod
+
+        monkeypatch.setattr(tiled_mod, "MASK_MATERIALIZE_LIMIT", 500)
+        tiled = run_trials(
+            "alg1", scores, 0.5, 3, 9, thresholds=float(scores[3]), rng=0,
+            chunk_n=50, max_bytes=3 * 50 * 64,
+        )
+        assert tiled.positives_mask is None
+        # Same shape through the one-axis chunked path (dense per-chunk
+        # masks dropped before the merge).
+        chunked = run_trials(
+            "alg1", scores, 0.5, 3, 9, thresholds=float(scores[3]), rng=0,
+            max_bytes=3 * scores.size * 64,
+        )
+        assert chunked.positives_mask is None
+        np.testing.assert_array_equal(tiled.num_positives, chunked.num_positives)
+
+    def test_tiled_process_backend_identical(self, scores):
+        kwargs = dict(thresholds=float(scores[3]), chunk_n=29,
+                      max_bytes=2 * 29 * 64)
+        serial = run_trials("alg1", scores, 0.7, 3, 8, rng=5, **kwargs)
+        sharded = run_trials(
+            "alg1", scores, 0.7, 3, 8, rng=5, parallel="process", workers=2,
+            **kwargs,
+        )
+        assert_batches_equal(serial, sharded, "tiled serial vs process")
+
+    def test_no_metrics_skips_topc(self):
+        """compute_metrics=False must not stream the top-c reference (c may
+        exceed n for transcript workloads)."""
+        src = DenseScores(np.array([3.0, 1.0]))
+        batch = run_trials(
+            "alg1", src, 0.5, 5, 3, thresholds=0.0, rng=0, chunk_n=1,
+            compute_metrics=False,
+        )
+        assert np.isnan(batch.ser).all()
+
+    def test_bad_chunk_n_rejected(self, scores):
+        with pytest.raises(InvalidParameterError):
+            run_trials("alg1", scores, 0.5, 3, 4, rng=0, chunk_n=0)

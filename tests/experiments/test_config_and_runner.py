@@ -119,3 +119,47 @@ class TestRunner:
             run_selection_experiment(dataset, {"o": perfect_method}, [5], 0.0, 1, 0)
         with pytest.raises(InvalidParameterError):
             run_selection_experiment(dataset, {"o": perfect_method}, [5], 0.1, 0, 0)
+
+    def test_max_bytes_windows_byte_identical(self, dataset):
+        """Trial-axis windowing may not change a single released number."""
+        from repro.experiments.interactive import _svt_s_method
+
+        def noisy(scores, threshold, c, epsilon, rng):
+            return rng.choice(scores.size, size=c, replace=False)
+
+        methods = {"svt": _svt_s_method("1:1"), "noisy": noisy}
+        whole = run_selection_experiment(dataset, methods, [5, 9], 0.2, trials=7, seed=3)
+        tiny = run_selection_experiment(
+            dataset, methods, [5, 9], 0.2, trials=7, seed=3,
+            max_bytes=2 * 100 * 48,  # two trials per window
+        )
+        for name in methods:
+            for c in (5, 9):
+                assert whole[name].by_c[c] == tiny[name].by_c[c]
+
+    def test_max_bytes_sweep_byte_identical(self, dataset):
+        from repro.experiments.interactive import _svt_s_method
+        from repro.experiments.runner import run_selection_sweep
+
+        methods = {"svt": _svt_s_method("1:c")}
+        eps = [0.1, 0.4]
+        whole = run_selection_sweep(dataset, methods, c=5, epsilons=eps, trials=6, seed=2)
+        tiny = run_selection_sweep(
+            dataset, methods, c=5, epsilons=eps, trials=6, seed=2,
+            max_bytes=3 * 100 * 48,
+        )
+        assert whole == tiny
+
+    def test_source_dataset_drives_harness(self):
+        """A lazy SourceDataset runs through the figure harness protocol."""
+        from repro.data.scores import GeneratorScores, SourceDataset
+
+        src = GeneratorScores.power_law(
+            400, head_support=900.0, alpha=1.0, num_records=20_000, tile=64
+        )
+        ds = SourceDataset("lazy", src, num_records=20_000)
+        results = run_selection_experiment(
+            ds, {"oracle": perfect_method}, [5], 0.1, trials=2, seed=0,
+            max_bytes=1 * 400 * 48,
+        )
+        assert results["oracle"].by_c[5].ser_mean == 0.0

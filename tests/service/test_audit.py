@@ -41,6 +41,65 @@ class TestAuditLog:
             AuditLog().record("s", "withdrawal")
 
 
+class TestAuditPersistence:
+    def test_jsonl_roundtrip_field_for_field(self, tmp_path):
+        session = exercised_session()
+        path = tmp_path / "audit.jsonl"
+        written = session.audit.to_jsonl(path)
+        assert written == len(session.audit)
+        replayed = AuditLog.replay(path)
+        assert list(replayed) == list(session.audit)
+
+    def test_verify_runs_on_replayed_log(self, tmp_path):
+        """The satellite guarantee: verify_audit on the replay, not just the
+        live log."""
+        session = exercised_session()
+        path = tmp_path / "audit.jsonl"
+        session.audit.to_jsonl(path)
+        live = verify_audit(session.audit, {session.session_id: session})
+        replayed = verify_audit(AuditLog.replay(path), {session.session_id: session})
+        assert live.ok and replayed.ok
+        assert replayed.spend_by_session == live.spend_by_session
+
+    def test_replay_rejects_reordered_log(self, tmp_path):
+        session = exercised_session()
+        path = tmp_path / "audit.jsonl"
+        session.audit.to_jsonl(path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[::-1]) + "\n")
+        with pytest.raises(InvalidParameterError):
+            AuditLog.replay(path)
+
+    def test_replay_rejects_garbage_and_unknown_kinds(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(InvalidParameterError):
+            AuditLog.replay(path)
+        path.write_text(
+            '{"seq": 0, "session": "s", "kind": "bribe", "mechanism": "", '
+            '"epsilon": 0.0, "value": null, "note": ""}\n'
+        )
+        with pytest.raises(InvalidParameterError):
+            AuditLog.replay(path)
+
+    def test_replay_skips_blank_lines(self, tmp_path):
+        session = exercised_session()
+        path = tmp_path / "audit.jsonl"
+        session.audit.to_jsonl(path)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(AuditLog.replay(path)) == len(session.audit)
+
+    def test_evicted_session_roundtrip_verifies(self, tmp_path):
+        session = exercised_session(epsilon=5.0, c=4)
+        session.close(note="ttl elapsed")
+        path = tmp_path / "audit.jsonl"
+        session.audit.to_jsonl(path)
+        replayed = AuditLog.replay(path)
+        report = verify_audit(replayed, {session.session_id: session})
+        assert report.ok, report.violations
+        assert list(replayed)[-1].kind == "evict"
+
+
 class TestVerifyAudit:
     def test_clean_session_passes(self):
         session = exercised_session()

@@ -1,0 +1,215 @@
+"""Session TTL/eviction and the lazy ScoreSource service backend."""
+
+import numpy as np
+import pytest
+
+from repro.data.scores import DenseScores, GeneratorScores
+from repro.exceptions import BudgetExhaustedError, InvalidParameterError, PrivacyError
+from repro.service import SVTQueryService, SessionManager, verify_audit
+
+
+@pytest.fixture()
+def supports():
+    return np.sort(np.random.default_rng(0).integers(1, 2_000, 400))[::-1].astype(float)
+
+
+class _Clock:
+    """A deterministic, manually-advanced clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def _open(manager, tenant, ttl_s=None, c=3, epsilon=1.0):
+    return manager.open_session(
+        tenant, epsilon=epsilon, error_threshold=50.0, c=c, ttl_s=ttl_s
+    )
+
+
+class TestEviction:
+    def test_evict_releases_unspent_budget(self, supports):
+        clock = _Clock()
+        manager = SessionManager(supports, seed=1, clock=clock)
+        session = _open(manager, "a", c=4, epsilon=1.0)
+        # Burn one database access, then evict.
+        spent_before = session.ledger.spent
+        for item in range(40):
+            session.answer(item)
+            if session.database_accesses:
+                break
+        released = manager.evict("a")
+        assert released == pytest.approx(session.ledger.budget.total - session.ledger.spent)
+        assert released > 0.0
+        assert manager.released_budget["a"] == pytest.approx(released)
+        assert session.ledger.released == pytest.approx(released)
+        assert spent_before <= session.ledger.spent <= 1.0
+        # The session is over: no lookups, no queries, no charges.
+        assert "a" not in manager
+        with pytest.raises(InvalidParameterError):
+            manager.session("a")
+        with pytest.raises(PrivacyError):
+            session.answer(0)
+        with pytest.raises(BudgetExhaustedError):
+            session.ledger.charge("laplace-answer", 1e-6)
+
+    def test_evict_is_idempotent_at_session_level(self, supports):
+        manager = SessionManager(supports, seed=2, clock=_Clock())
+        session = _open(manager, "a")
+        first = manager.evict("a")
+        assert first > 0.0
+        assert session.close() == 0.0  # second close releases nothing
+
+    def test_evicted_audit_trail_verifies(self, supports):
+        clock = _Clock()
+        manager = SessionManager(supports, seed=3, clock=clock)
+        session = _open(manager, "a", ttl_s=10.0, c=3)
+        for item in range(20):
+            session.answer(item)
+            if session.database_accesses >= 1:
+                break
+        clock.now = 10.0
+        assert manager.expire() == ["a"]
+        records = manager.audit.for_session(session.session_id)
+        assert records[-1].kind == "evict"
+        assert records[-1].epsilon == pytest.approx(session.ledger.released)
+        report = verify_audit(manager.audit, {session.session_id: session})
+        assert report.ok, report.violations
+
+    def test_audit_verifiable_after_session_object_is_gone(self, supports):
+        """The manager keeps a ClosedSession view so a persisted log stays
+        verifiable once the evicted Session object is unreachable."""
+        clock = _Clock()
+        manager = SessionManager(supports, seed=31, clock=clock)
+        session = _open(manager, "a", ttl_s=1.0, c=3, epsilon=2.0)
+        sid = session.session_id
+        for item in range(20):
+            session.answer(item)
+            if session.database_accesses >= 1:
+                break
+        clock.now = 1.0
+        manager.expire()
+        _open(manager, "b")  # a live session alongside the closed view
+        del session
+        views = manager.audit_sessions()
+        assert sid in views and "b#0" in views
+        closed = manager.closed_sessions()[sid]
+        assert closed.epsilon == 2.0 and closed.c == 3
+        assert closed.spent + closed.released == pytest.approx(2.0)
+        assert manager.total_spent() == pytest.approx(
+            closed.spent + manager.session("b").ledger.spent
+        )
+        report = verify_audit(manager.audit, views)
+        assert report.ok, report.violations
+
+    def test_spends_after_evict_flagged(self, supports):
+        manager = SessionManager(supports, seed=4, clock=_Clock())
+        session = _open(manager, "a")
+        manager.evict("a")
+        # Forge a post-eviction audit record: the replayer must flag it.
+        manager.audit.record(session.session_id, "spend", mechanism="laplace-answer",
+                             epsilon=0.1)
+        report = verify_audit(manager.audit, {session.session_id: session})
+        assert not report.ok
+        assert any("after eviction" in v for v in report.violations)
+
+
+class TestExpiry:
+    def test_ttl_deterministic_clock(self, supports):
+        clock = _Clock()
+        manager = SessionManager(supports, seed=5, clock=clock)
+        _open(manager, "short", ttl_s=5.0)
+        _open(manager, "long", ttl_s=50.0)
+        _open(manager, "forever")  # no TTL
+        clock.now = 4.999
+        assert manager.expire() == []
+        clock.now = 5.0
+        assert manager.expire() == ["short"]
+        clock.now = 49.0
+        assert manager.expire() == []
+        clock.now = 1e9
+        assert manager.expire() == ["long"]  # "forever" never expires
+        assert "forever" in manager
+
+    def test_expire_with_explicit_now(self, supports):
+        clock = _Clock()
+        manager = SessionManager(supports, seed=6, clock=clock)
+        _open(manager, "a", ttl_s=2.0)
+        assert manager.expire(now=1.0) == []
+        assert manager.expire(now=2.0) == ["a"]
+
+    def test_reopen_after_expiry_gets_new_epoch_stream(self, supports):
+        clock = _Clock()
+        manager = SessionManager(supports, seed=7, clock=clock)
+        first = _open(manager, "a", ttl_s=1.0)
+        clock.now = 1.0
+        manager.expire()
+        second = _open(manager, "a")
+        assert second.session_id != first.session_id
+        assert second.rho != first.rho  # fresh derived stream
+
+    def test_bad_ttl_rejected(self, supports):
+        manager = SessionManager(supports, seed=8, clock=_Clock())
+        with pytest.raises(InvalidParameterError):
+            _open(manager, "a", ttl_s=0.0)
+
+    def test_service_facade_expiry(self, supports):
+        clock = _Clock()
+        service = SVTQueryService(supports, seed=9)
+        service.manager._clock = clock  # inject after construction
+        service.open_session("t", epsilon=1.0, error_threshold=50.0, c=3, ttl_s=3.0)
+        clock.now = 3.0
+        assert service.expire() == ["t"]
+        assert service.manager.released_budget["t"] > 0.0
+
+
+class TestLazyBackend:
+    def test_score_source_backend_serves_item_queries(self, supports):
+        src = DenseScores(supports)
+        service = SVTQueryService(src, seed=11, mode="per-session")
+        service.open_session("t", epsilon=1.0, error_threshold=50.0, c=3)
+        streaming = SVTQueryService(supports, seed=11, mode="per-session")
+        streaming.open_session("t", epsilon=1.0, error_threshold=50.0, c=3)
+        # Same derived streams, same truths -> identical served values.
+        for item in (0, 5, 17, 399):
+            a = service.answer("t", item)
+            b = streaming.answer("t", item)
+            assert a.value == b.value
+            assert a.from_history == b.from_history
+
+    def test_batched_drain_over_lazy_source(self, supports):
+        src = DenseScores(supports)
+        lazy = SVTQueryService(src, seed=12, mode="shared")
+        dense = SVTQueryService(supports, seed=12, mode="shared")
+        for svc in (lazy, dense):
+            for t in ("a", "b"):
+                svc.open_session(t, epsilon=1.0, error_threshold=50.0, c=3)
+            for t in ("a", "b"):
+                svc.submit_many(t, np.arange(30))
+        r_lazy, r_dense = lazy.drain(), dense.drain()
+        np.testing.assert_array_equal(r_lazy.ok, r_dense.ok)
+        np.testing.assert_array_equal(r_lazy.values, r_dense.values)
+        np.testing.assert_array_equal(r_lazy.from_history, r_dense.from_history)
+
+    def test_generator_backend_never_materializes(self):
+        """A generator-backed universe serves without a dense copy."""
+        src = GeneratorScores.power_law(
+            100_000, head_support=5_000.0, alpha=1.0, num_records=500_000, tile=4_096
+        )
+        service = SVTQueryService(src, seed=13)
+        service.open_session("t", epsilon=1.0, error_threshold=100.0, c=4)
+        service.submit_many("t", np.array([0, 50_000, 99_999]))
+        result = service.drain()
+        assert result.ok.all()
+        assert service.manager.num_items == 100_000
+
+    def test_out_of_range_item_rejected_on_lazy_backend(self):
+        src = GeneratorScores.power_law(50, 100.0, 1.0, 1_000)
+        service = SVTQueryService(src, seed=14)
+        service.open_session("t", epsilon=1.0, error_threshold=10.0, c=2)
+        service.submit("t", 50)
+        result = service.drain()
+        assert not result.ok[0]
+        assert "outside the backend's 50 items" in result.errors[0]

@@ -160,6 +160,27 @@ class TestServe:
         assert "bad request line" in captured.err
         assert captured.out.count("\n") == 1
 
+    def test_serve_persists_audit_log(self, scores_file, capsys, monkeypatch, tmp_path):
+        import io
+
+        from repro.service.audit import AuditLog
+
+        audit_path = tmp_path / "audit.jsonl"
+        monkeypatch.setattr("sys.stdin", io.StringIO("alice 0\nbob 1\n"))
+        code = main(
+            [
+                "serve", str(scores_file), "--threshold", "600", "--seed", "5",
+                "--audit-log", str(audit_path),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "audit log:" in captured.err
+        replayed = AuditLog.replay(audit_path)
+        assert len(replayed) > 0
+        sessions = {r.session for r in replayed}
+        assert {"alice#0", "bob#0"} <= sessions
+
 
 class TestLoadTest:
     def test_load_test_records_metrics(self, tmp_path, capsys):

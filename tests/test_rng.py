@@ -76,3 +76,28 @@ class TestDeriveRng:
         a = derive_rng(0, 1, 2, 3).integers(0, 2**63)
         b = derive_rng(0, 1, 2, 3).integers(0, 2**63)
         assert a == b
+
+
+class TestDeriveRngsRanged:
+    def test_start_equals_sliced_full_list(self):
+        from repro.rng import derive_rngs
+
+        full = derive_rngs(7, 10, "mech", "svt")
+        window = derive_rngs(7, 4, "mech", "svt", start=3)
+        for a, b in zip(full[3:7], window):
+            assert a.integers(0, 2**63) == b.integers(0, 2**63)
+
+    def test_start_matches_derive_rng_keys(self):
+        from repro.rng import derive_rng, derive_rngs
+
+        window = derive_rngs(5, 2, "k", start=8)
+        assert window[0].integers(0, 2**63) == derive_rng(5, "k", 8).integers(0, 2**63)
+        assert window[1].integers(0, 2**63) == derive_rng(5, "k", 9).integers(0, 2**63)
+
+    def test_negative_start_raises(self):
+        import pytest
+
+        from repro.rng import derive_rngs
+
+        with pytest.raises(ValueError):
+            derive_rngs(0, 2, start=-1)
