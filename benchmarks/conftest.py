@@ -44,8 +44,8 @@ def emit(title: str, body: str) -> None:
 
 def pytest_sessionfinish(session, exitstatus):
     """Flush recorded measurements to the BENCH_*.json artifacts."""
-    from benchmarks.record import flush, flush_outofcore, flush_service
+    from benchmarks.record import flush, flush_outofcore, flush_server, flush_service
 
-    for path in (flush(), flush_service(), flush_outofcore()):
+    for path in (flush(), flush_service(), flush_outofcore(), flush_server()):
         if path:
             print(f"\nbenchmark record written: {path}")

@@ -40,22 +40,27 @@ __all__ = [
     "record",
     "record_service",
     "record_outofcore",
+    "record_server",
     "flush",
     "flush_service",
     "flush_outofcore",
+    "flush_server",
     "peak_rss_kb",
     "DEFAULT_PATH",
     "DEFAULT_SERVICE_PATH",
     "DEFAULT_OUTOFCORE_PATH",
+    "DEFAULT_SERVER_PATH",
 ]
 
 DEFAULT_PATH = os.path.join(os.path.dirname(__file__), "BENCH_engine.json")
 DEFAULT_SERVICE_PATH = os.path.join(os.path.dirname(__file__), "BENCH_service.json")
 DEFAULT_OUTOFCORE_PATH = os.path.join(os.path.dirname(__file__), "BENCH_outofcore.json")
+DEFAULT_SERVER_PATH = os.path.join(os.path.dirname(__file__), "BENCH_server.json")
 
 _RESULTS: Dict[str, dict] = {}
 _SERVICE_RESULTS: Dict[str, dict] = {}
 _OUTOFCORE_RESULTS: Dict[str, dict] = {}
+_SERVER_RESULTS: Dict[str, dict] = {}
 
 
 def peak_rss_kb() -> int:
@@ -88,6 +93,12 @@ def record_outofcore(name: str, **fields) -> None:
     does not pollute the memory-cap evidence.
     """
     _OUTOFCORE_RESULTS[str(name)] = dict(fields)
+
+
+def record_server(name: str, **fields) -> None:
+    """Record one concurrent-server bench measurement (req/s, shed rate,
+    latency percentiles vs the closed-loop baseline)."""
+    _SERVER_RESULTS[str(name)] = {**fields, "peak_rss_kb": peak_rss_kb()}
 
 
 def _write(results: Dict[str, dict], path: str) -> str:
@@ -135,4 +146,16 @@ def flush_outofcore(path: Optional[str] = None) -> Optional[str]:
     return _write(
         _OUTOFCORE_RESULTS,
         path or os.environ.get("REPRO_BENCH_RECORD_OUTOFCORE") or DEFAULT_OUTOFCORE_PATH,
+    )
+
+
+def flush_server(path: Optional[str] = None) -> Optional[str]:
+    """Write the concurrent-server results (req/s, shed rate, p50/p99,
+    closed-loop ratio) to ``BENCH_server.json`` (or
+    ``REPRO_BENCH_RECORD_SERVER`` / *path*)."""
+    if not _SERVER_RESULTS:
+        return None
+    return _write(
+        _SERVER_RESULTS,
+        path or os.environ.get("REPRO_BENCH_RECORD_SERVER") or DEFAULT_SERVER_PATH,
     )

@@ -1,0 +1,330 @@
+"""E10 — concurrent TCP ingestion vs the PR 3 closed-loop drain.
+
+Not a paper artifact: this bench guards the runtime's reason to exist.  The
+same 256-tenant Zipf workload that anchors ``BENCH_service.json`` is served
+two ways:
+
+* **closed loop** — the PR 3 baseline: one thread alternating submit-window
+  and drain (``run_batched``), no wire, no concurrency;
+* **concurrent server** — ``RuntimeServer`` on localhost TCP with **8
+  concurrent clients**, each owning a disjoint tenant slice and pipelining
+  base64-packed ``query_block`` windows (the wire analog of the batcher's
+  array lane).  Request payloads are pre-serialized and responses parsed
+  after the clock stops, so the timed region measures the *server*: frame
+  parse, admission, batched drain, response encode.
+
+Two enforced bars:
+
+* **>= 1x the PR 3 closed-loop number** — the server must sustain the
+  throughput PR 3 recorded for its closed loop (the ``batched``
+  requests_per_sec committed in ``BENCH_service.json``); achieved ~1.05x
+  (recorded per run in ``BENCH_server.json``), enforced with a
+  noise-absorbing floor via ``REPRO_MIN_PR3_RATIO``.
+* **the wire tax is bounded** — against a *live* re-measured closed loop
+  (same machine, same instant) the server must hold
+  ``REPRO_MIN_SERVER_RATIO`` (default 0.6): frame parse, response encode,
+  and socket syscalls are real costs the in-process loop never pays, and
+  this bound keeps them from growing unnoticed.
+
+``BENCH_server.json`` records req/s, both ratios, shed rate, and
+client-observed p50/p99 window latency.
+"""
+
+import asyncio
+import base64
+import json
+import os
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from benchmarks.record import record_server
+from repro.service import SVTQueryService, WorkloadSpec, generate_workload
+from repro.service.runtime import RuntimeServer, ServerConfig
+from repro.service.workload import run_batched
+
+TENANTS = 256
+CLIENTS = 8
+REQUESTS = int(os.environ.get("REPRO_BENCH_SERVER_REQUESTS", "200000"))
+CLIENT_WINDOW = 32_768  # deep pipeline: a client streams its whole slice
+BATCH_WINDOW = 16_384  # the closed-loop baseline's submit window
+#: Floor on server req/s as a fraction of the LIVE closed-loop measurement
+#: (the wire tax bound; see module docstring).
+MIN_RATIO = float(os.environ.get("REPRO_MIN_SERVER_RATIO", "0.6"))
+#: Floor on server req/s as a fraction of the PR 3 recorded closed-loop
+#: number.  The achieved ratio (~1.05x on the canonical machine, i.e. the
+#: acceptance bar's >= 1x) is recorded in BENCH_server.json; the *enforced*
+#: floor sits below it because this compares a live measurement against a
+#: committed absolute number — ambient machine load moves it ~20%.  CI
+#: smoke lowers it further (the record was not made on that hardware).
+MIN_PR3_RATIO = float(os.environ.get("REPRO_MIN_PR3_RATIO", "0.75"))
+
+
+def pr3_closed_loop_rps():
+    """The closed-loop req/s recorded by the PR 3 service bench, if present."""
+    path = os.path.join(os.path.dirname(__file__), "BENCH_service.json")
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            record = json.load(handle)
+        return float(record["results"]["zipf-256"]["batched"]["requests_per_sec"])
+    except (OSError, KeyError, ValueError):
+        return None
+
+SPEC = WorkloadSpec(
+    tenants=TENANTS,
+    requests=REQUESTS,
+    dataset="Zipf",
+    dataset_scale=0.05,
+    threshold_factor=0.8,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_workload(SPEC, rng=0)
+
+
+class ServerHarness:
+    """Run one RuntimeServer's event loop on a dedicated thread."""
+
+    def __init__(self, supports, config: ServerConfig) -> None:
+        self.server = RuntimeServer(supports, config)
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        await self.server.serve_tcp("127.0.0.1", 0)
+        self.address = self.server.tcp_address
+        self._ready.set()
+        await self._stop.wait()
+        await self.server.shutdown()
+
+    def __enter__(self):
+        self._thread.start()
+        assert self._ready.wait(timeout=10.0), "server failed to start"
+        return self
+
+    def __exit__(self, *exc):
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=30.0)
+
+
+def build_client_windows(workload, tenants_of_client):
+    """Pre-serialized request windows for one client's tenant slice.
+
+    Each window covers up to CLIENT_WINDOW of the client's requests in trace
+    order, grouped into per-tenant ``query_block`` lines (stable grouping,
+    so every tenant's stream order is the trace order).  Returns
+    ``[(payload_bytes, line_count, request_count), ...]``.
+    """
+    mask = np.isin(workload.tenants, tenants_of_client)
+    tenants = workload.tenants[mask]
+    items = workload.items[mask]
+    windows = []
+    for lo in range(0, tenants.size, CLIENT_WINDOW):
+        hi = min(lo + CLIENT_WINDOW, tenants.size)
+        order = np.argsort(tenants[lo:hi], kind="stable")
+        sorted_tenants = tenants[lo:hi][order]
+        sorted_items = items[lo:hi][order]
+        bounds = np.flatnonzero(np.diff(sorted_tenants)) + 1
+        starts = [0, *bounds.tolist(), sorted_tenants.size]
+        lines = []
+        for a, b in zip(starts[:-1], starts[1:]):
+            block = sorted_items[a:b].astype("<i8")
+            lines.append(
+                json.dumps(
+                    {
+                        "op": "query_block",
+                        "tenant": workload.tenant_name(sorted_tenants[a]),
+                        "items_b64": base64.b64encode(block.tobytes()).decode(),
+                        "bin": True,
+                    },
+                    separators=(",", ":"),
+                ).encode()
+                + b"\n"
+            )
+        windows.append((b"".join(lines), len(lines), hi - lo))
+    return windows
+
+
+def drive_client(address, opens, windows, results, barrier, index):
+    """Open this client's sessions, sync on the barrier, then stream the
+    pre-built windows; collects raw response bytes + window latencies.
+
+    Responses are read as raw lines and parsed after the clock stops, so
+    the timed region bills the server, not client-side JSON decoding.
+    """
+    raw_responses = []
+    latencies = []
+    with socket.create_connection(address) as sock:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        stream = sock.makefile("rwb", buffering=1 << 20)
+        # Warm-up (off the clock, like the closed loop's session pre-open):
+        # explicit "open" ops so no drain pays the auto-open cost.
+        stream.write(opens)
+        stream.flush()
+        for _ in range(opens.count(b"\n")):
+            assert b'"opened"' in stream.readline()
+        barrier.wait()
+        for payload, line_count, _requests in windows:
+            t0 = time.perf_counter()
+            stream.write(payload)
+            stream.flush()
+            got = [stream.readline() for _ in range(line_count)]
+            latencies.append((time.perf_counter() - t0) * 1e3)
+            raw_responses.extend(got)
+    results[index] = (raw_responses, latencies)
+
+
+def run_server_trial(workload):
+    config = ServerConfig(
+        epsilon=SPEC.epsilon,
+        error_threshold=workload.error_threshold,
+        c=SPEC.c,
+        svt_fraction=SPEC.svt_fraction,
+        mode="shared",
+        seed=1,
+        window=BATCH_WINDOW,
+        # Cap drains at the closed loop's window: bigger drains lose engine
+        # cache locality (a 200k-row pass's arrays fall out of L2).
+        max_window=BATCH_WINDOW,
+        min_window=4096,
+        max_queue=1 << 18,
+        adaptive=True,
+        target_drain_ms=50.0,
+        drain_idle_s=0.0005,
+    )
+    slices = [
+        [t for t in range(TENANTS) if t % CLIENTS == cid] for cid in range(CLIENTS)
+    ]
+    per_client = [build_client_windows(workload, np.array(s)) for s in slices]
+    opens_per_client = [
+        b"".join(
+            json.dumps(
+                {
+                    "op": "open",
+                    "tenant": workload.tenant_name(t),
+                    "epsilon": SPEC.epsilon,
+                    "threshold": workload.error_threshold,
+                    "c": SPEC.c,
+                    "svt_fraction": SPEC.svt_fraction,
+                },
+                separators=(",", ":"),
+            ).encode()
+            + b"\n"
+            for t in tenant_slice
+        )
+        for tenant_slice in slices
+    ]
+    total_requests = sum(r for windows in per_client for _, _, r in windows)
+    assert total_requests == workload.num_requests
+
+    with ServerHarness(workload.supports, config) as harness:
+        results = [None] * CLIENTS
+        barrier = threading.Barrier(CLIENTS + 1)
+        threads = [
+            threading.Thread(
+                target=drive_client,
+                args=(
+                    harness.address, opens_per_client[cid], per_client[cid],
+                    results, barrier, cid,
+                ),
+            )
+            for cid in range(CLIENTS)
+        ]
+        for t in threads:
+            t.start()
+        barrier.wait()  # all sessions open; the serving phase starts now
+        start = time.perf_counter()
+        for t in threads:
+            t.join()
+        duration = time.perf_counter() - start
+    # Snapshot after graceful shutdown: the drain loop's trailing counter
+    # updates may still be in flight when the last response reaches a client.
+    snapshot = harness.server.snapshot()
+
+    # Validate off the clock: every block answered, payloads well-formed.
+    answered = 0
+    latencies = []
+    for raw, window_latencies in results:
+        latencies.extend(window_latencies)
+        for line in raw:
+            response = json.loads(line)
+            assert response["type"] == "answers", response
+            answered += response["count"]
+            assert "values_b64" in response
+    assert answered == total_requests
+    assert snapshot["counters"]["answered_total"] + snapshot["counters"][
+        "rejected_total"
+    ] == total_requests
+    return {
+        "duration_s": duration,
+        "requests_per_sec": total_requests / duration,
+        "latency_p50_ms": float(np.percentile(latencies, 50)),
+        "latency_p99_ms": float(np.percentile(latencies, 99)),
+        "shed_rate": snapshot["shed_rate"],
+        "drains": snapshot["counters"]["drains_total"],
+        "drain_p99_ms": snapshot["histograms"]["drain_latency_ms"]["p99"],
+        "final_window": snapshot["gauges"]["drain_window"],
+    }
+
+
+def test_server_vs_closed_loop(workload):
+    """8 concurrent TCP clients must sustain the closed-loop throughput."""
+
+    def closed_loop():
+        service = SVTQueryService(workload.supports, seed=1)
+        return run_batched(
+            service, workload, batch_size=BATCH_WINDOW, session_seed=1
+        )
+
+    baseline = min((closed_loop() for _ in range(3)), key=lambda s: s.duration_s)
+    trial = min((run_server_trial(workload) for _ in range(3)), key=lambda t: t["duration_s"])
+    ratio = trial["requests_per_sec"] / baseline.requests_per_sec
+    pr3_rps = pr3_closed_loop_rps()
+    pr3_ratio = trial["requests_per_sec"] / pr3_rps if pr3_rps else None
+
+    emit(
+        "Concurrent server vs closed loop — 256-tenant Zipf, 8 TCP clients",
+        f"closed loop: {baseline.requests_per_sec:>12,.0f} req/s   "
+        f"server: {trial['requests_per_sec']:>12,.0f} req/s   ratio {ratio:.2f}x\n"
+        + (
+            f"PR 3 recorded closed loop: {pr3_rps:,.0f} req/s   "
+            f"server/PR3 ratio {pr3_ratio:.2f}x\n"
+            if pr3_ratio
+            else ""
+        )
+        + f"shed rate {trial['shed_rate']:.2%}   drains {trial['drains']}   "
+        f"drain p99 {trial['drain_p99_ms']:.1f} ms   "
+        f"window latency p50/p99 {trial['latency_p50_ms']:.1f}/"
+        f"{trial['latency_p99_ms']:.1f} ms\n"
+        f"({REQUESTS} requests, {CLIENTS} clients, client window {CLIENT_WINDOW}, "
+        f"adaptive drain window -> {trial['final_window']:.0f})",
+    )
+    record_server(
+        "zipf-256-tcp8",
+        requests=REQUESTS,
+        clients=CLIENTS,
+        requests_per_sec=round(trial["requests_per_sec"], 1),
+        closed_loop_requests_per_sec=round(baseline.requests_per_sec, 1),
+        ratio=round(ratio, 3),
+        pr3_closed_loop_requests_per_sec=pr3_rps,
+        pr3_ratio=round(pr3_ratio, 3) if pr3_ratio else None,
+        shed_rate=trial["shed_rate"],
+        latency_p50_ms=round(trial["latency_p50_ms"], 3),
+        latency_p99_ms=round(trial["latency_p99_ms"], 3),
+        drain_p99_ms=trial["drain_p99_ms"],
+        drains=trial["drains"],
+    )
+    assert ratio >= MIN_RATIO
+    if pr3_ratio is not None:
+        assert pr3_ratio >= MIN_PR3_RATIO

@@ -8,7 +8,7 @@ interactive substrate uses to demonstrate the iterative-construction pattern
 (spend only on hard queries).
 """
 
-from repro.accounting.budget import BudgetLedger, LedgerEntry, PrivacyBudget
+from repro.accounting.budget import BudgetLedger, BudgetPool, LedgerEntry, PrivacyBudget
 from repro.accounting.composition import (
     advanced_composition_epsilon,
     basic_composition,
@@ -19,6 +19,7 @@ from repro.accounting.composition import (
 __all__ = [
     "PrivacyBudget",
     "BudgetLedger",
+    "BudgetPool",
     "LedgerEntry",
     "basic_composition",
     "advanced_composition_epsilon",

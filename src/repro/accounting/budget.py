@@ -3,12 +3,13 @@
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional
 
 from repro.exceptions import BudgetExhaustedError, InvalidParameterError
 
-__all__ = ["PrivacyBudget", "LedgerEntry", "BudgetLedger"]
+__all__ = ["PrivacyBudget", "LedgerEntry", "BudgetLedger", "BudgetPool"]
 
 # Spends are validated against the remaining budget with a small absolute
 # slack so that splitting eps into parts that sum back to eps (e.g.
@@ -157,3 +158,78 @@ class BudgetLedger:
 
     def __len__(self) -> int:
         return len(self.entries)
+
+
+class BudgetPool:
+    """A tenant-level epsilon allowance funding many per-lane budgets.
+
+    A multi-budget tenant doesn't get ``lanes × epsilon`` for free: every
+    lane's whole budget is *drawn* from one finite pool when the lane opens
+    (worst-case sequential composition — the lane may spend it all), and
+    whatever a closed lane never spent is *refunded*.  The pool is the
+    tenant's true total exposure: ``drawn - refunded <= total`` at all
+    times, no matter how many lanes opened and closed.
+
+    Thread-safe: the concurrent runtime opens and evicts lanes from the
+    drain loop while ``open`` ops arrive from connection handlers.
+    """
+
+    def __init__(self, epsilon: float) -> None:
+        epsilon = float(epsilon)
+        if epsilon <= 0.0 or not math.isfinite(epsilon):
+            raise InvalidParameterError(
+                f"pool epsilon must be finite and > 0, got {epsilon!r}"
+            )
+        self._total = epsilon
+        self._drawn = 0.0
+        self._refunded = 0.0
+        self._lock = threading.Lock()
+
+    @property
+    def total(self) -> float:
+        return self._total
+
+    @property
+    def drawn(self) -> float:
+        """Gross epsilon handed out to lanes (refunds not subtracted)."""
+        return self._drawn
+
+    @property
+    def refunded(self) -> float:
+        return self._refunded
+
+    @property
+    def remaining(self) -> float:
+        return max(0.0, self._total - self._drawn + self._refunded)
+
+    def draw(self, epsilon: float) -> None:
+        """Reserve *epsilon* for a new lane; raise if the pool can't cover it."""
+        epsilon = float(epsilon)
+        if epsilon <= 0.0 or not math.isfinite(epsilon):
+            raise InvalidParameterError(
+                f"draw amount must be finite and > 0, got {epsilon!r}"
+            )
+        with self._lock:
+            if epsilon > self.remaining + _EPS_SLACK:
+                raise BudgetExhaustedError(requested=epsilon, remaining=self.remaining)
+            self._drawn += epsilon
+
+    def refund(self, epsilon: float) -> None:
+        """Return a closed lane's unspent remainder to the pool."""
+        epsilon = float(epsilon)
+        if epsilon < 0.0 or not math.isfinite(epsilon):
+            raise InvalidParameterError(
+                f"refund amount must be finite and >= 0, got {epsilon!r}"
+            )
+        with self._lock:
+            if self._refunded + epsilon > self._drawn + _EPS_SLACK:
+                raise InvalidParameterError(
+                    "refund exceeds what was ever drawn from the pool"
+                )
+            self._refunded += epsilon
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BudgetPool(total={self._total:g}, drawn={self._drawn:g}, "
+            f"refunded={self._refunded:g})"
+        )

@@ -18,9 +18,15 @@ Subcommands
 ``experiment``
     Run the Section-6 reproduction (delegates to ``repro.experiments``).
 ``serve``
-    Run the multi-tenant SVT query service over a score file: requests
-    (``tenant item`` lines) stream in on stdin, answers stream out as JSON
-    lines; pending queries are answered in cross-session batched drains.
+    Run the multi-tenant SVT query service over a score file.  Default:
+    requests stream in on stdin — JSONL ops or legacy ``tenant item`` lines
+    — and typed JSON responses stream out; ``--tcp`` starts the concurrent
+    asyncio listener (bounded-queue admission control, typed ``overloaded``
+    shedding, adaptive drain windows).  Pending queries are answered in
+    cross-session batched drains either way.
+``metrics``
+    Fetch the live counters/histograms snapshot from a running ``serve
+    --tcp`` server.
 ``load-test``
     Closed-loop throughput benchmark of the service: a Zipf multi-tenant
     workload served both batched and query-at-a-time, with requests/sec,
@@ -107,7 +113,10 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--tiny", action="store_true")
     exp.add_argument("--no-charts", action="store_true")
 
-    serve = sub.add_parser("serve", help="serve tenant item queries from stdin")
+    serve = sub.add_parser(
+        "serve",
+        help="serve tenant queries over stdin JSONL or a concurrent TCP listener",
+    )
     serve.add_argument("scores", type=Path, help="file with one numeric score per line")
     serve.add_argument("--epsilon", type=float, default=1.0, help="per-session budget")
     serve.add_argument("--threshold", type=float, required=True, help="error threshold T")
@@ -115,8 +124,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="database accesses per session")
     serve.add_argument("--svt-fraction", type=float, default=0.5)
     serve.add_argument("--mode", choices=("shared", "per-session"), default="shared")
-    serve.add_argument("--batch", type=int, default=256,
-                       help="drain after this many pending requests (blank line or EOF also drains)")
+    serve.add_argument("--batch", type=int, default=256, dest="batch",
+                       help="drain window: drain after this many pending requests "
+                            "(blank line or EOF also drains; the adaptive policy "
+                            "resizes it in --tcp mode)")
     serve.add_argument("--seed", type=int, default=None)
     serve.add_argument("--audit-log", type=Path, default=None, dest="audit_log",
                        help="persist the audit trail to this JSONL file on exit "
@@ -124,6 +135,28 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--session-ttl", type=float, default=None, dest="session_ttl",
                        help="expire sessions after this many seconds, releasing "
                             "unspent budget (checked at every drain)")
+    serve.add_argument("--tcp", action="store_true",
+                       help="listen on --host/--port for concurrent JSONL clients "
+                            "instead of reading stdin")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7707,
+                       help="TCP port (0 picks an ephemeral one)")
+    serve.add_argument("--max-queue", type=int, default=65536, dest="max_queue",
+                       help="admission bound: requests beyond this many pending "
+                            "are shed with a typed 'overloaded' response")
+    serve.add_argument("--no-adaptive", action="store_true", dest="no_adaptive",
+                       help="disable the drain-window feedback controller "
+                            "(fixed --batch window)")
+    serve.add_argument("--target-drain-ms", type=float, default=5.0,
+                       dest="target_drain_ms",
+                       help="drain-latency target steering the adaptive window")
+
+    met = sub.add_parser(
+        "metrics", help="fetch a live metrics snapshot from a running TCP server"
+    )
+    met.add_argument("--host", default="127.0.0.1")
+    met.add_argument("--port", type=int, default=7707)
+    met.add_argument("--raw", action="store_true", help="print the raw JSON response")
 
     load = sub.add_parser("load-test", help="closed-loop service throughput benchmark")
     load.add_argument("--tenants", type=int, default=256)
@@ -232,75 +265,102 @@ def _cmd_audit(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    import json
+    import asyncio
 
-    from repro.service import SVTQueryService
+    from repro.service.runtime import RuntimeServer, ServerConfig
 
     supports = np.array(
         [float(line) for line in args.scores.read_text().split() if line.strip()]
     )
-    service = SVTQueryService(supports, seed=args.seed, mode=args.mode)
-    meta: dict = {}  # ticket -> (tenant, item)
+    config = ServerConfig(
+        epsilon=args.epsilon,
+        error_threshold=args.threshold,
+        c=args.c,
+        svt_fraction=args.svt_fraction,
+        mode=args.mode,
+        seed=args.seed,
+        session_ttl=args.session_ttl,
+        max_queue=args.max_queue,
+        window=args.batch,
+        min_window=min(256, args.batch),
+        max_window=max(65536, args.batch),
+        adaptive=not args.no_adaptive,
+        target_drain_ms=args.target_drain_ms,
+    )
+    server = RuntimeServer(supports, config)
+    server.on_expire = lambda tenant, released: print(
+        f"expired session for tenant {tenant} (released {released:g} epsilon)",
+        file=sys.stderr,
+    )
 
-    def open_if_needed(tenant: str):
-        if tenant not in service.manager:
-            service.open_session(
-                tenant,
-                epsilon=args.epsilon,
-                error_threshold=args.threshold,
-                c=args.c,
-                svt_fraction=args.svt_fraction,
-                ttl_s=args.session_ttl,
-            )
+    async def tcp_main() -> None:
+        import signal
 
-    def drain() -> None:
-        before = dict(service.manager.released_budget)
-        for tenant in service.expire():
-            released = service.manager.released_budget[tenant] - before.get(tenant, 0.0)
-            print(
-                f"expired session for tenant {tenant} "
-                f"(released {released:g} epsilon)",
-                file=sys.stderr,
-            )
-        result = service.drain()
-        for i, ticket in enumerate(result.tickets):
-            tenant, item = meta.pop(int(ticket))
-            payload = {"ticket": int(ticket), "tenant": tenant, "item": item}
-            if result.ok[i]:
-                payload["value"] = float(result.values[i])
-                payload["from_history"] = bool(result.from_history[i])
-            else:
-                payload["error"] = result.errors[i]
-            print(json.dumps(payload))
+        await server.serve_tcp(args.host, args.port)
+        host, port = server.tcp_address
+        print(f"listening on {host}:{port} (JSONL; ctrl-C stops)", file=sys.stderr)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX loops
+                pass
+        await stop.wait()
+        print("shutting down", file=sys.stderr)
+        await server.shutdown()
 
-    served = 0
-    for line in sys.stdin:
-        line = line.strip()
-        if not line:
-            drain()
-            continue
-        try:
-            tenant, item_text = line.split()
-            item = int(item_text)
-        except ValueError:
-            print(f"error: bad request line {line!r}", file=sys.stderr)
-            continue
-        open_if_needed(tenant)
-        ticket = service.submit(tenant, item)
-        meta[ticket] = (tenant, item)
-        served += 1
-        if service.batcher.pending >= args.batch:
-            drain()
-    drain()
+    if args.tcp:
+        asyncio.run(tcp_main())
+    else:
+        asyncio.run(server.serve_stdin())
+
+    service = server.service
+    served = (
+        server.metrics.counter("answered_total").value
+        + server.metrics.counter("rejected_total").value
+    )
+    sessions = len(service.manager) + len(service.manager.closed_sessions())
     spent = service.manager.total_spent()  # live and evicted sessions alike
     print(
-        f"served {served} requests across {len(service.manager)} sessions "
+        f"served {served} requests across {sessions} sessions "
         f"({len(service.audit)} audit records, total epsilon spent {spent:g})",
         file=sys.stderr,
     )
     if args.audit_log is not None:
         written = service.audit.to_jsonl(args.audit_log)
         print(f"audit log: {written} records written to {args.audit_log}", file=sys.stderr)
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+    import socket
+
+    with socket.create_connection((args.host, args.port), timeout=5.0) as sock:
+        stream = sock.makefile("rwb")
+        stream.write(json.dumps({"op": "metrics"}).encode() + b"\n")
+        stream.flush()
+        line = stream.readline()
+    if not line:
+        print("error: no response from server", file=sys.stderr)
+        return 2
+    snapshot = json.loads(line)
+    if args.raw:
+        print(json.dumps(snapshot, indent=2))
+        return 0
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    print(f"shed rate: {snapshot.get('shed_rate', 0.0):.2%}")
+    for name in sorted(counters):
+        print(f"  {name}: {counters[name]}")
+    for name in sorted(gauges):
+        print(f"  {name}: {gauges[name]:g}")
+    for name, hist in sorted(snapshot.get("histograms", {}).items()):
+        print(
+            f"  {name}: n={hist['count']} mean={hist['mean']:g} "
+            f"p50={hist['p50']:g} p99={hist['p99']:g}"
+        )
     return 0
 
 
@@ -370,6 +430,7 @@ _HANDLERS = {
     "audit": _cmd_audit,
     "experiment": _cmd_experiment,
     "serve": _cmd_serve,
+    "metrics": _cmd_metrics,
     "load-test": _cmd_load_test,
 }
 

@@ -36,7 +36,7 @@ from typing import Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.data.scores import as_score_source, topc_stats
-from repro.engine.plans import TrialPlan, plan_trials
+from repro.engine.plans import MemoryProbe, TrialPlan, plan_trials
 from repro.exceptions import InvalidParameterError
 from repro.rng import derive_rngs
 from repro.variants._common import validate_inputs
@@ -131,6 +131,7 @@ def execute_trials(
     parallel: Optional[str] = None,
     workers: Optional[int] = None,
     chunk_n: Optional[int] = None,
+    memory_probe: Optional[MemoryProbe] = None,
     **kwargs,
 ) -> Union["TrialBatch", Dict[float, "TrialBatch"]]:  # noqa: F821
     """Run a (possibly epsilon-grid) trial batch chunked, tiled, and/or sharded.
@@ -139,6 +140,19 @@ def execute_trials(
     ``parallel``, ``chunk_n``, or a lazy score source is in play; not
     usually invoked directly.  ``workers`` defaults to the CPU count
     (capped by the number of chunks).
+
+    ``max_bytes="auto"`` on the serial backends **re-plans between
+    chunks**: each chunk's trial count (and, in the tiled regime, its tile
+    width) is sized from a fresh *memory_probe* read — default
+    :func:`~repro.engine.plans.available_memory_bytes`; pass a
+    :meth:`~repro.service.runtime.metrics.RssSampler.memory_probe` to make
+    the feedback visible in the runtime's metrics — so a run that starts
+    with lots of headroom shrinks its working set when the machine tightens
+    mid-flight instead of honoring a stale planning-time sample.  Results
+    are invariant to the re-planning because chunk and tile boundaries
+    never change results (per-trial derived streams, tile-folded kernels);
+    ``parallel="process"`` plans once up front, since its chunks must all
+    exist before the pool maps them.
     """
     if parallel not in _BACKENDS:
         raise InvalidParameterError(
@@ -162,9 +176,6 @@ def execute_trials(
         # differently at every chunk boundary.)
         rngs = derive_rngs(rng, trials, "engine-exec")
 
-    plan: TrialPlan = plan_trials(
-        trials, source.n, max_bytes, variant=variant, chunk_n=chunk_n
-    )
     # The (trials, n) positives mask is sized by the TOTAL trial count, not
     # one chunk's: per-chunk masks merge into a full-height mask, which must
     # not outgrow the budget the chunking exists to enforce.
@@ -172,71 +183,115 @@ def execute_trials(
 
     keep_mask = trials * source.n <= MASK_MATERIALIZE_LIMIT
 
-    if plan.chunk_n is None:
-        # One-axis plan: each chunk runs the classic dense cell (small
-        # sources materialize once; the working set is bounded by the plan).
-        base = source.to_array()
-        payloads: List[dict] = [
-            dict(
-                variant=variant,
-                answers=base,
-                epsilons=epsilons,
-                c=c,
-                trials=stop - start,
-                rng=rngs[start:stop],
-                **kwargs,
-            )
-            for start, stop in plan.bounds()
-        ]
-        results = run_sharded(
-            _run_payload, payloads, parallel=parallel, workers=workers
+    # Lazy one-time preparations shared by the chunk builders: dense chunks
+    # want the materialized scores; tiled chunks want validated epsilons and
+    # the streaming top-c stats.
+    prepared: dict = {}
+
+    def dense_payload(start: int, stop: int) -> dict:
+        if "base" not in prepared:
+            prepared["base"] = source.to_array()
+        return dict(
+            variant=variant,
+            answers=prepared["base"],
+            epsilons=epsilons,
+            c=c,
+            trials=stop - start,
+            rng=rngs[start:stop],
+            **kwargs,
         )
-        if not keep_mask:
-            # Per-chunk masks are transient (1/48th of the chunk working
-            # set); the full-height concatenation is what breaks the cap.
-            for result in results:
-                for batch in (result.values() if isinstance(result, dict) else [result]):
-                    batch.positives_mask = None
-    else:
-        # Two-axis plan: ship the lazy source plus the tile grid to each
-        # chunk; nothing (trials, n)-shaped is ever materialized.
+
+    def tiled_payload(start: int, stop: int, tiles) -> dict:
         if kwargs.get("shuffle"):
             raise InvalidParameterError(
                 "tiled (chunk_n) execution does not support shuffle=True: a "
                 "per-trial permutation is itself a dense (trials, n) object"
             )
-        sensitivity = kwargs.get("sensitivity", 1.0)
-        eps_list = [epsilons] if np.isscalar(epsilons) else list(epsilons)
-        for eps in eps_list:
-            validate_inputs(float(eps), sensitivity, c)
-        compute_metrics = kwargs.get("compute_metrics", True)
-        topc = topc_stats(source, c) if compute_metrics else None
-        tiles = plan.tile_bounds()
-        payloads = [
-            dict(
-                key=variant,
-                source=source,
-                epsilons=epsilons,
-                c=c,
-                trials=stop - start,
-                rngs=rngs[start:stop],
-                tiles=tiles,
-                thresholds=kwargs.get("thresholds", 0.0),
-                sensitivity=sensitivity,
-                monotonic=kwargs.get("monotonic", False),
-                ratio=kwargs.get("ratio"),
-                threshold_bump_d=kwargs.get("threshold_bump_d", 0.0),
-                max_passes=kwargs.get("max_passes", 100),
-                compute_metrics=compute_metrics,
-                share_noise=kwargs.get("share_noise", True),
-                topc=topc,
-                keep_positives_mask=keep_mask,
+        if "topc" not in prepared:
+            sensitivity = kwargs.get("sensitivity", 1.0)
+            eps_list = [epsilons] if np.isscalar(epsilons) else list(epsilons)
+            for eps in eps_list:
+                validate_inputs(float(eps), sensitivity, c)
+            prepared["topc"] = (
+                topc_stats(source, c) if kwargs.get("compute_metrics", True) else None
             )
-            for start, stop in plan.bounds()
-        ]
-        results = run_sharded(
-            _run_tiled_payload, payloads, parallel=parallel, workers=workers
+        return dict(
+            key=variant,
+            source=source,
+            epsilons=epsilons,
+            c=c,
+            trials=stop - start,
+            rngs=rngs[start:stop],
+            tiles=tiles,
+            thresholds=kwargs.get("thresholds", 0.0),
+            sensitivity=kwargs.get("sensitivity", 1.0),
+            monotonic=kwargs.get("monotonic", False),
+            ratio=kwargs.get("ratio"),
+            threshold_bump_d=kwargs.get("threshold_bump_d", 0.0),
+            max_passes=kwargs.get("max_passes", 100),
+            compute_metrics=kwargs.get("compute_metrics", True),
+            share_noise=kwargs.get("share_noise", True),
+            topc=prepared["topc"],
+            keep_positives_mask=keep_mask,
         )
+
+    def strip_mask(result) -> None:
+        # Per-chunk dense masks are transient (1/48th of the chunk working
+        # set); the full-height concatenation is what breaks the cap.
+        if not keep_mask:
+            for batch in result.values() if isinstance(result, dict) else [result]:
+                batch.positives_mask = None
+
+    live_replan = max_bytes == "auto" and parallel != "process"
+    if live_replan:
+        # Serial backends re-plan the REMAINING trials before every chunk
+        # with a fresh memory read: the budget — hence the chunk height and
+        # tile width — tracks live headroom.  Chunk/tile boundaries never
+        # change results (per-trial streams, tile-folded kernels), so this
+        # is a pure execution-shape decision.
+        results: List = []
+        start = 0
+        while start < trials:
+            plan = plan_trials(
+                trials - start, source.n, "auto", variant=variant,
+                chunk_n=chunk_n, memory_probe=memory_probe,
+            )
+            stop = min(start + plan.chunk_trials, trials)
+            if plan.chunk_n is None:
+                result = _run_payload(dense_payload(start, stop))
+                strip_mask(result)
+            else:
+                result = _run_tiled_payload(
+                    tiled_payload(start, stop, plan.tile_bounds())
+                )
+            results.append(result)
+            start = stop
+    else:
+        plan: TrialPlan = plan_trials(
+            trials, source.n, max_bytes, variant=variant, chunk_n=chunk_n,
+            memory_probe=memory_probe,
+        )
+        if plan.chunk_n is None:
+            # One-axis plan: each chunk runs the classic dense cell (small
+            # sources materialize once; the working set stays budgeted).
+            payloads: List[dict] = [
+                dense_payload(start, stop) for start, stop in plan.bounds()
+            ]
+            results = run_sharded(
+                _run_payload, payloads, parallel=parallel, workers=workers
+            )
+            for result in results:
+                strip_mask(result)
+        else:
+            # Two-axis plan: ship the lazy source plus the tile grid to each
+            # chunk; nothing (trials, n)-shaped is ever materialized.
+            tiles = plan.tile_bounds()
+            payloads = [
+                tiled_payload(start, stop, tiles) for start, stop in plan.bounds()
+            ]
+            results = run_sharded(
+                _run_tiled_payload, payloads, parallel=parallel, workers=workers
+            )
 
     if isinstance(results[0], dict):
         return {

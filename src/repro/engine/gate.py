@@ -35,7 +35,7 @@ from repro.engine.noise import TrialRngs, laplace_vector
 from repro.exceptions import InvalidParameterError
 from repro.rng import ensure_rng
 
-__all__ = ["GateBlock", "gate_block"]
+__all__ = ["GateBlock", "gate_block", "GateGrid", "gate_grid"]
 
 
 @dataclass(frozen=True)
@@ -131,3 +131,108 @@ def gate_block(
             release_noise = laplace_vector(rng, answer_scales[fired], fired.size)
         released[fired] = truths[fired] + release_noise
     return GateBlock(above=above, nu=nu, released=released)
+
+
+@dataclass(frozen=True)
+class GateGrid:
+    """Outcome of one query gated across many budget lanes.
+
+    ``above[l]`` / ``released[l]`` follow :class:`GateBlock` semantics, one
+    entry per lane.  ``nu`` holds the realized per-lane query noise; in
+    shared mode every entry is the *same unit draw* rescaled
+    (``nu[l] / nu_scales[l]`` is constant across lanes), which is what the
+    shared-noise tests pin.
+    """
+
+    above: np.ndarray
+    nu: np.ndarray
+    released: np.ndarray
+
+    @property
+    def lanes(self) -> int:
+        return int(self.above.size)
+
+
+def gate_grid(
+    errors,
+    thresholds,
+    rho,
+    nu_scales,
+    answer_scales,
+    truths,
+    rng: TrialRngs = None,
+) -> GateGrid:
+    """Gate ONE query across a grid of budget lanes — the epsilon-grid
+    analog of :func:`gate_block`.
+
+    A multi-budget tenant holds several ``(epsilon, T, c)`` lanes over the
+    same data.  Asking a query "under every lane at once" is exactly the
+    engine's epsilon-grid problem: the same comparison under many noise
+    scales.  The two stream modes mirror :func:`repro.engine.trials.run_trials`'s
+    ``share_noise`` split:
+
+    * a single shared ``Generator`` — ONE unit Laplace draw is rescaled per
+      lane for the query noise, and (only if any lane fires) ONE unit draw
+      is rescaled per firing lane for the release noise.  Lane outcomes are
+      correlated but each lane's marginal distribution is exact (Laplace is
+      closed under scaling), the same argument the trial engine's
+      ``share_noise=True`` grid makes per epsilon cell;
+    * a list of per-lane ``Generator`` objects — lane l draws its nu and
+      (only on ⊤) its release noise from its own stream, in exactly the
+      order an independent session's streaming ``answer()`` would.  This is
+      the **bit-identity** mode: a multi-budget session in ``per-lane`` mode
+      must serve the very bits that separate single-budget sessions would
+      (enforced in ``tests/service/test_lanes.py``).
+
+    Parameters are per-lane vectors (scalars broadcast); *errors* may differ
+    per lane because each lane keeps its own released history, hence its own
+    derived estimate.  *truths* is normally one scalar — the same query hits
+    the same database — but broadcasts per lane for generality.
+    """
+    errors = np.atleast_1d(np.asarray(errors, dtype=float))
+    if errors.ndim != 1:
+        raise InvalidParameterError("errors must be a 1-D per-lane vector")
+    lanes = errors.size
+    if lanes == 0:
+        empty = np.empty(0)
+        return GateGrid(above=np.empty(0, dtype=bool), nu=empty, released=empty)
+    per_lane = isinstance(rng, (list, tuple))
+    if per_lane:
+        if len(rng) != lanes:
+            raise InvalidParameterError(
+                f"got {len(rng)} per-lane generators for {lanes} lanes"
+            )
+    else:
+        rng = ensure_rng(rng)
+    thr = _as_row_vector(thresholds, lanes, "thresholds")
+    rho = _as_row_vector(rho, lanes, "rho")
+    nu_scales = _as_row_vector(nu_scales, lanes, "nu_scales")
+    answer_scales = _as_row_vector(answer_scales, lanes, "answer_scales")
+    truths = np.broadcast_to(np.asarray(truths, dtype=float), (lanes,))
+    if np.any(nu_scales <= 0.0) or np.any(answer_scales <= 0.0):
+        raise InvalidParameterError("noise scales must be > 0")
+
+    released = np.full(lanes, np.nan)
+    if per_lane:
+        # Streaming draw order per lane: nu, then — only on ⊤ — the release.
+        nu = np.empty(lanes)
+        above = np.empty(lanes, dtype=bool)
+        for index in range(lanes):
+            gen = ensure_rng(rng[index])
+            nu[index] = gen.laplace(scale=nu_scales[index])
+            above[index] = errors[index] + nu[index] >= thr[index] + rho[index]
+            if above[index]:
+                released[index] = truths[index] + gen.laplace(
+                    scale=answer_scales[index]
+                )
+        return GateGrid(above=above, nu=nu, released=released)
+
+    # Shared mode: one unit draw per role, rescaled per lane.
+    unit_nu = float(rng.laplace(scale=1.0))
+    nu = unit_nu * nu_scales
+    above = errors + nu >= thr + rho
+    fired = np.nonzero(above)[0]
+    if fired.size:
+        unit_release = float(rng.laplace(scale=1.0))
+        released[fired] = truths[fired] + unit_release * answer_scales[fired]
+    return GateGrid(above=above, nu=nu, released=released)

@@ -23,7 +23,7 @@ budget from the machine's available memory instead of a static number.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple, Union
+from typing import Callable, List, Optional, Tuple, Union
 
 from repro.exceptions import InvalidParameterError
 
@@ -33,6 +33,7 @@ __all__ = [
     "TrialPlan",
     "plan_trials",
     "available_memory_bytes",
+    "MemoryProbe",
     "BYTES_PER_CELL",
     "bytes_per_cell",
     "DEFAULT_MEMORY_FRACTION",
@@ -157,8 +158,25 @@ def available_memory_bytes() -> int:
     return _FALLBACK_AVAILABLE_BYTES  # pragma: no cover
 
 
-def _resolve_budget(max_bytes, memory_fraction: float) -> Optional[int]:
-    """Turn the ``max_bytes`` argument (int / None / "auto") into bytes."""
+#: A live available-memory read: no arguments, bytes back.  The default is
+#: :func:`available_memory_bytes`; the runtime's
+#: :class:`~repro.service.runtime.metrics.RssSampler` provides a gauge-backed
+#: one so re-planning shows up in the metrics endpoint.
+MemoryProbe = Callable[[], int]
+
+
+def _resolve_budget(
+    max_bytes,
+    memory_fraction: float,
+    memory_probe: Optional[MemoryProbe] = None,
+) -> Optional[int]:
+    """Turn the ``max_bytes`` argument (int / None / "auto") into bytes.
+
+    ``"auto"`` asks *memory_probe* (default: a fresh
+    :func:`available_memory_bytes` read) — callers that re-plan between
+    chunks call this again with a live probe, so the budget tracks the
+    machine's actual headroom mid-run rather than one planning-time sample.
+    """
     if max_bytes is None:
         return None
     if isinstance(max_bytes, str):
@@ -168,7 +186,8 @@ def _resolve_budget(max_bytes, memory_fraction: float) -> Optional[int]:
             )
         if not 0.0 < memory_fraction <= 1.0:
             raise InvalidParameterError("memory_fraction must be in (0, 1]")
-        return max(1, int(available_memory_bytes() * memory_fraction))
+        probe = memory_probe if memory_probe is not None else available_memory_bytes
+        return max(1, int(probe() * memory_fraction))
     if max_bytes <= 0:
         raise InvalidParameterError("max_bytes must be > 0")
     return int(max_bytes)
@@ -244,6 +263,7 @@ def plan_trials(
     variant: Optional[str] = None,
     chunk_n: Optional[int] = None,
     memory_fraction: float = DEFAULT_MEMORY_FRACTION,
+    memory_probe: Optional[MemoryProbe] = None,
 ) -> TrialPlan:
     """Plan the chunking of a ``(trials, n)`` engine run over both axes.
 
@@ -252,7 +272,10 @@ def plan_trials(
     many trials per chunk as a retraversal run under the same budget).
 
     ``max_bytes`` may be ``"auto"``: the budget becomes ``memory_fraction``
-    of the machine's currently available memory (:func:`available_memory_bytes`).
+    of the machine's currently available memory, read through
+    *memory_probe* (default :func:`available_memory_bytes`) at call time —
+    :mod:`repro.engine.exec` calls back here between chunks, so an auto run
+    re-plans against *live* memory instead of one planning-time sample.
 
     The query axis is tiled only when asked (*chunk_n*) or forced: if even a
     single full-width trial row exceeds the budget, the plan falls back to
@@ -265,7 +288,7 @@ def plan_trials(
     if n < 0:
         raise InvalidParameterError("n must be non-negative")
     cell = bytes_per_cell(variant)
-    budget = _resolve_budget(max_bytes, memory_fraction)
+    budget = _resolve_budget(max_bytes, memory_fraction, memory_probe)
     if chunk_n is not None:
         if chunk_n <= 0:
             raise InvalidParameterError("chunk_n must be > 0")

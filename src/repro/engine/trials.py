@@ -48,7 +48,7 @@ experiment harness uses to keep its historical results reproducible).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -479,6 +479,7 @@ def run_trials(
     parallel: Optional[str] = None,
     workers: Optional[int] = None,
     chunk_n: Optional[int] = None,
+    memory_probe: Optional[Callable[[], int]] = None,
 ) -> Union[TrialBatch, Dict[float, TrialBatch]]:
     """Run *trials* Monte-Carlo repetitions of one variant in a single pass.
 
@@ -514,7 +515,10 @@ def run_trials(
         even one full-width trial row exceeds the budget, by tiling the
         query axis too (:mod:`repro.engine.tiled`); ``chunk_n`` forces a
         query-axis tile width explicitly.  ``parallel="process"`` runs the
-        chunks on a ProcessPoolExecutor with *workers* processes.  Any of
+        chunks on a ProcessPoolExecutor with *workers* processes.  With
+        ``max_bytes="auto"`` on the serial backends the run re-plans
+        between chunks from a live memory read (*memory_probe*, default the
+        /proc/meminfo reader) instead of one planning-time sample.  Any of
         these knobs switches to per-trial derived streams, making results
         independent of chunking, tiling, and worker count.  *answers* may
         also be a lazy :class:`~repro.data.scores.ScoreSource` (e.g.
@@ -547,7 +551,7 @@ def run_trials(
             threshold_bump_d=threshold_bump_d, max_passes=max_passes,
             allow_non_private=allow_non_private, compute_metrics=compute_metrics,
             share_noise=share_noise, max_bytes=max_bytes, parallel=parallel,
-            workers=workers, chunk_n=chunk_n,
+            workers=workers, chunk_n=chunk_n, memory_probe=memory_probe,
         )
     if not isinstance(rng, (list, tuple)):
         # One shared stream for shuffle + every noise draw (and across an

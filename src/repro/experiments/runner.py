@@ -153,20 +153,36 @@ def _run_experiment_cell(payload: tuple) -> MetricSummary:
     return result[name].by_c[c]
 
 
-def _trial_chunks(trials: int, n: int, max_bytes) -> List[Tuple[int, int]]:
+def _trial_chunks(
+    trials: int, n: int, max_bytes, memory_probe=None
+) -> List[Tuple[int, int]]:
     """[t0, t1) trial windows keeping the (chunk, n) working set budgeted.
 
     The harness's hot allocation is the shuffled score matrix plus the
     engine blocks behind ``run_matrix``; both scale with (trials × n), so
     the engine's own planner sizes the windows.  ``max_bytes=None`` keeps
-    the historical single-window behavior.
+    the historical single-window behavior.  With a static byte budget the
+    windows are uniform (the historical layout); with ``max_bytes="auto"``
+    each successive window is re-planned from a fresh *memory_probe* read —
+    the same between-chunks live feedback :mod:`repro.engine.exec` applies —
+    so window sizes follow the machine's actual headroom.  Results are
+    byte-identical either way: every shuffle and mechanism stream is keyed
+    by the global trial index, never by the window layout.
     """
     if max_bytes is None:
         return [(0, trials)]
     from repro.engine.plans import plan_trials
 
-    chunk = plan_trials(trials, n, max_bytes).chunk_trials
-    return [(t0, min(t0 + chunk, trials)) for t0 in range(0, trials, chunk)]
+    windows: List[Tuple[int, int]] = []
+    t0 = 0
+    while t0 < trials:
+        chunk = plan_trials(
+            trials - t0, n, max_bytes, memory_probe=memory_probe
+        ).chunk_trials
+        t1 = min(t0 + chunk, trials)
+        windows.append((t0, t1))
+        t0 = t1
+    return windows
 
 
 def _summarize(ser: np.ndarray, fnr: np.ndarray, trials: int) -> MetricSummary:

@@ -21,17 +21,21 @@ The paper's Section-3.4 online-answering pattern — "answer many queries for
   session's streaming loop independently;
 * :mod:`repro.service.workload` — the closed-loop Zipf workload generator
   and throughput/latency harness behind ``repro load-test`` and the
-  enforced service benchmark.
+  enforced service benchmark;
+* :mod:`repro.service.runtime` — the concurrent runtime: the asyncio JSONL
+  ingestion server (TCP + stdio, bounded-queue backpressure with typed
+  ``overloaded`` shedding) and the live metrics/adaptive-drain subsystem.
 """
 
 from repro.service.audit import AuditLog, AuditRecord, gate_mechanism_spec, verify_audit
 from repro.service.batcher import QueuedRequest, RequestBatcher
 from repro.service.engine import DrainResult, ServiceClient, ServiceEngine, SVTQueryService
 from repro.service.manager import SessionManager
-from repro.service.session import OnlineAnswer, Session
+from repro.service.session import LaneAnswer, OnlineAnswer, Session
 from repro.service.workload import LoadStats, Workload, WorkloadSpec, generate_workload
 
 __all__ = [
+    "LaneAnswer",
     "AuditLog",
     "AuditRecord",
     "gate_mechanism_spec",

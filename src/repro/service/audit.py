@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import json
 import math
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, NamedTuple, Optional
 
@@ -54,10 +55,18 @@ class AuditRecord(NamedTuple):
 
 
 class AuditLog:
-    """Append-only event log shared by every session of one service."""
+    """Append-only event log shared by every session of one service.
+
+    Appends are serialized under a lock: the concurrent runtime lets many
+    sessions record from many threads, and ``seq`` assignment (read length,
+    append) is a race without it — two racing spends could claim the same
+    sequence number, which is exactly the kind of gap/duplicate
+    :meth:`replay` is built to reject.
+    """
 
     def __init__(self) -> None:
         self._records: List[AuditRecord] = []
+        self._lock = threading.Lock()
 
     def record(
         self,
@@ -70,16 +79,17 @@ class AuditLog:
     ) -> AuditRecord:
         if kind not in KINDS:
             raise InvalidParameterError(f"unknown audit kind {kind!r}; known: {KINDS}")
-        entry = AuditRecord(
-            seq=len(self._records),
-            session=str(session),
-            kind=kind,
-            mechanism=mechanism,
-            epsilon=float(epsilon),
-            value=value,
-            note=note,
-        )
-        self._records.append(entry)
+        with self._lock:
+            entry = AuditRecord(
+                seq=len(self._records),
+                session=str(session),
+                kind=kind,
+                mechanism=mechanism,
+                epsilon=float(epsilon),
+                value=value,
+                note=note,
+            )
+            self._records.append(entry)
         return entry
 
     def for_session(self, session: str) -> List[AuditRecord]:
@@ -109,10 +119,12 @@ class AuditLog:
         so a replayed log is field-for-field the original and
         :func:`verify_audit` runs on it unchanged.
         """
+        with self._lock:
+            records = list(self._records)
         with open(path, "w", encoding="utf-8") as handle:
-            for record in self._records:
+            for record in records:
                 handle.write(json.dumps(record._asdict(), sort_keys=False) + "\n")
-        return len(self._records)
+        return len(records)
 
     @classmethod
     def replay(cls, path) -> "AuditLog":

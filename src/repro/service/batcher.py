@@ -26,7 +26,7 @@ as one vectorized engine block per pass — lives in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Union
+from typing import List, Optional, Union
 
 import numpy as np
 
@@ -82,6 +82,11 @@ class RequestBatcher:
         self._entries: List[Entry] = []
         self._pending = 0
         self._next_ticket = 0
+        # First ticket of the next drain.  Tracked explicitly (rather than
+        # computed as next_ticket - size) because a *partial* drain leaves
+        # requests behind: the dense-ticket invariant then reads "each drain
+        # covers the next contiguous ticket range", not "all of them".
+        self._next_base = 0
 
     def submit(self, session: Session, query: QueryLike) -> int:
         """Queue one query; returns its ticket (global submission index)."""
@@ -112,6 +117,21 @@ class RequestBatcher:
         )
         return np.arange(ticket, ticket + queries.size, dtype=np.int64)
 
+    def submit_block(self, session: Session, queries: np.ndarray) -> int:
+        """:meth:`submit_array` returning only the base ticket.
+
+        The hot-path variant for callers (the runtime server) that track a
+        block by its contiguous range and don't want a tickets array
+        allocated per block.  *queries* must already be int64 and 1-D.
+        """
+        ticket = self._next_ticket
+        self._next_ticket += queries.size
+        self._pending += int(queries.size)
+        self._entries.append(
+            BlockRequest(ticket=ticket, session=session, queries=queries)
+        )
+        return ticket
+
     @property
     def pending(self) -> int:
         return self._pending
@@ -119,9 +139,52 @@ class RequestBatcher:
     def __len__(self) -> int:
         return self._pending
 
-    def drain(self) -> DrainBatch:
-        """Take every pending request, in submission order."""
-        entries, self._entries = self._entries, []
-        size, self._pending = self._pending, 0
-        base = self._next_ticket - size
+    def drain(self, limit: Optional[int] = None) -> DrainBatch:
+        """Take pending requests in submission order — all of them, or at
+        most *limit*.
+
+        ``limit`` is what lets the runtime's adaptive policy bound a drain's
+        head-of-line blocking: the batch covers the next contiguous ticket
+        range of up to *limit* requests, and everything behind it stays
+        queued for the following drain.  A :class:`BlockRequest` straddling
+        the cut is split — the head rides this drain, the tail (a view, no
+        copy) is re-queued at the front — so per-session FIFO order is
+        preserved exactly.
+        """
+        if limit is None or limit >= self._pending:
+            entries, self._entries = self._entries, []
+            size, self._pending = self._pending, 0
+        else:
+            if limit <= 0:
+                raise InvalidParameterError("drain limit must be > 0 (or None)")
+            taken = 0
+            size = 0
+            split: Optional[BlockRequest] = None
+            for entry in self._entries:
+                length = len(entry) if isinstance(entry, BlockRequest) else 1
+                if size + length > limit:
+                    keep = limit - size
+                    if keep > 0:  # only a BlockRequest can straddle the cut
+                        split = entry
+                    break
+                taken += 1
+                size += length
+            entries = self._entries[:taken]
+            self._entries = self._entries[taken:]
+            if split is not None:
+                keep = limit - size
+                entries.append(
+                    BlockRequest(
+                        ticket=split.ticket, session=split.session,
+                        queries=split.queries[:keep],
+                    )
+                )
+                self._entries[0] = BlockRequest(
+                    ticket=split.ticket + keep, session=split.session,
+                    queries=split.queries[keep:],
+                )
+                size += keep
+            self._pending -= size
+        base = self._next_base
+        self._next_base += size
         return DrainBatch(entries=entries, base_ticket=base, size=size)

@@ -26,6 +26,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Union
 
 import numpy as np
 
+from repro.accounting.budget import BudgetPool
 from repro.data.scores import ScoreSource
 from repro.exceptions import InvalidParameterError
 from repro.rng import RngLike, derive_rng
@@ -122,6 +123,7 @@ class SessionManager:
         estimator: Optional[EstimatorFn] = None,
         rng: RngLike = None,
         ttl_s: Optional[float] = None,
+        pool: Optional[BudgetPool] = None,
     ) -> Session:
         """Open a fresh session for *tenant*; its previous one (if any) ends.
 
@@ -129,9 +131,18 @@ class SessionManager:
         by tenant and epoch; pass an explicit seed/Generator to pin it.
         ``ttl_s`` arms the session for :meth:`expire`: once the manager
         clock advances past ``open time + ttl_s`` the session is evicted
-        and its unspent budget released.
+        and its unspent budget released.  ``pool`` caps the tenant's total
+        exposure across this session and every lane later attached to it
+        (see :meth:`open_lane`).
         """
         tenant = str(tenant)
+        if tenant in self._sessions:
+            # "its previous one (if any) ends" — for real: the old epoch is
+            # evicted (budget released, terminal audit record, ClosedSession
+            # view kept) so total_spent()/audit_sessions() never lose it.
+            # Silently dropping it would leak its unspent epsilon and make
+            # verify_audit flag the old epoch's spends as an unknown session.
+            self.evict(tenant)
         epoch = self._epochs.get(tenant, 0)
         self._epochs[tenant] = epoch + 1
         if rng is None:
@@ -152,9 +163,23 @@ class SessionManager:
             audit=self.audit,
             ttl_s=ttl_s,
             opened_at=self._clock(),
+            pool=pool,
         )
         self._sessions[tenant] = session
         return session
+
+    def open_lane(self, tenant: str, name: str, rng: RngLike = None, **config) -> Session:
+        """Attach a named budget lane to *tenant*'s open session.
+
+        ``rng=None`` derives the lane stream from the manager seed keyed by
+        (tenant, epoch, lane name) — like sessions, a lane's stream never
+        depends on when it was opened relative to other lanes or tenants.
+        """
+        session = self.session(tenant)
+        epoch = self._epochs.get(str(tenant), 1) - 1
+        if rng is None:
+            rng = derive_rng(self._seed, "service-lane", str(tenant), epoch, str(name))
+        return session.add_lane(name, rng=rng, **config)
 
     def session(self, tenant: str) -> Session:
         try:
@@ -177,15 +202,18 @@ class SessionManager:
         amount = session.close(note=f"evicted tenant {tenant}")
         del self._sessions[tenant]
         self.released_budget[tenant] = self.released_budget.get(tenant, 0.0) + amount
-        self._closed[session.session_id] = ClosedSession(
-            session_id=session.session_id,
-            tenant=tenant,
-            epsilon=session.epsilon,
-            svt_fraction=session.svt_fraction,
-            c=session.c,
-            spent=session.ledger.spent,
-            released=amount,
-        )
+        # One closed view per budget the tenant held — lanes are sessions in
+        # the audit log, so each needs its own replayable configuration.
+        for member in (session, *session.lanes.values()):
+            self._closed[member.session_id] = ClosedSession(
+                session_id=member.session_id,
+                tenant=tenant,
+                epsilon=member.epsilon,
+                svt_fraction=member.svt_fraction,
+                c=member.c,
+                spent=member.ledger.spent,
+                released=member.ledger.released,
+            )
         return amount
 
     def closed_sessions(self) -> Dict[str, ClosedSession]:
@@ -197,16 +225,23 @@ class SessionManager:
 
         Feed this to :func:`repro.service.audit.verify_audit`: without the
         closed views, spends of an evicted session would be flagged as
-        belonging to an unknown session.
+        belonging to an unknown session.  Named budget lanes are sessions of
+        their own in the log, so they are included alongside their parents.
         """
-        live = {s.session_id: s for s in self._sessions.values()}
+        live = {}
+        for session in self._sessions.values():
+            live[session.session_id] = session
+            for lane in session.lanes.values():
+                live[lane.session_id] = lane
         return {**self._closed, **live}
 
     def total_spent(self) -> float:
-        """Epsilon spent across live *and* evicted sessions."""
-        return sum(s.ledger.spent for s in self._sessions.values()) + sum(
-            c.spent for c in self._closed.values()
-        )
+        """Epsilon spent across live *and* evicted sessions (lanes included)."""
+        live = 0.0
+        for session in self._sessions.values():
+            live += session.ledger.spent
+            live += sum(lane.ledger.spent for lane in session.lanes.values())
+        return live + sum(c.spent for c in self._closed.values())
 
     def expire(self, now: Optional[float] = None) -> List[str]:
         """Evict every session whose TTL has elapsed; returns the tenants.

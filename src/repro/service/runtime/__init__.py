@@ -1,0 +1,38 @@
+"""The concurrent service runtime.
+
+:mod:`repro.service.runtime.server` — the asyncio JSONL ingestion server
+(TCP + stdio transports, bounded-queue admission control with typed
+``overloaded`` shedding, a single drain loop feeding the batcher, graceful
+shutdown); :mod:`repro.service.runtime.metrics` — the live observability
+layer (thread-safe counters/histograms/gauges, a process-RSS /
+available-memory sampler whose ``memory_probe`` re-plans ``max_bytes="auto"``
+runs mid-flight, and the AIMD drain-window controller).
+"""
+
+from repro.service.runtime.metrics import (
+    AdaptiveDrainPolicy,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    RssSampler,
+)
+from repro.service.runtime.server import (
+    PROTOCOL,
+    IngressQueue,
+    RuntimeServer,
+    ServerConfig,
+)
+
+__all__ = [
+    "AdaptiveDrainPolicy",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RssSampler",
+    "PROTOCOL",
+    "IngressQueue",
+    "RuntimeServer",
+    "ServerConfig",
+]

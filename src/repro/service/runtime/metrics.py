@@ -1,0 +1,350 @@
+"""Live observability for the service runtime: counters, histograms, RSS.
+
+A concurrent server is blind without telemetry — and this runtime goes one
+step further: the telemetry *drives execution*.  Three consumers hang off
+this module:
+
+* the JSONL server (:mod:`repro.service.runtime.server`) counts requests,
+  sheds, and errors, and times every drain into a latency histogram that
+  the ``metrics`` protocol op (and ``repro metrics``) reports live;
+* :class:`AdaptiveDrainPolicy` turns those drain latencies into the next
+  drain's batch window — multiplicative decrease when drains blow the
+  latency target, gentle growth while the ingress queue is deep and drains
+  run cheap (AIMD, the same shape TCP congestion control uses, because the
+  failure mode is the same: a queue that grows faster than it drains);
+* :class:`RssSampler` re-reads the process RSS and the machine's available
+  memory on demand; its :meth:`~RssSampler.memory_probe` is the live hook
+  :func:`repro.engine.exec.execute_trials` calls between chunks so a
+  ``max_bytes="auto"`` run re-plans its tile budget mid-run instead of
+  trusting one sample taken at planning time.
+
+Everything is thread-safe under a per-object lock: producers (connection
+handlers, worker threads) and the drain loop update concurrently, and a
+``metrics`` op may snapshot from yet another thread.  No external metrics
+dependency is used — the histogram is a fixed-bucket Prometheus-style
+design small enough to serialize into one JSON response.
+"""
+
+from __future__ import annotations
+
+import os
+import resource
+import threading
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.engine.plans import MemoryProbe, available_memory_bytes
+from repro.exceptions import InvalidParameterError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RssSampler",
+    "AdaptiveDrainPolicy",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "DEFAULT_OCCUPANCY_BUCKETS",
+]
+
+#: Drain/request latency buckets in milliseconds (log-ish spacing: the p50
+#: of a healthy drain sits near 1 ms, a pathological one near 1 s).
+DEFAULT_LATENCY_BUCKETS_MS: Tuple[float, ...] = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0,
+)
+
+#: Batch-occupancy buckets (rows per vectorized gate call).
+DEFAULT_OCCUPANCY_BUCKETS: Tuple[float, ...] = (
+    1, 4, 16, 64, 256, 1024, 4096, 16384, 65536,
+)
+
+
+class Counter:
+    """A monotonically increasing count, safe to bump from any thread."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = str(name)
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def add(self, n: int = 1) -> None:
+        if n < 0:
+            raise InvalidParameterError("counters only go up")
+        with self._lock:
+            self._value += int(n)
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Counter({self.name}={self._value})"
+
+
+class Gauge:
+    """A point-in-time value (queue depth, RSS, current window)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = str(name)
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum and interpolated quantiles.
+
+    Buckets are upper bounds; observations above the last bound land in a
+    +inf overflow bucket.  :meth:`quantile` linearly interpolates within the
+    winning bucket — coarse, but stable, allocation-free on the hot path,
+    and good enough to steer a drain-size controller.
+    """
+
+    __slots__ = ("name", "bounds", "_counts", "_count", "_sum", "_lock")
+
+    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_MS) -> None:
+        bounds = [float(b) for b in buckets]
+        if not bounds or sorted(bounds) != bounds:
+            raise InvalidParameterError("histogram buckets must be sorted and non-empty")
+        self.name = str(name)
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # +1: the +inf overflow bucket
+        self._count = 0
+        self._sum = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        # Linear scan: bucket lists are ~a dozen entries and the scan is
+        # cheaper than bisect's function-call overhead at this size.
+        index = 0
+        for bound in self.bounds:
+            if value <= bound:
+                break
+            index += 1
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate q-quantile (q in [0, 1]) from the bucket counts."""
+        if not 0.0 <= q <= 1.0:
+            raise InvalidParameterError("q must be in [0, 1]")
+        with self._lock:
+            return self.quantile_unlocked(q)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "count": self._count,
+                "sum": round(self._sum, 6),
+                "mean": round(self.mean, 6),
+                "p50": round(self.quantile_unlocked(0.50), 6),
+                "p99": round(self.quantile_unlocked(0.99), 6),
+                "buckets": dict(zip([*map(str, self.bounds), "+inf"], self._counts)),
+            }
+
+    def quantile_unlocked(self, q: float) -> float:
+        """Quantile without re-taking the lock (call while holding it)."""
+        total = self._count
+        if total == 0:
+            return 0.0
+        rank = q * total
+        seen = 0.0
+        for index, count in enumerate(self._counts):
+            if count == 0:
+                continue
+            if seen + count >= rank:
+                lo = 0.0 if index == 0 else self.bounds[index - 1]
+                hi = self.bounds[index] if index < len(self.bounds) else lo
+                frac = (rank - seen) / count
+                return lo + (hi - lo) * min(max(frac, 0.0), 1.0)
+            seen += count
+        return self.bounds[-1]
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named counters/gauges/histograms."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            if name not in self._counters:
+                self._counters[name] = Counter(name)
+            return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            if name not in self._gauges:
+                self._gauges[name] = Gauge(name)
+            return self._gauges[name]
+
+    def histogram(self, name: str, buckets: Optional[Sequence[float]] = None) -> Histogram:
+        with self._lock:
+            if name not in self._histograms:
+                self._histograms[name] = Histogram(
+                    name, buckets if buckets is not None else DEFAULT_LATENCY_BUCKETS_MS
+                )
+            return self._histograms[name]
+
+    def snapshot(self) -> dict:
+        """One JSON-able view of everything — the ``metrics`` op response."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {name: c.value for name, c in sorted(counters.items())},
+            "gauges": {name: g.value for name, g in sorted(gauges.items())},
+            "histograms": {name: h.snapshot() for name, h in sorted(histograms.items())},
+        }
+
+
+def _rss_bytes_statm() -> Optional[int]:
+    """Resident set size from /proc/self/statm (Linux), else None."""
+    try:
+        with open("/proc/self/statm", "r", encoding="ascii") as handle:
+            fields = handle.read().split()
+        return int(fields[1]) * (os.sysconf("SC_PAGE_SIZE") or 4096)
+    except (OSError, ValueError, IndexError):  # pragma: no cover - non-Linux
+        return None
+
+
+class RssSampler:
+    """Live process-RSS and available-memory sampling, gauge-backed.
+
+    ``sample()`` refreshes both gauges and returns ``(rss, available)``;
+    ``memory_probe`` has the zero-argument signature
+    :func:`repro.engine.plans.plan_trials` expects, so the sampler plugs
+    straight into ``max_bytes="auto"`` re-planning — every probe is a fresh
+    read, never a cached planning-time value.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry
+        self._rss_gauge = registry.gauge("rss_bytes") if registry else None
+        self._avail_gauge = registry.gauge("available_bytes") if registry else None
+
+    @staticmethod
+    def rss_bytes() -> int:
+        """Current resident set size (peak-RSS fallback off-Linux)."""
+        rss = _rss_bytes_statm()
+        if rss is not None:
+            return rss
+        peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        return int(peak_kb) * 1024  # pragma: no cover - non-Linux
+
+    @staticmethod
+    def available_bytes() -> int:
+        """The machine's currently available memory (live read)."""
+        return available_memory_bytes()
+
+    def sample(self) -> Tuple[int, int]:
+        rss = self.rss_bytes()
+        available = self.available_bytes()
+        if self._rss_gauge is not None:
+            self._rss_gauge.set(rss)
+        if self._avail_gauge is not None:
+            self._avail_gauge.set(available)
+        return rss, available
+
+    def memory_probe(self) -> int:
+        """Available bytes, freshly sampled — the engine re-planning hook."""
+        return self.sample()[1]
+
+
+class AdaptiveDrainPolicy:
+    """Feedback controller for the drain batch window.
+
+    The server wants drains *big* (batch occupancy is where the vectorized
+    engine wins) but *bounded* (a drain is head-of-line blocking for every
+    queued request).  The policy holds a latency target and adjusts the
+    window AIMD-style after every drain:
+
+    * observed drain latency above ``target_ms`` → multiplicative shrink
+      (halving by default) — recover quickly from an oversized window;
+    * latency comfortably under target *and* the ingress queue at least as
+      deep as the current window → gentle multiplicative growth — only
+      grow when a bigger window would actually fill.
+
+    Deterministic: the window after a sequence of ``observe`` calls is a
+    pure function of the observations, which is what the unit tests pin.
+    """
+
+    def __init__(
+        self,
+        initial: int = 4096,
+        min_window: int = 256,
+        max_window: int = 65536,
+        target_ms: float = 5.0,
+        shrink: float = 0.5,
+        grow: float = 1.25,
+        headroom: float = 0.5,
+    ) -> None:
+        if not 0 < min_window <= initial <= max_window:
+            raise InvalidParameterError(
+                "need 0 < min_window <= initial <= max_window"
+            )
+        if not 0.0 < shrink < 1.0 or grow <= 1.0:
+            raise InvalidParameterError("need shrink in (0,1) and grow > 1")
+        if target_ms <= 0.0 or not 0.0 < headroom < 1.0:
+            raise InvalidParameterError("need target_ms > 0 and headroom in (0,1)")
+        self.min_window = int(min_window)
+        self.max_window = int(max_window)
+        self.target_ms = float(target_ms)
+        self.shrink = float(shrink)
+        self.grow = float(grow)
+        self.headroom = float(headroom)
+        self._window = int(initial)
+        self._lock = threading.Lock()
+
+    @property
+    def window(self) -> int:
+        return self._window
+
+    def observe(self, drain_ms: float, drained: int, queue_depth: int) -> int:
+        """Fold one drain's measurements into the next window size."""
+        with self._lock:
+            if drained <= 0:
+                return self._window
+            if drain_ms > self.target_ms:
+                # Scale by how undersized the drain actually was, floored by
+                # the multiplicative shrink — one wildly slow drain drops the
+                # window hard, mild overshoot trims it.
+                factor = max(self.shrink, self.target_ms / drain_ms)
+                self._window = max(self.min_window, int(self._window * factor))
+            elif drain_ms < self.target_ms * self.headroom and queue_depth >= self._window:
+                self._window = min(self.max_window, int(self._window * self.grow) + 1)
+            return self._window
+
+
+#: Re-exported for callers wiring the sampler into the engine hook.
+__all__.append("MemoryProbe")

@@ -28,19 +28,35 @@ to this loop.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.accounting.budget import BudgetLedger
+from repro.accounting.budget import BudgetLedger, BudgetPool
 from repro.core.allocation import BudgetAllocation
 from repro.data.scores import ScoreSource
-from repro.exceptions import InvalidParameterError, PrivacyError
+from repro.exceptions import InvalidParameterError, PrivacyError, ReproError
 from repro.queries.base import Query
 from repro.rng import RngLike, ensure_rng
 from repro.service.audit import AuditLog
 
-__all__ = ["OnlineAnswer", "Session", "EstimatorFn", "EXHAUSTED_MESSAGE"]
+__all__ = [
+    "OnlineAnswer",
+    "LaneAnswer",
+    "Session",
+    "EstimatorFn",
+    "EXHAUSTED_MESSAGE",
+    "DEFAULT_LANE",
+    "GRID_MODES",
+]
+
+#: The name under which a session's own (constructor) budget appears in its
+#: lane grid; :meth:`Session.add_lane` may not reuse it.
+DEFAULT_LANE = "default"
+
+#: Stream modes of :meth:`Session.answer_grid` — mirroring the service
+#: engine's shared/per-session split, per budget lane instead of per tenant.
+GRID_MODES = ("shared", "per-lane")
 
 #: Rejection text for queries after the c-th firing — shared by the
 #: streaming raise and the batched engine's per-row errors so both paths
@@ -70,6 +86,24 @@ class OnlineAnswer:
     value: float
     from_history: bool
     query_index: int
+
+
+@dataclass(frozen=True)
+class LaneAnswer:
+    """One lane's outcome of a grid-served query.
+
+    ``answer`` is None exactly when ``error`` says why the lane could not
+    serve (exhausted, over-sensitive query, unknown item) — the same typed
+    conditions the batched engine reports per row.
+    """
+
+    lane: str
+    answer: Optional[OnlineAnswer]
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.answer is not None
 
 
 class Session:
@@ -116,6 +150,7 @@ class Session:
         audit: Optional[AuditLog] = None,
         ttl_s: Optional[float] = None,
         opened_at: Optional[float] = None,
+        pool: Optional[BudgetPool] = None,
     ) -> None:
         if not 0.0 < svt_fraction < 1.0:
             raise InvalidParameterError("svt_fraction must be in (0, 1)")
@@ -158,6 +193,14 @@ class Session:
         self.monotonic = bool(monotonic)
         self.threshold = float(error_threshold)
 
+        # Multi-budget support: this session's own budget is lane
+        # ``DEFAULT_LANE``; further (epsilon, T, c) lanes attach via
+        # :meth:`add_lane`.  When a BudgetPool is given, every lane's whole
+        # budget — this one included — is drawn from it up front and
+        # refunded on close, so the pool bounds the tenant's total exposure.
+        self._lanes: Dict[str, "Session"] = {}
+        self._pool = pool
+
         self.ledger = BudgetLedger.with_total(epsilon)
         eps_svt = self.epsilon * self.svt_fraction
         eps_answers = self.epsilon - eps_svt
@@ -174,6 +217,11 @@ class Session:
         self.nu_scale = factor * self._sensitivity / allocation.eps2
         self._eps_per_answer = eps_answers / self.c
         self.answer_scale = self._sensitivity / self._eps_per_answer
+        # Draw from the pool only now, after every validation that can
+        # reject this session has passed — a failed constructor must not
+        # leak epsilon out of the tenant's shared allowance.
+        if pool is not None:
+            pool.draw(self.epsilon)
         # Line 1 of Alg. 7: perturb the threshold once for the whole session.
         self.rho = float(self._rng.laplace(scale=self.rho_scale))
         self._count = 0
@@ -237,12 +285,18 @@ class Session:
     def close(self, note: str = "") -> float:
         """End the session: release unspent budget, audit the release.
 
-        Returns the released epsilon (0 on a second close).  The ledger's
-        budget is shut — every further charge raises — and the session
-        rejects queries like an exhausted one.
+        Returns the released epsilon (0 on a second close), summed over this
+        session *and* its named lanes — closing a tenant closes every budget
+        it holds, each lane writing its own terminal ``evict`` record and
+        refunding its remainder to the shared :class:`BudgetPool` (if any).
+        The ledger's budget is shut — every further charge raises — and the
+        session rejects queries like an exhausted one.
         """
+        total = 0.0
+        for lane in self._lanes.values():
+            total += lane.close(note=note)
         if self._closed:
-            return 0.0
+            return total
         self._closed = True
         self._halted = True
         amount = self.ledger.release_remaining(note=note or "session closed")
@@ -250,7 +304,9 @@ class Session:
             self.session_id, "evict", mechanism="budget-release",
             epsilon=amount, note=note or "session closed",
         )
-        return amount
+        if self._pool is not None and amount > 0.0:
+            self._pool.refund(amount)
+        return total + amount
 
     @property
     def cohort_key(self) -> tuple:
@@ -263,6 +319,171 @@ class Session:
             self._sensitivity,
             self.monotonic,
         )
+
+    # ------------------------------------------------------------------
+    # Named budget lanes (multi-budget tenants).
+    # ------------------------------------------------------------------
+    @property
+    def lanes(self) -> Dict[str, "Session"]:
+        """The named budget lanes, in attach order (a copy — don't mutate)."""
+        return dict(self._lanes)
+
+    @property
+    def pool(self) -> Optional[BudgetPool]:
+        return self._pool
+
+    def grid_members(self) -> List[Tuple[str, "Session"]]:
+        """``(name, lane)`` pairs served by :meth:`answer_grid`, in order:
+        this session's own budget first (as ``DEFAULT_LANE``), then the
+        named lanes in attach order."""
+        return [(DEFAULT_LANE, self), *self._lanes.items()]
+
+    def lane(self, name: Optional[str]) -> "Session":
+        """Look up one budget lane; ``None``/``"default"`` is the session itself."""
+        if name is None or name == DEFAULT_LANE:
+            return self
+        try:
+            return self._lanes[str(name)]
+        except KeyError:
+            raise InvalidParameterError(
+                f"session {self.session_id!r} has no lane {name!r}; "
+                f"known: {[DEFAULT_LANE, *self._lanes]}"
+            ) from None
+
+    def add_lane(
+        self,
+        name: str,
+        *,
+        epsilon: float,
+        error_threshold: float,
+        c: int,
+        svt_fraction: float = 0.5,
+        sensitivity: Optional[float] = None,
+        monotonic: bool = False,
+        estimator: Optional[EstimatorFn] = None,
+        rng: RngLike = None,
+    ) -> "Session":
+        """Attach a named ``(epsilon, T, c)`` budget lane to this tenant.
+
+        The lane is a full :class:`Session` over the same backend, tenant,
+        and audit log — its own gate (fresh rho), ledger, and history — with
+        session id ``{parent_id}/{name}``.  Because a lane *is* a session it
+        rides every existing path unchanged: the batcher queues against it,
+        the engine cohorts it with identically-configured sessions, and
+        :func:`~repro.service.audit.verify_audit` replays it like any other.
+        What the parent adds on top is :meth:`answer_grid` — one query gated
+        under every lane at once through the epsilon-grid kernel — and, when
+        a :class:`BudgetPool` is attached, the guarantee that all lanes draw
+        from one bounded allowance.
+
+        ``rng=None`` draws fresh entropy; pass a seed/Generator (as the
+        :class:`~repro.service.manager.SessionManager` does) to pin the
+        lane's stream.  The parent's stream is never consumed.
+        """
+        name = str(name)
+        if self._closed:
+            raise PrivacyError(f"cannot add a lane to closed session {self.session_id!r}")
+        if name == DEFAULT_LANE:
+            raise InvalidParameterError(
+                f"lane name {DEFAULT_LANE!r} is reserved for the session's own budget"
+            )
+        if name in self._lanes:
+            raise InvalidParameterError(
+                f"session {self.session_id!r} already has a lane {name!r}"
+            )
+        lane = Session(
+            self._dataset,
+            epsilon=epsilon,
+            error_threshold=error_threshold,
+            c=c,
+            svt_fraction=svt_fraction,
+            sensitivity=self._sensitivity if sensitivity is None else sensitivity,
+            monotonic=monotonic,
+            estimator=estimator,
+            rng=rng,
+            supports=self._backend,
+            tenant=self.tenant,
+            session_id=f"{self.session_id}/{name}",
+            audit=self.audit,
+            ttl_s=self.ttl_s,
+            opened_at=self.opened_at,
+            pool=self._pool,
+        )
+        self._lanes[name] = lane
+        return lane
+
+    def answer_grid(
+        self, query: QueryLike, mode: str = "shared", rng: RngLike = None
+    ) -> Dict[str, LaneAnswer]:
+        """Serve one query under EVERY budget lane at once.
+
+        The multi-budget analog of :meth:`answer`: each lane gates the query
+        against its own threshold, rho, and history-derived estimate, and
+        each firing lane charges its own ledger — one call, many budgets.
+        The vectorized compare is :func:`repro.engine.gate.gate_grid`:
+
+        * ``mode="shared"`` — one unit Laplace draw (from *rng*, defaulting
+          to this session's stream) rescaled per lane, the epsilon-grid
+          noise-sharing trick.  Lane outcomes are correlated, each lane's
+          marginal distribution exact;
+        * ``mode="per-lane"`` — every lane draws from its own stream in
+          streaming order, **bit-identical** to asking the same query of
+          independent single-budget sessions (the contract
+          ``tests/service/test_lanes.py`` enforces).
+
+        Lanes that cannot serve (exhausted, resolve failure) report a typed
+        per-lane error; the other lanes proceed.  Returns ``{lane name:``
+        :class:`LaneAnswer` ``}`` covering every lane.
+        """
+        from repro.engine.gate import gate_grid
+
+        if mode not in GRID_MODES:
+            raise InvalidParameterError(
+                f"unknown grid mode {mode!r}; known: {GRID_MODES}"
+            )
+        answers: Dict[str, LaneAnswer] = {}
+        live: List[Tuple[str, "Session", object, float, float]] = []
+        for name, lane in self.grid_members():
+            if lane._halted:
+                answers[name] = LaneAnswer(lane=name, answer=None, error=EXHAUSTED_MESSAGE)
+                continue
+            try:
+                key, truth = lane.resolve(query)
+            except ReproError as exc:
+                answers[name] = LaneAnswer(lane=name, answer=None, error=str(exc))
+                continue
+            live.append((name, lane, key, truth, lane.estimate(key, query)))
+        if not live:
+            return answers
+
+        count = len(live)
+        truths = np.fromiter((entry[3] for entry in live), dtype=float, count=count)
+        estimates = np.fromiter((entry[4] for entry in live), dtype=float, count=count)
+        if mode == "per-lane":
+            gen: Union[List[np.random.Generator], np.random.Generator] = [
+                entry[1]._rng for entry in live
+            ]
+        else:
+            gen = ensure_rng(rng) if rng is not None else self._rng
+        grid = gate_grid(
+            np.abs(estimates - truths),
+            np.fromiter((e[1].threshold for e in live), dtype=float, count=count),
+            np.fromiter((e[1].rho for e in live), dtype=float, count=count),
+            np.fromiter((e[1].nu_scale for e in live), dtype=float, count=count),
+            np.fromiter((e[1].answer_scale for e in live), dtype=float, count=count),
+            truths,
+            rng=gen,
+        )
+        for position, (name, lane, key, truth, estimate) in enumerate(live):
+            index = lane.next_index()
+            if grid.above[position]:
+                noisy = float(grid.released[position])
+                lane.commit_release(key, query, truth, noisy, index=index)
+                served = OnlineAnswer(value=noisy, from_history=False, query_index=index)
+            else:
+                served = OnlineAnswer(value=estimate, from_history=True, query_index=index)
+            answers[name] = LaneAnswer(lane=name, answer=served)
+        return answers
 
     # ------------------------------------------------------------------
     # Query resolution and estimation.

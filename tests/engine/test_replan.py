@@ -1,0 +1,139 @@
+"""Live memory re-planning: ``max_bytes="auto"`` between-chunk feedback.
+
+The contract: re-planning changes only the execution *shape* (chunk heights,
+tile widths), never a bit of the results — per-trial derived streams and the
+tile-folded kernels make chunk/tile boundaries invisible.  The probe must be
+consulted freshly for every chunk, not once at planning time (the PR 4
+behavior this replaces).
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine.plans import plan_trials
+from repro.engine.trials import run_trials
+from repro.exceptions import InvalidParameterError
+
+SCORES = np.sort(np.random.default_rng(0).uniform(0.0, 100.0, 500))[::-1].copy()
+
+
+class SequenceProbe:
+    """A scripted memory probe recording how often it is consulted."""
+
+    def __init__(self, values):
+        self.values = list(values)
+        self.calls = 0
+
+    def __call__(self) -> int:
+        value = self.values[min(self.calls, len(self.values) - 1)]
+        self.calls += 1
+        return value
+
+
+class TestPlanProbe:
+    def test_plan_trials_uses_the_probe(self):
+        probe = SequenceProbe([96_000])
+        plan = plan_trials(100, 500, "auto", memory_probe=probe)
+        assert probe.calls == 1
+        # budget = probe * DEFAULT_MEMORY_FRACTION = 48_000 -> 2 trials/chunk.
+        assert plan.chunk_trials == 2
+
+    def test_static_budgets_never_probe(self):
+        probe = SequenceProbe([1])
+        plan_trials(100, 500, 10**6, memory_probe=probe)
+        plan_trials(100, 500, None, memory_probe=probe)
+        assert probe.calls == 0
+
+
+class TestLiveReplanning:
+    def test_probe_consulted_per_chunk(self):
+        probe = SequenceProbe([10**6] * 50)
+        run_trials(
+            "alg1", SCORES, 0.5, c=5, trials=40, thresholds=50.0, rng=1,
+            max_bytes="auto", memory_probe=probe,
+        )
+        # budget = 500k -> 20 trials per chunk -> 2 chunks -> 2 probe reads.
+        assert probe.calls == 2
+
+    def test_results_invariant_to_probe_schedule(self):
+        reference = run_trials(
+            "alg1", SCORES, 0.5, c=5, trials=23, thresholds=50.0, rng=9,
+            max_bytes=10**9,
+        )
+        schedules = [
+            [10**9],                            # one big chunk
+            [400_000, 150_000, 60_000, 10**9],  # shrinking mid-run
+            [60_000, 10**9],                    # growing mid-run
+        ]
+        for schedule in schedules:
+            probe = SequenceProbe(schedule)
+            live = run_trials(
+                "alg1", SCORES, 0.5, c=5, trials=23, thresholds=50.0, rng=9,
+                max_bytes="auto", memory_probe=probe,
+            )
+            np.testing.assert_array_equal(reference.selection, live.selection)
+            np.testing.assert_array_equal(reference.ser, live.ser)
+            np.testing.assert_array_equal(reference.processed, live.processed)
+
+    def test_replan_can_cross_into_tiling_and_back(self):
+        """A mid-run memory squeeze drops chunks into the two-axis regime."""
+        reference = run_trials(
+            "alg1", SCORES, [0.4, 1.2], c=5, trials=9, thresholds=50.0, rng=4,
+            max_bytes=10**9,
+        )
+        # 2_000 bytes: a full 500-wide row (48 B/cell) doesn't fit -> tiled
+        # chunk with chunk_n = 1000//48 = 20; then recovery to dense.
+        probe = SequenceProbe([100_000, 2_000, 2_000, 100_000, 10**9])
+        live = run_trials(
+            "alg1", SCORES, [0.4, 1.2], c=5, trials=9, thresholds=50.0, rng=4,
+            max_bytes="auto", memory_probe=probe,
+        )
+        assert probe.calls >= 3
+        for epsilon in reference:
+            np.testing.assert_array_equal(
+                reference[epsilon].selection, live[epsilon].selection
+            )
+            np.testing.assert_array_equal(reference[epsilon].fnr, live[epsilon].fnr)
+
+    def test_process_backend_plans_once(self):
+        """The pool must see all chunks up front: exactly one probe read."""
+        probe = SequenceProbe([10**6])
+        result = run_trials(
+            "alg1", SCORES, 0.5, c=5, trials=8, thresholds=50.0, rng=2,
+            max_bytes="auto", parallel="serial", memory_probe=probe,
+        )
+        assert result.trials == 8
+        # serial backend re-plans; the *process* path is exercised lightly
+        # here (pool startup is expensive) via the planning call count alone.
+        probe2 = SequenceProbe([10**6])
+        from repro.engine.exec import execute_trials
+
+        execute_trials(
+            "alg1", SCORES, 0.5, 5, 8, thresholds=50.0, rng=2,
+            max_bytes="auto", parallel="process", workers=1, memory_probe=probe2,
+        )
+        assert probe2.calls == 1
+
+    def test_auto_still_validates_fraction(self):
+        with pytest.raises(InvalidParameterError):
+            plan_trials(10, 10, "auto", memory_fraction=0.0)
+
+
+class TestHarnessWindows:
+    def test_experiment_windows_replan_live(self):
+        from repro.experiments.runner import _trial_chunks
+
+        probe = SequenceProbe([96_000, 48_000, 10**9])
+        windows = _trial_chunks(100, 500, "auto", memory_probe=probe)
+        # 96k -> 2 trials, 48k -> 1 trial, then everything else at once.
+        assert windows[0] == (0, 2)
+        assert windows[1] == (2, 3)
+        assert windows[-1][1] == 100
+        assert probe.calls == 3
+
+    def test_static_windows_unchanged(self):
+        from repro.experiments.runner import _trial_chunks
+
+        assert _trial_chunks(10, 100, None) == [(0, 10)]
+        windows = _trial_chunks(10, 100, 4800 * 3)
+        assert windows == [(0, 3), (3, 6), (6, 9), (9, 10)]

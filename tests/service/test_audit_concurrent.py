@@ -1,0 +1,156 @@
+"""Audit-log replay under interleaved concurrent sessions.
+
+A multi-tenant runtime interleaves many sessions' spends/releases/evicts in
+one global log — and may append from several threads.  The replay contract:
+any such interleaving persists, replays, and verifies per session; a log
+whose ``seq`` chain has gaps, duplicates, or reordering is rejected rather
+than silently re-sequenced.
+"""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError, PrivacyError
+from repro.service import SessionManager, verify_audit
+from repro.service.audit import AuditLog
+
+SUPPORTS = np.linspace(1000.0, 10.0, 80)
+
+
+def interleaved_manager(seed=0, tenants=6, rounds=12, evict_every=4):
+    """Round-robin serving: tenants' records interleave in the global log."""
+    audit = AuditLog()
+    manager = SessionManager(SUPPORTS, seed=seed, audit=audit)
+    rng = np.random.default_rng(seed)
+    for t in range(tenants):
+        manager.open_session(f"t{t}", epsilon=1.0, error_threshold=400.0, c=3)
+    for round_index in range(rounds):
+        for t in range(tenants):
+            if f"t{t}" not in manager:
+                continue
+            try:
+                manager.session(f"t{t}").answer(int(rng.integers(0, SUPPORTS.size)))
+            except PrivacyError:
+                pass
+        if round_index % evict_every == evict_every - 1:
+            victim = f"t{round_index % tenants}"
+            if victim in manager:
+                manager.evict(victim)
+    return audit, manager
+
+
+class TestInterleavedReplay:
+    def test_round_robin_interleaving_replays_and_verifies(self, tmp_path):
+        audit, manager = interleaved_manager()
+        # The log genuinely interleaves sessions (not grouped per tenant).
+        owners = [record.session for record in audit]
+        assert len(set(owners)) > 1
+        assert any(a != b for a, b in zip(owners, owners[1:]))
+
+        path = tmp_path / "audit.jsonl"
+        audit.to_jsonl(path)
+        replayed = AuditLog.replay(path)
+        assert len(replayed) == len(audit)
+        report = verify_audit(replayed, manager.audit_sessions())
+        assert report.ok, report.violations
+
+    def test_threaded_appends_produce_gap_free_log(self, tmp_path):
+        """Concurrent sessions recording from threads keep seq contiguous."""
+        audit = AuditLog()
+        manager = SessionManager(SUPPORTS, seed=3, audit=audit)
+        sessions = [
+            manager.open_session(f"t{t}", epsilon=1.0, error_threshold=400.0, c=3)
+            for t in range(8)
+        ]
+
+        def serve(session, seed):
+            rng = np.random.default_rng(seed)
+            for _ in range(40):
+                try:
+                    session.answer(int(rng.integers(0, SUPPORTS.size)))
+                except PrivacyError:
+                    return
+
+        threads = [
+            threading.Thread(target=serve, args=(session, index))
+            for index, session in enumerate(sessions)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        seqs = [record.seq for record in audit]
+        assert seqs == list(range(len(seqs)))  # no gaps, no duplicates
+        path = tmp_path / "audit.jsonl"
+        audit.to_jsonl(path)
+        report = verify_audit(AuditLog.replay(path), manager.audit_sessions())
+        assert report.ok, report.violations
+
+    def test_lane_records_interleave_and_verify(self, tmp_path):
+        audit = AuditLog()
+        manager = SessionManager(SUPPORTS, seed=5, audit=audit)
+        manager.open_session("a", epsilon=1.0, error_threshold=400.0, c=3)
+        manager.open_lane("a", "fast", epsilon=0.5, error_threshold=50.0, c=1)
+        manager.open_session("b", epsilon=1.0, error_threshold=400.0, c=3)
+        # Interleave parent, lane, and another tenant, then evict mid-log.
+        manager.session("a").answer(0)
+        manager.session("b").answer(1)
+        manager.session("a").lane("fast").answer(0)
+        manager.evict("a")
+        manager.session("b").answer(2)
+        path = tmp_path / "audit.jsonl"
+        audit.to_jsonl(path)
+        report = verify_audit(AuditLog.replay(path), manager.audit_sessions())
+        assert report.ok, report.violations
+
+
+class TestSeqIntegrity:
+    @pytest.fixture
+    def log_path(self, tmp_path):
+        audit, _manager = interleaved_manager(seed=1)
+        path = tmp_path / "audit.jsonl"
+        audit.to_jsonl(path)
+        return path
+
+    def test_seq_gap_rejected(self, log_path, tmp_path):
+        lines = log_path.read_text().splitlines()
+        assert len(lines) > 10
+        corrupted = tmp_path / "gap.jsonl"
+        corrupted.write_text("\n".join(lines[:5] + lines[6:]) + "\n")
+        with pytest.raises(InvalidParameterError, match="seq"):
+            AuditLog.replay(corrupted)
+
+    def test_reordered_records_rejected(self, log_path, tmp_path):
+        lines = log_path.read_text().splitlines()
+        swapped = lines[:]
+        swapped[3], swapped[7] = swapped[7], swapped[3]
+        corrupted = tmp_path / "swap.jsonl"
+        corrupted.write_text("\n".join(swapped) + "\n")
+        with pytest.raises(InvalidParameterError, match="seq"):
+            AuditLog.replay(corrupted)
+
+    def test_duplicated_record_rejected(self, log_path, tmp_path):
+        lines = log_path.read_text().splitlines()
+        corrupted = tmp_path / "dup.jsonl"
+        corrupted.write_text("\n".join(lines[:4] + [lines[3]] + lines[4:]) + "\n")
+        with pytest.raises(InvalidParameterError, match="seq"):
+            AuditLog.replay(corrupted)
+
+    def test_tampered_spend_fails_verification(self, log_path, tmp_path):
+        """A seq-consistent but value-tampered log must fail verify_audit."""
+        audit, manager = interleaved_manager(seed=2)
+        path = tmp_path / "tampered.jsonl"
+        audit.to_jsonl(path)
+        lines = path.read_text().splitlines()
+        payloads = [json.loads(line) for line in lines]
+        for payload in payloads:
+            if payload["kind"] == "spend" and payload["mechanism"] == "laplace-answer":
+                payload["epsilon"] *= 3.0  # inflate one tenant's spend
+                break
+        path.write_text("\n".join(json.dumps(p) for p in payloads) + "\n")
+        replayed = AuditLog.replay(path)
+        report = verify_audit(replayed, manager.audit_sessions())
+        assert not report.ok

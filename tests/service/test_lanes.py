@@ -1,0 +1,278 @@
+"""Multi-budget tenants: named lanes, the epsilon-grid gate, budget pools.
+
+The load-bearing guarantee mirrors the service engine's: ``per-lane`` grid
+mode is **bit-identical** to asking the same queries of independent
+single-budget sessions (same streams, same draws, same ledgers).  Shared
+mode is pinned structurally: one unit draw rescaled per lane, so the
+realized ``nu / nu_scale`` ratio is constant across lanes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.accounting import BudgetPool
+from repro.engine.gate import gate_grid
+from repro.exceptions import (
+    BudgetExhaustedError,
+    InvalidParameterError,
+    PrivacyError,
+)
+from repro.service import Session, SessionManager, verify_audit
+from repro.service.audit import AuditLog
+from repro.rng import derive_rng
+
+SUPPORTS = np.linspace(1000.0, 10.0, 150)
+
+LANE_CONFIGS = {
+    "hot": dict(epsilon=2.0, error_threshold=100.0, c=2),
+    "cold": dict(epsilon=0.5, error_threshold=500.0, c=4),
+}
+
+
+def multi_session(seed=0, **kwargs):
+    session = Session(
+        SUPPORTS, epsilon=1.0, error_threshold=300.0, c=3, supports=SUPPORTS,
+        rng=derive_rng(seed, "parent"), tenant="tenant", **kwargs,
+    )
+    for name, config in LANE_CONFIGS.items():
+        session.add_lane(name, rng=derive_rng(seed, "lane", name), **config)
+    return session
+
+
+def independent_sessions(seed=0):
+    out = {
+        "default": Session(
+            SUPPORTS, epsilon=1.0, error_threshold=300.0, c=3, supports=SUPPORTS,
+            rng=derive_rng(seed, "parent"),
+        )
+    }
+    for name, config in LANE_CONFIGS.items():
+        out[name] = Session(
+            SUPPORTS, supports=SUPPORTS, rng=derive_rng(seed, "lane", name), **config
+        )
+    return out
+
+
+class TestPerLaneBitIdentity:
+    def test_grid_matches_independent_sessions(self):
+        """per-lane answer_grid == separate sessions, draw for draw."""
+        multi = multi_session(seed=7)
+        solo = independent_sessions(seed=7)
+        queries = [0, 3, 0, 11, 3, 0, 40, 11, 3, 0, 5, 5, 5, 0]
+        for query in queries:
+            grid = multi.answer_grid(query, mode="per-lane")
+            for name, session in solo.items():
+                try:
+                    expect = session.answer(query)
+                except PrivacyError:
+                    assert grid[name].error is not None
+                    continue
+                got = grid[name].answer
+                assert got is not None, (name, query)
+                assert got.value == expect.value  # bit-identical
+                assert got.from_history == expect.from_history
+                assert got.query_index == expect.query_index
+        # Ledgers and gate state agree lane by lane.
+        for name, session in solo.items():
+            lane = multi.lane(None if name == "default" else name)
+            assert lane.ledger.spent == session.ledger.spent
+            assert lane.database_accesses == session.database_accesses
+            assert lane.served == session.served
+
+    def test_lane_requests_ride_the_streaming_path_identically(self):
+        """Serving one lane directly is the plain Session.answer loop."""
+        multi = multi_session(seed=3)
+        solo = independent_sessions(seed=3)
+        for query in [2, 2, 9, 2]:
+            got = multi.lane("hot").answer(query)
+            expect = solo["hot"].answer(query)
+            assert got.value == expect.value
+            assert got.from_history == expect.from_history
+
+
+class TestSharedMode:
+    def test_unit_noise_is_shared_across_lanes(self):
+        grid = gate_grid(
+            errors=[50.0, 50.0, 50.0],
+            thresholds=[10.0, 20.0, 30.0],
+            rho=0.0,
+            nu_scales=[2.0, 5.0, 11.0],
+            answer_scales=[1.0, 2.0, 3.0],
+            truths=100.0,
+            rng=42,
+        )
+        ratios = grid.nu / np.array([2.0, 5.0, 11.0])
+        assert np.allclose(ratios, ratios[0])
+        # Fired lanes share the release unit too.
+        fired = np.nonzero(grid.above)[0]
+        if fired.size >= 2:
+            scales = np.array([1.0, 2.0, 3.0])[fired]
+            release_units = (grid.released[fired] - 100.0) / scales
+            assert np.allclose(release_units, release_units[0])
+
+    def test_answer_grid_shared_is_deterministic_given_seed(self):
+        results = []
+        for _ in range(2):
+            multi = multi_session(seed=5)
+            values = []
+            for query in [0, 1, 0, 2]:
+                grid = multi.answer_grid(query, mode="shared")
+                values.append(
+                    tuple(
+                        (grid[k].answer.value if grid[k].ok else None)
+                        for k in sorted(grid)
+                    )
+                )
+            results.append(values)
+        assert results[0] == results[1]
+
+    def test_exhausted_lane_reports_typed_error_while_others_serve(self):
+        multi = multi_session(seed=1)
+        # Exhaust the "hot" lane (c=2) with guaranteed-firing fresh items.
+        hot = multi.lane("hot")
+        hits = 0
+        for item in range(100):
+            if hits >= hot.c:
+                break
+            hits += not hot.answer(item).from_history
+        assert hot.exhausted
+        grid = multi.answer_grid(0, mode="shared")
+        assert grid["hot"].error is not None and not grid["hot"].ok
+        assert grid["default"].ok and grid["cold"].ok
+
+    def test_unknown_grid_mode_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            multi_session().answer_grid(0, mode="speculative")
+
+
+class TestLaneManagement:
+    def test_duplicate_and_reserved_names_rejected(self):
+        session = multi_session()
+        with pytest.raises(InvalidParameterError):
+            session.add_lane("hot", epsilon=1.0, error_threshold=1.0, c=1)
+        with pytest.raises(InvalidParameterError):
+            session.add_lane("default", epsilon=1.0, error_threshold=1.0, c=1)
+        with pytest.raises(InvalidParameterError):
+            session.lane("nope")
+
+    def test_close_cascades_to_lanes(self):
+        session = multi_session()
+        released = session.close()
+        total_budget = 1.0 + sum(cfg["epsilon"] for cfg in LANE_CONFIGS.values())
+        spent = session.ledger.spent + sum(
+            lane.ledger.spent for lane in session.lanes.values()
+        )
+        assert released == pytest.approx(total_budget - spent)
+        for lane in session.lanes.values():
+            assert lane.exhausted
+        with pytest.raises(PrivacyError):
+            session.add_lane("late", epsilon=0.1, error_threshold=1.0, c=1)
+
+    def test_manager_open_lane_and_audit_coverage(self):
+        audit = AuditLog()
+        manager = SessionManager(SUPPORTS, seed=9, audit=audit)
+        manager.open_session("acme", epsilon=1.0, error_threshold=300.0, c=3)
+        lane = manager.open_lane("acme", "fast", epsilon=0.5, error_threshold=50.0, c=1)
+        assert lane.session_id == "acme#0/fast"
+        lane.answer(0)
+        report = verify_audit(audit, manager.audit_sessions())
+        assert report.ok, report.violations
+        # Lane spend is part of the manager's total.
+        assert manager.total_spent() == pytest.approx(
+            manager.session("acme").ledger.spent + lane.ledger.spent
+        )
+        # Eviction closes lanes and keeps the audit verifiable.
+        manager.evict("acme")
+        report = verify_audit(audit, manager.audit_sessions())
+        assert report.ok, report.violations
+        assert "acme#0/fast" in manager.closed_sessions()
+
+    def test_manager_lane_streams_are_derived_deterministically(self):
+        answers = []
+        for _ in range(2):
+            manager = SessionManager(SUPPORTS, seed=31)
+            manager.open_session("a", epsilon=1.0, error_threshold=300.0, c=3)
+            lane = manager.open_lane("a", "x", epsilon=1.0, error_threshold=100.0, c=2)
+            answers.append([lane.answer(i).value for i in (0, 4, 0)])
+        assert answers[0] == answers[1]
+
+
+class TestBudgetPool:
+    def test_pool_bounds_total_exposure(self):
+        pool = BudgetPool(2.0)
+        session = Session(
+            SUPPORTS, epsilon=1.0, error_threshold=300.0, c=3, supports=SUPPORTS,
+            rng=0, pool=pool,
+        )
+        session.add_lane("a", epsilon=0.75, error_threshold=100.0, c=2, rng=1)
+        assert pool.remaining == pytest.approx(0.25)
+        with pytest.raises(BudgetExhaustedError):
+            session.add_lane("b", epsilon=0.5, error_threshold=100.0, c=2, rng=2)
+
+    def test_close_refunds_unspent_to_pool(self):
+        pool = BudgetPool(2.0)
+        session = Session(
+            SUPPORTS, epsilon=1.0, error_threshold=300.0, c=3, supports=SUPPORTS,
+            rng=0, pool=pool,
+        )
+        lane = session.add_lane("a", epsilon=0.5, error_threshold=100.0, c=2, rng=1)
+        lane.answer(0)  # spend something beyond the gate charge, maybe
+        released = session.close()
+        assert released > 0.0
+        spent = session.ledger.spent + lane.ledger.spent
+        assert pool.remaining == pytest.approx(2.0 - spent)
+        # Refunded budget is drawable again.
+        pool.draw(pool.remaining)
+
+    def test_failed_construction_never_leaks_pool_budget(self):
+        """A rejected session/lane must not consume the tenant's allowance."""
+        pool = BudgetPool(2.0)
+        session = Session(
+            SUPPORTS, epsilon=1.0, error_threshold=300.0, c=3, supports=SUPPORTS,
+            rng=0, pool=pool,
+        )
+        with pytest.raises(InvalidParameterError):
+            session.add_lane("bad", epsilon=0.5, error_threshold=100.0, c=0)
+        with pytest.raises(InvalidParameterError):
+            session.add_lane("bad2", epsilon=0.5, error_threshold=-1.0, c=2)
+        assert pool.remaining == pytest.approx(1.0)  # only the parent drew
+        # The full remainder is still drawable by a valid lane.
+        session.add_lane("good", epsilon=1.0, error_threshold=100.0, c=2, rng=1)
+        assert pool.remaining == pytest.approx(0.0)
+
+    def test_pool_validates_amounts(self):
+        pool = BudgetPool(1.0)
+        with pytest.raises(InvalidParameterError):
+            pool.draw(-0.5)
+        with pytest.raises(InvalidParameterError):
+            pool.refund(0.5)  # nothing drawn yet
+        with pytest.raises(InvalidParameterError):
+            BudgetPool(0.0)
+
+
+class TestReopenEviction:
+    def test_reopen_evicts_previous_epoch(self):
+        """A second open_session ends the old epoch like an eviction would:
+        budget released, audit still verifiable, spend totals preserved."""
+        audit = AuditLog()
+        manager = SessionManager(SUPPORTS, seed=4, audit=audit)
+        first = manager.open_session("t", epsilon=1.0, error_threshold=300.0, c=3)
+        first.answer(0)
+        spent_before = manager.total_spent()
+        second = manager.open_session("t", epsilon=1.0, error_threshold=300.0, c=3)
+        assert second is not first and first.exhausted
+        assert "t#0" in manager.closed_sessions()
+        assert manager.released_budget["t"] > 0.0
+        # The old epoch's spend is still accounted and replayable.
+        assert manager.total_spent() >= spent_before
+        report = verify_audit(audit, manager.audit_sessions())
+        assert report.ok, report.violations
+
+    def test_reopen_refunds_pool(self):
+        pool = BudgetPool(1.0)
+        manager = SessionManager(SUPPORTS, seed=4)
+        manager.open_session("t", epsilon=1.0, error_threshold=300.0, c=3, pool=pool)
+        # Without the eviction-on-reopen refund this second open would
+        # exhaust the pool even though only one session is ever live.
+        manager.open_session("t", epsilon=0.25, error_threshold=300.0, c=3, pool=pool)
+        assert pool.remaining >= 0.0

@@ -1,0 +1,130 @@
+"""The observability subsystem: histograms, the RSS sampler, the AIMD policy."""
+
+import threading
+
+import pytest
+
+from repro.engine.plans import available_memory_bytes
+from repro.exceptions import InvalidParameterError
+from repro.service.runtime.metrics import (
+    AdaptiveDrainPolicy,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    RssSampler,
+)
+
+
+class TestPrimitives:
+    def test_counter_concurrent_adds(self):
+        counter = Counter("hits")
+        threads = [
+            threading.Thread(target=lambda: [counter.add() for _ in range(10_000)])
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 80_000
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(InvalidParameterError):
+            Counter("x").add(-1)
+
+    def test_histogram_quantiles_and_snapshot(self):
+        hist = Histogram("lat", buckets=[1.0, 10.0, 100.0])
+        for value in [0.5] * 50 + [5.0] * 40 + [50.0] * 9 + [500.0]:
+            hist.observe(value)
+        assert hist.count == 100
+        assert hist.mean == pytest.approx((0.5 * 50 + 5 * 40 + 50 * 9 + 500) / 100)
+        assert hist.quantile(0.5) <= 1.0  # median in the first bucket
+        assert 10.0 <= hist.quantile(0.99) <= 100.0
+        snap = hist.snapshot()
+        assert snap["count"] == 100
+        assert snap["buckets"]["+inf"] == 1
+        assert snap["p50"] == pytest.approx(hist.quantile(0.5))
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(InvalidParameterError):
+            Histogram("bad", buckets=[10.0, 1.0])
+
+    def test_registry_get_or_create_and_snapshot(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        registry.counter("a").add(3)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(2.0)
+        snap = registry.snapshot()
+        assert snap["counters"]["a"] == 3
+        assert snap["gauges"]["g"] == 1.5
+        assert snap["histograms"]["h"]["count"] == 1
+
+
+class TestRssSampler:
+    def test_sample_updates_gauges_with_live_values(self):
+        registry = MetricsRegistry()
+        sampler = RssSampler(registry)
+        rss, available = sampler.sample()
+        assert rss > 0 and available > 0
+        assert registry.gauge("rss_bytes").value == rss
+        assert registry.gauge("available_bytes").value == available
+
+    def test_memory_probe_matches_plans_reader(self):
+        probe = RssSampler().memory_probe()
+        direct = available_memory_bytes()
+        # Both are live reads of the same /proc source; allow drift.
+        assert probe == pytest.approx(direct, rel=0.2)
+
+    def test_rss_grows_with_allocation(self):
+        sampler = RssSampler()
+        before = sampler.rss_bytes()
+        blob = bytearray(64 << 20)  # 64 MiB
+        blob[::4096] = b"x" * len(blob[::4096])  # touch every page
+        after = sampler.rss_bytes()
+        del blob
+        assert after - before > 32 << 20
+
+
+class TestAdaptivePolicy:
+    def test_shrinks_when_over_target(self):
+        policy = AdaptiveDrainPolicy(initial=4096, target_ms=5.0)
+        # Mild overshoot scales by the latency ratio (5/6.25 = 0.8)...
+        assert policy.observe(6.25, drained=4096, queue_depth=10_000) == 3276
+        # ...while heavy overshoot is floored at the multiplicative shrink.
+        assert policy.observe(100.0, drained=3276, queue_depth=10_000) == 1638
+
+    def test_hard_floor_on_catastrophic_drain(self):
+        policy = AdaptiveDrainPolicy(initial=4096, min_window=256, target_ms=5.0)
+        policy.observe(5000.0, drained=4096, queue_depth=0)
+        assert policy.window == 2048  # multiplicative shrink floor (0.5x)
+
+    def test_grows_only_under_pressure(self):
+        policy = AdaptiveDrainPolicy(initial=1024, target_ms=5.0)
+        # Fast drain but shallow queue: no growth (a bigger window can't fill).
+        assert policy.observe(0.5, drained=1024, queue_depth=10) == 1024
+        # Fast drain with a deep queue: grow.
+        grown = policy.observe(0.5, drained=1024, queue_depth=5000)
+        assert grown > 1024
+        assert policy.observe(0.5, drained=grown, queue_depth=10_000) > grown
+
+    def test_respects_bounds_and_is_deterministic(self):
+        policy = AdaptiveDrainPolicy(
+            initial=512, min_window=256, max_window=1024, target_ms=5.0
+        )
+        for _ in range(10):
+            policy.observe(0.1, drained=policy.window, queue_depth=10**6)
+        assert policy.window == 1024
+        for _ in range(10):
+            policy.observe(1000.0, drained=policy.window, queue_depth=0)
+        assert policy.window == 256
+        # Empty drains never move the window.
+        assert policy.observe(1000.0, drained=0, queue_depth=0) == 256
+
+    def test_validates_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            AdaptiveDrainPolicy(initial=10, min_window=100)
+        with pytest.raises(InvalidParameterError):
+            AdaptiveDrainPolicy(shrink=1.5)
+        with pytest.raises(InvalidParameterError):
+            AdaptiveDrainPolicy(target_ms=0.0)
