@@ -185,6 +185,29 @@ class BudgetPool:
         self._refunded = 0.0
         self._lock = threading.Lock()
 
+    @classmethod
+    def restore(cls, total: float, drawn: float, refunded: float) -> "BudgetPool":
+        """Rebuild a pool at a persisted position (durable-store recovery).
+
+        The invariants the live methods enforce are re-checked on the way
+        in, so a corrupted snapshot cannot mint epsilon.
+        """
+        pool = cls(total)
+        drawn = float(drawn)
+        refunded = float(refunded)
+        if drawn < 0.0 or refunded < 0.0 or not (math.isfinite(drawn) and math.isfinite(refunded)):
+            raise InvalidParameterError(
+                f"pool state must be finite and >= 0, got drawn={drawn!r}, "
+                f"refunded={refunded!r}"
+            )
+        if refunded > drawn + _EPS_SLACK:
+            raise InvalidParameterError("refunded exceeds what was ever drawn")
+        if drawn - refunded > pool._total + _EPS_SLACK:
+            raise InvalidParameterError("net drawn exceeds the pool total")
+        pool._drawn = drawn
+        pool._refunded = refunded
+        return pool
+
     @property
     def total(self) -> float:
         return self._total

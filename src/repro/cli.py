@@ -132,6 +132,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--audit-log", type=Path, default=None, dest="audit_log",
                        help="persist the audit trail to this JSONL file on exit "
                             "(replayable via AuditLog.replay / verify_audit)")
+    serve.add_argument("--state-dir", type=Path, default=None, dest="state_dir",
+                       help="durable state directory: spends/audit fsync before "
+                            "responses, and boot recovers the previous state")
+    serve.add_argument("--checkpoint-every", type=int, default=256,
+                       dest="checkpoint_every",
+                       help="WAL batches between snapshot checkpoints")
     serve.add_argument("--session-ttl", type=float, default=None, dest="session_ttl",
                        help="expire sessions after this many seconds, releasing "
                             "unspent budget (checked at every drain)")
@@ -286,8 +292,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_window=max(65536, args.batch),
         adaptive=not args.no_adaptive,
         target_drain_ms=args.target_drain_ms,
+        state_dir=None if args.state_dir is None else str(args.state_dir),
+        checkpoint_every=args.checkpoint_every,
     )
     server = RuntimeServer(supports, config)
+    if server.recovery is not None:
+        print(server.recovery.summary(), file=sys.stderr)
     server.on_expire = lambda tenant, released: print(
         f"expired session for tenant {tenant} (released {released:g} epsilon)",
         file=sys.stderr,
@@ -314,6 +324,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(tcp_main())
     else:
         asyncio.run(server.serve_stdin())
+    # TCP shutdown closes the store itself; the stdio path (and any bailout
+    # before shutdown ran) must not leave pending audit appends in memory.
+    server.close_store()
+    if server.store is not None:
+        print(f"durable state checkpointed to {server.store.state_dir}", file=sys.stderr)
 
     service = server.service
     served = (

@@ -16,6 +16,7 @@ __all__ = [
     "InvalidParameterError",
     "DatasetError",
     "QueryError",
+    "StoreUnavailableError",
 ]
 
 
@@ -63,3 +64,17 @@ class DatasetError(ReproError):
 
 class QueryError(ReproError):
     """Raised for malformed queries or query/dataset mismatches."""
+
+
+class StoreUnavailableError(ReproError):
+    """Raised when the durable store cannot commit after bounded retries.
+
+    The runtime treats this as a *degradation*, not a crash: answers whose
+    durability could not be guaranteed are replaced by typed ``unavailable``
+    responses while the connection (and the already-committed state) lives
+    on.  Carries ``attempts`` so operators can see how hard the store tried.
+    """
+
+    def __init__(self, message: str, attempts: int = 1) -> None:
+        self.attempts = int(attempts)
+        super().__init__(message)

@@ -24,7 +24,11 @@ The paper's Section-3.4 online-answering pattern — "answer many queries for
   enforced service benchmark;
 * :mod:`repro.service.runtime` — the concurrent runtime: the asyncio JSONL
   ingestion server (TCP + stdio, bounded-queue backpressure with typed
-  ``overloaded`` shedding) and the live metrics/adaptive-drain subsystem.
+  ``overloaded`` shedding) and the live metrics/adaptive-drain subsystem;
+* :mod:`repro.service.store` — crash-safe durability: the crc-framed
+  JSONL write-ahead log + SQLite snapshot store beneath the manager,
+  ledgers, and audit log, with replay-on-boot recovery
+  (:func:`restore_service`) and a :class:`FaultInjector` crash harness.
 """
 
 from repro.service.audit import AuditLog, AuditRecord, gate_mechanism_spec, verify_audit
@@ -32,6 +36,13 @@ from repro.service.batcher import QueuedRequest, RequestBatcher
 from repro.service.engine import DrainResult, ServiceClient, ServiceEngine, SVTQueryService
 from repro.service.manager import SessionManager
 from repro.service.session import LaneAnswer, OnlineAnswer, Session
+from repro.service.store import (
+    DurableStore,
+    FaultInjector,
+    RecoveryInfo,
+    StoreConfig,
+    restore_service,
+)
 from repro.service.workload import LoadStats, Workload, WorkloadSpec, generate_workload
 
 __all__ = [
@@ -53,4 +64,9 @@ __all__ = [
     "Workload",
     "WorkloadSpec",
     "generate_workload",
+    "DurableStore",
+    "StoreConfig",
+    "FaultInjector",
+    "RecoveryInfo",
+    "restore_service",
 ]

@@ -17,7 +17,7 @@ import json
 import math
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, NamedTuple, Optional
+from typing import Callable, Dict, Iterator, List, NamedTuple, Optional
 
 from repro.accounting.budget import _EPS_SLACK
 from repro.core.allocation import BudgetAllocation
@@ -67,6 +67,57 @@ class AuditLog:
     def __init__(self) -> None:
         self._records: List[AuditRecord] = []
         self._lock = threading.Lock()
+        # Sequence numbers are assigned from a counter, not len(_records):
+        # a log rebuilt from a compacted store starts mid-sequence (archived
+        # records are gone) and fresh appends must continue the global
+        # numbering, never reuse an archived seq.
+        self._next_seq = 0
+        # Write-ahead hooks: each freshly appended record is handed to every
+        # sink under the append lock, so a durable store sees records in
+        # exactly seq order.  Sinks must be cheap and must not re-enter the
+        # log.
+        self._sinks: List[Callable[[AuditRecord], None]] = []
+
+    @property
+    def next_seq(self) -> int:
+        """The sequence number the next record will take."""
+        return self._next_seq
+
+    def add_sink(self, sink: Callable[[AuditRecord], None]) -> None:
+        """Register a callback invoked (in seq order) for every new record."""
+        with self._lock:
+            self._sinks.append(sink)
+
+    @classmethod
+    def from_records(cls, records, next_seq: Optional[int] = None) -> "AuditLog":
+        """Rebuild a log from already-validated records (recovery path).
+
+        Seq numbers must be strictly increasing in *records* order but need
+        not start at 0 or be contiguous — compaction archives whole closed
+        sessions out of the store, leaving gaps.  ``next_seq`` pins the next
+        number to assign (defaults to one past the largest seen).
+        """
+        log = cls()
+        last = -1
+        for record in records:
+            if not isinstance(record, AuditRecord):
+                record = AuditRecord(**record)
+            if record.kind not in KINDS:
+                raise InvalidParameterError(
+                    f"unknown audit kind {record.kind!r}; known: {KINDS}"
+                )
+            if record.seq <= last:
+                raise InvalidParameterError(
+                    f"audit records out of order: seq {record.seq} after {last}"
+                )
+            last = record.seq
+            log._records.append(record)
+        log._next_seq = last + 1 if next_seq is None else int(next_seq)
+        if log._next_seq <= last:
+            raise InvalidParameterError(
+                f"next_seq {log._next_seq} would reuse an existing seq (max {last})"
+            )
+        return log
 
     def record(
         self,
@@ -81,7 +132,7 @@ class AuditLog:
             raise InvalidParameterError(f"unknown audit kind {kind!r}; known: {KINDS}")
         with self._lock:
             entry = AuditRecord(
-                seq=len(self._records),
+                seq=self._next_seq,
                 session=str(session),
                 kind=kind,
                 mechanism=mechanism,
@@ -89,7 +140,10 @@ class AuditLog:
                 value=value,
                 note=note,
             )
+            self._next_seq += 1
             self._records.append(entry)
+            for sink in self._sinks:
+                sink(entry)
         return entry
 
     def for_session(self, session: str) -> List[AuditRecord]:
@@ -127,37 +181,59 @@ class AuditLog:
         return len(records)
 
     @classmethod
-    def replay(cls, path) -> "AuditLog":
+    def replay(cls, path, tolerate_torn_tail: bool = False) -> "AuditLog":
         """Load a :meth:`to_jsonl` file back into an append-only log.
 
         Append-only integrity is enforced on the way in: records must carry
         the contiguous ``seq`` numbers 0..N-1 in file order and only known
         kinds — a truncated, reordered, or hand-edited file is rejected
         rather than silently re-sequenced.
+
+        ``tolerate_torn_tail=True`` is the crash-recovery mode: a *final*
+        line that fails to parse (the classic torn write — the process died
+        mid-append) is dropped and the intact prefix is returned.  Only the
+        physically last line gets this grace; a malformed line with records
+        after it is mid-file corruption and still raises.  A torn tail can
+        only ever *shorten* the log — it can never admit a record that the
+        strict mode would reject, so a recovered log is always some exact
+        committed prefix of the original.
         """
-        log = cls()
         with open(path, "r", encoding="utf-8") as handle:
-            for lineno, line in enumerate(handle):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    payload = json.loads(line)
-                    record = AuditRecord(**payload)
-                except (ValueError, TypeError) as exc:
-                    raise InvalidParameterError(
-                        f"{path}: line {lineno + 1} is not an audit record: {exc}"
-                    ) from None
-                if record.kind not in KINDS:
-                    raise InvalidParameterError(
-                        f"{path}: line {lineno + 1} has unknown kind {record.kind!r}"
-                    )
-                if record.seq != len(log._records):
-                    raise InvalidParameterError(
-                        f"{path}: line {lineno + 1} has seq {record.seq}, "
-                        f"expected {len(log._records)} (log not append-only?)"
-                    )
-                log._records.append(record)
+            lines = handle.readlines()
+        # Trailing blank/whitespace lines don't count as records when
+        # deciding which line is "last".
+        while lines and not lines[-1].strip():
+            lines.pop()
+        log = cls()
+        for lineno, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            is_last = lineno == len(lines) - 1
+            try:
+                payload = json.loads(line)
+                record = AuditRecord(**payload)
+            except (ValueError, TypeError) as exc:
+                if tolerate_torn_tail and is_last:
+                    break
+                raise InvalidParameterError(
+                    f"{path}: line {lineno + 1} is not an audit record: {exc}"
+                ) from None
+            if record.kind not in KINDS:
+                if tolerate_torn_tail and is_last:
+                    break
+                raise InvalidParameterError(
+                    f"{path}: line {lineno + 1} has unknown kind {record.kind!r}"
+                )
+            if record.seq != len(log._records):
+                if tolerate_torn_tail and is_last:
+                    break
+                raise InvalidParameterError(
+                    f"{path}: line {lineno + 1} has seq {record.seq}, "
+                    f"expected {len(log._records)} (log not append-only?)"
+                )
+            log._records.append(record)
+        log._next_seq = len(log._records)
         return log
 
 

@@ -239,6 +239,15 @@ class ServiceEngine:
         self.mode = mode
         self._rng = ensure_rng(rng)
 
+    @property
+    def rng(self) -> np.random.Generator:
+        """The shared-mode noise source (persisted by the durable store)."""
+        return self._rng
+
+    @rng.setter
+    def rng(self, value: np.random.Generator) -> None:
+        self._rng = value
+
     def execute(self, batch: DrainBatch) -> DrainResult:
         """Answer every request of *batch*; columns follow expansion order."""
         out = _Out(batch.size)

@@ -100,6 +100,35 @@ class SessionManager:
         return self._dataset
 
     @property
+    def seed(self) -> int:
+        """The resolved seed material (an int — persisted by the durable
+        store so per-session stream derivation survives a reboot)."""
+        return self._seed
+
+    def now(self) -> float:
+        """The manager clock's current reading (TTL re-arming at recovery)."""
+        return self._clock()
+
+    # ------------------------------------------------------------------
+    # Durable-store hooks (see repro.service.store.recovery).
+    # ------------------------------------------------------------------
+    def epochs(self) -> Dict[str, int]:
+        """Per-tenant epoch counters (a copy) — persisted so a recovered
+        manager never re-derives an already-used session stream."""
+        return dict(self._epochs)
+
+    def restore_epochs(self, epochs: Dict[str, int]) -> None:
+        self._epochs = {str(t): int(e) for t, e in epochs.items()}
+
+    def adopt_session(self, session: Session) -> None:
+        """Install an already-built session for its tenant (recovery path —
+        no eviction, no epoch bump, no open-time side effects)."""
+        self._sessions[session.tenant] = session
+
+    def restore_closed(self, closed: Dict[str, ClosedSession]) -> None:
+        self._closed = dict(closed)
+
+    @property
     def supports(self) -> Union[np.ndarray, ScoreSource, None]:
         return self._supports
 

@@ -28,6 +28,14 @@ between the wire and the batcher:
   :class:`~repro.service.runtime.metrics.AdaptiveDrainPolicy`, so the window
   grows while drains are cheap and collapses when a drain blows its latency
   target.  All counters/histograms are served live by the ``metrics`` op.
+* **Durability** — with ``state_dir`` configured, every drain stages its
+  responses in an outbox, flushes the :class:`~repro.service.store.
+  DurableStore` (write-ahead fsync), and only then sends: a client never
+  sees an answer whose budget spend isn't on disk.  Boot recovers the
+  previous process's exact state when the directory holds one; a store that
+  exhausts its bounded retries degrades answers to typed ``unavailable``
+  responses instead of killing connections; graceful shutdown flushes,
+  checkpoints, and closes the store.
 
 The protocol speaks both shapes of request: scalar ``query`` ops and
 ``query_block`` ops carrying a whole item array (optionally base64-packed
@@ -50,7 +58,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.exceptions import ReproError
+from repro.exceptions import ReproError, StoreUnavailableError
 from repro.rng import RngLike
 from repro.service.engine import SVTQueryService
 from repro.service.runtime.metrics import (
@@ -59,6 +67,19 @@ from repro.service.runtime.metrics import (
     MetricsRegistry,
     RssSampler,
 )
+from repro.service.store import (
+    DurableStore,
+    FaultInjector,
+    StoreConfig,
+    restore_service,
+)
+
+#: fsync latencies sit well under the drain-latency buckets on local disks.
+FSYNC_BUCKETS_MS = (0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0)
+
+#: Recovery replays whole services, so the tail stretches to seconds.
+RECOVERY_BUCKETS_MS = (1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+                       1000.0, 2500.0, 5000.0, 10000.0)
 
 __all__ = ["ServerConfig", "IngressQueue", "RuntimeServer", "PROTOCOL"]
 
@@ -105,6 +126,13 @@ class ServerConfig:
     adaptive: bool = True
     target_drain_ms: float = 5.0
     drain_idle_s: float = 0.002
+    #: Directory for the durable store (None = in-memory only).  When the
+    #: directory already holds a bootstrapped service, boot recovers it —
+    #: ``seed`` is then superseded by the persisted seed, while ``mode``
+    #: still applies (an explicit runtime choice, not accounting state).
+    state_dir: Optional[str] = None
+    #: WAL flush batches between automatic snapshot checkpoints.
+    checkpoint_every: int = 256
 
 
 @dataclass
@@ -287,10 +315,32 @@ class RuntimeServer:
         metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.config = config or ServerConfig()
-        self.service = SVTQueryService(
-            supports, seed=self.config.seed if seed is None else seed,
-            mode=self.config.mode,
-        )
+        #: Durable persistence (None = the pre-store in-memory behavior).
+        self.store: Optional[DurableStore] = None
+        #: :class:`~repro.service.store.RecoveryInfo` when boot replayed one.
+        self.recovery = None
+        if self.config.state_dir is not None:
+            store = DurableStore(
+                self.config.state_dir,
+                StoreConfig(checkpoint_every=self.config.checkpoint_every),
+                faults=FaultInjector.from_env(),
+            )
+            if store.has_state():
+                self.service, self.recovery = restore_service(
+                    store, supports, mode=self.config.mode
+                )
+            else:
+                self.service = SVTQueryService(
+                    supports, seed=self.config.seed if seed is None else seed,
+                    mode=self.config.mode,
+                )
+                store.attach(self.service)
+            self.store = store
+        else:
+            self.service = SVTQueryService(
+                supports, seed=self.config.seed if seed is None else seed,
+                mode=self.config.mode,
+            )
         self.metrics = metrics or MetricsRegistry()
         self.sampler = RssSampler(self.metrics)
         self.policy = AdaptiveDrainPolicy(
@@ -327,6 +377,15 @@ class RuntimeServer:
         self._g_window = m.gauge("drain_window")
         self._g_sessions = m.gauge("open_sessions")
         self._g_window.set(self.policy.window)
+        # Durability metrics (populated only when a store is configured).
+        self._c_store_events = m.counter("store_events_total")
+        self._c_store_unavailable = m.counter("store_unavailable_total")
+        self._h_fsync = m.histogram("fsync_latency_ms", FSYNC_BUCKETS_MS)
+        self._h_recovery = m.histogram("recovery_time_ms", RECOVERY_BUCKETS_MS)
+        self._g_wal = m.gauge("store_wal_batches")
+        if self.recovery is not None:
+            self._h_recovery.observe(self.recovery.duration_ms)
+            self._g_sessions.set(len(self.service.manager))
 
     # ------------------------------------------------------------------
     # Parsing and dispatch (one request line in, at most one immediate
@@ -501,6 +560,22 @@ class RuntimeServer:
                 kwargs["pool"] = BudgetPool(float(pool))
             session = self.service.open_session(tenant, ttl_s=cfg.session_ttl, **kwargs)
         self._g_sessions.set(len(self.service.manager))
+        # Opens respond immediately (not from a drain), so the open — its
+        # pool draw and gate charge included — must commit here, before the
+        # "opened" frame releases it to the client.
+        try:
+            self._store_flush()
+        except StoreUnavailableError as exc:
+            self._c_store_unavailable.add()
+            out = {
+                "type": "unavailable",
+                "op": "open",
+                "tenant": tenant,
+                "error": f"durable store unavailable: {exc}",
+            }
+            if request_id is not None:
+                out["id"] = request_id
+            return out
         out = {
             "type": "opened",
             "tenant": tenant,
@@ -540,12 +615,36 @@ class RuntimeServer:
         async with self._drain_lock:
             return self._drain_sync(window)
 
+    def _store_flush(self) -> None:
+        """The durability barrier: flush the store, feed the fsync metrics.
+
+        Raises :class:`StoreUnavailableError` when the write could not be
+        made durable after the store's bounded retries — the caller decides
+        what degrades (answers become typed ``unavailable`` responses)."""
+        store = self.store
+        if store is None:
+            return
+        events = store.flush()
+        if events:
+            self._c_store_events.add(events)
+            self._h_fsync.observe(store.stats["last_fsync_ms"])
+        self._g_wal.set(store.wal_batches)
+
+    def _store_flush_quiet(self) -> None:
+        """Best-effort flush where no requester is waiting (TTL expiry)."""
+        try:
+            self._store_flush()
+        except StoreUnavailableError:
+            self._c_store_unavailable.add()
+
     def _drain_sync(self, window: Optional[int] = None) -> int:
         self._force_drain = False
+        expired_any = False
         if self.config.session_ttl is not None:
             before = dict(self.service.manager.released_budget)
             expired = self.service.expire()
             if expired:
+                expired_any = True
                 self._c_expired.add(len(expired))
                 released = self.service.manager.released_budget
                 for tenant in expired:
@@ -558,31 +657,57 @@ class RuntimeServer:
         entries = self.ingress.take(window)
         self._g_depth.set(self.ingress.depth)
         if not entries:
+            if expired_any:
+                self._store_flush_quiet()
             return 0
         start = time.perf_counter()
         # Drain-ordered control: a "close" splits the window into segments —
         # everything admitted before it is answered first, then the tenant
-        # is evicted, then the rest of the window proceeds.
+        # is evicted, then the rest of the window proceeds.  Responses are
+        # *staged*, not sent: nothing reaches a client until the durability
+        # barrier below has committed the state the responses were built on.
         served = 0
+        outbox: List[Tuple[_Connection, object, Optional[dict]]] = []
         segment: List[_IngressEntry] = []
         for entry in entries:
             if entry.kind != "close":
                 segment.append(entry)
                 continue
-            served += self._run_segment(segment)
+            served += self._run_segment(segment, outbox)
             segment = []
             entry.conn.pending -= 1
             try:
                 released = self.service.evict(entry.tenant)
             except ReproError as exc:
-                entry.conn.send(self._error(str(exc), entry.request_id))
+                outbox.append((entry.conn, self._error(str(exc), entry.request_id), None))
                 continue
             self._g_sessions.set(len(self.service.manager))
             out = {"type": "closed", "tenant": entry.tenant, "released": released}
+            fallback = {"type": "unavailable", "op": "close", "tenant": entry.tenant}
             if entry.request_id is not None:
                 out["id"] = entry.request_id
-            entry.conn.send(out)
-        served += self._run_segment(segment)
+                fallback["id"] = entry.request_id
+            outbox.append((entry.conn, out, fallback))
+        served += self._run_segment(segment, outbox)
+
+        # Durability barrier: fsync the drain's spends/releases, then send.
+        # On store failure, every response with a fallback degrades to a
+        # typed "unavailable" — the connection lives, the answer (computed
+        # against state the disk never saw) is withheld.
+        failure: Optional[str] = None
+        if self.store is not None:
+            try:
+                self._store_flush()
+            except StoreUnavailableError as exc:
+                failure = str(exc)
+        for conn, payload, fallback in outbox:
+            if failure is not None and fallback is not None:
+                self._c_store_unavailable.add()
+                conn.send({**fallback, "error": f"durable store unavailable: {failure}"})
+            elif isinstance(payload, bytes):
+                conn.send_raw(payload)
+            else:
+                conn.send(payload)
 
         elapsed_ms = (time.perf_counter() - start) * 1e3
         self._c_drains.add()
@@ -592,8 +717,18 @@ class RuntimeServer:
             self._g_window.set(self.policy.window)
         return served
 
-    def _run_segment(self, entries: List[_IngressEntry]) -> int:
-        """Answer one segment: batched queries first, then grid ops."""
+    def _run_segment(
+        self,
+        entries: List[_IngressEntry],
+        outbox: List[Tuple["_Connection", object, Optional[dict]]],
+    ) -> int:
+        """Stage one segment's responses: batched queries, then grid ops.
+
+        Appends ``(conn, payload, fallback)`` triples to *outbox* instead of
+        sending — the caller releases them after the durability barrier.
+        ``fallback`` (None for plain error responses, which commit nothing)
+        is the typed ``unavailable`` frame sent in the payload's place when
+        the store cannot commit the state behind it."""
         if not entries:
             return 0
         batcher = self.service.batcher
@@ -621,11 +756,17 @@ class RuntimeServer:
         for entry, ticket, fail in submitted:
             entry.conn.pending -= 1
             if fail is not None:
-                entry.conn.send(self._error(fail, entry.request_id))
+                outbox.append((entry.conn, self._error(fail, entry.request_id), None))
                 continue
             served += entry.weight
+            fallback: Dict[str, Any] = {"type": "unavailable", "tenant": entry.tenant}
+            if entry.lane is not None:
+                fallback["lane"] = entry.lane
+            if entry.request_id is not None:
+                fallback["id"] = entry.request_id
             if entry.kind == "query":
                 row = ticket - base
+                fallback["item"] = entry.item
                 out: Dict[str, Any] = {
                     "type": "answer",
                     "ticket": ticket,
@@ -643,9 +784,10 @@ class RuntimeServer:
                 else:
                     out["error"] = result.errors[row]
                     n_rejected += 1
-                entry.conn.send(out)
+                outbox.append((entry.conn, out, fallback))
             else:
                 size = int(entry.items.size)
+                fallback["count"] = size
                 lo = ticket - base
                 hi = lo + size
                 ok = result.ok[lo:hi]
@@ -691,7 +833,7 @@ class RuntimeServer:
                     payload = (
                         head + "," + json.dumps(columns, default=float)[1:] + "\n"
                     )
-                entry.conn.send_raw(payload.encode())
+                outbox.append((entry.conn, payload.encode(), fallback))
 
         # Grid ops run after the window's batched queries, in admission
         # order; each gates one item across every lane of its tenant.
@@ -702,7 +844,7 @@ class RuntimeServer:
                 lanes = session.answer_grid(entry.item, mode="shared" if
                                             self.config.mode == "shared" else "per-lane")
             except ReproError as exc:
-                entry.conn.send(self._error(str(exc), entry.request_id))
+                outbox.append((entry.conn, self._error(str(exc), entry.request_id), None))
                 continue
             served += 1
             payload: Dict[str, Any] = {}
@@ -722,9 +864,12 @@ class RuntimeServer:
                 self._c_rejected.add()
             out = {"type": "grid", "tenant": entry.tenant, "item": entry.item,
                    "lanes": payload}
+            fallback = {"type": "unavailable", "tenant": entry.tenant,
+                        "item": entry.item}
             if entry.request_id is not None:
                 out["id"] = entry.request_id
-            entry.conn.send(out)
+                fallback["id"] = entry.request_id
+            outbox.append((entry.conn, out, fallback))
 
         self._c_answered.add(n_answered)
         self._c_rejected.add(n_rejected)
@@ -816,8 +961,23 @@ class RuntimeServer:
             except (ConnectionError, RuntimeError):
                 pass
 
+    def close_store(self) -> None:
+        """Flush pending state, checkpoint, and close the durable store.
+
+        Part of every graceful exit (both transports): pending audit
+        appends must not die in memory when the process stops on purpose.
+        Safe without a store, safe to call twice."""
+        if self.store is None:
+            return
+        try:
+            self.store.close()
+        except StoreUnavailableError as exc:  # pragma: no cover - disk failure
+            self._c_store_unavailable.add()
+            print(f"store close failed: {exc}", file=sys.stderr)
+
     async def shutdown(self) -> None:
-        """Graceful stop: refuse new connections, drain dry, close conns."""
+        """Graceful stop: refuse new connections, drain dry, flush the
+        durable store, close conns."""
         self._closing = True
         server = getattr(self, "_tcp_server", None)
         if server is not None:
@@ -842,6 +1002,7 @@ class RuntimeServer:
                 except (ConnectionError, RuntimeError):
                     pass
         self._conns = []
+        self.close_store()
 
     async def serve_stdin(self, stdin=None, stdout=None) -> int:
         """Stdio transport: read request lines, drain at window boundaries.
@@ -885,6 +1046,13 @@ class RuntimeServer:
         self.sampler.sample()
         self._g_depth.set(self.ingress.depth)
         self._g_sessions.set(len(self.service.manager))
+        if self.store is not None:
+            stats = self.store.stats
+            self._g_wal.set(self.store.wal_batches)
+            self.metrics.gauge("store_flushes").set(stats["flushes"])
+            self.metrics.gauge("store_retries").set(stats["retries"])
+            self.metrics.gauge("store_checkpoints").set(stats["checkpoints"])
+            self.metrics.gauge("store_archived_records").set(stats["archived_records"])
         snap = self.metrics.snapshot()
         requests = snap["counters"].get("requests_total", 0)
         shed = snap["counters"].get("shed_total", 0)

@@ -48,6 +48,8 @@ __all__ = [
     "EXHAUSTED_MESSAGE",
     "DEFAULT_LANE",
     "GRID_MODES",
+    "encode_rng_state",
+    "decode_rng_state",
 ]
 
 #: The name under which a session's own (constructor) budget appears in its
@@ -73,6 +75,45 @@ EstimatorFn = Callable[[object, List[tuple]], float]
 #: A submitted query: a :class:`~repro.queries.base.Query` evaluated on the
 #: backing dataset, or a plain item index into the service's support vector.
 QueryLike = Union[Query, int]
+
+
+def _jsonify_rng(obj):
+    if isinstance(obj, dict):
+        return {key: _jsonify_rng(value) for key, value in obj.items()}
+    if isinstance(obj, np.ndarray):
+        return {"__ndarray__": obj.tolist(), "dtype": str(obj.dtype)}
+    if isinstance(obj, np.integer):
+        return int(obj)
+    return obj
+
+
+def _unjsonify_rng(obj):
+    if isinstance(obj, dict):
+        if "__ndarray__" in obj:
+            return np.asarray(obj["__ndarray__"], dtype=obj["dtype"])
+        return {key: _unjsonify_rng(value) for key, value in obj.items()}
+    return obj
+
+
+def encode_rng_state(rng: np.random.Generator) -> dict:
+    """A generator's full bit-generator state as a JSON-safe dict.
+
+    Python ints are arbitrary precision and JSON floats round-trip exactly,
+    so encode → decode resumes the stream *bit-identically* — the property
+    the durable store's recovery contract rests on.
+    """
+    return _jsonify_rng(rng.bit_generator.state)
+
+
+def decode_rng_state(state: dict) -> np.random.Generator:
+    """Rebuild a generator resuming exactly where :func:`encode_rng_state`
+    captured it (the bit-generator class is part of the state)."""
+    try:
+        bitgen = getattr(np.random, str(state["bit_generator"]))()
+    except (KeyError, AttributeError, TypeError) as exc:
+        raise InvalidParameterError(f"unusable rng state: {exc}") from None
+    bitgen.state = _unjsonify_rng(state)
+    return np.random.Generator(bitgen)
 
 
 @dataclass(frozen=True)
@@ -307,6 +348,132 @@ class Session:
         if self._pool is not None and amount > 0.0:
             self._pool.refund(amount)
         return total + amount
+
+    # ------------------------------------------------------------------
+    # Durable-store hooks (see repro.service.store).
+    # ------------------------------------------------------------------
+    def config_state(self) -> dict:
+        """The immutable constructor arguments, as a JSON-safe dict.
+
+        Together with :meth:`snapshot_state` this is everything the durable
+        store needs to rebuild the session exactly; sessions carrying a
+        custom estimator callback cannot be serialized and are refused.
+        """
+        if self._estimator is not None:
+            raise InvalidParameterError(
+                f"session {self.session_id!r} has a custom estimator callback; "
+                "callables cannot be persisted to a durable store"
+            )
+        return {
+            "epsilon": self.epsilon,
+            "error_threshold": self.threshold,
+            "c": self.c,
+            "svt_fraction": self.svt_fraction,
+            "sensitivity": self._sensitivity,
+            "monotonic": self.monotonic,
+            "ttl_s": self.ttl_s,
+        }
+
+    def snapshot_state(self) -> dict:
+        """Every mutable field, as a JSON-safe dict (JSON floats round-trip
+        exactly, so a restored session is *bit-identical*, rng stream
+        included).  History entries are stored as ``[key, value]`` — for the
+        service's item queries the key *is* the query; ``Query`` objects
+        collapse to their ``repr`` key, which is all the default estimator
+        ever reads."""
+        return {
+            "rho": self.rho,
+            "count": self._count,
+            "served": self._served,
+            "halted": self._halted,
+            "closed": self._closed,
+            "released": self.ledger.released,
+            "entries": [[e.mechanism, e.epsilon, e.note] for e in self.ledger],
+            "history": [
+                [
+                    int(query) if isinstance(query, (int, np.integer)) else repr(query),
+                    float(value),
+                ]
+                for query, value in self.history
+            ],
+            "rng": encode_rng_state(self._rng),
+        }
+
+    @classmethod
+    def restored(
+        cls,
+        dataset,
+        supports,
+        config: dict,
+        state: dict,
+        *,
+        tenant: str,
+        session_id: str,
+        audit: AuditLog,
+        pool: Optional[BudgetPool] = None,
+        opened_at: Optional[float] = None,
+    ) -> "Session":
+        """Rebuild a session from :meth:`config_state` + :meth:`snapshot_state`.
+
+        The ordinary constructor has open-time side effects that must *not*
+        replay during recovery — it draws rho from the stream, charges the
+        gate, draws from the pool, and appends audit records.  This path
+        builds the session against throwaway audit/rng objects, then
+        overwrites every dynamic field with the persisted values: the ledger
+        is re-charged entry by entry (left-to-right float accumulation makes
+        ``spent`` bit-identical to the live run), the rng stream resumes
+        from its serialized bit-generator state, and the shared audit log —
+        which already holds the session's records — is attached untouched.
+        TTLs re-arm from *opened_at* (the recovery clock): monotonic open
+        times don't survive a reboot, so an expiring session gets a fresh
+        lease rather than an instant eviction.
+        """
+        session = cls(
+            dataset,
+            epsilon=config["epsilon"],
+            error_threshold=config["error_threshold"],
+            c=config["c"],
+            svt_fraction=config["svt_fraction"],
+            sensitivity=config["sensitivity"],
+            monotonic=config["monotonic"],
+            rng=np.random.default_rng(0),
+            supports=supports,
+            tenant=tenant,
+            session_id=session_id,
+            audit=AuditLog(),  # swallow the constructor's open/spend records
+            ttl_s=config.get("ttl_s"),
+            opened_at=opened_at,
+        )
+        session.audit = audit
+        session._pool = pool  # already accounted in the pool's drawn total
+        session.rho = float(state["rho"])
+        session._count = int(state["count"])
+        session._served = int(state["served"])
+        session._halted = bool(state["halted"])
+        session._closed = bool(state["closed"])
+        ledger = BudgetLedger.with_total(config["epsilon"])
+        for mechanism, epsilon, note in state["entries"]:
+            ledger.charge(mechanism, epsilon, note=note)
+        if state["closed"]:
+            ledger.release_remaining()
+        else:
+            ledger.released = float(state["released"])
+        session.ledger = ledger
+        session.history = []
+        session._last_release = {}
+        session._release_sum = 0.0
+        for key, value in state["history"]:
+            key = int(key) if isinstance(key, int) else str(key)
+            value = float(value)
+            session.history.append((key, value))
+            session._last_release[key] = value
+            session._release_sum += value
+        session._rng = decode_rng_state(state["rng"])
+        return session
+
+    def adopt_lane(self, name: str, lane: "Session") -> None:
+        """Attach an already-built lane (the recovery path of add_lane)."""
+        self._lanes[str(name)] = lane
 
     @property
     def cohort_key(self) -> tuple:

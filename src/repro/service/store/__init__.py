@@ -1,0 +1,28 @@
+"""Crash-safe durable state for the SVT service.
+
+:class:`DurableStore` persists sessions, lanes, budgets, and the audit log
+through a crc-framed JSONL write-ahead log folded into a SQLite snapshot
+(``journal_mode=WAL``) with closed-session compaction;
+:func:`restore_service` replays it back into the exact in-memory service.
+:class:`FaultInjector` arms crashes at named write points for the recovery
+test harness.
+"""
+
+from repro.service.store.recovery import RecoveryInfo, restore_service
+from repro.service.store.sqlite import (
+    WRITE_POINTS,
+    DurableStore,
+    FaultInjector,
+    StoreConfig,
+    StoreState,
+)
+
+__all__ = [
+    "DurableStore",
+    "StoreConfig",
+    "StoreState",
+    "FaultInjector",
+    "WRITE_POINTS",
+    "RecoveryInfo",
+    "restore_service",
+]

@@ -1,0 +1,196 @@
+"""Replay-on-boot: rebuild the exact in-memory service from a durable store.
+
+Recovery is a *constructive proof* that the store captured everything:
+every open session and lane comes back with its rho, firing count, history,
+ledger entries, and rng stream position bit-identical to the crashed
+process; budget pools resume at their drawn/refunded marks; per-tenant
+epochs continue so freshly derived streams never collide with pre-crash
+ones; and the audit chain — live records plus the still-referenced closed
+views — must replay :func:`~repro.service.audit.verify_audit`-green, with
+every live ledger agreeing with its audited spend, before the service is
+allowed to serve.  Anything less than exact raises rather than resuming on
+corrupt accounting.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.accounting.budget import _EPS_SLACK, BudgetPool
+from repro.exceptions import InvalidParameterError
+from repro.service.audit import AuditLog, AuditReport, verify_audit
+from repro.service.engine import SVTQueryService
+from repro.service.manager import ClosedSession
+from repro.service.session import Session, decode_rng_state
+from repro.service.store.sqlite import DurableStore
+
+__all__ = ["RecoveryInfo", "restore_service"]
+
+
+@dataclass
+class RecoveryInfo:
+    """What one boot-time replay did, for logs and the recovery histogram."""
+
+    duration_ms: float
+    sessions: int
+    lanes: int
+    closed_sessions: int
+    audit_records: int
+    wal_batches: int
+    torn_tail: bool
+    report: AuditReport = field(default_factory=AuditReport)
+
+    def summary(self) -> str:
+        torn = ", torn tail truncated" if self.torn_tail else ""
+        return (
+            f"recovered {self.sessions} sessions (+{self.lanes} lanes, "
+            f"{self.closed_sessions} closed) from {self.audit_records} audit "
+            f"records and {self.wal_batches} WAL batches in "
+            f"{self.duration_ms:.1f} ms{torn}"
+        )
+
+
+def restore_service(
+    store: DurableStore,
+    dataset,
+    *,
+    mode: Optional[str] = None,
+    strict: bool = True,
+) -> Tuple[SVTQueryService, RecoveryInfo]:
+    """Rebuild the service a :class:`DurableStore` was persisting.
+
+    *dataset* is the same score backend the crashed process served (the
+    store sanity-checks its size against the persisted ``n_items``).
+    ``mode`` overrides the persisted engine mode when given.  ``strict``
+    (the default) raises on any audit violation or ledger/audit spend
+    mismatch; pass False to get the damaged service back for forensics.
+
+    On success the store is re-attached (primed — nothing is re-persisted)
+    and checkpointed, so the next crash replays only post-recovery WAL.
+    """
+    start = time.perf_counter()
+    state = store.load_state()
+    meta = state.meta
+    if "manager_seed" not in meta:
+        raise InvalidParameterError(
+            f"{store.state_dir}: no bootstrapped service to recover "
+            "(missing manager_seed metadata)"
+        )
+    audit = AuditLog.from_records(state.records, next_seq=state.next_seq)
+    service = SVTQueryService(
+        dataset,
+        seed=int(meta["manager_seed"]),
+        mode=str(mode if mode is not None else meta.get("mode", "shared")),
+        audit=audit,
+    )
+    manager = service.manager
+    persisted_n = meta.get("n_items")
+    if persisted_n is not None and manager.num_items != int(persisted_n):
+        raise InvalidParameterError(
+            f"dataset has {manager.num_items} items but the store was written "
+            f"against {persisted_n} — wrong score file?"
+        )
+    if "engine_rng" in meta:
+        service.engine.rng = decode_rng_state(meta["engine_rng"])
+    manager.restore_epochs(meta.get("epochs", {}))
+    pools: Dict[str, BudgetPool] = {
+        tenant: BudgetPool.restore(p["total"], p["drawn"], p["refunded"])
+        for tenant, p in meta.get("pools", {}).items()
+    }
+
+    now = manager.now()  # TTLs re-arm from the recovery clock
+    live = {
+        sid: info
+        for sid, info in state.sessions.items()
+        if info["status"] == "open"
+    }
+    n_lanes = 0
+    for sid, info in live.items():  # parents first: insertion order is open order
+        if info["lane"] is not None:
+            continue
+        if info["state"] is None:
+            raise InvalidParameterError(f"session {sid!r} has no persisted state")
+        pool = pools.get(info["tenant"]) if info["pool"] is not None else None
+        if info["pool"] is not None and pool is None:
+            raise InvalidParameterError(
+                f"session {sid!r} references a budget pool with no persisted state"
+            )
+        manager.adopt_session(
+            Session.restored(
+                manager.dataset,
+                manager.supports,
+                info["config"],
+                info["state"],
+                tenant=info["tenant"],
+                session_id=sid,
+                audit=audit,
+                pool=pool,
+                opened_at=now,
+            )
+        )
+    for sid, info in live.items():
+        if info["lane"] is None:
+            continue
+        if info["state"] is None:
+            raise InvalidParameterError(f"lane {sid!r} has no persisted state")
+        parent = manager.session(info["tenant"])
+        if parent.session_id != info["parent"]:
+            raise InvalidParameterError(
+                f"lane {sid!r} belongs to {info['parent']!r} but tenant "
+                f"{info['tenant']!r} resolved to {parent.session_id!r}"
+            )
+        parent.adopt_lane(
+            info["lane"],
+            Session.restored(
+                manager.dataset,
+                manager.supports,
+                info["config"],
+                info["state"],
+                tenant=info["tenant"],
+                session_id=sid,
+                audit=audit,
+                pool=parent.pool,
+                opened_at=now,
+            ),
+        )
+        n_lanes += 1
+    manager.restore_closed(
+        {sid: ClosedSession(**view) for sid, view in state.closed.items()}
+    )
+
+    report = verify_audit(audit, manager.audit_sessions())
+    violations: List[str] = list(report.violations)
+    audited = audit.spend_by_session()
+    for session in manager.audit_sessions().values():
+        ledger = getattr(session, "ledger", None)
+        if ledger is None:
+            continue  # ClosedSession views carry totals, checked by verify_audit
+        spend = audited.get(session.session_id, 0.0)
+        if abs(ledger.spent - spend) > _EPS_SLACK:
+            violations.append(
+                f"{session.session_id}: recovered ledger spent {ledger.spent:.6g} "
+                f"but the audit chain records {spend:.6g}"
+            )
+    report.violations = violations
+    if strict and violations:
+        raise InvalidParameterError(
+            "recovery found inconsistent accounting:\n  - "
+            + "\n  - ".join(violations)
+        )
+
+    store.attach(service, prime=True)
+    if store.wal_batches:
+        store.checkpoint()
+    info = RecoveryInfo(
+        duration_ms=(time.perf_counter() - start) * 1e3,
+        sessions=len(manager),
+        lanes=n_lanes,
+        closed_sessions=len(state.closed),
+        audit_records=len(state.records),
+        wal_batches=state.wal_batches,
+        torn_tail=state.torn_tail,
+        report=report,
+    )
+    return service, info

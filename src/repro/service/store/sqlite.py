@@ -1,0 +1,857 @@
+"""The durable store: a crc-framed JSONL write-ahead log + SQLite snapshots.
+
+A privacy service must never lose spent epsilon.  This module is the
+persistence substrate beneath :class:`~repro.service.manager.SessionManager`,
+:class:`~repro.accounting.budget.BudgetLedger`/:class:`BudgetPool`, and
+:class:`~repro.service.audit.AuditLog`:
+
+* **Write-ahead log** (``wal.jsonl``) — every :meth:`DurableStore.flush`
+  appends *one* line: a decimal CRC-32, a space, and a JSON array of events
+  (audit appends, per-session state snapshots, closed-session views, meta
+  updates), then fsyncs.  One line per flush makes the commit unit atomic:
+  a torn final line — the process died mid-append — fails the CRC or lacks
+  its newline and is truncated on the next open, so recovery always lands
+  exactly on a flush boundary, never inside one.  The runtime calls
+  ``flush()`` *before* releasing a drain's responses, which is what turns
+  "the client saw the answer" into "the spend is on disk".
+* **SQLite snapshot** (``state.db``, ``journal_mode=WAL`` with a busy
+  timeout) — :meth:`DurableStore.checkpoint` applies the accumulated WAL
+  events in one retried transaction and truncates the log, so recovery time
+  is bounded by *live* state rather than history length.  ``SQLITE_BUSY``
+  gets bounded, jittered exponential backoff; exhausting the retries raises
+  :class:`~repro.exceptions.StoreUnavailableError` — a degradation the
+  runtime surfaces as typed ``unavailable`` responses, never a crash.
+* **Compaction** — at checkpoint, closed sessions' audit records and views
+  are appended to ``audit_archive.jsonl`` (fsynced before the delete
+  commits, so a crash between the two at worst duplicates archive lines —
+  readers dedupe by ``seq``) and dropped from the snapshot.
+* **Fault injection** — every write point calls
+  :meth:`FaultInjector.fire`, so the crash tests can SIGKILL or error the
+  store at exactly the byte they mean to (:data:`WRITE_POINTS`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import random
+import sqlite3
+import threading
+import time
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.exceptions import InvalidParameterError, StoreUnavailableError
+from repro.service.audit import AuditRecord, KINDS
+from repro.service.session import encode_rng_state
+
+__all__ = [
+    "StoreConfig",
+    "FaultInjector",
+    "DurableStore",
+    "StoreState",
+    "WRITE_POINTS",
+]
+
+#: Every named fault-injection point, in the order a flush + checkpoint
+#: visits them.  ``wal-line`` fires with ``handle``/``line`` context so a
+#: "torn" action can write half the line before dying.
+WRITE_POINTS = (
+    "flush-begin",
+    "wal-line",
+    "wal-fsync",
+    "checkpoint-begin",
+    "archive-write",
+    "checkpoint-commit",
+    "checkpoint-truncate",
+)
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS sessions (
+    sid    TEXT PRIMARY KEY,
+    tenant TEXT NOT NULL,
+    lane   TEXT,
+    parent TEXT,
+    status TEXT NOT NULL DEFAULT 'open',
+    config TEXT NOT NULL,
+    pool   REAL,
+    state  TEXT
+);
+CREATE TABLE IF NOT EXISTS closed (
+    sid  TEXT PRIMARY KEY,
+    view TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS audit (
+    seq       INTEGER PRIMARY KEY,
+    session   TEXT NOT NULL,
+    kind      TEXT NOT NULL,
+    mechanism TEXT NOT NULL DEFAULT '',
+    epsilon   REAL NOT NULL DEFAULT 0.0,
+    value     REAL,
+    note      TEXT NOT NULL DEFAULT ''
+);
+CREATE INDEX IF NOT EXISTS audit_session ON audit (session);
+"""
+
+
+@dataclass(frozen=True)
+class StoreConfig:
+    """Durability and retry knobs.
+
+    ``retries``/``backoff_s``/``backoff_cap_s`` bound the jittered
+    exponential backoff around every SQLite transaction and WAL write;
+    ``checkpoint_every`` is the WAL-batch count that triggers an automatic
+    checkpoint (events also force one at close).  ``fsync=False`` exists
+    for benchmarking the serialization cost alone — it voids the
+    durability contract and nothing in the runtime sets it.
+    """
+
+    retries: int = 6
+    backoff_s: float = 0.005
+    backoff_cap_s: float = 0.25
+    busy_timeout_ms: int = 5000
+    synchronous: str = "FULL"
+    checkpoint_every: int = 256
+    fsync: bool = True
+
+
+class FaultInjector:
+    """Named, one-shot traps at the store's write points (tests only).
+
+    ``arm(point, action, after=N)`` makes the N-th :meth:`fire` at *point*
+    execute the action: ``"raise"`` (a :class:`StoreUnavailableError`),
+    ``"kill"`` (SIGKILL this process — the crash-recovery harness),
+    ``"torn-kill"``/``"torn-raise"`` (write *half* the pending WAL line
+    first, so recovery must detect and truncate a torn record), or any
+    callable.  :meth:`from_env` arms one trap from
+    ``REPRO_STORE_FAULT="point[:after[:action]]"`` so a subprocess server
+    can be killed at an exact write point from the outside.
+    """
+
+    ENV_VAR = "REPRO_STORE_FAULT"
+
+    def __init__(self) -> None:
+        self._traps: Dict[str, List[object]] = {}
+
+    def arm(self, point: str, action: object = "raise", after: int = 1) -> None:
+        if point not in WRITE_POINTS:
+            raise InvalidParameterError(
+                f"unknown write point {point!r}; known: {WRITE_POINTS}"
+            )
+        if int(after) < 1:
+            raise InvalidParameterError("'after' must be >= 1")
+        self._traps[point] = [int(after), action]
+
+    @property
+    def armed(self) -> bool:
+        return bool(self._traps)
+
+    @classmethod
+    def from_env(cls, env: Optional[Dict[str, str]] = None) -> "FaultInjector":
+        faults = cls()
+        spec = (env if env is not None else os.environ).get(cls.ENV_VAR, "").strip()
+        if spec:
+            parts = spec.split(":")
+            point = parts[0]
+            after = int(parts[1]) if len(parts) > 1 and parts[1] else 1
+            action = parts[2] if len(parts) > 2 and parts[2] else "kill"
+            faults.arm(point, action, after=after)
+        return faults
+
+    def fire(self, point: str, **ctx: Any) -> None:
+        trap = self._traps.get(point)
+        if trap is None:
+            return
+        trap[0] -= 1
+        if trap[0] > 0:
+            return
+        action = trap[1]
+        del self._traps[point]
+        if callable(action):
+            action(**ctx)
+            return
+        if action in ("torn-kill", "torn-raise"):
+            handle, line = ctx.get("handle"), ctx.get("line")
+            if handle is not None and line:
+                handle.write(line[: max(1, len(line) // 2)])
+                handle.flush()
+                os.fsync(handle.fileno())
+            if action == "torn-kill":
+                os.kill(os.getpid(), 9)
+            raise StoreUnavailableError(f"injected torn write at {point!r}")
+        if action == "kill":
+            os.kill(os.getpid(), 9)
+        if action == "raise":
+            raise StoreUnavailableError(f"injected fault at {point!r}")
+        raise InvalidParameterError(f"unknown fault action {action!r}")
+
+
+@dataclass
+class StoreState:
+    """Everything :func:`~repro.service.store.recovery.restore_service`
+    needs: the snapshot tables with the WAL suffix already overlaid."""
+
+    meta: Dict[str, Any]
+    sessions: Dict[str, Dict[str, Any]]
+    closed: Dict[str, Dict[str, Any]]
+    records: List[AuditRecord]
+    next_seq: int
+    torn_tail: bool
+    wal_batches: int
+
+
+def _crc_line(events: List[dict]) -> bytes:
+    payload = json.dumps(events, separators=(",", ":"), default=float)
+    crc = zlib.crc32(payload.encode("utf-8"))
+    return f"{crc} {payload}\n".encode("utf-8")
+
+
+def _parse_crc_line(data: bytes):
+    """The events of one committed WAL line, or None if the line is torn
+    (bad frame, bad CRC, bad JSON — indistinguishable from a partial write)."""
+    try:
+        text = data.decode("utf-8")
+        head, _, payload = text.partition(" ")
+        if not payload or int(head) != zlib.crc32(payload.encode("utf-8")):
+            return None
+        events = json.loads(payload)
+    except (ValueError, UnicodeDecodeError):
+        return None
+    return events if isinstance(events, list) else None
+
+
+class DurableStore:
+    """Crash-safe persistence for one :class:`SVTQueryService`.
+
+    Layout under ``state_dir``: ``state.db`` (SQLite snapshot),
+    ``wal.jsonl`` (crc-framed event batches since the last checkpoint),
+    ``audit_archive.jsonl`` (compacted closed-session history).  Attach a
+    service with :meth:`attach`; every :meth:`flush` then persists exactly
+    the state changed since the previous flush — audit records ride a
+    write-ahead sink, session/pool/rng state is diffed against shadows.
+    """
+
+    def __init__(
+        self,
+        state_dir,
+        config: Optional[StoreConfig] = None,
+        faults: Optional[FaultInjector] = None,
+    ) -> None:
+        self.config = config or StoreConfig()
+        self.faults = faults or FaultInjector()
+        self.state_dir = Path(state_dir)
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.db_path = self.state_dir / "state.db"
+        self.wal_path = self.state_dir / "wal.jsonl"
+        self.archive_path = self.state_dir / "audit_archive.jsonl"
+        self._lock = threading.Lock()
+        self._jitter = random.Random(os.getpid())
+        self._closed = False
+        self._service = None
+        # Write-ahead sink target + dirty-tracking shadows.
+        self._pending_audit: List[AuditRecord] = []
+        self._known_cfg: set = set()
+        self._known_closed: set = set()
+        self._shadow_state: Dict[str, str] = {}
+        self._shadow_meta: Optional[str] = None
+        self.stats: Dict[str, float] = {
+            "flushes": 0,
+            "events": 0,
+            "retries": 0,
+            "checkpoints": 0,
+            "archived_records": 0,
+            "last_fsync_ms": 0.0,
+            "torn_tail_truncated": 0,
+        }
+        self._db = self._open_db()
+        self._wal, self._good_offset, self._wal_batches, self.torn_tail = (
+            self._open_wal()
+        )
+        if self.torn_tail:
+            self.stats["torn_tail_truncated"] = 1
+
+    # ------------------------------------------------------------------
+    # Files.
+    # ------------------------------------------------------------------
+    def _open_db(self) -> sqlite3.Connection:
+        def connect() -> sqlite3.Connection:
+            # The runtime flushes from its drain thread but opens/closes the
+            # store from the main thread; every DB touch is serialized under
+            # self._lock, so sqlite's same-thread guard is safely waived.
+            db = sqlite3.connect(
+                self.db_path,
+                timeout=self.config.busy_timeout_ms / 1e3,
+                check_same_thread=False,
+            )
+            db.execute("PRAGMA journal_mode=WAL")
+            db.execute(f"PRAGMA busy_timeout={int(self.config.busy_timeout_ms)}")
+            db.execute(f"PRAGMA synchronous={self.config.synchronous}")
+            db.executescript(_SCHEMA)
+            return db
+
+        return self._with_retry("open state.db", connect)
+
+    def _open_wal(self):
+        """Open the WAL for appends, truncating a torn final line.
+
+        Scans every existing line: a committed line parses and passes its
+        CRC; the final line failing either way (or missing its newline) is
+        the torn-write signature and is cut back to the last good offset.
+        A *mid-file* bad line means real corruption and raises.
+        """
+        handle = open(self.wal_path, "a+b")
+        handle.seek(0)
+        raw = handle.read()
+        offset = 0
+        batches = 0
+        torn = False
+        while offset < len(raw):
+            newline = raw.find(b"\n", offset)
+            if newline < 0:
+                torn = True  # partial final line, no newline yet
+                break
+            if _parse_crc_line(raw[offset:newline]) is None:
+                if len(raw) > newline + 1:
+                    raise InvalidParameterError(
+                        f"{self.wal_path}: corrupt WAL record at byte {offset} "
+                        "with committed records after it"
+                    )
+                torn = True
+                break
+            batches += 1
+            offset = newline + 1
+        if torn:
+            handle.truncate(offset)
+        handle.seek(0, os.SEEK_END)
+        return handle, offset, batches, torn
+
+    # ------------------------------------------------------------------
+    # Retry.
+    # ------------------------------------------------------------------
+    def _with_retry(self, label: str, fn: Callable[[], Any]) -> Any:
+        delay = self.config.backoff_s
+        last: Optional[BaseException] = None
+        for attempt in range(1, max(1, self.config.retries) + 1):
+            try:
+                return fn()
+            except sqlite3.OperationalError as exc:
+                message = str(exc).lower()
+                if "busy" not in message and "locked" not in message:
+                    raise StoreUnavailableError(
+                        f"{label} failed: {exc}", attempts=attempt
+                    ) from exc
+                last = exc
+            except sqlite3.Error as exc:
+                raise StoreUnavailableError(
+                    f"{label} failed: {exc}", attempts=attempt
+                ) from exc
+            except StoreUnavailableError:
+                raise
+            except OSError as exc:
+                last = exc
+            if attempt < max(1, self.config.retries):
+                self.stats["retries"] += 1
+                time.sleep(delay * (0.5 + self._jitter.random()))
+                delay = min(delay * 2.0, self.config.backoff_cap_s)
+        raise StoreUnavailableError(
+            f"{label} failed after {max(1, self.config.retries)} attempts: {last}",
+            attempts=max(1, self.config.retries),
+        ) from last
+
+    # ------------------------------------------------------------------
+    # Attachment and event collection.
+    # ------------------------------------------------------------------
+    def attach(self, service, prime: bool = False) -> None:
+        """Bind *service*: audit appends stream into the write-ahead sink.
+
+        ``prime=False`` (a fresh service) immediately flushes the bootstrap
+        metadata — the resolved manager seed and engine mode must hit disk
+        before any session exists, or a crash-before-first-flush would lose
+        the stream derivation.  ``prime=True`` (the recovery path) seeds
+        the dirty-tracking shadows from the *current* state instead, which
+        is exact because recovery is: nothing is re-persisted that the
+        store already holds.
+        """
+        if self._service is not None:
+            raise InvalidParameterError("store already has an attached service")
+        self._service = service
+        service.audit.add_sink(self._pending_audit.append)
+        if prime:
+            events, commit = self._collect_events()
+            commit()
+        else:
+            self.flush()
+
+    def _session_members(self):
+        manager = self._service.manager
+        for parent in list(manager):
+            yield None, parent, parent
+            for name, lane in parent.lanes.items():
+                yield name, lane, parent
+
+    def _collect_events(self) -> Tuple[List[dict], Callable[[], None]]:
+        """The events making this flush plus a commit closure.
+
+        Shadows are only advanced by the closure, *after* the batch is
+        safely fsynced — a failed flush leaves every pending change pending,
+        and the WAL-tail repair in :meth:`flush` guarantees the retry can't
+        double-write what the failed attempt got out.
+        """
+        events: List[dict] = []
+        commits: List[Callable[[], None]] = []
+        n_audit = len(self._pending_audit)
+        for record in self._pending_audit[:n_audit]:
+            events.append({"t": "audit", "r": record._asdict()})
+        if n_audit:
+            commits.append(lambda: del_prefix(self._pending_audit, n_audit))
+        service = self._service
+        if service is not None:
+            manager = service.manager
+            for name, member, parent in self._session_members():
+                sid = member.session_id
+                if sid not in self._known_cfg:
+                    events.append(
+                        {
+                            "t": "open",
+                            "sid": sid,
+                            "tenant": member.tenant,
+                            "lane": name,
+                            "parent": parent.session_id if name is not None else None,
+                            "config": member.config_state(),
+                            "pool": (
+                                member.pool.total
+                                if name is None and member.pool is not None
+                                else None
+                            ),
+                        }
+                    )
+                    commits.append(lambda sid=sid: self._known_cfg.add(sid))
+                state = member.snapshot_state()
+                text = json.dumps(state, separators=(",", ":"))
+                if self._shadow_state.get(sid) != text:
+                    events.append({"t": "state", "sid": sid, "s": state})
+                    commits.append(
+                        lambda sid=sid, text=text: self._shadow_state.__setitem__(
+                            sid, text
+                        )
+                    )
+            for sid, view in manager.closed_sessions().items():
+                if sid not in self._known_closed:
+                    events.append(
+                        {"t": "closed", "sid": sid, "v": dataclasses.asdict(view)}
+                    )
+                    commits.append(lambda sid=sid: self._known_closed.add(sid))
+            meta = {
+                "manager_seed": manager.seed,
+                "mode": service.engine.mode,
+                "n_items": manager.num_items,
+                "epochs": manager.epochs(),
+                "pools": {
+                    parent.tenant: {
+                        "total": parent.pool.total,
+                        "drawn": parent.pool.drawn,
+                        "refunded": parent.pool.refunded,
+                    }
+                    for parent in list(manager)
+                    if parent.pool is not None
+                },
+                "engine_rng": encode_rng_state(service.engine.rng),
+                "audit_next_seq": service.audit.next_seq,
+            }
+            text = json.dumps(meta, separators=(",", ":"), sort_keys=True)
+            if text != self._shadow_meta:
+                events.append({"t": "meta", "m": meta})
+                commits.append(
+                    lambda text=text: setattr(self, "_shadow_meta", text)
+                )
+
+        def commit() -> None:
+            for fn in commits:
+                fn()
+
+        return events, commit
+
+    # ------------------------------------------------------------------
+    # Flush: the durability barrier.
+    # ------------------------------------------------------------------
+    def flush(self) -> int:
+        """Persist everything changed since the last flush; returns the
+        event count.  On return the batch is fsynced — responses built on
+        this state may be released.  Raises
+        :class:`StoreUnavailableError` (state still pending, memory
+        consistent) when the write cannot be made durable."""
+        with self._lock:
+            if self._closed:
+                raise StoreUnavailableError("store is closed")
+            events, commit = self._collect_events()
+            if not events:
+                return 0
+            self.faults.fire("flush-begin")
+            line = _crc_line(events)
+
+            def write() -> None:
+                # A previously failed flush may have left partial bytes past
+                # the committed offset; cut back before appending so the
+                # retry cannot produce a mid-file torn record.
+                end = self._wal.seek(0, os.SEEK_END)
+                if end != self._good_offset:
+                    self._wal.truncate(self._good_offset)
+                    self._wal.seek(self._good_offset)
+                self.faults.fire("wal-line", handle=self._wal, line=line)
+                self._wal.write(line)
+                self._wal.flush()
+                self.faults.fire("wal-fsync")
+                if self.config.fsync:
+                    start = time.perf_counter()
+                    os.fsync(self._wal.fileno())
+                    self.stats["last_fsync_ms"] = (time.perf_counter() - start) * 1e3
+
+            self._with_retry("WAL append", write)
+            self._good_offset += len(line)
+            self._wal_batches += 1
+            commit()
+            self.stats["flushes"] += 1
+            self.stats["events"] += len(events)
+            if self._wal_batches >= max(1, self.config.checkpoint_every):
+                self._checkpoint_locked()
+            return len(events)
+
+    # ------------------------------------------------------------------
+    # Checkpoint + compaction.
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> int:
+        """Fold the WAL into the SQLite snapshot and truncate it; returns
+        the number of events applied.  Closed sessions are compacted out to
+        the archive so the snapshot — and recovery time — stay bounded by
+        live state."""
+        with self._lock:
+            if self._closed:
+                raise StoreUnavailableError("store is closed")
+            return self._checkpoint_locked()
+
+    def _read_wal_batches(self) -> List[List[dict]]:
+        self._wal.seek(0)
+        raw = self._wal.read()
+        self._wal.seek(0, os.SEEK_END)
+        batches = []
+        for chunk in raw[: self._good_offset].split(b"\n"):
+            if not chunk:
+                continue
+            events = _parse_crc_line(chunk)
+            if events is None:
+                raise InvalidParameterError(
+                    f"{self.wal_path}: committed WAL record failed its CRC"
+                )
+            batches.append(events)
+        return batches
+
+    def _checkpoint_locked(self) -> int:
+        self.faults.fire("checkpoint-begin")
+        batches = self._read_wal_batches()
+        applied = sum(len(batch) for batch in batches)
+        db = self._db
+
+        def txn() -> None:
+            db.execute("BEGIN IMMEDIATE")
+            try:
+                next_seq = 0
+                for events in batches:
+                    for ev in events:
+                        next_seq = max(next_seq, self._apply_to_db(db, ev))
+                if next_seq:
+                    row = db.execute(
+                        "SELECT value FROM meta WHERE key='audit_next_seq'"
+                    ).fetchone()
+                    known = int(json.loads(row[0])) if row else 0
+                    db.execute(
+                        "INSERT OR REPLACE INTO meta VALUES('audit_next_seq', ?)",
+                        (json.dumps(max(known, next_seq)),),
+                    )
+                archived = self._compact(db)
+                self.faults.fire("checkpoint-commit")
+                db.execute("COMMIT")
+                self.stats["archived_records"] += archived
+            except BaseException:
+                try:
+                    db.execute("ROLLBACK")
+                except sqlite3.Error:
+                    pass
+                raise
+
+        self._with_retry("checkpoint transaction", txn)
+        self.faults.fire("checkpoint-truncate")
+
+        def truncate() -> None:
+            self._wal.truncate(0)
+            self._wal.seek(0)
+            if self.config.fsync:
+                os.fsync(self._wal.fileno())
+
+        self._with_retry("WAL truncate", truncate)
+        self._good_offset = 0
+        self._wal_batches = 0
+        self.stats["checkpoints"] += 1
+        return applied
+
+    @staticmethod
+    def _apply_to_db(db: sqlite3.Connection, ev: dict) -> int:
+        """Apply one event; returns ``seq + 1`` for audit events (else 0).
+        Idempotent per event, so re-applying a WAL after a crash mid-
+        checkpoint converges to the same snapshot."""
+        kind = ev["t"]
+        if kind == "audit":
+            r = ev["r"]
+            if r["kind"] not in KINDS:
+                raise InvalidParameterError(f"unknown audit kind {r['kind']!r} in WAL")
+            db.execute(
+                "INSERT OR REPLACE INTO audit VALUES (?,?,?,?,?,?,?)",
+                (
+                    int(r["seq"]),
+                    r["session"],
+                    r["kind"],
+                    r.get("mechanism", ""),
+                    float(r.get("epsilon", 0.0)),
+                    r.get("value"),
+                    r.get("note", ""),
+                ),
+            )
+            return int(r["seq"]) + 1
+        if kind == "open":
+            db.execute(
+                "INSERT OR IGNORE INTO sessions (sid, tenant, lane, parent, status,"
+                " config, pool) VALUES (?,?,?,?,'open',?,?)",
+                (
+                    ev["sid"],
+                    ev["tenant"],
+                    ev["lane"],
+                    ev["parent"],
+                    json.dumps(ev["config"], separators=(",", ":")),
+                    ev["pool"],
+                ),
+            )
+            return 0
+        if kind == "state":
+            db.execute(
+                "UPDATE sessions SET state=? WHERE sid=?",
+                (json.dumps(ev["s"], separators=(",", ":")), ev["sid"]),
+            )
+            return 0
+        if kind == "closed":
+            db.execute(
+                "INSERT OR REPLACE INTO closed VALUES (?,?)",
+                (ev["sid"], json.dumps(ev["v"], separators=(",", ":"))),
+            )
+            db.execute(
+                "UPDATE sessions SET status='closed' WHERE sid=?", (ev["sid"],)
+            )
+            return 0
+        if kind == "meta":
+            for key, value in ev["m"].items():
+                db.execute(
+                    "INSERT OR REPLACE INTO meta VALUES (?,?)",
+                    (key, json.dumps(value, separators=(",", ":"))),
+                )
+            return 0
+        raise InvalidParameterError(f"unknown WAL event type {kind!r}")
+
+    def _compact(self, db: sqlite3.Connection) -> int:
+        """Archive closed sessions out of the snapshot (inside the caller's
+        transaction).  The archive append is fsynced *before* the deletes
+        commit; a crash between the two duplicates archive lines at worst,
+        and the archive reader dedupes by ``seq``."""
+        sids = [row[0] for row in db.execute("SELECT sid FROM closed")]
+        if not sids:
+            return 0
+        marks = ",".join("?" for _ in sids)
+        lines: List[bytes] = []
+        archived = 0
+        for seq, session, kind, mechanism, epsilon, value, note in db.execute(
+            f"SELECT * FROM audit WHERE session IN ({marks}) ORDER BY seq", sids
+        ):
+            record = {
+                "seq": seq, "session": session, "kind": kind,
+                "mechanism": mechanism, "epsilon": epsilon, "value": value,
+                "note": note,
+            }
+            lines.append(
+                (json.dumps({"t": "audit", "r": record}, separators=(",", ":")) + "\n").encode()
+            )
+            archived += 1
+        for sid, view in db.execute(f"SELECT * FROM closed WHERE sid IN ({marks})", sids):
+            lines.append(
+                (json.dumps({"t": "closed", "sid": sid, "v": json.loads(view)},
+                            separators=(",", ":")) + "\n").encode()
+            )
+        self.faults.fire("archive-write")
+        with open(self.archive_path, "ab") as handle:
+            handle.writelines(lines)
+            handle.flush()
+            if self.config.fsync:
+                os.fsync(handle.fileno())
+        db.execute(f"DELETE FROM audit WHERE session IN ({marks})", sids)
+        db.execute(f"DELETE FROM sessions WHERE sid IN ({marks})", sids)
+        db.execute(f"DELETE FROM closed WHERE sid IN ({marks})", sids)
+        for sid in sids:
+            self._shadow_state.pop(sid, None)
+            self._known_cfg.discard(sid)
+        return archived
+
+    # ------------------------------------------------------------------
+    # Load (recovery input).
+    # ------------------------------------------------------------------
+    def has_state(self) -> bool:
+        """Whether the directory holds a bootstrapped service to recover."""
+        row = self._db.execute(
+            "SELECT value FROM meta WHERE key='manager_seed'"
+        ).fetchone()
+        if row is not None:
+            return True
+        return any(
+            any(ev["t"] == "meta" and "manager_seed" in ev["m"] for ev in batch)
+            for batch in self._read_wal_batches()
+        )
+
+    def load_state(self) -> StoreState:
+        """The snapshot tables with the committed WAL suffix overlaid."""
+        meta = {
+            key: json.loads(value)
+            for key, value in self._db.execute("SELECT key, value FROM meta")
+        }
+        sessions: Dict[str, Dict[str, Any]] = {}
+        for sid, tenant, lane, parent, status, config, pool, state in self._db.execute(
+            "SELECT sid, tenant, lane, parent, status, config, pool, state"
+            " FROM sessions ORDER BY rowid"
+        ):
+            sessions[sid] = {
+                "tenant": tenant,
+                "lane": lane,
+                "parent": parent,
+                "status": status,
+                "config": json.loads(config),
+                "pool": pool,
+                "state": json.loads(state) if state is not None else None,
+            }
+        closed = {
+            sid: json.loads(view)
+            for sid, view in self._db.execute("SELECT sid, view FROM closed")
+        }
+        records: Dict[int, dict] = {}
+        for seq, session, kind, mechanism, epsilon, value, note in self._db.execute(
+            "SELECT * FROM audit ORDER BY seq"
+        ):
+            records[seq] = {
+                "seq": seq, "session": session, "kind": kind,
+                "mechanism": mechanism, "epsilon": epsilon, "value": value,
+                "note": note,
+            }
+        batches = self._read_wal_batches()
+        for events in batches:
+            for ev in events:
+                kind = ev["t"]
+                if kind == "audit":
+                    records.setdefault(int(ev["r"]["seq"]), ev["r"])
+                elif kind == "open":
+                    sessions.setdefault(
+                        ev["sid"],
+                        {
+                            "tenant": ev["tenant"],
+                            "lane": ev["lane"],
+                            "parent": ev["parent"],
+                            "status": "open",
+                            "config": ev["config"],
+                            "pool": ev["pool"],
+                            "state": None,
+                        },
+                    )
+                elif kind == "state":
+                    if ev["sid"] not in sessions:
+                        raise InvalidParameterError(
+                            f"WAL state event for unknown session {ev['sid']!r}"
+                        )
+                    sessions[ev["sid"]]["state"] = ev["s"]
+                elif kind == "closed":
+                    closed[ev["sid"]] = ev["v"]
+                    if ev["sid"] in sessions:
+                        sessions[ev["sid"]]["status"] = "closed"
+                elif kind == "meta":
+                    meta.update(ev["m"])
+                else:
+                    raise InvalidParameterError(f"unknown WAL event type {kind!r}")
+        ordered = [AuditRecord(**records[seq]) for seq in sorted(records)]
+        next_seq = max(
+            int(meta.get("audit_next_seq", 0)),
+            (ordered[-1].seq + 1) if ordered else 0,
+        )
+        return StoreState(
+            meta=meta,
+            sessions=sessions,
+            closed=closed,
+            records=ordered,
+            next_seq=next_seq,
+            torn_tail=self.torn_tail,
+            wal_batches=len(batches),
+        )
+
+    def load_archive(self) -> List[AuditRecord]:
+        """The compacted audit records, deduped by seq, in seq order."""
+        if not self.archive_path.exists():
+            return []
+        seen: Dict[int, AuditRecord] = {}
+        with open(self.archive_path, "rb") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                ev = json.loads(line)
+                if ev.get("t") == "audit":
+                    record = AuditRecord(**ev["r"])
+                    seen.setdefault(record.seq, record)
+        return [seen[seq] for seq in sorted(seen)]
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    def close(self, final_checkpoint: bool = True) -> None:
+        """Flush pending state, optionally checkpoint, and release handles.
+
+        The graceful-shutdown path: after this returns, every audit append
+        the service ever made is in the snapshot (or the WAL) and both file
+        handles are closed.  Idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+        # flush() takes the lock itself; pending events must go down before
+        # the handles do.
+        self.flush()
+        if final_checkpoint and self._wal_batches:
+            self.checkpoint()
+        with self._lock:
+            self._closed = True
+            self._wal.close()
+            self._db.close()
+
+    def abandon(self) -> None:
+        """Drop the handles without flushing — the in-process stand-in for
+        SIGKILL in crash tests.  Pending (unflushed) state is lost, exactly
+        as a real crash would lose it."""
+        with self._lock:
+            self._closed = True
+            self._wal.close()
+            self._db.close()
+
+    @property
+    def wal_batches(self) -> int:
+        """Committed flush batches since the last checkpoint."""
+        return self._wal_batches
+
+
+def del_prefix(items: list, count: int) -> None:
+    """``del items[:count]`` as a function (lambdas can't contain del)."""
+    del items[:count]

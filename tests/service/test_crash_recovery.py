@@ -1,0 +1,378 @@
+"""The crash harness: kill the service at every write point, recover, compare.
+
+Two layers.  The in-process layer arms a :class:`FaultInjector` at each
+named write point, abandons the store handles (the same state a SIGKILL
+leaves on disk), and asserts recovery lands exactly on the last committed
+flush — audit chain, session snapshots, budget positions, all of it.  The
+subprocess layer boots the real ``repro serve --tcp --state-dir`` CLI,
+SIGKILLs it mid-load at randomized write points via ``REPRO_STORE_FAULT``,
+and asserts the durability contract end to end: every answer a client
+*received* is reconstructible from disk, because the runtime fsyncs before
+it sends.  A hypothesis sweep over byte-level truncations of the audit
+JSONL closes the loop: a torn log always replays to an exact committed
+prefix — never to a verify-green wrong state.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError, StoreUnavailableError
+from repro.service import SVTQueryService, AuditLog, verify_audit
+from repro.service.store import DurableStore, StoreConfig, WRITE_POINTS, restore_service
+
+SUPPORTS = np.linspace(1000.0, 10.0, 120)
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def service_fingerprint(service):
+    """Everything that must survive a crash, as one comparable value."""
+    manager = service.manager
+    return {
+        "audit": [r._asdict() for r in service.audit],
+        "next_seq": service.audit.next_seq,
+        "sessions": {
+            s.session_id: json.dumps(s.snapshot_state(), sort_keys=True)
+            for s in manager
+        },
+        "lanes": {
+            lane.session_id: json.dumps(lane.snapshot_state(), sort_keys=True)
+            for s in manager
+            for lane in s.lanes.values()
+        },
+        "closed": {
+            sid: view.spent for sid, view in manager.closed_sessions().items()
+        },
+        "spent": manager.total_spent(),
+    }
+
+
+class TestCrashAtEveryWritePoint:
+    """Arm each write point, crash there, recover, compare to the last
+    committed prefix (tracked as a fingerprint after every good flush)."""
+
+    def run_scripted_load(self, store, service, crash_log):
+        """Drive a deterministic load, flushing between steps.
+
+        Records the fingerprint after each *successful* flush into
+        ``crash_log``; returns the fingerprint the failing write was trying
+        to persist (None for a clean run).
+        """
+        steps = [
+            lambda: service.open_session("acme", epsilon=1.0,
+                                         error_threshold=600.0, c=12),
+            lambda: service.answer("acme", 0),
+            lambda: service.answer("acme", 5),
+            lambda: service.open_session("zeno", epsilon=0.8,
+                                         error_threshold=650.0, c=6),
+            lambda: service.answer("zeno", 2),
+            lambda: service.evict("acme"),
+            lambda: service.answer("zeno", 40),
+        ]
+        for step in steps:
+            step()
+            fingerprint = service_fingerprint(service)
+            try:
+                store.flush()
+                if store.wal_batches >= 3:
+                    store.checkpoint()
+            except StoreUnavailableError:
+                return fingerprint  # crashed mid-write
+            crash_log.append(fingerprint)
+        return None
+
+    @pytest.mark.parametrize("point", WRITE_POINTS)
+    @pytest.mark.parametrize("after", [1, 2, 3])
+    def test_recovery_lands_on_committed_prefix(self, tmp_path, point, after):
+        store = DurableStore(tmp_path)
+        service = SVTQueryService(SUPPORTS, seed=11, mode="per-session")
+        store.attach(service)  # bootstrap flush precedes the armed fault
+        action = "torn-raise" if point == "wal-line" else "raise"
+        store.faults.arm(point, action, after=after)
+
+        committed = [service_fingerprint(service)]
+        in_flight = self.run_scripted_load(store, service, committed)
+        if in_flight is not None:
+            assert not store.faults.armed, "fault never fired"
+        store.abandon()
+
+        recovered, info = restore_service(DurableStore(tmp_path), SUPPORTS)
+        assert info.report.ok, info.report.violations
+        got = service_fingerprint(recovered)
+        # The durability contract is one-sided: everything *acked* (a flush
+        # that returned) is on disk; the write the crash interrupted may or
+        # may not have landed.  Recovery must therefore equal the last
+        # acked fingerprint or the in-flight one — never anything else,
+        # and never a torn mixture of the two.
+        options = [committed[-1]] + ([in_flight] if in_flight else [])
+        # Archived records leave the live audit chain at compaction, so
+        # compare the durable chain: live ∪ archive.
+        archive = {r.seq: r._asdict() for r in DurableStore(tmp_path).load_archive()}
+        merged = {**archive, **{r["seq"]: r for r in got["audit"]}}
+        matched = [
+            want for want in options
+            if merged == {r["seq"]: r for r in want["audit"]}
+            and got["sessions"] == want["sessions"]
+            and got["lanes"] == want["lanes"]
+            and got["spent"] == want["spent"]
+            and got["next_seq"] >= want["next_seq"]
+        ]
+        assert matched, (
+            f"recovered state at {point!r}/{after} matches neither the last "
+            "acked flush nor the in-flight one"
+        )
+
+    def test_crash_between_archive_and_delete_duplicates_nothing(self, tmp_path):
+        """The compaction crash window: archive fsynced, deletes rolled
+        back.  The re-run checkpoint re-archives; dedupe keeps the chain
+        exact."""
+        store = DurableStore(tmp_path)
+        service = SVTQueryService(SUPPORTS, seed=11, mode="per-session")
+        store.attach(service)
+        service.open_session("acme", epsilon=1.0, error_threshold=600.0, c=8)
+        service.answer("acme", 0)
+        service.evict("acme")
+        store.flush()
+        store.faults.arm("checkpoint-commit", "raise")
+        with pytest.raises(StoreUnavailableError):
+            store.checkpoint()
+        reference = [r._asdict() for r in service.audit]
+        store.checkpoint()  # heals; archive now holds duplicate lines
+        store.abandon()
+        reopened = DurableStore(tmp_path)
+        archived = reopened.load_archive()
+        assert [r._asdict() for r in archived] == reference
+        recovered, info = restore_service(reopened, SUPPORTS)
+        assert info.report.ok
+
+
+def read_response(sock_file):
+    line = sock_file.readline()
+    if not line:
+        raise ConnectionError("server gone")
+    return json.loads(line)
+
+
+@pytest.mark.parametrize(
+    "fault",
+    [
+        "wal-fsync:4:kill",      # dies with the batch in the page cache
+        "wal-line:5:torn-kill",  # dies mid-append: recovery must truncate
+        "flush-begin:7:kill",    # dies before anything of the batch lands
+    ],
+)
+def test_sigkill_under_tcp_load_preserves_every_received_answer(tmp_path, fault):
+    """The end-to-end durability contract, against the real CLI server.
+
+    The server is SIGKILLed *by its own store* at an exact write point
+    while a client drives load over TCP.  Every answer the client received
+    before the connection died must be reconstructible after reboot —
+    responses only leave the server after the WAL fsync — and the rebooted
+    state must be verify_audit-green with ledgers matching audited spend.
+    """
+    state_dir = tmp_path / "state"
+    scores = tmp_path / "scores.txt"
+    scores.write_text("\n".join(str(v) for v in SUPPORTS))
+    env = {
+        **os.environ,
+        "PYTHONPATH": REPO_SRC + os.pathsep + os.environ.get("PYTHONPATH", ""),
+        "REPRO_STORE_FAULT": fault,
+    }
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-c",
+            "import sys; from repro.cli import main; sys.exit(main(sys.argv[1:]))",
+            "serve", str(scores), "--threshold", "600", "--seed", "11",
+            "--mode", "per-session", "--tcp", "--port", "0",
+            "--state-dir", str(state_dir),
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        address = None
+        deadline = time.monotonic() + 20
+        while time.monotonic() < deadline:
+            line = proc.stderr.readline()
+            if not line:
+                break
+            if line.startswith("listening on "):
+                address = line.split()[2].rsplit(":", 1)
+                break
+        assert address is not None, "server never announced its port"
+
+        received = []
+        tenants = ("acme", "zeno", "iris")
+        try:
+            with socket.create_connection(
+                (address[0], int(address[1])), timeout=10
+            ) as sock:
+                sock_file = sock.makefile("rw", encoding="utf-8", newline="\n")
+                for step in range(60):
+                    tenant = tenants[step % len(tenants)]
+                    item = (step * 7) % len(SUPPORTS)
+                    sock_file.write(json.dumps(
+                        {"op": "query", "tenant": tenant, "item": item}
+                    ) + "\n")
+                    sock_file.flush()
+                    received.append(read_response(sock_file))
+        except (ConnectionError, OSError, socket.timeout):
+            pass  # the kill landed
+
+        proc.wait(timeout=20)
+        assert proc.returncode == -signal.SIGKILL, proc.stderr.read()
+        answers = [r for r in received if r.get("type") == "answer"]
+        assert answers, "client never got an answer before the kill"
+
+        # --- Reboot and check the contract. -------------------------------
+        store = DurableStore(state_dir)
+        recovered, info = restore_service(store, SUPPORTS)  # strict=True
+        assert info.report.ok, info.report.violations
+        if fault.startswith("wal-line"):
+            assert info.torn_tail  # the half-written record was truncated
+
+        for answer in answers:
+            session = recovered.manager.session(answer["tenant"])
+            history = {
+                int(query): value for query, value in session.history
+                if isinstance(query, int) or str(query).isdigit()
+            }
+            if answer["from_history"]:
+                # A history answer proves the *referenced* release was
+                # durable before this response ever left the server.
+                assert history, f"{answer['tenant']} recovered with no history"
+            else:
+                assert history.get(answer["item"]) == answer["value"], (
+                    f"received answer for {answer['tenant']}/{answer['item']} "
+                    "is not on disk"
+                )
+
+        # Budgets match the committed spend exactly.
+        audited = recovered.audit.spend_by_session()
+        for session in recovered.manager:
+            assert session.ledger.spent == pytest.approx(
+                audited.get(session.session_id, 0.0), abs=1e-9
+            )
+
+        record_path = os.environ.get("REPRO_RECOVERY_RECORD")
+        if record_path:
+            payload = {"fault": fault, "recovery_ms": info.duration_ms,
+                       "sessions": info.sessions,
+                       "audit_records": info.audit_records,
+                       "answers_received": len(answers)}
+            with open(record_path, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(payload) + "\n")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        proc.wait(timeout=10)
+        proc.stdout.close()
+        proc.stderr.close()
+
+
+class TestTornAuditReplayProperties:
+    """Satellite: byte-level truncation can shorten the audit log but never
+    corrupt it — replay yields an exact record prefix or raises."""
+
+    @pytest.fixture(scope="class")
+    def audit_bytes(self, tmp_path_factory):
+        service = SVTQueryService(SUPPORTS, seed=23, mode="per-session")
+        for tenant in ("acme", "zeno"):
+            service.open_session(tenant, epsilon=1.0,
+                                 error_threshold=600.0, c=10)
+            for item in (0, 7, 19, 44):
+                service.answer(tenant, item)
+        service.evict("acme")
+        path = tmp_path_factory.mktemp("audit") / "audit.jsonl"
+        service.to_audit = None  # no attribute leakage
+        service.audit.to_jsonl(path)
+        return path.read_bytes(), [r._asdict() for r in service.audit]
+
+    def test_every_truncation_point_yields_exact_prefix(self, tmp_path, audit_bytes):
+        from hypothesis import given, settings, strategies as st
+
+        data, records = audit_bytes
+        line_starts = [0]
+        for index, byte in enumerate(data):
+            if byte == 0x0A:
+                line_starts.append(index + 1)
+        path = tmp_path / "torn.jsonl"
+
+        @settings(max_examples=300, deadline=None)
+        @given(cut=st.integers(min_value=0, max_value=len(data)))
+        def check(cut):
+            path.write_bytes(data[:cut])
+            # Complete lines strictly before the cut are committed; a cut
+            # exactly at a line start leaves no torn tail at all.
+            committed = sum(1 for start in line_starts[1:] if start <= cut)
+            replayed = AuditLog.replay(path, tolerate_torn_tail=True)
+            got = [r._asdict() for r in replayed]
+            want = records[:len(got)]
+            assert got == want, "replay is not a prefix of the original"
+            assert len(got) >= committed, "replay dropped committed records"
+            # A cut inside the final line may still parse if it severed
+            # only the newline; anything beyond prefix+1 is impossible.
+            assert len(got) <= committed + 1
+
+        check()
+
+    def test_strict_mode_rejects_any_torn_tail(self, tmp_path, audit_bytes):
+        from hypothesis import given, settings, strategies as st
+
+        data, records = audit_bytes
+        path = tmp_path / "torn.jsonl"
+
+        @settings(max_examples=150, deadline=None)
+        @given(cut=st.integers(min_value=1, max_value=len(data) - 1))
+        def check(cut):
+            path.write_bytes(data[:cut])
+            try:
+                replayed = AuditLog.replay(path)  # strict
+            except InvalidParameterError:
+                return  # refusing a damaged file is always correct
+            got = [r._asdict() for r in replayed]
+            assert got == records[:len(got)]  # accepted ⇒ exact prefix
+
+        check()
+
+    def test_midfile_damage_always_raises(self, tmp_path, audit_bytes):
+        """Deleting a middle line breaks seq contiguity: both modes refuse
+        rather than renumber — a gap can never masquerade as a clean log."""
+        data, _ = audit_bytes
+        lines = data.decode().splitlines(keepends=True)
+        assert len(lines) >= 3
+        damaged = "".join(lines[:1] + lines[2:])
+        path = tmp_path / "gap.jsonl"
+        path.write_text(damaged)
+        for tolerate in (False, True):
+            with pytest.raises(InvalidParameterError):
+                AuditLog.replay(path, tolerate_torn_tail=tolerate)
+
+    def test_torn_replay_never_verifies_green_with_missing_spend(self, tmp_path):
+        """The accounting backstop: if the tail loss removed a spend that a
+        session view still carries, verify_audit goes red — a torn log
+        cannot silently under-report epsilon."""
+        service = SVTQueryService(SUPPORTS, seed=7, mode="per-session")
+        service.open_session("acme", epsilon=1.0, error_threshold=600.0, c=10)
+        service.answer("acme", 0)
+        path = tmp_path / "audit.jsonl"
+        service.audit.to_jsonl(path)
+        data = path.read_bytes()
+        # Cut the final record (and maybe more) off the log, keeping the
+        # session views that still remember the full spend.
+        lines = data.decode().splitlines(keepends=True)
+        path.write_bytes("".join(lines[:-1]).encode())
+        replayed = AuditLog.replay(path, tolerate_torn_tail=True)
+        report = verify_audit(replayed, service.manager.audit_sessions())
+        assert not report.ok
