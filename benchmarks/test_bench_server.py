@@ -25,6 +25,13 @@ Two enforced bars:
   ``REPRO_MIN_SERVER_RATIO`` (default 0.6): frame parse, response encode,
   and socket syscalls are real costs the in-process loop never pays, and
   this bound keeps them from growing unnoticed.
+* **observability is near-free** — the traced trial reruns the same
+  workload with request tracing on, the admin plane up, and a scraper
+  thread hitting ``/metrics`` throughout; throughput must hold
+  ``REPRO_MIN_TRACED_RATIO`` (default 0.9) of the untraced run, and the
+  per-stage p50s must account for the client-observed per-request p50
+  within ``REPRO_TRACE_ATTRIBUTION_SLACK`` (default 0.2) — the spans are
+  only worth their overhead if they explain where requests actually wait.
 
 ``BENCH_server.json`` records req/s, both ratios, shed rate, and
 client-observed p50/p99 window latency.
@@ -68,6 +75,14 @@ MIN_PR3_RATIO = float(os.environ.get("REPRO_MIN_PR3_RATIO", "0.75"))
 #: cost is far smaller; the floor only guards against regressing to an
 #: fsync-per-request shape.
 MIN_DURABLE_RATIO = float(os.environ.get("REPRO_MIN_DURABLE_RATIO", "0.5"))
+#: Floor on traced-server req/s as a fraction of the untraced server — the
+#: acceptance bar "tracing costs <= 10%".  A same-machine same-instant
+#: comparison, so the default floor is the bar itself.
+MIN_TRACED_RATIO = float(os.environ.get("REPRO_MIN_TRACED_RATIO", "0.9"))
+#: Relative slack on the stage attribution check: the sum of per-stage
+#: p50s must land within this fraction of the client-observed per-request
+#: p50 (bucketed quantiles + client-side socket scheduling both blur it).
+ATTRIBUTION_SLACK = float(os.environ.get("REPRO_TRACE_ATTRIBUTION_SLACK", "0.2"))
 
 
 def pr3_closed_loop_rps():
@@ -171,6 +186,7 @@ def drive_client(address, opens, windows, results, barrier, index):
     """
     raw_responses = []
     latencies = []
+    line_latencies = []
     with socket.create_connection(address) as sock:
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         stream = sock.makefile("rwb", buffering=1 << 20)
@@ -183,15 +199,43 @@ def drive_client(address, opens, windows, results, barrier, index):
         barrier.wait()
         for payload, line_count, _requests in windows:
             t0 = time.perf_counter()
+            # Timing beacon ahead of the window: the server traces this
+            # window's ingress_wait from t0 (client send), so time spent in
+            # socket buffers is attributed instead of invisible.
+            stream.write(
+                json.dumps({"op": "mark", "t": t0},
+                           separators=(",", ":")).encode() + b"\n"
+            )
             stream.write(payload)
             stream.flush()
-            got = [stream.readline() for _ in range(line_count)]
-            latencies.append((time.perf_counter() - t0) * 1e3)
+            got = []
+            for _ in range(line_count):
+                # Per-line arrival stamps (one perf_counter per *block*, a
+                # few hundred per run): the client-observed per-request
+                # latency distribution the trace attribution is checked
+                # against.  Window latency stays the headline number.
+                got.append(stream.readline())
+                line_latencies.append((time.perf_counter() - t0) * 1e3)
+            latencies.append(line_latencies[-1])
             raw_responses.extend(got)
-    results[index] = (raw_responses, latencies)
+    results[index] = (raw_responses, latencies, line_latencies)
 
 
-def run_server_trial(workload, state_dir=None):
+def scrape_loop(address, stop, counts):
+    """Hit ``/metrics`` continuously until *stop* — the scrape-under-load
+    half of the traced trial (a scraper is part of tracing's real cost)."""
+    import urllib.request
+
+    url = f"http://{address[0]}:{address[1]}/metrics"
+    while not stop.is_set():
+        with urllib.request.urlopen(url, timeout=5.0) as resp:
+            body = resp.read()
+            assert body.startswith(b"# "), body[:40]
+        counts[0] += 1
+        stop.wait(0.02)
+
+
+def run_server_trial(workload, state_dir=None, trace=False):
     config = ServerConfig(
         epsilon=SPEC.epsilon,
         error_threshold=workload.error_threshold,
@@ -200,6 +244,8 @@ def run_server_trial(workload, state_dir=None):
         mode="shared",
         seed=1,
         state_dir=state_dir,
+        trace=trace,
+        admin_port=0 if trace else None,
         window=BATCH_WINDOW,
         # Cap drains at the closed loop's window: bigger drains lose engine
         # cache locality (a 200k-row pass's arrays fall out of L2).
@@ -248,6 +294,14 @@ def run_server_trial(workload, state_dir=None):
             )
             for cid in range(CLIENTS)
         ]
+        scrape_stop, scrapes = threading.Event(), [0]
+        scraper = None
+        if trace:
+            scraper = threading.Thread(
+                target=scrape_loop,
+                args=(harness.server.admin.address, scrape_stop, scrapes),
+            )
+            scraper.start()
         for t in threads:
             t.start()
         barrier.wait()  # all sessions open; the serving phase starts now
@@ -255,6 +309,10 @@ def run_server_trial(workload, state_dir=None):
         for t in threads:
             t.join()
         duration = time.perf_counter() - start
+        if scraper is not None:
+            scrape_stop.set()
+            scraper.join(timeout=10.0)
+        trace_report = harness.server.tracer.report(slow_limit=0) if trace else None
     # Snapshot after graceful shutdown: the drain loop's trailing counter
     # updates may still be in flight when the last response reaches a client.
     snapshot = harness.server.snapshot()
@@ -262,22 +320,33 @@ def run_server_trial(workload, state_dir=None):
     # Validate off the clock: every block answered, payloads well-formed.
     answered = 0
     latencies = []
-    for raw, window_latencies in results:
+    line_lat, line_weight = [], []
+    for raw, window_latencies, line_latencies in results:
         latencies.extend(window_latencies)
-        for line in raw:
+        for line, lat in zip(raw, line_latencies):
             response = json.loads(line)
             assert response["type"] == "answers", response
             answered += response["count"]
             assert "values_b64" in response
+            line_lat.append(lat)
+            line_weight.append(response["count"])
     assert answered == total_requests
+    # Client-observed per-request p50: per-block arrival latencies weighted
+    # by the requests each block answered.
+    order = np.argsort(line_lat)
+    cum = np.cumsum(np.asarray(line_weight)[order])
+    request_p50_ms = float(np.asarray(line_lat)[order][
+        np.searchsorted(cum, cum[-1] * 0.5)
+    ])
     assert snapshot["counters"]["answered_total"] + snapshot["counters"][
         "rejected_total"
     ] == total_requests
-    return {
+    out = {
         "duration_s": duration,
         "requests_per_sec": total_requests / duration,
         "latency_p50_ms": float(np.percentile(latencies, 50)),
         "latency_p99_ms": float(np.percentile(latencies, 99)),
+        "request_p50_ms": request_p50_ms,
         "shed_rate": snapshot["shed_rate"],
         "drains": snapshot["counters"]["drains_total"],
         "drain_p99_ms": snapshot["histograms"]["drain_latency_ms"]["p99"],
@@ -285,6 +354,17 @@ def run_server_trial(workload, state_dir=None):
         "store_flushes": snapshot["gauges"].get("store_flushes", 0),
         "fsync_p99_ms": snapshot["histograms"]["fsync_latency_ms"]["p99"],
     }
+    if trace:
+        out["scrapes"] = scrapes[0]
+        out["stage_p50_ms"] = {
+            stage: report["p50"] for stage, report in trace_report["stages"].items()
+        }
+        out["stage_p50_sum_ms"] = trace_report["stage_p50_sum_ms"]
+        out["span_p50_ms"] = trace_report["total"]["p50"]
+        out["span_p99_ms"] = trace_report["total"]["p99"]
+        out["gate_kernel_p50_ms"] = trace_report["gate_kernel"]["p50"]
+        out["slow_total"] = trace_report["slow_total"]
+    return out
 
 
 def test_server_vs_closed_loop(workload):
@@ -339,6 +419,69 @@ def test_server_vs_closed_loop(workload):
         assert pr3_ratio >= MIN_PR3_RATIO
 
 
+def test_tracing_overhead_and_attribution(workload):
+    """The observability tax and the attribution it buys.
+
+    The traced run carries full per-request spans, the admin plane, and a
+    live scraper hammering ``/metrics`` every 20 ms — and must still hold
+    ``>= 0.9x`` the untraced throughput (tracing that costs more than 10%
+    would never be left on).  The spans must then earn their keep: the sum
+    of per-stage p50s has to land within ``ATTRIBUTION_SLACK`` of the
+    client-observed per-request p50, i.e. the histograms *name* where the
+    client's milliseconds went (they live almost entirely in
+    ``ingress_wait`` — queueing behind earlier drains under the deep
+    pipeline — which no drain-side metric could previously see).
+    """
+    # Interleaved best-of-4 per side: the true overhead (~5%) is smaller
+    # than ambient run-to-run noise, so both sides must converge to machine
+    # capability, and alternating the runs exposes both to the same drift.
+    untraced_runs, traced_runs = [], []
+    for _ in range(4):
+        untraced_runs.append(run_server_trial(workload))
+        traced_runs.append(run_server_trial(workload, trace=True))
+    untraced = min(untraced_runs, key=lambda t: t["duration_s"])
+    traced = min(traced_runs, key=lambda t: t["duration_s"])
+    ratio = traced["requests_per_sec"] / untraced["requests_per_sec"]
+    attribution = traced["stage_p50_sum_ms"] / traced["request_p50_ms"]
+    stage_line = "   ".join(
+        f"{stage} {p50:.2f}" for stage, p50 in traced["stage_p50_ms"].items()
+    )
+
+    emit(
+        "Tracing overhead — spans + admin plane + live /metrics scraper",
+        f"untraced: {untraced['requests_per_sec']:>12,.0f} req/s   "
+        f"traced: {traced['requests_per_sec']:>12,.0f} req/s   "
+        f"ratio {ratio:.2f}x (floor {MIN_TRACED_RATIO:.2f})   "
+        f"scrapes {traced['scrapes']}\n"
+        f"stage p50s (ms): {stage_line}\n"
+        f"stage p50 sum {traced['stage_p50_sum_ms']:.1f} ms vs client "
+        f"per-request p50 {traced['request_p50_ms']:.1f} ms "
+        f"(attribution {attribution:.2f}x, slack {ATTRIBUTION_SLACK:.0%})   "
+        f"span p50/p99 {traced['span_p50_ms']:.1f}/{traced['span_p99_ms']:.1f} ms",
+    )
+    record_server(
+        "zipf-256-tcp8-traced",
+        requests=REQUESTS,
+        clients=CLIENTS,
+        requests_per_sec=round(traced["requests_per_sec"], 1),
+        untraced_requests_per_sec=round(untraced["requests_per_sec"], 1),
+        traced_ratio=round(ratio, 3),
+        scrapes=traced["scrapes"],
+        stage_p50_ms={k: round(v, 3) for k, v in traced["stage_p50_ms"].items()},
+        stage_p50_sum_ms=round(traced["stage_p50_sum_ms"], 3),
+        client_request_p50_ms=round(traced["request_p50_ms"], 3),
+        attribution=round(attribution, 3),
+        span_p50_ms=round(traced["span_p50_ms"], 3),
+        span_p99_ms=round(traced["span_p99_ms"], 3),
+        gate_kernel_p50_ms=round(traced["gate_kernel_p50_ms"], 3),
+        latency_p50_ms=round(traced["latency_p50_ms"], 3),
+        latency_p99_ms=round(traced["latency_p99_ms"], 3),
+    )
+    assert traced["scrapes"] > 0  # the scraper really ran under load
+    assert ratio >= MIN_TRACED_RATIO
+    assert abs(attribution - 1.0) <= ATTRIBUTION_SLACK
+
+
 def test_durable_store_overhead_bounded(workload, tmp_path):
     """The durability tax: the WAL-fsync server vs the in-memory server.
 
@@ -351,12 +494,22 @@ def test_durable_store_overhead_bounded(workload, tmp_path):
     """
     from repro.service.store import DurableStore, restore_service
 
-    state_dir = tmp_path / "state"
     memory = min(
         (run_server_trial(workload) for _ in range(2)),
         key=lambda t: t["duration_s"],
     )
-    durable = run_server_trial(workload, state_dir=str(state_dir))
+    # Best-of-2 like the in-memory side: ambient fsync latency swings by
+    # several ms run to run, which is most of this trial's variance.  Each
+    # run gets its own state directory; recovery replays the selected one.
+    durable_runs = {
+        str(tmp_path / f"state-{i}"): run_server_trial(
+            workload, state_dir=str(tmp_path / f"state-{i}")
+        )
+        for i in range(2)
+    }
+    state_dir, durable = min(
+        durable_runs.items(), key=lambda kv: kv[1]["duration_s"]
+    )
     ratio = durable["requests_per_sec"] / memory["requests_per_sec"]
 
     recovered, info = restore_service(DurableStore(state_dir), workload.supports)

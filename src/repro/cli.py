@@ -26,7 +26,11 @@ Subcommands
     cross-session batched drains either way.
 ``metrics``
     Fetch the live counters/histograms snapshot from a running ``serve
-    --tcp`` server.
+    --tcp`` server; ``--format prom`` renders it as Prometheus text
+    exposition, ``--format json`` as raw JSON.
+``trace-report``
+    Fetch the per-stage latency breakdown (and slow-request exemplars)
+    from a traced server's admin plane and render it as a table.
 ``load-test``
     Closed-loop throughput benchmark of the service: a Zipf multi-tenant
     workload served both batched and query-at-a-time, with requests/sec,
@@ -156,13 +160,41 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--target-drain-ms", type=float, default=5.0,
                        dest="target_drain_ms",
                        help="drain-latency target steering the adaptive window")
+    serve.add_argument("--trace", action="store_true",
+                       help="per-request span tracing: stage latency histograms "
+                            "+ slow-request exemplars (see 'repro trace-report')")
+    serve.add_argument("--trace-slow-ms", type=float, default=50.0,
+                       dest="trace_slow_ms",
+                       help="requests slower than this land in the exemplar ring")
+    serve.add_argument("--admin-port", type=int, default=None, dest="admin_port",
+                       help="start the HTTP admin plane (/healthz /readyz /metrics "
+                            "/sessions /audit /debug/*) on this port (0 = ephemeral)")
+    serve.add_argument("--admin-host", default="127.0.0.1", dest="admin_host")
 
     met = sub.add_parser(
         "metrics", help="fetch a live metrics snapshot from a running TCP server"
     )
     met.add_argument("--host", default="127.0.0.1")
     met.add_argument("--port", type=int, default=7707)
-    met.add_argument("--raw", action="store_true", help="print the raw JSON response")
+    met.add_argument("--format", choices=("text", "prom", "json"), default="text",
+                     dest="format",
+                     help="text: human-readable summary (default); prom: Prometheus "
+                          "text exposition, scrape-identical to the admin plane's "
+                          "/metrics; json: the raw snapshot")
+    met.add_argument("--raw", action="store_true",
+                     help="deprecated alias for --format json")
+
+    trace = sub.add_parser(
+        "trace-report",
+        help="latency breakdown from a traced server's admin plane",
+    )
+    trace.add_argument("--host", default="127.0.0.1")
+    trace.add_argument("--port", type=int, required=True,
+                       help="the admin-plane port (serve --admin-port)")
+    trace.add_argument("--slow", type=int, default=5, dest="slow",
+                       help="slow-request exemplars to show (0 = none)")
+    trace.add_argument("--json", action="store_true", dest="as_json",
+                       help="print the raw /debug/trace JSON")
 
     load = sub.add_parser("load-test", help="closed-loop service throughput benchmark")
     load.add_argument("--tenants", type=int, default=256)
@@ -294,6 +326,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         target_drain_ms=args.target_drain_ms,
         state_dir=None if args.state_dir is None else str(args.state_dir),
         checkpoint_every=args.checkpoint_every,
+        trace=args.trace,
+        trace_slow_ms=args.trace_slow_ms,
+        admin_port=args.admin_port,
+        admin_host=args.admin_host,
     )
     server = RuntimeServer(supports, config)
     if server.recovery is not None:
@@ -309,6 +345,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         await server.serve_tcp(args.host, args.port)
         host, port = server.tcp_address
         print(f"listening on {host}:{port} (JSONL; ctrl-C stops)", file=sys.stderr)
+        if server.admin is not None:
+            ahost, aport = server.admin.address
+            print(f"admin plane on http://{ahost}:{aport} "
+                  f"(/healthz /readyz /metrics ...)", file=sys.stderr)
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
         for sig in (signal.SIGINT, signal.SIGTERM):
@@ -361,8 +401,16 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         print("error: no response from server", file=sys.stderr)
         return 2
     snapshot = json.loads(line)
-    if args.raw:
+    fmt = "json" if args.raw else args.format
+    if fmt == "json":
         print(json.dumps(snapshot, indent=2))
+        return 0
+    if fmt == "prom":
+        from repro.service.observability import render_prometheus
+
+        # Same encoder as the admin plane's /metrics: a snapshot fetched
+        # over the JSONL protocol renders scrape-identical exposition.
+        sys.stdout.write(render_prometheus(snapshot))
         return 0
     counters = snapshot.get("counters", {})
     gauges = snapshot.get("gauges", {})
@@ -376,6 +424,56 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
             f"  {name}: n={hist['count']} mean={hist['mean']:g} "
             f"p50={hist['p50']:g} p99={hist['p99']:g}"
         )
+    return 0
+
+
+def _cmd_trace_report(args: argparse.Namespace) -> int:
+    import json
+    from urllib.error import URLError
+    from urllib.request import urlopen
+
+    url = f"http://{args.host}:{args.port}/debug/trace"
+    try:
+        with urlopen(url, timeout=10.0) as response:
+            report = json.loads(response.read())
+    except URLError as exc:
+        print(f"error: cannot fetch {url}: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:  # connection refused and friends
+        print(f"error: cannot fetch {url}: {exc}", file=sys.stderr)
+        return 2
+    if "error" in report:
+        print(f"error: {report['error']}", file=sys.stderr)
+        return 2
+    if args.as_json:
+        print(json.dumps(report, indent=2))
+        return 0
+    glossary = report.get("glossary", {})
+    total = report.get("total", {})
+    print(f"request spans: {report.get('spans_total', 0)} "
+          f"({report.get('slow_total', 0)} slower than "
+          f"{report.get('slow_threshold_ms', 0):g} ms)")
+    print(f"{'stage':<15} {'count':>10} {'p50 ms':>9} {'p90 ms':>9} "
+          f"{'p99 ms':>9}  description")
+    for stage, hist in report.get("stages", {}).items():
+        print(f"{stage:<15} {hist.get('count', 0):>10} "
+              f"{hist.get('p50', 0):>9.3f} {hist.get('p90', 0):>9.3f} "
+              f"{hist.get('p99', 0):>9.3f}  {glossary.get(stage, '')}")
+    kernel = report.get("gate_kernel", {})
+    if kernel.get("count"):
+        print(f"{'  gate_kernel':<15} {kernel['count']:>10} "
+              f"{kernel.get('p50', 0):>9.3f} {kernel.get('p90', 0):>9.3f} "
+              f"{kernel.get('p99', 0):>9.3f}  pure kernel time within gate_exec")
+    print(f"stage p50 sum {report.get('stage_p50_sum_ms', 0):g} ms vs "
+          f"request-span p50 {total.get('p50', 0):g} ms "
+          f"(p99 {total.get('p99', 0):g} ms)")
+    slow = report.get("slow", [])
+    if args.slow and slow:
+        print(f"slowest exemplars (most recent {min(args.slow, len(slow))}):")
+        for ex in slow[-args.slow:]:
+            stages = " ".join(f"{k}={v:g}" for k, v in ex.get("stages", {}).items())
+            print(f"  {ex.get('kind')}/{ex.get('tenant')} "
+                  f"x{ex.get('requests')}: {ex.get('total_ms'):g} ms ({stages})")
     return 0
 
 
@@ -446,6 +544,7 @@ _HANDLERS = {
     "experiment": _cmd_experiment,
     "serve": _cmd_serve,
     "metrics": _cmd_metrics,
+    "trace-report": _cmd_trace_report,
     "load-test": _cmd_load_test,
 }
 

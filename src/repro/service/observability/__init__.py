@@ -1,0 +1,43 @@
+"""The telemetry plane: request tracing, Prometheus exposition, HTTP admin.
+
+The runtime serves ~2M req/s but — before this package — could only be
+observed through a point-in-time ``metrics`` protocol op.  Four modules turn
+it into something that can be probed, scraped, and profiled like production
+infrastructure:
+
+* :mod:`~repro.service.observability.tracing` — per-request spans threaded
+  from ingress admission through cohort formation, gate execution, the
+  durability barrier, and response send, aggregated into per-stage latency
+  histograms plus a bounded ring of slow-request exemplars;
+* :mod:`~repro.service.observability.promexport` — Prometheus text-format
+  exposition rendered from any :class:`~repro.service.runtime.metrics.
+  MetricsRegistry` snapshot (cumulative ``_bucket``/``_sum``/``_count``
+  histogram encoding, labels included);
+* :mod:`~repro.service.observability.httpadmin` — an asyncio HTTP/1.1 admin
+  plane on its own port sharing the runtime's event loop: health and
+  readiness probes, the ``/metrics`` scrape, paginated ``/sessions`` and
+  ``/audit`` listings, slow exemplars, and on-demand profiling;
+* :mod:`~repro.service.observability.profiler` — an opt-in sampling
+  profiler emitting flamegraph-compatible collapsed stacks.
+"""
+
+from repro.service.observability.httpadmin import AdminPlane
+from repro.service.observability.profiler import ProfilerBusyError, SamplingProfiler
+from repro.service.observability.promexport import render_prometheus
+from repro.service.observability.tracing import (
+    STAGE_GLOSSARY,
+    STAGES,
+    TRACE_BUCKETS_MS,
+    RequestTracer,
+)
+
+__all__ = [
+    "AdminPlane",
+    "RequestTracer",
+    "STAGES",
+    "STAGE_GLOSSARY",
+    "TRACE_BUCKETS_MS",
+    "render_prometheus",
+    "SamplingProfiler",
+    "ProfilerBusyError",
+]

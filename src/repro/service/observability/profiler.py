@@ -1,0 +1,105 @@
+"""Opt-in sampling profiler: flamegraph-compatible collapsed stacks.
+
+``perf`` can't see Python frames and a deterministic tracer (cProfile)
+costs far too much to point at a server mid-load.  This sampler does what
+py-spy does, in-process and stdlib-only: a dedicated thread wakes every
+``interval_s``, grabs :func:`sys._current_frames` (one C call, no tracing
+hooks, no per-bytecode overhead), and folds each thread's stack into a
+counter keyed by the collapsed frame chain.  The profiled threads pay
+nothing between samples — the overhead is the sampler thread's own work,
+which is why the admin plane can expose this against a live drain loop.
+
+Output is the classic *collapsed stack* format, one line per distinct
+stack::
+
+    MainThread;serve_tcp;_drain_loop;drain_once;_drain_sync;gate_block 42
+
+pipe it straight into ``flamegraph.pl`` or paste into speedscope.  Stacks
+are rooted at the thread name so a multi-threaded capture stays readable.
+
+One capture at a time: a second concurrent ``collapsed()`` raises
+:class:`ProfilerBusyError` (the admin plane maps it to HTTP 409) instead of
+silently interleaving two sample streams.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from collections import Counter
+from typing import Dict, Iterable, Optional
+
+__all__ = ["SamplingProfiler", "ProfilerBusyError"]
+
+
+class ProfilerBusyError(RuntimeError):
+    """A capture is already running; try again when it finishes."""
+
+
+def _frame_label(frame) -> str:
+    code = frame.f_code
+    name = getattr(code, "co_qualname", code.co_name)
+    module = code.co_filename.rsplit("/", 1)[-1]
+    return f"{name} ({module})"
+
+
+class SamplingProfiler:
+    """Sample Python stacks across threads into collapsed-stack counts."""
+
+    def __init__(self, interval_s: float = 0.005) -> None:
+        if interval_s <= 0.0:
+            raise ValueError("interval_s must be > 0")
+        self.interval_s = float(interval_s)
+        self._busy = threading.Lock()
+
+    def collapsed(
+        self,
+        seconds: float,
+        thread_ids: Optional[Iterable[int]] = None,
+    ) -> str:
+        """Sample for *seconds* and return collapsed stacks (blocking).
+
+        *thread_ids* restricts the capture (e.g. to the drain/event-loop
+        thread); None profiles every thread except the sampler itself.
+        Call from a thread you can afford to block — the admin plane runs
+        it in an executor so the event loop keeps serving.
+        """
+        if seconds <= 0.0:
+            raise ValueError("seconds must be > 0")
+        if not self._busy.acquire(blocking=False):
+            raise ProfilerBusyError("a profile capture is already running")
+        try:
+            wanted = None if thread_ids is None else {int(t) for t in thread_ids}
+            counts: Counter = Counter()
+            samples = 0
+            me = threading.get_ident()
+            deadline = time.perf_counter() + float(seconds)
+            while time.perf_counter() < deadline:
+                names: Dict[int, str] = {
+                    t.ident: t.name for t in threading.enumerate() if t.ident
+                }
+                for tid, frame in sys._current_frames().items():
+                    if tid == me or (wanted is not None and tid not in wanted):
+                        continue
+                    stack = []
+                    while frame is not None:
+                        stack.append(_frame_label(frame))
+                        frame = frame.f_back
+                    stack.append(names.get(tid, f"thread-{tid}"))
+                    counts[";".join(reversed(stack))] += 1
+                samples += 1
+                time.sleep(self.interval_s)
+            lines = [
+                f"{stack} {count}"
+                for stack, count in sorted(
+                    counts.items(), key=lambda kv: (-kv[1], kv[0])
+                )
+            ]
+            header = (
+                f"# samples: {samples} interval_ms: {self.interval_s * 1e3:g} "
+                f"duration_s: {float(seconds):g}"
+            )
+            return "\n".join([header, *lines]) + "\n"
+        finally:
+            self._busy.release()

@@ -1,0 +1,135 @@
+"""Prometheus text-format exposition for the runtime's metrics registry.
+
+Renders a :meth:`~repro.service.runtime.metrics.MetricsRegistry.snapshot`
+into the Prometheus text exposition format (version 0.0.4): counters become
+``<prefix><name> <value>`` samples typed ``counter``, gauges ``gauge``, and
+each fixed-bucket histogram expands into the cumulative
+``_bucket{le="..."}`` series (including the mandatory ``le="+Inf"``)
+plus ``_sum`` and ``_count``.
+
+Working from the *snapshot* rather than the live registry is deliberate:
+the same function serves the admin plane's ``/metrics`` endpoint (local
+registry), the ``repro metrics --format prom`` CLI (snapshot fetched over
+the JSONL protocol from a remote server), and tests — one encoder, three
+transports.
+
+Labels ride along for free: the registry keys labeled series as
+``name{k="v"}`` (see :func:`~repro.service.runtime.metrics.metric_key`),
+which is already the Prometheus sample syntax; the renderer splits the key
+so the label set lands after any ``_bucket``/``_sum``/``_count`` suffix and
+merges with the ``le`` label, and groups all series of one family under a
+single ``# TYPE`` line, as the format requires.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["render_prometheus", "CONTENT_TYPE"]
+
+#: The scrape Content-Type Prometheus expects for text exposition.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_KEY_RE = re.compile(r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)(\{(?P<labels>.*)\})?$")
+_SANITIZE_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _split_key(key: str) -> Tuple[str, str]:
+    """Registry key -> (metric family name, raw label body or '')."""
+    match = _KEY_RE.match(key)
+    if match is None:
+        # Defensive: a non-conforming name is sanitized rather than dropped,
+        # so a scrape never silently loses a series.
+        return _SANITIZE_RE.sub("_", key), ""
+    return match.group("name"), match.group("labels") or ""
+
+
+def _sample(name: str, labels: str, value: str) -> str:
+    if labels:
+        return f"{name}{{{labels}}} {value}"
+    return f"{name} {value}"
+
+
+def _merge_labels(base: str, extra: str) -> str:
+    if base and extra:
+        return f"{base},{extra}"
+    return base or extra
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _le_label(bound: str) -> str:
+    if bound == "+inf":
+        return 'le="+Inf"'
+    return f'le="{_format_value(float(bound))}"'
+
+
+def render_prometheus(snapshot: dict, prefix: str = "repro_") -> str:
+    """Render one registry snapshot as Prometheus text exposition.
+
+    *snapshot* is the JSON-able dict :meth:`MetricsRegistry.snapshot`
+    returns (extra keys like ``shed_rate`` that the server folds into its
+    ``metrics`` op response are ignored).  Every metric name gains *prefix*
+    so scraped series are namespaced (``repro_requests_total``).
+    """
+    lines: List[str] = []
+    seen_types: Dict[str, str] = {}
+
+    def emit_type(family: str, kind: str, help_text: Optional[str] = None) -> None:
+        if seen_types.get(family) == kind:
+            return
+        seen_types[family] = kind
+        if help_text:
+            lines.append(f"# HELP {family} {help_text}")
+        lines.append(f"# TYPE {family} {kind}")
+
+    for key, value in snapshot.get("counters", {}).items():
+        name, labels = _split_key(key)
+        family = prefix + name
+        emit_type(family, "counter")
+        lines.append(_sample(family, labels, _format_value(value)))
+
+    for key, value in snapshot.get("gauges", {}).items():
+        name, labels = _split_key(key)
+        family = prefix + name
+        emit_type(family, "gauge")
+        lines.append(_sample(family, labels, _format_value(value)))
+
+    for key, hist in snapshot.get("histograms", {}).items():
+        name, labels = _split_key(key)
+        family = prefix + name
+        emit_type(family, "histogram")
+        cumulative = 0
+        buckets = hist.get("buckets", {})
+        for bound, count in buckets.items():
+            cumulative += int(count)
+            lines.append(
+                _sample(
+                    family + "_bucket",
+                    _merge_labels(labels, _le_label(str(bound))),
+                    str(cumulative),
+                )
+            )
+        if "+inf" not in {str(b).lower() for b in buckets}:
+            # A histogram without an explicit overflow bucket still must
+            # expose le="+Inf" == _count.
+            lines.append(
+                _sample(
+                    family + "_bucket",
+                    _merge_labels(labels, 'le="+Inf"'),
+                    str(hist.get("count", cumulative)),
+                )
+            )
+        lines.append(_sample(family + "_sum", labels, _format_value(hist.get("sum", 0.0))))
+        lines.append(_sample(family + "_count", labels, str(int(hist.get("count", 0)))))
+
+    return "\n".join(lines) + "\n"

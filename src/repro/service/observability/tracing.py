@@ -1,0 +1,204 @@
+"""Per-request latency spans: where a request spends its life.
+
+The runtime's drain metrics say how long a *drain* took; they cannot say
+where a *request* waited — and the TCP bench's 82 ms client p50 against a
+10 ms drain p99 is exactly the kind of gap only per-request attribution can
+explain.  The tracer splits a request's server-side life into named stages
+(:data:`STAGES`), carried from :class:`~repro.service.runtime.server.
+IngressQueue` admission to the response leaving the connection:
+
+``ingress_wait``
+    Client send (when the connection sent a ``mark`` op) or admission
+    (``try_put``) until drain pickup (``take``) — time spent queued behind
+    earlier windows, including bytes parked in socket buffers while a
+    drain blocked the readers.  Measured per entry with its own timestamp.
+``cohort_form``
+    Session lookup plus :class:`~repro.service.batcher.RequestBatcher`
+    submission — the cost of grouping the window into cohorts.
+``gate_exec``
+    :meth:`~repro.service.engine.ServiceEngine.execute` — the vectorized
+    gate passes (the ``gate_kernel_ms`` histogram tracks the pure
+    :func:`~repro.engine.gate.gate_block`/``gate_grid`` kernel time inside
+    this stage, measured by the engine itself).
+``respond_encode``
+    Building and serializing the staged response payloads.
+``store_flush``
+    The durability barrier: WAL append + fsync (zero without a store).
+``send``
+    Writing the staged responses to their connections.
+
+Drain-level stages are observed once per drain, **weighted by the number of
+requests the drain served** (:meth:`~repro.service.runtime.metrics.
+Histogram.observe_n`): a drain's gate time is latency every request in it
+experienced, so the per-stage histograms read as per-request distributions
+and their p50s compose into the client-observed p50 (the attribution the
+server bench enforces).  ``ingress_wait`` is per-entry, weighted by the
+entry's request count.
+
+Slow requests additionally land in a bounded exemplar ring: any request
+whose admission-to-send total exceeds ``slow_ms`` is recorded with its full
+stage breakdown (its own ingress wait + its drain's stage durations), the
+queryable raw material behind ``/debug/slow`` and ``repro trace-report``.
+Memory is bounded twice over: the ring is a ``deque(maxlen=...)`` and only
+above-threshold requests ever allocate an exemplar dict.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # a runtime import would cycle: server imports the tracer
+    from repro.service.runtime.metrics import Histogram, MetricsRegistry
+
+__all__ = [
+    "STAGES",
+    "STAGE_GLOSSARY",
+    "TRACE_BUCKETS_MS",
+    "RequestTracer",
+]
+
+#: Span stages in pipeline order.  Disjoint by construction: summing one
+#: request's stages yields its admission-to-send total.
+STAGES: Tuple[str, ...] = (
+    "ingress_wait",
+    "cohort_form",
+    "gate_exec",
+    "respond_encode",
+    "store_flush",
+    "send",
+)
+
+#: One-line glossary per stage (served by ``/debug/trace`` and the README).
+STAGE_GLOSSARY: Dict[str, str] = {
+    "ingress_wait": "client send (with a mark op) or admission until drain pickup",
+    "cohort_form": "session lookup + RequestBatcher cohort submission",
+    "gate_exec": "vectorized gate execution (ServiceEngine.execute)",
+    "respond_encode": "response staging and serialization into the outbox",
+    "store_flush": "durability barrier: WAL append + fsync",
+    "send": "staged responses written to their connections",
+}
+
+#: Span buckets in milliseconds.  Wider than the drain buckets: ingress
+#: wait under deep pipelining reaches into the hundreds of ms, and the
+#: attribution math needs resolution there, not just near 1 ms.
+TRACE_BUCKETS_MS: Tuple[float, ...] = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 75.0, 100.0,
+    150.0, 250.0, 500.0, 1000.0, 2500.0,
+)
+
+
+class RequestTracer:
+    """Aggregates request spans into stage histograms + a slow-exemplar ring.
+
+    One tracer per server.  All methods are safe to call from the drain
+    loop and snapshot readers concurrently (histograms carry their own
+    locks; the ring has one).
+    """
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        slow_ms: float = 50.0,
+        max_exemplars: int = 256,
+    ) -> None:
+        self.registry = registry
+        self.slow_ms = float(slow_ms)
+        self._ring: deque = deque(maxlen=int(max_exemplars))
+        self._ring_lock = threading.Lock()
+        self.stage_hist: Dict[str, "Histogram"] = {
+            stage: registry.histogram(
+                "stage_ms", TRACE_BUCKETS_MS, labels={"stage": stage}
+            )
+            for stage in STAGES
+        }
+        self.total_hist = registry.histogram("request_span_ms", TRACE_BUCKETS_MS)
+        # Sub-span of gate_exec: the pure gate_block/gate_grid kernel time
+        # the engine measures around its vectorized calls.  Deliberately not
+        # in STAGES — the disjoint stage sum would double-count it.
+        self.gate_kernel_hist = registry.histogram("gate_kernel_ms", TRACE_BUCKETS_MS)
+        self._c_spans = registry.counter("trace_spans_total")
+        self._c_slow = registry.counter("trace_slow_total")
+
+    # ------------------------------------------------------------------
+    # Recording (drain-loop side).
+    # ------------------------------------------------------------------
+    def observe_stage(self, stage: str, ms: float, weight: int) -> None:
+        """Fold one stage duration in, weighted by the requests it covered."""
+        self.stage_hist[stage].observe_n(ms, weight)
+
+    def observe_gate_kernel(self, ms: float, weight: int) -> None:
+        """Pure kernel time inside ``gate_exec`` (engine-measured)."""
+        self.gate_kernel_hist.observe_n(ms, weight)
+
+    def record_entry(
+        self,
+        *,
+        kind: str,
+        tenant: str,
+        weight: int,
+        wait_ms: float,
+        drain_stages_ms: Dict[str, float],
+        total_ms: float,
+        ticket: Optional[int] = None,
+    ) -> None:
+        """Complete one entry's span: totals, slow sampling, exemplar capture.
+
+        *drain_stages_ms* holds the entry's drain's shared stage durations;
+        the exemplar stitches them to the entry's own ``ingress_wait``.
+        Called once per wire entry (a block counts as one), so the hot-path
+        cost is bounded by entries per drain, not requests.
+        """
+        self._c_spans.add(weight)
+        self.total_hist.observe_n(total_ms, weight)
+        if total_ms < self.slow_ms:
+            return
+        self._c_slow.add(weight)
+        exemplar = {
+            "at": time.time(),
+            "kind": kind,
+            "tenant": tenant,
+            "requests": int(weight),
+            "ticket": ticket,
+            "total_ms": round(total_ms, 3),
+            "stages": {
+                "ingress_wait": round(wait_ms, 3),
+                **{k: round(v, 3) for k, v in drain_stages_ms.items()},
+            },
+        }
+        with self._ring_lock:
+            self._ring.append(exemplar)
+
+    # ------------------------------------------------------------------
+    # Querying (admin-plane side).
+    # ------------------------------------------------------------------
+    def slow(self, limit: Optional[int] = None) -> List[dict]:
+        """The most recent slow-request exemplars, newest last."""
+        with self._ring_lock:
+            out = list(self._ring)
+        if limit is not None and limit >= 0:
+            out = out[-limit:]
+        return out
+
+    def stage_snapshot(self) -> Dict[str, dict]:
+        """Per-stage histogram snapshots keyed by bare stage name."""
+        return {stage: hist.snapshot() for stage, hist in self.stage_hist.items()}
+
+    def report(self, slow_limit: int = 32) -> dict:
+        """The ``/debug/trace`` payload: stages, totals, exemplars, glossary."""
+        stages = self.stage_snapshot()
+        return {
+            "glossary": STAGE_GLOSSARY,
+            "slow_threshold_ms": self.slow_ms,
+            "spans_total": self._c_spans.value,
+            "slow_total": self._c_slow.value,
+            "stages": stages,
+            "stage_p50_sum_ms": round(
+                sum(s["p50"] for s in stages.values()), 6
+            ),
+            "gate_kernel": self.gate_kernel_hist.snapshot(),
+            "total": self.total_hist.snapshot(),
+            "slow": self.slow(slow_limit),
+        }

@@ -16,6 +16,7 @@ from repro.service.runtime.metrics import (
     Histogram,
     MetricsRegistry,
     RssSampler,
+    metric_key,
 )
 from repro.service.runtime.server import (
     PROTOCOL,
@@ -31,6 +32,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "RssSampler",
+    "metric_key",
     "PROTOCOL",
     "IngressQueue",
     "RuntimeServer",

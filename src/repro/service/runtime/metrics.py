@@ -30,7 +30,7 @@ from __future__ import annotations
 import os
 import resource
 import threading
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.engine.plans import MemoryProbe, available_memory_bytes
 from repro.exceptions import InvalidParameterError
@@ -44,6 +44,7 @@ __all__ = [
     "AdaptiveDrainPolicy",
     "DEFAULT_LATENCY_BUCKETS_MS",
     "DEFAULT_OCCUPANCY_BUCKETS",
+    "metric_key",
 ]
 
 #: Drain/request latency buckets in milliseconds (log-ish spacing: the p50
@@ -56,6 +57,24 @@ DEFAULT_LATENCY_BUCKETS_MS: Tuple[float, ...] = (
 DEFAULT_OCCUPANCY_BUCKETS: Tuple[float, ...] = (
     1, 4, 16, 64, 256, 1024, 4096, 16384, 65536,
 )
+
+
+def metric_key(name: str, labels: Optional[Mapping[str, str]] = None) -> str:
+    """The registry key for *name* under *labels*, in Prometheus sample form.
+
+    Labeled metrics are registered under ``name{k="v",...}`` with label keys
+    sorted, so the same label set always resolves to the same series and a
+    snapshot key round-trips through the Prometheus exporter unchanged.
+    """
+    if not labels:
+        return str(name)
+    inner = ",".join(
+        '{}="{}"'.format(
+            key, str(value).replace("\\", "\\\\").replace('"', '\\"')
+        )
+        for key, value in sorted(labels.items())
+    )
+    return f"{name}{{{inner}}}"
 
 
 class Counter:
@@ -137,6 +156,27 @@ class Histogram:
             self._count += 1
             self._sum += value
 
+    def observe_n(self, value: float, n: int) -> None:
+        """Record *n* identical observations of *value* in one update.
+
+        The tracer's weighted path: a drain-level stage duration is the
+        latency every one of the drain's requests experienced, so it lands
+        in the distribution once per request — without paying a Python-level
+        ``observe`` call per request on the hot path.
+        """
+        if n <= 0:
+            return
+        value = float(value)
+        index = 0
+        for bound in self.bounds:
+            if value <= bound:
+                break
+            index += 1
+        with self._lock:
+            self._counts[index] += n
+            self._count += n
+            self._sum += value * n
+
     @property
     def count(self) -> int:
         return self._count
@@ -163,6 +203,7 @@ class Histogram:
                 "sum": round(self._sum, 6),
                 "mean": round(self.mean, 6),
                 "p50": round(self.quantile_unlocked(0.50), 6),
+                "p90": round(self.quantile_unlocked(0.90), 6),
                 "p99": round(self.quantile_unlocked(0.99), 6),
                 "buckets": dict(zip([*map(str, self.bounds), "+inf"], self._counts)),
             }
@@ -187,7 +228,24 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Get-or-create registry of named counters/gauges/histograms."""
+    """Get-or-create registry of named counters/gauges/histograms.
+
+    Metrics may carry labels (``registry.histogram("stage_ms", labels=
+    {"stage": "gate_exec"})``); each distinct label set is its own series,
+    keyed by :func:`metric_key` (``stage_ms{stage="gate_exec"}``), which is
+    exactly how the series renders in the Prometheus exposition — snapshots
+    and the exporter agree on names by construction.
+
+    Snapshot consistency: every primitive guards its mutable state with its
+    own lock, and per-metric ``snapshot()``/``value`` reads take that same
+    lock, so a snapshot never observes a torn update *within* one metric
+    (a histogram's bucket counts, count, and sum always correspond to a
+    whole number of observations — the invariant the threaded stress test
+    in ``tests/service/test_metrics.py`` pins).  Across metrics, a snapshot
+    is only loosely consistent: it is a point-in-time read of each series,
+    not an atomic cut of all of them, which is the standard Prometheus
+    scrape contract.
+    """
 
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
@@ -195,25 +253,33 @@ class MetricsRegistry:
         self._histograms: Dict[str, Histogram] = {}
         self._lock = threading.Lock()
 
-    def counter(self, name: str) -> Counter:
+    def counter(self, name: str, labels: Optional[Mapping[str, str]] = None) -> Counter:
+        key = metric_key(name, labels)
         with self._lock:
-            if name not in self._counters:
-                self._counters[name] = Counter(name)
-            return self._counters[name]
+            if key not in self._counters:
+                self._counters[key] = Counter(key)
+            return self._counters[key]
 
-    def gauge(self, name: str) -> Gauge:
+    def gauge(self, name: str, labels: Optional[Mapping[str, str]] = None) -> Gauge:
+        key = metric_key(name, labels)
         with self._lock:
-            if name not in self._gauges:
-                self._gauges[name] = Gauge(name)
-            return self._gauges[name]
+            if key not in self._gauges:
+                self._gauges[key] = Gauge(key)
+            return self._gauges[key]
 
-    def histogram(self, name: str, buckets: Optional[Sequence[float]] = None) -> Histogram:
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Sequence[float]] = None,
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Histogram:
+        key = metric_key(name, labels)
         with self._lock:
-            if name not in self._histograms:
-                self._histograms[name] = Histogram(
-                    name, buckets if buckets is not None else DEFAULT_LATENCY_BUCKETS_MS
+            if key not in self._histograms:
+                self._histograms[key] = Histogram(
+                    key, buckets if buckets is not None else DEFAULT_LATENCY_BUCKETS_MS
                 )
-            return self._histograms[name]
+            return self._histograms[key]
 
     def snapshot(self) -> dict:
         """One JSON-able view of everything — the ``metrics`` op response."""

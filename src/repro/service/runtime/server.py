@@ -37,6 +37,13 @@ between the wire and the batcher:
   responses instead of killing connections; graceful shutdown flushes,
   checkpoints, and closes the store.
 
+* **Observability** — opt-in per-request span tracing (``ServerConfig.
+  trace``) feeds per-stage latency histograms and a slow-request exemplar
+  ring (:mod:`repro.service.observability`), and an HTTP admin plane on its
+  own port (``ServerConfig.admin_port``) serves health/readiness probes,
+  the Prometheus ``/metrics`` scrape, paginated session/audit listings, and
+  on-demand sampling profiles — all on the same event loop.
+
 The protocol speaks both shapes of request: scalar ``query`` ops and
 ``query_block`` ops carrying a whole item array (optionally base64-packed
 int64, the wire analog of the batcher's array lane), plus ``grid`` ops that
@@ -53,7 +60,7 @@ import sys
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -61,6 +68,8 @@ import numpy as np
 from repro.exceptions import ReproError, StoreUnavailableError
 from repro.rng import RngLike
 from repro.service.engine import SVTQueryService
+from repro.service.observability.httpadmin import AdminPlane
+from repro.service.observability.tracing import RequestTracer
 from repro.service.runtime.metrics import (
     DEFAULT_OCCUPANCY_BUCKETS,
     AdaptiveDrainPolicy,
@@ -93,6 +102,8 @@ PROTOCOL = {
     "drain": "force a drain of everything admitted",
     "metrics": "live counters/histograms/gauges snapshot",
     "close": "evict a tenant, releasing unspent budget",
+    "mark": "timing beacon: {op, t}; stamps following requests on this "
+            "connection so traced ingress_wait starts at client send",
 }
 
 _READLINE_LIMIT = 1 << 24  # 16 MiB: a 1M-item b64 block is ~11 MiB
@@ -133,6 +144,18 @@ class ServerConfig:
     state_dir: Optional[str] = None
     #: WAL flush batches between automatic snapshot checkpoints.
     checkpoint_every: int = 256
+    #: Per-request span tracing: per-stage latency histograms plus a
+    #: bounded ring of slow-request exemplars (``trace_slow_ms`` threshold,
+    #: ``trace_exemplars`` ring size).  Off by default — on, it costs one
+    #: weighted histogram observation per stage per drain plus one per wire
+    #: entry, which the server bench bounds at <10% throughput.
+    trace: bool = False
+    trace_slow_ms: float = 50.0
+    trace_exemplars: int = 256
+    #: HTTP admin plane (``/healthz``, ``/metrics``, ...) on its own port,
+    #: sharing the event loop.  None = disabled; 0 = ephemeral port.
+    admin_port: Optional[int] = None
+    admin_host: str = "127.0.0.1"
 
 
 @dataclass
@@ -147,6 +170,15 @@ class _IngressEntry:
     item: Optional[int] = None
     items: Optional[np.ndarray] = None
     bin: bool = False
+    #: Admission timestamp (perf_counter), stamped at construction: the
+    #: request tracer's ``ingress_wait`` runs from here to drain pickup.
+    t_admit: float = field(default_factory=time.perf_counter)
+    #: Client send timestamp (perf_counter epoch) from the connection's
+    #: latest ``mark`` op, if any.  When present, ``ingress_wait`` starts
+    #: here instead of at admission, so the bytes' time in socket buffers
+    #: (readers starve while a drain blocks the loop) is attributed to the
+    #: queue rather than silently dropped — the X-Request-Start pattern.
+    t_client: Optional[float] = None
 
     @property
     def weight(self) -> int:
@@ -246,7 +278,7 @@ class IngressQueue:
 class _Connection:
     """One client's response sink (TCP writer or a text stream)."""
 
-    __slots__ = ("writer", "stream", "name", "closed", "pending")
+    __slots__ = ("writer", "stream", "name", "closed", "pending", "mark_t0")
 
     def __init__(self, writer=None, stream=None, name: str = "conn") -> None:
         self.writer = writer
@@ -254,6 +286,7 @@ class _Connection:
         self.name = name
         self.closed = False
         self.pending = 0  # admitted entries whose response hasn't been sent
+        self.mark_t0: Optional[float] = None  # latest "mark" op timestamp
 
     def send(self, payload: dict) -> None:
         self.send_raw(
@@ -351,6 +384,22 @@ class RuntimeServer:
             target_ms=self.config.target_drain_ms,
         )
         self.ingress = IngressQueue(self.config.max_queue)
+        #: Per-request span tracing (None unless ``config.trace``).
+        self.tracer: Optional[RequestTracer] = (
+            RequestTracer(
+                self.metrics,
+                slow_ms=self.config.trace_slow_ms,
+                max_exemplars=self.config.trace_exemplars,
+            )
+            if self.config.trace
+            else None
+        )
+        #: The HTTP admin plane, once started (see :meth:`start_admin`).
+        self.admin: Optional[AdminPlane] = None
+        self._drain_task: Optional[asyncio.Task] = None
+        #: Monotonic heartbeat the drain loop refreshes every iteration —
+        #: the freshness signal behind the admin plane's ``/readyz``.
+        self.drain_beat = time.monotonic()
         self._closing = False
         self._force_drain = False
         self._drain_lock = asyncio.Lock()
@@ -448,6 +497,7 @@ class RuntimeServer:
                         conn=conn,
                         request_id=request_id,
                         item=int(payload["item"]),
+                        t_client=conn.mark_t0,
                     )
                 )
             if op == "query_block":
@@ -466,6 +516,7 @@ class RuntimeServer:
                         request_id=request_id,
                         items=items,
                         bin=bool(payload.get("bin", False)),
+                        t_client=conn.mark_t0,
                     )
                 )
             if op == "grid":
@@ -477,8 +528,16 @@ class RuntimeServer:
                         conn=conn,
                         request_id=request_id,
                         item=int(payload["item"]),
+                        t_client=conn.mark_t0,
                     )
                 )
+            if op == "mark":
+                # Timing beacon, no response line: requests after it on this
+                # connection trace their ingress_wait from the client's own
+                # send timestamp (perf_counter epoch — same-host comparable;
+                # cross-host clients should simply not send marks).
+                conn.mark_t0 = float(payload["t"])
+                return None
             if op == "open":
                 return self._handle_open(payload, request_id)
             if op == "metrics":
@@ -661,6 +720,17 @@ class RuntimeServer:
                 self._store_flush_quiet()
             return 0
         start = time.perf_counter()
+        # Stage accumulators for the request tracer: _run_segment adds the
+        # cohort_form / gate_exec / respond_encode seconds of every segment
+        # (plus the engine's kernel-ms sub-span); flush and send are timed
+        # here.  None keeps the untraced hot path free of the bookkeeping.
+        tracer = self.tracer
+        stage_acc: Optional[Dict[str, float]] = (
+            {"cohort_form": 0.0, "gate_exec": 0.0, "respond_encode": 0.0,
+             "gate_kernel": 0.0}
+            if tracer is not None
+            else None
+        )
         # Drain-ordered control: a "close" splits the window into segments —
         # everything admitted before it is answered first, then the tenant
         # is evicted, then the rest of the window proceeds.  Responses are
@@ -673,7 +743,7 @@ class RuntimeServer:
             if entry.kind != "close":
                 segment.append(entry)
                 continue
-            served += self._run_segment(segment, outbox)
+            served += self._run_segment(segment, outbox, stage_acc)
             segment = []
             entry.conn.pending -= 1
             try:
@@ -688,18 +758,20 @@ class RuntimeServer:
                 out["id"] = entry.request_id
                 fallback["id"] = entry.request_id
             outbox.append((entry.conn, out, fallback))
-        served += self._run_segment(segment, outbox)
+        served += self._run_segment(segment, outbox, stage_acc)
 
         # Durability barrier: fsync the drain's spends/releases, then send.
         # On store failure, every response with a fallback degrades to a
         # typed "unavailable" — the connection lives, the answer (computed
         # against state the disk never saw) is withheld.
         failure: Optional[str] = None
+        t_flush = time.perf_counter()
         if self.store is not None:
             try:
                 self._store_flush()
             except StoreUnavailableError as exc:
                 failure = str(exc)
+        t_send = time.perf_counter()
         for conn, payload, fallback in outbox:
             if failure is not None and fallback is not None:
                 self._c_store_unavailable.add()
@@ -709,18 +781,75 @@ class RuntimeServer:
             else:
                 conn.send(payload)
 
-        elapsed_ms = (time.perf_counter() - start) * 1e3
+        t_done = time.perf_counter()
+        elapsed_ms = (t_done - start) * 1e3
         self._c_drains.add()
         self._h_drain.observe(elapsed_ms)
         if self.config.adaptive:
             self.policy.observe(elapsed_ms, served, self.ingress.depth)
             self._g_window.set(self.policy.window)
+        if tracer is not None and served:
+            # After the drain metrics: span bookkeeping must not inflate the
+            # drain-latency signal the adaptive policy steers on.
+            self._record_spans(
+                tracer, entries, stage_acc, start, t_flush, t_send, t_done, served
+            )
+        self.drain_beat = time.monotonic()
         return served
+
+    def _record_spans(
+        self,
+        tracer: RequestTracer,
+        entries: List[_IngressEntry],
+        stage_acc: Dict[str, float],
+        t_pickup: float,
+        t_flush: float,
+        t_send: float,
+        t_done: float,
+        served: int,
+    ) -> None:
+        """Fold one drain's timings into the tracer.
+
+        Drain-level stages are observed once, weighted by the requests the
+        drain served (every one of them experienced that latency);
+        ``ingress_wait`` is per wire entry against its client ``mark``
+        timestamp when it sent one (socket-buffer time counts as queueing
+        then) or its admission stamp otherwise.  The per-entry total
+        stitches both — the span a client would measure from send/admission
+        to its response hitting the socket buffer.
+        """
+        drain_ms = {
+            "cohort_form": stage_acc["cohort_form"] * 1e3,
+            "gate_exec": stage_acc["gate_exec"] * 1e3,
+            "respond_encode": stage_acc["respond_encode"] * 1e3,
+            "store_flush": (t_send - t_flush) * 1e3,
+            "send": (t_done - t_send) * 1e3,
+        }
+        for stage, ms in drain_ms.items():
+            tracer.observe_stage(stage, ms, served)
+        if stage_acc["gate_kernel"]:
+            tracer.observe_gate_kernel(stage_acc["gate_kernel"], served)
+        drain_total = sum(drain_ms.values())
+        for entry in entries:
+            if entry.kind == "close":
+                continue
+            t_from = entry.t_client if entry.t_client is not None else entry.t_admit
+            wait_ms = max((t_pickup - t_from) * 1e3, 0.0)
+            tracer.observe_stage("ingress_wait", wait_ms, entry.weight)
+            tracer.record_entry(
+                kind=entry.kind,
+                tenant=entry.tenant,
+                weight=entry.weight,
+                wait_ms=wait_ms,
+                drain_stages_ms=drain_ms,
+                total_ms=wait_ms + drain_total,
+            )
 
     def _run_segment(
         self,
         entries: List[_IngressEntry],
         outbox: List[Tuple["_Connection", object, Optional[dict]]],
+        stage_acc: Optional[Dict[str, float]] = None,
     ) -> int:
         """Stage one segment's responses: batched queries, then grid ops.
 
@@ -731,6 +860,7 @@ class RuntimeServer:
         the store cannot commit the state behind it."""
         if not entries:
             return 0
+        t0 = time.perf_counter()
         batcher = self.service.batcher
         grids: List[_IngressEntry] = []
         submitted: List[Tuple[_IngressEntry, Optional[int], Optional[str]]] = []
@@ -748,7 +878,9 @@ class RuntimeServer:
                     submitted.append((entry, batcher.submit(session, entry.item), None))
             except ReproError as exc:
                 submitted.append((entry, None, str(exc)))
+        t1 = time.perf_counter()
         result = self.service.drain()
+        t2 = time.perf_counter()
         base = int(result.tickets[0]) if len(result) else 0
 
         served = 0
@@ -876,12 +1008,21 @@ class RuntimeServer:
         self._c_db.add(int((result.ok & ~result.from_history).sum()))
         for rows in result.block_rows:
             self._h_occupancy.observe(rows)
+        if stage_acc is not None:
+            # Grid ops execute inside the staging window above, so their
+            # gate time lands in respond_encode — an accepted approximation
+            # for what is a rare per-request op.
+            stage_acc["cohort_form"] += t1 - t0
+            stage_acc["gate_exec"] += t2 - t1
+            stage_acc["respond_encode"] += time.perf_counter() - t2
+            stage_acc["gate_kernel"] += result.gate_ms
         return served
 
     async def _drain_loop(self) -> None:
         """TCP mode's consumer: drain whenever a window fills, a force-drain
         arrives, or the idle flush timer fires with work pending."""
         while True:
+            self.drain_beat = time.monotonic()
             if self._closing and not self.ingress.depth:
                 break
             await self.ingress.wait(timeout=max(self.config.drain_idle_s, 0.05))
@@ -905,6 +1046,62 @@ class RuntimeServer:
         for conn in list(self._conns):
             await conn.flush()
 
+    #: A drain-loop heartbeat older than this marks the server not-ready:
+    #: the loop visits at least every idle interval (<=50 ms), so seconds
+    #: of silence mean it is wedged or dead, not merely busy.
+    READY_BEAT_STALE_S = 5.0
+
+    def readiness(self) -> Tuple[bool, dict]:
+        """The ``/readyz`` verdict: can this process serve right now?
+
+        Ready means the drain loop's heartbeat is fresh (or no loop exists —
+        stdio/inline mode drains synchronously) and the durable store, when
+        configured, still accepts flushes.  ``/healthz`` stays 200 through
+        all of this — the process is alive; it just shouldn't get traffic.
+        """
+        detail: Dict[str, Any] = {"closing": self._closing}
+        ok = not self._closing
+        task = self._drain_task
+        if task is None:
+            detail["drain_loop"] = "inline"
+        else:
+            age = time.monotonic() - self.drain_beat
+            detail["drain_beat_age_s"] = round(age, 3)
+            if task.done():
+                detail["drain_loop"] = "dead"
+                ok = False
+            elif age > self.READY_BEAT_STALE_S:
+                detail["drain_loop"] = "stalled"
+                ok = False
+            else:
+                detail["drain_loop"] = "ok"
+        if self.store is None:
+            detail["store"] = "none"
+        elif self.store.closed:
+            detail["store"] = "closed"
+            ok = False
+        else:
+            detail["store"] = "ok"
+        return ok, detail
+
+    async def start_admin(
+        self, host: Optional[str] = None, port: Optional[int] = None
+    ) -> Tuple[str, int]:
+        """Start the HTTP admin plane (idempotent); returns its address.
+
+        Runs on the current event loop — call from the same loop the server
+        transports run on, so ``/readyz`` and ``/debug/profile`` observe the
+        loop they share with the drain.
+        """
+        if self.admin is None:
+            self.admin = AdminPlane(
+                self,
+                host=self.config.admin_host if host is None else host,
+                port=(self.config.admin_port or 0) if port is None else port,
+            )
+            await self.admin.start()
+        return self.admin.address
+
     # ------------------------------------------------------------------
     # Transports.
     # ------------------------------------------------------------------
@@ -919,6 +1116,8 @@ class RuntimeServer:
         self._tcp_server = await asyncio.start_server(
             self._handle_client, host, port, limit=_READLINE_LIMIT
         )
+        if self.config.admin_port is not None:
+            await self.start_admin()
         return self._tcp_server
 
     @property
@@ -979,6 +1178,9 @@ class RuntimeServer:
         """Graceful stop: refuse new connections, drain dry, flush the
         durable store, close conns."""
         self._closing = True
+        if self.admin is not None:
+            await self.admin.close()
+            self.admin = None
         server = getattr(self, "_tcp_server", None)
         if server is not None:
             server.close()
@@ -1016,6 +1218,8 @@ class RuntimeServer:
         conn = _Connection(stream=stdout, name="stdin")
         self._conns.append(conn)
         self.ingress.attach(asyncio.get_running_loop())
+        if self.config.admin_port is not None and self.admin is None:
+            await self.start_admin()
         loop = asyncio.get_running_loop()
         served = 0
         while True:
@@ -1053,6 +1257,7 @@ class RuntimeServer:
             self.metrics.gauge("store_retries").set(stats["retries"])
             self.metrics.gauge("store_checkpoints").set(stats["checkpoints"])
             self.metrics.gauge("store_archived_records").set(stats["archived_records"])
+            self.metrics.gauge("store_last_flush_ms").set(stats["last_flush_ms"])
         snap = self.metrics.snapshot()
         requests = snap["counters"].get("requests_total", 0)
         shed = snap["counters"].get("shed_total", 0)

@@ -268,6 +268,7 @@ class DurableStore:
             "checkpoints": 0,
             "archived_records": 0,
             "last_fsync_ms": 0.0,
+            "last_flush_ms": 0.0,
             "torn_tail_truncated": 0,
         }
         self._db = self._open_db()
@@ -493,6 +494,7 @@ class DurableStore:
             events, commit = self._collect_events()
             if not events:
                 return 0
+            t_flush = time.perf_counter()
             self.faults.fire("flush-begin")
             line = _crc_line(events)
 
@@ -519,6 +521,7 @@ class DurableStore:
             commit()
             self.stats["flushes"] += 1
             self.stats["events"] += len(events)
+            self.stats["last_flush_ms"] = (time.perf_counter() - t_flush) * 1e3
             if self._wal_batches >= max(1, self.config.checkpoint_every):
                 self._checkpoint_locked()
             return len(events)
@@ -850,6 +853,12 @@ class DurableStore:
     def wal_batches(self) -> int:
         """Committed flush batches since the last checkpoint."""
         return self._wal_batches
+
+    @property
+    def closed(self) -> bool:
+        """True once the store will accept no further flushes (graceful
+        close or :meth:`abandon`) — the admin plane's readiness signal."""
+        return self._closed
 
 
 def del_prefix(items: list, count: int) -> None:

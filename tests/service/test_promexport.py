@@ -1,0 +1,114 @@
+"""Prometheus text exposition: the one encoder behind /metrics and the CLI."""
+
+import math
+
+from repro.service.observability.promexport import CONTENT_TYPE, render_prometheus
+from repro.service.runtime.metrics import MetricsRegistry, metric_key
+
+
+def _lines(text):
+    return [line for line in text.splitlines() if line]
+
+
+class TestMetricKey:
+    def test_no_labels_is_the_bare_name(self):
+        assert metric_key("requests_total") == "requests_total"
+        assert metric_key("requests_total", {}) == "requests_total"
+
+    def test_labels_sorted_and_quoted(self):
+        key = metric_key("stage_ms", {"stage": "send", "mode": "tcp"})
+        assert key == 'stage_ms{mode="tcp",stage="send"}'
+
+    def test_label_values_escaped(self):
+        key = metric_key("m", {"k": 'a"b\\c'})
+        assert key == 'm{k="a\\"b\\\\c"}'
+
+    def test_registry_separates_label_sets(self):
+        registry = MetricsRegistry()
+        a = registry.counter("hits", labels={"route": "/a"})
+        b = registry.counter("hits", labels={"route": "/b"})
+        assert a is not b
+        assert registry.counter("hits", labels={"route": "/a"}) is a
+        a.add(2)
+        b.add(5)
+        snap = registry.snapshot()
+        assert snap["counters"]['hits{route="/a"}'] == 2
+        assert snap["counters"]['hits{route="/b"}'] == 5
+
+
+class TestRenderPrometheus:
+    def test_counter_and_gauge_samples(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total").add(7)
+        registry.gauge("depth").set(3.5)
+        text = render_prometheus(registry.snapshot())
+        assert "# TYPE repro_requests_total counter" in text
+        assert "repro_requests_total 7" in _lines(text)
+        assert "# TYPE repro_depth gauge" in text
+        assert "repro_depth 3.5" in _lines(text)
+        assert text.endswith("\n")
+
+    def test_histogram_cumulative_buckets_sum_count(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat_ms", buckets=[1.0, 10.0])
+        for value in (0.5, 0.7, 5.0, 50.0):
+            hist.observe(value)
+        lines = _lines(render_prometheus(registry.snapshot()))
+        assert 'repro_lat_ms_bucket{le="1"} 2' in lines
+        assert 'repro_lat_ms_bucket{le="10"} 3' in lines
+        assert 'repro_lat_ms_bucket{le="+Inf"} 4' in lines
+        assert "repro_lat_ms_count 4" in lines
+        sum_line = next(l for l in lines if l.startswith("repro_lat_ms_sum"))
+        assert math.isclose(float(sum_line.split()[-1]), 56.2)
+
+    def test_labeled_histogram_merges_le_after_labels(self):
+        registry = MetricsRegistry()
+        registry.histogram("stage_ms", buckets=[1.0], labels={"stage": "send"}).observe(0.5)
+        lines = _lines(render_prometheus(registry.snapshot()))
+        assert 'repro_stage_ms_bucket{stage="send",le="1"} 1' in lines
+        assert 'repro_stage_ms_bucket{stage="send",le="+Inf"} 1' in lines
+        assert 'repro_stage_ms_sum{stage="send"} 0.5' in lines
+        assert 'repro_stage_ms_count{stage="send"} 1' in lines
+
+    def test_one_type_line_per_family(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", labels={"route": "/a"}).add()
+        registry.counter("hits", labels={"route": "/b"}).add()
+        text = render_prometheus(registry.snapshot())
+        assert text.count("# TYPE repro_hits counter") == 1
+
+    def test_prefix_is_configurable(self):
+        registry = MetricsRegistry()
+        registry.counter("x").add()
+        assert "svc_x 1" in render_prometheus(registry.snapshot(), prefix="svc_")
+
+    def test_extra_snapshot_keys_ignored(self):
+        # The server's metrics op folds shed_rate/type into the snapshot.
+        registry = MetricsRegistry()
+        registry.counter("x").add()
+        snap = {**registry.snapshot(), "shed_rate": 0.1, "type": "metrics"}
+        text = render_prometheus(snap)
+        assert "shed_rate" not in text
+        assert "repro_x 1" in _lines(text)
+
+    def test_nonconforming_name_sanitized_not_dropped(self):
+        snap = {"counters": {"weird-name!": 3}, "gauges": {}, "histograms": {}}
+        text = render_prometheus(snap)
+        assert "repro_weird_name_ 3" in _lines(text)
+
+    def test_content_type_pins_exposition_version(self):
+        assert CONTENT_TYPE == "text/plain; version=0.0.4; charset=utf-8"
+
+    def test_every_sample_line_parses(self):
+        # A scrape-shaped sanity check: every non-comment line is
+        # "name{labels}? value" with a float-parseable value.
+        registry = MetricsRegistry()
+        registry.counter("a").add(2)
+        registry.gauge("b").set(-1.25)
+        registry.histogram("c", buckets=[1.0], labels={"x": "y"}).observe(3.0)
+        for line in _lines(render_prometheus(registry.snapshot())):
+            if line.startswith("#"):
+                continue
+            name, value = line.rsplit(" ", 1)
+            assert name.startswith("repro_")
+            float(value)  # must not raise

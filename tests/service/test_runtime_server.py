@@ -67,6 +67,28 @@ class TestProtocol:
         assert [a["item"] for a in answers] == [0, 1]
         assert server.metrics.counter("errors_total").value == 5
 
+    def test_mark_op_stamps_client_send_time(self):
+        """A ``mark`` beacon answers nothing and backdates ingress_wait."""
+        import time
+
+        server = make_server(trace=True, trace_slow_ms=0.0)
+        t0 = time.perf_counter() - 0.5  # the client "sent" 500 ms ago
+        lines = run_stdin(
+            server,
+            json.dumps({"op": "mark", "t": t0}) + "\n"
+            '{"op": "query", "tenant": "a", "item": 0}\n',
+        )
+        assert [entry["type"] for entry in lines] == ["answer"]
+        wait = server.tracer.stage_hist["ingress_wait"]
+        assert wait.count == 1
+        assert wait.sum >= 500.0  # measured from the mark, not admission
+
+    def test_mark_without_timestamp_is_typed_error(self):
+        server = make_server()
+        lines = run_stdin(server, '{"op": "mark"}\n')
+        assert lines[0]["type"] == "error"
+        assert "invalid mark payload" in lines[0]["error"]
+
     def test_out_of_range_item_is_typed_rejection(self):
         lines = run_stdin(
             make_server(), '{"op": "query", "tenant": "a", "item": 99999}\n'

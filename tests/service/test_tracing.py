@@ -1,0 +1,104 @@
+"""Request tracing: stage histograms, weighted spans, the slow-exemplar ring."""
+
+import pytest
+
+from repro.service.observability.tracing import (
+    STAGE_GLOSSARY,
+    STAGES,
+    RequestTracer,
+)
+from repro.service.runtime.metrics import MetricsRegistry
+
+
+def make_tracer(slow_ms=50.0, max_exemplars=4):
+    registry = MetricsRegistry()
+    return RequestTracer(registry, slow_ms=slow_ms, max_exemplars=max_exemplars), registry
+
+
+class TestStages:
+    def test_glossary_covers_exactly_the_stages(self):
+        assert set(STAGE_GLOSSARY) == set(STAGES)
+
+    def test_pipeline_order(self):
+        assert STAGES[0] == "ingress_wait"
+        assert STAGES[-1] == "send"
+
+
+class TestObservation:
+    def test_stage_observation_is_weighted(self):
+        tracer, registry = make_tracer()
+        tracer.observe_stage("gate_exec", 2.0, weight=100)
+        snap = registry.snapshot()["histograms"]['stage_ms{stage="gate_exec"}']
+        assert snap["count"] == 100
+        assert snap["sum"] == pytest.approx(200.0)
+
+    def test_observe_n_zero_weight_is_a_noop(self):
+        tracer, _ = make_tracer()
+        tracer.observe_stage("send", 1.0, weight=0)
+        assert tracer.stage_hist["send"].count == 0
+
+    def test_record_entry_counts_spans_and_totals(self):
+        tracer, _ = make_tracer(slow_ms=50.0)
+        tracer.record_entry(
+            kind="block", tenant="t", weight=64, wait_ms=1.0,
+            drain_stages_ms={"gate_exec": 2.0}, total_ms=3.0,
+        )
+        assert tracer._c_spans.value == 64
+        assert tracer.total_hist.count == 64
+        assert tracer._c_slow.value == 0
+        assert tracer.slow() == []
+
+    def test_slow_requests_land_in_the_ring(self):
+        tracer, _ = make_tracer(slow_ms=10.0)
+        tracer.record_entry(
+            kind="query", tenant="alice", weight=1, wait_ms=8.0,
+            drain_stages_ms={"gate_exec": 4.0}, total_ms=12.0, ticket=42,
+        )
+        (exemplar,) = tracer.slow()
+        assert exemplar["tenant"] == "alice"
+        assert exemplar["ticket"] == 42
+        assert exemplar["total_ms"] == pytest.approx(12.0)
+        assert exemplar["stages"]["ingress_wait"] == pytest.approx(8.0)
+        assert exemplar["stages"]["gate_exec"] == pytest.approx(4.0)
+        assert tracer._c_slow.value == 1
+
+    def test_ring_is_bounded_and_keeps_newest(self):
+        tracer, _ = make_tracer(slow_ms=0.0, max_exemplars=4)
+        for i in range(10):
+            tracer.record_entry(
+                kind="query", tenant=f"t{i}", weight=1, wait_ms=float(i),
+                drain_stages_ms={}, total_ms=float(i),
+            )
+        ring = tracer.slow()
+        assert len(ring) == 4
+        assert [e["tenant"] for e in ring] == ["t6", "t7", "t8", "t9"]
+        assert [e["tenant"] for e in tracer.slow(limit=2)] == ["t8", "t9"]
+
+
+class TestReport:
+    def test_report_shape_and_attribution_sum(self):
+        tracer, _ = make_tracer(slow_ms=1000.0)
+        for stage in STAGES:
+            tracer.observe_stage(stage, 2.0, weight=10)
+        tracer.record_entry(
+            kind="query", tenant="t", weight=10, wait_ms=2.0,
+            drain_stages_ms={}, total_ms=12.0,
+        )
+        report = tracer.report()
+        assert set(report["stages"]) == set(STAGES)
+        assert report["glossary"] == STAGE_GLOSSARY
+        assert report["spans_total"] == 10
+        # Every stage's p50 sits in the same bucket; the sum of stage p50s
+        # approximates the true 12 ms total within bucket resolution.
+        assert report["stage_p50_sum_ms"] == pytest.approx(
+            sum(report["stages"][s]["p50"] for s in STAGES)
+        )
+        assert report["total"]["count"] == 10
+        assert "gate_kernel" in report
+
+    def test_gate_kernel_subspan(self):
+        tracer, registry = make_tracer()
+        tracer.observe_gate_kernel(1.5, weight=20)
+        snap = registry.snapshot()["histograms"]["gate_kernel_ms"]
+        assert snap["count"] == 20
+        assert snap["sum"] == pytest.approx(30.0)

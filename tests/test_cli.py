@@ -182,6 +182,121 @@ class TestServe:
         assert {"alice#0", "bob#0"} <= sessions
 
 
+class TestMetricsAndTraceReport:
+    """The operator-side CLI against a live server: ``metrics --format`` and
+    ``trace-report`` exercise the same encoders the admin plane serves."""
+
+    @pytest.fixture
+    def live_server(self):
+        import asyncio
+        import json
+        import socket
+        import threading
+
+        from repro.service.runtime import RuntimeServer, ServerConfig
+
+        server = RuntimeServer(
+            [5.0] * 64,
+            ServerConfig(seed=11, trace=True, trace_slow_ms=0.0, admin_port=0),
+        )
+        ready = threading.Event()
+        info = {}
+        loop = asyncio.new_event_loop()
+
+        async def boot():
+            await server.serve_tcp("127.0.0.1", 0)
+            info["tcp"] = server.tcp_address
+            info["admin"] = server.admin.address
+            ready.set()
+
+        def run():
+            asyncio.set_event_loop(loop)
+            loop.run_until_complete(boot())
+            loop.run_forever()
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        assert ready.wait(5.0)
+        # Put some traffic through so the scrape and the trace have content.
+        with socket.create_connection(info["tcp"]) as sock:
+            stream = sock.makefile("rwb")
+            for i in range(8):
+                stream.write(
+                    (json.dumps({"op": "query", "tenant": f"t{i % 2}",
+                                 "item": i % 64, "id": i}) + "\n").encode()
+                )
+            stream.flush()
+            for _ in range(8):
+                assert stream.readline()
+        yield info
+        future = asyncio.run_coroutine_threadsafe(server.shutdown(), loop)
+        future.result(5.0)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(5.0)
+        loop.close()
+
+    def test_metrics_format_json(self, live_server, capsys):
+        import json
+
+        host, port = live_server["tcp"]
+        code = main(
+            ["metrics", "--host", host, "--port", str(port), "--format", "json"]
+        )
+        assert code == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["counters"]["requests_total"] == 8
+
+    def test_metrics_format_prom_matches_scrape(self, live_server, capsys):
+        host, port = live_server["tcp"]
+        code = main(
+            ["metrics", "--host", host, "--port", str(port), "--format", "prom"]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "# TYPE repro_requests_total counter" in text
+        assert 'le="+Inf"' in text
+        assert 'repro_stage_ms_count{stage="ingress_wait"} 8' in text.splitlines()
+
+    def test_metrics_raw_is_json_alias(self, live_server, capsys):
+        import json
+
+        host, port = live_server["tcp"]
+        code = main(["metrics", "--host", host, "--port", str(port), "--raw"])
+        assert code == 0
+        assert "counters" in json.loads(capsys.readouterr().out)
+
+    def test_trace_report_table(self, live_server, capsys):
+        host, port = live_server["admin"]
+        code = main(["trace-report", "--host", host, "--port", str(port)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ingress_wait" in out
+        assert "stage p50 sum" in out and "request-span p50" in out
+
+    def test_trace_report_json(self, live_server, capsys):
+        import json
+
+        host, port = live_server["admin"]
+        code = main(
+            ["trace-report", "--host", host, "--port", str(port), "--json"]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["spans_total"] == 8
+        assert "ingress_wait" in report["stages"]
+
+    def test_trace_report_unreachable_is_rc2(self, capsys):
+        import socket
+
+        # Grab a port that is definitely not listening.
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            port = sock.getsockname()[1]
+        code = main(["trace-report", "--host", "127.0.0.1", "--port", str(port)])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
 class TestLoadTest:
     def test_load_test_records_metrics(self, tmp_path, capsys):
         import json
