@@ -148,6 +148,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--tcp", action="store_true",
                        help="listen on --host/--port for concurrent JSONL clients "
                             "instead of reading stdin")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="worker processes: 1 (default) runs the in-process "
+                            "runtime; N>1 consistent-hashes tenants onto N "
+                            "single-shard workers behind an ingress router "
+                            "(per-shard state under <state-dir>/shard-K)")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=7707,
                        help="TCP port (0 picks an ephemeral one)")
@@ -331,6 +336,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         admin_port=args.admin_port,
         admin_host=args.admin_host,
     )
+    if args.shards < 1:
+        print("error: --shards must be >= 1", file=sys.stderr)
+        return 2
+    if args.shards > 1:
+        return _serve_sharded(args, supports, config)
     server = RuntimeServer(supports, config)
     if server.recovery is not None:
         print(server.recovery.summary(), file=sys.stderr)
@@ -385,6 +395,83 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.audit_log is not None:
         written = service.audit.to_jsonl(args.audit_log)
         print(f"audit log: {written} records written to {args.audit_log}", file=sys.stderr)
+    return 0
+
+
+def _serve_sharded(args: argparse.Namespace, supports, config) -> int:
+    """`serve --shards N`: the consistent-hash router over N workers."""
+    import asyncio
+
+    from repro.service.runtime import ShardedServer
+
+    if args.audit_log is not None:
+        # Each shard owns an independent audit seq space persisted under
+        # state_dir/shard-K; one flat export file would scramble them.  The
+        # seq-merged /audit view (or per-shard state dirs) is the sharded
+        # equivalent.
+        print("error: --audit-log is single-process only; with --shards use "
+              "--state-dir (per-shard audit under shard-K/) or the /audit "
+              "admin route", file=sys.stderr)
+        return 2
+    server = ShardedServer(supports, config, shards=args.shards)
+
+    def report_boot() -> None:
+        for shard, worker in sorted(server.workers.items()):
+            info = worker.ready_info or {}
+            line = f"shard {shard}: pid {info.get('pid')}"
+            if "recovery_summary" in info:
+                line += f"; {info['recovery_summary']}"
+            print(line, file=sys.stderr)
+
+    async def tcp_main() -> None:
+        import signal
+
+        await server.serve_tcp(args.host, args.port)
+        report_boot()
+        host, port = server.tcp_address
+        print(f"listening on {host}:{port} "
+              f"(JSONL; {args.shards} shards; ctrl-C stops)", file=sys.stderr)
+        if server.admin is not None:
+            ahost, aport = server.admin.address
+            print(f"admin plane on http://{ahost}:{aport} "
+                  f"(merged across shards)", file=sys.stderr)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX loops
+                pass
+        await stop.wait()
+        print("shutting down", file=sys.stderr)
+        await server.shutdown()
+
+    async def stdio_main() -> None:
+        await server.start()
+        report_boot()
+        await server.serve_stdin()
+        await server.shutdown()
+
+    asyncio.run(tcp_main() if args.tcp else stdio_main())
+    snap = server.final_snapshot or {}
+    statuses = server.final_statuses or {}
+    counters = snap.get("counters", {})
+    served = int(counters.get("answered_total", 0) + counters.get("rejected_total", 0))
+    sessions = sum(
+        int(s.get("sessions_open", 0)) + int(s.get("sessions_closed", 0))
+        for s in statuses.values()
+    )
+    audit_records = sum(int(s.get("audit_records", 0)) for s in statuses.values())
+    spent = sum(float(s.get("epsilon_spent", 0.0)) for s in statuses.values())
+    print(
+        f"served {served} requests across {sessions} sessions on "
+        f"{args.shards} shards ({audit_records} audit records, "
+        f"total epsilon spent {spent:g})",
+        file=sys.stderr,
+    )
+    if config.state_dir is not None:
+        print(f"durable state checkpointed under {config.state_dir}/shard-K",
+              file=sys.stderr)
     return 0
 
 

@@ -182,44 +182,62 @@ class AdminPlane:
         return (json.dumps(payload, default=float) + "\n").encode()
 
     # ------------------------------------------------------------------
-    # Routes.
+    # Routes.  Every data-bearing route goes through a server *view method*
+    # (``snapshot``, ``readiness``, ``sessions_view``, ...) and awaits the
+    # result when it is a coroutine: the single-process RuntimeServer
+    # answers synchronously from its own structures, the shard router
+    # answers asynchronously by merging every worker's view — same plane.
     # ------------------------------------------------------------------
+    @staticmethod
+    async def _resolve(value):
+        if asyncio.iscoroutine(value):
+            return await value
+        return value
+
     async def _route(self, path: str, query: Dict[str, list]):
         if path in ("/", "/help"):
             return 200, "application/json", self._json({"routes": _ROUTE_HELP})
         if path == "/healthz":
             return 200, "text/plain; charset=utf-8", b"ok\n"
         if path == "/readyz":
-            ok, detail = self.server.readiness()
+            ok, detail = await self._resolve(self.server.readiness())
             return (200 if ok else 503), "application/json", self._json(
                 {"ready": ok, **detail}
             )
         if path == "/metrics":
-            text = render_prometheus(self.server.snapshot())
+            text = render_prometheus(await self._resolve(self.server.snapshot()))
             return 200, CONTENT_TYPE, text.encode()
         if path == "/debug/trace":
-            tracer = self.server.tracer
-            if tracer is None:
+            report = await self._resolve(self.server.trace_view())
+            if report is None:
                 return 404, "application/json", self._json(
                     {"error": "tracing disabled; start with --trace"}
                 )
-            return 200, "application/json", self._json(tracer.report())
+            return 200, "application/json", self._json(report)
         if path == "/debug/slow":
-            tracer = self.server.tracer
-            if tracer is None:
+            limit = min(max(_first_int(query, "limit", 64), 0), _MAX_PAGE)
+            payload = await self._resolve(self.server.slow_view(limit))
+            if payload is None:
                 return 404, "application/json", self._json(
                     {"error": "tracing disabled; start with --trace"}
                 )
-            limit = min(max(_first_int(query, "limit", 64), 0), _MAX_PAGE)
-            return 200, "application/json", self._json(
-                {"slow_threshold_ms": tracer.slow_ms, "slow": tracer.slow(limit)}
-            )
+            return 200, "application/json", self._json(payload)
         if path == "/debug/profile":
             return await self._profile(query)
         if path == "/sessions":
-            return 200, "application/json", self._json(self._sessions(query))
+            limit = min(max(_first_int(query, "limit", 50), 0), _MAX_PAGE)
+            offset = max(_first_int(query, "offset", 0), 0)
+            page = await self._resolve(
+                self.server.sessions_view(limit=limit, offset=offset)
+            )
+            return 200, "application/json", self._json(page)
         if path == "/audit":
-            return 200, "application/json", self._json(self._audit(query))
+            after_seq = _first_int(query, "after_seq", -1)
+            limit = min(max(_first_int(query, "limit", 100), 0), _MAX_PAGE)
+            view = await self._resolve(
+                self.server.audit_view(after_seq=after_seq, limit=limit)
+            )
+            return 200, "application/json", self._json(view)
         return 404, "application/json", self._json(
             {"error": f"no route {path!r}", "routes": sorted(_ROUTE_HELP)}
         )
@@ -238,59 +256,3 @@ class AdminPlane:
         except ProfilerBusyError as exc:
             return 409, "application/json", self._json({"error": str(exc)})
         return 200, "text/plain; charset=utf-8", text.encode()
-
-    def _sessions(self, query: Dict[str, list]) -> dict:
-        limit = min(max(_first_int(query, "limit", 50), 0), _MAX_PAGE)
-        offset = max(_first_int(query, "offset", 0), 0)
-        manager = self.server.service.manager
-        live = sorted(manager, key=lambda s: s.tenant)
-        page = live[offset:offset + limit]
-        return {
-            "total": len(live),
-            "offset": offset,
-            "limit": limit,
-            "closed_total": len(manager.closed_sessions()),
-            "sessions": [
-                {
-                    "tenant": s.tenant,
-                    "session_id": s.session_id,
-                    "epsilon": s.epsilon,
-                    "c": s.c,
-                    "svt_fraction": s.svt_fraction,
-                    "spent": s.ledger.spent,
-                    "released": s.ledger.released,
-                    "served": s.served,
-                    "database_accesses": s.database_accesses,
-                    "exhausted": s.exhausted,
-                    "lanes": sorted(s.lanes),
-                    "opened_at": s.opened_at,
-                    "ttl_s": s.ttl_s,
-                }
-                for s in page
-            ],
-        }
-
-    def _audit(self, query: Dict[str, list]) -> dict:
-        after_seq = _first_int(query, "after_seq", -1)
-        limit = min(max(_first_int(query, "limit", 100), 0), _MAX_PAGE)
-        log = self.server.service.manager.audit
-        by_seq = {}
-        store = self.server.store
-        if store is not None:
-            # Compaction archives closed sessions out of the live store; the
-            # archive is the only place their records still exist after a
-            # reboot, so the admin view merges both (live wins on a tie).
-            for record in store.load_archive():
-                if record.seq > after_seq:
-                    by_seq[record.seq] = record
-        for record in log:
-            if record.seq > after_seq:
-                by_seq[record.seq] = record
-        selected = [by_seq[seq] for seq in sorted(by_seq)][:limit]
-        return {
-            "after_seq": after_seq,
-            "limit": limit,
-            "count": len(selected),
-            "next_seq": log.next_seq,
-            "records": [r._asdict() for r in selected],
-        }

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 import re
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 __all__ = ["render_prometheus", "CONTENT_TYPE"]
 
@@ -81,38 +81,38 @@ def render_prometheus(snapshot: dict, prefix: str = "repro_") -> str:
     ``metrics`` op response are ignored).  Every metric name gains *prefix*
     so scraped series are namespaced (``repro_requests_total``).
     """
-    lines: List[str] = []
-    seen_types: Dict[str, str] = {}
+    # Samples are grouped per family *before* anything is emitted, then each
+    # family renders as one contiguous block under a single ``# TYPE`` line.
+    # Emitting in snapshot order with a seen-types set is not enough: sorted
+    # registry keys do not keep a family's series adjacent ('{' sorts after
+    # every identifier character, so ``a{...}`` lands after ``ab``), and the
+    # shard-merged snapshots interleave ``shard="K"``-labeled series with
+    # unlabeled aggregates of other families.  The format requires all
+    # samples of a family to follow its TYPE line.
+    families: Dict[Tuple[str, str], List[str]] = {}
 
-    def emit_type(family: str, kind: str, help_text: Optional[str] = None) -> None:
-        if seen_types.get(family) == kind:
-            return
-        seen_types[family] = kind
-        if help_text:
-            lines.append(f"# HELP {family} {help_text}")
-        lines.append(f"# TYPE {family} {kind}")
+    def bucket(family: str, kind: str) -> List[str]:
+        return families.setdefault((family, kind), [])
 
     for key, value in snapshot.get("counters", {}).items():
         name, labels = _split_key(key)
         family = prefix + name
-        emit_type(family, "counter")
-        lines.append(_sample(family, labels, _format_value(value)))
+        bucket(family, "counter").append(_sample(family, labels, _format_value(value)))
 
     for key, value in snapshot.get("gauges", {}).items():
         name, labels = _split_key(key)
         family = prefix + name
-        emit_type(family, "gauge")
-        lines.append(_sample(family, labels, _format_value(value)))
+        bucket(family, "gauge").append(_sample(family, labels, _format_value(value)))
 
     for key, hist in snapshot.get("histograms", {}).items():
         name, labels = _split_key(key)
         family = prefix + name
-        emit_type(family, "histogram")
+        samples = bucket(family, "histogram")
         cumulative = 0
         buckets = hist.get("buckets", {})
         for bound, count in buckets.items():
             cumulative += int(count)
-            lines.append(
+            samples.append(
                 _sample(
                     family + "_bucket",
                     _merge_labels(labels, _le_label(str(bound))),
@@ -122,14 +122,18 @@ def render_prometheus(snapshot: dict, prefix: str = "repro_") -> str:
         if "+inf" not in {str(b).lower() for b in buckets}:
             # A histogram without an explicit overflow bucket still must
             # expose le="+Inf" == _count.
-            lines.append(
+            samples.append(
                 _sample(
                     family + "_bucket",
                     _merge_labels(labels, 'le="+Inf"'),
                     str(hist.get("count", cumulative)),
                 )
             )
-        lines.append(_sample(family + "_sum", labels, _format_value(hist.get("sum", 0.0))))
-        lines.append(_sample(family + "_count", labels, str(int(hist.get("count", 0)))))
+        samples.append(_sample(family + "_sum", labels, _format_value(hist.get("sum", 0.0))))
+        samples.append(_sample(family + "_count", labels, str(int(hist.get("count", 0)))))
 
+    lines: List[str] = []
+    for (family, kind), samples in families.items():
+        lines.append(f"# TYPE {family} {kind}")
+        lines.extend(samples)
     return "\n".join(lines) + "\n"

@@ -6,7 +6,10 @@
 shutdown); :mod:`repro.service.runtime.metrics` — the live observability
 layer (thread-safe counters/histograms/gauges, a process-RSS /
 available-memory sampler whose ``memory_probe`` re-plans ``max_bytes="auto"``
-runs mid-flight, and the AIMD drain-window controller).
+runs mid-flight, and the AIMD drain-window controller);
+:mod:`repro.service.runtime.shard` — the sharded multi-process runtime
+(N single-shard worker processes behind a consistent-hash ingress router,
+merged admin plane, per-shard durable state and recovery).
 """
 
 from repro.service.runtime.metrics import (
@@ -17,12 +20,21 @@ from repro.service.runtime.metrics import (
     MetricsRegistry,
     RssSampler,
     metric_key,
+    parse_metric_key,
 )
 from repro.service.runtime.server import (
     PROTOCOL,
     IngressQueue,
     RuntimeServer,
     ServerConfig,
+    parse_request_line,
+)
+from repro.service.runtime.shard import (
+    HashRing,
+    ShardedServer,
+    ShardWorker,
+    merge_histogram_snapshots,
+    merge_snapshots,
 )
 
 __all__ = [
@@ -33,8 +45,15 @@ __all__ = [
     "MetricsRegistry",
     "RssSampler",
     "metric_key",
+    "parse_metric_key",
     "PROTOCOL",
     "IngressQueue",
     "RuntimeServer",
     "ServerConfig",
+    "parse_request_line",
+    "HashRing",
+    "ShardedServer",
+    "ShardWorker",
+    "merge_histogram_snapshots",
+    "merge_snapshots",
 ]

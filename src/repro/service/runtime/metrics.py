@@ -28,6 +28,7 @@ design small enough to serialize into one JSON response.
 from __future__ import annotations
 
 import os
+import re
 import resource
 import threading
 from typing import Dict, Mapping, Optional, Sequence, Tuple
@@ -45,6 +46,7 @@ __all__ = [
     "DEFAULT_LATENCY_BUCKETS_MS",
     "DEFAULT_OCCUPANCY_BUCKETS",
     "metric_key",
+    "parse_metric_key",
 ]
 
 #: Drain/request latency buckets in milliseconds (log-ish spacing: the p50
@@ -75,6 +77,28 @@ def metric_key(name: str, labels: Optional[Mapping[str, str]] = None) -> str:
         for key, value in sorted(labels.items())
     )
     return f"{name}{{{inner}}}"
+
+
+_KEY_SHAPE_RE = re.compile(r"^(?P<name>[^{]+)(?:\{(?P<labels>.*)\})?$")
+_LABEL_RE = re.compile(r'([\w:]+)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_metric_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """The inverse of :func:`metric_key`: ``'name{k="v"}'`` -> name, labels.
+
+    The shard router relabels whole per-worker snapshots with a
+    ``shard="K"`` label; that means splitting every key back into its name
+    and existing labels so the shard label merges (sorted) instead of
+    string-concatenating.  Unparseable keys come back whole with no labels.
+    """
+    match = _KEY_SHAPE_RE.match(key)
+    if match is None or match.group("labels") is None:
+        return key, {}
+    labels = {
+        label: value.replace('\\"', '"').replace("\\\\", "\\")
+        for label, value in _LABEL_RE.findall(match.group("labels"))
+    }
+    return match.group("name"), labels
 
 
 class Counter:

@@ -56,6 +56,7 @@ import asyncio
 import base64
 import binascii
 import json
+import os
 import sys
 import threading
 import time
@@ -90,7 +91,8 @@ FSYNC_BUCKETS_MS = (0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0
 RECOVERY_BUCKETS_MS = (1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
                        1000.0, 2500.0, 5000.0, 10000.0)
 
-__all__ = ["ServerConfig", "IngressQueue", "RuntimeServer", "PROTOCOL"]
+__all__ = ["ServerConfig", "IngressQueue", "RuntimeServer", "PROTOCOL",
+           "parse_request_line"]
 
 #: One line per op; one typed response line per request (``answers`` lines
 #: cover a whole block).  Shared reference for docs, tests, and the CLI.
@@ -104,6 +106,10 @@ PROTOCOL = {
     "close": "evict a tenant, releasing unspent budget",
     "mark": "timing beacon: {op, t}; stamps following requests on this "
             "connection so traced ingress_wait starts at client send",
+    "sessions": "paginated live-session listing: {op, limit?, offset?}",
+    "audit": "audit records (archive + live): {op, after_seq?, limit?}",
+    "status": "readiness verdict + accounting totals for this process",
+    "trace": "per-stage latency report (requires --trace): {op, slow?}",
 }
 
 _READLINE_LIMIT = 1 << 24  # 16 MiB: a 1M-item b64 block is ~11 MiB
@@ -330,6 +336,41 @@ def _b64(data: bytes) -> str:
     return base64.b64encode(data).decode("ascii")
 
 
+def parse_request_line(raw: str) -> Tuple[Optional[dict], Optional[dict]]:
+    """Decode one wire line into ``(payload, error)``.
+
+    The single framing authority, shared by :meth:`RuntimeServer.ingest_line`
+    and the shard router (which must agree byte-for-byte on what a line
+    means without importing the dispatch machinery).  A blank line returns
+    ``(None, None)`` — the force-drain signal.  Malformed input returns a
+    typed ``error`` response as the second element; legacy ``"tenant item"``
+    framing (the PR 3 CLI) is folded into a ``query`` payload, with parse
+    failures carrying the ``_legacy`` flag so stdio transports can keep the
+    old report-on-stderr contract.
+    """
+    line = raw.strip()
+    if not line:
+        return None, None
+    if not line.startswith(("{", "[")):
+        parts = line.split()
+        if len(parts) != 2:
+            return None, {"type": "error", "error": f"bad request line {line!r}",
+                          "_legacy": True}
+        try:
+            item = int(parts[1])
+        except ValueError:
+            return None, {"type": "error", "error": f"bad request line {line!r}",
+                          "_legacy": True}
+        return {"op": "query", "tenant": parts[0], "item": item}, None
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        return None, {"type": "error", "error": f"malformed JSON: {exc}"}
+    if not isinstance(payload, dict):
+        return None, {"type": "error", "error": "request must be a JSON object"}
+    return payload, None
+
+
 class RuntimeServer:
     """Concurrent ingestion in front of one :class:`SVTQueryService`.
 
@@ -448,33 +489,13 @@ class RuntimeServer:
         client line can't take the server down (the crash this replaces was
         a raw ``json.loads`` traceback unwinding the accept loop).
         """
-        line = raw.strip()
-        if not line:
+        payload, error = parse_request_line(raw)
+        if error is not None:
+            self._c_errors.add()
+            return error
+        if payload is None:
             self._force_drain = True
             return None
-        if not line.startswith(("{", "[")):
-            # Legacy framing: "tenant item" per line, as the PR 3 CLI spoke.
-            parts = line.split()
-            if len(parts) != 2:
-                self._c_errors.add()
-                return {"type": "error", "error": f"bad request line {line!r}",
-                        "_legacy": True}
-            try:
-                item = int(parts[1])
-            except ValueError:
-                self._c_errors.add()
-                return {"type": "error", "error": f"bad request line {line!r}",
-                        "_legacy": True}
-            payload: Dict[str, Any] = {"op": "query", "tenant": parts[0], "item": item}
-        else:
-            try:
-                payload = json.loads(line)
-            except json.JSONDecodeError as exc:
-                self._c_errors.add()
-                return {"type": "error", "error": f"malformed JSON: {exc}"}
-            if not isinstance(payload, dict):
-                self._c_errors.add()
-                return {"type": "error", "error": "request must be a JSON object"}
         return self._dispatch(payload, conn)
 
     def _error(self, message: str, request_id=None) -> dict:
@@ -564,6 +585,34 @@ class RuntimeServer:
                     return self._error("close refused: ingress full", request_id)
                 entry.conn.pending += 1
                 return None
+            if op == "sessions":
+                out = {"type": "sessions", **self.sessions_view(
+                    limit=int(payload.get("limit", 50)),
+                    offset=int(payload.get("offset", 0)))}
+                if request_id is not None:
+                    out["id"] = request_id
+                return out
+            if op == "audit":
+                out = {"type": "audit", **self.audit_view(
+                    after_seq=int(payload.get("after_seq", -1)),
+                    limit=int(payload.get("limit", 100)))}
+                if request_id is not None:
+                    out["id"] = request_id
+                return out
+            if op == "status":
+                out = {"type": "status", **self.status_view()}
+                if request_id is not None:
+                    out["id"] = request_id
+                return out
+            if op == "trace":
+                report = self.trace_view(slow_limit=int(payload.get("slow", 32)))
+                if report is None:
+                    return self._error("tracing disabled; start with --trace",
+                                       request_id)
+                out = {"type": "trace", **report}
+                if request_id is not None:
+                    out["id"] = request_id
+                return out
             return self._error(f"unknown op {op!r}; known: {sorted(PROTOCOL)}", request_id)
         except (KeyError, TypeError, ValueError, binascii.Error) as exc:
             return self._error(f"invalid {op or 'request'} payload: {exc}", request_id)
@@ -1112,7 +1161,8 @@ class RuntimeServer:
         accepting, drains the queue dry, and closes every connection.
         """
         self.ingress.attach(asyncio.get_running_loop())
-        self._drain_task = asyncio.create_task(self._drain_loop())
+        if self._drain_task is None:
+            self._drain_task = asyncio.create_task(self._drain_loop())
         self._tcp_server = await asyncio.start_server(
             self._handle_client, host, port, limit=_READLINE_LIMIT
         )
@@ -1124,6 +1174,22 @@ class RuntimeServer:
     def tcp_address(self) -> Tuple[str, int]:
         sock = self._tcp_server.sockets[0]
         return sock.getsockname()[:2]
+
+    async def serve_unix(self, path: str):
+        """Unix-domain-socket flavor of :meth:`serve_tcp`: same framing,
+        same drain loop, a filesystem address instead of a port.  This is
+        the data plane a shard worker exposes to the ingress router (see
+        :mod:`repro.service.runtime.shard`); the router's forwarded lines
+        and control calls both land in :meth:`_handle_client` unchanged.
+        """
+        self.ingress.attach(asyncio.get_running_loop())
+        if self._drain_task is None:
+            self._drain_task = asyncio.create_task(self._drain_loop())
+        self._unix_path = str(path)
+        self._unix_server = await asyncio.start_unix_server(
+            self._handle_client, path=str(path), limit=_READLINE_LIMIT
+        )
+        return self._unix_server
 
     async def _handle_client(self, reader: asyncio.StreamReader, writer) -> None:
         conn = _Connection(writer=writer, name=str(writer.get_extra_info("peername")))
@@ -1181,10 +1247,17 @@ class RuntimeServer:
         if self.admin is not None:
             await self.admin.close()
             self.admin = None
-        server = getattr(self, "_tcp_server", None)
-        if server is not None:
-            server.close()
-            await server.wait_closed()
+        for attr in ("_tcp_server", "_unix_server"):
+            server = getattr(self, attr, None)
+            if server is not None:
+                server.close()
+                await server.wait_closed()
+        unix_path = getattr(self, "_unix_path", None)
+        if unix_path is not None:
+            try:
+                os.unlink(unix_path)
+            except OSError:
+                pass
         while self.ingress.depth:
             await self.drain_once()
         task = getattr(self, "_drain_task", None)
@@ -1263,3 +1336,94 @@ class RuntimeServer:
         shed = snap["counters"].get("shed_total", 0)
         snap["shed_rate"] = round(shed / requests, 6) if requests else 0.0
         return snap
+
+    # The views behind the admin plane and the ``sessions`` / ``audit`` /
+    # ``status`` / ``trace`` ops.  The shard router implements the same
+    # names as coroutines that merge every worker's answer; the admin plane
+    # awaits whatever it gets, so both runtimes share one HTTP surface.
+    def sessions_view(self, limit: int = 50, offset: int = 0) -> dict:
+        """Paginated live-session listing, sorted by tenant."""
+        limit = max(int(limit), 0)
+        offset = max(int(offset), 0)
+        manager = self.service.manager
+        live = sorted(manager, key=lambda s: s.tenant)
+        page = live[offset:offset + limit]
+        return {
+            "total": len(live),
+            "offset": offset,
+            "limit": limit,
+            "closed_total": len(manager.closed_sessions()),
+            "sessions": [
+                {
+                    "tenant": s.tenant,
+                    "session_id": s.session_id,
+                    "epsilon": s.epsilon,
+                    "c": s.c,
+                    "svt_fraction": s.svt_fraction,
+                    "spent": s.ledger.spent,
+                    "released": s.ledger.released,
+                    "served": s.served,
+                    "database_accesses": s.database_accesses,
+                    "exhausted": s.exhausted,
+                    "lanes": sorted(s.lanes),
+                    "opened_at": s.opened_at,
+                    "ttl_s": s.ttl_s,
+                }
+                for s in page
+            ],
+        }
+
+    def audit_view(self, after_seq: int = -1, limit: int = 100) -> dict:
+        """Audit records after *after_seq*: live log + archived, merged.
+
+        Compaction archives closed sessions out of the live store; the
+        archive is the only place their records still exist after a reboot,
+        so this view merges both (live wins on a seq tie)."""
+        after_seq = int(after_seq)
+        limit = max(int(limit), 0)
+        log = self.service.manager.audit
+        by_seq: Dict[int, Any] = {}
+        if self.store is not None:
+            for record in self.store.load_archive():
+                if record.seq > after_seq:
+                    by_seq[record.seq] = record
+        for record in log:
+            if record.seq > after_seq:
+                by_seq[record.seq] = record
+        selected = [by_seq[seq] for seq in sorted(by_seq)][:limit]
+        return {
+            "after_seq": after_seq,
+            "limit": limit,
+            "count": len(selected),
+            "next_seq": log.next_seq,
+            "records": [r._asdict() for r in selected],
+        }
+
+    def status_view(self) -> dict:
+        """Readiness plus the accounting totals a supervisor wants in one
+        round trip (the shard router polls this per worker)."""
+        ok, detail = self.readiness()
+        manager = self.service.manager
+        return {
+            "ready": ok,
+            **detail,
+            "pid": os.getpid(),
+            "sessions_open": len(manager),
+            "sessions_closed": len(manager.closed_sessions()),
+            "audit_records": len(self.service.audit),
+            "next_audit_seq": manager.audit.next_seq,
+            "epsilon_spent": manager.total_spent(),
+        }
+
+    def trace_view(self, slow_limit: int = 32) -> Optional[dict]:
+        """The ``/debug/trace`` payload, or None when tracing is off."""
+        if self.tracer is None:
+            return None
+        return self.tracer.report(slow_limit=max(int(slow_limit), 0))
+
+    def slow_view(self, limit: int = 64) -> Optional[dict]:
+        """Just the slow-request exemplar ring, or None when tracing is off."""
+        if self.tracer is None:
+            return None
+        return {"slow_threshold_ms": self.tracer.slow_ms,
+                "slow": self.tracer.slow(max(int(limit), 0))}

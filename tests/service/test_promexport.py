@@ -112,3 +112,73 @@ class TestRenderPrometheus:
             name, value = line.rsplit(" ", 1)
             assert name.startswith("repro_")
             float(value)  # must not raise
+
+
+class TestParseMetricKey:
+    """parse_metric_key inverts metric_key — the property the shard
+    merger relies on to re-label per-shard series."""
+
+    def test_round_trips_metric_key(self):
+        from repro.service.runtime.metrics import parse_metric_key
+
+        for name, labels in [
+            ("requests_total", {}),
+            ("stage_ms", {"stage": "send", "mode": "tcp"}),
+            ("m", {"k": 'a"b\\c'}),
+            ("h", {"x": "y", "le": "+Inf"}),
+        ]:
+            key = metric_key(name, labels)
+            assert parse_metric_key(key) == (name, labels)
+
+    def test_relabel_composes(self):
+        from repro.service.runtime.metrics import parse_metric_key
+
+        key = metric_key("shed_total", {"kind": "block"})
+        name, labels = parse_metric_key(key)
+        assert metric_key(name, {**labels, "shard": "3"}) == (
+            'shed_total{kind="block",shard="3"}'
+        )
+
+    def test_bare_name_has_no_labels(self):
+        from repro.service.runtime.metrics import parse_metric_key
+
+        assert parse_metric_key("requests_total") == ("requests_total", {})
+
+
+class TestCrossShardExposition:
+    def test_one_type_line_per_family_across_shard_labels(self):
+        """A shard-merged snapshot interleaves ``name{shard=...}`` series
+        with unlabeled aggregates of *other* families under sorted keys
+        ('{' sorts after identifier chars) — the renderer must still emit
+        exactly one TYPE line per family, samples contiguous under it."""
+        snap = {
+            "counters": {
+                "requests_total": 7,
+                'requests_total{shard="0"}': 3,
+                'requests_total{shard="1"}': 4,
+                "requests_totally_unrelated": 1,  # sorts between the above
+                "shed_total": 2,
+                'shed_total{shard="0"}': 2,
+                'shed_total{shard="1"}': 0,
+            },
+            "gauges": {"queue_depth": 5, 'queue_depth{shard="0"}': 5},
+            "histograms": {
+                "drain_ms": {"count": 1, "sum": 1.0, "buckets": {"1.0": 1, "+inf": 0}},
+                'drain_ms{shard="0"}': {
+                    "count": 1, "sum": 1.0, "buckets": {"1.0": 1, "+inf": 0}
+                },
+            },
+        }
+        text = render_prometheus(snap)
+        type_lines = [l for l in _lines(text) if l.startswith("# TYPE ")]
+        assert len(type_lines) == len(set(type_lines))
+        assert type_lines.count("# TYPE repro_requests_total counter") == 1
+        # Samples sit in contiguous family blocks under their TYPE line.
+        family = None
+        for line in _lines(text):
+            if line.startswith("# TYPE "):
+                family = line.split()[2]
+            else:
+                assert line.split("{", 1)[0].split(" ", 1)[0].startswith(family)
+        assert 'repro_requests_total{shard="0"} 3' in _lines(text)
+        assert "repro_requests_total 7" in _lines(text)
