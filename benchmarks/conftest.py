@@ -44,8 +44,15 @@ def emit(title: str, body: str) -> None:
 
 def pytest_sessionfinish(session, exitstatus):
     """Flush recorded measurements to the BENCH_*.json artifacts."""
-    from benchmarks.record import flush, flush_outofcore, flush_server, flush_service
+    from benchmarks.record import (
+        flush,
+        flush_audit,
+        flush_outofcore,
+        flush_server,
+        flush_service,
+    )
 
-    for path in (flush(), flush_service(), flush_outofcore(), flush_server()):
+    for path in (flush(), flush_service(), flush_outofcore(), flush_server(),
+                 flush_audit()):
         if path:
             print(f"\nbenchmark record written: {path}")

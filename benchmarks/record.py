@@ -41,26 +41,31 @@ __all__ = [
     "record_service",
     "record_outofcore",
     "record_server",
+    "record_audit",
     "flush",
     "flush_service",
     "flush_outofcore",
     "flush_server",
+    "flush_audit",
     "peak_rss_kb",
     "DEFAULT_PATH",
     "DEFAULT_SERVICE_PATH",
     "DEFAULT_OUTOFCORE_PATH",
     "DEFAULT_SERVER_PATH",
+    "DEFAULT_AUDIT_PATH",
 ]
 
 DEFAULT_PATH = os.path.join(os.path.dirname(__file__), "BENCH_engine.json")
 DEFAULT_SERVICE_PATH = os.path.join(os.path.dirname(__file__), "BENCH_service.json")
 DEFAULT_OUTOFCORE_PATH = os.path.join(os.path.dirname(__file__), "BENCH_outofcore.json")
 DEFAULT_SERVER_PATH = os.path.join(os.path.dirname(__file__), "BENCH_server.json")
+DEFAULT_AUDIT_PATH = os.path.join(os.path.dirname(__file__), "BENCH_audit.json")
 
 _RESULTS: Dict[str, dict] = {}
 _SERVICE_RESULTS: Dict[str, dict] = {}
 _OUTOFCORE_RESULTS: Dict[str, dict] = {}
 _SERVER_RESULTS: Dict[str, dict] = {}
+_AUDIT_RESULTS: Dict[str, dict] = {}
 
 
 def peak_rss_kb() -> int:
@@ -99,6 +104,12 @@ def record_server(name: str, **fields) -> None:
     """Record one concurrent-server bench measurement (req/s, shed rate,
     latency percentiles vs the closed-loop baseline)."""
     _SERVER_RESULTS[str(name)] = {**fields, "peak_rss_kb": peak_rss_kb()}
+
+
+def record_audit(name: str, **fields) -> None:
+    """Record one auditing bench measurement (trials/sec against a live
+    server, canary-mixture throughput tax)."""
+    _AUDIT_RESULTS[str(name)] = {**fields, "peak_rss_kb": peak_rss_kb()}
 
 
 def _write(results: Dict[str, dict], path: str) -> str:
@@ -158,4 +169,16 @@ def flush_server(path: Optional[str] = None) -> Optional[str]:
     return _write(
         _SERVER_RESULTS,
         path or os.environ.get("REPRO_BENCH_RECORD_SERVER") or DEFAULT_SERVER_PATH,
+    )
+
+
+def flush_audit(path: Optional[str] = None) -> Optional[str]:
+    """Write the auditing results (trials/sec, bound values, canary-mixture
+    throughput ratio) to ``BENCH_audit.json`` (or
+    ``REPRO_BENCH_RECORD_AUDIT`` / *path*)."""
+    if not _AUDIT_RESULTS:
+        return None
+    return _write(
+        _AUDIT_RESULTS,
+        path or os.environ.get("REPRO_BENCH_RECORD_AUDIT") or DEFAULT_AUDIT_PATH,
     )

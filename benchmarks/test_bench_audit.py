@@ -1,0 +1,152 @@
+"""E11 — the continuous privacy audit must be cheap enough to leave on.
+
+Not a paper artifact: this bench prices the auditor.  Two costs matter for
+running it continuously against a production service:
+
+* **attack throughput** — full canary trials per second against a *live*
+  ``repro serve`` subprocess over stdio JSONL (open, drained query,
+  distinguisher guess, close, interleaved background traffic).  Too slow
+  and a statistically meaningful bound (hundreds of trials) takes long
+  enough that nobody runs it.
+* **canary-mixture tax** — batched requests/sec on the plain Zipf trace vs
+  the same trace with planted canaries mixed in.  The planted pair rides
+  the same cross-session drains, so the tax should be noise; an auditor
+  that halves throughput gets turned off.
+
+Floors are env-overridable (``REPRO_MIN_AUDIT_TRIALS_PER_SEC``,
+``REPRO_MIN_CANARY_THROUGHPUT_RATIO``) so shared CI runners can relax them
+without flaking unrelated PRs.  Timing is min-of-N wall clock, same policy
+as the other enforced benches.
+"""
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from benchmarks.conftest import emit
+from benchmarks.record import record_audit
+from repro.service import SVTQueryService, WorkloadSpec, generate_workload
+from repro.service.auditor import (
+    AuditConfig,
+    JsonLineClient,
+    plant_canaries,
+    run_audit,
+    write_planted_scores,
+)
+from repro.service.workload import generate_canary_workload, run_batched
+
+TRIALS = int(os.environ.get("REPRO_BENCH_AUDIT_TRIALS", "60"))
+MIN_TRIALS_PER_SEC = float(os.environ.get("REPRO_MIN_AUDIT_TRIALS_PER_SEC", "25.0"))
+MIN_THROUGHPUT_RATIO = float(
+    os.environ.get("REPRO_MIN_CANARY_THROUGHPUT_RATIO", "0.5")
+)
+
+SUPPORTS = np.linspace(500.0, 10.0, 150)
+THRESHOLD = 150.0
+
+SPEC = WorkloadSpec(
+    tenants=128,
+    requests=int(os.environ.get("REPRO_BENCH_AUDIT_REQUESTS", "20000")),
+    dataset="Zipf",
+    dataset_scale=0.05,
+    threshold_factor=0.8,
+)
+
+
+def test_live_audit_trials_per_sec(tmp_path):
+    """Full end-to-end canary trials against a live subprocess server."""
+    planted, plan = plant_canaries(SUPPORTS, threshold=THRESHOLD)
+    scores = tmp_path / "planted.scores"
+    write_planted_scores(scores, planted)
+    env = dict(os.environ)
+    src = str(Path(repro.__file__).resolve().parents[1])
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", str(scores),
+         "--threshold", str(plan.threshold), "--seed", "5"],
+        stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL, env=env,
+    )
+    client = JsonLineClient.from_process(process)
+    try:
+        config = AuditConfig(trials=TRIALS, seed=23, background_every=2,
+                             background_tenants=8, report_every=0)
+        start = time.perf_counter()
+        report = run_audit(client, plan, config, num_items=planted.size)
+        duration = time.perf_counter() - start
+    finally:
+        client.close()
+        process.wait(timeout=60)
+
+    trials_per_sec = TRIALS / duration
+    assert report["trials"] == TRIALS
+    assert report["caught"] is False  # pricing the healthy path
+    assert trials_per_sec >= MIN_TRIALS_PER_SEC, (
+        f"live audit ran {trials_per_sec:.1f} trials/s "
+        f"(floor {MIN_TRIALS_PER_SEC})"
+    )
+    emit(
+        "Continuous audit — live attack throughput",
+        f"{trials_per_sec:,.0f} trials/s against a stdio subprocess server\n"
+        f"({TRIALS} trials in {duration * 1e3:.0f} ms, 2 background queries "
+        f"per trial, eps_lb {report['eps_lb']:.3f} vs charged "
+        f"{report['charged_eps']:g})",
+    )
+    record_audit(
+        "live_trials_per_sec",
+        trials_per_sec=round(trials_per_sec, 1),
+        trials=TRIALS,
+        duration_ms=round(duration * 1e3, 1),
+        eps_lb=report["eps_lb"],
+        charged_eps=report["charged_eps"],
+        accuracy=report["accuracy"],
+    )
+
+
+def test_canary_mixture_throughput_tax():
+    """Batched req/s: plain Zipf trace vs the canary-mixture trace."""
+
+    def best(workload, repeats=3):
+        best_stats = None
+        for _ in range(repeats):
+            service = SVTQueryService(workload.supports, seed=2)
+            stats = run_batched(service, workload, batch_size=8192,
+                                session_seed=31)
+            if best_stats is None or stats.duration_s < best_stats.duration_s:
+                best_stats = stats
+        return best_stats
+
+    plain = best(generate_workload(SPEC, rng=7))
+    mixed_workload, plan = generate_canary_workload(
+        SPEC, rng=7, canary_fraction=0.1
+    )
+    mixed = best(mixed_workload)
+    ratio = mixed.requests_per_sec / plain.requests_per_sec
+
+    assert ratio >= MIN_THROUGHPUT_RATIO, (
+        f"canary mixture ran at {ratio:.2f}x plain throughput "
+        f"(floor {MIN_THROUGHPUT_RATIO})"
+    )
+    emit(
+        "Continuous audit — canary-mixture throughput tax",
+        f"plain: {plain.requests_per_sec:,.0f} req/s   "
+        f"canary mixture: {mixed.requests_per_sec:,.0f} req/s   "
+        f"ratio {ratio:.2f}x\n"
+        f"(10% of {SPEC.requests} requests on the planted pair at items "
+        f"{plan.item_lo}/{plan.item_hi}, occupancy "
+        f"{mixed.mean_block_rows:.0f} rows/block)",
+    )
+    record_audit(
+        "canary_mixture_tax",
+        plain_requests_per_sec=round(plain.requests_per_sec, 1),
+        canary_requests_per_sec=round(mixed.requests_per_sec, 1),
+        ratio=round(ratio, 3),
+        canary_fraction=0.1,
+        requests=SPEC.requests,
+    )

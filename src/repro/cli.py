@@ -35,11 +35,20 @@ Subcommands
     Closed-loop throughput benchmark of the service: a Zipf multi-tenant
     workload served both batched and query-at-a-time, with requests/sec,
     batch occupancy, and latency percentiles (optionally written to JSON).
+    ``--workload canary`` mixes the auditor's planted threshold-straddling
+    pair into the trace.
+``audit-live``
+    Empirical privacy audit of a live server: run the canary guessing game
+    end to end (boot a stdio subprocess, or ``--connect`` to a TCP server),
+    invert the guess record into an epsilon lower bound, and compare it to
+    the charged budget.  ``--expect healthy|broken`` turns the verdict into
+    an exit code (the CI gate); ``--out`` writes ``AUDIT_report.json``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -175,6 +184,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="start the HTTP admin plane (/healthz /readyz /metrics "
                             "/sessions /audit /debug/*) on this port (0 = ephemeral)")
     serve.add_argument("--admin-host", default="127.0.0.1", dest="admin_host")
+    serve.add_argument("--gate-fault", default=os.environ.get("REPRO_GATE_FAULT"),
+                       dest="gate_fault", metavar="FAULT",
+                       help="TEST ONLY: run the gate with a known privacy bug "
+                            "('rho-reuse' reuses the threshold noise as the "
+                            "per-query noise, i.e. a noiseless gate) so "
+                            "'repro audit-live' can prove it catches one; "
+                            "env REPRO_GATE_FAULT sets the default")
 
     met = sub.add_parser(
         "metrics", help="fetch a live metrics snapshot from a running TCP server"
@@ -206,6 +222,14 @@ def build_parser() -> argparse.ArgumentParser:
     load.add_argument("--requests", type=int, default=20_000)
     load.add_argument("--dataset", choices=sorted(DATASET_GENERATORS), default="Zipf")
     load.add_argument("--scale", type=float, default=0.05)
+    load.add_argument("--workload", choices=("zipf", "canary"), default="zipf",
+                      help="zipf: the plain multi-tenant trace; canary: the same "
+                           "trace with the auditor's planted threshold-straddling "
+                           "pair mixed in (--canary-fraction of requests)")
+    load.add_argument("--canary-fraction", type=float, default=0.1,
+                      dest="canary_fraction",
+                      help="fraction of requests rewritten onto the planted "
+                           "canary pair under --workload canary")
     load.add_argument("--batch", type=int, default=8_192, help="submit window size")
     load.add_argument("--epsilon", type=float, default=1.0)
     load.add_argument("-c", "--top", type=int, default=3, dest="c")
@@ -216,6 +240,52 @@ def build_parser() -> argparse.ArgumentParser:
                       help="measure only the batched path")
     load.add_argument("--record", type=Path, default=None,
                       help="write the measurements to this JSON file")
+
+    live = sub.add_parser(
+        "audit-live",
+        help="empirical eps-attack against a live server (canary guessing game)",
+        description="Runs the canary distinguisher against the real service — "
+                    "a booted stdio subprocess by default, or an already-"
+                    "running TCP server via --connect — and reports the "
+                    "empirical epsilon lower bound against the charged budget.",
+    )
+    live.add_argument("--trials", type=int, default=200)
+    live.add_argument("--confidence", type=float, default=0.95)
+    live.add_argument("--epsilon", type=float, default=1.0,
+                      help="canary session budget (the charged eps under test)")
+    live.add_argument("--rule", choices=("fire-high", "release-value"),
+                      default="fire-high", help="distinguisher guessing rule")
+    live.add_argument("--seed", type=int, default=0)
+    live.add_argument("--background", type=int, default=4,
+                      help="background Zipf queries interleaved per trial "
+                           "(0 = idle-box audit)")
+    live.add_argument("--scores", type=Path, default=None,
+                      help="planted score file (write_planted_scores format); "
+                           "synthesized when omitted, required with --connect")
+    live.add_argument("--emit-scores", type=Path, default=None, dest="emit_scores",
+                      help="just synthesize and write a planted score file "
+                           "(for booting 'repro serve' externally), then exit")
+    live.add_argument("--connect", default=None, metavar="HOST:PORT",
+                      help="attach to a running TCP server instead of booting "
+                           "a stdio subprocess")
+    live.add_argument("--shards", type=int, default=1,
+                      help="boot mode: worker shards for the subprocess server")
+    live.add_argument("--gate-fault", default=None, dest="gate_fault",
+                      help="boot mode: run the subprocess server with this "
+                           "known-broken gate (e.g. 'rho-reuse') — the audit "
+                           "should then flag it")
+    live.add_argument("--dataset", choices=sorted(DATASET_GENERATORS),
+                      default="Zipf", help="dataset behind a synthesized plant")
+    live.add_argument("--scale", type=float, default=0.02)
+    live.add_argument("--threshold-factor", type=float, default=0.6,
+                      dest="threshold_factor",
+                      help="plant threshold as a fraction of the head support")
+    live.add_argument("--expect", choices=("healthy", "broken"), default=None,
+                      help="assert the verdict: healthy = bound stays under "
+                           "the charged eps, broken = violation caught "
+                           "(exit 1 on mismatch — the CI gate)")
+    live.add_argument("--out", type=Path, default=None,
+                      help="write the AUDIT_report.json artifact here")
 
     return parser
 
@@ -335,7 +405,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         trace_slow_ms=args.trace_slow_ms,
         admin_port=args.admin_port,
         admin_host=args.admin_host,
+        gate_fault=args.gate_fault,
     )
+    if args.gate_fault:
+        print(f"WARNING: gate fault {args.gate_fault!r} active — this server "
+              f"is deliberately broken (audit target only)", file=sys.stderr)
     if args.shards < 1:
         print("error: --shards must be >= 1", file=sys.stderr)
         return 2
@@ -568,7 +642,7 @@ def _cmd_load_test(args: argparse.Namespace) -> int:
     import json
 
     from repro.service import SVTQueryService, WorkloadSpec, generate_workload
-    from repro.service.workload import run_batched, run_streaming
+    from repro.service.workload import generate_canary_workload, run_batched, run_streaming
 
     spec = WorkloadSpec(
         tenants=args.tenants,
@@ -579,7 +653,17 @@ def _cmd_load_test(args: argparse.Namespace) -> int:
         c=args.c,
         threshold_factor=args.threshold_factor,
     )
-    workload = generate_workload(spec, rng=args.seed)
+    if args.workload == "canary":
+        workload, plan = generate_canary_workload(
+            spec, rng=args.seed, canary_fraction=args.canary_fraction
+        )
+        print(
+            f"canary mixture: {args.canary_fraction:.0%} of requests hit the "
+            f"planted pair (items {plan.item_lo}/{plan.item_hi}, scores "
+            f"{plan.score_lo:g}/{plan.score_hi:g} around T={plan.threshold:g})"
+        )
+    else:
+        workload = generate_workload(spec, rng=args.seed)
     batched = run_batched(
         SVTQueryService(workload.supports, seed=args.seed),
         workload,
@@ -612,6 +696,134 @@ def _cmd_load_test(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_audit_live(args: argparse.Namespace) -> int:
+    import json
+    import subprocess
+    import tempfile
+
+    from repro.service.auditor import (
+        AuditConfig,
+        JsonLineClient,
+        load_planted_plan,
+        plant_canaries,
+        run_audit,
+        write_planted_scores,
+        write_report,
+    )
+
+    if args.scores is not None:
+        supports = np.array(
+            [float(line) for line in args.scores.read_text().split() if line.strip()]
+        )
+        plan = load_planted_plan(supports, epsilon=args.epsilon, rule=args.rule)
+    else:
+        dataset = generate_dataset(args.dataset, rng=args.seed, scale=args.scale)
+        base = dataset.supports.astype(float)
+        supports, plan = plant_canaries(
+            base,
+            threshold=args.threshold_factor * float(base[0]),
+            epsilon=args.epsilon,
+            rule=args.rule,
+        )
+
+    if args.emit_scores is not None:
+        count = write_planted_scores(args.emit_scores, supports)
+        print(
+            f"wrote {count} planted scores to {args.emit_scores} "
+            f"(pair at items {plan.item_lo}/{plan.item_hi}, "
+            f"T={plan.threshold:g}; serve with --threshold {plan.threshold:g})"
+        )
+        return 0
+
+    config = AuditConfig(
+        trials=args.trials,
+        confidence=args.confidence,
+        seed=args.seed,
+        background_every=args.background,
+    )
+    process = None
+    temp_scores: Optional[str] = None
+    if args.connect is not None:
+        if args.scores is None:
+            print("error: --connect needs --scores (the planted score file "
+                  "the server was booted on)", file=sys.stderr)
+            return 2
+        host, _, port = args.connect.rpartition(":")
+        try:
+            client = JsonLineClient.connect_tcp(host or "127.0.0.1", int(port))
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot connect to {args.connect}: {exc}", file=sys.stderr)
+            return 2
+        target = f"tcp {args.connect}"
+    else:
+        scores_path = args.scores
+        if scores_path is None:
+            fd, temp_scores = tempfile.mkstemp(suffix=".scores", prefix="audit-")
+            os.close(fd)
+            write_planted_scores(temp_scores, supports)
+            scores_path = temp_scores
+        command = [
+            sys.executable, "-m", "repro.cli", "serve", str(scores_path),
+            "--threshold", str(plan.threshold),
+            "--epsilon", str(args.epsilon),
+            "--seed", str(args.seed),
+        ]
+        if args.shards > 1:
+            command += ["--shards", str(args.shards)]
+        if args.gate_fault:
+            command += ["--gate-fault", args.gate_fault]
+        # stderr inherits: the subprocess's boot/summary lines stay visible.
+        process = subprocess.Popen(
+            command, stdin=subprocess.PIPE, stdout=subprocess.PIPE
+        )
+        client = JsonLineClient.from_process(process)
+        target = (f"stdio subprocess (pid {process.pid}, shards {args.shards}, "
+                  f"gate fault {args.gate_fault or 'none'})")
+
+    print(f"auditing {target}: {args.trials} trials, rule {args.rule!r}, "
+          f"charged eps {plan.charged_eps:g}", file=sys.stderr)
+    try:
+        report = run_audit(client, plan, config, num_items=supports.size)
+    finally:
+        client.close()  # boot mode: stdin EOF drains and stops the server
+        if process is not None:
+            process.wait(timeout=60)
+        if temp_scores is not None:
+            os.unlink(temp_scores)
+    report["server"] = {
+        "target": "connect" if args.connect else "boot",
+        "shards": args.shards,
+        "gate_fault": args.gate_fault,
+    }
+
+    accuracy = report["accuracy"]
+    print(f"guesses: {report['correct']}/{report['guesses']} correct "
+          f"({report['trials']} trials"
+          + (f", accuracy {accuracy:.3f}" if accuracy is not None else "")
+          + ")")
+    if report["caught"]:
+        print(f"VIOLATION CAUGHT: empirical eps lower bound "
+              f"{report['eps_lb']:.3f} exceeds the charged eps "
+              f"{report['charged_eps']:g} at {args.confidence:.0%} confidence")
+    else:
+        print(f"clean: empirical eps lower bound {report['eps_lb']:.3f} stays "
+              f"under the charged eps {report['charged_eps']:g} at "
+              f"{args.confidence:.0%} confidence")
+    if args.out is not None:
+        write_report(args.out, report)
+        print(f"report written: {args.out}")
+    if args.expect is not None:
+        expected_caught = args.expect == "broken"
+        if report["caught"] != expected_caught:
+            print(f"error: expected {args.expect} but the audit said "
+                  f"{'caught' if report['caught'] else 'clean'} "
+                  f"({json.dumps({k: report[k] for k in ('trials', 'guesses', 'correct', 'eps_lb', 'charged_eps')})})",
+                  file=sys.stderr)
+            return 1
+        print(f"verdict matches --expect {args.expect}")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments.__main__ import main as experiments_main
 
@@ -633,6 +845,7 @@ _HANDLERS = {
     "metrics": _cmd_metrics,
     "trace-report": _cmd_trace_report,
     "load-test": _cmd_load_test,
+    "audit-live": _cmd_audit_live,
 }
 
 

@@ -35,7 +35,23 @@ from repro.engine.noise import TrialRngs, laplace_vector
 from repro.exceptions import InvalidParameterError
 from repro.rng import ensure_rng
 
-__all__ = ["GateBlock", "gate_block", "GateGrid", "gate_grid"]
+__all__ = ["GateBlock", "gate_block", "GateGrid", "gate_grid", "GATE_FAULTS"]
+
+#: Injectable gate faults, for the empirical privacy auditor only.
+#: ``"rho-reuse"`` models the stale-noise-buffer bug class (the Alg.-4 /
+#: GPTT mistake): the session's threshold-noise draw rho is reused as the
+#: per-query noise nu, so the comparison collapses to the *noiseless*
+#: ``error >= T`` — every query outcome leaks the data exactly.  The fault
+#: skips the nu draw entirely (a buggy implementation that never samples
+#: fresh noise would not advance the stream either).
+GATE_FAULTS = frozenset({"rho-reuse"})
+
+
+def _check_fault(fault) -> None:
+    if fault is not None and fault not in GATE_FAULTS:
+        raise InvalidParameterError(
+            f"unknown gate fault {fault!r}; known: {sorted(GATE_FAULTS)}"
+        )
 
 
 @dataclass(frozen=True)
@@ -72,6 +88,7 @@ def gate_block(
     answer_scales,
     truths,
     rng: TrialRngs = None,
+    fault: str = None,
 ) -> GateBlock:
     """Answer one row-per-session block of corrected online-SVT gates.
 
@@ -91,7 +108,11 @@ def gate_block(
         A shared seed/Generator (one block draw, unit noise rescaled per
         row) or one Generator per row (bit-compatible with a per-session
         streaming loop: nu then — only on ⊤ — the release draw).
+    fault:
+        One of :data:`GATE_FAULTS` (None = healthy).  Test-only knob for the
+        privacy auditor; never set in production paths.
     """
+    _check_fault(fault)
     errors = np.asarray(errors, dtype=float)
     if errors.ndim != 1:
         raise InvalidParameterError("errors must be a 1-D row-per-session vector")
@@ -117,7 +138,10 @@ def gate_block(
     if np.any(nu_scales <= 0.0) or np.any(answer_scales <= 0.0):
         raise InvalidParameterError("noise scales must be > 0")
 
-    nu = laplace_vector(rng, nu_scales, rows)
+    if fault == "rho-reuse":
+        nu = rho.copy()
+    else:
+        nu = laplace_vector(rng, nu_scales, rows)
     above = errors + nu >= thr + rho
 
     released = np.full(rows, np.nan)
@@ -161,6 +185,7 @@ def gate_grid(
     answer_scales,
     truths,
     rng: TrialRngs = None,
+    fault: str = None,
 ) -> GateGrid:
     """Gate ONE query across a grid of budget lanes — the epsilon-grid
     analog of :func:`gate_block`.
@@ -189,6 +214,7 @@ def gate_grid(
     derived estimate.  *truths* is normally one scalar — the same query hits
     the same database — but broadcasts per lane for generality.
     """
+    _check_fault(fault)
     errors = np.atleast_1d(np.asarray(errors, dtype=float))
     if errors.ndim != 1:
         raise InvalidParameterError("errors must be a 1-D per-lane vector")
@@ -219,7 +245,10 @@ def gate_grid(
         above = np.empty(lanes, dtype=bool)
         for index in range(lanes):
             gen = ensure_rng(rng[index])
-            nu[index] = gen.laplace(scale=nu_scales[index])
+            if fault == "rho-reuse":
+                nu[index] = rho[index]
+            else:
+                nu[index] = gen.laplace(scale=nu_scales[index])
             above[index] = errors[index] + nu[index] >= thr[index] + rho[index]
             if above[index]:
                 released[index] = truths[index] + gen.laplace(
@@ -228,8 +257,11 @@ def gate_grid(
         return GateGrid(above=above, nu=nu, released=released)
 
     # Shared mode: one unit draw per role, rescaled per lane.
-    unit_nu = float(rng.laplace(scale=1.0))
-    nu = unit_nu * nu_scales
+    if fault == "rho-reuse":
+        nu = rho.copy()
+    else:
+        unit_nu = float(rng.laplace(scale=1.0))
+        nu = unit_nu * nu_scales
     above = errors + nu >= thr + rho
     fired = np.nonzero(above)[0]
     if fired.size:

@@ -1,0 +1,65 @@
+"""Continuous privacy auditing: empirical eps-attacks on the live service.
+
+Three layers, importable separately:
+
+- :mod:`.stats` — pure binomial-test machinery (no scipy at runtime):
+  exact tails, Clopper–Pearson intervals, and the DP-FTRL-style inversion
+  of a guessing-game record into an epsilon **lower bound**.
+- :mod:`.canary` — planted neighboring inputs: a pair of support scores
+  straddling the SVT threshold at exactly the query sensitivity, plus the
+  distinguisher rules that guess which one a trial queried.
+- :mod:`.driver` — the attack loop against a *live* server over the JSONL
+  protocol (stdio, TCP, or the shard router), interleaved with background
+  Zipf traffic, reporting into the service's own metrics plane.
+
+The audit's contract: against the healthy corrected gate the bound stays
+below the charged epsilon; against the ``rho-reuse`` fault knob (the
+noiseless-gate bug class of Alg. 4 / GPTT) the bound must exceed it —
+the auditor proves its teeth on a mechanism known to be broken.
+"""
+
+from repro.service.auditor.canary import (
+    GUESS_RULES,
+    CanaryPlan,
+    load_planted_plan,
+    plant_canaries,
+    write_planted_scores,
+)
+from repro.service.auditor.driver import (
+    AuditConfig,
+    JsonLineClient,
+    run_audit,
+    write_report,
+)
+from repro.service.auditor.stats import (
+    AuditAccumulator,
+    accuracy_to_eps,
+    binom_cdf,
+    binom_pmf,
+    binom_sf,
+    clopper_pearson,
+    eps_lower_bound,
+    log_binom_pmf,
+    p_value_dp_audit,
+)
+
+__all__ = [
+    "AuditAccumulator",
+    "AuditConfig",
+    "CanaryPlan",
+    "GUESS_RULES",
+    "JsonLineClient",
+    "accuracy_to_eps",
+    "binom_cdf",
+    "binom_pmf",
+    "binom_sf",
+    "clopper_pearson",
+    "eps_lower_bound",
+    "load_planted_plan",
+    "log_binom_pmf",
+    "p_value_dp_audit",
+    "plant_canaries",
+    "run_audit",
+    "write_planted_scores",
+    "write_report",
+]

@@ -1,0 +1,236 @@
+"""Canary construction: planted neighboring inputs for the SVT gate.
+
+The corrected Section-3.4 gate answers item queries through
+``|q~ - q(D)| + nu >= T + rho``.  For a **fresh** session no history exists,
+the derived estimate is 0, and the gate's error query is exactly the item's
+true support.  That gives a clean neighboring-database emulation without
+touching the service's data path: plant two items whose supports straddle
+the threshold at exactly the query sensitivity —
+
+    ``score_lo = T - Delta/2``        ``score_hi = T + Delta/2``
+
+so ``|score_hi - score_lo| = Delta``.  A fresh session asked item ``lo`` and
+a fresh session asked item ``hi`` see gate inputs that differ by one query's
+worth of sensitivity: distributionally identical to running the *same*
+query against two neighboring databases ``D``, ``D'``.  Per audit trial a
+secret bit picks which planted item a throwaway canary tenant queries; the
+distinguisher guesses the bit from the response.  Under an eps-DP gate the
+guess accuracy is at most ``1/(1+e^-eps)`` (:mod:`.stats` inverts that into
+the epsilon lower bound).
+
+Canary sessions open with ``c=1`` and fixed budget knobs so the charged
+epsilon — the ledger's per-session price, which the audited bound must stay
+below — is a known constant of the plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "CanaryPlan",
+    "GUESS_RULES",
+    "plant_canaries",
+    "write_planted_scores",
+    "load_planted_plan",
+]
+
+#: Distinguisher registry: ``rule(plan, response) -> 1 | 0 | None``.
+#: The guess is which planted item the trial queried (1 = hi); None
+#: abstains (the trial still counts toward m, not toward r).
+GuessRule = Callable[["CanaryPlan", dict], Optional[int]]
+
+
+def _rule_fire_high(plan: "CanaryPlan", response: dict) -> Optional[int]:
+    """Guess hi iff the gate fired (the response left the history path).
+
+    The hi canary sits above the threshold, the lo canary below, so a
+    firing is evidence of hi.  Against the healthy gate the nu/rho noise
+    floor (scales >> Delta at audit budgets) drives accuracy to ~0.5; the
+    noiseless broken gate makes the firing a deterministic tell.
+    """
+    return 0 if response.get("from_history") else 1
+
+
+def _rule_release_value(plan: "CanaryPlan", response: dict) -> Optional[int]:
+    """Abstain unless the gate fired; then threshold the released value.
+
+    The released answer is ``truth + Lap(answer_scale)`` — centered on the
+    planted score, so comparing against T reads the bit directly.  Fewer
+    guesses (r < m) than fire-high, exercising the abstention arm of the
+    binomial test.
+    """
+    if response.get("from_history"):
+        return None
+    value = response.get("value")
+    if value is None:
+        return None
+    return 1 if float(value) >= plan.threshold else 0
+
+
+GUESS_RULES: Dict[str, GuessRule] = {
+    "fire-high": _rule_fire_high,
+    "release-value": _rule_release_value,
+}
+
+
+@dataclass(frozen=True)
+class CanaryPlan:
+    """Everything a driver needs to run trials against planted canaries."""
+
+    item_lo: int
+    item_hi: int
+    score_lo: float
+    score_hi: float
+    threshold: float
+    sensitivity: float = 1.0
+    #: Session knobs for every canary open — also the charged price.
+    epsilon: float = 1.0
+    c: int = 1
+    svt_fraction: float = 0.5
+    monotonic: bool = False
+    rule: str = "fire-high"
+
+    def __post_init__(self) -> None:
+        if self.rule not in GUESS_RULES:
+            raise ValueError(
+                f"unknown guess rule {self.rule!r}; known: {sorted(GUESS_RULES)}"
+            )
+
+    @property
+    def charged_eps(self) -> float:
+        """The ledger's price for one canary session — the audit's null."""
+        return self.epsilon
+
+    def item_for(self, bit: int) -> int:
+        return self.item_hi if bit else self.item_lo
+
+    def guess(self, response: dict) -> Optional[int]:
+        return GUESS_RULES[self.rule](self, response)
+
+    def open_payload(self, tenant: str) -> dict:
+        """The JSONL ``open`` op for one canary session."""
+        return {
+            "op": "open",
+            "tenant": tenant,
+            "epsilon": self.epsilon,
+            "threshold": self.threshold,
+            "c": self.c,
+            "svt_fraction": self.svt_fraction,
+            "monotonic": self.monotonic,
+        }
+
+    def as_dict(self) -> dict:
+        return {
+            "item_lo": self.item_lo,
+            "item_hi": self.item_hi,
+            "score_lo": self.score_lo,
+            "score_hi": self.score_hi,
+            "threshold": self.threshold,
+            "sensitivity": self.sensitivity,
+            "epsilon": self.epsilon,
+            "c": self.c,
+            "svt_fraction": self.svt_fraction,
+            "monotonic": self.monotonic,
+            "rule": self.rule,
+        }
+
+
+def plant_canaries(
+    supports,
+    threshold: float,
+    sensitivity: float = 1.0,
+    epsilon: float = 1.0,
+    c: int = 1,
+    svt_fraction: float = 0.5,
+    monotonic: bool = False,
+    rule: str = "fire-high",
+) -> Tuple[np.ndarray, CanaryPlan]:
+    """Append the neighboring pair to *supports*' tail; return the plan.
+
+    The pair rides at the last two indices — item queries resolve by index,
+    so appending never disturbs existing tenants' answers, and the
+    convention lets an attaching auditor find the plants without a side
+    channel (:func:`load_planted_plan`).
+    """
+    threshold = float(threshold)
+    sensitivity = float(sensitivity)
+    if sensitivity <= 0.0:
+        raise ValueError(f"sensitivity must be > 0, got {sensitivity}")
+    if threshold <= sensitivity / 2.0:
+        raise ValueError(
+            f"threshold {threshold} too small to straddle: the lo plant "
+            f"(T - {sensitivity / 2.0}) must stay a valid support >= 0"
+        )
+    base = np.asarray(supports, dtype=float).ravel()
+    lo = threshold - sensitivity / 2.0
+    hi = threshold + sensitivity / 2.0
+    planted = np.concatenate([base, [lo, hi]])
+    plan = CanaryPlan(
+        item_lo=base.size,
+        item_hi=base.size + 1,
+        score_lo=lo,
+        score_hi=hi,
+        threshold=threshold,
+        sensitivity=sensitivity,
+        epsilon=float(epsilon),
+        c=int(c),
+        svt_fraction=float(svt_fraction),
+        monotonic=bool(monotonic),
+        rule=rule,
+    )
+    return planted, plan
+
+
+def write_planted_scores(path, supports) -> int:
+    """Write a planted support vector in ``repro serve``'s score-file
+    format (one value per line); returns the item count.
+
+    CI's audit-smoke job writes this file once, boots ``repro serve`` on
+    it, and attaches ``repro audit-live --connect`` — the tail-pair
+    convention carries the plan across the process boundary.
+    """
+    values = np.asarray(supports, dtype=float).ravel()
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(f"{v:.17g}" for v in values) + "\n")
+    return int(values.size)
+
+
+def load_planted_plan(
+    supports,
+    epsilon: float = 1.0,
+    c: int = 1,
+    svt_fraction: float = 0.5,
+    monotonic: bool = False,
+    rule: str = "fire-high",
+) -> CanaryPlan:
+    """Recover the :class:`CanaryPlan` from a planted support vector.
+
+    Inverts the tail-pair convention: the last two entries are the plants,
+    the threshold is their midpoint, and the sensitivity their gap.
+    """
+    values = np.asarray(supports, dtype=float).ravel()
+    if values.size < 2:
+        raise ValueError("planted support vector needs at least the tail pair")
+    lo, hi = float(values[-2]), float(values[-1])
+    if not hi > lo:
+        raise ValueError(
+            f"tail pair ({lo}, {hi}) is not an ascending planted pair — "
+            "was this score file written by write_planted_scores?"
+        )
+    return CanaryPlan(
+        item_lo=values.size - 2,
+        item_hi=values.size - 1,
+        score_lo=lo,
+        score_hi=hi,
+        threshold=(lo + hi) / 2.0,
+        sensitivity=hi - lo,
+        epsilon=float(epsilon),
+        c=int(c),
+        svt_fraction=float(svt_fraction),
+        monotonic=bool(monotonic),
+        rule=rule,
+    )

@@ -1,0 +1,272 @@
+"""The audit driver: canary trials through the *real* server, end to end.
+
+This module never touches the service in-process: it speaks the JSONL
+protocol through whatever byte stream it is handed — a TCP socket, a
+``repro serve`` subprocess's stdio, or the shard router's listener — so an
+audit exercises the exact stack a tenant does (ingress queue, batcher, gate
+kernels, durable store, sharded routing included).
+
+Per trial: a secret bit picks one of the two planted canary items
+(:mod:`.canary`), a throwaway canary tenant opens a fresh session with the
+plan's budget knobs, queries that item once, the distinguisher guesses the
+bit from the typed ``answer`` frame, and the session closes (releasing its
+unspent budget — an audit must not distort the ledger it polices).  Trials
+interleave with background Zipf traffic from :mod:`repro.service.workload`
+so the gate answers canaries inside real mixed cohorts, not on an idle box.
+Running totals post to the server's ``audit_report`` op every
+``report_every`` trials, which feeds the ``audited_eps_lb`` gauge and the
+``/audit/eps`` admin route; the final summary lands in
+``AUDIT_report.json`` via :func:`write_report`.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from dataclasses import dataclass
+from typing import Dict, IO, Optional, Sequence
+
+import numpy as np
+
+from repro.service.auditor.canary import CanaryPlan
+from repro.service.auditor.stats import AuditAccumulator
+from repro.service.workload import WorkloadSpec, generate_workload
+
+__all__ = ["AuditConfig", "JsonLineClient", "run_audit", "write_report"]
+
+
+@dataclass(frozen=True)
+class AuditConfig:
+    """Knobs for one audit run (the ``repro audit-live`` surface)."""
+
+    trials: int = 200
+    confidence: float = 0.95
+    delta: float = 0.0
+    seed: int = 0
+    #: Background Zipf queries sent between trials (0 = idle-box audit).
+    background_every: int = 4
+    background_tenants: int = 8
+    #: Post running totals to the server every N trials (0 = final only).
+    report_every: int = 50
+    tenant_prefix: str = "canary"
+
+    def __post_init__(self) -> None:
+        if self.trials <= 0:
+            raise ValueError("trials must be > 0")
+        if not 0.0 < self.confidence < 1.0:
+            raise ValueError("confidence must be in (0, 1)")
+
+
+class JsonLineClient:
+    """A blocking, id-matched JSONL protocol client.
+
+    Works over any (binary read, binary write) file pair: a TCP socket's
+    makefile views or a subprocess's stdout/stdin.  Requests carry
+    monotonically increasing ids; :meth:`wait` reads frames — parking
+    out-of-order ones — until the wanted id answers, so pipelined queries,
+    forced drains, and interleaved background traffic share one connection
+    without a demultiplexing thread.
+    """
+
+    def __init__(self, reader: IO[bytes], writer: IO[bytes],
+                 on_close=None) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._on_close = on_close
+        self._next_id = 0
+        self._parked: Dict[int, dict] = {}
+
+    @classmethod
+    def connect_tcp(cls, host: str, port: int,
+                    timeout: float = 30.0) -> "JsonLineClient":
+        sock = socket.create_connection((host, int(port)), timeout=timeout)
+        sock.settimeout(timeout)
+        reader = sock.makefile("rb")
+        writer = sock.makefile("wb")
+
+        def close() -> None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+        return cls(reader, writer, on_close=close)
+
+    @classmethod
+    def from_process(cls, process) -> "JsonLineClient":
+        """Speak the protocol over a ``repro serve`` subprocess's stdio."""
+        return cls(process.stdout, process.stdin)
+
+    def close(self) -> None:
+        for stream in (self._writer, self._reader):
+            try:
+                stream.close()
+            except (OSError, ValueError):
+                pass
+        if self._on_close is not None:
+            self._on_close()
+
+    # ------------------------------------------------------------------
+    def send(self, payload: dict) -> int:
+        """Write one request with a fresh id; returns the id (no read)."""
+        self._next_id += 1
+        request_id = self._next_id
+        line = json.dumps({**payload, "id": request_id}) + "\n"
+        self._writer.write(line.encode())
+        self._writer.flush()
+        return request_id
+
+    def wait(self, request_id: int) -> dict:
+        """Read frames until *request_id* answers (others park by id)."""
+        if request_id in self._parked:
+            return self._parked.pop(request_id)
+        while True:
+            raw = self._reader.readline()
+            if not raw:
+                raise ConnectionError(
+                    f"server closed the stream while waiting for id {request_id}"
+                )
+            if not raw.strip():
+                continue
+            frame = json.loads(raw)
+            got = frame.get("id")
+            if got == request_id:
+                return frame
+            if got is not None:
+                self._parked[int(got)] = frame
+            # id-less frames (e.g. a drain ack for someone else) drop.
+
+    def call(self, payload: dict) -> dict:
+        return self.wait(self.send(payload))
+
+    def query(self, tenant: str, item: int) -> dict:
+        """One drained query round trip: query + forced drain, answer back."""
+        qid = self.send({"op": "query", "tenant": tenant, "item": int(item)})
+        self.send({"op": "drain"})
+        return self.wait(qid)
+
+
+def _raise_on_error(frame: dict, context: str) -> dict:
+    if frame.get("type") in ("error", "overloaded", "unavailable"):
+        raise RuntimeError(
+            f"audit {context} failed: {frame.get('error', frame.get('type'))}"
+        )
+    return frame
+
+
+class _BackgroundTraffic:
+    """A drip of real Zipf requests between canary trials.
+
+    Sessions auto-open with the *server's* default budget config — the
+    point is realistic cohort mixing in the drains the canaries ride, not
+    controlled sessions.  Overloaded/exhausted responses are expected under
+    pressure and simply ignored."""
+
+    def __init__(self, client: JsonLineClient, tenants: int, seed: int,
+                 num_items: int) -> None:
+        spec = WorkloadSpec(
+            tenants=max(int(tenants), 1),
+            requests=4096,
+            dataset="Zipf",
+            dataset_scale=0.02,
+        )
+        workload = generate_workload(spec, rng=seed)
+        self._client = client
+        self._tenants = workload.tenants
+        # The audited server has its own support vector; fold the
+        # workload's item stream onto it (minus the planted tail pair).
+        self._items = workload.items % max(int(num_items), 1)
+        self._cursor = 0
+
+    def burst(self, count: int) -> None:
+        ids = []
+        for _ in range(int(count)):
+            i = self._cursor % self._items.size
+            self._cursor += 1
+            ids.append(self._client.send({
+                "op": "query",
+                "tenant": f"bg-{int(self._tenants[i]):04d}",
+                "item": int(self._items[i]),
+            }))
+        if ids:
+            self._client.send({"op": "drain"})
+            for request_id in ids:
+                self._client.wait(request_id)
+
+
+def run_audit(
+    client: JsonLineClient,
+    plan: CanaryPlan,
+    config: AuditConfig = AuditConfig(),
+    num_items: Optional[int] = None,
+    tenant_names: Optional[Sequence[str]] = None,
+    accumulator: Optional[AuditAccumulator] = None,
+) -> dict:
+    """Run the guessing game against a live server; returns the report.
+
+    *num_items* (the backend's item count, planted pair included) enables
+    background traffic; *tenant_names* overrides canary tenant naming (the
+    sharded tests pass names pinned to distinct shards).  Pass an
+    *accumulator* to resume/extend a previous run's totals.
+    """
+    if tenant_names is not None and len(tenant_names) < config.trials:
+        raise ValueError(
+            f"{len(tenant_names)} tenant names for {config.trials} trials"
+        )
+    rng = np.random.default_rng(config.seed)
+    acc = accumulator if accumulator is not None else AuditAccumulator()
+    background = None
+    if config.background_every > 0 and num_items:
+        background = _BackgroundTraffic(
+            client, config.background_tenants, config.seed, num_items
+        )
+
+    def post_report() -> None:
+        summary = acc.summary(charged_eps=plan.charged_eps,
+                              delta=config.delta,
+                              confidence=config.confidence)
+        _raise_on_error(client.call({
+            "op": "audit_report",
+            "trials": summary["trials"],
+            "guesses": summary["guesses"],
+            "correct": summary["correct"],
+            "eps_lb": summary["eps_lb"],
+            "charged_eps": summary["charged_eps"],
+            "confidence": config.confidence,
+            "delta": config.delta,
+            "rule": plan.rule,
+        }), "report")
+
+    for trial in range(config.trials):
+        bit = int(rng.integers(2))
+        tenant = (tenant_names[trial] if tenant_names is not None
+                  else f"{config.tenant_prefix}-{trial:05d}")
+        _raise_on_error(client.call(plan.open_payload(tenant)),
+                        f"open (trial {trial})")
+        answer = _raise_on_error(
+            client.query(tenant, plan.item_for(bit)), f"query (trial {trial})"
+        )
+        guess = plan.guess(answer)
+        acc.record(guessed=guess is not None, correct=guess == bit)
+        _raise_on_error(client.call({"op": "close", "tenant": tenant}),
+                        f"close (trial {trial})")
+        if background is not None:
+            background.burst(config.background_every)
+        if config.report_every and (trial + 1) % config.report_every == 0:
+            post_report()
+
+    post_report()
+    report = acc.summary(charged_eps=plan.charged_eps, delta=config.delta,
+                         confidence=config.confidence)
+    report["canary"] = plan.as_dict()
+    report["seed"] = config.seed
+    return report
+
+
+def write_report(path, report: dict) -> str:
+    """Write ``AUDIT_report.json`` (schema-stamped); returns the path."""
+    payload = {"schema": 1, **report}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return str(path)

@@ -1,0 +1,248 @@
+"""Binomial-test epsilon lower bounds: the auditor's statistics core.
+
+An empirical privacy audit reduces to a guessing game: per trial a secret
+bit picks one of two *neighboring* planted inputs, the attacker observes the
+mechanism's output and guesses the bit.  Under eps-DP the guess is a
+randomized-response channel with accuracy at most ``q = 1/(1+e^-eps))``, so
+``v`` correct out of ``r`` guesses admits an exact binomial test: the
+p-value is the chance an eps-DP mechanism produces at least ``v`` hits, and
+inverting the test over eps yields a **lower bound on the epsilon the
+mechanism actually leaks** at the chosen confidence.  This is the DP-FTRL
+auditing recipe (``p_value_DP_audit`` / ``get_eps_audit``), reimplemented
+here over ``math.lgamma`` so the live service's auditor never needs scipy —
+the reference tests pin our tails against scipy-generated values instead of
+importing it.
+
+Everything is exact-tail computation, not a normal approximation: pmf terms
+are summed in log space on the side of the distribution actually requested,
+so there is no ``1 - cdf`` cancellation and the values match scipy to
+~1e-12 relative at the sample sizes an audit uses (hundreds of trials).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = [
+    "log_binom_pmf",
+    "binom_pmf",
+    "binom_cdf",
+    "binom_sf",
+    "p_value_dp_audit",
+    "eps_lower_bound",
+    "clopper_pearson",
+    "accuracy_to_eps",
+    "AuditAccumulator",
+]
+
+#: Bisection depth: 2^-60 interval width, far below audit resolution.
+_BISECT_ITERS = 60
+#: get_eps_audit's growth cap — an audit never certifies eps this large.
+_EPS_CEILING = 128.0
+
+
+def log_binom_pmf(k: int, n: int, q: float) -> float:
+    """``log P[Binomial(n, q) = k]`` via lgamma (−inf outside the support)."""
+    if k < 0 or k > n:
+        return -math.inf
+    if q <= 0.0:
+        return 0.0 if k == 0 else -math.inf
+    if q >= 1.0:
+        return 0.0 if k == n else -math.inf
+    return (
+        math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+        + k * math.log(q) + (n - k) * math.log1p(-q)
+    )
+
+
+def binom_pmf(k: int, n: int, q: float) -> float:
+    """``P[Binomial(n, q) = k]``."""
+    return math.exp(log_binom_pmf(k, n, q))
+
+
+def _tail_sum(lo: int, hi: int, n: int, q: float) -> float:
+    """Sum pmf(k) for k in [lo, hi] — ascending magnitude never matters
+    here (every term is positive; no cancellation), so plain order is fine."""
+    return math.fsum(binom_pmf(k, n, q) for k in range(lo, hi + 1))
+
+
+def binom_cdf(k: int, n: int, q: float) -> float:
+    """``P[Binomial(n, q) <= k]``, summed over the lower tail directly."""
+    if k < 0:
+        return 0.0
+    if k >= n:
+        return 1.0
+    return min(_tail_sum(0, int(k), n, q), 1.0)
+
+
+def binom_sf(k: int, n: int, q: float) -> float:
+    """``P[Binomial(n, q) > k]`` (scipy ``binom.sf`` semantics), summed over
+    the upper tail directly — accurate even when the tail is tiny."""
+    if k < 0:
+        return 1.0
+    if k >= n:
+        return 0.0
+    return min(_tail_sum(int(k) + 1, n, n, q), 1.0)
+
+
+def p_value_dp_audit(m: int, r: int, v: int, eps: float,
+                     delta: float = 0.0) -> float:
+    """P[an (eps, delta)-DP mechanism yields >= *v* correct of *r* guesses].
+
+    *m* is the number of trials (guesses plus abstentions).  The delta
+    correction term (``alpha * delta * 2m``) vanishes at ``delta=0`` — the
+    pure-eps SVT gate — but is kept so the machinery matches the DP-FTRL
+    evaluator it derives from.
+    """
+    if not 0 <= v <= r <= m:
+        raise ValueError(f"need 0 <= v <= r <= m, got v={v} r={r} m={m}")
+    if eps < 0:
+        raise ValueError(f"eps must be >= 0, got {eps}")
+    if not 0.0 <= delta <= 1.0:
+        raise ValueError(f"delta must be in [0, 1], got {delta}")
+    q = 1.0 / (1.0 + math.exp(-eps))  # randomized-response accuracy
+    beta = binom_sf(v - 1, r, q)  # = P[Binomial(r, q) >= v]
+    alpha = 0.0
+    if delta > 0.0:
+        running = 0.0  # = P[v > Binomial(r, q) >= v - i]
+        for i in range(1, v + 1):
+            running += binom_pmf(v - i, r, q)
+            if running > i * alpha:
+                alpha = running / i
+    return min(beta + alpha * delta * 2 * m, 1.0)
+
+
+def eps_lower_bound(m: int, r: int, v: int, delta: float = 0.0,
+                    p: float = 0.05) -> float:
+    """The largest eps the guess record rejects at p-value *p*.
+
+    The audited mechanism is provably **not** (eps, delta)-DP for any eps
+    below the returned bound, at confidence ``1 - p``.  Returns 0.0 when
+    the record is consistent even with a perfectly private mechanism (the
+    healthy-gate outcome: accuracy near coin-flip).
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"p must be in (0, 1), got {p}")
+    if p_value_dp_audit(m, r, v, 0.0, delta) >= p:
+        return 0.0
+    eps_min = 0.0  # invariant: p_value(eps_min) < p
+    eps_max = 1.0  # invariant: p_value(eps_max) >= p
+    while p_value_dp_audit(m, r, v, eps_max, delta) < p:
+        eps_max += 1.0
+        if eps_max >= _EPS_CEILING:
+            break
+    for _ in range(_BISECT_ITERS):
+        eps = (eps_min + eps_max) / 2.0
+        if p_value_dp_audit(m, r, v, eps, delta) < p:
+            eps_min = eps
+        else:
+            eps_max = eps
+    return eps_min
+
+
+def clopper_pearson(v: int, r: int, confidence: float = 0.95
+                    ) -> Tuple[float, float]:
+    """The exact (Clopper–Pearson) two-sided CI for *v* successes of *r*.
+
+    Solved by bisection on the success probability against the binomial
+    tails (the Beta-quantile formulation without scipy): both tails are
+    monotone in q, so each endpoint is a 1-D root find.
+    """
+    if not 0 <= v <= r:
+        raise ValueError(f"need 0 <= v <= r, got v={v} r={r}")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if r == 0:
+        return 0.0, 1.0
+    half_alpha = (1.0 - confidence) / 2.0
+
+    def solve(target, tail, lo=0.0, hi=1.0):
+        # tail(q) is increasing in q for sf, decreasing for cdf; bisect on
+        # the sign of (tail - target) with the orientation handled by the
+        # caller passing a monotone-increasing residual.
+        for _ in range(_BISECT_ITERS + 20):
+            mid = (lo + hi) / 2.0
+            if tail(mid) < target:
+                lo = mid
+            else:
+                hi = mid
+        return (lo + hi) / 2.0
+
+    # Lower endpoint: largest q with P[X >= v] <= alpha/2.
+    lower = 0.0 if v == 0 else solve(half_alpha, lambda q: binom_sf(v - 1, r, q))
+    # Upper endpoint: smallest q with P[X <= v] <= alpha/2; cdf decreases
+    # in q, so bisect its negation to keep the residual increasing.
+    upper = 1.0 if v == r else solve(-half_alpha, lambda q: -binom_cdf(v, r, q))
+    return lower, upper
+
+
+def accuracy_to_eps(accuracy: float) -> float:
+    """The eps whose randomized-response accuracy equals *accuracy* —
+    ``ln(acc / (1-acc))``, floored at 0 (sub-coin-flip accuracy certifies
+    nothing).  The point estimate behind the test-inverted bound."""
+    if not 0.0 <= accuracy <= 1.0:
+        raise ValueError(f"accuracy must be in [0, 1], got {accuracy}")
+    if accuracy <= 0.5:
+        return 0.0
+    if accuracy >= 1.0:
+        return math.inf
+    return math.log(accuracy / (1.0 - accuracy))
+
+
+@dataclass
+class AuditAccumulator:
+    """Running guess outcomes -> bounds; the driver's scoreboard.
+
+    ``trials`` (m) counts every completed trial, ``guesses`` (r) those where
+    the distinguisher committed to a guess, ``correct`` (v) the hits.
+    """
+
+    trials: int = 0
+    guesses: int = 0
+    correct: int = 0
+
+    def record(self, guessed: bool, correct: bool) -> None:
+        self.trials += 1
+        if guessed:
+            self.guesses += 1
+            if correct:
+                self.correct += 1
+
+    @property
+    def accuracy(self) -> Optional[float]:
+        return self.correct / self.guesses if self.guesses else None
+
+    def accuracy_interval(self, confidence: float = 0.95) -> Tuple[float, float]:
+        return clopper_pearson(self.correct, self.guesses, confidence)
+
+    def eps_lower_bound(self, delta: float = 0.0,
+                        confidence: float = 0.95) -> float:
+        return eps_lower_bound(self.trials, self.guesses, self.correct,
+                               delta=delta, p=1.0 - confidence)
+
+    def summary(self, charged_eps: Optional[float] = None, delta: float = 0.0,
+                confidence: float = 0.95) -> dict:
+        """The report fragment every surface shares (driver artifact,
+        ``audit_report`` op payload, tests)."""
+        eps_lb = self.eps_lower_bound(delta=delta, confidence=confidence)
+        ci = self.accuracy_interval(confidence) if self.guesses else (0.0, 1.0)
+        out = {
+            "trials": self.trials,
+            "guesses": self.guesses,
+            "correct": self.correct,
+            "accuracy": self.accuracy,
+            "accuracy_ci": [ci[0], ci[1]],
+            "eps_lb": eps_lb,
+            # Point estimate, ceiling-capped so perfect accuracy stays
+            # JSON-representable (inf is not valid JSON).
+            "eps_point": (min(accuracy_to_eps(self.accuracy), _EPS_CEILING)
+                          if self.accuracy is not None else 0.0),
+            "confidence": confidence,
+            "delta": delta,
+        }
+        if charged_eps is not None:
+            out["charged_eps"] = float(charged_eps)
+            out["caught"] = bool(eps_lb > float(charged_eps))
+        return out

@@ -490,6 +490,7 @@ class ServiceEngine:
                 answer_scale,
                 tru,
                 rng=self._rng,
+                fault=sessions[0].gate_fault if sessions else None,
             )
             out.gate_ms += (time.perf_counter() - t_gate) * 1e3
             out.block_rows.append(total)
@@ -608,6 +609,7 @@ class ServiceEngine:
                 np.fromiter((r[1].answer_scale for r in round_rows), dtype=float, count=k),
                 truths,
                 rng=[r[1].rng for r in round_rows],
+                fault=round_rows[0][1].gate_fault,
             )
             out.gate_ms += (time.perf_counter() - t_gate) * 1e3
             out.block_rows.append(k)
@@ -635,8 +637,11 @@ class SVTQueryService:
         seed: RngLike = None,
         mode: str = "shared",
         audit: Optional[AuditLog] = None,
+        gate_fault: Optional[str] = None,
     ) -> None:
-        self.manager = SessionManager(dataset, seed=seed, audit=audit)
+        self.manager = SessionManager(
+            dataset, seed=seed, audit=audit, gate_fault=gate_fault
+        )
         self.batcher = RequestBatcher()
         self.engine = ServiceEngine(rng=derive_rng(seed, "service-noise"), mode=mode)
 

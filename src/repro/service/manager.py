@@ -77,11 +77,16 @@ class SessionManager:
         seed: RngLike = None,
         audit: Optional[AuditLog] = None,
         clock: Optional[Callable[[], float]] = None,
+        gate_fault: Optional[str] = None,
     ) -> None:
         self._dataset = dataset
         self._supports = _extract_supports(dataset)
         self.audit = audit if audit is not None else AuditLog()
         self._clock = clock if clock is not None else time.monotonic
+        #: Injectable gate fault stamped onto every session this manager
+        #: opens or adopts (the empirical auditor's broken-gate mode; see
+        #: :data:`repro.engine.gate.GATE_FAULTS`).  None in production.
+        self.gate_fault = gate_fault
         #: Unspent epsilon returned to each tenant by evictions.
         self.released_budget: Dict[str, float] = {}
         # Resolve the seed material once so per-session derivations are a
@@ -123,6 +128,9 @@ class SessionManager:
     def adopt_session(self, session: Session) -> None:
         """Install an already-built session for its tenant (recovery path —
         no eviction, no epoch bump, no open-time side effects)."""
+        session.gate_fault = self.gate_fault
+        for lane in session.lanes.values():
+            lane.gate_fault = self.gate_fault
         self._sessions[session.tenant] = session
 
     def restore_closed(self, closed: Dict[str, ClosedSession]) -> None:
@@ -194,6 +202,7 @@ class SessionManager:
             opened_at=self._clock(),
             pool=pool,
         )
+        session.gate_fault = self.gate_fault
         self._sessions[tenant] = session
         return session
 

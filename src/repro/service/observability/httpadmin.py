@@ -20,6 +20,8 @@ Routes:
 ``/sessions``           paginated live-session listing (``?limit=&offset=``)
 ``/audit``              audit records after a seq (``?after_seq=&limit=``),
                         live log and archived (compacted) records merged
+``/audit/eps``          latest empirical-audit report: eps lower bound,
+                        charged eps, guess totals, and the caught verdict
 ``/``                   JSON index of all of the above
 ======================  ======================================================
 
@@ -55,6 +57,7 @@ _ROUTE_HELP = {
     "/debug/profile": "collapsed-stack sampling profile; ?seconds=N",
     "/sessions": "live sessions; ?limit=N&offset=M",
     "/audit": "audit records; ?after_seq=S&limit=N",
+    "/audit/eps": "latest empirical-audit eps lower bound vs charged eps",
 }
 
 
@@ -231,6 +234,9 @@ class AdminPlane:
                 self.server.sessions_view(limit=limit, offset=offset)
             )
             return 200, "application/json", self._json(page)
+        if path == "/audit/eps":
+            view = await self._resolve(self.server.audit_eps_view())
+            return 200, "application/json", self._json(view)
         if path == "/audit":
             after_seq = _first_int(query, "after_seq", -1)
             limit = min(max(_first_int(query, "limit", 100), 0), _MAX_PAGE)

@@ -92,7 +92,7 @@ RECOVERY_BUCKETS_MS = (1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
                        1000.0, 2500.0, 5000.0, 10000.0)
 
 __all__ = ["ServerConfig", "IngressQueue", "RuntimeServer", "PROTOCOL",
-           "parse_request_line"]
+           "parse_request_line", "fold_audit_report"]
 
 #: One line per op; one typed response line per request (``answers`` lines
 #: cover a whole block).  Shared reference for docs, tests, and the CLI.
@@ -110,9 +110,55 @@ PROTOCOL = {
     "audit": "audit records (archive + live): {op, after_seq?, limit?}",
     "status": "readiness verdict + accounting totals for this process",
     "trace": "per-stage latency report (requires --trace): {op, slow?}",
+    "audit_report": "record empirical-audit results: {op, trials, guesses, "
+                    "correct, eps_lb, charged_eps, confidence?, rule?, id?}",
 }
 
 _READLINE_LIMIT = 1 << 24  # 16 MiB: a 1M-item b64 block is ~11 MiB
+
+
+def fold_audit_report(metrics, prev: Optional[dict], payload: dict,
+                      default_charged: float) -> dict:
+    """Fold one cumulative ``audit_report`` payload into *metrics*.
+
+    Shared by the single-process server and the shard router (whose own
+    registry merges unrelabeled into the cross-shard aggregate).  Counters
+    advance by the delta against *prev*; a payload with fewer trials than
+    the previous report is a fresh audit run and counts in full.  Raises
+    ``ValueError``/``KeyError`` on malformed payloads — the dispatchers
+    turn those into typed ``error`` lines.
+    """
+    trials = int(payload["trials"])
+    guesses = int(payload["guesses"])
+    correct = int(payload["correct"])
+    if not 0 <= correct <= guesses <= trials:
+        raise ValueError(
+            f"need 0 <= correct <= guesses <= trials, "
+            f"got {correct}/{guesses}/{trials}"
+        )
+    eps_lb = float(payload["eps_lb"])
+    charged = float(payload.get("charged_eps", default_charged))
+    before = prev or {}
+    for name, now in (("audit_trials_total", trials),
+                      ("audit_guesses_total", guesses),
+                      ("audit_correct_total", correct)):
+        key = name[len("audit_"):-len("_total")]
+        last = int(before.get(key, 0))
+        metrics.counter(name).add(now - last if now >= last else now)
+    metrics.gauge("audited_eps_lb").set(eps_lb)
+    metrics.gauge("audit_charged_eps").set(charged)
+    return {
+        "trials": trials,
+        "guesses": guesses,
+        "correct": correct,
+        "accuracy": round(correct / guesses, 6) if guesses else None,
+        "eps_lb": eps_lb,
+        "charged_eps": charged,
+        "confidence": float(payload.get("confidence", 0.95)),
+        "delta": float(payload.get("delta", 0.0)),
+        "rule": payload.get("rule"),
+        "caught": bool(eps_lb > charged),
+    }
 
 #: Retained TTL-eviction records (:attr:`RuntimeServer.expired_tenants`).
 EXPIRY_LOG_LIMIT = 1024
@@ -162,6 +208,11 @@ class ServerConfig:
     #: sharing the event loop.  None = disabled; 0 = ephemeral port.
     admin_port: Optional[int] = None
     admin_host: str = "127.0.0.1"
+    #: Injectable gate fault (see :data:`repro.engine.gate.GATE_FAULTS`) —
+    #: the empirical privacy auditor's broken-gate mode.  Stamped onto every
+    #: session the service opens (recovered ones included).  None in
+    #: production; ``repro serve --gate-fault`` / ``REPRO_GATE_FAULT`` set it.
+    gate_fault: Optional[str] = None
 
 
 @dataclass
@@ -403,17 +454,25 @@ class RuntimeServer:
                 self.service, self.recovery = restore_service(
                     store, supports, mode=self.config.mode
                 )
+                # The fault knob is a runtime choice like ``mode``, never
+                # accounting state: re-stamp recovered sessions so a reboot
+                # cannot silently heal (or break) the gate under audit.
+                self.service.manager.gate_fault = self.config.gate_fault
+                for sess in self.service.manager:
+                    sess.gate_fault = self.config.gate_fault
+                    for lane in sess.lanes.values():
+                        lane.gate_fault = self.config.gate_fault
             else:
                 self.service = SVTQueryService(
                     supports, seed=self.config.seed if seed is None else seed,
-                    mode=self.config.mode,
+                    mode=self.config.mode, gate_fault=self.config.gate_fault,
                 )
                 store.attach(self.service)
             self.store = store
         else:
             self.service = SVTQueryService(
                 supports, seed=self.config.seed if seed is None else seed,
-                mode=self.config.mode,
+                mode=self.config.mode, gate_fault=self.config.gate_fault,
             )
         self.metrics = metrics or MetricsRegistry()
         self.sampler = RssSampler(self.metrics)
@@ -473,6 +532,16 @@ class RuntimeServer:
         self._h_fsync = m.histogram("fsync_latency_ms", FSYNC_BUCKETS_MS)
         self._h_recovery = m.histogram("recovery_time_ms", RECOVERY_BUCKETS_MS)
         self._g_wal = m.gauge("store_wal_batches")
+        # Empirical-audit metrics, populated by the ``audit_report`` op (the
+        # ``repro audit-live`` driver posts its running totals here so the
+        # audited bound is scrapeable next to the ledger's charge).
+        self._g_eps_lb = m.gauge("audited_eps_lb")
+        self._g_eps_charged = m.gauge("audit_charged_eps")
+        self._c_audit_trials = m.counter("audit_trials_total")
+        self._c_audit_guesses = m.counter("audit_guesses_total")
+        self._c_audit_correct = m.counter("audit_correct_total")
+        #: The most recent ``audit_report`` payload (behind ``/audit/eps``).
+        self._audit_report: Optional[dict] = None
         if self.recovery is not None:
             self._h_recovery.observe(self.recovery.duration_ms)
             self._g_sessions.set(len(self.service.manager))
@@ -601,6 +670,11 @@ class RuntimeServer:
                 return out
             if op == "status":
                 out = {"type": "status", **self.status_view()}
+                if request_id is not None:
+                    out["id"] = request_id
+                return out
+            if op == "audit_report":
+                out = {"type": "audit_report", **self.record_audit_report(payload)}
                 if request_id is not None:
                     out["id"] = request_id
                 return out
@@ -1427,3 +1501,26 @@ class RuntimeServer:
             return None
         return {"slow_threshold_ms": self.tracer.slow_ms,
                 "slow": self.tracer.slow(max(int(limit), 0))}
+
+    def record_audit_report(self, payload: dict) -> dict:
+        """Fold one ``audit_report`` op into the metrics and the view.
+
+        The driver posts *cumulative* totals for its run; counters advance
+        by the delta against the previous report (a report with fewer trials
+        than the last one is a fresh run and counts in full).
+        """
+        report = fold_audit_report(
+            self.metrics, self._audit_report, payload,
+            default_charged=self.config.epsilon,
+        )
+        self._audit_report = report
+        return report
+
+    def audit_eps_view(self) -> dict:
+        """The ``/audit/eps`` payload: the latest empirical-audit report
+        (or a typed not-yet-audited answer) plus the active fault knob."""
+        out = {"audited": self._audit_report is not None,
+               "gate_fault": self.config.gate_fault}
+        if self._audit_report is not None:
+            out.update(self._audit_report)
+        return out

@@ -82,6 +82,7 @@ from repro.service.runtime.server import (
     RuntimeServer,
     ServerConfig,
     _Connection,
+    fold_audit_report,
     parse_request_line,
 )
 
@@ -105,7 +106,8 @@ WORKER_READY_TIMEOUT_S = 120.0
 #: Ops the router answers itself, by merging every worker's view.  A
 #: tenant-less op that is *not* in this set is routed to a deterministic
 #: shard so the worker's canonical error response comes back unchanged.
-ROUTER_OPS = frozenset({"metrics", "drain", "status", "sessions", "audit", "trace"})
+ROUTER_OPS = frozenset({"metrics", "drain", "status", "sessions", "audit",
+                        "trace", "audit_report"})
 
 
 class HashRing:
@@ -583,6 +585,9 @@ class ShardedServer:
         self._c_errors = self.metrics.counter("router_errors_total")
         self._g_clients = self.metrics.gauge("router_clients")
         self._g_shards = self.metrics.gauge("router_shards_alive")
+        #: Latest ``audit_report`` (see :meth:`record_audit_report`): the
+        #: audit spans shards, so its state lives at the router.
+        self._audit_report: Optional[dict] = None
         self._controls: Dict[int, _ControlChannel] = {}
         self._clients: Set[_RouterClient] = set()
         self._watched: Dict[int, int] = {}  # shard -> sentinel fd under add_reader
@@ -952,6 +957,29 @@ class ShardedServer:
         return {"slow_threshold_ms": report["slow_threshold_ms"],
                 "slow": report["slow"]}
 
+    def record_audit_report(self, payload: dict) -> dict:
+        """Fold one ``audit_report`` op into the router's registry.
+
+        Canary tenant pairs hash onto different shards, so per-shard audit
+        totals would be meaningless — the bound belongs to the fleet, and
+        the router's own series merge unlabeled into the aggregate
+        ``/metrics`` view (see :func:`merge_snapshots`).
+        """
+        report = fold_audit_report(
+            self.metrics, self._audit_report, payload,
+            default_charged=self.config.epsilon,
+        )
+        self._audit_report = report
+        return report
+
+    def audit_eps_view(self) -> dict:
+        """The ``/audit/eps`` payload (sync — router-local state only)."""
+        out = {"audited": self._audit_report is not None,
+               "gate_fault": self.config.gate_fault}
+        if self._audit_report is not None:
+            out.update(self._audit_report)
+        return out
+
     async def start_admin(self, host: Optional[str] = None,
                           port: Optional[int] = None) -> Tuple[str, int]:
         if self.admin is None:
@@ -1143,6 +1171,12 @@ class ShardedServer:
             out = {"type": "audit", **(await self.audit_view(
                 after_seq=int(payload.get("after_seq", -1)),
                 limit=int(payload.get("limit", 100))))}
+        elif op == "audit_report":
+            # The audit spans tenants on many shards, so its totals live at
+            # the router: the router's own registry merges *unrelabeled*
+            # into the cross-shard /metrics aggregate, exactly where a
+            # fleet-wide bound belongs.
+            out = {"type": "audit_report", **self.record_audit_report(payload)}
         else:  # trace
             report = await self.trace_view(
                 slow_limit=int(payload.get("slow", 32)))

@@ -268,6 +268,12 @@ class Session:
         self._count = 0
         self._halted = False
         self._served = 0
+        #: Injectable gate fault (see :data:`repro.engine.gate.GATE_FAULTS`)
+        #: — the empirical auditor's test-only knob.  Deliberately NOT a
+        #: constructor parameter and NOT part of the durable config_state:
+        #: the manager stamps it after construction, so the persisted
+        #: session schema (and every recovery fingerprint) is unchanged.
+        self.gate_fault: Optional[str] = None
 
         self.audit.record(self.session_id, "open", note=f"tenant {self.tenant}")
         self.ledger.charge("svt-gate", eps_svt, note="threshold test for all queries")
@@ -576,6 +582,7 @@ class Session:
             opened_at=self.opened_at,
             pool=self._pool,
         )
+        lane.gate_fault = self.gate_fault
         self._lanes[name] = lane
         return lane
 
@@ -640,6 +647,7 @@ class Session:
             np.fromiter((e[1].answer_scale for e in live), dtype=float, count=count),
             truths,
             rng=gen,
+            fault=self.gate_fault,
         )
         for position, (name, lane, key, truth, estimate) in enumerate(live):
             index = lane.next_index()
@@ -736,7 +744,13 @@ class Session:
         estimate = self.estimate(key, query)
         # Corrected Section-3.4 check: the error |q~ - q(D)| is the SVT query.
         error = abs(estimate - truth)
-        nu = float(self._rng.laplace(scale=self.nu_scale))
+        if self.gate_fault == "rho-reuse":
+            # The injected stale-noise-buffer bug: rho stands in for nu and
+            # the fresh draw never happens, collapsing the gate to the
+            # noiseless ``error >= T``.
+            nu = self.rho
+        else:
+            nu = float(self._rng.laplace(scale=self.nu_scale))
         index = self.next_index()
         if error + nu < self.threshold + self.rho:
             return OnlineAnswer(value=estimate, from_history=True, query_index=index)

@@ -43,6 +43,7 @@ __all__ = [
     "Workload",
     "LoadStats",
     "generate_workload",
+    "generate_canary_workload",
     "open_workload_sessions",
     "run_batched",
     "run_streaming",
@@ -135,6 +136,58 @@ def generate_workload(spec: WorkloadSpec, rng: RngLike = 0) -> Workload:
         supports=supports,
         error_threshold=threshold,
     )
+
+
+def generate_canary_workload(
+    spec: WorkloadSpec,
+    rng: RngLike = 0,
+    canary_fraction: float = 0.1,
+    sensitivity: float = 1.0,
+    rule: str = "fire-high",
+):
+    """A Zipf trace with a planted canary mixture folded in.
+
+    Plants the auditor's neighboring score pair at the support tail
+    (:func:`repro.service.auditor.canary.plant_canaries`) and rewrites a
+    *canary_fraction* slice of requests to query one of the planted items
+    (secret bit per request).  This is the audit's ambient traffic shape as
+    a first-class load-test mode (``repro load-test --workload canary``):
+    the same drains carry ordinary working-set queries and
+    threshold-straddling canaries, so batching/latency numbers reflect the
+    continuously-audited service, not a separate lab setup.
+
+    Returns ``(workload, plan)`` — the workload's supports include the
+    planted tail pair.
+    """
+    # Imported lazily: the auditor package's driver imports this module.
+    from repro.service.auditor.canary import plant_canaries
+
+    if not 0.0 <= canary_fraction <= 1.0:
+        raise InvalidParameterError("canary_fraction must be in [0, 1]")
+    base = generate_workload(spec, rng=rng)
+    planted, plan = plant_canaries(
+        base.supports,
+        threshold=base.error_threshold,
+        sensitivity=sensitivity,
+        epsilon=spec.epsilon,
+        c=1,
+        svt_fraction=spec.svt_fraction,
+        rule=rule,
+    )
+    gen = derive_rng(rng, "canary-mixture")
+    mask = gen.random(base.num_requests) < canary_fraction
+    bits = gen.integers(0, 2, size=base.num_requests)
+    items = np.where(
+        mask, np.where(bits == 1, plan.item_hi, plan.item_lo), base.items
+    )
+    mixed = Workload(
+        spec=spec,
+        tenants=base.tenants,
+        items=items.astype(np.int64),
+        supports=planted,
+        error_threshold=base.error_threshold,
+    )
+    return mixed, plan
 
 
 def open_workload_sessions(

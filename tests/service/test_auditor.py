@@ -1,0 +1,346 @@
+"""The empirical privacy auditor, end to end against the real service.
+
+The load-bearing claims, in order:
+
+* **Canary geometry**: the planted pair straddles the threshold at exactly
+  the sensitivity, survives the score-file round trip, and the tail-pair
+  convention recovers the plan without a side channel.
+* **The healthy gate passes**: a live audit through a real ``repro serve``
+  subprocess (stdio JSONL, background Zipf traffic interleaved) produces an
+  epsilon lower bound *below* the charged budget at 95% confidence.
+* **The broken gate is caught**: the same audit against ``--gate-fault
+  rho-reuse`` (threshold noise reused as query noise — a noiseless gate,
+  the Alg-4/GPTT bug class) must exceed the charged budget.  An auditor
+  that cannot catch a known-broken mechanism measures nothing.
+* **The bound chain is sound**: empirical bound <= exact analytical loss
+  on the same pair (the Eq.-(5) verifier) <= charged epsilon.
+* **Reports flow into the operable plane**: the ``audit_report`` op folds
+  cumulative totals into counters/gauges and ``/audit/eps`` serves the
+  verdict over HTTP.
+"""
+
+import asyncio
+import io
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis.verifier import empirical_epsilon
+from repro.service.audit import gate_mechanism_spec
+from repro.service.auditor import (
+    AuditConfig,
+    CanaryPlan,
+    JsonLineClient,
+    eps_lower_bound,
+    load_planted_plan,
+    plant_canaries,
+    run_audit,
+    write_planted_scores,
+    write_report,
+)
+from repro.service.runtime import RuntimeServer, ServerConfig
+from repro.service.runtime.server import fold_audit_report
+from repro.service.workload import (
+    WorkloadSpec,
+    generate_canary_workload,
+    run_batched,
+)
+
+SUPPORTS = np.linspace(400.0, 20.0, 80)
+THRESHOLD = 120.0
+
+_SRC = str(Path(repro.__file__).resolve().parents[1])
+
+
+# ----------------------------------------------------------------------
+# Canary construction.
+# ----------------------------------------------------------------------
+def test_plant_canaries_geometry():
+    planted, plan = plant_canaries(SUPPORTS, threshold=THRESHOLD)
+    assert planted.size == SUPPORTS.size + 2
+    assert (plan.item_lo, plan.item_hi) == (SUPPORTS.size, SUPPORTS.size + 1)
+    assert planted[plan.item_hi] - planted[plan.item_lo] == plan.sensitivity
+    assert plan.score_lo == THRESHOLD - 0.5 and plan.score_hi == THRESHOLD + 0.5
+    np.testing.assert_array_equal(planted[: SUPPORTS.size], SUPPORTS)
+
+
+def test_plant_canaries_validation():
+    with pytest.raises(ValueError):
+        plant_canaries(SUPPORTS, threshold=0.4)  # lo plant would go negative
+    with pytest.raises(ValueError):
+        plant_canaries(SUPPORTS, threshold=THRESHOLD, sensitivity=0.0)
+    with pytest.raises(ValueError):
+        CanaryPlan(item_lo=0, item_hi=1, score_lo=1.0, score_hi=2.0,
+                   threshold=1.5, rule="nope")
+
+
+def test_score_file_round_trip(tmp_path):
+    planted, plan = plant_canaries(SUPPORTS, threshold=THRESHOLD,
+                                   epsilon=2.0, svt_fraction=0.25)
+    path = tmp_path / "planted.scores"
+    assert write_planted_scores(path, planted) == planted.size
+    # The serve CLI's loader: whitespace-split floats.
+    loaded = np.array([float(x) for x in path.read_text().split() if x.strip()])
+    np.testing.assert_array_equal(loaded, planted)
+    recovered = load_planted_plan(loaded, epsilon=2.0, svt_fraction=0.25)
+    assert recovered == plan
+
+
+def test_load_planted_plan_rejects_unplanted():
+    with pytest.raises(ValueError):
+        load_planted_plan(SUPPORTS)  # descending tail: not a planted pair
+    with pytest.raises(ValueError):
+        load_planted_plan([1.0])
+
+
+def test_guess_rules():
+    _, plan = plant_canaries(SUPPORTS, threshold=THRESHOLD)
+    assert plan.guess({"type": "answer", "from_history": False, "value": 130.0}) == 1
+    assert plan.guess({"type": "answer", "from_history": True, "value": 0.0}) == 0
+    release = CanaryPlan(**{**plan.as_dict(), "rule": "release-value"})
+    assert release.guess({"from_history": True}) is None  # abstains
+    assert release.guess({"from_history": False, "value": THRESHOLD + 3}) == 1
+    assert release.guess({"from_history": False, "value": THRESHOLD - 3}) == 0
+
+
+def test_canary_workload_mixture():
+    spec = WorkloadSpec(tenants=16, requests=2000, dataset_scale=0.02, c=3)
+    workload, plan = generate_canary_workload(spec, rng=5, canary_fraction=0.2)
+    assert workload.supports.size >= 2
+    assert workload.supports[plan.item_hi] - workload.supports[plan.item_lo] == 1.0
+    hits = np.isin(workload.items, [plan.item_lo, plan.item_hi]).mean()
+    assert 0.15 < hits < 0.25  # ~canary_fraction of the trace
+    # Both planted items actually occur (secret bits vary).
+    assert (workload.items == plan.item_lo).any()
+    assert (workload.items == plan.item_hi).any()
+    # The mixed trace drives the real batched engine without incident.
+    from repro.service.engine import SVTQueryService
+
+    stats = run_batched(SVTQueryService(workload.supports, seed=5), workload,
+                        batch_size=512, session_seed=5)
+    assert stats.answered > 0
+
+
+# ----------------------------------------------------------------------
+# The audit_report op and its metrics/admin surfaces.
+# ----------------------------------------------------------------------
+def run_stdin(lines, **overrides):
+    config = ServerConfig(error_threshold=THRESHOLD, seed=9, window=32,
+                          **overrides)
+    server = RuntimeServer(SUPPORTS, config)
+    stdout = io.StringIO()
+    text = "\n".join(json.dumps(line) for line in lines) + "\n"
+    asyncio.run(server.serve_stdin(io.StringIO(text), stdout))
+    return server, [json.loads(line) for line in stdout.getvalue().splitlines()]
+
+
+def report_payload(trials, guesses, correct, **extra):
+    return {
+        "op": "audit_report", "trials": trials, "guesses": guesses,
+        "correct": correct,
+        "eps_lb": eps_lower_bound(trials, guesses, correct),
+        **extra,
+    }
+
+
+def test_audit_report_op_folds_cumulative_totals():
+    server, out = run_stdin([
+        report_payload(50, 50, 48, id=1),
+        report_payload(120, 120, 117, id=2),
+        {"op": "metrics", "id": 3},
+    ])
+    first, second, metrics = out
+    assert first["type"] == "audit_report" and first["caught"]
+    assert second["trials"] == 120 and second["accuracy"] == 0.975
+    # Cumulative posts fold as deltas: counters read the latest totals.
+    counters = metrics["counters"]
+    assert counters["audit_trials_total"] == 120
+    assert counters["audit_guesses_total"] == 120
+    assert counters["audit_correct_total"] == 117
+    assert metrics["gauges"]["audited_eps_lb"] == pytest.approx(
+        eps_lower_bound(120, 120, 117)
+    )
+    assert metrics["gauges"]["audit_charged_eps"] == 1.0  # config default
+    view = server.audit_eps_view()
+    assert view["audited"] and view["caught"] and view["gate_fault"] is None
+
+
+def test_audit_report_fresh_run_resets_deltas():
+    # A new audit posts smaller totals than the previous run's: counters
+    # absorb the fresh run in full instead of going negative.
+    server, _ = run_stdin([
+        report_payload(100, 100, 90, id=1),
+        report_payload(10, 10, 5, id=2),
+    ])
+    assert server.metrics.counter("audit_trials_total").value == 110
+    assert server.metrics.counter("audit_correct_total").value == 95
+
+
+def test_audit_report_validation():
+    server, out = run_stdin([
+        {"op": "audit_report", "trials": 5, "guesses": 9, "correct": 2,
+         "eps_lb": 0.0, "id": 1},
+    ])
+    assert out[0]["type"] == "error"
+    assert server.audit_eps_view()["audited"] is False
+
+
+def test_fold_audit_report_is_shared_logic():
+    from repro.service.runtime.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    first = fold_audit_report(registry, None,
+                              {"trials": 10, "guesses": 8, "correct": 7,
+                               "eps_lb": 1.2}, default_charged=1.0)
+    assert first["caught"] and first["accuracy"] == 0.875
+    fold_audit_report(registry, first,
+                      {"trials": 20, "guesses": 16, "correct": 12,
+                       "eps_lb": 0.4}, default_charged=1.0)
+    assert registry.counter("audit_trials_total").value == 20
+    assert registry.gauge("audited_eps_lb").value == 0.4
+
+
+def test_admin_route_audit_eps():
+    async def scenario():
+        server = RuntimeServer(
+            SUPPORTS, ServerConfig(error_threshold=THRESHOLD, admin_port=0)
+        )
+        await server.serve_tcp("127.0.0.1", 0)
+        try:
+            host, port = server.admin.address
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(b"GET /audit/eps HTTP/1.1\r\nHost: t\r\n"
+                         b"Connection: close\r\n\r\n")
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            before = json.loads(raw.partition(b"\r\n\r\n")[2])
+            server.record_audit_report(
+                {"trials": 40, "guesses": 40, "correct": 40,
+                 "eps_lb": eps_lower_bound(40, 40, 40)}
+            )
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(b"GET /audit/eps HTTP/1.1\r\nHost: t\r\n"
+                         b"Connection: close\r\n\r\n")
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            return before, json.loads(raw.partition(b"\r\n\r\n")[2])
+        finally:
+            await server.shutdown()
+
+    before, after = asyncio.run(scenario())
+    assert before == {"audited": False, "gate_fault": None}
+    assert after["audited"] and after["caught"]
+    assert after["eps_lb"] == pytest.approx(eps_lower_bound(40, 40, 40))
+
+
+# ----------------------------------------------------------------------
+# The live end-to-end audit: a real subprocess server over stdio JSONL.
+# ----------------------------------------------------------------------
+def boot_server(scores_path, threshold, *extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    command = [
+        sys.executable, "-m", "repro.cli", "serve", str(scores_path),
+        "--threshold", str(threshold), "--seed", "3", *extra,
+    ]
+    return subprocess.Popen(command, stdin=subprocess.PIPE,
+                            stdout=subprocess.PIPE,
+                            stderr=subprocess.DEVNULL, env=env)
+
+
+def live_audit(tmp_path, trials, *serve_extra, rule="fire-high"):
+    planted, plan = plant_canaries(SUPPORTS, threshold=THRESHOLD, rule=rule)
+    scores = tmp_path / "planted.scores"
+    write_planted_scores(scores, planted)
+    process = boot_server(scores, plan.threshold, *serve_extra)
+    client = JsonLineClient.from_process(process)
+    try:
+        config = AuditConfig(trials=trials, seed=17, background_every=2,
+                             background_tenants=4, report_every=trials // 2)
+        report = run_audit(client, plan, config, num_items=planted.size)
+        metrics = client.call({"op": "metrics"})
+    finally:
+        client.close()
+        process.wait(timeout=60)
+    return report, metrics
+
+
+@pytest.fixture(scope="module")
+def healthy_report(tmp_path_factory):
+    return live_audit(tmp_path_factory.mktemp("healthy"), trials=100)
+
+
+def test_live_audit_healthy_gate_stays_under_charged_eps(healthy_report):
+    report, metrics = healthy_report
+    assert report["trials"] == 100
+    # The healthy gate's noise floor keeps the distinguisher near a coin
+    # flip: the 95%-confidence bound must stay under the charged budget.
+    assert report["eps_lb"] < report["charged_eps"]
+    assert report["caught"] is False
+    assert 0.25 < report["accuracy"] < 0.7
+    # The periodic audit_report posts landed in the server's own registry.
+    assert metrics["counters"]["audit_trials_total"] == 100
+    assert metrics["gauges"]["audited_eps_lb"] == pytest.approx(report["eps_lb"])
+
+
+def test_live_audit_catches_rho_reuse_fault(tmp_path):
+    report, metrics = live_audit(
+        tmp_path, 40, "--gate-fault", "rho-reuse"
+    )
+    # The noiseless gate makes every firing a deterministic tell.
+    assert report["accuracy"] == 1.0
+    assert report["eps_lb"] > report["charged_eps"]
+    assert report["caught"] is True
+    assert metrics["gauges"]["audited_eps_lb"] > 1.0
+
+
+def test_live_audit_release_value_rule_abstains_but_still_clean(tmp_path):
+    report, _ = live_audit(tmp_path, 60, rule="release-value")
+    assert report["guesses"] < report["trials"]  # abstentions happened
+    assert report["caught"] is False
+
+
+def test_bound_chain_empirical_analytical_charged(healthy_report):
+    # eps_lb (empirical, live service) <= exact analytical loss on the same
+    # planted pair (Eq.-(5) verifier over the session gate's noise spec)
+    # <= the charged session epsilon.
+    report, _ = healthy_report
+    plan_eps, svt_fraction, c = 1.0, 0.5, 1
+    spec = gate_mechanism_spec(plan_eps, c=c, svt_fraction=svt_fraction)
+    eps_analytical = empirical_epsilon(
+        spec, [THRESHOLD - 0.5], [THRESHOLD + 0.5],
+        thresholds=THRESHOLD, c=c,
+    )
+    assert report["eps_lb"] <= eps_analytical + 1e-9
+    assert eps_analytical <= report["charged_eps"] + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Driver plumbing.
+# ----------------------------------------------------------------------
+def test_audit_config_validation():
+    with pytest.raises(ValueError):
+        AuditConfig(trials=0)
+    with pytest.raises(ValueError):
+        AuditConfig(confidence=1.0)
+
+
+def test_run_audit_rejects_short_tenant_list():
+    _, plan = plant_canaries(SUPPORTS, threshold=THRESHOLD)
+    with pytest.raises(ValueError):
+        run_audit(None, plan, AuditConfig(trials=5), tenant_names=["only-one"])
+
+
+def test_write_report(tmp_path):
+    path = tmp_path / "AUDIT_report.json"
+    write_report(path, {"eps_lb": 0.1, "caught": False})
+    loaded = json.loads(path.read_text())
+    assert loaded["schema"] == 1 and loaded["eps_lb"] == 0.1

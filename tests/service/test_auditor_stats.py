@@ -1,0 +1,192 @@
+"""The auditor's statistics core against independently generated references.
+
+Every reference value below was generated once with scipy 1.17.1 (binomial
+tails, Beta-quantile Clopper–Pearson endpoints) or with a direct scipy
+transcription of the DP-FTRL ``p_value_DP_audit``/``get_eps_audit`` recipe,
+then baked in — the shipped code must match *without* importing scipy, which
+is the whole point of the pure-``lgamma`` reimplementation.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.service.auditor import (
+    AuditAccumulator,
+    accuracy_to_eps,
+    binom_cdf,
+    binom_pmf,
+    binom_sf,
+    clopper_pearson,
+    eps_lower_bound,
+    log_binom_pmf,
+    p_value_dp_audit,
+)
+
+# (k, n, q, scipy binom.pmf, binom.cdf, binom.sf) — scipy 1.17.1.
+PMF_CDF_SF = [
+    (0, 10, 0.5, 0.0009765624999999989, 0.0009765625, 0.9990234375),
+    (5, 10, 0.5, 0.24609375000000003, 0.623046875, 0.376953125),
+    (10, 10, 0.5, 0.0009765625, 1.0, 0.0),
+    (3, 7, 0.25, 0.17303466796875, 0.929443359375, 0.070556640625),
+    (180, 200, 0.7310585786300049, 2.0527615487480894e-09,
+     0.9999999991464086, 8.535914728059328e-10),
+    (104, 200, 0.5, 0.04805328618725784, 0.7376888221388422,
+     0.26231117786115776),
+    (37, 100, 0.62, 2.392703894497867e-07, 3.662960446134324e-07,
+     0.9999996337039554),
+    (1, 400, 0.01, 0.07252748797998063, 0.0904780412550255,
+     0.9095219587449745),
+    (399, 400, 0.99, 0.0725274879799804, 0.9820494467249549,
+     0.017950553275045134),
+    (250, 300, 0.8, 0.02075574407306542, 0.9377926477634995,
+     0.06220735223650054),
+]
+
+# (v, r, lower, upper) at 95% — scipy beta.ppf Clopper–Pearson endpoints.
+CLOPPER_PEARSON_95 = [
+    (0, 50, 0.0, 0.07112173646419764),
+    (50, 50, 0.9288782635358024, 1.0),
+    (37, 100, 0.2755665796145515, 0.47235164055168316),
+    (1, 10, 0.0025285785444617848, 0.4450161170281954),
+    (104, 200, 0.4484123986605739, 0.5909860003619938),
+    (200, 200, 0.9817246596448638, 1.0),
+    (132, 150, 0.8169911229752387, 0.9273065333032355),
+]
+
+# (m, r, v, delta, p, eps bound) — scipy transcription of get_eps_audit.
+EPS_AUDIT = [
+    (200, 200, 200, 0.0, 0.05, 4.193629987171006),
+    (200, 200, 180, 0.0, 0.05, 1.7988652649778913),
+    (200, 200, 104, 0.0, 0.05, 0.0),
+    (200, 150, 140, 0.0, 0.05, 2.086076129933799),
+    (100, 100, 100, 0.0, 0.05, 3.4929654311522937),
+    (300, 300, 250, 1e-05, 0.05, 1.3478748325515584),
+    (200, 200, 180, 1e-05, 0.1, 1.8759401018440827),
+    (40, 40, 40, 0.0, 0.05, 2.5540104026104835),
+]
+
+# (m, r, v, eps, delta, p-value) — same transcription.
+P_VALUES = [
+    (200, 200, 150, 1.0, 0.0, 0.3031877298305087),
+    (200, 200, 150, 2.0, 0.0, 0.9999998973039367),
+    (300, 280, 200, 0.5, 1e-06, 0.0007972310337525607),
+    (100, 90, 60, 0.0, 0.0, 0.0010301328404815372),
+]
+
+
+@pytest.mark.parametrize("k,n,q,pmf,cdf,sf", PMF_CDF_SF)
+def test_binomial_tails_match_scipy(k, n, q, pmf, cdf, sf):
+    assert binom_pmf(k, n, q) == pytest.approx(pmf, rel=1e-9, abs=1e-300)
+    assert binom_cdf(k, n, q) == pytest.approx(cdf, rel=1e-9)
+    # The sf reference includes tails ~1e-10 of the mass: the whole reason
+    # the implementation sums the requested side directly.
+    assert binom_sf(k, n, q) == pytest.approx(sf, rel=1e-8, abs=1e-300)
+
+
+def test_binomial_edge_cases():
+    assert binom_pmf(-1, 10, 0.5) == 0.0
+    assert binom_pmf(11, 10, 0.5) == 0.0
+    assert log_binom_pmf(3, 10, 0.0) == -math.inf
+    assert binom_pmf(0, 10, 0.0) == 1.0
+    assert binom_pmf(10, 10, 1.0) == 1.0
+    assert binom_cdf(-1, 10, 0.5) == 0.0
+    assert binom_cdf(10, 10, 0.5) == 1.0
+    assert binom_sf(-1, 10, 0.5) == 1.0
+    assert binom_sf(10, 10, 0.5) == 0.0
+
+
+@pytest.mark.parametrize("v,r,lower,upper", CLOPPER_PEARSON_95)
+def test_clopper_pearson_matches_beta_quantiles(v, r, lower, upper):
+    lo, hi = clopper_pearson(v, r, confidence=0.95)
+    assert lo == pytest.approx(lower, abs=1e-9)
+    assert hi == pytest.approx(upper, abs=1e-9)
+
+
+def test_clopper_pearson_degenerate_and_invalid():
+    assert clopper_pearson(0, 0) == (0.0, 1.0)
+    with pytest.raises(ValueError):
+        clopper_pearson(5, 3)
+    with pytest.raises(ValueError):
+        clopper_pearson(1, 10, confidence=1.0)
+
+
+@pytest.mark.parametrize("m,r,v,eps,delta,expected", P_VALUES)
+def test_p_value_matches_reference(m, r, v, eps, delta, expected):
+    assert p_value_dp_audit(m, r, v, eps, delta) == pytest.approx(
+        expected, rel=1e-9
+    )
+
+
+@pytest.mark.parametrize("m,r,v,delta,p,expected", EPS_AUDIT)
+def test_eps_lower_bound_matches_reference(m, r, v, delta, p, expected):
+    assert eps_lower_bound(m, r, v, delta=delta, p=p) == pytest.approx(
+        expected, abs=1e-9
+    )
+
+
+def test_eps_lower_bound_is_a_valid_test_inversion():
+    # The bound is the sup of rejected epsilons: the p-value at the bound
+    # itself must still reject, and just above must not (up to bisection
+    # resolution).
+    m = r = 150
+    v = 138
+    bound = eps_lower_bound(m, r, v)
+    assert p_value_dp_audit(m, r, v, max(bound - 1e-6, 0.0)) < 0.05
+    assert p_value_dp_audit(m, r, v, bound + 1e-6) >= 0.05
+
+
+def test_eps_lower_bound_monotone_in_evidence():
+    bounds = [eps_lower_bound(200, 200, v) for v in (110, 130, 150, 180, 200)]
+    assert bounds == sorted(bounds)
+    assert bounds[0] == 0.0 and bounds[-1] > 4.0
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        p_value_dp_audit(10, 20, 5, 1.0)  # r > m
+    with pytest.raises(ValueError):
+        p_value_dp_audit(10, 5, 6, 1.0)  # v > r
+    with pytest.raises(ValueError):
+        p_value_dp_audit(10, 5, 3, -0.5)
+    with pytest.raises(ValueError):
+        eps_lower_bound(10, 5, 3, p=0.0)
+    with pytest.raises(ValueError):
+        accuracy_to_eps(1.5)
+
+
+def test_accuracy_to_eps_round_trips_the_rr_channel():
+    for eps in (0.1, 0.5, 1.0, 2.0, 5.0):
+        accuracy = 1.0 / (1.0 + math.exp(-eps))
+        assert accuracy_to_eps(accuracy) == pytest.approx(eps, rel=1e-12)
+    assert accuracy_to_eps(0.3) == 0.0
+    assert accuracy_to_eps(0.5) == 0.0
+    assert accuracy_to_eps(1.0) == math.inf
+
+
+def test_accumulator_counts_and_summary_is_json_safe():
+    acc = AuditAccumulator()
+    for _ in range(60):
+        acc.record(guessed=True, correct=True)
+    for _ in range(30):
+        acc.record(guessed=True, correct=False)
+    for _ in range(10):
+        acc.record(guessed=False, correct=False)  # abstentions
+    assert (acc.trials, acc.guesses, acc.correct) == (100, 90, 60)
+    assert acc.accuracy == pytest.approx(60 / 90)
+    summary = acc.summary(charged_eps=1.0)
+    # m=100, r=90, v=60 is the baked P_VALUES case: p=0.00103 at eps=0.
+    assert summary["eps_lb"] > 0.0
+    assert summary["caught"] == (summary["eps_lb"] > 1.0)
+    json.dumps(summary)  # finite floats only — the artifact must serialize
+
+    perfect = AuditAccumulator(trials=50, guesses=50, correct=50)
+    json.dumps(perfect.summary(charged_eps=1.0))  # inf point estimate capped
+
+
+def test_accumulator_empty_summary():
+    summary = AuditAccumulator().summary(charged_eps=1.0)
+    assert summary["accuracy"] is None
+    assert summary["eps_lb"] == 0.0
+    assert summary["caught"] is False

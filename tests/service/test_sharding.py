@@ -455,3 +455,72 @@ class TestSnapshotMerging:
         assert c["router_requests_total"] == 7
         assert snap["gauges"]["queue_depth"] == 7  # additive gauges sum
         assert snap["shed_rate"] == round(4 / 7, 6)
+
+
+class TestShardedAudit:
+    def test_canary_audit_across_shards_catches_broken_gate(self):
+        """The continuous-audit path through the router: canary sessions
+        pinned onto *distinct* shards, the bound computed from the
+        router-merged responses, the ``audit_report`` op held at the router
+        and its gauges merged unrelabeled into the aggregate ``/metrics``
+        view.  With ``gate_fault='rho-reuse'`` (propagated to every worker
+        via the shard config) the catch is deterministic — no statistics,
+        every canary firing is a noiseless tell."""
+        from repro.service.auditor import eps_lower_bound, plant_canaries
+
+        planted, plan = plant_canaries(SUPPORTS, threshold=600.0)
+
+        async def main():
+            server = ShardedServer(
+                planted, make_config(gate_fault="rho-reuse"), shards=2
+            )
+            await server.serve_tcp("127.0.0.1", 0)
+            host, port = server.tcp_address
+            reader, writer = await asyncio.open_connection(host, port)
+
+            async def rpc(payload):
+                writer.write((json.dumps(payload) + "\n").encode())
+                await writer.drain()
+                return json.loads(await reader.readline())
+
+            # Eight canary tenants per shard, secret bits alternating.
+            names = (tenants_on(server.ring, 0, 8, prefix="canary-a")
+                     + tenants_on(server.ring, 1, 8, prefix="canary-b"))
+            trials = correct = 0
+            for i, tenant in enumerate(names):
+                bit = i % 2
+                opened = await rpc({**plan.open_payload(tenant), "id": 2 * i})
+                assert opened["type"] == "opened"
+                answer = await rpc({"op": "query", "tenant": tenant,
+                                    "item": plan.item_for(bit),
+                                    "id": 2 * i + 1})
+                assert answer["type"] == "answer"
+                trials += 1
+                correct += plan.guess(answer) == bit
+            assert correct == trials == len(names)  # the noiseless tell
+
+            # Both shards actually hosted canaries (the pinning worked).
+            sessions = await rpc({"op": "sessions"})
+            shards_used = {s["shard"] for s in sessions["sessions"]
+                           if s["tenant"].startswith("canary-")}
+            assert shards_used == {0, 1}
+
+            eps_lb = eps_lower_bound(trials, trials, correct)
+            posted = await rpc({
+                "op": "audit_report", "trials": trials, "guesses": trials,
+                "correct": correct, "eps_lb": eps_lb,
+                "charged_eps": plan.charged_eps, "id": 99,
+            })
+            assert posted["type"] == "audit_report"
+            assert posted["caught"] is True and posted["eps_lb"] > 1.0
+
+            # Router-held totals surface unrelabeled in the merged snapshot.
+            snap = await rpc({"op": "metrics"})
+            assert snap["counters"]["audit_trials_total"] == trials
+            assert snap["gauges"]["audited_eps_lb"] == eps_lb
+            assert snap["gauges"]["audit_charged_eps"] == plan.charged_eps
+
+            writer.close()
+            await server.shutdown()
+
+        asyncio.run(main())
